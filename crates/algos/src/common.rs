@@ -1,0 +1,71 @@
+//! Shared algorithm driver types.
+
+use fusedml_hop::interp::Bindings;
+use fusedml_linalg::Matrix;
+use fusedml_runtime::Executor;
+use std::time::Instant;
+
+/// Algorithm identifiers (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    L2svm,
+    MLogreg,
+    Glm,
+    KMeans,
+    AlsCg,
+    AutoEncoder,
+}
+
+impl Algorithm {
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::L2svm => "L2SVM",
+            Algorithm::MLogreg => "MLogreg",
+            Algorithm::Glm => "GLM",
+            Algorithm::KMeans => "KMeans",
+            Algorithm::AlsCg => "ALS-CG",
+            Algorithm::AutoEncoder => "AutoEncoder",
+        }
+    }
+}
+
+/// Result of an end-to-end run.
+#[derive(Clone, Debug)]
+pub struct AlgoResult {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Outer iterations executed.
+    pub iterations: usize,
+    /// Final objective / loss value.
+    pub objective: f64,
+    /// The learned model (algorithm-specific matrices).
+    pub model: Vec<Matrix>,
+}
+
+/// A stopwatch helper for end-to-end timing.
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    pub fn seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// Inserts a binding (shorthand).
+pub fn bindv(b: &mut Bindings, name: &str, m: Matrix) {
+    b.insert(name.to_string(), m);
+}
+
+/// Runs a single-root DAG and returns the root matrix.
+pub fn run1(exec: &Executor, dag: &fusedml_hop::HopDag, b: &Bindings) -> Matrix {
+    exec.execute(dag, b)[0].as_matrix()
+}
+
+/// Runs a single-root DAG and returns the root scalar.
+pub fn run1s(exec: &Executor, dag: &fusedml_hop::HopDag, b: &Bindings) -> f64 {
+    exec.execute(dag, b)[0].as_scalar()
+}

@@ -1,0 +1,25 @@
+//! # fusedml-algos
+//!
+//! The six ML algorithms of the paper's evaluation (Table 2), written
+//! against the HOP builder API and executed through the runtime under any
+//! fusion mode (`Base` / `Fused` / `Gen` / `Gen-FA` / `Gen-FNR`).
+//!
+//! Control flow (outer iterations, convergence checks) lives in Rust; the
+//! linear-algebra bodies are HOP DAGs built once per shape and re-executed
+//! with updated bindings — mirroring SystemML's per-statement-block DAG
+//! compilation with dynamic recompilation (plan caches make repeated
+//! optimization cheap, paper §5.3).
+//!
+//! Documented deviations from the exact SystemML scripts (DESIGN.md §7):
+//! gradient/CG solvers replace trust-region machinery where the paper's
+//! evaluation only depends on the inner-loop expression patterns.
+
+pub mod alscg;
+pub mod autoencoder;
+pub mod common;
+pub mod glm;
+pub mod kmeans;
+pub mod l2svm;
+pub mod mlogreg;
+
+pub use common::{AlgoResult, Algorithm};

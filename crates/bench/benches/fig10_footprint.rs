@@ -1,0 +1,47 @@
+//! Criterion benchmarks for Figure 10: vector-primitive operators vs
+//! inlined per-element code at two chain lengths (before/after the
+//! code-size cliff).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusedml_core::codegen::CodegenOptions;
+use fusedml_hop::interp::Bindings;
+use fusedml_hop::DagBuilder;
+use fusedml_linalg::generate;
+use fusedml_runtime::{Executor, FusionMode};
+
+fn footprint_dag(rows: usize, cols: usize, n_ops: usize) -> fusedml_hop::HopDag {
+    let mut b = DagBuilder::new();
+    let x = b.read("X", rows, cols, 1.0);
+    let rs = b.row_sums(x);
+    let mut cur = b.div(x, rs);
+    for i in 0..n_ops {
+        let c = b.lit(1.0 + i as f64 * 1e-3);
+        cur = b.mult(cur, c);
+    }
+    let s = b.sum(cur);
+    b.build(vec![s])
+}
+
+fn benches(c: &mut Criterion) {
+    let (rows, cols) = (5_000, 256);
+    let mut bindings = Bindings::new();
+    bindings.insert("X".to_string(), generate::rand_dense(rows, cols, 0.5, 2.0, 1));
+    for n_ops in [8usize, 64] {
+        let dag = footprint_dag(rows, cols, n_ops);
+        let mut g = c.benchmark_group(format!("fig10_n{n_ops}"));
+        g.sample_size(10);
+        for (label, inline) in [("primitives", false), ("inlined", true)] {
+            let mut exec = Executor::new(FusionMode::Gen);
+            exec.optimizer.codegen =
+                CodegenOptions { inline_primitives: inline, ..Default::default() };
+            let _ = exec.execute(&dag, &bindings);
+            g.bench_function(label, |b| {
+                b.iter(|| std::hint::black_box(exec.execute(&dag, &bindings)))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(fig10_benches, benches);
+criterion_main!(fig10_benches);

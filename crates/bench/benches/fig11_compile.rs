@@ -1,0 +1,62 @@
+//! Criterion benchmarks for Figure 11: operator compilation under the fast
+//! (janino-like) vs heavyweight (javac-like) backends, with/without the
+//! plan cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusedml_core::codegen::{CodegenOptions, CompilerBackend};
+use fusedml_core::explore::explore;
+use fusedml_core::opt::{select_plans, CostModel, EnumConfig, SelectionPolicy};
+use fusedml_core::plancache::PlanCache;
+use fusedml_hop::DagBuilder;
+
+fn sample_cplan(extra: usize) -> fusedml_core::cplan::CPlan {
+    let mut b = DagBuilder::new();
+    let x = b.read("X", 1000, 1000, 1.0);
+    let y = b.read("Y", 1000, 1000, 1.0);
+    let mut cur = b.mult(x, y);
+    for j in 0..extra {
+        let c = b.lit(2.0 + j as f64);
+        cur = b.add(cur, c);
+    }
+    let s = b.sum(cur);
+    let dag = b.build(vec![s]);
+    let memo = explore(&dag);
+    let sel = select_plans(
+        &dag,
+        &memo,
+        SelectionPolicy::CostBased(EnumConfig::default()),
+        &CostModel::default(),
+    );
+    fusedml_core::cplan::construct(&dag, &sel.operators[0]).expect("cplan")
+}
+
+fn benches(c: &mut Criterion) {
+    let cplans: Vec<_> = (0..8).map(sample_cplan).collect();
+    let mut g = c.benchmark_group("fig11_compile");
+    for (backend, name) in
+        [(CompilerBackend::Janino, "janino"), (CompilerBackend::Javac, "javac")]
+    {
+        let opts = CodegenOptions { backend, ..Default::default() };
+        g.bench_function(format!("{name}_no_cache"), |b| {
+            let cache = PlanCache::new();
+            cache.set_enabled(false);
+            b.iter(|| {
+                for cp in &cplans {
+                    std::hint::black_box(cache.get_or_compile(cp, &opts));
+                }
+            })
+        });
+        g.bench_function(format!("{name}_with_cache"), |b| {
+            let cache = PlanCache::new();
+            b.iter(|| {
+                for cp in &cplans {
+                    std::hint::black_box(cache.get_or_compile(cp, &opts));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(fig11_benches, benches);
+criterion_main!(fig11_benches);

@@ -1,0 +1,24 @@
+//! Criterion benchmarks for Figure 13: KMeans iteration cost as k grows
+//! (Base vs Gen).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusedml_algos::kmeans;
+use fusedml_runtime::{Executor, FusionMode};
+
+fn benches(c: &mut Criterion) {
+    let x = kmeans::synthetic_data(10_000, 100, 1.0, 8);
+    for k in [2usize, 16] {
+        let mut g = c.benchmark_group(format!("fig13_kmeans_k{k}"));
+        g.sample_size(10);
+        for mode in [FusionMode::Base, FusionMode::Gen] {
+            let cfg = kmeans::KMeansConfig { k, max_iter: 2, ..Default::default() };
+            g.bench_function(format!("{mode:?}"), |b| {
+                b.iter(|| std::hint::black_box(kmeans::run(&Executor::new(mode), &x, &cfg)))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(fig13_benches, benches);
+criterion_main!(fig13_benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the Figure 8 patterns (Cell, MAgg, Row,
+//! Outer) comparing Base / Fused / Gen at a representative size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusedml_bench::experiments::fig8;
+use fusedml_hop::interp::Bindings;
+use fusedml_linalg::generate;
+use fusedml_runtime::{Executor, FusionMode};
+
+fn bench_pattern(c: &mut Criterion, group: &str, dag: &fusedml_hop::HopDag, bindings: &Bindings) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for mode in [FusionMode::Base, FusionMode::Fused, FusionMode::Gen] {
+        let exec = Executor::new(mode);
+        let _ = exec.execute(dag, bindings); // compile
+        g.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| std::hint::black_box(exec.execute(dag, bindings)))
+        });
+    }
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let (rows, cols) = (2_000, 1_000);
+    // Fig 8(a): Cell chain.
+    let (dag, _) = fig8::cell_dag(rows, cols, 1.0);
+    let mut b: Bindings = Bindings::new();
+    for (i, n) in ["X", "Y", "Z"].iter().enumerate() {
+        b.insert(n.to_string(), generate::rand_dense(rows, cols, -1.0, 1.0, i as u64));
+    }
+    bench_pattern(c, "fig8a_cell_dense", &dag, &b);
+
+    // Fig 8(c): MAgg.
+    let (dag, _) = fig8::magg_dag(rows, cols, 1.0);
+    bench_pattern(c, "fig8c_multiagg_dense", &dag, &b);
+
+    // Fig 8(e): Row mv-chain.
+    let (dag, _) = fig8::row_dag(rows, cols, 1, 1.0);
+    let mut bv: Bindings = Bindings::new();
+    bv.insert("X".to_string(), generate::rand_dense(rows, cols, -1.0, 1.0, 1));
+    bv.insert("v".to_string(), generate::rand_dense(cols, 1, -1.0, 1.0, 2));
+    bench_pattern(c, "fig8e_row_mvchain", &dag, &bv);
+
+    // Fig 8(h): Outer, sparse driver.
+    let (n, m) = (2_000, 2_000);
+    let (dag, _) = fig8::outer_dag(n, m, 100, 0.01);
+    let mut bo: Bindings = Bindings::new();
+    bo.insert("X".to_string(), generate::rand_matrix(n, m, 1.0, 5.0, 0.01, 3));
+    bo.insert("U".to_string(), generate::rand_dense(n, 100, 0.1, 1.0, 4));
+    bo.insert("V".to_string(), generate::rand_dense(m, 100, 0.1, 1.0, 5));
+    bench_pattern(c, "fig8h_outer_sparse", &dag, &bo);
+}
+
+criterion_group!(fig8_benches, benches);
+criterion_main!(fig8_benches);

@@ -1,0 +1,30 @@
+//! Criterion benchmarks for Figure 9: `sum(X^2)` over uncompressed (ULA)
+//! and compressed (CLA) representations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusedml_cla::{compress, ops as cops};
+use fusedml_linalg::generate;
+use fusedml_linalg::ops::{self, AggDir, AggOp, UnaryOp};
+
+fn benches(c: &mut Criterion) {
+    let x = generate::airline_like(100_000, 29, 20, 9);
+    let cm = compress(&x);
+    let mut g = c.benchmark_group("fig9_sum_x2_airline_like");
+    g.sample_size(10);
+    g.bench_function("ULA_base_two_ops", |b| {
+        b.iter(|| {
+            let sq = ops::unary(&x, UnaryOp::Pow2);
+            std::hint::black_box(ops::agg(&sq, AggOp::Sum, AggDir::Full))
+        })
+    });
+    g.bench_function("ULA_fused_single_pass", |b| {
+        b.iter(|| std::hint::black_box(ops::agg(&x, AggOp::SumSq, AggDir::Full)))
+    });
+    g.bench_function("CLA_dictionary_only", |b| {
+        b.iter(|| std::hint::black_box(cops::sum_sq(&cm)))
+    });
+    g.finish();
+}
+
+criterion_group!(fig9_benches, benches);
+criterion_main!(fig9_benches);

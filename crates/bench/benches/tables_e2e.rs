@@ -1,0 +1,36 @@
+//! Criterion benchmarks for the end-to-end tables (4 and 5): representative
+//! algorithm runs under Base / Fused / Gen.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusedml_algos::{alscg, l2svm};
+use fusedml_runtime::{Executor, FusionMode};
+
+fn benches(c: &mut Criterion) {
+    // Table 4 representative: L2SVM on 50k x 10 dense.
+    let (x, y) = l2svm::synthetic_data(50_000, 10, 1.0, 11);
+    let mut g = c.benchmark_group("table4_l2svm_50kx10");
+    g.sample_size(10);
+    for mode in [FusionMode::Base, FusionMode::Fused, FusionMode::Gen] {
+        let cfg = l2svm::L2svmConfig { max_iter: 5, ..Default::default() };
+        g.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| std::hint::black_box(l2svm::run(&Executor::new(mode), &x, &y, &cfg)))
+        });
+    }
+    g.finish();
+
+    // Table 5 representative: ALS-CG on sparse 2k x 2k (Fused vs Gen only;
+    // Base would materialize the dense plane).
+    let xa = alscg::synthetic_data(2_000, 2_000, 0.01, 21);
+    let mut g = c.benchmark_group("table5_alscg_2kx2k");
+    g.sample_size(10);
+    for mode in [FusionMode::Fused, FusionMode::Gen] {
+        let cfg = alscg::AlsConfig { rank: 20, max_iter: 1, ..Default::default() };
+        g.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| std::hint::black_box(alscg::run(&Executor::new(mode), &xa, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(table_benches, benches);
+criterion_main!(table_benches);

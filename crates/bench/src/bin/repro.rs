@@ -1,0 +1,43 @@
+//! The reproduction driver: prints the paper-style rows for every table and
+//! figure of the evaluation.
+//!
+//! ```text
+//! cargo run --release -p fusedml-bench --bin repro -- <experiment> [--full]
+//! experiments: fig8 fig9 fig10 fig11 fig12 fig13 table3 table4 table5 table6 all
+//! ```
+
+use fusedml_bench::experiments::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let run = |id: &str| match id {
+        "fig8" => experiments::fig8::run(scale),
+        "fig9" => experiments::fig9::run(scale),
+        "fig10" => experiments::fig10::run(scale),
+        "fig11" => experiments::fig11::run(scale),
+        "fig12" => experiments::fig12::run(),
+        "fig13" => experiments::fig13::run(scale),
+        "table3" => experiments::tables::table3(scale),
+        "table4" => experiments::tables::table4(scale),
+        "table5" => experiments::tables::table5(scale),
+        "table6" => experiments::tables::table6(scale),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("known: fig8 fig9 fig10 fig11 fig12 fig13 table3 table4 table5 table6 all");
+            std::process::exit(2);
+        }
+    };
+    if which == "all" {
+        for id in [
+            "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table3", "table4", "table5",
+            "table6",
+        ] {
+            println!("\n################ {id} ################");
+            run(id);
+        }
+    } else {
+        run(which);
+    }
+}

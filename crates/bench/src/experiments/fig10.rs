@@ -1,0 +1,83 @@
+//! Figure 10: impact of the instruction footprint — `sum(f(X/rowSums(X)))`
+//! with `f` a sequence of `n` row operations `X ⊙ i`, comparing the default
+//! primitive-calling operators (`Gen`) against inlined per-element code
+//! (`Gen inlined`), which falls off a cliff once the code size exceeds the
+//! compiler's budget (DESIGN.md substitution X4).
+
+use super::Scale;
+use crate::report::Table;
+use fusedml_core::codegen::CodegenOptions;
+use fusedml_hop::interp::Bindings;
+use fusedml_hop::DagBuilder;
+use fusedml_linalg::generate;
+use fusedml_runtime::{Executor, FusionMode};
+use std::time::Instant;
+
+fn footprint_dag(rows: usize, cols: usize, n_ops: usize) -> fusedml_hop::HopDag {
+    let mut b = DagBuilder::new();
+    let x = b.read("X", rows, cols, 1.0);
+    let rs = b.row_sums(x);
+    let mut cur = b.div(x, rs);
+    for i in 0..n_ops {
+        let c = b.lit(1.0 + (i as f64) * 1e-3);
+        cur = b.mult(cur, c);
+    }
+    let s = b.sum(cur);
+    b.build(vec![s])
+}
+
+/// Runs the sweep; returns rows of (n_ops, gen_s, inlined_s, code_size).
+pub fn run(scale: Scale) {
+    let (rows, cols) = scale.pick((10_000, 256), (100_000, 1_000));
+    let reps = scale.pick(2, 3);
+    let budget = 8192;
+    let x = generate::rand_dense(rows, cols, 0.5, 2.0, 1);
+    let mut bindings = Bindings::new();
+    bindings.insert("X".to_string(), x);
+    let mut t = Table::new(
+        &format!("Figure 10: sum(f(X/rowSums(X))), X {rows}x{cols}, code budget {budget}"),
+        &["#row ops", "Gen", "Gen inlined", "inlined code size", "mode"],
+    );
+    for n_ops in [1usize, 2, 4, 8, 16, 32, 48, 64, 96, 128] {
+        let dag = footprint_dag(rows, cols, n_ops);
+        let time_with = |opts: CodegenOptions| -> (f64, usize, String) {
+            let mut exec = Executor::new(FusionMode::Gen);
+            exec.optimizer.codegen = opts;
+            let _ = exec.execute(&dag, &bindings); // warm-up/compile
+            let plan = exec.plan_for(&dag);
+            let code = plan.operators.iter().map(|o| o.op.code_size).max().unwrap_or(0);
+            let mode = plan
+                .operators
+                .iter()
+                .filter_map(|o| match &o.op.spec {
+                    fusedml_core::spoof::FusedSpec::Row(r) => Some(format!("{:?}", r.exec_mode)),
+                    _ => None,
+                })
+                .next()
+                .unwrap_or_else(|| "-".into());
+            let mut times: Vec<f64> = (0..reps)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let _ = exec.execute(&dag, &bindings);
+                    t0.elapsed().as_secs_f64()
+                })
+                .collect();
+            times.sort_by(f64::total_cmp);
+            (times[times.len() / 2], code, mode)
+        };
+        let (gen_s, _, _) = time_with(CodegenOptions { code_size_budget: budget, ..Default::default() });
+        let (inl_s, code, mode) = time_with(CodegenOptions {
+            inline_primitives: true,
+            code_size_budget: budget,
+            ..Default::default()
+        });
+        t.row(vec![
+            n_ops.to_string(),
+            Table::secs(gen_s),
+            Table::secs(inl_s),
+            code.to_string(),
+            mode,
+        ]);
+    }
+    t.print();
+}

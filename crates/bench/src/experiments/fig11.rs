@@ -1,0 +1,81 @@
+//! Figure 11: operator compilation and loading — the fast (janino-like)
+//! versus heavyweight (javac-like) compiler backends, with and without the
+//! plan cache (DESIGN.md substitution X1).
+
+use super::Scale;
+use crate::report::Table;
+use fusedml_core::codegen::{CodegenOptions, CompilerBackend};
+use fusedml_core::explore::explore;
+use fusedml_core::opt::{select_plans, CostModel, EnumConfig, SelectionPolicy};
+use fusedml_core::plancache::PlanCache;
+use fusedml_hop::DagBuilder;
+
+/// Builds a family of `n` structurally distinct fused-operator CPlans
+/// (cell chains of varying length/constants), mimicking the operator
+/// diversity of the six algorithms.
+fn cplan_family(n: usize) -> Vec<fusedml_core::cplan::CPlan> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 1000, 1000, 1.0);
+        let y = b.read("Y", 1000, 1000, 1.0);
+        let mut cur = b.mult(x, y);
+        for j in 0..(i % 7) {
+            let c = b.lit(1.0 + (i * 31 + j) as f64);
+            cur = b.add(cur, c);
+        }
+        let s = b.sum(cur);
+        let dag = b.build(vec![s]);
+        let memo = explore(&dag);
+        let sel = select_plans(
+            &dag,
+            &memo,
+            SelectionPolicy::CostBased(EnumConfig::default()),
+            &CostModel::default(),
+        );
+        for op in &sel.operators {
+            if let Ok(cp) = fusedml_core::cplan::construct(&dag, op) {
+                out.push(cp);
+            }
+        }
+    }
+    out
+}
+
+/// Runs the 2×2 comparison: backend × plan cache, over repeated
+/// compilations of the operator family (as dynamic recompilation would).
+pub fn run(scale: Scale) {
+    let family = cplan_family(scale.pick(30, 60));
+    let rounds = scale.pick(20, 50);
+    let mut t = Table::new(
+        &format!(
+            "Figure 11: compilation of {} distinct operators x {} recompilations",
+            family.len(),
+            rounds
+        ),
+        &["config", "compile time", "hits", "misses"],
+    );
+    for (backend, bname) in [(CompilerBackend::Janino, "janino"), (CompilerBackend::Javac, "javac")]
+    {
+        for (cache_on, cname) in [(false, "no cache"), (true, "plan cache")] {
+            let cache = PlanCache::new();
+            cache.set_enabled(cache_on);
+            let opts = CodegenOptions { backend, ..Default::default() };
+            let t0 = std::time::Instant::now();
+            for _ in 0..rounds {
+                for cp in &family {
+                    let _ = cache.get_or_compile(cp, &opts);
+                }
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            let (h, m) = cache.stats();
+            t.row(vec![
+                format!("{bname}, {cname}"),
+                Table::secs(secs),
+                h.to_string(),
+                m.to_string(),
+            ]);
+        }
+    }
+    t.print();
+}

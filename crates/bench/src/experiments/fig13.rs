@@ -1,0 +1,52 @@
+//! Figure 13: hybrid algorithms — MLogreg and KMeans runtime as the number
+//! of classes/centroids k grows (memory-bound → compute-bound transition,
+//! with intermediate sizes n×k growing with k).
+
+use super::Scale;
+use crate::report::Table;
+use crate::{mode_label, MODES};
+use fusedml_algos::{kmeans, mlogreg};
+use fusedml_runtime::Executor;
+
+pub fn run(scale: Scale) {
+    let (n, m) = scale.pick((20_000, 100), (200_000, 100));
+    let ks = [2usize, 4, 8, 16, 32];
+
+    let mut t = Table::new(
+        &format!("Figure 13(a): MLogreg runtime vs #classes (X {n}x{m})"),
+        &["k", "Base", "Fused", "Gen", "Gen-FA", "Gen-FNR"],
+    );
+    for &k in &ks {
+        let (x, y) = mlogreg::synthetic_data(n, m, k, 1.0, 7);
+        let cfg = mlogreg::MLogregConfig {
+            classes: k,
+            max_outer: 2,
+            max_inner: 3,
+            ..Default::default()
+        };
+        let mut row = vec![k.to_string()];
+        for mode in MODES {
+            let r = mlogreg::run(&Executor::new(mode), &x, &y, &cfg);
+            row.push(Table::secs(r.seconds));
+            let _ = mode_label(mode);
+        }
+        t.row(row);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        &format!("Figure 13(b): KMeans runtime vs #centroids (X {n}x{m})"),
+        &["k", "Base", "Fused", "Gen", "Gen-FA", "Gen-FNR"],
+    );
+    for &k in &ks {
+        let x = kmeans::synthetic_data(n, m, 1.0, 8);
+        let cfg = kmeans::KMeansConfig { k, max_iter: 3, ..Default::default() };
+        let mut row = vec![k.to_string()];
+        for mode in MODES {
+            let r = kmeans::run(&Executor::new(mode), &x, &cfg);
+            row.push(Table::secs(r.seconds));
+        }
+        t.row(row);
+    }
+    t.print();
+}

@@ -1,0 +1,201 @@
+//! Figure 8: operations performance of the example patterns
+//! (Cell, MAgg, Row, Outer) over dense and sparse data.
+
+use super::Scale;
+use crate::report::Table;
+use crate::{time_dag, MODES};
+use fusedml_hop::interp::Bindings;
+use fusedml_hop::{DagBuilder, HopDag};
+use fusedml_linalg::{generate, Matrix};
+
+fn bind(pairs: Vec<(&str, Matrix)>) -> Bindings {
+    pairs.into_iter().map(|(n, m)| (n.to_string(), m)).collect()
+}
+
+/// `sum(X ⊙ Y ⊙ Z)` — Fig. 8(a)/(b).
+pub fn cell_dag(rows: usize, cols: usize, sp: f64) -> (HopDag, Vec<&'static str>) {
+    let mut b = DagBuilder::new();
+    let x = b.read("X", rows, cols, sp);
+    let y = b.read("Y", rows, cols, sp);
+    let z = b.read("Z", rows, cols, sp);
+    let m1 = b.mult(x, y);
+    let m2 = b.mult(m1, z);
+    let s = b.sum(m2);
+    (b.build(vec![s]), vec!["X", "Y", "Z"])
+}
+
+/// `sum(X ⊙ Y), sum(X ⊙ Z)` — Fig. 8(c)/(d).
+pub fn magg_dag(rows: usize, cols: usize, sp: f64) -> (HopDag, Vec<&'static str>) {
+    let mut b = DagBuilder::new();
+    let x = b.read("X", rows, cols, sp);
+    let y = b.read("Y", rows, cols, sp);
+    let z = b.read("Z", rows, cols, sp);
+    let a = b.mult(x, y);
+    let c = b.mult(x, z);
+    let s1 = b.sum(a);
+    let s2 = b.sum(c);
+    (b.build(vec![s1, s2]), vec!["X", "Y", "Z"])
+}
+
+/// `t(X) %*% (X %*% v)` — Fig. 8(e)/(f); `V` with k columns for Fig. 8(g).
+pub fn row_dag(rows: usize, cols: usize, k: usize, sp: f64) -> (HopDag, Vec<&'static str>) {
+    let mut b = DagBuilder::new();
+    let x = b.read("X", rows, cols, sp);
+    let v = b.read("v", cols, k, 1.0);
+    let xv = b.mm(x, v);
+    let xt = b.t(x);
+    let out = b.mm(xt, xv);
+    (b.build(vec![out]), vec!["X", "v"])
+}
+
+/// `sum(X ⊙ log(U V^T + 1e-15))` — Fig. 8(h).
+pub fn outer_dag(n: usize, m: usize, rank: usize, sp: f64) -> (HopDag, Vec<&'static str>) {
+    let mut b = DagBuilder::new();
+    let x = b.read("X", n, m, sp);
+    let u = b.read("U", n, rank, 1.0);
+    let v = b.read("V", m, rank, 1.0);
+    let vt = b.t(v);
+    let uvt = b.mm(u, vt);
+    let eps = b.lit(1e-15);
+    let plus = b.add(uvt, eps);
+    let lg = b.log(plus);
+    let prod = b.mult(x, lg);
+    let s = b.sum(prod);
+    (b.build(vec![s]), vec!["X", "U", "V"])
+}
+
+fn sweep(
+    caption: &str,
+    sizes: &[usize],
+    cols: usize,
+    sp: f64,
+    build: impl Fn(usize, usize, f64) -> (HopDag, Vec<&'static str>),
+    data: impl Fn(usize, usize, f64, u64) -> Matrix,
+    reps: usize,
+) {
+    let mut t = Table::new(caption, &["cells/input", "Base", "Fused", "Gen", "Gen-FA", "Gen-FNR"]);
+    for &rows in sizes {
+        let (dag, names) = build(rows, cols, sp);
+        let bindings = bind(
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| {
+                    if n == "v" {
+                        (n, generate::rand_dense(cols, dag_v_cols(&dag), -1.0, 1.0, 99))
+                    } else {
+                        (n, data(rows, cols, sp, 42 + i as u64))
+                    }
+                })
+                .collect(),
+        );
+        let mut row = vec![format!("{}", rows * cols)];
+        for m in MODES {
+            row.push(Table::secs(time_dag(m, &dag, &bindings, reps)));
+        }
+        t.row(row);
+    }
+    t.print();
+}
+
+/// Extracts the v-matrix column count from the row DAG (helper).
+fn dag_v_cols(dag: &HopDag) -> usize {
+    dag.iter()
+        .find_map(|h| match &h.kind {
+            fusedml_hop::OpKind::Read { name } if name == "v" => Some(h.size.cols),
+            _ => None,
+        })
+        .unwrap_or(1)
+}
+
+/// Runs all Figure 8 panels.
+pub fn run(scale: Scale) {
+    let reps = scale.pick(3, 5);
+    let sizes: Vec<usize> = scale.pick(vec![100, 1_000, 10_000], vec![1_000, 10_000, 100_000]);
+    let cols = 1_000;
+
+    sweep(
+        "Figure 8(a): sum(X⊙Y⊙Z), dense",
+        &sizes,
+        cols,
+        1.0,
+        |r, c, s| cell_dag(r, c, s),
+        |r, c, _s, seed| generate::rand_dense(r, c, -1.0, 1.0, seed),
+        reps,
+    );
+    sweep(
+        "Figure 8(b): sum(X⊙Y⊙Z), sparse (0.1)",
+        &sizes,
+        cols,
+        0.1,
+        |r, c, s| cell_dag(r, c, s),
+        |r, c, s, seed| generate::rand_matrix(r, c, -1.0, 1.0, s, seed),
+        reps,
+    );
+    sweep(
+        "Figure 8(c): sum(X⊙Y), sum(X⊙Z), dense (multi-aggregate)",
+        &sizes,
+        cols,
+        1.0,
+        |r, c, s| magg_dag(r, c, s),
+        |r, c, _s, seed| generate::rand_dense(r, c, -1.0, 1.0, seed),
+        reps,
+    );
+    sweep(
+        "Figure 8(d): sum(X⊙Y), sum(X⊙Z), sparse (0.1)",
+        &sizes,
+        cols,
+        0.1,
+        |r, c, s| magg_dag(r, c, s),
+        |r, c, s, seed| generate::rand_matrix(r, c, -1.0, 1.0, s, seed),
+        reps,
+    );
+    sweep(
+        "Figure 8(e): X^T(Xv), dense",
+        &sizes,
+        cols,
+        1.0,
+        |r, c, s| row_dag(r, c, 1, s),
+        |r, c, _s, seed| generate::rand_dense(r, c, -1.0, 1.0, seed),
+        reps,
+    );
+    sweep(
+        "Figure 8(f): X^T(Xv), sparse (0.1)",
+        &sizes,
+        cols,
+        0.1,
+        |r, c, s| row_dag(r, c, 1, s),
+        |r, c, s, seed| generate::rand_matrix(r, c, -1.0, 1.0, s, seed),
+        reps,
+    );
+    sweep(
+        "Figure 8(g): X^T(XV), dense, ncol(V)=2",
+        &sizes,
+        cols,
+        1.0,
+        |r, c, s| row_dag(r, c, 2, s),
+        |r, c, _s, seed| generate::rand_dense(r, c, -1.0, 1.0, seed),
+        reps,
+    );
+
+    // Fig. 8(h): sparsity sweep with fixed geometry.
+    let (n, m) = scale.pick((2_000, 2_000), (20_000, 2_000));
+    let mut t = Table::new(
+        "Figure 8(h): sum(X⊙log(UV^T+1e-15)), rank 100, sparsity sweep",
+        &["sparsity", "Base", "Fused", "Gen", "Gen-FA", "Gen-FNR"],
+    );
+    for sp in [1.0, 0.1, 0.01, 0.001, 0.0001] {
+        let (dag, _) = outer_dag(n, m, 100, sp);
+        let bindings = bind(vec![
+            ("X", generate::rand_matrix(n, m, 1.0, 5.0, sp, 1)),
+            ("U", generate::rand_dense(n, 100, 0.1, 1.0, 2)),
+            ("V", generate::rand_dense(m, 100, 0.1, 1.0, 3)),
+        ]);
+        let mut row = vec![format!("{sp}")];
+        for md in MODES {
+            row.push(Table::secs(time_dag(md, &dag, &bindings, reps)));
+        }
+        t.row(row);
+    }
+    t.print();
+}

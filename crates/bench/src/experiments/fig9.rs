@@ -1,0 +1,108 @@
+//! Figure 9: compressed operations `sum(X^2)` over ULA (uncompressed) and
+//! CLA (compressed) data, for Airline78-like and Mnist8m-like inputs
+//! (DESIGN.md substitution X3).
+
+use super::Scale;
+use crate::report::Table;
+use crate::time_once;
+use fusedml_cla::{compress, ops as cops};
+use fusedml_core::spoof::{eval_scalar_program, Instr, Program};
+use fusedml_linalg::ops::{self, AggDir, AggOp, UnaryOp};
+use fusedml_linalg::{generate, Matrix};
+
+/// `Gen` over CLA: the generated sparse-safe single-input operator runs
+/// per *distinct dictionary value*, scaled by counts (paper §5.2: the
+/// skeleton calls "the generated operator only for distinct values").
+fn gen_over_cla(cm: &fusedml_cla::CompressedMatrix) -> f64 {
+    // Generated program: f(a) = a * a.
+    let prog = Program {
+        instrs: vec![
+            Instr::LoadMain { out: 0 },
+            Instr::Binary { out: 1, op: fusedml_linalg::ops::BinaryOp::Mult, a: 0, b: 0 },
+        ],
+        n_regs: 2,
+        vreg_lens: vec![],
+    };
+    let mut regs = vec![0.0f64; 2];
+    let side = |_: usize, _: fusedml_core::spoof::SideAccess| 0.0;
+    let mut acc = 0.0;
+    for vc in cm.group_value_counts() {
+        for (v, n) in vc {
+            eval_scalar_program(&prog, &mut regs, v, 0.0, &side, &[]);
+            acc += regs[1] * n as f64;
+        }
+    }
+    acc
+}
+
+fn run_dataset(name: &str, x: &Matrix, reps: usize) {
+    let (cm, comp_secs) = time_once(|| compress(x));
+    println!(
+        "\n[{name}] {}x{}, sparsity {:.4}, CLA ratio {:.2}x (compress {:.2}s)",
+        x.rows(),
+        x.cols(),
+        x.sparsity(),
+        cm.compression_ratio(),
+        comp_secs
+    );
+    let mut t = Table::new(
+        &format!("Figure 9: sum(X^2) on {name}"),
+        &["storage", "Base", "Fused/Gen", "value"],
+    );
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    // ULA Base: materialize X^2, then sum (two operators).
+    let ula_base = median(
+        (0..reps)
+            .map(|_| {
+                time_once(|| {
+                    let sq = ops::unary(x, UnaryOp::Pow2);
+                    ops::agg(&sq, AggOp::Sum, AggDir::Full).get(0, 0)
+                })
+                .1
+            })
+            .collect(),
+    );
+    // ULA Fused/Gen: single-pass sum of squares.
+    let (vref, _) = time_once(|| ops::agg(x, AggOp::SumSq, AggDir::Full).get(0, 0));
+    let ula_gen = median(
+        (0..reps)
+            .map(|_| time_once(|| ops::agg(x, AggOp::SumSq, AggDir::Full).get(0, 0)).1)
+            .collect(),
+    );
+    t.row(vec![
+        "ULA".into(),
+        Table::secs(ula_base),
+        Table::secs(ula_gen),
+        format!("{vref:.3e}"),
+    ]);
+    // CLA Base/Fused: dictionary-only sum of squares.
+    let cla_fused = median((0..reps).map(|_| time_once(|| cops::sum_sq(&cm)).1).collect());
+    // CLA Gen: generated operator over distinct values.
+    let (vgen, _) = time_once(|| gen_over_cla(&cm));
+    let cla_gen = median((0..reps).map(|_| time_once(|| gen_over_cla(&cm)).1).collect());
+    assert!(
+        fusedml_linalg::approx_eq(vgen, vref, 1e-6),
+        "CLA Gen result must match: {vgen} vs {vref}"
+    );
+    t.row(vec![
+        "CLA".into(),
+        Table::secs(cla_fused),
+        Table::secs(cla_gen),
+        format!("{vgen:.3e}"),
+    ]);
+    t.print();
+}
+
+/// Runs Figure 9 on both dataset substitutes.
+pub fn run(scale: Scale) {
+    let reps = scale.pick(3, 5);
+    let (ar, ac) = scale.pick((50_000, 29), (500_000, 29));
+    let airline = generate::airline_like(ar, ac, 20, 9);
+    run_dataset("Airline78-like (dense, low-cardinality)", &airline, reps);
+    let (mr, mc) = scale.pick((20_000, 784), (100_000, 784));
+    let mnist = generate::mnist_like(mr, mc, 0.25, 10);
+    run_dataset("Mnist8m-like (sparse 0.25)", &mnist, reps);
+}

@@ -1,0 +1,26 @@
+//! One module per paper experiment (figures 8–13, tables 3–6).
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig8;
+pub mod fig9;
+pub mod tables;
+
+/// Scale preset: `quick` sizes run in seconds; `full` sizes stress the
+/// series further (minutes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+impl Scale {
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

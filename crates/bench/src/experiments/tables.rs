@@ -1,0 +1,280 @@
+//! Tables 3–6: compilation overhead, data-intensive, compute-intensive, and
+//! distributed end-to-end experiments.
+
+use super::Scale;
+use crate::report::Table;
+use crate::MODES;
+use fusedml_algos::{alscg, autoencoder, glm, kmeans, l2svm, mlogreg};
+use fusedml_hop::interp::Bindings;
+use fusedml_linalg::{generate, Matrix};
+use fusedml_runtime::dist::{execute_dist, SimCluster};
+use fusedml_runtime::{Executor, FusionMode};
+
+/// Table 3: end-to-end compilation overhead per algorithm (Mnist60k-like
+/// input; plan caching across iterations disabled to expose per-DAG
+/// optimization, as SystemML's dynamic recompilation does).
+pub fn table3(scale: Scale) {
+    let (n, m) = scale.pick((10_000, 784), (60_000, 784));
+    let mut t = Table::new(
+        &format!("Table 3: compilation overhead (Mnist60k-like {n}x{m}, Gen)"),
+        &["algorithm", "total [s]", "#DAGs/#CPlans/#compiled", "codegen [ms]", "opt [ms]"],
+    );
+    let mut run_algo = |name: &str, f: &mut dyn FnMut(&Executor) -> f64| {
+        let mut exec = Executor::new(FusionMode::Gen);
+        exec.cache_plans = false; // re-optimize per iteration (recompilation)
+        let secs = f(&exec);
+        let s = exec.optimizer.stats.snapshot();
+        t.row(vec![
+            name.to_string(),
+            Table::secs(secs),
+            format!("{}/{}/{}", s.dags_optimized, s.cplans_constructed, s.operators_compiled),
+            format!("{:.1}", s.codegen_seconds * 1000.0),
+            format!("{:.1}", s.optimize_seconds * 1000.0),
+        ]);
+    };
+    let (x, y) = l2svm::synthetic_data(n, 100, 0.25, 1);
+    run_algo("L2SVM", &mut |e| l2svm::run(e, &x, &y, &l2svm::L2svmConfig { max_iter: 5, ..Default::default() }).seconds);
+    let (xm, ym) = mlogreg::synthetic_data(n, 100, 3, 0.25, 2);
+    run_algo("MLogreg", &mut |e| {
+        mlogreg::run(e, &xm, &ym, &mlogreg::MLogregConfig { classes: 3, max_outer: 3, max_inner: 3, ..Default::default() }).seconds
+    });
+    let (xg, yg) = glm::synthetic_data(n, 100, 0.25, 3);
+    run_algo("GLM", &mut |e| {
+        glm::run(e, &xg, &yg, &glm::GlmConfig { max_outer: 3, max_inner: 3, ..Default::default() }).seconds
+    });
+    let xk = kmeans::synthetic_data(n, 100, 1.0, 4);
+    run_algo("KMeans", &mut |e| {
+        kmeans::run(e, &xk, &kmeans::KMeansConfig { k: 5, max_iter: 5, ..Default::default() }).seconds
+    });
+    let xa = alscg::synthetic_data(2000, 1500, 0.01, 5);
+    run_algo("ALS-CG", &mut |e| {
+        alscg::run(e, &xa, &alscg::AlsConfig { rank: 10, max_iter: 5, ..Default::default() }).seconds
+    });
+    let xe = autoencoder::synthetic_data(2048, 100, 6);
+    run_algo("AutoEncoder", &mut |e| {
+        autoencoder::run(e, &xe, &autoencoder::AeConfig { epochs: 2, ..Default::default() }).seconds
+    });
+    t.print();
+}
+
+/// Table 4: data-intensive algorithms end-to-end across modes.
+pub fn table4(scale: Scale) {
+    let sizes: Vec<(usize, usize)> = scale.pick(vec![(50_000, 10), (200_000, 10)], vec![(1_000_000, 10), (10_000_000, 10)]);
+    let mut t = Table::new(
+        "Table 4: data-intensive algorithms [s]",
+        &["algorithm", "data", "Base", "Fused", "Gen", "Gen-FA", "Gen-FNR"],
+    );
+    for &(n, m) in &sizes {
+        let data_label = format!("{n}x{m}");
+        let (x, y) = l2svm::synthetic_data(n, m, 1.0, 11);
+        let mut row = vec!["L2SVM".to_string(), data_label.clone()];
+        for mode in MODES {
+            let r = l2svm::run(&Executor::new(mode), &x, &y, &l2svm::L2svmConfig { max_iter: 10, ..Default::default() });
+            row.push(Table::secs(r.seconds));
+        }
+        t.row(row);
+        let (xm, ym) = mlogreg::synthetic_data(n, m, 2, 1.0, 12);
+        let mut row = vec!["MLogreg".to_string(), data_label.clone()];
+        for mode in MODES {
+            let r = mlogreg::run(
+                &Executor::new(mode),
+                &xm,
+                &ym,
+                &mlogreg::MLogregConfig { classes: 2, max_outer: 3, max_inner: 3, ..Default::default() },
+            );
+            row.push(Table::secs(r.seconds));
+        }
+        t.row(row);
+        let (xg, yg) = glm::synthetic_data(n, m, 1.0, 13);
+        let mut row = vec!["GLM".to_string(), data_label.clone()];
+        for mode in MODES {
+            let r = glm::run(
+                &Executor::new(mode),
+                &xg,
+                &yg,
+                &glm::GlmConfig { max_outer: 3, max_inner: 3, ..Default::default() },
+            );
+            row.push(Table::secs(r.seconds));
+        }
+        t.row(row);
+        let xk = kmeans::synthetic_data(n, m, 1.0, 14);
+        let mut row = vec!["KMeans".to_string(), data_label.clone()];
+        for mode in MODES {
+            let r = kmeans::run(&Executor::new(mode), &xk, &kmeans::KMeansConfig { k: 5, max_iter: 5, ..Default::default() });
+            row.push(Table::secs(r.seconds));
+        }
+        t.row(row);
+    }
+    // Real-dataset substitutes.
+    let (ar, ac) = scale.pick((50_000, 29), (500_000, 29));
+    let airline = generate::airline_like(ar, ac, 20, 15);
+    let (_, ya) = l2svm::synthetic_data(ar, ac, 1.0, 16);
+    let mut row = vec!["L2SVM".to_string(), "Airline78-like".to_string()];
+    for mode in MODES {
+        let r = l2svm::run(&Executor::new(mode), &airline, &ya, &l2svm::L2svmConfig { max_iter: 10, ..Default::default() });
+        row.push(Table::secs(r.seconds));
+    }
+    t.row(row);
+    let (mr, mc) = scale.pick((10_000, 784), (100_000, 784));
+    let mnist = generate::mnist_like(mr, mc, 0.25, 17);
+    let (_, ymn) = l2svm::synthetic_data(mr, mc, 1.0, 18);
+    let mut row = vec!["L2SVM".to_string(), "Mnist8m-like".to_string()];
+    for mode in MODES {
+        let r = l2svm::run(&Executor::new(mode), &mnist, &ymn, &l2svm::L2svmConfig { max_iter: 10, ..Default::default() });
+        row.push(Table::secs(r.seconds));
+    }
+    t.row(row);
+    t.print();
+}
+
+/// Table 5: compute-intensive algorithms (ALS-CG with the dense-plane OOM
+/// guard producing the paper's `N/A` entries, AutoEncoder).
+pub fn table5(scale: Scale) {
+    let mut t = Table::new(
+        "Table 5: compute-intensive algorithms [s]",
+        &["algorithm", "data", "Base", "Fused", "Gen", "Gen-FA", "Gen-FNR"],
+    );
+    // The guard: modes without sparsity exploitation materialize the dense
+    // n×m plane; refuse when it exceeds the budget (Table 5's N/A).
+    let guard_bytes = scale.pick(0.4e9, 2.0e9);
+    let als_sizes: Vec<(usize, usize)> = scale.pick(vec![(2_000, 2_000), (8_000, 8_000)], vec![(10_000, 10_000), (40_000, 40_000)]);
+    for &(n, m) in &als_sizes {
+        let x = alscg::synthetic_data(n, m, 0.01, 21);
+        let mut row = vec!["ALS-CG".to_string(), format!("{n}x{m} (0.01)")];
+        for mode in MODES {
+            let materializes_plane =
+                matches!(mode, FusionMode::Base | FusionMode::GenFA | FusionMode::GenFNR);
+            if materializes_plane && alscg::dense_plane_bytes(n, m) > guard_bytes {
+                row.push("N/A".to_string());
+                continue;
+            }
+            let r = alscg::run(&Executor::new(mode), &x, &alscg::AlsConfig { rank: 20, max_iter: 2, ..Default::default() });
+            row.push(Table::secs(r.seconds));
+        }
+        t.row(row);
+    }
+    // Netflix-like / Amazon-like substitutes.
+    let (nr, nc, nsp) = scale.pick((20_000, 2_000, 0.012), (480_000 / 4, 17_770 / 4, 0.012));
+    let netflix = generate::ratings_like(nr, nc, nsp, 1.5, 22);
+    let mut row = vec!["ALS-CG".to_string(), "Netflix-like".to_string()];
+    for mode in MODES {
+        let materializes_plane =
+            matches!(mode, FusionMode::Base | FusionMode::GenFA | FusionMode::GenFNR);
+        if materializes_plane && alscg::dense_plane_bytes(nr, nc) > guard_bytes {
+            row.push("N/A".to_string());
+            continue;
+        }
+        let r = alscg::run(&Executor::new(mode), &netflix, &alscg::AlsConfig { rank: 20, max_iter: 2, ..Default::default() });
+        row.push(Table::secs(r.seconds));
+    }
+    t.row(row);
+    // AutoEncoder (dense).
+    let sizes: Vec<(usize, usize)> = scale.pick(vec![(4_096, 100)], vec![(100_000, 784)]);
+    for &(n, m) in &sizes {
+        let x = autoencoder::synthetic_data(n, m, 23);
+        let mut row = vec!["AutoEncoder".to_string(), format!("{n}x{m}")];
+        for mode in MODES {
+            let r = autoencoder::run(&Executor::new(mode), &x, &autoencoder::AeConfig { epochs: 1, ..Default::default() });
+            row.push(Table::secs(r.seconds));
+        }
+        t.row(row);
+    }
+    t.print();
+}
+
+/// Table 6: distributed algorithms on the simulated cluster — per-iteration
+/// DAGs executed with broadcast/shuffle accounting (substitution X2).
+pub fn table6(scale: Scale) {
+    let (n, m) = scale.pick((200_000, 100), (2_000_000, 100));
+    let iters = 5usize;
+    // Budget below X's size so X-ops run distributed.
+    let x_bytes = 8.0 * n as f64 * m as f64;
+    let cluster = SimCluster { local_budget: x_bytes / 4.0, ..SimCluster::default() };
+    let mut t = Table::new(
+        &format!(
+            "Table 6: simulated distributed runtime [s] (D-like {n}x{m}, {iters} iterations, 6 executors)"
+        ),
+        &["algorithm", "Base", "Fused", "Gen", "Gen-FA", "Gen-FNR", "Gen broadcasts"],
+    );
+    let run_iters = |mode: FusionMode, dag: &fusedml_hop::HopDag, bindings: &Bindings| {
+        let exec = Executor::new(mode);
+        let (_, first) = execute_dist(&exec, dag, bindings, &cluster);
+        let mut total = 0.0;
+        let mut bc = first.broadcasts * 0;
+        for _ in 0..iters {
+            let (_, rep) = execute_dist(&exec, dag, bindings, &cluster);
+            total += rep.sim_seconds;
+            bc = rep.broadcasts;
+        }
+        (total, bc)
+    };
+    // L2SVM gradient iteration.
+    let (x, y) = l2svm::synthetic_data(n, m, 1.0, 31);
+    let dag = {
+        let mut b = fusedml_hop::DagBuilder::new();
+        let xx = b.read("X", n, m, 1.0);
+        let yy = b.read("y", n, 1, 1.0);
+        let ww = b.read("w", m, 1, 1.0);
+        let xw = b.mm(xx, ww);
+        let yxw = b.mult(yy, xw);
+        let one = b.lit(1.0);
+        let out = b.sub(one, yxw);
+        let zero = b.lit(0.0);
+        let ind = b.gt(out, zero);
+        let mask = b.mult(ind, out);
+        let d = b.mult(yy, mask);
+        let xt = b.t(xx);
+        let g = b.mm(xt, d);
+        b.build(vec![g])
+    };
+    let mut bindings = Bindings::new();
+    bindings.insert("X".into(), x);
+    bindings.insert("y".into(), y);
+    bindings.insert("w".into(), Matrix::zeros(m, 1));
+    push_dist_row(&mut t, "L2SVM", &dag, &bindings, &run_iters);
+
+    // KMeans distance iteration.
+    let xk = kmeans::synthetic_data(n, m, 1.0, 32);
+    let dag = {
+        let k = 5;
+        let mut b = fusedml_hop::DagBuilder::new();
+        let xx = b.read("X", n, m, 1.0);
+        let c = b.read("C", k, m, 1.0);
+        let ct = b.t(c);
+        let xc = b.mm(xx, ct);
+        let neg2 = b.lit(-2.0);
+        let xc2 = b.mult(xc, neg2);
+        let csq = b.sq(c);
+        let cn = b.agg(fusedml_linalg::ops::AggOp::Sum, fusedml_linalg::ops::AggDir::Row, csq);
+        let cnt = b.t(cn);
+        let d = b.add(xc2, cnt);
+        let dmin = b.agg(fusedml_linalg::ops::AggOp::Min, fusedml_linalg::ops::AggDir::Row, d);
+        let wcss = b.sum(dmin);
+        b.build(vec![wcss])
+    };
+    let mut bindings = Bindings::new();
+    bindings.insert("X".into(), xk);
+    bindings.insert("C".into(), generate::rand_dense(5, m, 0.0, 1.0, 33));
+    push_dist_row(&mut t, "KMeans", &dag, &bindings, &run_iters);
+    t.print();
+}
+
+fn push_dist_row(
+    t: &mut Table,
+    name: &str,
+    dag: &fusedml_hop::HopDag,
+    bindings: &Bindings,
+    run_iters: &dyn Fn(FusionMode, &fusedml_hop::HopDag, &Bindings) -> (f64, usize),
+) {
+    let mut row = vec![name.to_string()];
+    let mut gen_bc = 0usize;
+    for mode in MODES {
+        let (secs, bc) = run_iters(mode, dag, bindings);
+        if mode == FusionMode::Gen {
+            gen_bc = bc;
+        }
+        row.push(Table::secs(secs));
+    }
+    row.push(gen_bc.to_string());
+    t.row(row);
+}

@@ -1,0 +1,63 @@
+//! # fusedml-bench
+//!
+//! The benchmark harness reproducing every table and figure of the paper's
+//! evaluation (§5). Each experiment is a library function printing the
+//! paper-style rows; the `repro` binary dispatches by experiment id
+//! (`fig8`…`fig13`, `table3`…`table6`), and the Criterion benches sample
+//! representative points of the same workloads.
+//!
+//! Data sizes are scaled down from the paper by a documented factor (the
+//! harness runs on one machine); the reproduction target is the *shape* of
+//! each series — who wins, by roughly what factor, where crossovers fall.
+//! See EXPERIMENTS.md for paper-vs-measured notes.
+
+pub mod experiments;
+pub mod report;
+
+use fusedml_hop::interp::Bindings;
+use fusedml_hop::HopDag;
+use fusedml_runtime::{Executor, FusionMode};
+use std::time::Instant;
+
+/// All execution modes of the evaluation, in table order.
+pub const MODES: [FusionMode; 5] = [
+    FusionMode::Base,
+    FusionMode::Fused,
+    FusionMode::Gen,
+    FusionMode::GenFA,
+    FusionMode::GenFNR,
+];
+
+/// Median wall-clock seconds of `reps` executions of a DAG under a mode
+/// (one warm-up execution compiles the operators into the plan cache).
+pub fn time_dag(mode: FusionMode, dag: &HopDag, bindings: &Bindings, reps: usize) -> f64 {
+    let exec = Executor::new(mode);
+    let _ = exec.execute(dag, bindings); // warm-up + compile
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = exec.execute(dag, bindings);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Times a closure once.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64())
+}
+
+/// Short mode labels used in the printed tables.
+pub fn mode_label(m: FusionMode) -> &'static str {
+    match m {
+        FusionMode::Base => "Base",
+        FusionMode::Fused => "Fused",
+        FusionMode::Gen => "Gen",
+        FusionMode::GenFA => "Gen-FA",
+        FusionMode::GenFNR => "Gen-FNR",
+    }
+}

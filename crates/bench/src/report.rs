@@ -1,0 +1,82 @@
+//! Table rendering for the reproduction binaries.
+
+/// A printed table with a caption, header, and float-formatted rows.
+pub struct Table {
+    caption: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(caption: &str, header: &[&str]) -> Self {
+        Table {
+            caption: caption.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Formats seconds with adaptive precision.
+    pub fn secs(v: f64) -> String {
+        if !v.is_finite() {
+            "N/A".to_string()
+        } else if v >= 100.0 {
+            format!("{v:.0}")
+        } else if v >= 1.0 {
+            format!("{v:.2}")
+        } else {
+            format!("{:.2}ms", v * 1000.0)
+        }
+    }
+
+    pub fn print(&self) {
+        println!("\n== {} ==", self.caption);
+        let widths: Vec<usize> = self
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(4)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.header));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for r in &self.rows {
+            println!("{}", fmt_row(r));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_and_prints() {
+        let mut t = Table::new("test", &["a", "b"]);
+        t.row(vec!["x".into(), Table::secs(0.0123)]);
+        t.row(vec!["y".into(), Table::secs(f64::INFINITY)]);
+        assert_eq!(Table::secs(0.0123), "12.30ms");
+        assert_eq!(Table::secs(123.4), "123");
+        assert_eq!(Table::secs(f64::INFINITY), "N/A");
+        t.print();
+    }
+}

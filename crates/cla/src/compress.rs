@@ -1,0 +1,293 @@
+//! The compression planner: chooses per-column (or co-coded) encodings by
+//! estimated compressed size, mirroring the CLA paper's sample-based plan.
+
+use crate::cocode;
+use crate::groups::{ColumnGroup, Encoding};
+use crate::CompressedMatrix;
+use fusedml_linalg::Matrix;
+use std::collections::HashMap;
+
+/// Per-column analysis gathered during planning.
+#[derive(Clone, Debug)]
+pub struct ColumnAnalysis {
+    /// Column index.
+    pub col: usize,
+    /// Number of distinct non-zero values.
+    pub num_distinct: usize,
+    /// Number of zero cells.
+    pub num_zeros: usize,
+    /// Average run length of equal consecutive values.
+    pub avg_run_len: f64,
+}
+
+/// The chosen encoding per produced group.
+#[derive(Clone, Debug)]
+pub struct CompressionPlan {
+    /// `(columns, encoding)` per group, in output order.
+    pub groups: Vec<(Vec<usize>, Encoding)>,
+}
+
+/// Compression statistics for reporting (Figure 9 harness).
+#[derive(Clone, Debug)]
+pub struct CompressionStats {
+    pub compressed_bytes: usize,
+    pub uncompressed_bytes: usize,
+    pub ratio: f64,
+    pub groups: Vec<(Vec<usize>, Encoding)>,
+}
+
+/// Analyzes a single column.
+fn analyze_column(m: &Matrix, col: usize) -> ColumnAnalysis {
+    let rows = m.rows();
+    let mut distinct: HashMap<u64, usize> = HashMap::new();
+    let mut zeros = 0usize;
+    let mut runs = 0usize;
+    let mut prev = f64::NAN;
+    for r in 0..rows {
+        let v = m.get(r, col);
+        if v == 0.0 {
+            zeros += 1;
+        } else {
+            *distinct.entry(v.to_bits()).or_insert(0) += 1;
+        }
+        if v != prev {
+            runs += 1;
+        }
+        prev = v;
+    }
+    ColumnAnalysis {
+        col,
+        num_distinct: distinct.len(),
+        num_zeros: zeros,
+        avg_run_len: rows as f64 / runs.max(1) as f64,
+    }
+}
+
+/// Estimated bytes for a candidate encoding of one column.
+fn estimate_bytes(rows: usize, a: &ColumnAnalysis, enc: Encoding) -> usize {
+    let nnz = rows - a.num_zeros;
+    match enc {
+        Encoding::Ddc => {
+            // DDC stores zeros in the dictionary too (codes cover all rows).
+            let ndist = a.num_distinct + usize::from(a.num_zeros > 0);
+            let code_bytes = if ndist <= 256 { 1 } else { 4 };
+            8 * ndist + code_bytes * rows
+        }
+        Encoding::Rle => {
+            let est_runs = (rows as f64 / a.avg_run_len).ceil() as usize;
+            8 * a.num_distinct + 8 * est_runs
+        }
+        Encoding::Ole => 8 * a.num_distinct + 4 * nnz,
+        Encoding::Uncompressed => 8 * rows,
+    }
+}
+
+/// Chooses the cheapest encoding for a column.
+fn choose_encoding(rows: usize, a: &ColumnAnalysis) -> Encoding {
+    let mut best = Encoding::Uncompressed;
+    let mut best_sz = estimate_bytes(rows, a, Encoding::Uncompressed);
+    for enc in [Encoding::Ddc, Encoding::Rle, Encoding::Ole] {
+        // Columns with near-unique values do not compress; skip them early.
+        if a.num_distinct * 2 > rows {
+            continue;
+        }
+        let sz = estimate_bytes(rows, a, enc);
+        if sz < best_sz {
+            best = enc;
+            best_sz = sz;
+        }
+    }
+    best
+}
+
+/// Builds a concrete group for the chosen columns and encoding.
+fn build_group(m: &Matrix, cols: &[usize], enc: Encoding) -> ColumnGroup {
+    let rows = m.rows();
+    match enc {
+        Encoding::Uncompressed => {
+            let mut data = Vec::with_capacity(rows * cols.len());
+            for &c in cols {
+                for r in 0..rows {
+                    data.push(m.get(r, c));
+                }
+            }
+            ColumnGroup::uncompressed(cols.to_vec(), data)
+        }
+        Encoding::Ddc => {
+            let w = cols.len();
+            let mut dict: Vec<f64> = Vec::new();
+            let mut index: HashMap<Vec<u64>, u32> = HashMap::new();
+            let mut codes = Vec::with_capacity(rows);
+            let mut tuple = vec![0f64; w];
+            for r in 0..rows {
+                for (j, &c) in cols.iter().enumerate() {
+                    tuple[j] = m.get(r, c);
+                }
+                let key: Vec<u64> = tuple.iter().map(|v| v.to_bits()).collect();
+                let code = *index.entry(key).or_insert_with(|| {
+                    let t = (dict.len() / w) as u32;
+                    dict.extend_from_slice(&tuple);
+                    t
+                });
+                codes.push(code);
+            }
+            ColumnGroup::Ddc { cols: cols.to_vec(), dict, codes }
+        }
+        Encoding::Rle => {
+            let w = cols.len();
+            let mut dict: Vec<f64> = Vec::new();
+            let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
+            let mut runs: Vec<Vec<(u32, u32)>> = Vec::new();
+            let mut r = 0usize;
+            let mut tuple = vec![0f64; w];
+            while r < rows {
+                for (j, &c) in cols.iter().enumerate() {
+                    tuple[j] = m.get(r, c);
+                }
+                let mut end = r + 1;
+                while end < rows && cols.iter().enumerate().all(|(j, &c)| m.get(end, c) == tuple[j])
+                {
+                    end += 1;
+                }
+                if tuple.iter().any(|&v| v != 0.0) {
+                    let key: Vec<u64> = tuple.iter().map(|v| v.to_bits()).collect();
+                    let t = *index.entry(key).or_insert_with(|| {
+                        dict.extend_from_slice(&tuple);
+                        runs.push(Vec::new());
+                        runs.len() - 1
+                    });
+                    runs[t].push((r as u32, (end - r) as u32));
+                }
+                r = end;
+            }
+            ColumnGroup::Rle { cols: cols.to_vec(), dict, runs, rows }
+        }
+        Encoding::Ole => {
+            let w = cols.len();
+            let mut dict: Vec<f64> = Vec::new();
+            let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
+            let mut offsets: Vec<Vec<u32>> = Vec::new();
+            let mut tuple = vec![0f64; w];
+            for r in 0..rows {
+                for (j, &c) in cols.iter().enumerate() {
+                    tuple[j] = m.get(r, c);
+                }
+                if tuple.iter().all(|&v| v == 0.0) {
+                    continue;
+                }
+                let key: Vec<u64> = tuple.iter().map(|v| v.to_bits()).collect();
+                let t = *index.entry(key).or_insert_with(|| {
+                    dict.extend_from_slice(&tuple);
+                    offsets.push(Vec::new());
+                    offsets.len() - 1
+                });
+                offsets[t].push(r as u32);
+            }
+            ColumnGroup::Ole { cols: cols.to_vec(), dict, offsets, rows }
+        }
+    }
+}
+
+/// Compresses a matrix: analyze columns, co-code compatible low-cardinality
+/// columns, choose encodings, and build groups.
+pub fn compress(m: &Matrix) -> CompressedMatrix {
+    let rows = m.rows();
+    let cols = m.cols();
+    let analyses: Vec<ColumnAnalysis> = (0..cols).map(|c| analyze_column(m, c)).collect();
+    let groups_cols = cocode::plan_cocoding(rows, &analyses);
+    let mut groups = Vec::with_capacity(groups_cols.len());
+    for gc in groups_cols {
+        let enc = if gc.len() == 1 {
+            choose_encoding(rows, &analyses[gc[0]])
+        } else {
+            // Co-coded groups always use DDC (tuple dictionaries).
+            Encoding::Ddc
+        };
+        groups.push(build_group(m, &gc, enc));
+    }
+    CompressedMatrix::new(rows, cols, groups)
+}
+
+/// Compresses and reports statistics.
+pub fn compress_with_stats(m: &Matrix) -> (CompressedMatrix, CompressionStats) {
+    let cm = compress(m);
+    let stats = CompressionStats {
+        compressed_bytes: cm.size_in_bytes(),
+        uncompressed_bytes: cm.uncompressed_size_in_bytes(),
+        ratio: cm.compression_ratio(),
+        groups: cm
+            .groups()
+            .iter()
+            .map(|g| (g.columns().to_vec(), g.encoding()))
+            .collect(),
+    };
+    (cm, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_linalg::generate;
+    use fusedml_linalg::DenseMatrix;
+
+    #[test]
+    fn roundtrip_random_dense() {
+        let m = generate::rand_dense(50, 4, 0.0, 1.0, 42);
+        let cm = compress(&m);
+        let d = cm.decompress();
+        assert!(Matrix::dense(d).approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn roundtrip_low_cardinality() {
+        let m = generate::airline_like(200, 5, 8, 7);
+        let cm = compress(&m);
+        assert!(Matrix::dense(cm.decompress()).approx_eq(&m, 0.0));
+        // Low-cardinality data must actually compress.
+        assert!(cm.compression_ratio() > 2.0, "ratio {}", cm.compression_ratio());
+    }
+
+    #[test]
+    fn roundtrip_sparse() {
+        let m = generate::rand_matrix(300, 6, 1.0, 3.0, 0.05, 13);
+        let cm = compress(&m);
+        assert!(Matrix::dense(cm.decompress()).approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn sorted_column_uses_rle() {
+        // A sorted low-cardinality column has long runs → RLE.
+        let mut data = Vec::new();
+        for block in 0..10 {
+            data.extend(std::iter::repeat(block as f64 + 1.0).take(100));
+        }
+        let m = Matrix::dense(DenseMatrix::new(1000, 1, data));
+        let cm = compress(&m);
+        assert_eq!(cm.groups()[0].encoding(), Encoding::Rle);
+        assert!(Matrix::dense(cm.decompress()).approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn random_unique_column_stays_uncompressed() {
+        let m = generate::rand_dense(500, 1, 0.0, 1.0, 3);
+        let cm = compress(&m);
+        assert_eq!(cm.groups()[0].encoding(), Encoding::Uncompressed);
+    }
+
+    #[test]
+    fn low_cardinality_prefers_ddc() {
+        // Unsorted low-cardinality dense column → DDC beats RLE/OLE.
+        let m = generate::airline_like(1000, 1, 5, 11);
+        let cm = compress(&m);
+        assert_eq!(cm.groups()[0].encoding(), Encoding::Ddc);
+    }
+
+    #[test]
+    fn stats_report_groups() {
+        let m = generate::airline_like(500, 4, 6, 99);
+        let (_, stats) = compress_with_stats(&m);
+        assert!(stats.ratio > 1.0);
+        let covered: usize = stats.groups.iter().map(|(c, _)| c.len()).sum();
+        assert_eq!(covered, 4);
+    }
+}

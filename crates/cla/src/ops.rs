@@ -1,0 +1,290 @@
+//! Operations over compressed matrices.
+//!
+//! The headline property (paper Figure 9): sparse-safe value functions and
+//! aggregates run over *dictionaries and counts* instead of cells, so
+//! `sum(X^2)` over CLA costs O(#distinct) per group plus code-array scans
+//! avoided entirely.
+
+use crate::groups::ColumnGroup;
+use crate::CompressedMatrix;
+use fusedml_linalg::ops::{AggOp, UnaryOp};
+use fusedml_linalg::{DenseMatrix, Matrix};
+
+/// `sum(X)` via per-group value counts.
+pub fn sum(m: &CompressedMatrix) -> f64 {
+    m.group_value_counts()
+        .map(|vc| vc.iter().map(|&(v, n)| v * n as f64).sum::<f64>())
+        .sum()
+}
+
+/// `sum(X^2)` via per-group value counts (the Figure 9 workload).
+pub fn sum_sq(m: &CompressedMatrix) -> f64 {
+    m.group_value_counts()
+        .map(|vc| vc.iter().map(|&(v, n)| v * v * n as f64).sum::<f64>())
+        .sum()
+}
+
+/// Generic full aggregate with a sparse-safe scalar map `f` applied first:
+/// `agg(f(X))` computed over `(value, count)` pairs. Exact for `Sum`/`SumSq`;
+/// for `Min`/`Max` counts are irrelevant so it is exact there too.
+pub fn agg_value_fn(m: &CompressedMatrix, f: impl Fn(f64) -> f64, op: AggOp) -> f64 {
+    let mut acc = op.identity();
+    for vc in m.group_value_counts() {
+        for (v, n) in vc {
+            let fv = f(v);
+            match op {
+                AggOp::Sum | AggOp::Mean => acc += fv * n as f64,
+                AggOp::SumSq => acc += fv * fv * n as f64,
+                AggOp::Min => acc = acc.min(fv),
+                AggOp::Max => acc = acc.max(fv),
+            }
+        }
+    }
+    if op == AggOp::Mean {
+        acc /= (m.rows() * m.cols()) as f64;
+    }
+    acc
+}
+
+/// Column sums via dictionaries: for each group, per-tuple counts × values.
+pub fn col_sums(m: &CompressedMatrix) -> Matrix {
+    let mut out = vec![0.0f64; m.cols()];
+    for g in m.groups() {
+        let cols = g.columns();
+        let w = cols.len();
+        match g {
+            ColumnGroup::Ddc { dict, codes, .. } => {
+                let ndist = dict.len() / w;
+                let mut counts = vec![0usize; ndist];
+                for &c in codes {
+                    counts[c as usize] += 1;
+                }
+                for (t, &n) in counts.iter().enumerate() {
+                    for (j, &col) in cols.iter().enumerate() {
+                        out[col] += dict[t * w + j] * n as f64;
+                    }
+                }
+            }
+            ColumnGroup::Rle { dict, runs, .. } => {
+                for (t, tuple_runs) in runs.iter().enumerate() {
+                    let n: usize = tuple_runs.iter().map(|&(_, l)| l as usize).sum();
+                    for (j, &col) in cols.iter().enumerate() {
+                        out[col] += dict[t * w + j] * n as f64;
+                    }
+                }
+            }
+            ColumnGroup::Ole { dict, offsets, .. } => {
+                for (t, offs) in offsets.iter().enumerate() {
+                    for (j, &col) in cols.iter().enumerate() {
+                        out[col] += dict[t * w + j] * offs.len() as f64;
+                    }
+                }
+            }
+            ColumnGroup::Uncompressed { data, .. } => {
+                let rows = g.rows();
+                for (j, &col) in cols.iter().enumerate() {
+                    out[col] += data[j * rows..(j + 1) * rows].iter().sum::<f64>();
+                }
+            }
+        }
+    }
+    Matrix::dense(DenseMatrix::new(1, m.cols(), out))
+}
+
+/// Sparse-safe scalar map applied with a shallow copy: dictionaries are
+/// rewritten, code arrays shared structurally (cloned cheaply relative to
+/// decompression). Falls back to `None` when any group is uncompressed and
+/// the caller must densify.
+pub fn map_unary(m: &CompressedMatrix, op: UnaryOp) -> Option<CompressedMatrix> {
+    if !op.sparse_safe() {
+        return None;
+    }
+    let mut out = m.clone();
+    // CompressedMatrix has no public mutable group access; rebuild via clone
+    // and in-place dictionary rewrite.
+    let ok = out.map_dicts(|v| op.apply(v));
+    ok.then_some(out)
+}
+
+/// Matrix–vector multiply `X %*% v` executed per column group: each group
+/// contributes `dict_tuple · v[cols]` scaled into the rows where the tuple
+/// occurs. Demonstrates that compressed execution composes with linear
+/// algebra beyond simple aggregates.
+pub fn mat_vect_mult(m: &CompressedMatrix, v: &Matrix) -> Matrix {
+    assert_eq!(v.rows(), m.cols(), "vector length mismatch");
+    let rows = m.rows();
+    let mut out = vec![0.0f64; rows];
+    for g in m.groups() {
+        let cols = g.columns();
+        let w = cols.len();
+        match g {
+            ColumnGroup::Ddc { dict, codes, .. } => {
+                let ndist = dict.len() / w;
+                // Pre-compute per-tuple contributions.
+                let mut contrib = vec![0.0f64; ndist];
+                for (t, c) in contrib.iter_mut().enumerate() {
+                    for (j, &col) in cols.iter().enumerate() {
+                        *c += dict[t * w + j] * v.get(col, 0);
+                    }
+                }
+                for (r, &code) in codes.iter().enumerate() {
+                    out[r] += contrib[code as usize];
+                }
+            }
+            ColumnGroup::Rle { dict, runs, .. } => {
+                for (t, tuple_runs) in runs.iter().enumerate() {
+                    let mut c = 0.0;
+                    for (j, &col) in cols.iter().enumerate() {
+                        c += dict[t * w + j] * v.get(col, 0);
+                    }
+                    for &(start, len) in tuple_runs {
+                        for r in start..start + len {
+                            out[r as usize] += c;
+                        }
+                    }
+                }
+            }
+            ColumnGroup::Ole { dict, offsets, .. } => {
+                for (t, offs) in offsets.iter().enumerate() {
+                    let mut c = 0.0;
+                    for (j, &col) in cols.iter().enumerate() {
+                        c += dict[t * w + j] * v.get(col, 0);
+                    }
+                    for &r in offs {
+                        out[r as usize] += c;
+                    }
+                }
+            }
+            ColumnGroup::Uncompressed { data, .. } => {
+                let grows = g.rows();
+                for (j, &col) in cols.iter().enumerate() {
+                    let vj = v.get(col, 0);
+                    if vj != 0.0 {
+                        for (r, slot) in out.iter_mut().enumerate() {
+                            *slot += data[j * grows + r] * vj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Matrix::dense(DenseMatrix::new(rows, 1, out))
+}
+
+impl CompressedMatrix {
+    /// Applies `f` to every group dictionary; returns false (leaving a
+    /// partial update unexposed to callers via the `map_unary` wrapper) if
+    /// any group is uncompressed.
+    pub(crate) fn map_dicts(&mut self, f: impl Fn(f64) -> f64 + Copy) -> bool {
+        // Check first so we never partially mutate.
+        if self.groups().iter().any(|g| matches!(g, ColumnGroup::Uncompressed { .. })) {
+            return false;
+        }
+        for g in self.groups_mut() {
+            let ok = g.map_dict(f);
+            debug_assert!(ok);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compress;
+    use fusedml_linalg::generate;
+    use fusedml_linalg::ops as lops;
+    use fusedml_linalg::ops::AggDir;
+
+    fn airline() -> (Matrix, CompressedMatrix) {
+        let m = generate::airline_like(400, 5, 7, 21);
+        let cm = compress(&m);
+        (m, cm)
+    }
+
+    #[test]
+    fn sum_matches_uncompressed() {
+        let (m, cm) = airline();
+        let expect = lops::agg(&m, AggOp::Sum, AggDir::Full).get(0, 0);
+        assert!(fusedml_linalg::approx_eq(sum(&cm), expect, 1e-9));
+    }
+
+    #[test]
+    fn sum_sq_matches_uncompressed() {
+        let (m, cm) = airline();
+        let expect = lops::agg(&m, AggOp::SumSq, AggDir::Full).get(0, 0);
+        assert!(fusedml_linalg::approx_eq(sum_sq(&cm), expect, 1e-9));
+    }
+
+    #[test]
+    fn sum_sq_on_sparse_data() {
+        let m = generate::rand_matrix(500, 8, 1.0, 2.0, 0.05, 5);
+        let cm = compress(&m);
+        let expect = lops::agg(&m, AggOp::SumSq, AggDir::Full).get(0, 0);
+        assert!(fusedml_linalg::approx_eq(sum_sq(&cm), expect, 1e-9));
+    }
+
+    #[test]
+    fn agg_value_fn_min_max() {
+        let (m, cm) = airline();
+        let emin = lops::agg(&m, AggOp::Min, AggDir::Full).get(0, 0);
+        let emax = lops::agg(&m, AggOp::Max, AggDir::Full).get(0, 0);
+        assert_eq!(agg_value_fn(&cm, |v| v, AggOp::Min), emin);
+        assert_eq!(agg_value_fn(&cm, |v| v, AggOp::Max), emax);
+    }
+
+    #[test]
+    fn col_sums_match() {
+        let (m, cm) = airline();
+        let expect = lops::agg(&m, AggOp::Sum, AggDir::Col);
+        let got = col_sums(&cm);
+        assert!(got.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn map_unary_squares_dictionary() {
+        let (m, cm) = airline();
+        let sq = map_unary(&cm, UnaryOp::Pow2).expect("all groups compressed");
+        let expect = lops::unary(&m, UnaryOp::Pow2);
+        assert!(Matrix::dense(sq.decompress()).approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn map_unary_rejects_unsafe_ops() {
+        let (_, cm) = airline();
+        assert!(map_unary(&cm, UnaryOp::Exp).is_none());
+    }
+
+    #[test]
+    fn map_unary_rejects_uncompressed_groups() {
+        let m = generate::rand_dense(300, 2, 0.0, 1.0, 9);
+        let cm = compress(&m); // random unique values → uncompressed groups
+        assert!(map_unary(&cm, UnaryOp::Pow2).is_none());
+    }
+
+    #[test]
+    fn mat_vect_matches_uncompressed() {
+        let (m, cm) = airline();
+        let v = generate::rand_dense(m.cols(), 1, -1.0, 1.0, 77);
+        let expect = lops::matmult(&m, &v);
+        let got = mat_vect_mult(&cm, &v);
+        assert!(got.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn mat_vect_on_mixed_encodings() {
+        // Mix: sorted column (RLE), low-card (DDC), sparse (OLE), unique (UC).
+        let rows = 600;
+        let mut data = vec![0.0f64; rows * 4];
+        for r in 0..rows {
+            data[r * 4] = (r / 100) as f64; // sorted → RLE
+            data[r * 4 + 1] = (r % 5) as f64; // low-card → DDC
+            data[r * 4 + 2] = if r % 50 == 0 { 3.0 } else { 0.0 }; // sparse → OLE-ish
+            data[r * 4 + 3] = r as f64 * 0.1; // unique → UC
+        }
+        let m = Matrix::dense(fusedml_linalg::DenseMatrix::new(rows, 4, data));
+        let cm = compress(&m);
+        let v = generate::rand_dense(4, 1, -1.0, 1.0, 3);
+        assert!(mat_vect_mult(&cm, &v).approx_eq(&lops::matmult(&m, &v), 1e-9));
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests: compression must be lossless and compressed operations
+//! must agree with uncompressed execution for arbitrary matrices.
+
+use fusedml_cla::{compress, ops as cops};
+use fusedml_linalg::ops::{self as lops, AggDir, AggOp};
+use fusedml_linalg::{DenseMatrix, Matrix};
+use proptest::prelude::*;
+
+/// Matrices with a mix of repeated values (compressible), zeros, and noise.
+fn matrix_strategy() -> impl Strategy<Value = DenseMatrix> {
+    (2usize..40, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(
+            prop_oneof![
+                3 => (0u8..4).prop_map(|v| v as f64),      // low-cardinality
+                1 => Just(0.0),                            // zeros
+                1 => -3.0..3.0f64,                         // noise
+            ],
+            r * c,
+        )
+        .prop_map(move |data| DenseMatrix::new(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compression_is_lossless(d in matrix_strategy()) {
+        let m = Matrix::dense(d.clone());
+        let cm = compress(&m);
+        prop_assert_eq!(cm.decompress(), d);
+    }
+
+    #[test]
+    fn compressed_sum_agrees(d in matrix_strategy()) {
+        let m = Matrix::dense(d);
+        let cm = compress(&m);
+        let expect = lops::agg(&m, AggOp::Sum, AggDir::Full).get(0, 0);
+        prop_assert!(fusedml_linalg::approx_eq(cops::sum(&cm), expect, 1e-9));
+    }
+
+    #[test]
+    fn compressed_sumsq_agrees(d in matrix_strategy()) {
+        let m = Matrix::dense(d);
+        let cm = compress(&m);
+        let expect = lops::agg(&m, AggOp::SumSq, AggDir::Full).get(0, 0);
+        prop_assert!(fusedml_linalg::approx_eq(cops::sum_sq(&cm), expect, 1e-9));
+    }
+
+    #[test]
+    fn compressed_colsums_agree(d in matrix_strategy()) {
+        let m = Matrix::dense(d);
+        let cm = compress(&m);
+        let expect = lops::agg(&m, AggOp::Sum, AggDir::Col);
+        prop_assert!(cops::col_sums(&cm).approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn compressed_matvect_agrees(d in matrix_strategy()) {
+        let m = Matrix::dense(d.clone());
+        let cm = compress(&m);
+        let v_data: Vec<f64> = (0..d.cols()).map(|i| (i as f64) - 1.5).collect();
+        let v = Matrix::dense(DenseMatrix::col_vector(&v_data));
+        let expect = lops::matmult(&m, &v);
+        prop_assert!(cops::mat_vect_mult(&cm, &v).approx_eq(&expect, 1e-9));
+    }
+}

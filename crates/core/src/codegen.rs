@@ -1,0 +1,514 @@
+//! Code generation: CPlan → rendered operator source + compiled register
+//! program (paper §2.1 step 4; DESIGN.md substitution X1).
+//!
+//! Two compiler backends model the paper's janino/javac comparison
+//! (Figure 11): [`CompilerBackend::Janino`] compiles the register program
+//! directly from the CPlan; [`CompilerBackend::Javac`] additionally renders
+//! the operator source, tokenizes and validates it, re-builds the program
+//! from scratch in multiple verification passes, and cross-checks the
+//! result — modelling a heavyweight standard compiler.
+
+use crate::cplan::{CellAggKind, CNode, CPlan, NodeId, OutputSpec, OuterOutKind, RowOutKind};
+use crate::spoof::{
+    CellAgg, CellSpec, FusedSpec, Instr, MAggSpec, OuterOut, OuterSpec, Program, Reg, RowExecMode,
+    RowOut, RowSpec,
+};
+use crate::templates::TemplateType;
+use crate::util::FxHashMap;
+use std::fmt::Write as _;
+
+/// Compiler backend choice (paper §2.1: "By default, we use the fast janino
+/// compiler but also support the standard javac compiler").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum CompilerBackend {
+    #[default]
+    Janino,
+    Javac,
+}
+
+/// Codegen options.
+#[derive(Clone, Copy, Debug)]
+pub struct CodegenOptions {
+    pub backend: CompilerBackend,
+    /// Inline vector primitives into per-element code (Figure 10's
+    /// `Gen inlined` configuration).
+    pub inline_primitives: bool,
+    /// Code-size budget in "instructions" above which inlined operators fall
+    /// back to the non-JIT path (the analogue of the JVM's 8 KB JIT limit).
+    pub code_size_budget: usize,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> Self {
+        CodegenOptions {
+            backend: CompilerBackend::Janino,
+            inline_primitives: false,
+            code_size_budget: 8192,
+        }
+    }
+}
+
+/// A generated fused operator: source text, compiled program, identity.
+#[derive(Clone, Debug)]
+pub struct GeneratedOperator {
+    /// Class-style name (`TMP4`).
+    pub name: String,
+    /// Rendered operator source (Java-flavoured like the paper's listings).
+    pub source: String,
+    /// The compiled register program + template variant.
+    pub spec: FusedSpec,
+    /// Structural CPlan hash (plan-cache key).
+    pub plan_hash: u64,
+    /// Effective code size in instructions (inlined size when inlining).
+    pub code_size: usize,
+}
+
+/// Compiles a CPlan into a generated operator.
+pub fn generate(cplan: &CPlan, name: &str, opts: &CodegenOptions) -> GeneratedOperator {
+    let spec = compile_spec(cplan, opts);
+    let source = render_source(cplan, name, &spec);
+    if opts.backend == CompilerBackend::Javac {
+        // Heavyweight path: tokenize + validate + rebuild + cross-check.
+        javac_like_verification(cplan, &source, &spec, opts);
+    }
+    let code_size = effective_code_size(cplan, &spec, opts);
+    GeneratedOperator {
+        name: name.to_string(),
+        source,
+        spec,
+        plan_hash: cplan.structural_hash(),
+        code_size,
+    }
+}
+
+/// Effective code size: vector instructions count 1 when calling primitives,
+/// or their vector length when inlined (Figure 10's footprint model).
+fn effective_code_size(cplan: &CPlan, spec: &FusedSpec, opts: &CodegenOptions) -> usize {
+    let prog = spec.program();
+    if !opts.inline_primitives || cplan.ttype != TemplateType::Row {
+        return prog.instrs.len();
+    }
+    prog.instrs
+        .iter()
+        .map(|i| match i {
+            Instr::VecUnary { out, .. }
+            | Instr::VecBinaryVV { out, .. }
+            | Instr::VecBinaryVS { out, .. }
+            | Instr::VecMatMult { out, .. }
+            | Instr::VecCumsum { out, .. } => prog.vreg_lens[*out as usize].max(1),
+            Instr::Dot { a, .. } | Instr::VecAgg { a, .. } => prog.vreg_lens[*a as usize].max(1),
+            _ => 1,
+        })
+        .sum()
+}
+
+// ===========================================================================
+// Program compilation
+// ===========================================================================
+
+/// Node value class during register allocation.
+#[derive(Clone, Copy, PartialEq)]
+enum Class {
+    Scalar(Reg),
+    Vector(u16, usize), // (vreg, len)
+}
+
+struct ProgCompiler<'a> {
+    cplan: &'a CPlan,
+    prog: Program,
+    classes: FxHashMap<NodeId, Class>,
+    next_sreg: u16,
+}
+
+impl<'a> ProgCompiler<'a> {
+    fn new(cplan: &'a CPlan) -> Self {
+        ProgCompiler {
+            cplan,
+            prog: Program::default(),
+            classes: FxHashMap::default(),
+            next_sreg: 0,
+        }
+    }
+
+    fn sreg(&mut self) -> Reg {
+        let r = self.next_sreg;
+        self.next_sreg += 1;
+        r
+    }
+
+    fn vreg(&mut self, len: usize) -> u16 {
+        self.prog.vreg_lens.push(len);
+        (self.prog.vreg_lens.len() - 1) as u16
+    }
+
+    fn scalar_of(&self, n: NodeId) -> Reg {
+        match self.classes[&n] {
+            Class::Scalar(r) => r,
+            Class::Vector(..) => panic!("expected scalar node {n}"),
+        }
+    }
+
+    fn vector_of(&self, n: NodeId) -> (u16, usize) {
+        match self.classes[&n] {
+            Class::Vector(v, l) => (v, l),
+            Class::Scalar(_) => panic!("expected vector node {n}"),
+        }
+    }
+
+    fn compile(mut self) -> (Program, FxHashMap<NodeId, Class>) {
+        for (i, node) in self.cplan.nodes.iter().enumerate() {
+            let id = i as NodeId;
+            let cls = match node {
+                CNode::Main => {
+                    let r = self.sreg();
+                    self.prog.instrs.push(Instr::LoadMain { out: r });
+                    Class::Scalar(r)
+                }
+                CNode::UVDot => {
+                    let r = self.sreg();
+                    self.prog.instrs.push(Instr::LoadUVDot { out: r });
+                    Class::Scalar(r)
+                }
+                CNode::Side { side, access } => {
+                    let r = self.sreg();
+                    self.prog.instrs.push(Instr::LoadSide { out: r, side: *side, access: *access });
+                    Class::Scalar(r)
+                }
+                CNode::ScalarInput { idx } => {
+                    let r = self.sreg();
+                    self.prog.instrs.push(Instr::LoadScalar { out: r, idx: *idx });
+                    Class::Scalar(r)
+                }
+                CNode::Const { value } => {
+                    let r = self.sreg();
+                    self.prog.instrs.push(Instr::LoadConst { out: r, value: *value });
+                    Class::Scalar(r)
+                }
+                CNode::MainRow => {
+                    let v = self.vreg(self.cplan.iter_cols);
+                    self.prog.instrs.push(Instr::LoadMainRow { out: v });
+                    Class::Vector(v, self.cplan.iter_cols)
+                }
+                CNode::SideRow { side, cl, cu } => {
+                    let v = self.vreg(cu - cl);
+                    self.prog.instrs.push(Instr::LoadSideRow {
+                        out: v,
+                        side: *side,
+                        cl: *cl,
+                        cu: *cu,
+                    });
+                    Class::Vector(v, cu - cl)
+                }
+                CNode::SideVector { side } => {
+                    let (r, c) = self.cplan.side_dims[*side];
+                    let len = r.max(c);
+                    let v = self.vreg(len);
+                    self.prog.instrs.push(Instr::LoadSideRow { out: v, side: *side, cl: 0, cu: len });
+                    Class::Vector(v, len)
+                }
+                CNode::Unary { op, a } => match self.classes[a] {
+                    Class::Scalar(ra) => {
+                        let r = self.sreg();
+                        self.prog.instrs.push(Instr::Unary { out: r, op: *op, a: ra });
+                        Class::Scalar(r)
+                    }
+                    Class::Vector(va, l) => {
+                        let v = self.vreg(l);
+                        self.prog.instrs.push(Instr::VecUnary { out: v, op: *op, a: va });
+                        Class::Vector(v, l)
+                    }
+                },
+                CNode::Binary { op, a, b } => match (self.classes[a], self.classes[b]) {
+                    (Class::Scalar(ra), Class::Scalar(rb)) => {
+                        let r = self.sreg();
+                        self.prog.instrs.push(Instr::Binary { out: r, op: *op, a: ra, b: rb });
+                        Class::Scalar(r)
+                    }
+                    (Class::Vector(va, l), Class::Vector(vb, l2)) => {
+                        assert_eq!(l, l2, "vector length mismatch in codegen");
+                        let v = self.vreg(l);
+                        self.prog.instrs.push(Instr::VecBinaryVV { out: v, op: *op, a: va, b: vb });
+                        Class::Vector(v, l)
+                    }
+                    (Class::Vector(va, l), Class::Scalar(rb)) => {
+                        let v = self.vreg(l);
+                        self.prog.instrs.push(Instr::VecBinaryVS {
+                            out: v,
+                            op: *op,
+                            a: va,
+                            b: rb,
+                            scalar_left: false,
+                        });
+                        Class::Vector(v, l)
+                    }
+                    (Class::Scalar(ra), Class::Vector(vb, l)) => {
+                        let v = self.vreg(l);
+                        self.prog.instrs.push(Instr::VecBinaryVS {
+                            out: v,
+                            op: *op,
+                            a: vb,
+                            b: ra,
+                            scalar_left: true,
+                        });
+                        Class::Vector(v, l)
+                    }
+                },
+                CNode::Ternary { op, a, b, c } => {
+                    let (ra, rb, rc) = (self.scalar_of(*a), self.scalar_of(*b), self.scalar_of(*c));
+                    let r = self.sreg();
+                    self.prog.instrs.push(Instr::Ternary { out: r, op: *op, a: ra, b: rb, c: rc });
+                    Class::Scalar(r)
+                }
+                CNode::VectMatMult { a, side } => {
+                    let (va, _) = self.vector_of(*a);
+                    let k = self.cplan.side_dims[*side].1;
+                    let v = self.vreg(k);
+                    self.prog.instrs.push(Instr::VecMatMult { out: v, a: va, side: *side });
+                    Class::Vector(v, k)
+                }
+                CNode::Dot { a, b } => {
+                    let (va, _) = self.vector_of(*a);
+                    let (vb, _) = self.vector_of(*b);
+                    let r = self.sreg();
+                    self.prog.instrs.push(Instr::Dot { out: r, a: va, b: vb });
+                    Class::Scalar(r)
+                }
+                CNode::VecAgg { op, a } => {
+                    let (va, _) = self.vector_of(*a);
+                    let r = self.sreg();
+                    self.prog.instrs.push(Instr::VecAgg { out: r, op: *op, a: va });
+                    Class::Scalar(r)
+                }
+            };
+            self.classes.insert(id, cls);
+        }
+        self.prog.n_regs = self.next_sreg;
+        (self.prog, self.classes)
+    }
+}
+
+/// Compiles the CPlan into the template-specific [`FusedSpec`].
+pub fn compile_spec(cplan: &CPlan, opts: &CodegenOptions) -> FusedSpec {
+    let (prog, classes) = ProgCompiler::new(cplan).compile();
+    let scalar = |n: NodeId| match classes[&n] {
+        Class::Scalar(r) => r,
+        Class::Vector(..) => panic!("expected scalar output node"),
+    };
+    let vector = |n: NodeId| match classes[&n] {
+        Class::Vector(v, _) => v,
+        Class::Scalar(_) => panic!("expected vector output node"),
+    };
+    match &cplan.output {
+        OutputSpec::Cell { result, agg } => FusedSpec::Cell(CellSpec {
+            prog,
+            result: scalar(*result),
+            agg: match agg {
+                CellAggKind::NoAgg => CellAgg::NoAgg,
+                CellAggKind::RowAgg(op) => CellAgg::RowAgg(*op),
+                CellAggKind::ColAgg(op) => CellAgg::ColAgg(*op),
+                CellAggKind::FullAgg(op) => CellAgg::FullAgg(*op),
+            },
+            sparse_safe: cplan.sparse_safe(),
+        }),
+        OutputSpec::MAgg { results } => FusedSpec::MAgg(MAggSpec {
+            prog,
+            results: results.iter().map(|(n, op)| (scalar(*n), *op)).collect(),
+            sparse_safe: cplan.sparse_safe(),
+        }),
+        OutputSpec::Row { out } => {
+            let mode = if opts.inline_primitives {
+                let size = effective_code_size_raw(cplan, &prog);
+                if size > opts.code_size_budget {
+                    RowExecMode::InterpretedNoJit
+                } else {
+                    RowExecMode::Inlined
+                }
+            } else {
+                RowExecMode::Vectorized
+            };
+            FusedSpec::Row(RowSpec {
+                out: match out {
+                    RowOutKind::NoAgg { src } => RowOut::NoAgg { src: vector(*src) },
+                    RowOutKind::RowAgg { src } => RowOut::RowAgg { src: scalar(*src) },
+                    RowOutKind::ColAgg { src } => RowOut::ColAgg { src: vector(*src) },
+                    RowOutKind::FullAgg { src } => RowOut::FullAgg { src: scalar(*src) },
+                    RowOutKind::OuterColAgg { left, right } => {
+                        RowOut::OuterColAgg { left: vector(*left), right: vector(*right) }
+                    }
+                    RowOutKind::ColAggMultAdd { vec, scalar: s } => {
+                        RowOut::ColAggMultAdd { vec: vector(*vec), scalar: scalar(*s) }
+                    }
+                },
+                prog,
+                out_rows: cplan.out_rows,
+                out_cols: cplan.out_cols,
+                exec_mode: mode,
+            })
+        }
+        OutputSpec::Outer { result, out } => {
+            let (u_side, v_side, rank) = cplan.outer_uv.expect("outer plan has UV binding");
+            FusedSpec::Outer(OuterSpec {
+                prog,
+                result: scalar(*result),
+                out: match out {
+                    OuterOutKind::FullAgg => OuterOut::FullAgg,
+                    OuterOutKind::RightMM { side } => OuterOut::RightMM { side: *side },
+                    OuterOutKind::LeftMM { side } => OuterOut::LeftMM { side: *side },
+                    OuterOutKind::NoAgg => OuterOut::NoAgg,
+                },
+                u_side,
+                v_side,
+                rank,
+                sparse_safe: cplan.sparse_safe(),
+            })
+        }
+    }
+}
+
+/// Raw code size before inlining decisions (vector instrs expanded).
+fn effective_code_size_raw(cplan: &CPlan, prog: &Program) -> usize {
+    let _ = cplan;
+    prog.instrs
+        .iter()
+        .map(|i| match i {
+            Instr::VecUnary { out, .. }
+            | Instr::VecBinaryVV { out, .. }
+            | Instr::VecBinaryVS { out, .. }
+            | Instr::VecMatMult { out, .. }
+            | Instr::VecCumsum { out, .. } => prog.vreg_lens[*out as usize].max(1),
+            Instr::Dot { a, .. } | Instr::VecAgg { a, .. } => prog.vreg_lens[*a as usize].max(1),
+            _ => 1,
+        })
+        .sum()
+}
+
+// ===========================================================================
+// Source rendering (paper §2.2 listings)
+// ===========================================================================
+
+/// Renders operator source in the style of the paper's generated Java.
+pub fn render_source(cplan: &CPlan, name: &str, spec: &FusedSpec) -> String {
+    let mut s = String::with_capacity(512);
+    let (skeleton, variant) = match spec {
+        FusedSpec::Cell(c) => ("SpoofCellwise", format!("{:?}", c.agg)),
+        FusedSpec::MAgg(m) => ("SpoofMultiAggregate", format!("{} aggs", m.results.len())),
+        FusedSpec::Row(r) => ("SpoofRowwise", format!("{:?}", r.out)),
+        FusedSpec::Outer(o) => ("SpoofOuterProduct", format!("{:?}", o.out)),
+    };
+    let _ = writeln!(s, "public final class {name} extends {skeleton} {{");
+    let _ = writeln!(
+        s,
+        "  // variant: {variant}; sides: {}; scalars: {}; sparse-safe: {}",
+        cplan.sides.len(),
+        cplan.scalars.len(),
+        cplan.sparse_safe()
+    );
+    let _ = writeln!(s, "  protected genexec(...) {{");
+    for (i, ins) in spec.program().instrs.iter().enumerate() {
+        let _ = writeln!(s, "    {}", render_instr(i, ins));
+    }
+    let _ = writeln!(s, "    // output: {:?}", cplan.output);
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn render_instr(i: usize, ins: &Instr) -> String {
+    let _ = i;
+    match ins {
+        Instr::LoadMain { out } => format!("double t{out} = a;"),
+        Instr::LoadUVDot { out } => format!("double t{out} = dotProduct(a1, a2, a1i, a2i, len);"),
+        Instr::LoadSide { out, side, access } => {
+            format!("double t{out} = getValue(b[{side}], {access:?});")
+        }
+        Instr::LoadScalar { out, idx } => format!("double t{out} = scalars[{idx}];"),
+        Instr::LoadConst { out, value } => format!("double t{out} = {value};"),
+        Instr::Unary { out, op, a } => format!("double t{out} = {}(t{a});", op.name()),
+        Instr::Binary { out, op, a, b } => format!("double t{out} = t{a} {} t{b};", op.name()),
+        Instr::Ternary { out, op, a, b, c } => {
+            format!("double t{out} = {}(t{a}, t{b}, t{c});", op.name())
+        }
+        Instr::LoadMainRow { out } => format!("double[] v{out} = a.values(rix);"),
+        Instr::LoadSideRow { out, side, cl, cu } => {
+            format!("double[] v{out} = getVector(b[{side}].vals(rix), {cl}, {cu});")
+        }
+        Instr::VecUnary { out, op, a } => {
+            format!("double[] v{out} = vect{}Write(v{a});", camel(op.name()))
+        }
+        Instr::VecBinaryVV { out, op, a, b } => {
+            format!("double[] v{out} = vect{}Write(v{a}, v{b});", camel(op.name()))
+        }
+        Instr::VecBinaryVS { out, op, a, b, scalar_left } => {
+            if *scalar_left {
+                format!("double[] v{out} = vect{}Write(t{b}, v{a});", camel(op.name()))
+            } else {
+                format!("double[] v{out} = vect{}Write(v{a}, t{b});", camel(op.name()))
+            }
+        }
+        Instr::VecMatMult { out, a, side } => {
+            format!("double[] v{out} = vectMatrixMult(v{a}, b[{side}].vals(), ...);")
+        }
+        Instr::Dot { out, a, b } => format!("double t{out} = dotProduct(v{a}, v{b}, len);"),
+        Instr::VecAgg { out, op, a } => format!("double t{out} = vect{op:?}(v{a});"),
+        Instr::VecCumsum { out, a } => format!("double[] v{out} = vectCumsum(v{a});"),
+    }
+}
+
+fn camel(name: &str) -> String {
+    match name {
+        "+" => "Plus".to_string(),
+        "-" => "Minus".to_string(),
+        "*" => "Mult".to_string(),
+        "/" => "Div".to_string(),
+        "^" => "Pow".to_string(),
+        "==" => "Equal".to_string(),
+        "!=" => "NotEqual".to_string(),
+        "<" => "Less".to_string(),
+        "<=" => "LessEqual".to_string(),
+        ">" => "Greater".to_string(),
+        ">=" => "GreaterEqual".to_string(),
+        other => {
+            let mut c = other.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        }
+    }
+}
+
+// ===========================================================================
+// Heavyweight "javac" verification path (Figure 11 model)
+// ===========================================================================
+
+/// Models a standard compiler: tokenize the rendered source, validate its
+/// structure, re-compile the program from the CPlan in several passes, and
+/// cross-check the results. All work is real (proportional to operator
+/// size), making the backend comparison meaningful.
+fn javac_like_verification(cplan: &CPlan, source: &str, spec: &FusedSpec, opts: &CodegenOptions) {
+    const PASSES: usize = 12;
+    let mut token_count = 0usize;
+    for _ in 0..PASSES {
+        // Lexing pass.
+        token_count += source
+            .split(|c: char| c.is_whitespace() || "(){};,".contains(c))
+            .filter(|t| !t.is_empty())
+            .count();
+        // Brace balance validation.
+        let mut depth: i64 = 0;
+        for ch in source.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced braces in generated source");
+        }
+        assert_eq!(depth, 0, "unbalanced braces in generated source");
+        // Re-compilation + structural equivalence check.
+        let respec = compile_spec(cplan, &CodegenOptions { backend: CompilerBackend::Janino, ..*opts });
+        assert_eq!(&respec, spec, "recompilation must be deterministic");
+    }
+    // The token count is intentionally unused beyond forcing the work.
+    std::hint::black_box(token_count);
+}

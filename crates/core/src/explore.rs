@@ -1,0 +1,287 @@
+//! Candidate exploration: the OFMC algorithm (paper §3.2, Algorithm 1).
+//!
+//! A single bottom-up pass over the HOP DAG populates the memo table with
+//! all valid partial fusion plans. The algorithm is template-oblivious: all
+//! template-specific conditions live behind the
+//! [`crate::templates::FusionTemplate`] trait.
+
+use crate::memo::{InputRef, MemoEntry, MemoTable};
+use crate::templates::{all_templates, template_for, CloseDecision, FusionTemplate};
+use fusedml_hop::{HopDag, HopId};
+
+/// Explores all valid partial fusion plans of a DAG into a fresh memo table.
+pub fn explore(dag: &HopDag) -> MemoTable {
+    let mut memo = MemoTable::new();
+    for &root in dag.roots() {
+        explore_hop(dag, root, &mut memo);
+    }
+    memo
+}
+
+/// Recursive OFMC exploration of one operator (Algorithm 1).
+fn explore_hop(dag: &HopDag, id: HopId, memo: &mut MemoTable) {
+    // 1. Memoization of processed operators (lines 1-3).
+    if memo.is_processed(id) {
+        return;
+    }
+    let h = dag.hop(id);
+
+    // 2. Recursive candidate exploration of all inputs (lines 4-6).
+    for &input in &h.inputs {
+        explore_hop(dag, input, memo);
+    }
+
+    // 3. Open initial operator plans (lines 7-10), enumerating merge plans.
+    for t in all_templates() {
+        if t.open(dag, h) {
+            create_plans(dag, id, None, *t, memo);
+        }
+    }
+
+    // 4. Fuse and merge operator plans (lines 11-15): for each input, for
+    //    each distinct open template type at that input, probe the pairwise
+    //    fuse condition.
+    for (j, &input) in h.inputs.iter().enumerate() {
+        for ttype in memo.open_types(input) {
+            let t = template_for(ttype);
+            if t.fuse(dag, h, dag.hop(input)) {
+                create_plans(dag, id, Some(j), t, memo);
+            }
+        }
+    }
+
+    // 5. Close operator plans if required (lines 16-20).
+    let mut to_remove: Vec<MemoEntry> = Vec::new();
+    {
+        let entries = memo.entries_mut(id);
+        for e in entries.iter_mut() {
+            match template_for(e.ttype).close(dag, h) {
+                CloseDecision::Open => {}
+                CloseDecision::ClosedValid => e.closed = true,
+                CloseDecision::ClosedInvalid => to_remove.push(e.clone()),
+            }
+        }
+        entries.retain(|e| !to_remove.contains(e));
+    }
+
+    // 6. Prune redundant plans and memoize (lines 21-23): drop closed-valid
+    //    entries without group references — they would cover a single
+    //    operator (cf. Figure 5: group `ua(R+)` holds no `C(-1)`).
+    memo.retain(id, |e| !(e.closed && e.ref_count() == 0));
+    memo.mark_processed(id);
+}
+
+/// `createPlans` (paper §3.2): constructs memo entries for a fused operator
+/// at `id`. The `fused_input` position (if any) always references its group;
+/// every other input enumerates both options (reference / materialized) when
+/// the template's pairwise merge condition holds and the input group has a
+/// compatible open plan.
+fn create_plans(
+    dag: &HopDag,
+    id: HopId,
+    fused_input: Option<usize>,
+    t: &dyn FusionTemplate,
+    memo: &mut MemoTable,
+) {
+    let h = dag.hop(id);
+    let n = h.inputs.len();
+    // Per input: the allowed options.
+    let mut options: Vec<Vec<InputRef>> = Vec::with_capacity(n);
+    for (j, &input) in h.inputs.iter().enumerate() {
+        let in_hop = dag.hop(input);
+        if Some(j) == fused_input {
+            options.push(vec![InputRef::Fused(input)]);
+        } else {
+            let mergeable = t.merge(dag, h, in_hop)
+                && memo.has_compatible_plan(input, t.ttype());
+            if mergeable {
+                options.push(vec![InputRef::Materialized, InputRef::Fused(input)]);
+            } else {
+                options.push(vec![InputRef::Materialized]);
+            }
+        }
+    }
+    // Cartesian product over ≤3 inputs with ≤2 options each (≤8 plans).
+    let mut combos: Vec<Vec<InputRef>> = vec![Vec::new()];
+    for opts in &options {
+        let mut next = Vec::with_capacity(combos.len() * opts.len());
+        for c in &combos {
+            for &o in opts {
+                let mut c2 = c.clone();
+                c2.push(o);
+                next.push(c2);
+            }
+        }
+        combos = next;
+    }
+    for inputs in combos {
+        memo.add(id, MemoEntry::open(t.ttype(), inputs));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::TemplateType;
+    use fusedml_hop::DagBuilder;
+
+    /// Renders a group's entries as sorted strings for assertions.
+    fn rendered(memo: &MemoTable, id: HopId) -> Vec<String> {
+        let mut v: Vec<String> = memo.entries(id).iter().map(|e| e.render()).collect();
+        v.sort();
+        v
+    }
+
+    /// Builds the MLogreg core expression of paper Figure 5 with the same
+    /// operator numbering (ids differ, shapes equivalent):
+    /// `Q = P[,0:k] ⊙ (X v); H = t(X) %*% (Q - P[,0:k] ⊙ rowSums(Q))`.
+    fn figure5_dag() -> (HopDag, [HopId; 8]) {
+        let (n, m, k) = (1000, 100, 4);
+        let mut b = DagBuilder::new();
+        let x = b.read("X", n, m, 1.0);
+        let v = b.read("v", m, k, 1.0);
+        let p = b.read("P", n, k + 1, 1.0);
+        let h4 = b.mm(x, v); // 4 ba(+*)
+        let h5 = b.rix(p, None, Some((0, k))); // 5 rix
+        let h6 = b.mult(h5, h4); // 6 b(*)  (Q)
+        let h7 = b.row_sums(h6); // 7 ua(R+)
+        let h8 = b.mult(h5, h7); // 8 b(*)
+        let h9 = b.sub(h6, h8); // 9 b(-)
+        let h10 = b.t(x); // 10 r(t)
+        let h11 = b.mm(h10, h9); // 11 ba(+*)
+        let dag = b.build(vec![h11]);
+        (dag, [h4, h5, h6, h7, h8, h9, h10, h11])
+    }
+
+    #[test]
+    fn figure5_memo_table_reproduced() {
+        let (dag, [h4, h5, h6, h7, h8, h9, h10, h11]) = figure5_dag();
+        let memo = explore(&dag);
+
+        // Group 4 ba(+*): R(-1,-1)
+        assert_eq!(rendered(&memo, h4), vec!["R(-1,-1)"]);
+        // Group 5 rix: R(-1)
+        assert_eq!(rendered(&memo, h5), vec!["R(-1)"]);
+        // Group 6 b(*): R(-1,-1) R(-1,4) R(5,-1) R(5,4) C(-1,-1)
+        assert_eq!(
+            rendered(&memo, h6),
+            vec![
+                "C(-1,-1)".to_string(),
+                "R(-1,-1)".to_string(),
+                format!("R(-1,{h4})"),
+                format!("R({h5},-1)"),
+                format!("R({h5},{h4})"),
+            ]
+        );
+        // Group 7 ua(R+): R(-1) R(6) C(6) — no C(-1) (pruned: closed, no refs).
+        assert_eq!(
+            rendered(&memo, h7),
+            vec![format!("C({h6})"), "R(-1)".to_string(), format!("R({h6})")]
+        );
+        // Group 8 b(*): Row entries over {5,7} plus open C(-1,-1); no
+        // C(…,7) because the Cell plan at rowSums is closed.
+        assert_eq!(
+            rendered(&memo, h8),
+            vec![
+                "C(-1,-1)".to_string(),
+                "R(-1,-1)".to_string(),
+                format!("R(-1,{h7})"),
+                format!("R({h5},-1)"),
+                format!("R({h5},{h7})"),
+            ]
+        );
+        // Group 9 b(-): Row and Cell entries over {6,8}.
+        assert_eq!(
+            rendered(&memo, h9),
+            vec![
+                "C(-1,-1)".to_string(),
+                format!("C(-1,{h8})"),
+                format!("C({h6},-1)"),
+                format!("C({h6},{h8})"),
+                "R(-1,-1)".to_string(),
+                format!("R(-1,{h8})"),
+                format!("R({h6},-1)"),
+                format!("R({h6},{h8})"),
+            ]
+        );
+        // Group 10 r(t): R(-1)
+        assert_eq!(rendered(&memo, h10), vec!["R(-1)"]);
+        // Group 11 ba(+*): R(-1,9) R(10,-1) R(10,9) — no R(-1,-1) (no open).
+        assert_eq!(
+            rendered(&memo, h11),
+            vec![
+                format!("R(-1,{h9})"),
+                format!("R({h10},-1)"),
+                format!("R({h10},{h9})"),
+            ]
+        );
+    }
+
+    #[test]
+    fn closed_entries_marked() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 100, 100, 1.0);
+        let y = b.read("Y", 100, 100, 1.0);
+        let m = b.mult(x, y);
+        let s = b.sum(m);
+        let dag = b.build(vec![s]);
+        let memo = explore(&dag);
+        let entries = memo.entries(s);
+        assert!(!entries.is_empty());
+        assert!(entries.iter().all(|e| e.closed), "sum closes Cell/Row plans");
+        assert!(entries.iter().all(|e| e.ref_count() > 0), "single-op plans pruned");
+    }
+
+    #[test]
+    fn outer_template_explored_for_als_loss() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 2000, 2000, 0.01);
+        let u = b.read("U", 2000, 100, 1.0);
+        let v = b.read("V", 2000, 100, 1.0);
+        let vt = b.t(v);
+        let uvt = b.mm(u, vt);
+        let eps = b.lit(1e-15);
+        let plus = b.add(uvt, eps);
+        let lg = b.log(plus);
+        let prod = b.mult(x, lg);
+        let s = b.sum(prod);
+        let dag = b.build(vec![s]);
+        let memo = explore(&dag);
+        assert!(memo
+            .entries(uvt)
+            .iter()
+            .any(|e| e.ttype == TemplateType::Outer), "Outer opens at UV^T");
+        let sum_entries = memo.entries(s);
+        assert!(
+            sum_entries.iter().any(|e| e.ttype == TemplateType::Outer && e.closed),
+            "Outer plan reaches and closes at sum: {:?}",
+            sum_entries
+        );
+    }
+
+    #[test]
+    fn reexploration_is_idempotent() {
+        let (dag, [.., h11]) = figure5_dag();
+        let mut memo = explore(&dag);
+        let before = memo.total_entries();
+        explore_hop(&dag, h11, &mut memo);
+        assert_eq!(memo.total_entries(), before, "processed hops are skipped");
+    }
+
+    #[test]
+    fn shared_reads_explored_once() {
+        // Multi-aggregate shape: sum(X⊙Y), sum(X⊙Z) — common input X.
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 100, 100, 1.0);
+        let y = b.read("Y", 100, 100, 1.0);
+        let z = b.read("Z", 100, 100, 1.0);
+        let a = b.mult(x, y);
+        let c = b.mult(x, z);
+        let s1 = b.sum(a);
+        let s2 = b.sum(c);
+        let dag = b.build(vec![s1, s2]);
+        let memo = explore(&dag);
+        assert!(memo.entries(s1).iter().any(|e| e.ttype == TemplateType::Cell));
+        assert!(memo.entries(s2).iter().any(|e| e.ttype == TemplateType::Cell));
+    }
+}

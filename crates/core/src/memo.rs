@@ -1,0 +1,353 @@
+//! The memoization table of partial fusion plans (paper §3.1, Figure 5).
+//!
+//! The memo table is a set of *groups*, one per HOP amenable to fusion; each
+//! group holds memo entries `(type, [i1..ik], closed)` whose input list maps
+//! positionally to the HOP's data dependencies: a group reference means the
+//! fused operator continues into that input, `-1` (here
+//! [`InputRef::Materialized`]) means the input is read as a materialized
+//! intermediate.
+
+use crate::templates::TemplateType;
+use crate::util::FxHashMap;
+use fusedml_hop::{HopDag, HopId};
+use std::fmt::Write as _;
+
+/// One positional input of a memo entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InputRef {
+    /// Fusion continues into the input's group (`R(10,…)`).
+    Fused(HopId),
+    /// The input is read as a materialized intermediate (`-1`).
+    Materialized,
+}
+
+impl InputRef {
+    pub fn is_fused(self) -> bool {
+        matches!(self, InputRef::Fused(_))
+    }
+
+    /// The referenced group, if fused.
+    pub fn fused_id(self) -> Option<HopId> {
+        match self {
+            InputRef::Fused(id) => Some(id),
+            InputRef::Materialized => None,
+        }
+    }
+}
+
+/// A partial fusion plan (memo table entry).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MemoEntry {
+    /// Template type of the fused operator.
+    pub ttype: TemplateType,
+    /// Positional input references.
+    pub inputs: Vec<InputRef>,
+    /// True once a close condition fired (closed-valid); closed-invalid
+    /// entries are removed during exploration and never stored.
+    pub closed: bool,
+}
+
+impl MemoEntry {
+    /// Creates an open entry.
+    pub fn open(ttype: TemplateType, inputs: Vec<InputRef>) -> Self {
+        MemoEntry { ttype, inputs, closed: false }
+    }
+
+    /// Iterates the referenced input groups.
+    pub fn refs(&self) -> impl Iterator<Item = HopId> + '_ {
+        self.inputs.iter().filter_map(|i| i.fused_id())
+    }
+
+    /// Number of fused references.
+    pub fn ref_count(&self) -> usize {
+        self.inputs.iter().filter(|i| i.is_fused()).count()
+    }
+
+    /// Renders like the paper: `R(-1,9)`.
+    pub fn render(&self) -> String {
+        let ins: Vec<String> = self
+            .inputs
+            .iter()
+            .map(|i| match i {
+                InputRef::Fused(id) => id.to_string(),
+                InputRef::Materialized => "-1".to_string(),
+            })
+            .collect();
+        format!("{}({})", self.ttype.tag(), ins.join(","))
+    }
+}
+
+/// The memo table: groups of partial fusion plans, keyed by HOP id.
+#[derive(Clone, Debug, Default)]
+pub struct MemoTable {
+    groups: FxHashMap<HopId, Vec<MemoEntry>>,
+    /// HOPs already processed by exploration (the `W[?]` marker set of
+    /// Algorithm 1; includes HOPs that produced no plans).
+    processed: crate::util::FxHashSet<HopId>,
+}
+
+impl MemoTable {
+    pub fn new() -> Self {
+        MemoTable::default()
+    }
+
+    /// True if the HOP was already explored.
+    pub fn is_processed(&self, id: HopId) -> bool {
+        self.processed.contains(&id)
+    }
+
+    /// Marks a HOP as explored.
+    pub fn mark_processed(&mut self, id: HopId) {
+        self.processed.insert(id);
+    }
+
+    /// True if the group exists and is non-empty.
+    pub fn contains(&self, id: HopId) -> bool {
+        self.groups.get(&id).is_some_and(|g| !g.is_empty())
+    }
+
+    /// The entries of a group (empty slice if absent).
+    pub fn entries(&self, id: HopId) -> &[MemoEntry] {
+        self.groups.get(&id).map_or(&[], |g| g.as_slice())
+    }
+
+    /// Adds an entry if not already present (set semantics).
+    pub fn add(&mut self, id: HopId, entry: MemoEntry) {
+        let group = self.groups.entry(id).or_default();
+        if !group.contains(&entry) {
+            group.push(entry);
+        }
+    }
+
+    /// Removes entries matching a predicate.
+    pub fn retain(&mut self, id: HopId, f: impl FnMut(&MemoEntry) -> bool) {
+        if let Some(g) = self.groups.get_mut(&id) {
+            g.retain(f);
+        }
+    }
+
+    /// Mutable access to a group's entries (used by the close step).
+    pub fn entries_mut(&mut self, id: HopId) -> &mut Vec<MemoEntry> {
+        self.groups.entry(id).or_default()
+    }
+
+    /// The distinct template types with *open* entries in a group — the
+    /// candidates for extending fusion to a consumer.
+    pub fn open_types(&self, id: HopId) -> Vec<TemplateType> {
+        let mut types: Vec<TemplateType> =
+            self.entries(id).iter().filter(|e| !e.closed).map(|e| e.ttype).collect();
+        types.sort_unstable();
+        types.dedup();
+        types
+    }
+
+    /// True if the group has any entry (open or closed) whose type is
+    /// merge-compatible with `consumer_type` — the validity condition for a
+    /// fusion reference (paper: "a reference from an entry to a group implies
+    /// that the group contains at least one compatible fusion plan").
+    pub fn has_compatible_plan(&self, id: HopId, consumer_type: TemplateType) -> bool {
+        self.entries(id)
+            .iter()
+            .any(|e| !e.closed && consumer_type.merge_compatible(e.ttype))
+    }
+
+    /// All group ids with at least one entry.
+    pub fn group_ids(&self) -> Vec<HopId> {
+        let mut ids: Vec<HopId> =
+            self.groups.iter().filter(|(_, g)| !g.is_empty()).map(|(&id, _)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Total number of memo entries.
+    pub fn total_entries(&self) -> usize {
+        self.groups.values().map(Vec::len).sum()
+    }
+
+    /// Removes dominated entries, used only under heuristic selection
+    /// policies (paper §3.2): an entry is dominated when another entry of
+    /// the same type has a strict superset of references and every
+    /// *additional* reference of that superset points to a single-consumer
+    /// operator (cf. the paper's Figure 5 discussion: "R(10,9) dominates
+    /// R(10,-1) but R(6,8) does not dominate R(-1,8) because group 6 has
+    /// multiple consumers" — fusing a single-consumer input is always at
+    /// least as good, while multi-consumer inputs stay genuine choices).
+    pub fn prune_dominated(&mut self, dag: &HopDag) {
+        let consumers = dag.consumer_counts();
+        for (_, group) in self.groups.iter_mut() {
+            let snapshot = group.clone();
+            group.retain(|e| {
+                !snapshot.iter().any(|other| {
+                    other.ttype == e.ttype
+                        && other.inputs.len() == e.inputs.len()
+                        && other != e
+                        && other.ref_count() > e.ref_count()
+                        && e.inputs.iter().zip(&other.inputs).all(|(a, b)| match a {
+                            // Positional subset: every ref of e appears in other.
+                            InputRef::Fused(_) => a == b,
+                            // Extra refs of `other` must be single-consumer.
+                            InputRef::Materialized => match b {
+                                InputRef::Fused(r) => consumers[r.index()] <= 1,
+                                InputRef::Materialized => true,
+                            },
+                        })
+                })
+            });
+        }
+    }
+
+    /// Removes Row-template entries from groups whose fused sub-plans
+    /// contain no genuinely row-wise operation (matmult, indexing,
+    /// transpose, or row/column aggregation) — mirroring SystemML's
+    /// special-case pruning: pure cell-wise chains belong to the Cell
+    /// template, whose skeleton exploits sparsity and avoids row buffers.
+    pub fn prune_useless_row_plans(&mut self, dag: &HopDag) {
+        use fusedml_linalg::ops::AggDir;
+        let row_necessary = |id: HopId| -> bool {
+            matches!(
+                dag.hop(id).kind,
+                fusedml_hop::OpKind::MatMult
+                    | fusedml_hop::OpKind::RightIndex { .. }
+                    | fusedml_hop::OpKind::Transpose
+                    | fusedml_hop::OpKind::Agg { dir: AggDir::Row, .. }
+                    | fusedml_hop::OpKind::Agg { dir: AggDir::Col, .. }
+            )
+        };
+        // Fixpoint over "useful" groups: row-necessary op, or a Row entry
+        // referencing a useful group.
+        let ids = self.group_ids();
+        let mut useful: crate::util::FxHashSet<HopId> =
+            ids.iter().copied().filter(|&g| row_necessary(g)).collect();
+        loop {
+            let mut changed = false;
+            for &g in &ids {
+                if useful.contains(&g) {
+                    continue;
+                }
+                let promote = self.entries(g).iter().any(|e| {
+                    e.ttype == TemplateType::Row && e.refs().any(|r| useful.contains(&r))
+                });
+                if promote {
+                    useful.insert(g);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for &g in &ids {
+            if useful.contains(&g) {
+                continue;
+            }
+            let has_cell =
+                self.entries(g).iter().any(|e| e.ttype == TemplateType::Cell);
+            if has_cell {
+                self.retain(g, |e| e.ttype != TemplateType::Row);
+            }
+        }
+    }
+
+    /// Renders the memo table in the style of paper Figure 5 (groups sorted
+    /// descending by id, entries in insertion order).
+    pub fn render(&self, dag: &HopDag) -> String {
+        let mut out = String::new();
+        let mut ids = self.group_ids();
+        ids.sort_unstable_by(|a, b| b.cmp(a));
+        for id in ids {
+            let entries: Vec<String> = self.entries(id).iter().map(|e| e.render()).collect();
+            let _ = writeln!(
+                out,
+                "{:>3} {:<10} {}",
+                id.to_string(),
+                dag.hop(id).kind.display_name(),
+                entries.join(" ")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_hop::DagBuilder;
+
+    fn hid(i: u32) -> HopId {
+        HopId(i)
+    }
+
+    #[test]
+    fn add_deduplicates() {
+        let mut m = MemoTable::new();
+        let e = MemoEntry::open(TemplateType::Cell, vec![InputRef::Materialized]);
+        m.add(hid(3), e.clone());
+        m.add(hid(3), e);
+        assert_eq!(m.entries(hid(3)).len(), 1);
+    }
+
+    #[test]
+    fn render_matches_paper_notation() {
+        let e = MemoEntry::open(
+            TemplateType::Row,
+            vec![InputRef::Fused(hid(10)), InputRef::Materialized],
+        );
+        assert_eq!(e.render(), "R(10,-1)");
+        let c = MemoEntry::open(TemplateType::Cell, vec![InputRef::Materialized]);
+        assert_eq!(c.render(), "C(-1)");
+    }
+
+    #[test]
+    fn open_types_excludes_closed() {
+        let mut m = MemoTable::new();
+        m.add(hid(1), MemoEntry::open(TemplateType::Cell, vec![InputRef::Materialized]));
+        let mut closed = MemoEntry::open(TemplateType::Row, vec![InputRef::Materialized]);
+        closed.closed = true;
+        m.add(hid(1), closed);
+        // Only the open Cell entry is extendable; the closed Row entry is not.
+        assert_eq!(m.open_types(hid(1)), vec![TemplateType::Cell]);
+    }
+
+    #[test]
+    fn compatible_plan_respects_type_matrix() {
+        let mut m = MemoTable::new();
+        m.add(hid(5), MemoEntry::open(TemplateType::Cell, vec![InputRef::Materialized]));
+        assert!(m.has_compatible_plan(hid(5), TemplateType::Row), "Row absorbs Cell");
+        assert!(m.has_compatible_plan(hid(5), TemplateType::Cell));
+        assert!(m.has_compatible_plan(hid(5), TemplateType::Outer), "Outer absorbs Cell");
+        assert!(!m.has_compatible_plan(hid(6), TemplateType::Cell), "missing group");
+    }
+
+    #[test]
+    fn dominance_pruning_respects_multi_consumers() {
+        // DAG: x -> a (consumed once), x consumed twice overall.
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 10, 10, 1.0);
+        let y = b.read("Y", 10, 10, 1.0);
+        let a = b.mult(x, y);
+        let c = b.add(a, y); // y consumed twice, a once
+        let dag = b.build(vec![c]);
+
+        let mut m = MemoTable::new();
+        // Domination follows the paper's Figure 5 discussion: an entry with
+        // MORE refs dominates one with fewer iff every extra ref points to a
+        // single-consumer op. Here `a` is single-consumer, `y` has two
+        // consumers:
+        //  * C(a,y) ⊐ C(-1,y) (extra ref a, single) → C(-1,y) pruned,
+        //  * C(a,y) ⋣ C(a,-1) (extra ref y, multi)  → C(a,-1) kept,
+        //  * C(a,-1) ⊐ C(-1,-1) (extra ref a, single) → C(-1,-1) pruned.
+        m.add(c, MemoEntry::open(TemplateType::Cell, vec![InputRef::Fused(a), InputRef::Materialized]));
+        m.add(c, MemoEntry::open(TemplateType::Cell, vec![InputRef::Fused(a), InputRef::Fused(y)]));
+        m.add(c, MemoEntry::open(TemplateType::Cell, vec![InputRef::Materialized, InputRef::Fused(y)]));
+        m.add(c, MemoEntry::open(TemplateType::Cell, vec![InputRef::Materialized, InputRef::Materialized]));
+        m.prune_dominated(&dag);
+        let rendered: Vec<String> = m.entries(c).iter().map(|e| e.render()).collect();
+        assert!(rendered.contains(&format!("C({a},{y})")), "maximal entry kept: {rendered:?}");
+        assert!(
+            rendered.contains(&format!("C({a},-1)")),
+            "multi-consumer extra ref does not dominate: {rendered:?}"
+        );
+        assert!(!rendered.contains(&format!("C(-1,{y})")), "dominated entry pruned: {rendered:?}");
+        assert!(!rendered.contains(&"C(-1,-1)".to_string()), "dominated entry pruned: {rendered:?}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Runtime calibration of the cost model's bandwidth constants
+//! (DESIGN.md substitution X5).
+//!
+//! The paper uses the cluster's nominal peaks (32 GB/s read, 115 GFLOP/s per
+//! node) and STREAM measurements. The cost model only needs *ratios* to rank
+//! plans, but calibrated constants make the local/distributed crossover
+//! points meaningful on the host actually running the benchmarks.
+
+use crate::opt::cost::CostModel;
+use std::time::Instant;
+
+/// Measures approximate read/write/compute bandwidths with short
+/// micro-benchmarks and returns a calibrated [`CostModel`].
+///
+/// * read: streaming sum over a large buffer,
+/// * write: `fill` of a large buffer,
+/// * compute: fused multiply-add chain on registers.
+pub fn calibrate() -> CostModel {
+    let n = 8usize << 20; // 8 Mi doubles = 64 MB
+    let buf = vec![1.0f64; n];
+
+    // Read bandwidth.
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for chunk in buf.chunks(1024) {
+        acc += chunk.iter().sum::<f64>();
+    }
+    std::hint::black_box(acc);
+    let read_bw = (n * 8) as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    // Write bandwidth.
+    let mut out = vec![0.0f64; n];
+    let t0 = Instant::now();
+    out.fill(2.0);
+    std::hint::black_box(&out);
+    let write_bw = (n * 8) as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    // Compute bandwidth (FLOP/s): independent FMA chains on registers.
+    let iters = 4usize << 20;
+    let t0 = Instant::now();
+    let (mut a, mut b, mut c, mut d) = (1.0f64, 1.000001f64, 0.999999f64, 1.0000001f64);
+    for _ in 0..iters {
+        a = a * 0.9999999 + 1e-7;
+        b = b * 0.9999998 + 2e-7;
+        c = c * 0.9999997 + 3e-7;
+        d = d * 0.9999996 + 4e-7;
+    }
+    std::hint::black_box((a, b, c, d));
+    let compute_bw = (iters * 8) as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    CostModel {
+        read_bw: read_bw.clamp(1e9, 1e12),
+        write_bw: write_bw.clamp(5e8, 1e12),
+        compute_bw: compute_bw.clamp(1e8, 1e12),
+        dist: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_constants_are_plausible() {
+        let m = calibrate();
+        // Any functioning machine reads ≥ 1 GB/s and computes ≥ 0.1 GFLOP/s.
+        assert!(m.read_bw >= 1e9, "read {}", m.read_bw);
+        assert!(m.write_bw >= 5e8, "write {}", m.write_bw);
+        assert!(m.compute_bw >= 1e8, "compute {}", m.compute_bw);
+    }
+
+    #[test]
+    fn calibrated_model_still_ranks_fusion_correctly() {
+        use crate::explore::explore;
+        use crate::opt::{partitions, cost};
+        use crate::util::FxHashSet;
+        let mut b = fusedml_hop::DagBuilder::new();
+        let x = b.read("X", 1000, 1000, 1.0);
+        let y = b.read("Y", 1000, 1000, 1.0);
+        let m1 = b.mult(x, y);
+        let s = b.sum(m1);
+        let dag = b.build(vec![s]);
+        let memo = explore(&dag);
+        let parts = partitions(&dag, &memo);
+        let compute = cost::compute_costs(&dag);
+        let model = calibrate();
+        let none = FxHashSet::default();
+        let fused = cost::PlanCoster::new(&dag, &memo, &parts[0], &compute, &model, &none)
+            .partition_cost(f64::INFINITY);
+        let empty = crate::memo::MemoTable::new();
+        let base = cost::PlanCoster::new(&dag, &empty, &parts[0], &compute, &model, &none)
+            .partition_cost(f64::INFINITY);
+        assert!(fused < base, "fusion must stay cheaper under calibration");
+    }
+}

@@ -1,0 +1,503 @@
+//! `MPSkipEnum` — materialization-point skip enumeration (paper §4.4,
+//! Algorithm 2, Figure 7).
+//!
+//! The exponential space of 2^|M′| materialization assignments is
+//! linearized from negative to positive (fuse-all first, yielding a tight
+//! initial upper bound), scanned with cost-based skip-ahead over subtrees
+//! whose lower bound exceeds the best known plan, and decomposed into
+//! independent sub-problems at valid cut sets of the reachability graph
+//! (structural pruning).
+
+use crate::memo::MemoTable;
+use crate::opt::cost::{self, CostModel, PlanCoster};
+use crate::opt::partition::{InterestingPoint, PlanPartition};
+use crate::util::FxHashSet;
+use fusedml_hop::{HopDag, HopId};
+
+/// Enumeration configuration (the Figure 12 ablation switches).
+#[derive(Clone, Copy, Debug)]
+pub struct EnumConfig {
+    /// Cost-based pruning with lower bounds and skip-ahead.
+    pub cost_prune: bool,
+    /// Structural pruning via cut sets of the reachability graph.
+    pub structural_prune: bool,
+    /// Safety cap on costed plans (enumeration returns the best plan found
+    /// so far once exceeded; `u64::MAX` disables).
+    pub max_eval: u64,
+}
+
+impl Default for EnumConfig {
+    fn default() -> Self {
+        // The cap bounds worst-case optimization time on very wide DAGs
+        // (SystemML similarly bounds its search space and falls back to the
+        // best plan found); partitions with <= 15 interesting points still
+        // enumerate exactly.
+        EnumConfig { cost_prune: true, structural_prune: true, max_eval: 32_768 }
+    }
+}
+
+/// Result of one partition enumeration.
+#[derive(Clone, Debug)]
+pub struct EnumResult {
+    /// Best assignment over the partition's interesting points (in
+    /// `part.interesting` order).
+    pub assignment: Vec<bool>,
+    /// Cost of the best plan.
+    pub cost: f64,
+    /// Number of plans actually costed.
+    pub evaluated: u64,
+    /// Size of the full search space (2^|M′|).
+    pub search_space: f64,
+}
+
+/// Enumerates the optimal assignment for one partition.
+pub fn mpskip_enum(
+    dag: &HopDag,
+    memo: &MemoTable,
+    part: &PlanPartition,
+    compute: &[f64],
+    model: &CostModel,
+    cfg: &EnumConfig,
+) -> EnumResult {
+    // Order: cut-set points first (structural pruning), then the rest.
+    let (order, cutset) = if cfg.structural_prune {
+        plan_order(dag, part)
+    } else {
+        ((0..part.interesting.len()).collect(), None)
+    };
+    let mut state = EnumState {
+        dag,
+        memo,
+        part,
+        compute,
+        model,
+        cfg,
+        evaluated: 0,
+        static_cost: cost::static_parts(dag, part, compute, model),
+    };
+    let best = state.enumerate(&order, cutset.as_ref(), &[]);
+    let mut assignment = vec![false; part.interesting.len()];
+    for (&pt_ix, &on) in order.iter().zip(best.0.iter()) {
+        assignment[pt_ix] = on;
+    }
+    EnumResult {
+        assignment,
+        cost: best.1,
+        evaluated: state.evaluated,
+        search_space: 2f64.powi(part.interesting.len() as i32),
+    }
+}
+
+/// A cut set over point indices (into `part.interesting`) with its
+/// sub-problems.
+#[derive(Clone, Debug)]
+struct CutSet {
+    /// Positions (in the enumeration `order`) forming the cut set — always a
+    /// prefix of the order by construction.
+    len: usize,
+    /// Sub-problem point positions (in `order`, relative to the suffix).
+    s1: Vec<usize>,
+    s2: Vec<usize>,
+}
+
+struct EnumState<'a> {
+    dag: &'a HopDag,
+    memo: &'a MemoTable,
+    part: &'a PlanPartition,
+    compute: &'a [f64],
+    model: &'a CostModel,
+    cfg: &'a EnumConfig,
+    evaluated: u64,
+    static_cost: cost::StaticCosts,
+}
+
+impl<'a> EnumState<'a> {
+    /// Costs one assignment (given in `order` space along with any fixed
+    /// points), with partial-costing abort at `upper`.
+    fn cost_assignment(&mut self, order: &[usize], q: &[bool], fixed: &[(usize, bool)], upper: f64) -> f64 {
+        let mut materialized: FxHashSet<InterestingPoint> = FxHashSet::default();
+        for (&pt_ix, &on) in order.iter().zip(q.iter()) {
+            if on {
+                materialized.insert(self.part.interesting[pt_ix]);
+            }
+        }
+        for &(pt_ix, on) in fixed {
+            if on {
+                materialized.insert(self.part.interesting[pt_ix]);
+            }
+        }
+        self.evaluated += 1;
+        PlanCoster::new(self.dag, self.memo, self.part, self.compute, self.model, &materialized)
+            .partition_cost(upper)
+    }
+
+    /// The core linearized scan with skip-ahead (Algorithm 2). `fixed`
+    /// carries assignments of points outside `order` (used by recursive
+    /// sub-problem calls). Returns (assignment in `order` space, cost).
+    fn enumerate(
+        &mut self,
+        order: &[usize],
+        cutset: Option<&CutSet>,
+        fixed: &[(usize, bool)],
+    ) -> (Vec<bool>, f64) {
+        let len = order.len();
+        let mut best_q = vec![false; len];
+        let mut best_c = f64::INFINITY;
+        if len == 0 {
+            let c = self.cost_assignment(order, &[], fixed, f64::INFINITY);
+            return (best_q, c);
+        }
+        if len >= 63 {
+            // Degenerate safeguard: fall back to fuse-all (practically
+            // unreachable thanks to partitioning).
+            let c = self.cost_assignment(order, &best_q, fixed, f64::INFINITY);
+            return (best_q, c);
+        }
+        let total: u64 = 1u64 << len;
+        let mut j: u64 = 0;
+        while j < total {
+            if self.evaluated >= self.cfg.max_eval {
+                break;
+            }
+            // createAssignment: bit (len-1-i) of j drives point i, so j=0 is
+            // fuse-all and increments flip from the back.
+            let q: Vec<bool> = (0..len).map(|i| (j >> (len - 1 - i)) & 1 == 1).collect();
+
+            // Structural pruning via cut-set decomposition (lines 6-10).
+            if let Some(cs) = cutset {
+                let cs_all_true = q[..cs.len].iter().all(|&b| b);
+                let rest_all_false = q[cs.len..].iter().all(|&b| !b);
+                if cs_all_true && rest_all_false && !cs.s1.is_empty() && !cs.s2.is_empty() {
+                    let mut combined = q.clone();
+                    let cs_fixed: Vec<(usize, bool)> = order[..cs.len]
+                        .iter()
+                        .map(|&p| (p, true))
+                        .chain(fixed.iter().copied())
+                        .collect();
+                    // Solve the sub-problems independently (no nested
+                    // structural pruning, as in the paper: RG = null).
+                    let s1_order: Vec<usize> = cs.s1.iter().map(|&i| order[i]).collect();
+                    let s2_order: Vec<usize> = cs.s2.iter().map(|&i| order[i]).collect();
+                    let (q1, _) = self.enumerate(&s1_order, None, &cs_fixed);
+                    let (q2, _) = self.enumerate(&s2_order, None, &cs_fixed);
+                    for (k, &i) in cs.s1.iter().enumerate() {
+                        combined[i] = q1[k];
+                    }
+                    for (k, &i) in cs.s2.iter().enumerate() {
+                        combined[i] = q2[k];
+                    }
+                    let c = self.cost_assignment(order, &combined, fixed, best_c);
+                    if c < best_c {
+                        best_c = c;
+                        best_q = combined;
+                    }
+                    // Skip the whole subtree below the cut set.
+                    j += (1u64 << (len - cs.len)).saturating_sub(1);
+                    j += 1;
+                    continue;
+                }
+            }
+
+            // Cost-based pruning (lines 11-15).
+            if self.cfg.cost_prune && j > 0 {
+                let (mw, mr) = mp_cost_ordered(self.dag, self.part, order, &q, fixed, self.model);
+                let lb = self.static_cost.lower_bound(mw, mr);
+                if lb >= best_c {
+                    let x = q.iter().rposition(|&b| b).unwrap_or(0);
+                    let skip = 1u64 << (len - x - 1);
+                    j += skip.saturating_sub(1);
+                    j += 1;
+                    continue;
+                }
+            }
+
+            let c = self.cost_assignment(order, &q, fixed, best_c);
+            if c < best_c {
+                best_c = c;
+                best_q = q;
+            }
+            j += 1;
+        }
+        (best_q, best_c)
+    }
+}
+
+/// `getMPCost` over an order-space assignment plus fixed points; returns
+/// `(write_seconds, read_seconds)`.
+fn mp_cost_ordered(
+    dag: &HopDag,
+    part: &PlanPartition,
+    order: &[usize],
+    q: &[bool],
+    fixed: &[(usize, bool)],
+    model: &CostModel,
+) -> (f64, f64) {
+    let mut seen: FxHashSet<HopId> = FxHashSet::default();
+    let (mut w, mut r) = (0.0, 0.0);
+    let mut add = |pt: InterestingPoint| {
+        if seen.insert(pt.target) {
+            let b = dag.hop(pt.target).size.bytes();
+            w += b / model.write_bw;
+            r += b / model.read_bw;
+        }
+    };
+    for (&ix, &on) in order.iter().zip(q.iter()) {
+        if on {
+            add(part.interesting[ix]);
+        }
+    }
+    for &(ix, on) in fixed {
+        if on {
+            add(part.interesting[ix]);
+        }
+    }
+    (w, r)
+}
+
+/// Builds the enumeration order: the best-scoring valid cut set first (if
+/// any), then all remaining points. Returns (order, cutset).
+fn plan_order(dag: &HopDag, part: &PlanPartition) -> (Vec<usize>, Option<CutSet>) {
+    let n = part.interesting.len();
+    let default: Vec<usize> = (0..n).collect();
+    if n < 3 {
+        return (default, None);
+    }
+    // Candidates: composite points per distinct target (single points are
+    // the 1-element case); plus non-overlapping pairs of those composites.
+    let mut targets: Vec<HopId> = part.interesting.iter().map(|p| p.target).collect();
+    targets.sort_unstable();
+    targets.dedup();
+    let composite = |t: HopId| -> Vec<usize> {
+        (0..n).filter(|&i| part.interesting[i].target == t).collect()
+    };
+    let mut candidates: Vec<Vec<usize>> = targets.iter().map(|&t| composite(t)).collect();
+    let pairs: Vec<Vec<usize>> = {
+        let mut v = Vec::new();
+        for i in 0..targets.len() {
+            for k in i + 1..targets.len() {
+                let mut c = composite(targets[i]);
+                c.extend(composite(targets[k]));
+                v.push(c);
+            }
+        }
+        v
+    };
+    candidates.extend(pairs);
+
+    let mut best: Option<(f64, Vec<usize>, Vec<usize>, Vec<usize>)> = None;
+    for cs in candidates {
+        if cs.len() >= n {
+            continue;
+        }
+        if let Some((s1, s2)) = split_by_cutset(dag, part, &cs) {
+            if s1.is_empty() || s2.is_empty() {
+                continue;
+            }
+            // Eq. (5): (2^|cs|-1)/2^|cs| · 2^|M'| + 1/2^|cs| · (2^|S1|+2^|S2|)
+            let p_cs = 2f64.powi(cs.len() as i32);
+            let score = (p_cs - 1.0) / p_cs * 2f64.powi(n as i32)
+                + (2f64.powi(s1.len() as i32) + 2f64.powi(s2.len() as i32)) / p_cs;
+            if best.as_ref().is_none_or(|(b, ..)| score < *b) {
+                best = Some((score, cs, s1, s2));
+            }
+        }
+    }
+    match best {
+        None => (default, None),
+        Some((_, cs, s1, s2)) => {
+            // Order: cut set, then S1, then S2 (relative positions recorded).
+            let mut order: Vec<usize> = cs.clone();
+            let s1_pos: Vec<usize> = (0..s1.len()).map(|k| cs.len() + k).collect();
+            order.extend(s1.iter().copied());
+            let s2_pos: Vec<usize> = (0..s2.len()).map(|k| cs.len() + s1.len() + k).collect();
+            order.extend(s2.iter().copied());
+            let cut = CutSet { len: cs.len(), s1: s1_pos, s2: s2_pos };
+            (order, Some(cut))
+        }
+    }
+}
+
+/// Checks whether materializing `cs` splits the remaining points into
+/// root-side (S1) and descendant-side (S2) sets with `S1 ∩ S2 = ∅`
+/// (Figure 7(b)). Returns point indices into `part.interesting`.
+fn split_by_cutset(
+    dag: &HopDag,
+    part: &PlanPartition,
+    cs: &[usize],
+) -> Option<(Vec<usize>, Vec<usize>)> {
+    let part_set: FxHashSet<HopId> = part.nodes.iter().copied().collect();
+    let cut_targets: FxHashSet<HopId> =
+        cs.iter().map(|&i| part.interesting[i].target).collect();
+    // S1: nodes reachable from partition roots without descending through
+    // cut targets.
+    let mut top: FxHashSet<HopId> = FxHashSet::default();
+    let mut stack: Vec<HopId> = part.roots.clone();
+    while let Some(h) = stack.pop() {
+        if !part_set.contains(&h) || !top.insert(h) {
+            continue;
+        }
+        if cut_targets.contains(&h) {
+            continue; // do not descend through the cut
+        }
+        stack.extend(dag.hop(h).inputs.iter().copied());
+    }
+    // S2: nodes reachable strictly below the cut targets.
+    let mut bottom: FxHashSet<HopId> = FxHashSet::default();
+    let mut stack: Vec<HopId> =
+        cut_targets.iter().flat_map(|&t| dag.hop(t).inputs.clone()).collect();
+    while let Some(h) = stack.pop() {
+        if !part_set.contains(&h) || !bottom.insert(h) {
+            continue;
+        }
+        stack.extend(dag.hop(h).inputs.iter().copied());
+    }
+    // The decomposition is only sound if the two sides share no nodes
+    // beyond the cut itself: a node reachable both from the roots around
+    // the cut and from below it couples the sides through redundant-compute
+    // and shared-read effects (S1 ∩ S2 = ∅, paper §4.4).
+    if top.iter().any(|h| !cut_targets.contains(h) && bottom.contains(h)) {
+        return None;
+    }
+    let cs_set: FxHashSet<usize> = cs.iter().copied().collect();
+    let mut s1 = Vec::new();
+    let mut s2 = Vec::new();
+    for i in 0..part.interesting.len() {
+        if cs_set.contains(&i) {
+            continue;
+        }
+        let p = part.interesting[i];
+        let in_top = top.contains(&p.consumer) && !cut_targets.contains(&p.target) && top.contains(&p.target);
+        let in_bottom = bottom.contains(&p.consumer) || (bottom.contains(&p.target) && !top.contains(&p.consumer));
+        match (in_top, in_bottom) {
+            (true, false) => s1.push(i),
+            (false, true) => s2.push(i),
+            // Overlap or unreachable: not a valid cut.
+            _ => return None,
+        }
+    }
+    Some((s1, s2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+    use crate::opt::cost::compute_costs;
+    use crate::opt::partition::partitions;
+    use fusedml_hop::DagBuilder;
+
+    /// A DAG with a genuine materialization decision: expensive shared
+    /// intermediate consumed twice.
+    fn shared_dag() -> HopDag {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 2000, 2000, 1.0);
+        let y = b.read("Y", 2000, 2000, 1.0);
+        let shared = b.exp(x);
+        let p1 = b.mult(shared, y);
+        let s1 = b.sum(p1);
+        let p2 = b.mult(shared, x);
+        let s2 = b.sum(p2);
+        b.build(vec![s1, s2])
+    }
+
+    fn run(dag: &HopDag, cfg: EnumConfig) -> (EnumResult, usize) {
+        let memo = explore(dag);
+        let parts = partitions(dag, &memo);
+        let part = parts.iter().max_by_key(|p| p.nodes.len()).unwrap();
+        let compute = compute_costs(dag);
+        let model = CostModel::default();
+        let r = mpskip_enum(dag, &memo, part, &compute, &model, &cfg);
+        (r, part.interesting.len())
+    }
+
+    #[test]
+    fn exhaustive_and_pruned_agree_on_optimum() {
+        let dag = shared_dag();
+        let (full, n) = run(
+            &dag,
+            EnumConfig { cost_prune: false, structural_prune: false, max_eval: u64::MAX },
+        );
+        let (pruned, _) = run(&dag, EnumConfig::default());
+        assert!(n >= 2);
+        assert_eq!(full.evaluated, 1 << n, "exhaustive costs every plan");
+        assert!(
+            (full.cost - pruned.cost).abs() <= 1e-9 * full.cost.max(1.0),
+            "pruning must preserve the optimum: {} vs {}",
+            full.cost,
+            pruned.cost
+        );
+        assert!(pruned.evaluated <= full.evaluated);
+    }
+
+    #[test]
+    fn optimal_plan_materializes_expensive_shared_node() {
+        let dag = shared_dag();
+        let (r, _) = run(
+            &dag,
+            EnumConfig { cost_prune: false, structural_prune: false, max_eval: u64::MAX },
+        );
+        // exp(X) over 2000² with weight 20 is compute-dominant; computing it
+        // twice is worse than materializing. The best plan must set at least
+        // one materialization bit on the shared node's edges.
+        assert!(r.assignment.iter().any(|&b| b), "best plan materializes: {:?}", r.assignment);
+    }
+
+    #[test]
+    fn fuse_all_is_optimal_without_sharing() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 1000, 1000, 1.0);
+        let y = b.read("Y", 1000, 1000, 1.0);
+        let z = b.read("Z", 1000, 1000, 1.0);
+        let m1 = b.mult(x, y);
+        let m2 = b.mult(m1, z);
+        let s = b.sum(m2);
+        let dag = b.build(vec![s]);
+        let (r, _) = run(&dag, EnumConfig::default());
+        assert!(r.assignment.iter().all(|&b| !b), "no reason to materialize");
+    }
+
+    #[test]
+    fn cost_pruning_reduces_evaluated_plans() {
+        // Cheap compute, huge shared intermediates: materializing is
+        // clearly bad, so lower bounds prune most of the search space.
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 4000, 4000, 1.0);
+        let y = b.read("Y", 4000, 4000, 1.0);
+        let s1 = b.abs(x);
+        let s2 = b.sq(y);
+        let m1 = b.mult(s1, s2);
+        let m2 = b.mult(s1, y);
+        let m3 = b.mult(s2, x);
+        let t1 = b.sum(m1);
+        let t2 = b.sum(m2);
+        let t3 = b.sum(m3);
+        let dag = b.build(vec![t1, t2, t3]);
+        let (full, n) = run(
+            &dag,
+            EnumConfig { cost_prune: false, structural_prune: false, max_eval: u64::MAX },
+        );
+        let (pruned, _) = run(
+            &dag,
+            EnumConfig { cost_prune: true, structural_prune: false, max_eval: u64::MAX },
+        );
+        assert!(n >= 3, "need a real search space, got {n}");
+        assert!(
+            pruned.evaluated < full.evaluated,
+            "pruning must skip plans: {} vs {}",
+            pruned.evaluated,
+            full.evaluated
+        );
+        assert!((full.cost - pruned.cost).abs() <= 1e-9 * full.cost.max(1.0));
+    }
+
+    #[test]
+    fn max_eval_caps_work() {
+        let dag = shared_dag();
+        let (r, _) = run(
+            &dag,
+            EnumConfig { cost_prune: false, structural_prune: false, max_eval: 2 },
+        );
+        assert!(r.evaluated <= 2);
+        assert!(r.cost.is_finite());
+    }
+}

@@ -1,0 +1,56 @@
+//! Fusion heuristics (paper §4.1): the baseline assignment policies
+//! fuse-all and fuse-no-redundancy.
+
+use crate::opt::partition::PlanPartition;
+use fusedml_hop::HopDag;
+
+/// Fuse-all (`Gen-FA`): maximal fusion, never materialize — redundant
+/// compute on CSEs. "Similar to lazy evaluation in Spark, delayed arrays in
+/// Repa, and code generation in SPOOF."
+pub fn fuse_all(part: &PlanPartition) -> Vec<bool> {
+    vec![false; part.interesting.len()]
+}
+
+/// Fuse-no-redundancy (`Gen-FNR`): materialize every intermediate with
+/// multiple consumers. "Similar to caching policies in Emma."
+pub fn fuse_no_redundancy(dag: &HopDag, part: &PlanPartition) -> Vec<bool> {
+    let counts = dag.consumer_counts();
+    part.interesting
+        .iter()
+        .map(|p| counts[p.target.index()] > 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+    use crate::opt::partition::partitions;
+    use fusedml_hop::DagBuilder;
+
+    #[test]
+    fn heuristic_assignments_differ_on_shared_nodes() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 500, 500, 1.0);
+        let y = b.read("Y", 500, 500, 1.0);
+        let shared = b.mult(x, y);
+        let e = b.exp(shared);
+        let s1 = b.sum(e);
+        let q = b.sq(shared);
+        let s2 = b.sum(q);
+        let dag = b.build(vec![s1, s2]);
+        let memo = explore(&dag);
+        let parts = partitions(&dag, &memo);
+        let part = &parts[0];
+        let fa = fuse_all(part);
+        let fnr = fuse_no_redundancy(&dag, part);
+        assert!(fa.iter().all(|&v| !v), "fuse-all never materializes");
+        assert!(fnr.iter().any(|&v| v), "fuse-no-redundancy materializes the shared node");
+        // FNR materializes exactly the multi-consumer targets.
+        for (p, &on) in part.interesting.iter().zip(&fnr) {
+            if p.target == shared {
+                assert!(on);
+            }
+        }
+    }
+}

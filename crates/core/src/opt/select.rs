@@ -1,0 +1,349 @@
+//! Plan selection: turns per-partition assignments into concrete
+//! [`OperatorPlan`]s by extracting the chosen memo entries along fusion
+//! references (the same traversal the cost model performs), and groups
+//! full-aggregate Cell plans sharing inputs into MultiAgg candidates.
+
+use crate::cplan::OperatorPlan;
+use crate::memo::{MemoEntry, MemoTable};
+use crate::opt::cost::{self, pick_best_entry, CostModel};
+use crate::opt::enumerate::{mpskip_enum, EnumConfig};
+use crate::opt::heuristics;
+use crate::opt::partition::{partitions, InterestingPoint, PlanPartition};
+use crate::templates::TemplateType;
+use crate::util::{FxHashMap, FxHashSet};
+use fusedml_hop::{HopDag, HopId, OpKind};
+use fusedml_linalg::ops::AggDir;
+
+/// Candidate selection policy (paper §4.1).
+#[derive(Clone, Copy, Debug)]
+pub enum SelectionPolicy {
+    /// Cost-based enumeration with `MPSkipEnum` (the `Gen` configuration).
+    CostBased(EnumConfig),
+    /// The fuse-all heuristic (`Gen-FA`).
+    FuseAll,
+    /// The fuse-no-redundancy heuristic (`Gen-FNR`).
+    FuseNoRedundancy,
+}
+
+/// Output of candidate selection.
+#[derive(Clone, Debug, Default)]
+pub struct SelectionResult {
+    /// Selected fused operators.
+    pub operators: Vec<OperatorPlan>,
+    /// Groups of operator indices to combine into MultiAgg operators
+    /// (each group has ≥2 full-agg Cell operators sharing inputs).
+    pub magg_groups: Vec<Vec<usize>>,
+    /// Total plans costed across partitions.
+    pub plans_evaluated: u64,
+    /// Total search-space size across partitions (2^|M'| summed).
+    pub search_space: f64,
+    /// Number of partitions.
+    pub partitions: usize,
+    /// Total interesting points.
+    pub interesting_points: usize,
+}
+
+/// Runs candidate selection over a populated memo table.
+pub fn select_plans(
+    dag: &HopDag,
+    memo: &MemoTable,
+    policy: SelectionPolicy,
+    model: &CostModel,
+) -> SelectionResult {
+    // Special-case pruning of Row plans without row-wise operations (all
+    // policies), plus dominance pruning for the heuristics (paper §3.2).
+    let mut m = memo.clone();
+    m.prune_useless_row_plans(dag);
+    if !matches!(policy, SelectionPolicy::CostBased(_)) {
+        m.prune_dominated(dag);
+    }
+    let memo = &m;
+    let parts = partitions(dag, memo);
+    let compute = cost::compute_costs(dag);
+    let mut result = SelectionResult { partitions: parts.len(), ..Default::default() };
+    for part in &parts {
+        result.interesting_points += part.interesting.len();
+        let assignment: Vec<bool> = match policy {
+            SelectionPolicy::CostBased(cfg) => {
+                let r = mpskip_enum(dag, memo, part, &compute, model, &cfg);
+                result.plans_evaluated += r.evaluated;
+                result.search_space += r.search_space;
+                r.assignment
+            }
+            SelectionPolicy::FuseAll => {
+                result.plans_evaluated += 1;
+                result.search_space += 1.0;
+                heuristics::fuse_all(part)
+            }
+            SelectionPolicy::FuseNoRedundancy => {
+                result.plans_evaluated += 1;
+                result.search_space += 1.0;
+                heuristics::fuse_no_redundancy(dag, part)
+            }
+        };
+        let materialized: FxHashSet<InterestingPoint> = part
+            .interesting
+            .iter()
+            .zip(&assignment)
+            .filter(|(_, &on)| on)
+            .map(|(p, _)| *p)
+            .collect();
+        extract_operators(dag, memo, part, &materialized, &mut result.operators);
+    }
+    result.magg_groups = group_multi_aggregates(dag, &result.operators);
+    result
+}
+
+/// Extracts operator plans for one partition under an assignment, mirroring
+/// the cost model's traversal (open at roots/materialized boundaries, follow
+/// fusion references of the best entries).
+fn extract_operators(
+    dag: &HopDag,
+    memo: &MemoTable,
+    part: &PlanPartition,
+    materialized: &FxHashSet<InterestingPoint>,
+    out: &mut Vec<OperatorPlan>,
+) {
+    let part_set: FxHashSet<HopId> = part.nodes.iter().copied().collect();
+    let mut opened: FxHashSet<HopId> = FxHashSet::default();
+    let mut queue: Vec<HopId> = part.roots.clone();
+    while let Some(root) = queue.pop() {
+        if !opened.insert(root) {
+            continue;
+        }
+        let best = pick_best_entry(memo, root, None, materialized);
+        match best {
+            Some(entry) if entry.ref_count() > 0 => {
+                let mut plan = OperatorPlan {
+                    root,
+                    ttype: entry.ttype,
+                    entries: FxHashMap::default(),
+                };
+                let mut frontier: Vec<HopId> = Vec::new();
+                collect(dag, memo, root, entry, materialized, &mut plan, &mut frontier);
+                // Refs can degrade to materialized when the assignment
+                // invalidated all compatible sub-plans; a fused operator
+                // covering a single op is pointless — execute it basic.
+                let has_refs = plan.entries.values().any(|e| e.ref_count() > 0);
+                if has_refs && plan.entries.len() > 1 {
+                    out.push(plan);
+                } else {
+                    for &i in &dag.hop(root).inputs {
+                        if part_set.contains(&i) {
+                            queue.push(i);
+                        }
+                    }
+                }
+                for f in frontier {
+                    if part_set.contains(&f) {
+                        queue.push(f);
+                    }
+                }
+            }
+            _ => {
+                // Basic operator (or single-op plan not worth fusing):
+                // recurse into partition inputs.
+                for &i in &dag.hop(root).inputs {
+                    if part_set.contains(&i) {
+                        queue.push(i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Recursively collects the covered hops of one operator. Each fused
+/// reference is resolved to the input's best merge-compatible entry; a
+/// reference without a valid compatible plan degrades to a materialized
+/// input.
+fn collect(
+    dag: &HopDag,
+    memo: &MemoTable,
+    hop: HopId,
+    entry: MemoEntry,
+    materialized: &FxHashSet<InterestingPoint>,
+    plan: &mut OperatorPlan,
+    frontier: &mut Vec<HopId>,
+) {
+    if plan.entries.contains_key(&hop) {
+        return;
+    }
+    let inputs = dag.hop(hop).inputs.clone();
+    let mut resolved = entry;
+    // Placeholder guards against diamond re-entry within this operator.
+    plan.entries.insert(hop, resolved.clone());
+    for (j, &input) in inputs.iter().enumerate() {
+        if resolved.inputs[j].is_fused() {
+            match pick_best_entry(memo, input, Some(plan.ttype), materialized) {
+                Some(se) => collect(dag, memo, input, se, materialized, plan, frontier),
+                None => {
+                    resolved.inputs[j] = crate::memo::InputRef::Materialized;
+                    frontier.push(input);
+                }
+            }
+        } else {
+            frontier.push(input);
+        }
+    }
+    plan.entries.insert(hop, resolved);
+}
+
+/// Groups full-aggregate Cell operators sharing at least one input into
+/// MultiAgg candidates of up to 3 aggregates (paper Table 1: MAgg binds
+/// `X_ij` with full-agg variants; §5.2 multi-aggregate experiments).
+fn group_multi_aggregates(dag: &HopDag, operators: &[OperatorPlan]) -> Vec<Vec<usize>> {
+    // Candidates: Cell operators rooted at full aggregations.
+    let mut cands: Vec<(usize, FxHashSet<HopId>)> = Vec::new();
+    for (i, op) in operators.iter().enumerate() {
+        if op.ttype != TemplateType::Cell {
+            continue;
+        }
+        let root = dag.hop(op.root);
+        if !matches!(root.kind, OpKind::Agg { dir: AggDir::Full, .. }) {
+            continue;
+        }
+        // Leaf inputs of the covered set.
+        let covered = op.covered();
+        let mut leaves: FxHashSet<HopId> = FxHashSet::default();
+        for &h in covered.iter() {
+            for &input in &dag.hop(h).inputs {
+                if !covered.contains(&input) && !dag.hop(input).is_scalar() {
+                    leaves.insert(input);
+                }
+            }
+        }
+        cands.push((i, leaves));
+    }
+    // Greedy grouping by shared inputs.
+    let mut used = vec![false; cands.len()];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for i in 0..cands.len() {
+        if used[i] {
+            continue;
+        }
+        let mut group = vec![cands[i].0];
+        used[i] = true;
+        for j in i + 1..cands.len() {
+            if used[j] || group.len() >= 3 {
+                continue;
+            }
+            if cands[i].1.intersection(&cands[j].1).next().is_some() {
+                group.push(cands[j].0);
+                used[j] = true;
+            }
+        }
+        if group.len() >= 2 {
+            groups.push(group);
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+
+    #[test]
+    fn cell_chain_selected_as_single_operator() {
+        let mut b = fusedml_hop::DagBuilder::new();
+        let x = b.read("X", 1000, 1000, 1.0);
+        let y = b.read("Y", 1000, 1000, 1.0);
+        let z = b.read("Z", 1000, 1000, 1.0);
+        let m1 = b.mult(x, y);
+        let m2 = b.mult(m1, z);
+        let s = b.sum(m2);
+        let dag = b.build(vec![s]);
+        let memo = explore(&dag);
+        let r = select_plans(
+            &dag,
+            &memo,
+            SelectionPolicy::CostBased(EnumConfig::default()),
+            &CostModel::default(),
+        );
+        assert_eq!(r.operators.len(), 1);
+        let op = &r.operators[0];
+        assert_eq!(op.root, s);
+        let covered = op.covered();
+        assert!(covered.contains(&m1) && covered.contains(&m2) && covered.contains(&s));
+    }
+
+    #[test]
+    fn magg_groups_shared_input_aggregates() {
+        // sum(X⊙Y), sum(X⊙Z): two full-agg Cell ops sharing X.
+        let mut b = fusedml_hop::DagBuilder::new();
+        let x = b.read("X", 1000, 1000, 1.0);
+        let y = b.read("Y", 1000, 1000, 1.0);
+        let z = b.read("Z", 1000, 1000, 1.0);
+        let a = b.mult(x, y);
+        let c = b.mult(x, z);
+        let s1 = b.sum(a);
+        let s2 = b.sum(c);
+        let dag = b.build(vec![s1, s2]);
+        let memo = explore(&dag);
+        let r = select_plans(
+            &dag,
+            &memo,
+            SelectionPolicy::CostBased(EnumConfig::default()),
+            &CostModel::default(),
+        );
+        assert_eq!(r.operators.len(), 2);
+        assert_eq!(r.magg_groups.len(), 1, "one MAgg group: {:?}", r.magg_groups);
+        assert_eq!(r.magg_groups[0].len(), 2);
+    }
+
+    #[test]
+    fn mlogreg_row_plan_extracted() {
+        // The Figure 5 expression must select a Row operator rooted at the
+        // final matmult covering the full chain.
+        let (n, m, k) = (1000, 100, 4);
+        let mut b = fusedml_hop::DagBuilder::new();
+        let x = b.read("X", n, m, 1.0);
+        let v = b.read("v", m, k, 1.0);
+        let p = b.read("P", n, k + 1, 1.0);
+        let h4 = b.mm(x, v);
+        let h5 = b.rix(p, None, Some((0, k)));
+        let h6 = b.mult(h5, h4);
+        let h7 = b.row_sums(h6);
+        let h8 = b.mult(h5, h7);
+        let h9 = b.sub(h6, h8);
+        let h10 = b.t(x);
+        let h11 = b.mm(h10, h9);
+        let dag = b.build(vec![h11]);
+        let memo = explore(&dag);
+        let r = select_plans(
+            &dag,
+            &memo,
+            SelectionPolicy::CostBased(EnumConfig::default()),
+            &CostModel::default(),
+        );
+        let root_op = r
+            .operators
+            .iter()
+            .find(|o| o.root == h11)
+            .expect("operator at the final matmult");
+        assert_eq!(root_op.ttype, TemplateType::Row);
+        // The Q intermediate (h6) has two consumers; the optimal plan for
+        // this size fuses everything into one pass (single-pass over X).
+        assert!(root_op.entries.len() >= 4, "covers a multi-op chain: {:?}", root_op.entries.keys());
+    }
+
+    #[test]
+    fn heuristics_extract_without_panic() {
+        let mut b = fusedml_hop::DagBuilder::new();
+        let x = b.read("X", 500, 500, 1.0);
+        let y = b.read("Y", 500, 500, 1.0);
+        let shared = b.mult(x, y);
+        let e = b.exp(shared);
+        let s1 = b.sum(e);
+        let q = b.sq(shared);
+        let s2 = b.sum(q);
+        let dag = b.build(vec![s1, s2]);
+        let memo = explore(&dag);
+        for policy in [SelectionPolicy::FuseAll, SelectionPolicy::FuseNoRedundancy] {
+            let r = select_plans(&dag, &memo, policy, &CostModel::default());
+            assert!(!r.operators.is_empty());
+        }
+    }
+}

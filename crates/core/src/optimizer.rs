@@ -1,0 +1,295 @@
+//! The top-level fusion optimizer façade: exploration → selection → CPlan
+//! construction → code generation → fusion plan (paper Figure 2).
+
+use crate::codegen::{CodegenOptions, GeneratedOperator};
+use crate::cplan::{self, CPlan};
+use crate::explore::explore;
+use crate::opt::{select_plans, CostModel, EnumConfig, SelectionPolicy};
+use crate::plancache::PlanCache;
+use crate::stats::CodegenStats;
+use fusedml_hop::{HopDag, HopId};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The execution configurations of the paper's evaluation (§5.1):
+/// `Base` (no fusion), `Fused` (hand-coded fused operators), `Gen`
+/// (cost-based optimizer), and the `Gen-FA`/`Gen-FNR` heuristics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FusionMode {
+    /// Basic operators only.
+    Base,
+    /// Hand-coded fused operators (fixed patterns, runtime-matched).
+    Fused,
+    /// Cost-based optimized fusion (the paper's contribution).
+    Gen,
+    /// Fuse-all heuristic.
+    GenFA,
+    /// Fuse-no-redundancy heuristic.
+    GenFNR,
+}
+
+impl FusionMode {
+    /// True for the modes that run the code generator.
+    pub fn uses_codegen(self) -> bool {
+        matches!(self, FusionMode::Gen | FusionMode::GenFA | FusionMode::GenFNR)
+    }
+}
+
+/// A compiled fused operator bound to DAG positions.
+#[derive(Clone, Debug)]
+pub struct FusedOperator {
+    /// Output HOPs (one for Cell/Row/Outer; several for MAgg, in the order
+    /// of the spec's aggregate results).
+    pub roots: Vec<HopId>,
+    /// The constructed CPlan (carries main/side/scalar bindings and the
+    /// covered set).
+    pub cplan: CPlan,
+    /// The generated operator (register program + source).
+    pub op: Arc<GeneratedOperator>,
+}
+
+/// The optimizer's output for one DAG: fused operators covering parts of the
+/// DAG. Uncovered HOPs execute as basic operators.
+#[derive(Clone, Debug, Default)]
+pub struct FusionPlan {
+    pub operators: Vec<FusedOperator>,
+}
+
+impl FusionPlan {
+    /// Renders an explain-style summary.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        for f in &self.operators {
+            s.push_str(&format!(
+                "{} [{}] roots={:?} covered={:?} main={:?} sides={:?}\n",
+                f.op.name,
+                f.op.spec.template_name(),
+                f.roots,
+                f.cplan.covered,
+                f.cplan.main,
+                f.cplan.sides,
+            ));
+        }
+        s
+    }
+}
+
+/// The fusion optimizer with its plan cache and statistics.
+pub struct Optimizer {
+    pub mode: FusionMode,
+    pub model: CostModel,
+    pub codegen: CodegenOptions,
+    pub enum_cfg: EnumConfig,
+    pub plan_cache: Arc<PlanCache>,
+    pub stats: Arc<CodegenStats>,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with default model and options.
+    pub fn new(mode: FusionMode) -> Self {
+        Optimizer {
+            mode,
+            model: CostModel::default(),
+            codegen: CodegenOptions::default(),
+            enum_cfg: EnumConfig::default(),
+            plan_cache: Arc::new(PlanCache::new()),
+            stats: Arc::new(CodegenStats::new()),
+        }
+    }
+
+    /// Optimizes one HOP DAG into a fusion plan.
+    pub fn optimize(&self, dag: &HopDag) -> FusionPlan {
+        if !self.mode.uses_codegen() {
+            return FusionPlan::default();
+        }
+        let t0 = Instant::now();
+        self.stats.dags_optimized.fetch_add(1, Ordering::Relaxed);
+
+        // Phase 1: candidate exploration.
+        let memo = explore(dag);
+
+        // Phase 2: candidate selection.
+        let policy = match self.mode {
+            FusionMode::Gen => SelectionPolicy::CostBased(self.enum_cfg),
+            FusionMode::GenFA => SelectionPolicy::FuseAll,
+            FusionMode::GenFNR => SelectionPolicy::FuseNoRedundancy,
+            _ => unreachable!(),
+        };
+        let sel = select_plans(dag, &memo, policy, &self.model);
+        self.stats.add_plans_evaluated(sel.plans_evaluated);
+        self.stats.partitions.fetch_add(sel.partitions, Ordering::Relaxed);
+        self.stats
+            .interesting_points
+            .fetch_add(sel.interesting_points, Ordering::Relaxed);
+        self.stats
+            .optimize_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        // Phases 3-4: CPlan construction + code generation (plan cache).
+        let t1 = Instant::now();
+        let mut plan = FusionPlan::default();
+        let in_magg: crate::util::FxHashSet<usize> =
+            sel.magg_groups.iter().flatten().copied().collect();
+
+        for (i, op_plan) in sel.operators.iter().enumerate() {
+            if in_magg.contains(&i) {
+                continue;
+            }
+            match cplan::construct(dag, op_plan) {
+                Ok(cp) => {
+                    self.stats.cplans_constructed.fetch_add(1, Ordering::Relaxed);
+                    self.push_operator(&mut plan, vec![op_plan.root], cp);
+                }
+                Err(_) => { /* fall back to unfused execution of this subDAG */ }
+            }
+        }
+        for group in &sel.magg_groups {
+            let mut members: Vec<CPlan> = Vec::new();
+            let mut roots: Vec<HopId> = Vec::new();
+            for &i in group {
+                if let Ok(cp) = cplan::construct(dag, &sel.operators[i]) {
+                    self.stats.cplans_constructed.fetch_add(1, Ordering::Relaxed);
+                    members.push(cp);
+                    roots.push(sel.operators[i].root);
+                }
+            }
+            match cplan::construct_multi_agg(&members) {
+                Ok(magg) => {
+                    self.stats.cplans_constructed.fetch_add(1, Ordering::Relaxed);
+                    self.push_operator(&mut plan, roots, magg);
+                }
+                Err(_) => {
+                    // Fall back to individual Cell operators.
+                    for (cp, root) in members.into_iter().zip(roots) {
+                        self.push_operator(&mut plan, vec![root], cp);
+                    }
+                }
+            }
+        }
+        self.stats
+            .codegen_nanos
+            .fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        plan
+    }
+
+    fn push_operator(&self, plan: &mut FusionPlan, roots: Vec<HopId>, cp: CPlan) {
+        let (h0, m0) = self.plan_cache.stats();
+        let op = self.plan_cache.get_or_compile(&cp, &self.codegen);
+        let (h1, m1) = self.plan_cache.stats();
+        self.stats.cache_hits.fetch_add(h1 - h0, Ordering::Relaxed);
+        self.stats.operators_compiled.fetch_add(m1 - m0, Ordering::Relaxed);
+        plan.operators.push(FusedOperator { roots, cplan: cp, op });
+    }
+}
+
+/// One-shot convenience: optimize a DAG under a mode with defaults.
+pub fn optimize(dag: &HopDag, mode: FusionMode) -> FusionPlan {
+    Optimizer::new(mode).optimize(dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spoof::FusedSpec;
+    use fusedml_hop::DagBuilder;
+
+    fn cell_chain_dag() -> HopDag {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 1000, 1000, 1.0);
+        let y = b.read("Y", 1000, 1000, 1.0);
+        let z = b.read("Z", 1000, 1000, 1.0);
+        let m1 = b.mult(x, y);
+        let m2 = b.mult(m1, z);
+        let s = b.sum(m2);
+        b.build(vec![s])
+    }
+
+    #[test]
+    fn base_mode_generates_nothing() {
+        let plan = optimize(&cell_chain_dag(), FusionMode::Base);
+        assert!(plan.operators.is_empty());
+    }
+
+    #[test]
+    fn gen_compiles_cell_chain_to_one_operator() {
+        let plan = optimize(&cell_chain_dag(), FusionMode::Gen);
+        assert_eq!(plan.operators.len(), 1);
+        let f = &plan.operators[0];
+        assert!(matches!(f.op.spec, FusedSpec::Cell(_)));
+        assert!(f.op.source.contains("SpoofCellwise"));
+        assert_eq!(f.cplan.sides.len() + usize::from(f.cplan.main.is_some()), 3);
+    }
+
+    #[test]
+    fn plan_cache_reused_across_dags() {
+        let opt = Optimizer::new(FusionMode::Gen);
+        let _ = opt.optimize(&cell_chain_dag());
+        let _ = opt.optimize(&cell_chain_dag());
+        let (hits, misses) = opt.plan_cache.stats();
+        assert_eq!(misses, 1, "structural hash matches across DAGs");
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn magg_compiled_for_shared_input_aggregates() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 1000, 1000, 1.0);
+        let y = b.read("Y", 1000, 1000, 1.0);
+        let z = b.read("Z", 1000, 1000, 1.0);
+        let a = b.mult(x, y);
+        let c = b.mult(x, z);
+        let s1 = b.sum(a);
+        let s2 = b.sum(c);
+        let dag = b.build(vec![s1, s2]);
+        let plan = optimize(&dag, FusionMode::Gen);
+        assert_eq!(plan.operators.len(), 1, "one MAgg operator: {}", plan.explain());
+        let f = &plan.operators[0];
+        assert!(matches!(f.op.spec, FusedSpec::MAgg(_)));
+        assert_eq!(f.roots.len(), 2);
+    }
+
+    #[test]
+    fn outer_compiled_for_als_loss() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 2000, 2000, 0.01);
+        let u = b.read("U", 2000, 20, 1.0);
+        let v = b.read("V", 2000, 20, 1.0);
+        let vt = b.t(v);
+        let uvt = b.mm(u, vt);
+        let eps = b.lit(1e-15);
+        let plus = b.add(uvt, eps);
+        let lg = b.log(plus);
+        let prod = b.mult(x, lg);
+        let s = b.sum(prod);
+        let dag = b.build(vec![s]);
+        let plan = optimize(&dag, FusionMode::Gen);
+        assert!(
+            plan.operators.iter().any(|f| matches!(f.op.spec, FusedSpec::Outer(_))),
+            "Outer operator expected: {}",
+            plan.explain()
+        );
+    }
+
+    #[test]
+    fn row_compiled_for_mv_chain() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 10_000, 100, 1.0);
+        let v = b.read("v", 100, 1, 1.0);
+        let xv = b.mm(x, v);
+        let xt = b.t(x);
+        let out = b.mm(xt, xv);
+        let dag = b.build(vec![out]);
+        let plan = optimize(&dag, FusionMode::Gen);
+        assert_eq!(plan.operators.len(), 1, "{}", plan.explain());
+        assert!(matches!(plan.operators[0].op.spec, FusedSpec::Row(_)));
+    }
+
+    #[test]
+    fn heuristic_modes_produce_plans() {
+        for mode in [FusionMode::GenFA, FusionMode::GenFNR] {
+            let plan = optimize(&cell_chain_dag(), mode);
+            assert!(!plan.operators.is_empty(), "{mode:?}");
+        }
+    }
+}

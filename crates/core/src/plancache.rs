@@ -1,0 +1,168 @@
+//! The plan cache: reuses compiled fused operators across DAGs and dynamic
+//! recompilation (paper §2.1, Figure 11).
+//!
+//! Generated operators are keyed by the structural CPlan hash, so equivalent
+//! CPlans — e.g. the same update rule recompiled every iteration — map to
+//! one compiled operator. The cache also tracks hit/miss statistics and the
+//! cumulative compilation time, which the Figure 11 and Table 3 harnesses
+//! report.
+
+use crate::codegen::{generate, CodegenOptions, GeneratedOperator};
+use crate::cplan::CPlan;
+use crate::util::FxHashMap;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A concurrent plan cache for generated operators.
+#[derive(Default)]
+pub struct PlanCache {
+    map: Mutex<FxHashMap<u64, Arc<GeneratedOperator>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    /// Cumulative compile time (nanoseconds) spent on cache misses.
+    compile_nanos: AtomicU64,
+    /// Monotonic operator name counter (TMP0, TMP1, …).
+    name_counter: AtomicUsize,
+    /// Whether lookups are enabled (disabled = always compile; used by the
+    /// Figure 11 "without plan cache" configuration).
+    enabled: std::sync::atomic::AtomicBool,
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        let pc = PlanCache::default();
+        pc.enabled.store(true, Ordering::Relaxed);
+        pc
+    }
+
+    /// Enables or disables cache lookups (compilation still records stats).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Looks up or compiles the operator for a CPlan.
+    pub fn get_or_compile(&self, cplan: &CPlan, opts: &CodegenOptions) -> Arc<GeneratedOperator> {
+        let key = cplan.structural_hash();
+        if self.enabled.load(Ordering::Relaxed) {
+            if let Some(op) = self.map.lock().get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(op);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let n = self.name_counter.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let op = Arc::new(generate(cplan, &format!("TMP{n}"), opts));
+        self.compile_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.map.lock().insert(key, Arc::clone(&op));
+        op
+    }
+
+    /// (hits, misses).
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative compile time in seconds.
+    pub fn compile_seconds(&self) -> f64 {
+        self.compile_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Number of distinct compiled operators.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears contents and statistics.
+    pub fn clear(&self) {
+        self.map.lock().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.compile_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cplan::{CellAggKind, CNode, CPlan, OutputSpec};
+    use crate::templates::TemplateType;
+    use fusedml_linalg::ops::{AggOp, BinaryOp};
+
+    /// A tiny Cell CPlan `sum(X * c)` parameterized by the constant.
+    fn tiny_cplan(c: f64) -> CPlan {
+        CPlan {
+            ttype: TemplateType::Cell,
+            nodes: vec![
+                CNode::Main,
+                CNode::Const { value: c },
+                CNode::Binary { op: BinaryOp::Mult, a: 0, b: 1 },
+            ],
+            output: OutputSpec::Cell { result: 2, agg: CellAggKind::FullAgg(AggOp::Sum) },
+            main: Some(fusedml_hop::HopId(0)),
+            sides: vec![],
+            side_dims: vec![],
+            scalars: vec![],
+            iter_rows: 10,
+            iter_cols: 10,
+            out_rows: 1,
+            out_cols: 1,
+            outer_uv: None,
+            covered: vec![],
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_equivalent_plans() {
+        let cache = PlanCache::new();
+        let opts = CodegenOptions::default();
+        let a = cache.get_or_compile(&tiny_cplan(2.0), &opts);
+        let b = cache.get_or_compile(&tiny_cplan(2.0), &opts);
+        assert!(Arc::ptr_eq(&a, &b), "equivalent CPlans share one operator");
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn cache_misses_on_different_plans() {
+        let cache = PlanCache::new();
+        let opts = CodegenOptions::default();
+        let _ = cache.get_or_compile(&tiny_cplan(2.0), &opts);
+        let _ = cache.get_or_compile(&tiny_cplan(3.0), &opts);
+        assert_eq!(cache.stats(), (0, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn disabled_cache_always_compiles() {
+        let cache = PlanCache::new();
+        cache.set_enabled(false);
+        let opts = CodegenOptions::default();
+        let _ = cache.get_or_compile(&tiny_cplan(2.0), &opts);
+        let _ = cache.get_or_compile(&tiny_cplan(2.0), &opts);
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn operator_names_are_unique() {
+        let cache = PlanCache::new();
+        let opts = CodegenOptions::default();
+        let a = cache.get_or_compile(&tiny_cplan(2.0), &opts);
+        let b = cache.get_or_compile(&tiny_cplan(3.0), &opts);
+        assert_ne!(a.name, b.name);
+    }
+
+    #[test]
+    fn compile_time_recorded() {
+        let cache = PlanCache::new();
+        let opts = CodegenOptions::default();
+        let _ = cache.get_or_compile(&tiny_cplan(2.0), &opts);
+        assert!(cache.compile_seconds() >= 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The Cell template: fused operators over individual cells `X_ij` with
+//! dense/sparse side inputs and scalars (paper Table 1; Figure 3(b)).
+
+use super::shape;
+use super::{CloseDecision, FusionTemplate, TemplateType};
+use fusedml_hop::{Hop, HopDag, OpKind};
+
+/// Cell-wise template implementation.
+pub struct CellTemplate;
+
+/// True if `h` is a cell-wise map operation with a non-scalar output.
+fn is_cellwise(h: &Hop) -> bool {
+    matches!(
+        h.kind,
+        OpKind::Unary { .. } | OpKind::Binary { .. } | OpKind::Ternary { .. }
+    ) && shape::is_non_scalar(h)
+}
+
+impl FusionTemplate for CellTemplate {
+    fn ttype(&self) -> TemplateType {
+        TemplateType::Cell
+    }
+
+    /// Any cell-wise unary/binary/ternary over a non-scalar output opens a
+    /// Cell operator.
+    fn open(&self, _dag: &HopDag, h: &Hop) -> bool {
+        is_cellwise(h)
+    }
+
+    /// Cell operators extend through further cell-wise operations and close
+    /// into aggregations (`sum(X ⊙ Y ⊙ Z)`).
+    fn fuse(&self, _dag: &HopDag, h: &Hop, input: &Hop) -> bool {
+        if is_cellwise(h) {
+            // The fused input must participate cell-wise: equal geometry or
+            // the input broadcasts against the consumer.
+            return shape::broadcast_compatible(h, input);
+        }
+        if let OpKind::Agg { .. } = h.kind {
+            return shape::is_non_scalar(input);
+        }
+        false
+    }
+
+    /// Cell merges other open Cell plans whose geometry broadcasts.
+    fn merge(&self, _dag: &HopDag, h: &Hop, input: &Hop) -> bool {
+        is_cellwise(h) && shape::broadcast_compatible(h, input)
+    }
+
+    /// Any aggregation closes a Cell template as valid (Table 1 lists
+    /// no-agg, row-agg, col-agg, and full-agg Cell variants).
+    fn close(&self, _dag: &HopDag, h: &Hop) -> CloseDecision {
+        match h.kind {
+            OpKind::Agg { .. } => CloseDecision::ClosedValid,
+            _ => CloseDecision::Open,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_hop::DagBuilder;
+
+    /// Builds `sum(X*Y*Z)` and returns (dag, ids).
+    fn cell_chain() -> (HopDag, Vec<fusedml_hop::HopId>) {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 100, 100, 1.0);
+        let y = b.read("Y", 100, 100, 1.0);
+        let z = b.read("Z", 100, 100, 1.0);
+        let m1 = b.mult(x, y);
+        let m2 = b.mult(m1, z);
+        let s = b.sum(m2);
+        let dag = b.build(vec![s]);
+        (dag, vec![x, y, z, m1, m2, s])
+    }
+
+    #[test]
+    fn opens_on_cellwise_ops() {
+        let (dag, ids) = cell_chain();
+        let t = CellTemplate;
+        assert!(t.open(&dag, dag.hop(ids[3])), "b(*) opens");
+        assert!(t.open(&dag, dag.hop(ids[4])), "b(*) opens");
+        assert!(!t.open(&dag, dag.hop(ids[0])), "read does not open");
+        assert!(!t.open(&dag, dag.hop(ids[5])), "agg does not open");
+    }
+
+    #[test]
+    fn fuses_through_chain_and_into_agg() {
+        let (dag, ids) = cell_chain();
+        let t = CellTemplate;
+        assert!(t.fuse(&dag, dag.hop(ids[4]), dag.hop(ids[3])), "b(*)→b(*)");
+        assert!(t.fuse(&dag, dag.hop(ids[5]), dag.hop(ids[4])), "b(*)→sum");
+    }
+
+    #[test]
+    fn agg_closes_valid() {
+        let (dag, ids) = cell_chain();
+        let t = CellTemplate;
+        assert_eq!(t.close(&dag, dag.hop(ids[5])), CloseDecision::ClosedValid);
+        assert_eq!(t.close(&dag, dag.hop(ids[4])), CloseDecision::Open);
+    }
+
+    #[test]
+    fn scalar_outputs_do_not_open() {
+        let mut b = DagBuilder::new();
+        let c1 = b.lit(1.0);
+        let c2 = b.lit(2.0);
+        let s = b.add(c1, c2);
+        let x = b.read("X", 10, 10, 1.0);
+        let y = b.mult(x, s);
+        let dag = b.build(vec![y]);
+        let t = CellTemplate;
+        assert!(!t.open(&dag, dag.hop(s)), "scalar add does not open");
+        assert!(t.open(&dag, dag.hop(y)), "matrix-scalar mult opens");
+    }
+
+    #[test]
+    fn broadcast_vector_fuses() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 50, 20, 1.0);
+        let v = b.read("v", 50, 1, 1.0);
+        let yv = b.sq(v);
+        let m = b.mult(x, yv);
+        let dag = b.build(vec![m]);
+        let t = CellTemplate;
+        assert!(t.fuse(&dag, dag.hop(m), dag.hop(yv)), "col-vector chain fuses");
+        assert!(t.merge(&dag, dag.hop(m), dag.hop(yv)), "col-vector chain merges");
+    }
+
+    #[test]
+    fn incompatible_shapes_do_not_fuse() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 50, 20, 1.0);
+        let w = b.read("W", 20, 7, 1.0);
+        let sqw = b.sq(w);
+        let mm = b.mm(x, sqw);
+        let dag = b.build(vec![mm]);
+        let t = CellTemplate;
+        assert!(!t.fuse(&dag, dag.hop(mm), dag.hop(sqw)), "matmult is not cellwise");
+    }
+}

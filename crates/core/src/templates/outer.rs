@@ -1,0 +1,218 @@
+//! The Outer template: sparsity-exploiting fused operators over outer-
+//! product-like expressions `f(X, U V^T)` (paper Table 1; Figure 3(a) shows
+//! the ALS-CG update rule).
+
+use super::shape;
+use super::{CloseDecision, FusionTemplate, TemplateType};
+use fusedml_hop::{Hop, HopDag, HopId, OpKind};
+use fusedml_linalg::ops::{AggDir, AggOp};
+
+/// Maximum factorization rank for which the Outer template applies (the
+/// paper's size constraint: rank "in the tens to hundreds").
+pub const OUTER_MAX_RANK: usize = 256;
+/// Minimum cell count of the outer-product plane: below this, materializing
+/// `U V^T` is harmless and the template is pointless.
+pub const OUTER_MIN_CELLS: usize = 4096;
+
+/// Outer-product template implementation.
+pub struct OuterTemplate;
+
+/// Recognizes `mm(U, t(V))`-shaped outer products with a small rank and a
+/// large output plane.
+fn is_outer_product(dag: &HopDag, h: &Hop) -> Option<(HopId, HopId)> {
+    if h.kind != OpKind::MatMult {
+        return None;
+    }
+    let u = dag.hop(h.inputs[0]);
+    let vt = dag.hop(h.inputs[1]);
+    let rank = u.size.cols;
+    let plane_ok = h.size.rows > rank && h.size.cols > rank && h.size.cells() >= OUTER_MIN_CELLS;
+    (rank <= OUTER_MAX_RANK && rank >= 1 && plane_ok).then_some((u.id, vt.id))
+}
+
+/// Cell-wise op over the same plane geometry as `input`.
+fn is_plane_cellwise(h: &Hop, input: &Hop) -> bool {
+    matches!(h.kind, OpKind::Unary { .. } | OpKind::Binary { .. })
+        && h.size.rows == input.size.rows
+        && h.size.cols == input.size.cols
+        && shape::is_matrix(h)
+}
+
+impl FusionTemplate for OuterTemplate {
+    fn ttype(&self) -> TemplateType {
+        TemplateType::Outer
+    }
+
+    /// Opens at outer-product-like matrix multiplications with size
+    /// constraints (paper §3.2).
+    fn open(&self, dag: &HopDag, h: &Hop) -> bool {
+        is_outer_product(dag, h).is_some()
+    }
+
+    fn fuse(&self, dag: &HopDag, h: &Hop, input: &Hop) -> bool {
+        match h.kind {
+            // Cell-wise chains over the n×m plane: unary maps (log, exp…),
+            // binaries with scalars (P + eps), and *sparse-safe* binaries
+            // with matrix operands (X ⊙ P). A non-sparse-safe binary with a
+            // dense matrix (Y + P) destroys sparsity exploitation and must
+            // not fuse — which is what makes such edges template switches
+            // (paper §4.2).
+            OpKind::Unary { .. } => is_plane_cellwise(h, input),
+            OpKind::Binary { op } => {
+                if !is_plane_cellwise(h, input) {
+                    return false;
+                }
+                let other = dag.hop(if h.inputs[0] == input.id { h.inputs[1] } else { h.inputs[0] });
+                let other_scalar = other.size.rows == 1 && other.size.cols == 1;
+                other_scalar || op.sparse_safe_left() || op == fusedml_linalg::ops::BinaryOp::Neq
+            }
+            // Full-sum aggregation (e.g. the loss expression of Fig. 1(d)).
+            OpKind::Agg { op: AggOp::Sum, dir: AggDir::Full } => shape::is_matrix(input),
+            // Transpose of the plane: pass-through marker feeding a left mm.
+            OpKind::Transpose => shape::is_matrix(input),
+            // Final matrix multiplies consuming the plane: right-mm
+            // `P %*% V` or left-mm `t(P) %*% U`, both with rank-width sides.
+            OpKind::MatMult => {
+                let l = dag.hop(h.inputs[0]);
+                let r = dag.hop(h.inputs[1]);
+                if input.id == l.id {
+                    // Right mm: plane (n×m) %*% side (m×r).
+                    r.size.cols <= OUTER_MAX_RANK && shape::is_matrix(input)
+                } else if input.id == r.id && l.kind == OpKind::Transpose {
+                    // Left mm via transposed plane fused earlier — the input
+                    // here is the plane's transpose marker.
+                    false
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Outer absorbs Cell chains (e.g. `(X != 0)`) on the plane geometry.
+    fn merge(&self, _dag: &HopDag, h: &Hop, input: &Hop) -> bool {
+        shape::is_matrix(h)
+            && input.size.rows == h.size.rows
+            && input.size.cols == h.size.cols
+            && !input.kind.is_leaf()
+    }
+
+    /// Aggregations and the final matrix multiply close the template; row
+    /// and column aggregations are unsupported (closed invalid).
+    fn close(&self, dag: &HopDag, h: &Hop) -> CloseDecision {
+        match h.kind {
+            OpKind::Agg { op: AggOp::Sum, dir: AggDir::Full } => CloseDecision::ClosedValid,
+            OpKind::Agg { .. } => CloseDecision::ClosedInvalid,
+            OpKind::MatMult => {
+                // Closing mm: one of its inputs is the covered plane; the
+                // opening outer product itself stays open.
+                if is_outer_product(dag, h).is_some() {
+                    CloseDecision::Open
+                } else {
+                    CloseDecision::ClosedValid
+                }
+            }
+            _ => CloseDecision::Open,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_hop::DagBuilder;
+
+    /// `sum(X ⊙ log(U V^T + eps))` — Figure 1(d) / 8(h).
+    fn loss_expr() -> (HopDag, [fusedml_hop::HopId; 8]) {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 2000, 2000, 0.01);
+        let u = b.read("U", 2000, 100, 1.0);
+        let v = b.read("V", 2000, 100, 1.0);
+        let vt = b.t(v);
+        let uvt = b.mm(u, vt);
+        let eps = b.lit(1e-15);
+        let plus = b.add(uvt, eps);
+        let lg = b.log(plus);
+        let prod = b.mult(x, lg);
+        let s = b.sum(prod);
+        let dag = b.build(vec![s]);
+        (dag, [x, u, vt, uvt, plus, lg, prod, s])
+    }
+
+    #[test]
+    fn outer_product_opens() {
+        let (dag, ids) = loss_expr();
+        let t = OuterTemplate;
+        assert!(t.open(&dag, dag.hop(ids[3])), "U V^T opens Outer");
+        assert!(!t.open(&dag, dag.hop(ids[6])), "cellwise mult does not open Outer");
+    }
+
+    #[test]
+    fn plane_chain_fuses_to_sum() {
+        let (dag, ids) = loss_expr();
+        let t = OuterTemplate;
+        assert!(t.fuse(&dag, dag.hop(ids[4]), dag.hop(ids[3])), "plane + eps");
+        assert!(t.fuse(&dag, dag.hop(ids[5]), dag.hop(ids[4])), "log(plane)");
+        assert!(t.fuse(&dag, dag.hop(ids[6]), dag.hop(ids[5])), "X ⊙ plane");
+        assert!(t.fuse(&dag, dag.hop(ids[7]), dag.hop(ids[6])), "sum(plane)");
+    }
+
+    #[test]
+    fn sum_closes_valid_rowagg_invalid() {
+        let (dag, ids) = loss_expr();
+        let t = OuterTemplate;
+        assert_eq!(t.close(&dag, dag.hop(ids[7])), CloseDecision::ClosedValid);
+        let mut b = DagBuilder::new();
+        let u = b.read("U", 2000, 10, 1.0);
+        let v = b.read("V", 500, 10, 1.0);
+        let vt = b.t(v);
+        let uvt = b.mm(u, vt);
+        let rs = b.row_sums(uvt);
+        let dag2 = b.build(vec![rs]);
+        assert_eq!(t.close(&dag2, dag2.hop(rs)), CloseDecision::ClosedInvalid);
+    }
+
+    #[test]
+    fn small_rank_constraint() {
+        let mut b = DagBuilder::new();
+        let u = b.read("U", 1000, 500, 1.0); // rank 500 > 256
+        let v = b.read("V", 1000, 500, 1.0);
+        let vt = b.t(v);
+        let uvt = b.mm(u, vt);
+        let dag = b.build(vec![uvt]);
+        assert!(!OuterTemplate.open(&dag, dag.hop(uvt)), "rank too large");
+    }
+
+    #[test]
+    fn small_plane_constraint() {
+        let mut b = DagBuilder::new();
+        let u = b.read("U", 20, 4, 1.0);
+        let v = b.read("V", 20, 4, 1.0);
+        let vt = b.t(v);
+        let uvt = b.mm(u, vt); // 400 cells < OUTER_MIN_CELLS
+        let dag = b.build(vec![uvt]);
+        assert!(!OuterTemplate.open(&dag, dag.hop(uvt)));
+    }
+
+    #[test]
+    fn right_mm_fuses_plane() {
+        // ((X != 0) ⊙ (U V^T)) %*% V — the ALS-CG update (Expression 1).
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 2000, 1000, 0.01);
+        let u = b.read("U", 2000, 20, 1.0);
+        let v = b.read("V", 1000, 20, 1.0);
+        let vt = b.t(v);
+        let uvt = b.mm(u, vt);
+        let zero = b.lit(0.0);
+        let mask = b.neq(x, zero);
+        let w = b.mult(mask, uvt);
+        let out = b.mm(w, v);
+        let dag = b.build(vec![out]);
+        let t = OuterTemplate;
+        assert!(t.fuse(&dag, dag.hop(w), dag.hop(uvt)), "mask ⊙ plane");
+        assert!(t.fuse(&dag, dag.hop(out), dag.hop(w)), "plane %*% V (right mm)");
+        assert_eq!(t.close(&dag, dag.hop(out)), CloseDecision::ClosedValid);
+        assert!(t.merge(&dag, dag.hop(w), dag.hop(mask)), "Cell mask merges into Outer");
+    }
+}

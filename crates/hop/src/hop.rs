@@ -1,0 +1,128 @@
+//! HOP node definitions.
+
+use fusedml_linalg::ops::{AggDir, AggOp, BinaryOp, TernaryOp, UnaryOp};
+
+use crate::dag::HopId;
+use crate::size::SizeInfo;
+
+/// The operator kind of a HOP node.
+///
+/// This is the operator vocabulary of the paper's examples and evaluation
+/// workloads: element-wise unary/binary/ternary operations, aggregations
+/// (`ua(+)`, `ua(R+)`, `ua(C+)`…), matrix multiplication (`ba(+*)`),
+/// transpose (`r(t)`), right indexing (`rix`), cumulative sums, and
+/// data/literal leaves.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpKind {
+    /// An input matrix bound at execution time by name.
+    Read { name: String },
+    /// A scalar literal.
+    Literal { value: f64 },
+    /// Element-wise unary map `u(op)`.
+    Unary { op: UnaryOp },
+    /// Element-wise (broadcasting) binary `b(op)`.
+    Binary { op: BinaryOp },
+    /// Fused scalar ternary `t(op)` (`+*`, `-*`, `ifelse`).
+    Ternary { op: TernaryOp },
+    /// Matrix multiplication `ba(+*)`.
+    MatMult,
+    /// Transpose `r(t)`.
+    Transpose,
+    /// Aggregation `ua(dir, op)`.
+    Agg { op: AggOp, dir: AggDir },
+    /// Cumulative aggregation down the rows (`cumsum`).
+    CumAgg { op: AggOp },
+    /// Right indexing `rix` with static half-open ranges; `None` keeps the
+    /// full extent of that dimension.
+    RightIndex {
+        rows: Option<(usize, usize)>,
+        cols: Option<(usize, usize)>,
+    },
+    /// Column binding `cbind`.
+    CBind,
+    /// Row binding `rbind`.
+    RBind,
+    /// `diag` (vector→matrix or matrix→vector).
+    Diag,
+}
+
+impl OpKind {
+    /// Short display name in SystemML's HOP notation (used by explain output
+    /// and the memo-table debug rendering, cf. paper Figure 5).
+    pub fn display_name(&self) -> String {
+        match self {
+            OpKind::Read { name } => format!("PRead {name}"),
+            OpKind::Literal { value } => format!("lit({value})"),
+            OpKind::Unary { op } => format!("u({})", op.name()),
+            OpKind::Binary { op } => format!("b({})", op.name()),
+            OpKind::Ternary { op } => format!("t({})", op.name()),
+            OpKind::MatMult => "ba(+*)".to_string(),
+            OpKind::Transpose => "r(t)".to_string(),
+            OpKind::Agg { op, dir } => {
+                let d = match dir {
+                    AggDir::Full => "",
+                    AggDir::Row => "R",
+                    AggDir::Col => "C",
+                };
+                let o = match op {
+                    AggOp::Sum => "+",
+                    AggOp::SumSq => "sq+",
+                    AggOp::Min => "min",
+                    AggOp::Max => "max",
+                    AggOp::Mean => "mean",
+                };
+                format!("ua({d}{o})")
+            }
+            OpKind::CumAgg { .. } => "u(cumsum)".to_string(),
+            OpKind::RightIndex { .. } => "rix".to_string(),
+            OpKind::CBind => "append".to_string(),
+            OpKind::RBind => "rappend".to_string(),
+            OpKind::Diag => "r(diag)".to_string(),
+        }
+    }
+
+    /// True for leaves (no inputs).
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, OpKind::Read { .. } | OpKind::Literal { .. })
+    }
+
+    /// Number of expected inputs (`None` for leaves).
+    pub fn arity(&self) -> usize {
+        match self {
+            OpKind::Read { .. } | OpKind::Literal { .. } => 0,
+            OpKind::Unary { .. }
+            | OpKind::Transpose
+            | OpKind::Agg { .. }
+            | OpKind::CumAgg { .. }
+            | OpKind::RightIndex { .. }
+            | OpKind::Diag => 1,
+            OpKind::Binary { .. } | OpKind::MatMult | OpKind::CBind | OpKind::RBind => 2,
+            OpKind::Ternary { .. } => 3,
+        }
+    }
+}
+
+/// A HOP node: operator kind, data dependencies, and inferred size info.
+#[derive(Clone, Debug)]
+pub struct Hop {
+    /// This node's id (index into the DAG arena).
+    pub id: HopId,
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Data dependencies, by position.
+    pub inputs: Vec<HopId>,
+    /// Inferred output size (dimensions + sparsity estimate).
+    pub size: SizeInfo,
+}
+
+impl Hop {
+    /// True if the output is a scalar (1×1) value.
+    pub fn is_scalar(&self) -> bool {
+        self.size.rows == 1 && self.size.cols == 1
+    }
+
+    /// True if the output is a row or column vector.
+    pub fn is_vector(&self) -> bool {
+        self.size.rows == 1 || self.size.cols == 1
+    }
+}

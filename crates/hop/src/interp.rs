@@ -1,0 +1,224 @@
+//! Reference interpreter: executes a HOP DAG operator-by-operator with fully
+//! materialized intermediates.
+//!
+//! This is the `Base` execution mode of the paper's evaluation and the
+//! correctness oracle against which fused execution is validated in tests.
+
+use crate::dag::{HopDag, HopId};
+use crate::hop::OpKind;
+use fusedml_linalg::matrix::Value;
+use fusedml_linalg::ops as lops;
+use fusedml_linalg::Matrix;
+use std::collections::HashMap;
+
+/// Execution-time bindings of `Read` names to matrices.
+pub type Bindings = HashMap<String, Matrix>;
+
+/// Executes all live operators bottom-up; returns the values of all nodes
+/// (dead nodes hold `None`).
+pub fn interpret_all(dag: &HopDag, bindings: &Bindings) -> Vec<Option<Value>> {
+    let live = dag.live_set();
+    let mut vals: Vec<Option<Value>> = vec![None; dag.len()];
+    for h in dag.iter() {
+        if !live[h.id.index()] {
+            continue;
+        }
+        let v = eval_op(dag, h.id, &vals, bindings);
+        vals[h.id.index()] = Some(v);
+    }
+    vals
+}
+
+/// Executes the DAG and returns the root values in root order.
+pub fn interpret(dag: &HopDag, bindings: &Bindings) -> Vec<Value> {
+    let vals = interpret_all(dag, bindings);
+    dag.roots()
+        .iter()
+        .map(|r| vals[r.index()].clone().expect("root evaluated"))
+        .collect()
+}
+
+/// Evaluates a single operator given already-computed input values.
+pub fn eval_op(
+    dag: &HopDag,
+    id: HopId,
+    vals: &[Option<Value>],
+    bindings: &Bindings,
+) -> Value {
+    let h = dag.hop(id);
+    let input = |j: usize| -> &Value {
+        vals[h.inputs[j].index()]
+            .as_ref()
+            .expect("inputs evaluated before consumers")
+    };
+    match &h.kind {
+        OpKind::Read { name } => {
+            let m = bindings
+                .get(name)
+                .unwrap_or_else(|| panic!("unbound input matrix '{name}'"))
+                .clone();
+            assert_eq!(
+                (m.rows(), m.cols()),
+                (h.size.rows, h.size.cols),
+                "bound matrix '{name}' does not match declared shape"
+            );
+            Value::Matrix(m)
+        }
+        OpKind::Literal { value } => Value::Scalar(*value),
+        OpKind::Unary { op } => Value::Matrix(lops::unary(&input(0).as_matrix(), *op)),
+        OpKind::Binary { op } => {
+            let a = input(0);
+            let b = input(1);
+            match (a, b) {
+                (Value::Scalar(x), Value::Scalar(y)) => Value::Scalar(op.apply(*x, *y)),
+                (Value::Scalar(x), Value::Matrix(m)) => {
+                    Value::Matrix(lops::elementwise::scalar_binary(*x, m, *op))
+                }
+                (Value::Matrix(m), Value::Scalar(y)) => {
+                    Value::Matrix(lops::binary_scalar(m, *y, *op))
+                }
+                (Value::Matrix(x), Value::Matrix(y)) => Value::Matrix(lops::binary(x, y, *op)),
+            }
+        }
+        OpKind::Ternary { op } => {
+            let a = input(0).as_matrix();
+            let b = input(1).as_matrix();
+            let c = input(2).as_matrix();
+            Value::Matrix(lops::ternary(&a, &b, &c, *op))
+        }
+        OpKind::MatMult => {
+            Value::Matrix(lops::matmult(&input(0).as_matrix(), &input(1).as_matrix()))
+        }
+        OpKind::Transpose => Value::Matrix(lops::transpose(&input(0).as_matrix())),
+        OpKind::Agg { op, dir } => {
+            let r = lops::agg(&input(0).as_matrix(), *op, *dir);
+            if r.is_scalar_shaped() {
+                Value::Scalar(r.get(0, 0))
+            } else {
+                Value::Matrix(r)
+            }
+        }
+        OpKind::CumAgg { op } => Value::Matrix(lops::cum_agg(&input(0).as_matrix(), *op)),
+        OpKind::RightIndex { rows, cols } => {
+            let m = input(0).as_matrix();
+            let rr = rows.map(|(a, b)| a..b).unwrap_or(0..m.rows());
+            let cc = cols.map(|(a, b)| a..b).unwrap_or(0..m.cols());
+            Value::Matrix(lops::index_range(&m, rr, cc))
+        }
+        OpKind::CBind => {
+            Value::Matrix(lops::cbind(&input(0).as_matrix(), &input(1).as_matrix()))
+        }
+        OpKind::RBind => {
+            Value::Matrix(lops::rbind(&input(0).as_matrix(), &input(1).as_matrix()))
+        }
+        OpKind::Diag => Value::Matrix(lops::diag(&input(0).as_matrix())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use fusedml_linalg::generate;
+
+    fn bind(pairs: &[(&str, Matrix)]) -> Bindings {
+        pairs.iter().map(|(n, m)| (n.to_string(), m.clone())).collect()
+    }
+
+    #[test]
+    fn sum_of_product() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 2, 2, 1.0);
+        let y = b.read("Y", 2, 2, 1.0);
+        let m = b.mult(x, y);
+        let s = b.sum(m);
+        let dag = b.build(vec![s]);
+        let xm = generate::rand_dense(2, 2, 0.0, 1.0, 1);
+        let ym = generate::rand_dense(2, 2, 0.0, 1.0, 2);
+        let out = interpret(&dag, &bind(&[("X", xm.clone()), ("Y", ym.clone())]));
+        let expect: f64 = (0..2)
+            .flat_map(|r| (0..2).map(move |c| (r, c)))
+            .map(|(r, c)| xm.get(r, c) * ym.get(r, c))
+            .sum();
+        assert!(fusedml_linalg::approx_eq(out[0].as_scalar(), expect, 1e-12));
+    }
+
+    #[test]
+    fn mlogreg_core_expression_shapes() {
+        // Q = P[,0:k] * (X v); H = t(X) (Q - P[,0:k] * rowSums(Q))
+        let (n, m, k) = (30, 8, 3);
+        let mut b = DagBuilder::new();
+        let x = b.read("X", n, m, 1.0);
+        let p = b.read("P", n, k + 1, 1.0);
+        let v = b.read("V", m, k, 1.0);
+        let xv = b.mm(x, v);
+        let pk = b.rix(p, None, Some((0, k)));
+        let q = b.mult(pk, xv);
+        let rs = b.row_sums(q);
+        let prs = b.mult(pk, rs);
+        let diff = b.sub(q, prs);
+        let xt = b.t(x);
+        let h = b.mm(xt, diff);
+        let dag = b.build(vec![h]);
+        let out = interpret(
+            &dag,
+            &bind(&[
+                ("X", generate::rand_dense(n, m, 0.0, 1.0, 3)),
+                ("P", generate::rand_dense(n, k + 1, 0.0, 1.0, 4)),
+                ("V", generate::rand_dense(m, k, 0.0, 1.0, 5)),
+            ]),
+        );
+        let hm = out[0].as_matrix();
+        assert_eq!((hm.rows(), hm.cols()), (m, k));
+    }
+
+    #[test]
+    fn scalar_arithmetic_chains() {
+        let mut b = DagBuilder::new();
+        let c1 = b.lit(2.0);
+        let c2 = b.lit(5.0);
+        let s = b.add(c1, c2);
+        let x = b.read("X", 2, 2, 1.0);
+        let y = b.mult(x, s);
+        let dag = b.build(vec![y]);
+        let xm = Matrix::dense(fusedml_linalg::DenseMatrix::filled(2, 2, 1.0));
+        let out = interpret(&dag, &bind(&[("X", xm)]));
+        assert_eq!(out[0].as_matrix().get(0, 0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound input matrix")]
+    fn missing_binding_panics() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 2, 2, 1.0);
+        let dag = b.build(vec![x]);
+        interpret(&dag, &Bindings::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match declared shape")]
+    fn wrong_shape_binding_panics() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 2, 2, 1.0);
+        let dag = b.build(vec![x]);
+        interpret(&dag, &bind(&[("X", Matrix::zeros(3, 3))]));
+    }
+
+    #[test]
+    fn rewritten_dag_same_result() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 5, 5, 1.0);
+        let one = b.lit(1.0);
+        let m = b.mult(x, one);
+        let t1 = b.t(m);
+        let t2 = b.t(t1);
+        let s = b.sum(t2);
+        let dag = b.build(vec![s]);
+        let rewritten = crate::rewrite::apply_static_rewrites(&dag);
+        let xm = generate::rand_dense(5, 5, -1.0, 1.0, 9);
+        let bindings = bind(&[("X", xm)]);
+        let a = interpret(&dag, &bindings)[0].as_scalar();
+        let bv = interpret(&rewritten, &bindings)[0].as_scalar();
+        assert!(fusedml_linalg::approx_eq(a, bv, 1e-12));
+    }
+}

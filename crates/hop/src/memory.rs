@@ -1,0 +1,148 @@
+//! Memory estimates for operations, driving execution-type decisions.
+//!
+//! SystemML computes per-operation memory estimates (inputs + output +
+//! intermediates) against the driver's memory budget; operations that do not
+//! fit execute as distributed Spark instructions (paper §2.1). The fusion
+//! optimizer consults the same estimates for its conditional constraints
+//! (paper §4.1) and broadcast costing.
+
+use crate::dag::{HopDag, HopId};
+use crate::hop::OpKind;
+
+/// Default single-node memory budget in bytes (stand-in for the paper's
+/// 35 GB driver; scaled down with the workloads).
+pub const DEFAULT_LOCAL_BUDGET: f64 = 2.0 * 1024.0 * 1024.0 * 1024.0;
+
+/// Where an operator executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecType {
+    /// Single-node, multi-threaded.
+    Local,
+    /// Distributed (block-partitioned, Spark-like).
+    Distributed,
+}
+
+/// Estimated operation memory: all input sizes + output size (+ a transpose
+/// buffer where applicable), in bytes.
+pub fn op_memory_estimate(dag: &HopDag, id: HopId) -> f64 {
+    let h = dag.hop(id);
+    let inputs: f64 = h.inputs.iter().map(|&i| dag.hop(i).size.bytes()).sum();
+    let output = h.size.bytes();
+    let intermediate = match h.kind {
+        // Transpose and cumsum run out-of-place.
+        OpKind::Transpose | OpKind::CumAgg { .. } => output,
+        _ => 0.0,
+    };
+    inputs + output + intermediate
+}
+
+/// Chooses the execution type of each operator against a memory budget.
+/// Leaves inherit `Local` (reads are streamed in either mode).
+pub fn select_exec_types(dag: &HopDag, budget: f64) -> Vec<ExecType> {
+    dag.iter()
+        .map(|h| {
+            // Leaves are streamed in either mode and count as local.
+            if h.kind.is_leaf() || op_memory_estimate(dag, h.id) <= budget {
+                ExecType::Local
+            } else {
+                ExecType::Distributed
+            }
+        })
+        .collect()
+}
+
+/// Summary of a DAG's estimated memory behaviour (used in reports).
+#[derive(Clone, Debug)]
+pub struct MemorySummary {
+    pub max_op_bytes: f64,
+    pub total_intermediate_bytes: f64,
+    pub distributed_ops: usize,
+}
+
+/// Computes the [`MemorySummary`] for a DAG under a budget.
+pub fn summarize(dag: &HopDag, budget: f64) -> MemorySummary {
+    let live = dag.live_set();
+    let mut max_op = 0.0f64;
+    let mut total = 0.0f64;
+    let mut dist = 0usize;
+    for h in dag.iter() {
+        if !live[h.id.index()] || h.kind.is_leaf() {
+            continue;
+        }
+        let m = op_memory_estimate(dag, h.id);
+        max_op = max_op.max(m);
+        total += h.size.bytes();
+        if m > budget {
+            dist += 1;
+        }
+    }
+    MemorySummary { max_op_bytes: max_op, total_intermediate_bytes: total, distributed_ops: dist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+
+    fn small_dag() -> HopDag {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 1000, 100, 1.0);
+        let y = b.read("Y", 1000, 100, 1.0);
+        let m = b.mult(x, y);
+        let s = b.sum(m);
+        b.build(vec![s])
+    }
+
+    #[test]
+    fn estimates_are_positive_and_bounded() {
+        let dag = small_dag();
+        for h in dag.iter() {
+            if !h.kind.is_leaf() {
+                let m = op_memory_estimate(&dag, h.id);
+                assert!(m > 0.0);
+                assert!(m < 1e9);
+            }
+        }
+    }
+
+    #[test]
+    fn small_ops_stay_local() {
+        let dag = small_dag();
+        let et = select_exec_types(&dag, DEFAULT_LOCAL_BUDGET);
+        assert!(et.iter().all(|&e| e == ExecType::Local));
+    }
+
+    #[test]
+    fn huge_ops_go_distributed() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 200_000_000, 100, 1.0); // 160 GB
+        let y = b.read("Y", 200_000_000, 100, 1.0);
+        let m = b.mult(x, y);
+        let dag = b.build(vec![m]);
+        let et = select_exec_types(&dag, DEFAULT_LOCAL_BUDGET);
+        assert_eq!(et[m.index()], ExecType::Distributed);
+    }
+
+    #[test]
+    fn summary_counts_distributed() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 200_000_000, 100, 1.0);
+        let s = b.sum(x);
+        let e = b.exp(x);
+        let s2 = b.sum(e);
+        let dag = b.build(vec![s, s2]);
+        let sum = summarize(&dag, DEFAULT_LOCAL_BUDGET);
+        assert!(sum.distributed_ops >= 2, "sum over X and exp(X) exceed budget");
+        assert!(sum.max_op_bytes > 1e11);
+    }
+
+    #[test]
+    fn transpose_charges_intermediate() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 1000, 1000, 1.0);
+        let t = b.t(x);
+        let dag = b.build(vec![t]);
+        let m = op_memory_estimate(&dag, t);
+        assert_eq!(m, 8e6 + 8e6 + 8e6, "input + output + buffer");
+    }
+}

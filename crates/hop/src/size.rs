@@ -1,0 +1,128 @@
+//! Size (dimension + sparsity) propagation.
+//!
+//! SystemML's inter-procedural analysis propagates matrix dimensions and
+//! sparsity from the inputs through the program; the codegen optimizer is
+//! invoked with known sizes (paper §2.1). Here every [`SizeInfo`] is inferred
+//! bottom-up when nodes are created, using standard worst-case sparsity
+//! estimators.
+
+use fusedml_linalg::ops::{AggDir, BinaryOp};
+
+/// Inferred output geometry and sparsity of a HOP.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SizeInfo {
+    /// Output rows.
+    pub rows: usize,
+    /// Output columns.
+    pub cols: usize,
+    /// Estimated fraction of non-zero cells in `[0, 1]`.
+    pub sparsity: f64,
+}
+
+impl SizeInfo {
+    /// A scalar (1×1, dense).
+    pub fn scalar() -> Self {
+        SizeInfo { rows: 1, cols: 1, sparsity: 1.0 }
+    }
+
+    /// A new size with explicit sparsity.
+    pub fn new(rows: usize, cols: usize, sparsity: f64) -> Self {
+        SizeInfo { rows, cols, sparsity: sparsity.clamp(0.0, 1.0) }
+    }
+
+    /// A dense matrix of the given shape.
+    pub fn dense(rows: usize, cols: usize) -> Self {
+        SizeInfo { rows, cols, sparsity: 1.0 }
+    }
+
+    /// Cell count.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Estimated non-zero count.
+    pub fn nnz(&self) -> f64 {
+        self.cells() as f64 * self.sparsity
+    }
+
+    /// Estimated in-memory size in bytes under the runtime's format rule
+    /// (CSR below the sparse threshold, dense otherwise).
+    pub fn bytes(&self) -> f64 {
+        if self.sparsity < fusedml_linalg::matrix::SPARSE_THRESHOLD
+            && self.cells() >= fusedml_linalg::matrix::SPARSE_MIN_CELLS
+        {
+            16.0 * self.nnz() + 8.0 * (self.rows as f64 + 1.0)
+        } else {
+            8.0 * self.cells() as f64
+        }
+    }
+
+    /// True if the runtime will store this matrix in CSR format.
+    pub fn is_sparse_format(&self) -> bool {
+        self.sparsity < fusedml_linalg::matrix::SPARSE_THRESHOLD
+            && self.cells() >= fusedml_linalg::matrix::SPARSE_MIN_CELLS
+    }
+}
+
+/// Sparsity estimate for element-wise binary ops, given input sparsities.
+/// Uses the independence assumption of SystemML's worst-case estimator.
+pub fn binary_sparsity(op: BinaryOp, sp_a: f64, sp_b: f64) -> f64 {
+    use BinaryOp::*;
+    match op {
+        Mult | And => sp_a * sp_b,
+        Add | Sub | Or => (sp_a + sp_b).min(1.0),
+        // Division by implicit zeros and comparisons generally densify.
+        _ => 1.0,
+    }
+}
+
+/// Sparsity estimate for matrix multiplication `(m×k) %*% (k×n)`.
+pub fn matmult_sparsity(sp_a: f64, sp_b: f64, k: usize) -> f64 {
+    // P(output cell non-zero) = 1 - (1 - sp_a*sp_b)^k under independence.
+    let p = 1.0 - (1.0 - sp_a * sp_b).powi(k.min(1_000_000) as i32);
+    p.clamp(0.0, 1.0)
+}
+
+/// Sparsity estimate after an aggregation.
+pub fn agg_sparsity(dir: AggDir) -> f64 {
+    // Aggregates are treated as dense outputs (vectors/scalars).
+    let _ = dir;
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_switch_format() {
+        let dense = SizeInfo::dense(1000, 1000);
+        assert_eq!(dense.bytes(), 8_000_000.0);
+        let sparse = SizeInfo::new(1000, 1000, 0.01);
+        assert!(sparse.is_sparse_format());
+        assert!(sparse.bytes() < 200_000.0 + 9000.0);
+        let tiny = SizeInfo::new(10, 10, 0.01);
+        assert!(!tiny.is_sparse_format(), "small matrices stay dense");
+    }
+
+    #[test]
+    fn binary_sparsity_estimates() {
+        assert_eq!(binary_sparsity(BinaryOp::Mult, 0.1, 0.5), 0.05);
+        assert_eq!(binary_sparsity(BinaryOp::Add, 0.6, 0.6), 1.0);
+        assert_eq!(binary_sparsity(BinaryOp::Div, 0.1, 0.1), 1.0);
+    }
+
+    #[test]
+    fn matmult_sparsity_monotone_in_k() {
+        let s1 = matmult_sparsity(0.01, 0.01, 10);
+        let s2 = matmult_sparsity(0.01, 0.01, 10_000);
+        assert!(s1 < s2);
+        assert!(s2 <= 1.0);
+    }
+
+    #[test]
+    fn clamp_on_new() {
+        let s = SizeInfo::new(2, 2, 7.0);
+        assert_eq!(s.sparsity, 1.0);
+    }
+}

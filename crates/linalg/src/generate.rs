@@ -1,0 +1,271 @@
+//! Seeded random and structured matrix generators for benchmark workloads.
+//!
+//! The paper's evaluation uses synthetic `rand` matrices plus real datasets
+//! (Airline78, Mnist, Netflix, Amazon). The real datasets are substituted by
+//! structured generators matching their shapes and sparsity characteristics
+//! (DESIGN.md substitution X3).
+
+use crate::dense::DenseMatrix;
+use crate::matrix::Matrix;
+use crate::sparse::SparseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform dense matrix in `[min, max)`.
+pub fn rand_dense(rows: usize, cols: usize, min: f64, max: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(min..max)).collect();
+    Matrix::dense(DenseMatrix::new(rows, cols, data))
+}
+
+/// Uniform sparse matrix: each cell is non-zero with probability `sparsity`,
+/// values in `[min, max)`. Output is CSR when sparse enough, dense otherwise
+/// (SystemML `rand` semantics).
+pub fn rand_matrix(
+    rows: usize,
+    cols: usize,
+    min: f64,
+    max: f64,
+    sparsity: f64,
+    seed: u64,
+) -> Matrix {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity in [0,1]");
+    if sparsity >= 1.0 {
+        return rand_dense(rows, cols, min, max, seed);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    if sparsity > crate::matrix::SPARSE_THRESHOLD {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| {
+                if rng.gen::<f64>() < sparsity {
+                    rng.gen_range(min..max)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        return Matrix::dense(DenseMatrix::new(rows, cols, data));
+    }
+    // Geometric skipping for low densities: expected O(nnz) work.
+    let total = rows * cols;
+    let expected = (total as f64 * sparsity) as usize;
+    let mut triples = Vec::with_capacity(expected + 16);
+    if sparsity > 0.0 {
+        let mut pos = 0usize;
+        loop {
+            // Sample the gap to the next non-zero from a geometric
+            // distribution via inverse transform.
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let gap = (u.ln() / (1.0 - sparsity).ln()).floor() as usize;
+            pos = match pos.checked_add(gap) {
+                Some(p) if p < total => p,
+                _ => break,
+            };
+            let mut v = rng.gen_range(min..max);
+            if v == 0.0 {
+                v = (min + max) / 2.0; // keep the cell non-zero
+            }
+            triples.push((pos / cols, pos % cols, v));
+            pos += 1;
+            if pos >= total {
+                break;
+            }
+        }
+    }
+    Matrix::sparse(SparseMatrix::from_triples(rows, cols, triples))
+}
+
+/// Standard-normal dense matrix (Box–Muller).
+pub fn randn_dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let t = 2.0 * std::f64::consts::PI * u2;
+        data.push(r * t.cos());
+        if data.len() < n {
+            data.push(r * t.sin());
+        }
+    }
+    Matrix::dense(DenseMatrix::new(rows, cols, data))
+}
+
+/// A two-class classification dataset: features plus ±1 labels generated from
+/// a random hyperplane with label noise. Returns `(X, y)`.
+pub fn classification_data(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    noise: f64,
+    seed: u64,
+) -> (Matrix, Matrix) {
+    let x = rand_matrix(rows, cols, -1.0, 1.0, sparsity, seed);
+    let w = rand_dense(cols, 1, -1.0, 1.0, seed ^ 0x5eed);
+    let scores = crate::ops::matmult(&x, &w);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xface);
+    let mut y = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let mut label = if scores.get(r, 0) >= 0.0 { 1.0 } else { -1.0 };
+        if rng.gen::<f64>() < noise {
+            label = -label;
+        }
+        y.push(label);
+    }
+    (x, Matrix::dense(DenseMatrix::new(rows, 1, y)))
+}
+
+/// Multi-class labels in `{1..k}` from feature clusters. Returns `(X, y)`.
+pub fn multiclass_data(
+    rows: usize,
+    cols: usize,
+    k: usize,
+    sparsity: f64,
+    seed: u64,
+) -> (Matrix, Matrix) {
+    let x = rand_matrix(rows, cols, 0.0, 1.0, sparsity, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc1a55);
+    let y: Vec<f64> = (0..rows).map(|_| (rng.gen_range(0..k) + 1) as f64).collect();
+    (x, Matrix::dense(DenseMatrix::new(rows, 1, y)))
+}
+
+/// "Airline-like" dense matrix: low per-column cardinality (categorical
+/// codes), which is what makes CLA compress it ~7x (substitution X3).
+pub fn airline_like(rows: usize, cols: usize, cardinality: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = vec![0.0f64; rows * cols];
+    for c in 0..cols {
+        // Per-column dictionaries of `cardinality` distinct values.
+        let dict: Vec<f64> = (0..cardinality).map(|_| rng.gen_range(0.0..100.0)).collect();
+        for r in 0..rows {
+            data[r * cols + c] = dict[rng.gen_range(0..cardinality)];
+        }
+    }
+    Matrix::dense(DenseMatrix::new(rows, cols, data))
+}
+
+/// "Mnist-like" sparse matrix: per-row bands of non-zeros (pen strokes) with
+/// the given overall sparsity and values in `(0, 1]`.
+pub fn mnist_like(rows: usize, cols: usize, sparsity: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nnz_per_row = ((cols as f64) * sparsity).round().max(1.0) as usize;
+    let mut triples = Vec::with_capacity(rows * nnz_per_row);
+    for r in 0..rows {
+        // A contiguous band with jitter, mimicking stroke locality.
+        let start = rng.gen_range(0..cols.saturating_sub(nnz_per_row).max(1));
+        for i in 0..nnz_per_row {
+            let c = (start + i) % cols;
+            // Quantized intensities like 8-bit grayscale / 255.
+            let v = (rng.gen_range(1..=255) as f64) / 255.0;
+            triples.push((r, c, v));
+        }
+    }
+    Matrix::sparse(SparseMatrix::from_triples(rows, cols, triples))
+}
+
+/// "Netflix/Amazon-like" ultra-sparse ratings matrix with zipf-ish row
+/// popularity skew; values in `{1..5}`.
+pub fn ratings_like(rows: usize, cols: usize, sparsity: f64, skew: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total_nnz = ((rows * cols) as f64 * sparsity).round() as usize;
+    let mut seen = std::collections::HashSet::with_capacity(total_nnz * 2);
+    let mut triples = Vec::with_capacity(total_nnz);
+    let mut attempts = 0usize;
+    while triples.len() < total_nnz && attempts < total_nnz * 20 {
+        attempts += 1;
+        // Power-law row/col selection: u^skew concentrates mass at low ids.
+        let r = ((rng.gen::<f64>().powf(skew)) * rows as f64) as usize % rows;
+        let c = ((rng.gen::<f64>().powf(skew)) * cols as f64) as usize % cols;
+        if seen.insert((r, c)) {
+            let v = rng.gen_range(1..=5) as f64;
+            triples.push((r, c, v));
+        }
+    }
+    Matrix::sparse(SparseMatrix::from_triples(rows, cols, triples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rand_dense_in_range() {
+        let m = rand_dense(10, 10, -2.0, 3.0, 42);
+        assert!(m.as_dense().values().iter().all(|&v| (-2.0..3.0).contains(&v)));
+    }
+
+    #[test]
+    fn rand_matrix_respects_sparsity() {
+        let m = rand_matrix(1000, 100, 0.0, 1.0, 0.1, 7);
+        assert!(m.is_sparse());
+        let sp = m.sparsity();
+        assert!((sp - 0.1).abs() < 0.02, "sparsity {sp} too far from 0.1");
+    }
+
+    #[test]
+    fn rand_matrix_deterministic() {
+        let a = rand_matrix(50, 50, 0.0, 1.0, 0.2, 99);
+        let b = rand_matrix(50, 50, 0.0, 1.0, 0.2, 99);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn rand_matrix_dense_path() {
+        let m = rand_matrix(100, 10, 0.0, 1.0, 0.9, 5);
+        assert!(!m.is_sparse());
+        let sp = m.sparsity();
+        assert!((sp - 0.9).abs() < 0.05);
+    }
+
+    #[test]
+    fn randn_moments() {
+        let m = randn_dense(200, 200, 11);
+        let vals = m.as_dense().values();
+        let n = vals.len() as f64;
+        let mean = vals.iter().sum::<f64>() / n;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn classification_labels_pm_one() {
+        let (x, y) = classification_data(100, 5, 1.0, 0.05, 3);
+        assert_eq!(x.rows(), 100);
+        assert!((0..100).all(|r| y.get(r, 0).abs() == 1.0));
+    }
+
+    #[test]
+    fn multiclass_labels_in_range() {
+        let (_, y) = multiclass_data(100, 5, 4, 1.0, 3);
+        assert!((0..100).all(|r| (1.0..=4.0).contains(&y.get(r, 0))));
+    }
+
+    #[test]
+    fn airline_like_has_low_cardinality() {
+        let m = airline_like(1000, 3, 10, 17);
+        let d = m.as_dense();
+        for c in 0..3 {
+            let mut distinct: Vec<u64> = (0..1000).map(|r| d.get(r, c).to_bits()).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert!(distinct.len() <= 10, "col {c} cardinality {}", distinct.len());
+        }
+    }
+
+    #[test]
+    fn mnist_like_sparsity() {
+        let m = mnist_like(500, 784, 0.25, 23);
+        assert!(m.is_sparse());
+        assert!((m.sparsity() - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn ratings_like_values() {
+        let m = ratings_like(1000, 500, 0.001, 2.0, 31);
+        assert!(m.is_sparse());
+        assert!(m.as_sparse().values().iter().all(|&v| (1.0..=5.0).contains(&v)));
+    }
+}

@@ -1,0 +1,48 @@
+//! # fusedml-linalg
+//!
+//! Dense and sparse linear-algebra substrate for the `fusedml` workspace.
+//!
+//! This crate provides the runtime data structures and kernels that the
+//! SystemML-style fusion optimizer generates code against:
+//!
+//! * [`DenseMatrix`] — row-major dense `f64` matrices,
+//! * [`SparseMatrix`] — CSR sparse matrices,
+//! * [`Matrix`] — a format-polymorphic wrapper with automatic output-format
+//!   decisions, mirroring SystemML's `MatrixBlock`,
+//! * [`ops`] — element-wise, unary, ternary, aggregation, matrix-multiply,
+//!   reorg and indexing kernels (each with dense and sparse implementations),
+//! * [`primitives`] — the vector-primitive library (`dotProduct`,
+//!   `vectMultAdd`, …) that generated fused operators call, mirroring
+//!   SystemML's `LibSpoofPrimitives`,
+//! * [`generate`] — seeded random/structured matrix generators used by the
+//!   benchmark workloads,
+//! * [`par`] — minimal scoped-thread parallelization helpers.
+
+pub mod dense;
+pub mod generate;
+pub mod matrix;
+pub mod ops;
+pub mod par;
+pub mod primitives;
+pub mod sparse;
+
+pub use dense::DenseMatrix;
+pub use matrix::Matrix;
+pub use ops::{AggDir, AggOp, BinaryOp, TernaryOp, UnaryOp};
+pub use sparse::SparseMatrix;
+
+/// Relative tolerance used by approximate comparisons in tests and validation.
+pub const EPS: f64 = 1e-9;
+
+/// Returns true if `a` and `b` are equal within a combined absolute/relative
+/// tolerance. Used pervasively in tests comparing fused vs. unfused results.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}

@@ -1,0 +1,272 @@
+//! Format-polymorphic matrix wrapper (the analogue of SystemML's
+//! `MatrixBlock`), plus scalar values.
+
+use crate::dense::DenseMatrix;
+use crate::sparse::SparseMatrix;
+use std::sync::Arc;
+
+/// Threshold below which matrices are kept dense regardless of sparsity.
+pub const SPARSE_THRESHOLD: f64 = 0.4;
+/// Minimum cell count before the sparse format is considered.
+pub const SPARSE_MIN_CELLS: usize = 4096;
+
+/// A matrix in either dense or CSR-sparse representation.
+///
+/// Values are cheap to clone: the payload is reference-counted, matching the
+/// copy-on-write behaviour of SystemML's buffer pool (intermediates are
+/// logically immutable once produced by an operator).
+#[derive(Clone, Debug)]
+pub enum Matrix {
+    Dense(Arc<DenseMatrix>),
+    Sparse(Arc<SparseMatrix>),
+}
+
+impl Matrix {
+    /// Wraps a dense matrix.
+    pub fn dense(m: DenseMatrix) -> Self {
+        Matrix::Dense(Arc::new(m))
+    }
+
+    /// Wraps a sparse matrix.
+    pub fn sparse(m: SparseMatrix) -> Self {
+        Matrix::Sparse(Arc::new(m))
+    }
+
+    /// Chooses the storage format by SystemML's rule of thumb: CSR iff the
+    /// matrix is large and sparsity is below [`SPARSE_THRESHOLD`].
+    pub fn auto(m: DenseMatrix) -> Self {
+        if m.len() >= SPARSE_MIN_CELLS && m.sparsity() < SPARSE_THRESHOLD {
+            Matrix::sparse(SparseMatrix::from_dense(&m))
+        } else {
+            Matrix::dense(m)
+        }
+    }
+
+    /// An all-zeros matrix in dense format.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix::dense(DenseMatrix::zeros(rows, cols))
+    }
+
+    pub fn rows(&self) -> usize {
+        match self {
+            Matrix::Dense(m) => m.rows(),
+            Matrix::Sparse(m) => m.rows(),
+        }
+    }
+
+    pub fn cols(&self) -> usize {
+        match self {
+            Matrix::Dense(m) => m.cols(),
+            Matrix::Sparse(m) => m.cols(),
+        }
+    }
+
+    /// Total cell count.
+    pub fn len(&self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Matrix::Sparse(_))
+    }
+
+    /// Exact number of non-zero cells.
+    pub fn nnz(&self) -> usize {
+        match self {
+            Matrix::Dense(m) => m.count_nnz(),
+            Matrix::Sparse(m) => m.nnz(),
+        }
+    }
+
+    /// Fraction of non-zeros.
+    pub fn sparsity(&self) -> f64 {
+        match self {
+            Matrix::Dense(m) => m.sparsity(),
+            Matrix::Sparse(m) => m.sparsity(),
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        match self {
+            Matrix::Dense(m) => m.get(r, c),
+            Matrix::Sparse(m) => m.get(r, c),
+        }
+    }
+
+    /// Materializes a dense copy (no-op copy-out for dense inputs).
+    pub fn to_dense(&self) -> DenseMatrix {
+        match self {
+            Matrix::Dense(m) => (**m).clone(),
+            Matrix::Sparse(m) => m.to_dense(),
+        }
+    }
+
+    /// Borrows the dense payload, panicking for sparse matrices (used where
+    /// the caller has already guaranteed density, e.g. side inputs of Outer).
+    pub fn as_dense(&self) -> &DenseMatrix {
+        match self {
+            Matrix::Dense(m) => m,
+            Matrix::Sparse(_) => panic!("expected dense matrix"),
+        }
+    }
+
+    /// Borrows the sparse payload, panicking for dense matrices.
+    pub fn as_sparse(&self) -> &SparseMatrix {
+        match self {
+            Matrix::Sparse(m) => m,
+            Matrix::Dense(_) => panic!("expected sparse matrix"),
+        }
+    }
+
+    /// Converts to CSR (no-op for sparse inputs).
+    pub fn to_sparse(&self) -> SparseMatrix {
+        match self {
+            Matrix::Dense(m) => SparseMatrix::from_dense(m),
+            Matrix::Sparse(m) => (**m).clone(),
+        }
+    }
+
+    /// True for n×1 or 1×n matrices.
+    pub fn is_vector(&self) -> bool {
+        self.rows() == 1 || self.cols() == 1
+    }
+
+    /// True for 1×1 matrices.
+    pub fn is_scalar_shaped(&self) -> bool {
+        self.rows() == 1 && self.cols() == 1
+    }
+
+    /// In-memory size estimate in bytes (8B/cell dense; 16B/nnz + row
+    /// pointers sparse), mirroring SystemML's memory estimates.
+    pub fn size_in_bytes(&self) -> usize {
+        match self {
+            Matrix::Dense(m) => 8 * m.len(),
+            Matrix::Sparse(m) => 16 * m.nnz() + 8 * (m.rows() + 1),
+        }
+    }
+
+    /// Structural + numeric equality within tolerance, independent of format.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        if self.rows() != other.rows() || self.cols() != other.cols() {
+            return false;
+        }
+        for r in 0..self.rows() {
+            for c in 0..self.cols() {
+                if !crate::approx_eq(self.get(r, c), other.get(r, c), tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl From<DenseMatrix> for Matrix {
+    fn from(m: DenseMatrix) -> Self {
+        Matrix::dense(m)
+    }
+}
+
+impl From<SparseMatrix> for Matrix {
+    fn from(m: SparseMatrix) -> Self {
+        Matrix::sparse(m)
+    }
+}
+
+/// A runtime value: matrix or scalar (SystemML scripts freely mix both).
+#[derive(Clone, Debug)]
+pub enum Value {
+    Matrix(Matrix),
+    Scalar(f64),
+}
+
+impl Value {
+    /// The scalar payload; panics on matrices (callers check kinds upstream).
+    pub fn as_scalar(&self) -> f64 {
+        match self {
+            Value::Scalar(v) => *v,
+            Value::Matrix(m) if m.is_scalar_shaped() => m.get(0, 0),
+            Value::Matrix(_) => panic!("expected scalar value"),
+        }
+    }
+
+    /// The matrix payload; a scalar is promoted to 1×1.
+    pub fn as_matrix(&self) -> Matrix {
+        match self {
+            Value::Matrix(m) => m.clone(),
+            Value::Scalar(v) => Matrix::dense(DenseMatrix::filled(1, 1, *v)),
+        }
+    }
+
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Value::Scalar(_))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Scalar(v)
+    }
+}
+
+impl From<Matrix> for Value {
+    fn from(m: Matrix) -> Self {
+        Value::Matrix(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_picks_sparse_for_sparse_data() {
+        let mut d = DenseMatrix::zeros(100, 100);
+        d.set(0, 0, 1.0);
+        let m = Matrix::auto(d);
+        assert!(m.is_sparse());
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn auto_keeps_dense_for_dense_data() {
+        let m = Matrix::auto(DenseMatrix::filled(100, 100, 1.0));
+        assert!(!m.is_sparse());
+    }
+
+    #[test]
+    fn small_matrices_stay_dense() {
+        let m = Matrix::auto(DenseMatrix::zeros(4, 4));
+        assert!(!m.is_sparse());
+    }
+
+    #[test]
+    fn approx_eq_across_formats() {
+        let d = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let a = Matrix::dense(d.clone());
+        let b = Matrix::sparse(SparseMatrix::from_dense(&d));
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn value_promotions() {
+        let v = Value::Scalar(3.0);
+        assert_eq!(v.as_scalar(), 3.0);
+        let m = v.as_matrix();
+        assert_eq!((m.rows(), m.cols()), (1, 1));
+        assert_eq!(Value::Matrix(m).as_scalar(), 3.0);
+    }
+
+    #[test]
+    fn size_estimates() {
+        let d = Matrix::dense(DenseMatrix::zeros(10, 10));
+        assert_eq!(d.size_in_bytes(), 800);
+        let s = Matrix::sparse(SparseMatrix::zeros(10, 10));
+        assert_eq!(s.size_in_bytes(), 88);
+    }
+}

@@ -1,0 +1,311 @@
+//! Element-wise binary operations with matrix/vector/scalar broadcasting.
+
+use super::{resolve_broadcast, BinaryOp, Broadcast};
+use crate::dense::DenseMatrix;
+use crate::matrix::Matrix;
+use crate::par;
+use crate::sparse::SparseMatrix;
+
+/// `out = a op scalar`, preserving sparsity when the operator allows it.
+pub fn binary_scalar(a: &Matrix, s: f64, op: BinaryOp) -> Matrix {
+    match a {
+        Matrix::Sparse(sp) if op.apply(0.0, s) == 0.0 => {
+            // Zero cells stay zero: operate on stored values only.
+            let mut out = (**sp).clone();
+            for v in out.values_mut() {
+                *v = op.apply(*v, s);
+            }
+            out.compact();
+            Matrix::sparse(out)
+        }
+        _ => {
+            let d = a.to_dense();
+            let (rows, cols) = (d.rows(), d.cols());
+            let mut data = d.into_values();
+            par::par_rows_mut(&mut data, rows, cols.max(1), cols.max(1), |_, row| {
+                for v in row.iter_mut() {
+                    *v = op.apply(*v, s);
+                }
+            });
+            Matrix::dense(DenseMatrix::new(rows, cols, data))
+        }
+    }
+}
+
+/// `out = scalar op a` (scalar on the left).
+pub fn scalar_binary(s: f64, a: &Matrix, op: BinaryOp) -> Matrix {
+    match a {
+        Matrix::Sparse(sp) if op.apply(s, 0.0) == 0.0 => {
+            let mut out = (**sp).clone();
+            for v in out.values_mut() {
+                *v = op.apply(s, *v);
+            }
+            out.compact();
+            Matrix::sparse(out)
+        }
+        _ => {
+            let d = a.to_dense();
+            let (rows, cols) = (d.rows(), d.cols());
+            let mut data = d.into_values();
+            par::par_rows_mut(&mut data, rows, cols.max(1), cols.max(1), |_, row| {
+                for v in row.iter_mut() {
+                    *v = op.apply(s, *v);
+                }
+            });
+            Matrix::dense(DenseMatrix::new(rows, cols, data))
+        }
+    }
+}
+
+/// General element-wise `a op b` with broadcasting of `b` (cellwise, column
+/// vector, row vector, or scalar). Sparse fast paths:
+///
+/// * left-sparse-safe op (`*`, `&`) with sparse `a`: iterate non-zeros of `a`
+///   only — the sparsity-exploitation primitive of the paper,
+/// * sparse ∘ sparse for `0 op 0 == 0` ops: row-wise merge join.
+pub fn binary(a: &Matrix, b: &Matrix, op: BinaryOp) -> Matrix {
+    // Symmetric scalar promotion (1x1 matrices act as scalars).
+    if b.is_scalar_shaped() && !a.is_scalar_shaped() {
+        return binary_scalar(a, b.get(0, 0), op);
+    }
+    if a.is_scalar_shaped() && !b.is_scalar_shaped() {
+        return scalar_binary(a.get(0, 0), b, op);
+    }
+    let (rows, cols) = (a.rows(), a.cols());
+    let bc = resolve_broadcast(rows, cols, b);
+
+    match (a, bc) {
+        (Matrix::Sparse(sa), _) if op.sparse_safe_left() => {
+            sparse_left_driver(sa, b, bc, op)
+        }
+        (Matrix::Sparse(sa), Broadcast::Cellwise) if b.is_sparse() && op.zero_zero_is_zero() => {
+            sparse_sparse_merge(sa, b.as_sparse(), op)
+        }
+        _ => dense_binary(&a.to_dense(), b, bc, op),
+    }
+}
+
+/// Sparse left input with a sparse-safe operator: output non-zeros are a
+/// subset of `a`'s non-zeros.
+fn sparse_left_driver(a: &SparseMatrix, b: &Matrix, bc: Broadcast, op: BinaryOp) -> Matrix {
+    let mut triples = Vec::with_capacity(a.nnz());
+    for r in 0..a.rows() {
+        for (c, v) in a.row_iter(r) {
+            let bv = match bc {
+                Broadcast::Cellwise => b.get(r, c),
+                Broadcast::ColVector => b.get(r, 0),
+                Broadcast::RowVector => b.get(0, c),
+                Broadcast::Scalar => b.get(0, 0),
+            };
+            let out = op.apply(v, bv);
+            if out != 0.0 {
+                triples.push((r, c, out));
+            }
+        }
+    }
+    Matrix::sparse(SparseMatrix::from_triples(a.rows(), a.cols(), triples))
+}
+
+/// Row-wise merge join of two aligned CSR matrices for ops where `0 op 0 == 0`.
+fn sparse_sparse_merge(a: &SparseMatrix, b: &SparseMatrix, op: BinaryOp) -> Matrix {
+    let mut triples = Vec::with_capacity(a.nnz() + b.nnz());
+    for r in 0..a.rows() {
+        let (ac, av) = (a.row_cols(r), a.row_values(r));
+        let (bc, bv) = (b.row_cols(r), b.row_values(r));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() || j < bc.len() {
+            let (c, x, y) = if j >= bc.len() || (i < ac.len() && ac[i] < bc[j]) {
+                let t = (ac[i], av[i], 0.0);
+                i += 1;
+                t
+            } else if i >= ac.len() || bc[j] < ac[i] {
+                let t = (bc[j], 0.0, bv[j]);
+                j += 1;
+                t
+            } else {
+                let t = (ac[i], av[i], bv[j]);
+                i += 1;
+                j += 1;
+                t
+            };
+            let out = op.apply(x, y);
+            if out != 0.0 {
+                triples.push((r, c, out));
+            }
+        }
+    }
+    Matrix::sparse(SparseMatrix::from_triples(a.rows(), a.cols(), triples))
+}
+
+/// Dense fallback; parallel over row bands.
+fn dense_binary(a: &DenseMatrix, b: &Matrix, bc: Broadcast, op: BinaryOp) -> Matrix {
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut out = vec![0.0f64; rows * cols];
+    let bd;
+    let b_dense: Option<&DenseMatrix> = match b {
+        Matrix::Dense(d) => Some(d),
+        Matrix::Sparse(s) => {
+            // Densify small broadcast operands; large cellwise sparse operands
+            // are handled cell-by-cell to avoid a big intermediate.
+            if bc != Broadcast::Cellwise {
+                bd = s.to_dense();
+                Some(&bd)
+            } else {
+                None
+            }
+        }
+    };
+    {
+        let out_slice = &mut out[..];
+        par::par_rows_mut(out_slice, rows, cols.max(1), cols.max(1), |r, orow| {
+            let arow = a.row(r);
+            match (b_dense, bc) {
+                (Some(bm), Broadcast::Cellwise) => {
+                    let brow = bm.row(r);
+                    for c in 0..cols {
+                        orow[c] = op.apply(arow[c], brow[c]);
+                    }
+                }
+                (Some(bm), Broadcast::ColVector) => {
+                    let bv = bm.get(r, 0);
+                    for c in 0..cols {
+                        orow[c] = op.apply(arow[c], bv);
+                    }
+                }
+                (Some(bm), Broadcast::RowVector) => {
+                    let brow = bm.row(0);
+                    for c in 0..cols {
+                        orow[c] = op.apply(arow[c], brow[c]);
+                    }
+                }
+                (Some(bm), Broadcast::Scalar) => {
+                    let bv = bm.get(0, 0);
+                    for c in 0..cols {
+                        orow[c] = op.apply(arow[c], bv);
+                    }
+                }
+                (None, _) => {
+                    for c in 0..cols {
+                        orow[c] = op.apply(arow[c], b.get(r, c));
+                    }
+                }
+            }
+        });
+    }
+    Matrix::dense(DenseMatrix::new(rows, cols, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm(rows: &[&[f64]]) -> Matrix {
+        Matrix::dense(DenseMatrix::from_rows(rows))
+    }
+
+    #[test]
+    fn dense_add() {
+        let a = dm(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = dm(&[&[10.0, 20.0], &[30.0, 40.0]]);
+        let c = binary(&a, &b, BinaryOp::Add);
+        assert_eq!(c.get(0, 0), 11.0);
+        assert_eq!(c.get(1, 1), 44.0);
+    }
+
+    #[test]
+    fn col_vector_broadcast() {
+        let a = dm(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = dm(&[&[10.0], &[100.0]]);
+        let c = binary(&a, &v, BinaryOp::Mult);
+        assert_eq!(c.get(0, 1), 20.0);
+        assert_eq!(c.get(1, 0), 300.0);
+    }
+
+    #[test]
+    fn row_vector_broadcast() {
+        let a = dm(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = dm(&[&[10.0, 100.0]]);
+        let c = binary(&a, &v, BinaryOp::Add);
+        assert_eq!(c.get(0, 0), 11.0);
+        assert_eq!(c.get(1, 1), 104.0);
+    }
+
+    #[test]
+    fn scalar_promotion_both_sides() {
+        let a = dm(&[&[2.0, 4.0]]);
+        let s = dm(&[&[2.0]]);
+        assert_eq!(binary(&a, &s, BinaryOp::Div).get(0, 1), 2.0);
+        assert_eq!(binary(&s, &a, BinaryOp::Div).get(0, 1), 0.5);
+    }
+
+    #[test]
+    fn sparse_mult_stays_sparse() {
+        let a = Matrix::sparse(SparseMatrix::from_triples(
+            3,
+            3,
+            vec![(0, 0, 2.0), (2, 2, 3.0)],
+        ));
+        let b = dm(&[&[5.0, 1.0, 1.0], &[1.0, 1.0, 1.0], &[1.0, 1.0, 7.0]]);
+        let c = binary(&a, &b, BinaryOp::Mult);
+        assert!(c.is_sparse());
+        assert_eq!(c.get(0, 0), 10.0);
+        assert_eq!(c.get(2, 2), 21.0);
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn sparse_sparse_add_merges() {
+        let a = Matrix::sparse(SparseMatrix::from_triples(2, 3, vec![(0, 0, 1.0), (0, 2, 2.0)]));
+        let b = Matrix::sparse(SparseMatrix::from_triples(2, 3, vec![(0, 0, 5.0), (1, 1, 3.0)]));
+        let c = binary(&a, &b, BinaryOp::Add);
+        assert!(c.is_sparse());
+        assert_eq!(c.get(0, 0), 6.0);
+        assert_eq!(c.get(0, 2), 2.0);
+        assert_eq!(c.get(1, 1), 3.0);
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn sparse_sub_cancellation_drops_entry() {
+        let a = Matrix::sparse(SparseMatrix::from_triples(1, 2, vec![(0, 0, 2.0)]));
+        let b = Matrix::sparse(SparseMatrix::from_triples(1, 2, vec![(0, 0, 2.0)]));
+        let c = binary(&a, &b, BinaryOp::Sub);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn scalar_op_on_sparse_preserves_format_when_safe() {
+        let a = Matrix::sparse(SparseMatrix::from_triples(2, 2, vec![(0, 0, 4.0)]));
+        let c = binary_scalar(&a, 2.0, BinaryOp::Mult);
+        assert!(c.is_sparse());
+        assert_eq!(c.get(0, 0), 8.0);
+        // x^1 keeps zeros zero as well (0^2=0): pow with positive exponent safe
+        let p = binary_scalar(&a, 2.0, BinaryOp::Pow);
+        assert!(p.is_sparse());
+        assert_eq!(p.get(0, 0), 16.0);
+        // add densifies
+        let d = binary_scalar(&a, 1.0, BinaryOp::Add);
+        assert!(!d.is_sparse());
+        assert_eq!(d.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn comparison_produces_indicator() {
+        let a = dm(&[&[1.0, -2.0], &[0.0, 4.0]]);
+        let c = binary_scalar(&a, 0.0, BinaryOp::Neq);
+        assert_eq!(c.get(0, 0), 1.0);
+        assert_eq!(c.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn dense_vs_sparse_agree() {
+        let d = DenseMatrix::from_rows(&[&[1.0, 0.0, 3.0], &[0.0, 5.0, 0.0]]);
+        let s = Matrix::sparse(SparseMatrix::from_dense(&d));
+        let dd = Matrix::dense(d);
+        for op in [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mult, BinaryOp::Min, BinaryOp::Max] {
+            let r1 = binary(&dd, &dd, op);
+            let r2 = binary(&s, &s, op);
+            assert!(r1.approx_eq(&r2, 1e-12), "op {op:?} disagrees");
+        }
+    }
+}

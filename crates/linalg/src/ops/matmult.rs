@@ -1,0 +1,285 @@
+//! Matrix multiplication kernels: dense×dense (ikj order, parallel over row
+//! bands), sparse×dense, dense×sparse, sparse×sparse, and the fused
+//! `t(X) %*% Y` (tsmm-style) kernel that avoids materializing the transpose.
+
+use crate::dense::DenseMatrix;
+use crate::matrix::Matrix;
+use crate::par;
+use crate::sparse::SparseMatrix;
+
+/// `C = A %*% B`. Panics on an inner-dimension mismatch.
+pub fn matmult(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmult inner dimension mismatch: {}x{} %*% {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    match (a, b) {
+        (Matrix::Dense(x), Matrix::Dense(y)) => Matrix::dense(dense_dense(x, y)),
+        (Matrix::Sparse(x), Matrix::Dense(y)) => Matrix::dense(sparse_dense(x, y)),
+        (Matrix::Dense(x), Matrix::Sparse(y)) => Matrix::dense(dense_sparse(x, y)),
+        (Matrix::Sparse(x), Matrix::Sparse(y)) => sparse_sparse(x, y),
+    }
+}
+
+/// `C = t(X) %*% Y` computed as `Σ_r outer(X[r,:], Y[r,:])` without forming
+/// `t(X)`. When `x` and `y` are the same matrix this is SystemML's `tsmm`.
+/// Parallelized over row bands with per-thread partial outputs.
+pub fn tsmm_left(x: &Matrix, y: &Matrix) -> Matrix {
+    assert_eq!(x.rows(), y.rows(), "tsmm_left requires equal row counts");
+    let (m, n) = (x.cols(), y.cols());
+    let rows = x.rows();
+    let acc = par::par_map_reduce(
+        rows,
+        m * n,
+        vec![0.0f64; m * n],
+        |lo, hi| {
+            let mut c = vec![0.0f64; m * n];
+            match (x, y) {
+                (Matrix::Dense(xd), Matrix::Dense(yd)) => {
+                    for r in lo..hi {
+                        let xr = xd.row(r);
+                        let yr = yd.row(r);
+                        for (i, &xv) in xr.iter().enumerate() {
+                            if xv != 0.0 {
+                                let crow = &mut c[i * n..(i + 1) * n];
+                                for (j, &yv) in yr.iter().enumerate() {
+                                    crow[j] += xv * yv;
+                                }
+                            }
+                        }
+                    }
+                }
+                (Matrix::Sparse(xs), Matrix::Dense(yd)) => {
+                    for r in lo..hi {
+                        let yr = yd.row(r);
+                        for (i, xv) in xs.row_iter(r) {
+                            let crow = &mut c[i * n..(i + 1) * n];
+                            for (j, &yv) in yr.iter().enumerate() {
+                                crow[j] += xv * yv;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    for r in lo..hi {
+                        for i in 0..m {
+                            let xv = x.get(r, i);
+                            if xv != 0.0 {
+                                for j in 0..n {
+                                    c[i * n + j] += xv * y.get(r, j);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            c
+        },
+        |mut a, b| {
+            for (av, bv) in a.iter_mut().zip(b.iter()) {
+                *av += bv;
+            }
+            a
+        },
+    );
+    Matrix::dense(DenseMatrix::new(m, n, acc))
+}
+
+fn dense_dense(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f64; m * n];
+    par::par_rows_mut(&mut out, m, n.max(1), k * n.max(1), |r, crow| {
+        let arow = a.row(r);
+        // ikj loop order: stream through B rows, accumulate into the C row.
+        for (ki, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                let brow = b.row(ki);
+                for (j, &bv) in brow.iter().enumerate() {
+                    crow[j] += av * bv;
+                }
+            }
+        }
+    });
+    DenseMatrix::new(m, n, out)
+}
+
+fn sparse_dense(a: &SparseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (m, n) = (a.rows(), b.cols());
+    let mut out = vec![0.0f64; m * n];
+    par::par_rows_mut(&mut out, m, n.max(1), n.max(1).max(a.nnz() / m.max(1)), |r, crow| {
+        for (ki, av) in a.row_iter(r) {
+            let brow = b.row(ki);
+            for (j, &bv) in brow.iter().enumerate() {
+                crow[j] += av * bv;
+            }
+        }
+    });
+    DenseMatrix::new(m, n, out)
+}
+
+fn dense_sparse(a: &DenseMatrix, b: &SparseMatrix) -> DenseMatrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f64; m * n];
+    par::par_rows_mut(&mut out, m, n.max(1), k.max(1), |r, crow| {
+        let arow = a.row(r);
+        for (ki, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                for (j, bv) in b.row_iter(ki) {
+                    crow[j] += av * bv;
+                }
+            }
+        }
+    });
+    DenseMatrix::new(m, n, out)
+}
+
+fn sparse_sparse(a: &SparseMatrix, b: &SparseMatrix) -> Matrix {
+    let (m, n) = (a.rows(), b.cols());
+    // Row-at-a-time with a dense accumulator row; output format decided from
+    // the observed density, as SystemML does with its output sparsity
+    // estimator.
+    let mut triples: Vec<(usize, usize, f64)> = Vec::new();
+    let mut accum = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+    for r in 0..m {
+        for (ki, av) in a.row_iter(r) {
+            for (j, bv) in b.row_iter(ki) {
+                if accum[j] == 0.0 {
+                    touched.push(j);
+                }
+                accum[j] += av * bv;
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            if accum[j] != 0.0 {
+                triples.push((r, j, accum[j]));
+            }
+            accum[j] = 0.0;
+        }
+        touched.clear();
+    }
+    let nnz = triples.len();
+    let sp = SparseMatrix::from_triples(m, n, triples);
+    if nnz * 2 > m * n {
+        Matrix::dense(sp.to_dense())
+    } else {
+        Matrix::sparse(sp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Matrix, b: &Matrix) -> DenseMatrix {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = DenseMatrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.get(i, p) * b.get(p, j);
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    fn rnd_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+        // Small deterministic LCG to avoid pulling rand into unit tests.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            data.push(if v.abs() < 0.3 { 0.0 } else { v });
+        }
+        DenseMatrix::new(rows, cols, data)
+    }
+
+    #[test]
+    fn dense_dense_matches_naive() {
+        let a = Matrix::dense(rnd_dense(7, 5, 1));
+        let b = Matrix::dense(rnd_dense(5, 9, 2));
+        let c = matmult(&a, &b);
+        assert!(c.approx_eq(&Matrix::dense(naive(&a, &b)), 1e-10));
+    }
+
+    #[test]
+    fn all_format_combinations_agree() {
+        let ad = rnd_dense(8, 6, 3);
+        let bd = rnd_dense(6, 4, 4);
+        let combos: Vec<(Matrix, Matrix)> = vec![
+            (Matrix::dense(ad.clone()), Matrix::dense(bd.clone())),
+            (Matrix::sparse(SparseMatrix::from_dense(&ad)), Matrix::dense(bd.clone())),
+            (Matrix::dense(ad.clone()), Matrix::sparse(SparseMatrix::from_dense(&bd))),
+            (
+                Matrix::sparse(SparseMatrix::from_dense(&ad)),
+                Matrix::sparse(SparseMatrix::from_dense(&bd)),
+            ),
+        ];
+        let expect = Matrix::dense(naive(&combos[0].0, &combos[0].1));
+        for (a, b) in &combos {
+            let c = matmult(a, b);
+            assert!(c.approx_eq(&expect, 1e-10));
+        }
+    }
+
+    #[test]
+    fn tsmm_left_matches_explicit_transpose() {
+        let x = rnd_dense(10, 4, 5);
+        let y = rnd_dense(10, 3, 6);
+        let expect = {
+            let xt = super::super::reorg::transpose(&Matrix::dense(x.clone()));
+            matmult(&xt, &Matrix::dense(y.clone()))
+        };
+        let got = tsmm_left(&Matrix::dense(x.clone()), &Matrix::dense(y));
+        assert!(got.approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn tsmm_left_sparse_input() {
+        let x = rnd_dense(12, 5, 7);
+        let y = rnd_dense(12, 2, 8);
+        let expect = tsmm_left(&Matrix::dense(x.clone()), &Matrix::dense(y.clone()));
+        let got =
+            tsmm_left(&Matrix::sparse(SparseMatrix::from_dense(&x)), &Matrix::dense(y));
+        assert!(got.approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn matrix_vector() {
+        let a = Matrix::dense(DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let v = Matrix::dense(DenseMatrix::col_vector(&[1.0, 1.0]));
+        let c = matmult(&a, &v);
+        assert_eq!((c.rows(), c.cols()), (2, 1));
+        assert_eq!(c.get(0, 0), 3.0);
+        assert_eq!(c.get(1, 0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        matmult(&a, &b);
+    }
+
+    #[test]
+    fn sparse_sparse_output_format() {
+        // Nearly-empty product stays sparse.
+        let a = Matrix::sparse(SparseMatrix::from_triples(100, 100, vec![(0, 0, 1.0)]));
+        let b = Matrix::sparse(SparseMatrix::from_triples(100, 100, vec![(0, 5, 2.0)]));
+        let c = matmult(&a, &b);
+        assert!(c.is_sparse());
+        assert_eq!(c.get(0, 5), 2.0);
+        assert_eq!(c.nnz(), 1);
+    }
+}

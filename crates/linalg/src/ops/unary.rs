@@ -1,0 +1,101 @@
+//! Element-wise unary operations.
+
+use super::UnaryOp;
+use crate::dense::DenseMatrix;
+use crate::matrix::Matrix;
+use crate::par;
+
+/// `out = f(a)` cell-wise. Sparse-safe functions (`f(0)=0`) run over stored
+/// non-zeros only and keep the CSR format.
+pub fn unary(a: &Matrix, op: UnaryOp) -> Matrix {
+    match a {
+        Matrix::Sparse(s) if op.sparse_safe() => {
+            let mut out = (**s).clone();
+            for v in out.values_mut() {
+                *v = op.apply(*v);
+            }
+            out.compact();
+            Matrix::sparse(out)
+        }
+        _ => {
+            let d = a.to_dense();
+            let (rows, cols) = (d.rows(), d.cols());
+            let mut data = d.into_values();
+            par::par_rows_mut(&mut data, rows, cols.max(1), cols.max(1), |_, row| {
+                for v in row.iter_mut() {
+                    *v = op.apply(*v);
+                }
+            });
+            Matrix::dense(DenseMatrix::new(rows, cols, data))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::SparseMatrix;
+
+    #[test]
+    fn dense_exp() {
+        let a = Matrix::dense(DenseMatrix::from_rows(&[&[0.0, 1.0]]));
+        let e = unary(&a, UnaryOp::Exp);
+        assert!((e.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((e.get(0, 1) - std::f64::consts::E).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_safe_stays_sparse() {
+        let a = Matrix::sparse(SparseMatrix::from_triples(3, 3, vec![(1, 1, -4.0)]));
+        let r = unary(&a, UnaryOp::Abs);
+        assert!(r.is_sparse());
+        assert_eq!(r.get(1, 1), 4.0);
+        assert_eq!(r.nnz(), 1);
+    }
+
+    #[test]
+    fn sparse_unsafe_densifies() {
+        let a = Matrix::sparse(SparseMatrix::from_triples(2, 2, vec![(0, 0, 1.0)]));
+        let r = unary(&a, UnaryOp::Exp);
+        assert!(!r.is_sparse());
+        assert!((r.get(1, 1) - 1.0).abs() < 1e-12, "exp(0) = 1 must appear");
+    }
+
+    #[test]
+    fn sign_can_compact() {
+        // sign of positive values stays 1.0; no zeros introduced here, but
+        // round can introduce zeros from values in (-0.5, 0.5).
+        let a = Matrix::sparse(SparseMatrix::from_triples(1, 2, vec![(0, 0, 0.2)]));
+        let r = unary(&a, UnaryOp::Round);
+        assert_eq!(r.nnz(), 0);
+    }
+
+    #[test]
+    fn all_ops_match_scalar_semantics_on_dense() {
+        let vals = [-1.5, -0.3, 0.0, 0.4, 2.0];
+        let a = Matrix::dense(DenseMatrix::row_vector(&vals));
+        for op in [
+            UnaryOp::Exp,
+            UnaryOp::Sqrt,
+            UnaryOp::Abs,
+            UnaryOp::Sign,
+            UnaryOp::Round,
+            UnaryOp::Floor,
+            UnaryOp::Ceil,
+            UnaryOp::Neg,
+            UnaryOp::Sigmoid,
+            UnaryOp::Pow2,
+            UnaryOp::Sprop,
+        ] {
+            let r = unary(&a, op);
+            for (i, &v) in vals.iter().enumerate() {
+                let expect = op.apply(v);
+                let got = r.get(0, i);
+                assert!(
+                    crate::approx_eq(expect, got, 1e-12),
+                    "{op:?}({v}) = {got}, expected {expect}"
+                );
+            }
+        }
+    }
+}

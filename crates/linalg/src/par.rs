@@ -1,0 +1,173 @@
+//! Minimal scoped-thread parallelization helpers.
+//!
+//! The fused-operator skeletons and the large dense kernels parallelize over
+//! row ranges. We deliberately avoid a work-stealing runtime: static row
+//! partitioning matches SystemML's executor model and keeps the
+//! time-measurement behaviour of the benchmarks deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Returns the configured degree of parallelism (defaults to the number of
+/// available hardware threads).
+pub fn num_threads() -> usize {
+    let n = NUM_THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Overrides the degree of parallelism used by all parallel kernels
+/// (0 restores the hardware default). Used by benchmarks to pin thread counts.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Minimum number of "work items" per thread before we bother spawning.
+pub const PAR_THRESHOLD: usize = 4096;
+
+/// Splits `0..n` into at most [`num_threads`] contiguous ranges and runs `f`
+/// on each range in parallel. `f(lo, hi)` must handle the half-open range
+/// `[lo, hi)`. Falls back to a single inline call for small `n`.
+pub fn par_range<F>(n: usize, work_per_item: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let k = num_threads();
+    if k <= 1 || n * work_per_item.max(1) < PAR_THRESHOLD || n < 2 {
+        f(0, n);
+        return;
+    }
+    let k = k.min(n);
+    let chunk = n.div_ceil(k);
+    std::thread::scope(|s| {
+        for t in 0..k {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let fref = &f;
+            s.spawn(move || fref(lo, hi));
+        }
+    });
+}
+
+/// Parallel map-reduce over `0..n`: each thread folds its range with `map`
+/// starting from `identity`, then the per-thread results are combined with
+/// `reduce` on the calling thread.
+pub fn par_map_reduce<T, M, R>(n: usize, work_per_item: usize, identity: T, map: M, reduce: R) -> T
+where
+    T: Send,
+    M: Fn(usize, usize) -> T + Sync,
+    R: Fn(T, T) -> T,
+{
+    let k = num_threads();
+    if k <= 1 || n * work_per_item.max(1) < PAR_THRESHOLD || n < 2 {
+        return reduce(identity, map(0, n));
+    }
+    let k = k.min(n);
+    let chunk = n.div_ceil(k);
+    let mut results: Vec<Option<T>> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(k);
+        for t in 0..k {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let mref = &map;
+            handles.push(s.spawn(move || mref(lo, hi)));
+        }
+        for h in handles {
+            results.push(Some(h.join().expect("worker thread panicked")));
+        }
+    });
+    let mut acc = identity;
+    for r in results.iter_mut() {
+        acc = reduce(acc, r.take().expect("result present"));
+    }
+    acc
+}
+
+/// Splits a mutable slice into per-thread row bands and runs `f` on each band
+/// in parallel. `rows * row_len` must equal `data.len()`.
+pub fn par_rows_mut<F>(data: &mut [f64], rows: usize, row_len: usize, work_per_row: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert_eq!(data.len(), rows * row_len, "slice/row geometry mismatch");
+    let k = num_threads();
+    if k <= 1 || rows * work_per_row.max(1) < PAR_THRESHOLD || rows < 2 {
+        for (r, row) in data.chunks_exact_mut(row_len.max(1)).enumerate() {
+            f(r, row);
+        }
+        return;
+    }
+    let k = k.min(rows);
+    let band = rows.div_ceil(k);
+    std::thread::scope(|s| {
+        for (t, chunk) in data.chunks_mut(band * row_len).enumerate() {
+            let fref = &f;
+            s.spawn(move || {
+                for (i, row) in chunk.chunks_exact_mut(row_len).enumerate() {
+                    fref(t * band + i, row);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_range_covers_all_indices() {
+        let n = 100_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_range(n, 1, |lo, hi| {
+            for i in lo..hi {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_map_reduce_sums() {
+        let n = 1_000_000usize;
+        let s = par_map_reduce(n, 1, 0u64, |lo, hi| (lo..hi).map(|i| i as u64).sum(), |a, b| a + b);
+        assert_eq!(s, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn par_rows_mut_writes_each_row_once() {
+        let rows = 1000;
+        let cols = 8;
+        let mut data = vec![0.0; rows * cols];
+        par_rows_mut(&mut data, rows, cols, cols, |r, row| {
+            for v in row.iter_mut() {
+                *v += r as f64;
+            }
+        });
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(data[r * cols + c], r as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn set_num_threads_roundtrip() {
+        set_num_threads(2);
+        assert_eq!(num_threads(), 2);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

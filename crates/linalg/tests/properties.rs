@@ -1,0 +1,132 @@
+//! Property-based tests: dense and sparse kernels must agree on every
+//! operation, and algebraic invariants must hold across formats.
+
+use fusedml_linalg::ops::{self, AggDir, AggOp, BinaryOp, UnaryOp};
+use fusedml_linalg::{DenseMatrix, Matrix, SparseMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a small matrix as (rows, cols, values) with ~50% zeros so both
+/// formats are exercised meaningfully.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = DenseMatrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(
+            prop_oneof![3 => Just(0.0), 2 => -5.0..5.0f64],
+            r * c,
+        )
+        .prop_map(move |data| DenseMatrix::new(r, c, data))
+    })
+}
+
+fn both_formats(d: &DenseMatrix) -> (Matrix, Matrix) {
+    (Matrix::dense(d.clone()), Matrix::sparse(SparseMatrix::from_dense(d)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sparse_roundtrip_is_identity(d in matrix_strategy(12)) {
+        let s = SparseMatrix::from_dense(&d);
+        prop_assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn transpose_involution(d in matrix_strategy(12)) {
+        let (dd, ss) = both_formats(&d);
+        let t2 = ops::transpose(&ops::transpose(&dd));
+        prop_assert!(t2.approx_eq(&dd, 0.0));
+        let t2s = ops::transpose(&ops::transpose(&ss));
+        prop_assert!(t2s.approx_eq(&ss, 0.0));
+    }
+
+    #[test]
+    fn binary_dense_sparse_agree(a in matrix_strategy(10), op_ix in 0usize..5) {
+        let op = [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mult, BinaryOp::Min, BinaryOp::Max][op_ix];
+        let (ad, asp) = both_formats(&a);
+        let r1 = ops::binary(&ad, &ad, op);
+        let r2 = ops::binary(&asp, &asp, op);
+        prop_assert!(r1.approx_eq(&r2, 1e-12));
+    }
+
+    #[test]
+    fn unary_dense_sparse_agree(a in matrix_strategy(10), op_ix in 0usize..4) {
+        let op = [UnaryOp::Abs, UnaryOp::Pow2, UnaryOp::Sign, UnaryOp::Neg][op_ix];
+        let (ad, asp) = both_formats(&a);
+        prop_assert!(ops::unary(&ad, op).approx_eq(&ops::unary(&asp, op), 1e-12));
+    }
+
+    #[test]
+    fn agg_dense_sparse_agree(a in matrix_strategy(10), op_ix in 0usize..4, dir_ix in 0usize..3) {
+        let op = [AggOp::Sum, AggOp::SumSq, AggOp::Min, AggOp::Max][op_ix];
+        let dir = [AggDir::Full, AggDir::Row, AggDir::Col][dir_ix];
+        let (ad, asp) = both_formats(&a);
+        prop_assert!(ops::agg(&ad, op, dir).approx_eq(&ops::agg(&asp, op, dir), 1e-12));
+    }
+
+    #[test]
+    fn matmult_formats_agree(a in matrix_strategy(8), b in matrix_strategy(8)) {
+        // Make the shapes compatible by multiplying a with t(b) when needed.
+        let bt = if a.cols() == b.rows() {
+            Matrix::dense(b.clone())
+        } else {
+            // reshape-free fallback: multiply a (r×c) with c×2 slice of b's data
+            let cols = 2usize;
+            let data: Vec<f64> = (0..a.cols() * cols).map(|i| b.values().get(i).copied().unwrap_or(1.0)).collect();
+            Matrix::dense(DenseMatrix::new(a.cols(), cols, data))
+        };
+        let (ad, asp) = both_formats(&a);
+        let r1 = ops::matmult(&ad, &bt);
+        let r2 = ops::matmult(&asp, &bt.to_sparse().into());
+        prop_assert!(r1.approx_eq(&r2, 1e-9));
+    }
+
+    #[test]
+    fn tsmm_matches_transpose_matmult(a in matrix_strategy(8), b in matrix_strategy(8)) {
+        // Use equal row counts: tie b's rows to a's rows via truncation/padding.
+        let rows = a.rows();
+        let cols = b.cols();
+        let data: Vec<f64> = (0..rows * cols).map(|i| b.values().get(i).copied().unwrap_or(0.5)).collect();
+        let y = Matrix::dense(DenseMatrix::new(rows, cols, data));
+        let x = Matrix::dense(a.clone());
+        let expect = ops::matmult(&ops::transpose(&x), &y);
+        let got = ops::tsmm_left(&x, &y);
+        prop_assert!(got.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn mult_add_distributes(a in matrix_strategy(8)) {
+        // (a + a) == 2 * a
+        let (ad, _) = both_formats(&a);
+        let doubled = ops::binary(&ad, &ad, BinaryOp::Add);
+        let scaled = ops::binary_scalar(&ad, 2.0, BinaryOp::Mult);
+        prop_assert!(doubled.approx_eq(&scaled, 1e-12));
+    }
+
+    #[test]
+    fn row_col_sums_consistent_with_full(a in matrix_strategy(10)) {
+        let (ad, _) = both_formats(&a);
+        let full = ops::agg(&ad, AggOp::Sum, AggDir::Full).get(0, 0);
+        let via_rows = ops::agg(&ops::agg(&ad, AggOp::Sum, AggDir::Row), AggOp::Sum, AggDir::Full).get(0, 0);
+        let via_cols = ops::agg(&ops::agg(&ad, AggOp::Sum, AggDir::Col), AggOp::Sum, AggDir::Full).get(0, 0);
+        prop_assert!(fusedml_linalg::approx_eq(full, via_rows, 1e-9));
+        prop_assert!(fusedml_linalg::approx_eq(full, via_cols, 1e-9));
+    }
+
+    #[test]
+    fn indexing_matches_cellwise(a in matrix_strategy(10)) {
+        let (ad, asp) = both_formats(&a);
+        let (r, c) = (a.rows(), a.cols());
+        let rr = 0..(r + 1) / 2;
+        let cc = (c / 2)..c;
+        if !rr.is_empty() && !cc.is_empty() {
+            let i1 = ops::index_range(&ad, rr.clone(), cc.clone());
+            let i2 = ops::index_range(&asp, rr.clone(), cc.clone());
+            prop_assert!(i1.approx_eq(&i2, 0.0));
+            for (oi, i) in rr.clone().enumerate() {
+                for (oj, j) in cc.clone().enumerate() {
+                    prop_assert_eq!(i1.get(oi, oj), a.get(i, j));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! The DAG executor: runs a HOP DAG under a fusion mode, dispatching
+//! between basic operators (the `Base` interpreter), hand-coded fused
+//! operators (`Fused`), and generated fused operators (`Gen`/`Gen-FA`/
+//! `Gen-FNR`), with lazy materialization of intermediates.
+
+use crate::handcoded;
+use crate::side::SideInput;
+use crate::spoof;
+use fusedml_core::optimizer::{FusedOperator, FusionPlan, Optimizer};
+use fusedml_core::util::FxHashMap;
+use fusedml_core::FusionMode;
+use fusedml_hop::interp::{self, Bindings};
+use fusedml_hop::{HopDag, HopId};
+use fusedml_linalg::matrix::Value;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Execution statistics.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Generated fused operators executed.
+    pub fused_ops: AtomicUsize,
+    /// Hand-coded fused operators executed.
+    pub handcoded_ops: AtomicUsize,
+    /// Basic operators executed.
+    pub basic_ops: AtomicUsize,
+}
+
+impl ExecStats {
+    pub fn snapshot(&self) -> (usize, usize, usize) {
+        (
+            self.fused_ops.load(Ordering::Relaxed),
+            self.handcoded_ops.load(Ordering::Relaxed),
+            self.basic_ops.load(Ordering::Relaxed),
+        )
+    }
+
+    pub fn reset(&self) {
+        self.fused_ops.store(0, Ordering::Relaxed);
+        self.handcoded_ops.store(0, Ordering::Relaxed);
+        self.basic_ops.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The executor: owns the optimizer (for codegen modes) and a per-DAG
+/// fusion-plan cache standing in for SystemML's runtime-program cache
+/// across dynamic recompilations.
+pub struct Executor {
+    pub mode: FusionMode,
+    pub optimizer: Optimizer,
+    pub stats: ExecStats,
+    /// Cache of fusion plans per structural DAG hash (set `false` to force
+    /// re-optimization on every call, as in the compilation-overhead
+    /// experiments).
+    pub cache_plans: bool,
+    plans: Mutex<FxHashMap<u64, Arc<FusionPlan>>>,
+}
+
+impl Executor {
+    pub fn new(mode: FusionMode) -> Self {
+        Executor {
+            mode,
+            optimizer: Optimizer::new(mode),
+            stats: ExecStats::default(),
+            cache_plans: true,
+            plans: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Executes a DAG, returning root values in root order.
+    pub fn execute(&self, dag: &HopDag, bindings: &Bindings) -> Vec<Value> {
+        match self.mode {
+            FusionMode::Base => {
+                let live = dag.live_set();
+                self.stats
+                    .basic_ops
+                    .fetch_add(live.iter().filter(|&&l| l).count(), Ordering::Relaxed);
+                interp::interpret(dag, bindings)
+            }
+            FusionMode::Fused => handcoded::interpret(dag, bindings, &self.stats),
+            _ => {
+                let plan = self.plan_for(dag);
+                self.execute_with_plan(dag, &plan, bindings)
+            }
+        }
+    }
+
+    /// Returns (possibly cached) fusion plan for a DAG.
+    pub fn plan_for(&self, dag: &HopDag) -> Arc<FusionPlan> {
+        if !self.cache_plans {
+            return Arc::new(self.optimizer.optimize(dag));
+        }
+        let key = dag_structural_hash(dag);
+        if let Some(p) = self.plans.lock().get(&key) {
+            return Arc::clone(p);
+        }
+        let p = Arc::new(self.optimizer.optimize(dag));
+        self.plans.lock().insert(key, Arc::clone(&p));
+        p
+    }
+
+    /// Executes a DAG under an explicit fusion plan.
+    pub fn execute_with_plan(
+        &self,
+        dag: &HopDag,
+        plan: &FusionPlan,
+        bindings: &Bindings,
+    ) -> Vec<Value> {
+        // Map root hop → (operator, output slot).
+        let mut op_roots: FxHashMap<HopId, (usize, usize)> = FxHashMap::default();
+        for (i, f) in plan.operators.iter().enumerate() {
+            for (slot, &r) in f.roots.iter().enumerate() {
+                op_roots.insert(r, (i, slot));
+            }
+        }
+        let mut vals: Vec<Option<Value>> = vec![None; dag.len()];
+        for &root in dag.roots() {
+            self.materialize(dag, plan, &op_roots, bindings, &mut vals, root);
+        }
+        dag.roots()
+            .iter()
+            .map(|r| vals[r.index()].clone().expect("root computed"))
+            .collect()
+    }
+
+    /// Lazily computes the value of `hop`, preferring its fused operator.
+    fn materialize(
+        &self,
+        dag: &HopDag,
+        plan: &FusionPlan,
+        op_roots: &FxHashMap<HopId, (usize, usize)>,
+        bindings: &Bindings,
+        vals: &mut Vec<Option<Value>>,
+        hop: HopId,
+    ) {
+        if vals[hop.index()].is_some() {
+            return;
+        }
+        if let Some(&(op_ix, _)) = op_roots.get(&hop) {
+            let f = &plan.operators[op_ix];
+            // Gather operator inputs.
+            for &m in f.cplan.main.iter() {
+                self.materialize(dag, plan, op_roots, bindings, vals, m);
+            }
+            for &s in &f.cplan.sides {
+                self.materialize(dag, plan, op_roots, bindings, vals, s);
+            }
+            for &s in &f.cplan.scalars {
+                self.materialize(dag, plan, op_roots, bindings, vals, s);
+            }
+            let outs = self.run_operator(f, vals);
+            self.stats.fused_ops.fetch_add(1, Ordering::Relaxed);
+            for (slot, &r) in f.roots.iter().enumerate() {
+                let m = &outs[slot];
+                let v = if dag.hop(r).is_scalar() && m.is_scalar_shaped() {
+                    Value::Scalar(m.get(0, 0))
+                } else {
+                    Value::Matrix(m.clone())
+                };
+                vals[r.index()] = Some(v);
+            }
+            return;
+        }
+        // Basic operator: compute inputs then evaluate.
+        let inputs = dag.hop(hop).inputs.clone();
+        for &i in &inputs {
+            self.materialize(dag, plan, op_roots, bindings, vals, i);
+        }
+        if !dag.hop(hop).kind.is_leaf() {
+            self.stats.basic_ops.fetch_add(1, Ordering::Relaxed);
+        }
+        let v = interp::eval_op(dag, hop, vals, bindings);
+        vals[hop.index()] = Some(v);
+    }
+
+    /// Runs one fused operator with bound inputs.
+    fn run_operator(
+        &self,
+        f: &FusedOperator,
+        vals: &[Option<Value>],
+    ) -> Vec<fusedml_linalg::Matrix> {
+        let get_matrix = |h: HopId| -> fusedml_linalg::Matrix {
+            vals[h.index()].as_ref().expect("operator input computed").as_matrix()
+        };
+        let main_val = f.cplan.main.map(get_matrix);
+        let sides: Vec<SideInput> =
+            f.cplan.sides.iter().map(|&h| SideInput::bind(&get_matrix(h))).collect();
+        let scalars: Vec<f64> = f
+            .cplan
+            .scalars
+            .iter()
+            .map(|&h| vals[h.index()].as_ref().expect("scalar computed").as_scalar())
+            .collect();
+        spoof::execute(
+            &f.op.spec,
+            main_val.as_ref(),
+            &sides,
+            &scalars,
+            f.cplan.iter_rows,
+            f.cplan.iter_cols,
+        )
+    }
+}
+
+/// A structural hash of a DAG (operator kinds, edges, sizes) for the
+/// fusion-plan cache.
+pub fn dag_structural_hash(dag: &HopDag) -> u64 {
+    let mut s = String::with_capacity(dag.len() * 16);
+    for h in dag.iter() {
+        s.push_str(&format!(
+            "{:?}|{:?}|{}x{};",
+            h.kind, h.inputs, h.size.rows, h.size.cols
+        ));
+    }
+    s.push_str(&format!("{:?}", dag.roots()));
+    fusedml_core::util::fx_hash(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_linalg::{generate, Matrix};
+
+    fn bind(pairs: &[(&str, Matrix)]) -> Bindings {
+        pairs.iter().map(|(n, m)| (n.to_string(), m.clone())).collect()
+    }
+
+    /// Gen and Base must agree on the paper's Expression (2) (MLogreg core).
+    #[test]
+    fn mlogreg_core_gen_equals_base() {
+        let (n, m, k) = (300, 40, 4);
+        let mut b = fusedml_hop::DagBuilder::new();
+        let x = b.read("X", n, m, 1.0);
+        let v = b.read("V", m, k, 1.0);
+        let p = b.read("P", n, k + 1, 1.0);
+        let xv = b.mm(x, v);
+        let pk = b.rix(p, None, Some((0, k)));
+        let q = b.mult(pk, xv);
+        let rs = b.row_sums(q);
+        let prs = b.mult(pk, rs);
+        let diff = b.sub(q, prs);
+        let xt = b.t(x);
+        let h = b.mm(xt, diff);
+        let dag = b.build(vec![h]);
+        let bindings = bind(&[
+            ("X", generate::rand_dense(n, m, -1.0, 1.0, 1)),
+            ("V", generate::rand_dense(m, k, -1.0, 1.0, 2)),
+            ("P", generate::rand_dense(n, k + 1, 0.0, 1.0, 3)),
+        ]);
+        let base = Executor::new(FusionMode::Base).execute(&dag, &bindings);
+        let gen = Executor::new(FusionMode::Gen);
+        let out = gen.execute(&dag, &bindings);
+        assert!(out[0].as_matrix().approx_eq(&base[0].as_matrix(), 1e-9));
+        let (fused, _, _) = gen.stats.snapshot();
+        assert!(fused >= 1, "the Row operator must actually run");
+    }
+
+    /// Expression (1): the ALS-CG update rule with sparse X.
+    #[test]
+    fn als_update_gen_equals_base() {
+        let (n, m, r) = (400, 300, 10);
+        let mut b = fusedml_hop::DagBuilder::new();
+        let x = b.read("X", n, m, 0.01);
+        let u = b.read("U", n, r, 1.0);
+        let v = b.read("V", m, r, 1.0);
+        let rr = b.read("R", n, r, 1.0);
+        let vt = b.t(v);
+        let uvt = b.mm(u, vt);
+        let zero = b.lit(0.0);
+        let mask = b.neq(x, zero);
+        let w = b.mult(mask, uvt);
+        let wv = b.mm(w, v);
+        let lam = b.lit(1e-6);
+        let ulam = b.mult(u, lam);
+        let ur = b.mult(ulam, rr);
+        let o = b.add(wv, ur);
+        let dag = b.build(vec![o]);
+        let bindings = bind(&[
+            ("X", generate::rand_matrix(n, m, 1.0, 5.0, 0.01, 4)),
+            ("U", generate::rand_dense(n, r, 0.1, 1.0, 5)),
+            ("V", generate::rand_dense(m, r, 0.1, 1.0, 6)),
+            ("R", generate::rand_dense(n, r, 0.1, 1.0, 7)),
+        ]);
+        let base = Executor::new(FusionMode::Base).execute(&dag, &bindings);
+        let gen = Executor::new(FusionMode::Gen);
+        let out = gen.execute(&dag, &bindings);
+        assert!(out[0].as_matrix().approx_eq(&base[0].as_matrix(), 1e-9));
+        let (fused, _, _) = gen.stats.snapshot();
+        assert!(fused >= 1, "fused operators must run: {:?}", gen.plan_for(&dag).explain());
+    }
+
+    #[test]
+    fn multi_aggregate_gen_equals_base() {
+        let mut b = fusedml_hop::DagBuilder::new();
+        let x = b.read("X", 200, 100, 1.0);
+        let y = b.read("Y", 200, 100, 1.0);
+        let z = b.read("Z", 200, 100, 1.0);
+        let a = b.mult(x, y);
+        let c = b.mult(x, z);
+        let s1 = b.sum(a);
+        let s2 = b.sum(c);
+        let dag = b.build(vec![s1, s2]);
+        let bindings = bind(&[
+            ("X", generate::rand_dense(200, 100, -1.0, 1.0, 8)),
+            ("Y", generate::rand_dense(200, 100, -1.0, 1.0, 9)),
+            ("Z", generate::rand_dense(200, 100, -1.0, 1.0, 10)),
+        ]);
+        let base = Executor::new(FusionMode::Base).execute(&dag, &bindings);
+        let gen = Executor::new(FusionMode::Gen);
+        let out = gen.execute(&dag, &bindings);
+        for (o, e) in out.iter().zip(&base) {
+            assert!(fusedml_linalg::approx_eq(o.as_scalar(), e.as_scalar(), 1e-9));
+        }
+    }
+
+    #[test]
+    fn all_modes_agree_on_cell_chain() {
+        let mut b = fusedml_hop::DagBuilder::new();
+        let x = b.read("X", 150, 150, 1.0);
+        let y = b.read("Y", 150, 150, 1.0);
+        let z = b.read("Z", 150, 150, 1.0);
+        let m1 = b.mult(x, y);
+        let m2 = b.mult(m1, z);
+        let s = b.sum(m2);
+        let dag = b.build(vec![s]);
+        let bindings = bind(&[
+            ("X", generate::rand_dense(150, 150, -1.0, 1.0, 11)),
+            ("Y", generate::rand_dense(150, 150, -1.0, 1.0, 12)),
+            ("Z", generate::rand_dense(150, 150, -1.0, 1.0, 13)),
+        ]);
+        let reference = Executor::new(FusionMode::Base).execute(&dag, &bindings)[0].as_scalar();
+        for mode in [
+            FusionMode::Fused,
+            FusionMode::Gen,
+            FusionMode::GenFA,
+            FusionMode::GenFNR,
+        ] {
+            let out = Executor::new(mode).execute(&dag, &bindings)[0].as_scalar();
+            assert!(
+                fusedml_linalg::approx_eq(out, reference, 1e-9),
+                "{mode:?}: {out} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_cache_avoids_reoptimization() {
+        let build = || {
+            let mut b = fusedml_hop::DagBuilder::new();
+            let x = b.read("X", 100, 100, 1.0);
+            let y = b.read("Y", 100, 100, 1.0);
+            let m = b.mult(x, y);
+            let s = b.sum(m);
+            b.build(vec![s])
+        };
+        let exec = Executor::new(FusionMode::Gen);
+        let bindings = bind(&[
+            ("X", generate::rand_dense(100, 100, 0.0, 1.0, 14)),
+            ("Y", generate::rand_dense(100, 100, 0.0, 1.0, 15)),
+        ]);
+        let _ = exec.execute(&build(), &bindings);
+        let _ = exec.execute(&build(), &bindings);
+        let snap = exec.optimizer.stats.snapshot();
+        assert_eq!(snap.dags_optimized, 1, "second execution hits the plan cache");
+    }
+
+    /// Materialized intermediates shared between a fused operator and an
+    /// external consumer are computed correctly (redundant or materialized).
+    #[test]
+    fn shared_intermediate_correctness() {
+        let mut b = fusedml_hop::DagBuilder::new();
+        let x = b.read("X", 120, 80, 1.0);
+        let y = b.read("Y", 120, 80, 1.0);
+        let shared = b.mult(x, y);
+        let e = b.exp(shared);
+        let s1 = b.sum(e);
+        let s2 = b.sum(shared);
+        let dag = b.build(vec![s1, s2]);
+        let bindings = bind(&[
+            ("X", generate::rand_dense(120, 80, -0.5, 0.5, 16)),
+            ("Y", generate::rand_dense(120, 80, -0.5, 0.5, 17)),
+        ]);
+        let base = Executor::new(FusionMode::Base).execute(&dag, &bindings);
+        for mode in [FusionMode::Gen, FusionMode::GenFA, FusionMode::GenFNR] {
+            let out = Executor::new(mode).execute(&dag, &bindings);
+            for (o, e) in out.iter().zip(&base) {
+                assert!(
+                    fusedml_linalg::approx_eq(o.as_scalar(), e.as_scalar(), 1e-9),
+                    "{mode:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! Hand-coded fused operators: the `Fused` baseline of the evaluation
+//! (SystemML's default before automatic codegen), implementing a fixed set
+//! of two-to-three-operator patterns matched structurally at execution time
+//! (paper §1: such operators "are usually limited to fixed patterns of few
+//! operators").
+//!
+//! Patterns (mirroring SystemML's hand-coded operator set):
+//! * `tak+*` — `sum(X ⊙ Y)` / `sum(X ⊙ Y ⊙ Z)` without intermediates,
+//! * `mmchain` — `t(X) %*% (X %*% v)` and `t(X) %*% (w ⊙ (X %*% v))`
+//!   (matrix-*vector* chains only; the paper notes the hand-coded operator
+//!   does not cover `X^T(XV)` with matrix `V`),
+//! * `wcemm` — weighted cross-entropy `sum(X ⊙ log(U V^T + eps))`,
+//! * `wdivmm`-style — `((X != 0) ⊙ (U V^T)) %*% V` and the transposed
+//!   variant, the ALS-CG update kernels.
+
+use crate::exec::ExecStats;
+use fusedml_hop::interp::{self, Bindings};
+use fusedml_hop::{HopDag, HopId, OpKind};
+use fusedml_linalg::matrix::Value;
+use fusedml_linalg::ops::{AggDir, AggOp, BinaryOp, UnaryOp};
+use fusedml_linalg::{primitives as prim, par, DenseMatrix, Matrix};
+use std::sync::atomic::Ordering;
+
+/// Interprets a DAG with hand-coded fused operators applied where patterns
+/// match; everything else executes as basic operators.
+pub fn interpret(dag: &HopDag, bindings: &Bindings, stats: &ExecStats) -> Vec<Value> {
+    let live = dag.live_set();
+    let mut vals: Vec<Option<Value>> = vec![None; dag.len()];
+    for h in dag.iter() {
+        if !live[h.id.index()] || vals[h.id.index()].is_some() {
+            continue;
+        }
+        if let Some(v) = try_patterns(dag, h.id, &vals, bindings) {
+            stats.handcoded_ops.fetch_add(1, Ordering::Relaxed);
+            vals[h.id.index()] = Some(v);
+            continue;
+        }
+        stats.basic_ops.fetch_add(1, Ordering::Relaxed);
+        vals[h.id.index()] = Some(interp::eval_op(dag, h.id, &vals, bindings));
+    }
+    dag.roots()
+        .iter()
+        .map(|r| vals[r.index()].clone().expect("root computed"))
+        .collect()
+}
+
+/// Structural helpers.
+fn kind(dag: &HopDag, h: HopId) -> &OpKind {
+    &dag.hop(h).kind
+}
+
+fn value_of(
+    dag: &HopDag,
+    h: HopId,
+    vals: &[Option<Value>],
+    bindings: &Bindings,
+) -> Matrix {
+    match &vals[h.index()] {
+        Some(v) => v.as_matrix(),
+        None => {
+            // Inputs of a matched pattern might not be materialized yet when
+            // the pattern consumed the intermediate: evaluate leaves/ops
+            // recursively (cheap: only pattern inputs).
+            match kind(dag, h) {
+                OpKind::Read { name } => bindings
+                    .get(name)
+                    .unwrap_or_else(|| panic!("unbound input '{name}'"))
+                    .clone(),
+                _ => {
+                    // Evaluate via the reference interpreter on demand.
+                    let mut local: Vec<Option<Value>> = vals.to_vec();
+                    for hh in dag.iter() {
+                        if hh.id > h {
+                            break;
+                        }
+                        if local[hh.id.index()].is_none() {
+                            local[hh.id.index()] =
+                                Some(interp::eval_op(dag, hh.id, &local, bindings));
+                        }
+                    }
+                    local[h.index()].as_ref().expect("evaluated").as_matrix()
+                }
+            }
+        }
+    }
+}
+
+/// Attempts all hand-coded patterns at `hop`.
+fn try_patterns(
+    dag: &HopDag,
+    hop: HopId,
+    vals: &[Option<Value>],
+    bindings: &Bindings,
+) -> Option<Value> {
+    try_tak_plus_mult(dag, hop, vals, bindings)
+        .or_else(|| try_mmchain(dag, hop, vals, bindings))
+        .or_else(|| try_wcemm(dag, hop, vals, bindings))
+        .or_else(|| try_wdivmm(dag, hop, vals, bindings))
+}
+
+/// `tak+*`: `sum(A ⊙ B)` or `sum(A ⊙ B ⊙ C)`.
+fn try_tak_plus_mult(
+    dag: &HopDag,
+    hop: HopId,
+    vals: &[Option<Value>],
+    bindings: &Bindings,
+) -> Option<Value> {
+    let OpKind::Agg { op: AggOp::Sum, dir: AggDir::Full } = kind(dag, hop) else {
+        return None;
+    };
+    let inner = dag.hop(hop).inputs[0];
+    let OpKind::Binary { op: BinaryOp::Mult } = kind(dag, inner) else {
+        return None;
+    };
+    let [a, b] = dag.hop(inner).inputs[..] else {
+        return None;
+    };
+    // Optional third factor.
+    let (ops, third): (Vec<HopId>, Option<HopId>) = match kind(dag, a) {
+        OpKind::Binary { op: BinaryOp::Mult } => {
+            let [a1, a2] = dag.hop(a).inputs[..] else { return None };
+            (vec![a1, a2], Some(b))
+        }
+        _ => (vec![a, b], None),
+    };
+    // All factors must be same-geometry matrices (no broadcasts here).
+    let g = dag.hop(ops[0]).size;
+    let all_same = ops
+        .iter()
+        .chain(third.iter())
+        .all(|&f| dag.hop(f).size.rows == g.rows && dag.hop(f).size.cols == g.cols);
+    if !all_same || g.cells() <= 1 {
+        return None;
+    }
+    let ma = value_of(dag, ops[0], vals, bindings);
+    let mb = value_of(dag, ops[1], vals, bindings);
+    let mc = third.map(|t| value_of(dag, t, vals, bindings));
+    let (rows, cols) = (ma.rows(), ma.cols());
+    let acc = par::par_map_reduce(
+        rows,
+        cols.max(1) * 2,
+        0.0f64,
+        |lo, hi| {
+            let mut acc = 0.0;
+            for r in lo..hi {
+                for c in 0..cols {
+                    let v = ma.get(r, c) * mb.get(r, c) * mc.as_ref().map_or(1.0, |m| m.get(r, c));
+                    acc += v;
+                }
+            }
+            acc
+        },
+        |x, y| x + y,
+    );
+    Some(Value::Scalar(acc))
+}
+
+/// `mmchain`: `t(X) %*% (X %*% v)` or `t(X) %*% (w ⊙ (X %*% v))`, vector `v`.
+fn try_mmchain(
+    dag: &HopDag,
+    hop: HopId,
+    vals: &[Option<Value>],
+    bindings: &Bindings,
+) -> Option<Value> {
+    if *kind(dag, hop) != OpKind::MatMult {
+        return None;
+    }
+    let [l, rr] = dag.hop(hop).inputs[..] else { return None };
+    let OpKind::Transpose = kind(dag, l) else { return None };
+    let x1 = dag.hop(l).inputs[0];
+    // Case 1: rhs = mm(X, v); Case 2: rhs = w ⊙ mm(X, v).
+    let (w, inner_mm) = match kind(dag, rr) {
+        OpKind::MatMult => (None, rr),
+        OpKind::Binary { op: BinaryOp::Mult } => {
+            let [wa, wb] = dag.hop(rr).inputs[..] else { return None };
+            if *kind(dag, wb) == OpKind::MatMult {
+                (Some(wa), wb)
+            } else if *kind(dag, wa) == OpKind::MatMult {
+                (Some(wb), wa)
+            } else {
+                return None;
+            }
+        }
+        _ => return None,
+    };
+    let [x2, v] = dag.hop(inner_mm).inputs[..] else { return None };
+    if x1 != x2 || dag.hop(v).size.cols != 1 {
+        return None; // hand-coded mmchain only covers the same X and vectors
+    }
+    if let Some(w) = w {
+        if dag.hop(w).size.cols != 1 || dag.hop(w).size.rows != dag.hop(x1).size.rows {
+            return None;
+        }
+    }
+    let xm = value_of(dag, x1, vals, bindings);
+    let vm = value_of(dag, v, vals, bindings).to_dense().into_values();
+    let wm = w.map(|wh| value_of(dag, wh, vals, bindings));
+    let (n, m) = (xm.rows(), xm.cols());
+    // Single pass: acc += X_r * (w_r * dot(X_r, v)).
+    let acc = par::par_map_reduce(
+        n,
+        m * 2,
+        vec![0.0f64; m],
+        |lo, hi| {
+            let mut acc = vec![0.0f64; m];
+            let mut row = vec![0.0f64; m];
+            for r in lo..hi {
+                match &xm {
+                    Matrix::Dense(d) => row.copy_from_slice(d.row(r)),
+                    Matrix::Sparse(s) => {
+                        row.fill(0.0);
+                        for (c, v) in s.row_iter(r) {
+                            row[c] = v;
+                        }
+                    }
+                }
+                let mut t = prim::dot_product(&row, &vm, 0, 0, m);
+                if let Some(wv) = &wm {
+                    t *= wv.get(r, 0);
+                }
+                if t != 0.0 {
+                    prim::vect_mult_add(&row, t, &mut acc, 0, 0, m);
+                }
+            }
+            acc
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        },
+    );
+    Some(Value::Matrix(Matrix::dense(DenseMatrix::new(m, 1, acc))))
+}
+
+/// `wcemm`: `sum(X ⊙ log(U V^T + eps))` over the non-zeros of sparse X.
+fn try_wcemm(
+    dag: &HopDag,
+    hop: HopId,
+    vals: &[Option<Value>],
+    bindings: &Bindings,
+) -> Option<Value> {
+    let OpKind::Agg { op: AggOp::Sum, dir: AggDir::Full } = kind(dag, hop) else {
+        return None;
+    };
+    let prod = dag.hop(hop).inputs[0];
+    let OpKind::Binary { op: BinaryOp::Mult } = kind(dag, prod) else { return None };
+    let [x, lg] = dag.hop(prod).inputs[..] else { return None };
+    let OpKind::Unary { op: UnaryOp::Log } = kind(dag, lg) else { return None };
+    let plus = dag.hop(lg).inputs[0];
+    let OpKind::Binary { op: BinaryOp::Add } = kind(dag, plus) else { return None };
+    let [uvt, eps] = dag.hop(plus).inputs[..] else { return None };
+    if !dag.hop(eps).is_scalar() || *kind(dag, uvt) != OpKind::MatMult {
+        return None;
+    }
+    let [u, vt] = dag.hop(uvt).inputs[..] else { return None };
+    let OpKind::Transpose = kind(dag, vt) else { return None };
+    let v = dag.hop(vt).inputs[0];
+
+    let xm = value_of(dag, x, vals, bindings);
+    let um = value_of(dag, u, vals, bindings).to_dense();
+    let vm = value_of(dag, v, vals, bindings).to_dense();
+    let epsv = match &vals[eps.index()] {
+        Some(val) => val.as_scalar(),
+        None => match kind(dag, eps) {
+            OpKind::Literal { value } => *value,
+            _ => return None,
+        },
+    };
+    let r = um.cols();
+    let xs = xm.to_sparse();
+    let acc = par::par_map_reduce(
+        xs.rows(),
+        (xs.nnz() / xs.rows().max(1)).max(1) * r,
+        0.0f64,
+        |lo, hi| {
+            let mut acc = 0.0;
+            for i in lo..hi {
+                for (j, a) in xs.row_iter(i) {
+                    let uv =
+                        prim::dot_product(um.row(i), vm.row(j), 0, 0, r);
+                    acc += a * (uv + epsv).ln();
+                }
+            }
+            acc
+        },
+        |a, b| a + b,
+    );
+    Some(Value::Scalar(acc))
+}
+
+/// `wdivmm`-style: `((X != 0) ⊙ (U V^T)) %*% V` (right) or
+/// `t((X != 0) ⊙ (U V^T)) %*% U` (left).
+fn try_wdivmm(
+    dag: &HopDag,
+    hop: HopId,
+    vals: &[Option<Value>],
+    bindings: &Bindings,
+) -> Option<Value> {
+    if *kind(dag, hop) != OpKind::MatMult {
+        return None;
+    }
+    let [l, s] = dag.hop(hop).inputs[..] else { return None };
+    // Right form: l = masked plane, s = V. Left form: l = t(masked plane).
+    let (plane, left) = match kind(dag, l) {
+        OpKind::Transpose => (dag.hop(l).inputs[0], true),
+        _ => (l, false),
+    };
+    let OpKind::Binary { op: BinaryOp::Mult } = kind(dag, plane) else { return None };
+    let [mask, uvt] = dag.hop(plane).inputs[..] else { return None };
+    let OpKind::Binary { op: BinaryOp::Neq } = kind(dag, mask) else { return None };
+    let x = dag.hop(mask).inputs[0];
+    if *kind(dag, uvt) != OpKind::MatMult {
+        return None;
+    }
+    let [u, vt] = dag.hop(uvt).inputs[..] else { return None };
+    let OpKind::Transpose = kind(dag, vt) else { return None };
+    let v = dag.hop(vt).inputs[0];
+
+    let xm = value_of(dag, x, vals, bindings).to_sparse();
+    let um = value_of(dag, u, vals, bindings).to_dense();
+    let vm = value_of(dag, v, vals, bindings).to_dense();
+    let sm = value_of(dag, s, vals, bindings).to_dense();
+    let r = um.cols();
+    let k = sm.cols();
+    let (n, m) = (xm.rows(), xm.cols());
+    if left {
+        // out (m×k): out[j,:] += w_ij * S[i,:]
+        let acc = par::par_map_reduce(
+            n,
+            (xm.nnz() / n.max(1)).max(1) * r,
+            vec![0.0f64; m * k],
+            |lo, hi| {
+                let mut acc = vec![0.0f64; m * k];
+                for i in lo..hi {
+                    for (j, _a) in xm.row_iter(i) {
+                        let w = prim::dot_product(um.row(i), vm.row(j), 0, 0, r);
+                        prim::vect_mult_add(sm.row(i), w, &mut acc[j * k..(j + 1) * k], 0, 0, k);
+                    }
+                }
+                acc
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+        Some(Value::Matrix(Matrix::dense(DenseMatrix::new(m, k, acc))))
+    } else {
+        let mut out = vec![0.0f64; n * k];
+        par::par_rows_mut(&mut out, n, k, (xm.nnz() / n.max(1)).max(1) * r, |i, orow| {
+            for (j, _a) in xm.row_iter(i) {
+                let w = prim::dot_product(um.row(i), vm.row(j), 0, 0, r);
+                prim::vect_mult_add(sm.row(j), w, orow, 0, 0, k);
+            }
+        });
+        Some(Value::Matrix(Matrix::dense(DenseMatrix::new(n, k, out))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_hop::DagBuilder;
+    use fusedml_linalg::generate;
+
+    fn bind(pairs: &[(&str, Matrix)]) -> Bindings {
+        pairs.iter().map(|(n, m)| (n.to_string(), m.clone())).collect()
+    }
+
+    fn run_both(dag: &HopDag, bindings: &Bindings) -> (Vec<Value>, Vec<Value>, usize) {
+        let stats = ExecStats::default();
+        let fused = interpret(dag, bindings, &stats);
+        let base = interp::interpret(dag, bindings);
+        let (_, hc, _) = stats.snapshot();
+        (fused, base, hc)
+    }
+
+    #[test]
+    fn tak_matches_base_and_matches_pattern() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 100, 80, 1.0);
+        let y = b.read("Y", 100, 80, 1.0);
+        let z = b.read("Z", 100, 80, 1.0);
+        let m1 = b.mult(x, y);
+        let m2 = b.mult(m1, z);
+        let s = b.sum(m2);
+        let dag = b.build(vec![s]);
+        let bindings = bind(&[
+            ("X", generate::rand_dense(100, 80, -1.0, 1.0, 1)),
+            ("Y", generate::rand_dense(100, 80, -1.0, 1.0, 2)),
+            ("Z", generate::rand_dense(100, 80, -1.0, 1.0, 3)),
+        ]);
+        let (fused, base, hc) = run_both(&dag, &bindings);
+        assert!(hc >= 1, "tak+* must match");
+        assert!(fusedml_linalg::approx_eq(fused[0].as_scalar(), base[0].as_scalar(), 1e-9));
+    }
+
+    #[test]
+    fn mmchain_matches_base() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 500, 60, 1.0);
+        let v = b.read("v", 60, 1, 1.0);
+        let xv = b.mm(x, v);
+        let xt = b.t(x);
+        let out = b.mm(xt, xv);
+        let dag = b.build(vec![out]);
+        let bindings = bind(&[
+            ("X", generate::rand_dense(500, 60, -1.0, 1.0, 4)),
+            ("v", generate::rand_dense(60, 1, -1.0, 1.0, 5)),
+        ]);
+        let (fused, base, hc) = run_both(&dag, &bindings);
+        assert!(hc >= 1, "mmchain must match");
+        assert!(fused[0].as_matrix().approx_eq(&base[0].as_matrix(), 1e-9));
+    }
+
+    #[test]
+    fn mmchain_does_not_match_matrix_rhs() {
+        // X^T (X V) with matrix V is NOT covered by the hand-coded operator
+        // (paper §5.2: "the hand-coded mmchain operator only applies to
+        // matrix-vector chains").
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 200, 50, 1.0);
+        let v = b.read("V", 50, 2, 1.0);
+        let xv = b.mm(x, v);
+        let xt = b.t(x);
+        let out = b.mm(xt, xv);
+        let dag = b.build(vec![out]);
+        let bindings = bind(&[
+            ("X", generate::rand_dense(200, 50, -1.0, 1.0, 6)),
+            ("V", generate::rand_dense(50, 2, -1.0, 1.0, 7)),
+        ]);
+        let (fused, base, hc) = run_both(&dag, &bindings);
+        assert_eq!(hc, 0, "no hand-coded operator applies");
+        assert!(fused[0].as_matrix().approx_eq(&base[0].as_matrix(), 1e-9));
+    }
+
+    #[test]
+    fn wcemm_matches_base() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 300, 250, 0.02);
+        let u = b.read("U", 300, 10, 1.0);
+        let v = b.read("V", 250, 10, 1.0);
+        let vt = b.t(v);
+        let uvt = b.mm(u, vt);
+        let eps = b.lit(1e-15);
+        let plus = b.add(uvt, eps);
+        let lg = b.log(plus);
+        let prod = b.mult(x, lg);
+        let s = b.sum(prod);
+        let dag = b.build(vec![s]);
+        let bindings = bind(&[
+            ("X", generate::rand_matrix(300, 250, 1.0, 5.0, 0.02, 8)),
+            ("U", generate::rand_dense(300, 10, 0.1, 1.0, 9)),
+            ("V", generate::rand_dense(250, 10, 0.1, 1.0, 10)),
+        ]);
+        let (fused, base, hc) = run_both(&dag, &bindings);
+        assert!(hc >= 1, "wcemm must match");
+        assert!(fusedml_linalg::approx_eq(fused[0].as_scalar(), base[0].as_scalar(), 1e-9));
+    }
+
+    #[test]
+    fn wdivmm_right_matches_base() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 200, 150, 0.05);
+        let u = b.read("U", 200, 8, 1.0);
+        let v = b.read("V", 150, 8, 1.0);
+        let vt = b.t(v);
+        let uvt = b.mm(u, vt);
+        let zero = b.lit(0.0);
+        let mask = b.neq(x, zero);
+        let w = b.mult(mask, uvt);
+        let out = b.mm(w, v);
+        let dag = b.build(vec![out]);
+        let bindings = bind(&[
+            ("X", generate::rand_matrix(200, 150, 1.0, 5.0, 0.05, 11)),
+            ("U", generate::rand_dense(200, 8, 0.1, 1.0, 12)),
+            ("V", generate::rand_dense(150, 8, 0.1, 1.0, 13)),
+        ]);
+        let (fused, base, hc) = run_both(&dag, &bindings);
+        assert!(hc >= 1, "wdivmm must match");
+        assert!(fused[0].as_matrix().approx_eq(&base[0].as_matrix(), 1e-9));
+    }
+}

@@ -1,0 +1,25 @@
+//! # fusedml-runtime
+//!
+//! Execution runtime for fused and basic operators:
+//!
+//! * [`spoof`] — the hand-coded template skeletons (`SpoofCellwise`,
+//!   `SpoofRowwise`, `SpoofMultiAgg`, `SpoofOuterProduct`) that own data
+//!   access over dense/sparse/compressed matrices, multi-threading and
+//!   aggregation, and invoke the generated register programs per cell/row
+//!   (paper §2.2 "Runtime Integration", Figure 4),
+//! * [`side`] — side-input access (`getValue(b[i], …)`),
+//! * [`handcoded`] — SystemML-style hand-coded fused operators for the
+//!   `Fused` baseline (fixed patterns: tak+*, mmchain, wsloss, wdivmm),
+//! * [`exec`] — the DAG executor dispatching between basic operators,
+//!   hand-coded fused operators, and generated fused operators,
+//! * [`dist`] — the simulated distributed (Spark-like) backend with
+//!   broadcast/shuffle time accounting (DESIGN.md substitution X2).
+
+pub mod dist;
+pub mod exec;
+pub mod handcoded;
+pub mod side;
+pub mod spoof;
+
+pub use exec::{Executor, ExecStats};
+pub use fusedml_core::FusionMode;

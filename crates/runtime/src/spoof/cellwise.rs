@@ -1,0 +1,369 @@
+//! The `SpoofCellwise` skeleton: iterates cells (or non-zeros when the
+//! generated function is sparse-safe) of the main input and applies the
+//! scalar register program, with no-agg / row-agg / col-agg / full-agg
+//! variants (paper Table 1, Figure 4).
+
+use crate::side::SideInput;
+use fusedml_core::spoof::{eval_scalar_program, CellAgg, CellSpec, SideAccess};
+use fusedml_linalg::ops::AggOp;
+use fusedml_linalg::{par, DenseMatrix, Matrix, SparseMatrix};
+
+/// Executes a Cell operator.
+pub fn execute(
+    spec: &CellSpec,
+    main: Option<&Matrix>,
+    sides: &[SideInput],
+    scalars: &[f64],
+    iter_rows: usize,
+    iter_cols: usize,
+) -> Matrix {
+    match (main, spec.sparse_safe) {
+        (Some(Matrix::Sparse(s)), true) => sparse_safe_exec(spec, s, sides, scalars),
+        (Some(m), _) => dense_exec(spec, Some(m), sides, scalars, iter_rows, iter_cols),
+        (None, _) => dense_exec(spec, None, sides, scalars, iter_rows, iter_cols),
+    }
+}
+
+/// Evaluates the program for one (rix, cix) position.
+#[inline]
+fn exec_cell(
+    spec: &CellSpec,
+    regs: &mut [f64],
+    a: f64,
+    sides: &[SideInput],
+    scalars: &[f64],
+    rix: usize,
+    cix: usize,
+) -> f64 {
+    let side_at = |i: usize, acc: SideAccess| sides[i].value_at(acc, rix, cix);
+    eval_scalar_program(&spec.prog, regs, a, 0.0, &side_at, scalars);
+    regs[spec.result as usize]
+}
+
+fn dense_exec(
+    spec: &CellSpec,
+    main: Option<&Matrix>,
+    sides: &[SideInput],
+    scalars: &[f64],
+    rows: usize,
+    cols: usize,
+) -> Matrix {
+    let main_get = |r: usize, c: usize| main.map_or(0.0, |m| m.get(r, c));
+    match spec.agg {
+        CellAgg::NoAgg => {
+            let mut out = vec![0.0f64; rows * cols];
+            par::par_rows_mut(&mut out, rows, cols.max(1), cols.max(1) * 4, |r, orow| {
+                let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                for (c, slot) in orow.iter_mut().enumerate() {
+                    *slot = exec_cell(spec, &mut regs, main_get(r, c), sides, scalars, r, c);
+                }
+            });
+            Matrix::dense(DenseMatrix::new(rows, cols, out))
+        }
+        CellAgg::RowAgg(op) => {
+            let mut out = vec![0.0f64; rows];
+            par::par_rows_mut(&mut out, rows, 1, cols.max(1) * 4, |r, slot| {
+                let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                let mut acc = op.identity();
+                for c in 0..cols {
+                    acc = op.fold_value(
+                        acc,
+                        exec_cell(spec, &mut regs, main_get(r, c), sides, scalars, r, c),
+                    );
+                }
+                slot[0] = acc;
+            });
+            Matrix::dense(DenseMatrix::new(rows, 1, out))
+        }
+        CellAgg::ColAgg(op) => {
+            let acc = par::par_map_reduce(
+                rows,
+                cols.max(1) * 4,
+                vec![op.identity(); cols],
+                |lo, hi| {
+                    let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                    let mut acc = vec![op.identity(); cols];
+                    for r in lo..hi {
+                        for (c, slot) in acc.iter_mut().enumerate() {
+                            *slot = op.fold_value(
+                                *slot,
+                                exec_cell(spec, &mut regs, main_get(r, c), sides, scalars, r, c),
+                            );
+                        }
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x = op.combine(*x, y);
+                    }
+                    a
+                },
+            );
+            Matrix::dense(DenseMatrix::new(1, cols, acc))
+        }
+        CellAgg::FullAgg(op) => {
+            let acc = par::par_map_reduce(
+                rows,
+                cols.max(1) * 4,
+                op.identity(),
+                |lo, hi| {
+                    let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                    let mut acc = op.identity();
+                    for r in lo..hi {
+                        for c in 0..cols {
+                            acc = op.fold_value(
+                                acc,
+                                exec_cell(spec, &mut regs, main_get(r, c), sides, scalars, r, c),
+                            );
+                        }
+                    }
+                    acc
+                },
+                |a, b| op.combine(a, b),
+            );
+            Matrix::dense(DenseMatrix::filled(1, 1, acc))
+        }
+    }
+}
+
+/// Sparse-safe execution over non-zeros only.
+fn sparse_safe_exec(
+    spec: &CellSpec,
+    main: &SparseMatrix,
+    sides: &[SideInput],
+    scalars: &[f64],
+) -> Matrix {
+    let (rows, cols) = (main.rows(), main.cols());
+    match spec.agg {
+        CellAgg::NoAgg => {
+            let mut triples = Vec::with_capacity(main.nnz());
+            let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+            for r in 0..rows {
+                for (c, v) in main.row_iter(r) {
+                    let out = exec_cell(spec, &mut regs, v, sides, scalars, r, c);
+                    if out != 0.0 {
+                        triples.push((r, c, out));
+                    }
+                }
+            }
+            Matrix::sparse(SparseMatrix::from_triples(rows, cols, triples))
+        }
+        CellAgg::RowAgg(op) => {
+            let mut out = vec![0.0f64; rows];
+            let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+            for (r, slot) in out.iter_mut().enumerate() {
+                let mut acc = op.identity();
+                for (c, v) in main.row_iter(r) {
+                    acc = op.fold_value(acc, exec_cell(spec, &mut regs, v, sides, scalars, r, c));
+                }
+                // Pseudo-sparse-safe aggregation: min/max must still observe
+                // the implicit zeros (which map to zero under sparse-safety).
+                if !op.sparse_safe() && main.row_nnz(r) < cols {
+                    acc = op.fold_value(acc, 0.0);
+                }
+                *slot = finalize(op, acc, cols);
+            }
+            Matrix::dense(DenseMatrix::new(rows, 1, out))
+        }
+        CellAgg::ColAgg(op) => {
+            let mut acc = vec![op.identity(); cols];
+            let mut counts = vec![0usize; cols];
+            let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+            for r in 0..rows {
+                for (c, v) in main.row_iter(r) {
+                    acc[c] =
+                        op.fold_value(acc[c], exec_cell(spec, &mut regs, v, sides, scalars, r, c));
+                    counts[c] += 1;
+                }
+            }
+            for c in 0..cols {
+                if !op.sparse_safe() && counts[c] < rows {
+                    acc[c] = op.fold_value(acc[c], 0.0);
+                }
+                acc[c] = finalize(op, acc[c], rows);
+            }
+            Matrix::dense(DenseMatrix::new(1, cols, acc))
+        }
+        CellAgg::FullAgg(op) => {
+            let acc = par::par_map_reduce(
+                rows,
+                (main.nnz() / rows.max(1)).max(1) * 4,
+                op.identity(),
+                |lo, hi| {
+                    let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                    let mut acc = op.identity();
+                    for r in lo..hi {
+                        for (c, v) in main.row_iter(r) {
+                            acc = op
+                                .fold_value(acc, exec_cell(spec, &mut regs, v, sides, scalars, r, c));
+                        }
+                    }
+                    acc
+                },
+                |a, b| op.combine(a, b),
+            );
+            let acc = if !op.sparse_safe() && main.nnz() < rows * cols {
+                op.fold_value(acc, 0.0)
+            } else {
+                acc
+            };
+            Matrix::dense(DenseMatrix::filled(1, 1, finalize(op, acc, rows * cols)))
+        }
+    }
+}
+
+fn finalize(op: AggOp, acc: f64, count: usize) -> f64 {
+    if op == AggOp::Mean {
+        acc / count as f64
+    } else {
+        acc
+    }
+}
+
+/// Folding that applies the aggregate's value transformation: `SumSq`
+/// squares the generated value before accumulation.
+trait FoldValue {
+    fn fold_value(self, acc: f64, v: f64) -> f64;
+}
+
+impl FoldValue for AggOp {
+    #[inline(always)]
+    fn fold_value(self, acc: f64, v: f64) -> f64 {
+        self.fold(acc, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_core::spoof::{Instr, Program};
+    use fusedml_linalg::generate;
+    use fusedml_linalg::ops::BinaryOp;
+
+    /// Builds a spec for `f(a, b0) = a * b0` with the given agg.
+    fn mult_side_spec(agg: CellAgg, sparse_safe: bool) -> CellSpec {
+        CellSpec {
+            prog: Program {
+                instrs: vec![
+                    Instr::LoadMain { out: 0 },
+                    Instr::LoadSide { out: 1, side: 0, access: SideAccess::Cell },
+                    Instr::Binary { out: 2, op: BinaryOp::Mult, a: 0, b: 1 },
+                ],
+                n_regs: 3,
+                vreg_lens: vec![],
+            },
+            result: 2,
+            agg,
+            sparse_safe,
+        }
+    }
+
+    #[test]
+    fn full_agg_matches_reference() {
+        let x = generate::rand_matrix(50, 40, -1.0, 1.0, 0.3, 1);
+        let y = generate::rand_dense(50, 40, -1.0, 1.0, 2);
+        let spec = mult_side_spec(CellAgg::FullAgg(AggOp::Sum), true);
+        let out = crate::spoof::execute(
+            &fusedml_core::spoof::FusedSpec::Cell(spec),
+            Some(&x),
+            &[SideInput::bind(&y)],
+            &[],
+            50,
+            40,
+        );
+        let expect = fusedml_linalg::ops::agg(
+            &fusedml_linalg::ops::binary(&x, &y, BinaryOp::Mult),
+            AggOp::Sum,
+            fusedml_linalg::ops::AggDir::Full,
+        );
+        assert!(fusedml_linalg::approx_eq(out[0].get(0, 0), expect.get(0, 0), 1e-9));
+    }
+
+    #[test]
+    fn no_agg_sparse_safe_keeps_sparse_output() {
+        let x = generate::rand_matrix(100, 100, 1.0, 2.0, 0.05, 3);
+        let y = generate::rand_dense(100, 100, 1.0, 2.0, 4);
+        let spec = mult_side_spec(CellAgg::NoAgg, true);
+        let out = crate::spoof::execute(
+            &fusedml_core::spoof::FusedSpec::Cell(spec),
+            Some(&x),
+            &[SideInput::bind(&y)],
+            &[],
+            100,
+            100,
+        );
+        assert!(out[0].is_sparse(), "sparse-safe NoAgg keeps CSR");
+        let expect = fusedml_linalg::ops::binary(&x, &y, BinaryOp::Mult);
+        assert!(out[0].approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn row_and_col_agg_match_reference() {
+        let x = generate::rand_matrix(30, 20, -1.0, 1.0, 0.4, 5);
+        let y = generate::rand_dense(30, 20, -1.0, 1.0, 6);
+        let prod = fusedml_linalg::ops::binary(&x, &y, BinaryOp::Mult);
+        for (agg, dir) in [
+            (CellAgg::RowAgg(AggOp::Sum), fusedml_linalg::ops::AggDir::Row),
+            (CellAgg::ColAgg(AggOp::Sum), fusedml_linalg::ops::AggDir::Col),
+        ] {
+            let spec = mult_side_spec(agg, true);
+            let out = crate::spoof::execute(
+                &fusedml_core::spoof::FusedSpec::Cell(spec),
+                Some(&x),
+                &[SideInput::bind(&y)],
+                &[],
+                30,
+                20,
+            );
+            let expect = fusedml_linalg::ops::agg(&prod, AggOp::Sum, dir);
+            assert!(out[0].approx_eq(&expect, 1e-9), "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_paths_agree() {
+        let xd = generate::rand_matrix(40, 40, -1.0, 1.0, 0.2, 7).to_dense();
+        let y = generate::rand_dense(40, 40, -1.0, 1.0, 8);
+        let spec_sparse = mult_side_spec(CellAgg::FullAgg(AggOp::Sum), true);
+        let spec_dense = mult_side_spec(CellAgg::FullAgg(AggOp::Sum), false);
+        let sx = Matrix::sparse(SparseMatrix::from_dense(&xd));
+        let dx = Matrix::dense(xd);
+        let a = crate::spoof::execute(
+            &fusedml_core::spoof::FusedSpec::Cell(spec_sparse),
+            Some(&sx),
+            &[SideInput::bind(&y)],
+            &[],
+            40,
+            40,
+        );
+        let b = crate::spoof::execute(
+            &fusedml_core::spoof::FusedSpec::Cell(spec_dense),
+            Some(&dx),
+            &[SideInput::bind(&y)],
+            &[],
+            40,
+            40,
+        );
+        assert!(fusedml_linalg::approx_eq(a[0].get(0, 0), b[0].get(0, 0), 1e-9));
+    }
+
+    #[test]
+    fn min_agg_over_sparse_observes_zeros() {
+        // f(a) = a (identity via a * 1): min over positive sparse values
+        // must still see the implicit zeros.
+        let spec = CellSpec {
+            prog: Program {
+                instrs: vec![Instr::LoadMain { out: 0 }],
+                n_regs: 1,
+                vreg_lens: vec![],
+            },
+            result: 0,
+            agg: CellAgg::FullAgg(AggOp::Min),
+            sparse_safe: true,
+        };
+        let x = generate::rand_matrix(50, 50, 1.0, 2.0, 0.1, 9);
+        let out = crate::spoof::execute(&fusedml_core::spoof::FusedSpec::Cell(spec), Some(&x), &[], &[], 50, 50);
+        assert_eq!(out[0].get(0, 0), 0.0);
+    }
+}

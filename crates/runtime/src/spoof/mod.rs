@@ -1,0 +1,46 @@
+//! Template skeletons: hand-coded data-access shells that call the
+//! generated register programs per value (paper §2.2, Figure 4).
+//!
+//! "We made the conscious design decision not to generate the data access
+//! into the fused operators. Instead, the hand-coded skeleton implements the
+//! data access — depending on its sparse-safeness over cells or non-zero
+//! values — of dense, sparse, or compressed matrices and calls an abstract
+//! genexec method for each value."
+
+pub mod cellwise;
+pub mod compressed;
+pub mod multiagg;
+pub mod outerprod;
+pub mod rowwise;
+
+use crate::side::SideInput;
+use fusedml_core::spoof::FusedSpec;
+use fusedml_linalg::Matrix;
+
+/// Executes a compiled fused operator over bound inputs.
+///
+/// `main` is the template's main input (Cell/MAgg/Outer iterate its
+/// cells/non-zeros; Row iterates its rows); `sides` and `scalars` follow the
+/// CPlan's binding order. Returns the operator output(s): one matrix except
+/// for MultiAgg, which returns one 1×1 matrix per aggregate.
+pub fn execute(
+    spec: &FusedSpec,
+    main: Option<&Matrix>,
+    sides: &[SideInput],
+    scalars: &[f64],
+    iter_rows: usize,
+    iter_cols: usize,
+) -> Vec<Matrix> {
+    match spec {
+        FusedSpec::Cell(c) => {
+            vec![cellwise::execute(c, main, sides, scalars, iter_rows, iter_cols)]
+        }
+        FusedSpec::MAgg(m) => multiagg::execute(m, main, sides, scalars, iter_rows, iter_cols),
+        FusedSpec::Row(r) => {
+            vec![rowwise::execute(r, main.expect("Row template requires a main input"), sides, scalars)]
+        }
+        FusedSpec::Outer(o) => {
+            vec![outerprod::execute(o, main, sides, scalars, iter_rows, iter_cols)]
+        }
+    }
+}

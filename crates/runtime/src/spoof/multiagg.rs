@@ -1,0 +1,129 @@
+//! The `SpoofMultiAggregate` skeleton: one pass over the shared main input
+//! evaluating `k` aggregate programs (paper §5.2 "Multi-Aggregate
+//! Operations": `sum(X⊙Y), sum(X⊙Z)` compile to one operator with a shared
+//! read of `X`).
+
+use crate::side::SideInput;
+use fusedml_core::spoof::{eval_scalar_program, MAggSpec, SideAccess};
+use fusedml_linalg::{par, DenseMatrix, Matrix};
+
+/// Executes a MultiAgg operator, returning one 1×1 matrix per aggregate.
+pub fn execute(
+    spec: &MAggSpec,
+    main: Option<&Matrix>,
+    sides: &[SideInput],
+    scalars: &[f64],
+    iter_rows: usize,
+    iter_cols: usize,
+) -> Vec<Matrix> {
+    let k = spec.results.len();
+    let identities: Vec<f64> = spec.results.iter().map(|&(_, op)| op.identity()).collect();
+
+    let fold_row_range = |lo: usize, hi: usize| -> Vec<f64> {
+        let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+        let mut accs = identities.clone();
+        let mut fold_cell = |a: f64, r: usize, c: usize, accs: &mut Vec<f64>| {
+            let side_at = |i: usize, acc: SideAccess| sides[i].value_at(acc, r, c);
+            eval_scalar_program(&spec.prog, &mut regs, a, 0.0, &side_at, scalars);
+            for (j, &(reg, op)) in spec.results.iter().enumerate() {
+                accs[j] = op.fold(accs[j], regs[reg as usize]);
+            }
+        };
+        match (main, spec.sparse_safe) {
+            (Some(Matrix::Sparse(s)), true) => {
+                for r in lo..hi {
+                    for (c, v) in s.row_iter(r) {
+                        fold_cell(v, r, c, &mut accs);
+                    }
+                }
+            }
+            (m, _) => {
+                for r in lo..hi {
+                    for c in 0..iter_cols {
+                        let a = m.map_or(0.0, |mm| mm.get(r, c));
+                        fold_cell(a, r, c, &mut accs);
+                    }
+                }
+            }
+        }
+        accs
+    };
+
+    let accs = par::par_map_reduce(
+        iter_rows,
+        iter_cols.max(1) * 4 * k,
+        identities.clone(),
+        fold_row_range,
+        |mut a, b| {
+            for (j, &(_, op)) in spec.results.iter().enumerate() {
+                a[j] = op.combine(a[j], b[j]);
+            }
+            a
+        },
+    );
+    accs.into_iter()
+        .map(|v| Matrix::dense(DenseMatrix::filled(1, 1, v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_core::spoof::{Instr, Program};
+    use fusedml_linalg::generate;
+    use fusedml_linalg::ops::{self, AggDir, AggOp, BinaryOp};
+
+    /// `sum(X⊙Y), sum(X⊙Z)`: two aggregates sharing the main input.
+    fn spec() -> MAggSpec {
+        MAggSpec {
+            prog: Program {
+                instrs: vec![
+                    Instr::LoadMain { out: 0 },
+                    Instr::LoadSide { out: 1, side: 0, access: SideAccess::Cell },
+                    Instr::Binary { out: 2, op: BinaryOp::Mult, a: 0, b: 1 },
+                    Instr::LoadSide { out: 3, side: 1, access: SideAccess::Cell },
+                    Instr::Binary { out: 4, op: BinaryOp::Mult, a: 0, b: 3 },
+                ],
+                n_regs: 5,
+                vreg_lens: vec![],
+            },
+            results: vec![(2, AggOp::Sum), (4, AggOp::Sum)],
+            sparse_safe: true,
+        }
+    }
+
+    #[test]
+    fn two_aggregates_match_reference() {
+        let x = generate::rand_matrix(60, 50, -1.0, 1.0, 0.2, 1);
+        let y = generate::rand_dense(60, 50, -1.0, 1.0, 2);
+        let z = generate::rand_dense(60, 50, -1.0, 1.0, 3);
+        let outs = execute(
+            &spec(),
+            Some(&x),
+            &[SideInput::bind(&y), SideInput::bind(&z)],
+            &[],
+            60,
+            50,
+        );
+        assert_eq!(outs.len(), 2);
+        let e1 = ops::agg(&ops::binary(&x, &y, BinaryOp::Mult), AggOp::Sum, AggDir::Full);
+        let e2 = ops::agg(&ops::binary(&x, &z, BinaryOp::Mult), AggOp::Sum, AggDir::Full);
+        assert!(fusedml_linalg::approx_eq(outs[0].get(0, 0), e1.get(0, 0), 1e-9));
+        assert!(fusedml_linalg::approx_eq(outs[1].get(0, 0), e2.get(0, 0), 1e-9));
+    }
+
+    #[test]
+    fn dense_main_path_agrees_with_sparse() {
+        let xd = generate::rand_matrix(40, 40, -1.0, 1.0, 0.3, 4).to_dense();
+        let y = generate::rand_dense(40, 40, -1.0, 1.0, 5);
+        let z = generate::rand_dense(40, 40, -1.0, 1.0, 6);
+        let sides = [SideInput::bind(&y), SideInput::bind(&z)];
+        let sx = Matrix::sparse(fusedml_linalg::SparseMatrix::from_dense(&xd));
+        let dx = Matrix::dense(xd);
+        let a = execute(&spec(), Some(&sx), &sides, &[], 40, 40);
+        let b = execute(&spec(), Some(&dx), &sides, &[], 40, 40);
+        for (x1, x2) in a.iter().zip(&b) {
+            assert!(fusedml_linalg::approx_eq(x1.get(0, 0), x2.get(0, 0), 1e-9));
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! The `SpoofOuterProduct` skeleton: iterates the non-zero cells of the
+//! main input `X` (or all cells for dense mains), computes the built-in
+//! `dot(U[i,:], V[j,:])` per cell, evaluates the scalar program, and applies
+//! the output variant: full aggregation, left/right matrix multiply, or
+//! no-agg (paper Figure 3(a): the ALS-CG update rule).
+
+use crate::side::SideInput;
+use fusedml_core::spoof::{eval_scalar_program, OuterOut, OuterSpec, SideAccess};
+use fusedml_linalg::{par, primitives as prim, DenseMatrix, Matrix, SparseMatrix};
+
+/// Executes an Outer operator.
+pub fn execute(
+    spec: &OuterSpec,
+    main: Option<&Matrix>,
+    sides: &[SideInput],
+    scalars: &[f64],
+    iter_rows: usize,
+    iter_cols: usize,
+) -> Matrix {
+    // U and V are dense row-major factor matrices.
+    let u = sides[spec.u_side].to_dense_values().into_owned();
+    let v = sides[spec.v_side].to_dense_values().into_owned();
+    let r = spec.rank;
+
+    match main {
+        Some(Matrix::Sparse(s)) if spec.sparse_safe => {
+            sparse_exec(spec, s, &u, &v, r, sides, scalars)
+        }
+        _ => dense_exec(spec, main, &u, &v, r, sides, scalars, iter_rows, iter_cols),
+    }
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn exec_value(
+    spec: &OuterSpec,
+    regs: &mut [f64],
+    a: f64,
+    u: &[f64],
+    v: &[f64],
+    r: usize,
+    sides: &[SideInput],
+    scalars: &[f64],
+    i: usize,
+    j: usize,
+) -> f64 {
+    let uv = prim::dot_product(&u[i * r..(i + 1) * r], &v[j * r..(j + 1) * r], 0, 0, r);
+    let side_at = |s: usize, acc: SideAccess| sides[s].value_at(acc, i, j);
+    eval_scalar_program(&spec.prog, regs, a, uv, &side_at, scalars);
+    regs[spec.result as usize]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sparse_exec(
+    spec: &OuterSpec,
+    x: &SparseMatrix,
+    u: &[f64],
+    v: &[f64],
+    r: usize,
+    sides: &[SideInput],
+    scalars: &[f64],
+) -> Matrix {
+    let n = x.rows();
+    let m = x.cols();
+    match spec.out {
+        OuterOut::FullAgg => {
+            let acc = par::par_map_reduce(
+                n,
+                (x.nnz() / n.max(1)).max(1) * r,
+                0.0f64,
+                |lo, hi| {
+                    let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                    let mut acc = 0.0;
+                    for i in lo..hi {
+                        for (j, a) in x.row_iter(i) {
+                            acc += exec_value(spec, &mut regs, a, u, v, r, sides, scalars, i, j);
+                        }
+                    }
+                    acc
+                },
+                |a, b| a + b,
+            );
+            Matrix::dense(DenseMatrix::filled(1, 1, acc))
+        }
+        OuterOut::RightMM { side } => {
+            // out (n×k) : out[i,:] += w_ij * S[j,:], row-parallel.
+            let s = sides[side].to_dense_values().into_owned();
+            let k = sides[side].cols();
+            let mut out = vec![0.0f64; n * k];
+            par::par_rows_mut(&mut out, n, k, (x.nnz() / n.max(1)).max(1) * r, |i, orow| {
+                let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                for (j, a) in x.row_iter(i) {
+                    let w = exec_value(spec, &mut regs, a, u, v, r, sides, scalars, i, j);
+                    if w != 0.0 {
+                        prim::vect_mult_add(&s[j * k..(j + 1) * k], w, orow, 0, 0, k);
+                    }
+                }
+            });
+            Matrix::dense(DenseMatrix::new(n, k, out))
+        }
+        OuterOut::LeftMM { side } => {
+            // out (m×k) : out[j,:] += w_ij * S[i,:]; per-thread partials.
+            let s = sides[side].to_dense_values().into_owned();
+            let k = sides[side].cols();
+            let acc = par::par_map_reduce(
+                n,
+                (x.nnz() / n.max(1)).max(1) * r,
+                vec![0.0f64; m * k],
+                |lo, hi| {
+                    let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                    let mut acc = vec![0.0f64; m * k];
+                    for i in lo..hi {
+                        for (j, a) in x.row_iter(i) {
+                            let w = exec_value(spec, &mut regs, a, u, v, r, sides, scalars, i, j);
+                            if w != 0.0 {
+                                prim::vect_mult_add(
+                                    &s[i * k..(i + 1) * k],
+                                    w,
+                                    &mut acc[j * k..(j + 1) * k],
+                                    0,
+                                    0,
+                                    k,
+                                );
+                            }
+                        }
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+            Matrix::dense(DenseMatrix::new(m, k, acc))
+        }
+        OuterOut::NoAgg => {
+            let mut triples = Vec::with_capacity(x.nnz());
+            let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+            for i in 0..n {
+                for (j, a) in x.row_iter(i) {
+                    let w = exec_value(spec, &mut regs, a, u, v, r, sides, scalars, i, j);
+                    if w != 0.0 {
+                        triples.push((i, j, w));
+                    }
+                }
+            }
+            Matrix::sparse(SparseMatrix::from_triples(n, m, triples))
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dense_exec(
+    spec: &OuterSpec,
+    main: Option<&Matrix>,
+    u: &[f64],
+    v: &[f64],
+    r: usize,
+    sides: &[SideInput],
+    scalars: &[f64],
+    n: usize,
+    m: usize,
+) -> Matrix {
+    let main_get = |i: usize, j: usize| main.map_or(0.0, |x| x.get(i, j));
+    match spec.out {
+        OuterOut::FullAgg => {
+            let acc = par::par_map_reduce(
+                n,
+                m * r,
+                0.0f64,
+                |lo, hi| {
+                    let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                    let mut acc = 0.0;
+                    for i in lo..hi {
+                        for j in 0..m {
+                            acc += exec_value(
+                                spec, &mut regs, main_get(i, j), u, v, r, sides, scalars, i, j,
+                            );
+                        }
+                    }
+                    acc
+                },
+                |a, b| a + b,
+            );
+            Matrix::dense(DenseMatrix::filled(1, 1, acc))
+        }
+        OuterOut::RightMM { side } => {
+            let s = sides[side].to_dense_values().into_owned();
+            let k = sides[side].cols();
+            let mut out = vec![0.0f64; n * k];
+            par::par_rows_mut(&mut out, n, k, m * r, |i, orow| {
+                let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                for j in 0..m {
+                    let w =
+                        exec_value(spec, &mut regs, main_get(i, j), u, v, r, sides, scalars, i, j);
+                    if w != 0.0 {
+                        prim::vect_mult_add(&s[j * k..(j + 1) * k], w, orow, 0, 0, k);
+                    }
+                }
+            });
+            Matrix::dense(DenseMatrix::new(n, k, out))
+        }
+        OuterOut::LeftMM { side } => {
+            let s = sides[side].to_dense_values().into_owned();
+            let k = sides[side].cols();
+            let acc = par::par_map_reduce(
+                n,
+                m * r,
+                vec![0.0f64; m * k],
+                |lo, hi| {
+                    let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                    let mut acc = vec![0.0f64; m * k];
+                    for i in lo..hi {
+                        for j in 0..m {
+                            let w = exec_value(
+                                spec, &mut regs, main_get(i, j), u, v, r, sides, scalars, i, j,
+                            );
+                            if w != 0.0 {
+                                prim::vect_mult_add(
+                                    &s[i * k..(i + 1) * k],
+                                    w,
+                                    &mut acc[j * k..(j + 1) * k],
+                                    0,
+                                    0,
+                                    k,
+                                );
+                            }
+                        }
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+            Matrix::dense(DenseMatrix::new(m, k, acc))
+        }
+        OuterOut::NoAgg => {
+            let mut out = vec![0.0f64; n * m];
+            par::par_rows_mut(&mut out, n, m, m * r, |i, orow| {
+                let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                for (j, slot) in orow.iter_mut().enumerate() {
+                    *slot =
+                        exec_value(spec, &mut regs, main_get(i, j), u, v, r, sides, scalars, i, j);
+                }
+            });
+            Matrix::dense(DenseMatrix::new(n, m, out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_core::spoof::{Instr, Program};
+    use fusedml_linalg::generate;
+    use fusedml_linalg::ops::{self, AggDir, AggOp, BinaryOp, UnaryOp};
+
+    /// Reference: the unfused expression `sum(X ⊙ log(UV^T + eps))`.
+    fn reference_loss(x: &Matrix, u: &Matrix, v: &Matrix, eps: f64) -> f64 {
+        let uvt = ops::matmult(u, &ops::transpose(v));
+        let plus = ops::binary_scalar(&uvt, eps, BinaryOp::Add);
+        let lg = ops::unary(&plus, UnaryOp::Log);
+        let prod = ops::binary(x, &lg, BinaryOp::Mult);
+        ops::agg(&prod, AggOp::Sum, AggDir::Full).get(0, 0)
+    }
+
+    /// Spec for `sum(X ⊙ log(UV^T + eps))`.
+    fn loss_spec(eps: f64, sparse_safe: bool) -> OuterSpec {
+        OuterSpec {
+            prog: Program {
+                instrs: vec![
+                    Instr::LoadMain { out: 0 },
+                    Instr::LoadUVDot { out: 1 },
+                    Instr::LoadConst { out: 2, value: eps },
+                    Instr::Binary { out: 3, op: BinaryOp::Add, a: 1, b: 2 },
+                    Instr::Unary { out: 4, op: UnaryOp::Log, a: 3 },
+                    Instr::Binary { out: 5, op: BinaryOp::Mult, a: 0, b: 4 },
+                ],
+                n_regs: 6,
+                vreg_lens: vec![],
+            },
+            result: 5,
+            out: OuterOut::FullAgg,
+            u_side: 0,
+            v_side: 1,
+            rank: 8,
+            sparse_safe,
+        }
+    }
+
+    #[test]
+    fn sparse_loss_matches_reference() {
+        let (n, m, r) = (300, 200, 8);
+        let x = generate::rand_matrix(n, m, 1.0, 5.0, 0.02, 1);
+        let u = generate::rand_dense(n, r, 0.1, 1.0, 2);
+        let v = generate::rand_dense(m, r, 0.1, 1.0, 3);
+        let spec = loss_spec(1e-15, true);
+        let out = execute(
+            &spec,
+            Some(&x),
+            &[SideInput::bind(&u), SideInput::bind(&v)],
+            &[],
+            n,
+            m,
+        );
+        let expect = reference_loss(&x, &u, &v, 1e-15);
+        assert!(
+            fusedml_linalg::approx_eq(out.get(0, 0), expect, 1e-9),
+            "{} vs {}",
+            out.get(0, 0),
+            expect
+        );
+    }
+
+    #[test]
+    fn dense_main_agrees_with_sparse_path() {
+        let (n, m, r) = (100, 80, 8);
+        let xd = generate::rand_matrix(n, m, 1.0, 5.0, 0.1, 4).to_dense();
+        let u = generate::rand_dense(n, r, 0.1, 1.0, 5);
+        let v = generate::rand_dense(m, r, 0.1, 1.0, 6);
+        let sides = [SideInput::bind(&u), SideInput::bind(&v)];
+        let sx = Matrix::sparse(SparseMatrix::from_dense(&xd));
+        let dx = Matrix::dense(xd);
+        let a = execute(&loss_spec(1e-15, true), Some(&sx), &sides, &[], n, m);
+        let b = execute(&loss_spec(1e-15, false), Some(&dx), &sides, &[], n, m);
+        assert!(fusedml_linalg::approx_eq(a.get(0, 0), b.get(0, 0), 1e-9));
+    }
+
+    /// Spec for the ALS right-mm update `((X != 0) ⊙ (UV^T)) %*% V`.
+    fn update_spec() -> OuterSpec {
+        OuterSpec {
+            prog: Program {
+                instrs: vec![
+                    Instr::LoadMain { out: 0 },
+                    Instr::LoadConst { out: 1, value: 0.0 },
+                    Instr::Binary { out: 2, op: BinaryOp::Neq, a: 0, b: 1 },
+                    Instr::LoadUVDot { out: 3 },
+                    Instr::Binary { out: 4, op: BinaryOp::Mult, a: 2, b: 3 },
+                ],
+                n_regs: 5,
+                vreg_lens: vec![],
+            },
+            result: 4,
+            out: OuterOut::RightMM { side: 1 },
+            u_side: 0,
+            v_side: 1,
+            rank: 6,
+            sparse_safe: true,
+        }
+    }
+
+    #[test]
+    fn right_mm_matches_reference() {
+        let (n, m, r) = (150, 120, 6);
+        let x = generate::rand_matrix(n, m, 1.0, 5.0, 0.05, 7);
+        let u = generate::rand_dense(n, r, 0.1, 1.0, 8);
+        let v = generate::rand_dense(m, r, 0.1, 1.0, 9);
+        let out = execute(
+            &update_spec(),
+            Some(&x),
+            &[SideInput::bind(&u), SideInput::bind(&v)],
+            &[],
+            n,
+            m,
+        );
+        // Reference: ((X != 0) ⊙ (U V^T)) %*% V.
+        let uvt = ops::matmult(&u, &ops::transpose(&v));
+        let mask = ops::binary_scalar(&x, 0.0, BinaryOp::Neq);
+        let w = ops::binary(&mask, &uvt, BinaryOp::Mult);
+        let expect = ops::matmult(&w, &v);
+        assert!(out.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn left_mm_matches_reference() {
+        let (n, m, r) = (120, 100, 6);
+        let x = generate::rand_matrix(n, m, 1.0, 5.0, 0.05, 10);
+        let u = generate::rand_dense(n, r, 0.1, 1.0, 11);
+        let v = generate::rand_dense(m, r, 0.1, 1.0, 12);
+        let spec = OuterSpec { out: OuterOut::LeftMM { side: 0 }, ..update_spec() };
+        let out = execute(
+            &spec,
+            Some(&x),
+            &[SideInput::bind(&u), SideInput::bind(&v)],
+            &[],
+            n,
+            m,
+        );
+        // Reference: t((X != 0) ⊙ (U V^T)) %*% U.
+        let uvt = ops::matmult(&u, &ops::transpose(&v));
+        let mask = ops::binary_scalar(&x, 0.0, BinaryOp::Neq);
+        let w = ops::binary(&mask, &uvt, BinaryOp::Mult);
+        let expect = ops::matmult(&ops::transpose(&w), &u);
+        assert!(out.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn no_agg_produces_sparse_w() {
+        let (n, m, r) = (80, 70, 6);
+        let x = generate::rand_matrix(n, m, 1.0, 5.0, 0.05, 13);
+        let u = generate::rand_dense(n, r, 0.1, 1.0, 14);
+        let v = generate::rand_dense(m, r, 0.1, 1.0, 15);
+        let spec = OuterSpec { out: OuterOut::NoAgg, ..update_spec() };
+        let out = execute(
+            &spec,
+            Some(&x),
+            &[SideInput::bind(&u), SideInput::bind(&v)],
+            &[],
+            n,
+            m,
+        );
+        assert!(out.is_sparse());
+        assert_eq!(out.nnz(), x.nnz(), "W has X's sparsity pattern");
+    }
+}

@@ -1,0 +1,574 @@
+//! The `SpoofRowwise` skeleton: iterates rows of the main input, evaluating
+//! the vector register program per row with a preallocated per-thread
+//! register buffer (the paper's ring buffer), and applies the Row output
+//! variant (paper Table 1, Figure 3(c)).
+//!
+//! Three vector-execution modes implement the Figure 10 instruction-
+//! footprint experiment (DESIGN.md substitution X4): `Vectorized` calls the
+//! shared primitives; `Inlined` dispatches per element (inlined generated
+//! code); `InterpretedNoJit` adds per-element re-resolution overhead (code
+//! too large to JIT).
+
+use crate::side::SideInput;
+use fusedml_core::spoof::{Instr, Program, RowExecMode, RowOut, RowSpec};
+use fusedml_linalg::ops::{AggOp, BinaryOp, UnaryOp};
+use fusedml_linalg::{par, primitives as prim, DenseMatrix, Matrix};
+
+/// Executes a Row operator over the main input's rows.
+pub fn execute(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f64]) -> Matrix {
+    let n = main.rows();
+    let m = main.cols();
+    // Pre-densify side matrices used by VecMatMult (row-major access).
+    let dense_sides: Vec<Option<Vec<f64>>> = (0..sides.len())
+        .map(|s| {
+            let used = spec.prog.instrs.iter().any(
+                |i| matches!(i, Instr::VecMatMult { side, .. } if *side == s),
+            );
+            used.then(|| sides[s].to_dense_values().into_owned())
+        })
+        .collect();
+
+    match &spec.out {
+        RowOut::NoAgg { src } => {
+            let k = spec.out_cols;
+            let mut out = vec![0.0f64; n * k];
+            par::par_rows_mut(&mut out, n, k, m.max(4) * 4, |r, orow| {
+                let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
+                ctx.run_row(r);
+                orow.copy_from_slice(&ctx.vregs[*src as usize]);
+            });
+            Matrix::dense(DenseMatrix::new(n, k, out))
+        }
+        RowOut::RowAgg { src } => {
+            let mut out = vec![0.0f64; n];
+            par::par_rows_mut(&mut out, n, 1, m.max(4) * 4, |r, slot| {
+                let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
+                ctx.run_row(r);
+                slot[0] = ctx.sregs[*src as usize];
+            });
+            Matrix::dense(DenseMatrix::new(n, 1, out))
+        }
+        RowOut::ColAgg { src } => {
+            let k = spec.out_cols;
+            let acc = par::par_map_reduce(
+                n,
+                m.max(4) * 4,
+                vec![0.0f64; k],
+                |lo, hi| {
+                    let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
+                    let mut acc = vec![0.0f64; k];
+                    for r in lo..hi {
+                        ctx.run_row(r);
+                        prim::vect_add(&ctx.vregs[*src as usize], &mut acc, 0, 0, k);
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+            Matrix::dense(DenseMatrix::new(1, k, acc))
+        }
+        RowOut::FullAgg { src } => {
+            let acc = par::par_map_reduce(
+                n,
+                m.max(4) * 4,
+                0.0f64,
+                |lo, hi| {
+                    let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
+                    let mut acc = 0.0;
+                    for r in lo..hi {
+                        ctx.run_row(r);
+                        acc += ctx.sregs[*src as usize];
+                    }
+                    acc
+                },
+                |a, b| a + b,
+            );
+            Matrix::dense(DenseMatrix::filled(1, 1, acc))
+        }
+        RowOut::OuterColAgg { left, right } => {
+            let (orows, ocols) = (spec.out_rows, spec.out_cols);
+            let acc = par::par_map_reduce(
+                n,
+                m.max(4) * 4,
+                vec![0.0f64; orows * ocols],
+                |lo, hi| {
+                    let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
+                    let mut acc = vec![0.0f64; orows * ocols];
+                    for r in lo..hi {
+                        ctx.run_row(r);
+                        let l = &ctx.vregs[*left as usize];
+                        let rv = &ctx.vregs[*right as usize];
+                        prim::vect_outer_mult_add(l, rv, &mut acc, 0, 0, 0, orows, ocols);
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+            Matrix::dense(DenseMatrix::new(orows, ocols, acc))
+        }
+        RowOut::ColAggMultAdd { vec, scalar } => {
+            let orows = spec.out_rows;
+            let acc = par::par_map_reduce(
+                n,
+                m.max(4) * 4,
+                vec![0.0f64; orows],
+                |lo, hi| {
+                    let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
+                    let mut acc = vec![0.0f64; orows];
+                    for r in lo..hi {
+                        ctx.run_row(r);
+                        let v = &ctx.vregs[*vec as usize];
+                        let s = ctx.sregs[*scalar as usize];
+                        prim::vect_mult_add(v, s, &mut acc, 0, 0, orows);
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+            Matrix::dense(DenseMatrix::new(orows, 1, acc))
+        }
+    }
+}
+
+/// Per-thread execution context: the register "ring buffer".
+struct RowCtx<'a> {
+    spec: &'a RowSpec,
+    main: &'a Matrix,
+    sides: &'a [SideInput],
+    scalars: &'a [f64],
+    dense_sides: &'a [Option<Vec<f64>>],
+    sregs: Vec<f64>,
+    vregs: Vec<Vec<f64>>,
+    main_buf: Vec<f64>,
+}
+
+impl<'a> RowCtx<'a> {
+    fn new(
+        spec: &'a RowSpec,
+        main: &'a Matrix,
+        sides: &'a [SideInput],
+        scalars: &'a [f64],
+        dense_sides: &'a [Option<Vec<f64>>],
+    ) -> Self {
+        RowCtx {
+            spec,
+            main,
+            sides,
+            scalars,
+            dense_sides,
+            sregs: vec![0.0; spec.prog.n_regs as usize],
+            vregs: spec.prog.vreg_lens.iter().map(|&l| vec![0.0; l]).collect(),
+            main_buf: vec![0.0; main.cols()],
+        }
+    }
+
+    /// Loads the main row into the context buffer (dense copy or sparse
+    /// densification, the `genexecDense`/`genexecSparse` split of §2.2).
+    fn load_main_row(&mut self, r: usize) {
+        match self.main {
+            Matrix::Dense(d) => self.main_buf.copy_from_slice(d.row(r)),
+            Matrix::Sparse(s) => {
+                self.main_buf.fill(0.0);
+                for (c, v) in s.row_iter(r) {
+                    self.main_buf[c] = v;
+                }
+            }
+        }
+    }
+
+    fn run_row(&mut self, rix: usize) {
+        self.load_main_row(rix);
+        let prog: &Program = &self.spec.prog;
+        let mode = self.spec.exec_mode;
+        for ins in &prog.instrs {
+            match *ins {
+                Instr::LoadMain { out } => {
+                    // Degenerate scalar main (not used by Row plans, but
+                    // kept for completeness): first cell of the row.
+                    self.sregs[out as usize] = self.main_buf.first().copied().unwrap_or(0.0)
+                }
+                Instr::LoadUVDot { .. } => panic!("UVDot in Row program"),
+                Instr::LoadSide { out, side, access } => {
+                    self.sregs[out as usize] = self.sides[side].value_at(access, rix, 0)
+                }
+                Instr::LoadScalar { out, idx } => self.sregs[out as usize] = self.scalars[idx],
+                Instr::LoadConst { out, value } => self.sregs[out as usize] = value,
+                Instr::Unary { out, op, a } => {
+                    self.sregs[out as usize] = op.apply(self.sregs[a as usize])
+                }
+                Instr::Binary { out, op, a, b } => {
+                    self.sregs[out as usize] =
+                        op.apply(self.sregs[a as usize], self.sregs[b as usize])
+                }
+                Instr::Ternary { out, op, a, b, c } => {
+                    self.sregs[out as usize] = op.apply(
+                        self.sregs[a as usize],
+                        self.sregs[b as usize],
+                        self.sregs[c as usize],
+                    )
+                }
+                Instr::LoadMainRow { out } => {
+                    let dst = &mut self.vregs[out as usize];
+                    dst.copy_from_slice(&self.main_buf);
+                }
+                Instr::LoadSideRow { out, side, cl, cu } => {
+                    let s = &self.sides[side];
+                    let dst = &mut self.vregs[out as usize];
+                    // A col-vector side read at full length is a whole-vector
+                    // view (`v` in `X %*% v`), not a row slice.
+                    if s.cols() == 1 && cu - cl == s.rows() && s.rows() > 1 {
+                        s.read_vector_into(dst);
+                    } else {
+                        s.read_row_into(rix, cl, cu, dst);
+                    }
+                }
+                Instr::VecUnary { out, op, a } => {
+                    let (dst, src) = two_vregs(&mut self.vregs, out, a);
+                    vec_unary(mode, op, src, dst);
+                }
+                Instr::VecBinaryVV { out, op, a, b } => {
+                    // Registers are SSA-allocated: `out` differs from both
+                    // sources. Move `b` out to satisfy the borrow checker
+                    // without copying, restoring it afterwards.
+                    let b_vals = std::mem::take(&mut self.vregs[b as usize]);
+                    let (dst, x) = two_vregs(&mut self.vregs, out, a);
+                    let xs: &[f64] = if a == b { &b_vals } else { x };
+                    vec_binary_vv(mode, op, xs, &b_vals, dst);
+                    self.vregs[b as usize] = b_vals;
+                }
+                Instr::VecBinaryVS { out, op, a, b, scalar_left } => {
+                    let s = self.sregs[b as usize];
+                    let (dst, src) = two_vregs(&mut self.vregs, out, a);
+                    vec_binary_vs(mode, op, src, s, scalar_left, dst);
+                }
+                Instr::VecMatMult { out, a, side } => {
+                    let bvals =
+                        self.dense_sides[side].as_deref().expect("side densified for VecMatMult");
+                    let k = self.sides[side].cols();
+                    let (dst, src) = two_vregs(&mut self.vregs, out, a);
+                    let len = src.len();
+                    dst.fill(0.0);
+                    for (i, &av) in src.iter().enumerate().take(len) {
+                        if av != 0.0 {
+                            prim::vect_mult_add(&bvals[i * k..(i + 1) * k], av, dst, 0, 0, k);
+                        }
+                    }
+                }
+                Instr::Dot { out, a, b } => {
+                    let x = &self.vregs[a as usize];
+                    let y = &self.vregs[b as usize];
+                    self.sregs[out as usize] = prim::dot_product(x, y, 0, 0, x.len());
+                }
+                Instr::VecAgg { out, op, a } => {
+                    let v = &self.vregs[a as usize];
+                    self.sregs[out as usize] = match op {
+                        AggOp::Sum => prim::vect_sum(v, 0, v.len()),
+                        AggOp::SumSq => prim::vect_sum_sq(v, 0, v.len()),
+                        AggOp::Min => prim::vect_min(v, 0, v.len()),
+                        AggOp::Max => prim::vect_max(v, 0, v.len()),
+                        AggOp::Mean => prim::vect_sum(v, 0, v.len()) / v.len() as f64,
+                    };
+                }
+                Instr::VecCumsum { out, a } => {
+                    let src = self.vregs[a as usize].clone();
+                    let dst = &mut self.vregs[out as usize];
+                    dst.copy_from_slice(&src);
+                    prim::vect_cumsum_inplace(dst);
+                }
+            }
+        }
+    }
+}
+
+/// Borrows two distinct vector registers mutably/immutably.
+fn two_vregs(vregs: &mut [Vec<f64>], out: u16, a: u16) -> (&mut [f64], &[f64]) {
+    assert_ne!(out, a, "vector registers are SSA-allocated");
+    let (o, a) = (out as usize, a as usize);
+    if o < a {
+        let (lo, hi) = vregs.split_at_mut(a);
+        (&mut lo[o], &hi[0])
+    } else {
+        let (lo, hi) = vregs.split_at_mut(o);
+        (&mut hi[0], &lo[a])
+    }
+}
+
+// ---- vector kernels per execution mode ------------------------------------
+
+fn vec_unary(mode: RowExecMode, op: UnaryOp, src: &[f64], dst: &mut [f64]) {
+    match mode {
+        RowExecMode::Vectorized => {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = op.apply(s);
+            }
+        }
+        RowExecMode::Inlined => {
+            for i in 0..src.len() {
+                dst[i] = apply_unary_inlined(op, src[i]);
+            }
+        }
+        RowExecMode::InterpretedNoJit => {
+            for i in 0..src.len() {
+                dst[i] = apply_unary_nojit(op, src[i]);
+            }
+        }
+    }
+}
+
+fn vec_binary_vv(mode: RowExecMode, op: BinaryOp, a: &[f64], b: &[f64], dst: &mut [f64]) {
+    match mode {
+        RowExecMode::Vectorized => match op {
+            BinaryOp::Add => dst.copy_from_slice(&prim::vect_add_write(a, b, 0, 0, a.len())),
+            BinaryOp::Sub => dst.copy_from_slice(&prim::vect_minus_write(a, b, 0, 0, a.len())),
+            BinaryOp::Mult => dst.copy_from_slice(&prim::vect_mult_write(a, b, 0, 0, a.len())),
+            BinaryOp::Div => dst.copy_from_slice(&prim::vect_div_write(a, b, 0, 0, a.len())),
+            _ => {
+                for i in 0..a.len() {
+                    dst[i] = op.apply(a[i], b[i]);
+                }
+            }
+        },
+        RowExecMode::Inlined => {
+            for i in 0..a.len() {
+                dst[i] = apply_binary_inlined(op, a[i], b[i]);
+            }
+        }
+        RowExecMode::InterpretedNoJit => {
+            for i in 0..a.len() {
+                dst[i] = apply_binary_nojit(op, a[i], b[i]);
+            }
+        }
+    }
+}
+
+fn vec_binary_vs(
+    mode: RowExecMode,
+    op: BinaryOp,
+    a: &[f64],
+    s: f64,
+    scalar_left: bool,
+    dst: &mut [f64],
+) {
+    match mode {
+        RowExecMode::Vectorized => {
+            if scalar_left {
+                for (d, &x) in dst.iter_mut().zip(a) {
+                    *d = op.apply(s, x);
+                }
+            } else {
+                for (d, &x) in dst.iter_mut().zip(a) {
+                    *d = op.apply(x, s);
+                }
+            }
+        }
+        RowExecMode::Inlined => {
+            for i in 0..a.len() {
+                dst[i] = if scalar_left {
+                    apply_binary_inlined(op, s, a[i])
+                } else {
+                    apply_binary_inlined(op, a[i], s)
+                };
+            }
+        }
+        RowExecMode::InterpretedNoJit => {
+            for i in 0..a.len() {
+                dst[i] = if scalar_left {
+                    apply_binary_nojit(op, s, a[i])
+                } else {
+                    apply_binary_nojit(op, a[i], s)
+                };
+            }
+        }
+    }
+}
+
+/// Per-element dispatch with inlining suppressed: models generated code
+/// whose primitives were inlined (larger instruction footprint, no
+/// vectorization across the row).
+#[inline(never)]
+fn apply_unary_inlined(op: UnaryOp, a: f64) -> f64 {
+    op.apply(a)
+}
+
+#[inline(never)]
+fn apply_binary_inlined(op: BinaryOp, a: f64, b: f64) -> f64 {
+    op.apply(a, b)
+}
+
+/// Per-element dispatch through a dynamically resolved function, modelling
+/// interpretation of code the JIT refused to compile.
+#[inline(never)]
+fn apply_unary_nojit(op: UnaryOp, a: f64) -> f64 {
+    let f: fn(UnaryOp, f64) -> f64 = apply_unary_inlined;
+    std::hint::black_box(f)(std::hint::black_box(op), std::hint::black_box(a))
+}
+
+#[inline(never)]
+fn apply_binary_nojit(op: BinaryOp, a: f64, b: f64) -> f64 {
+    let f: fn(BinaryOp, f64, f64) -> f64 = apply_binary_inlined;
+    std::hint::black_box(f)(std::hint::black_box(op), std::hint::black_box(a), std::hint::black_box(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_core::spoof::Program;
+    use fusedml_linalg::generate;
+    use fusedml_linalg::ops::{self, AggDir};
+
+    /// Spec for `t(X) %*% (X %*% v)` — Row with ColAggMultAdd output.
+    fn mv_chain_spec(m: usize) -> RowSpec {
+        RowSpec {
+            prog: Program {
+                instrs: vec![
+                    Instr::LoadMainRow { out: 0 },
+                    Instr::LoadSideRow { out: 1, side: 0, cl: 0, cu: m },
+                    Instr::Dot { out: 0, a: 0, b: 1 },
+                ],
+                n_regs: 1,
+                vreg_lens: vec![m, m],
+            },
+            out: RowOut::ColAggMultAdd { vec: 0, scalar: 0 },
+            out_rows: m,
+            out_cols: 1,
+            exec_mode: RowExecMode::Vectorized,
+        }
+    }
+
+    #[test]
+    fn mv_chain_matches_reference() {
+        let (n, m) = (200, 30);
+        let x = generate::rand_dense(n, m, -1.0, 1.0, 1);
+        let v = generate::rand_dense(m, 1, -1.0, 1.0, 2);
+        let out = execute(&mv_chain_spec(m), &x, &[SideInput::bind(&v)], &[]);
+        let xv = ops::matmult(&x, &v);
+        let expect = ops::matmult(&ops::transpose(&x), &xv);
+        assert!(out.approx_eq(&expect, 1e-9), "X^T(Xv) fused vs reference");
+    }
+
+    #[test]
+    fn mv_chain_sparse_main_agrees() {
+        let (n, m) = (300, 25);
+        let xs = generate::rand_matrix(n, m, -1.0, 1.0, 0.1, 3);
+        let v = generate::rand_dense(m, 1, -1.0, 1.0, 4);
+        let out = execute(&mv_chain_spec(m), &xs, &[SideInput::bind(&v)], &[]);
+        let expect = ops::matmult(&ops::transpose(&xs), &ops::matmult(&xs, &v));
+        assert!(out.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn exec_modes_agree_numerically() {
+        let (n, m) = (100, 40);
+        let x = generate::rand_dense(n, m, 0.5, 2.0, 5);
+        // X / rowSums(X), then row sums again: exercises VS + agg.
+        let spec = |mode| RowSpec {
+            prog: Program {
+                instrs: vec![
+                    Instr::LoadMainRow { out: 0 },
+                    Instr::VecAgg { out: 0, op: AggOp::Sum, a: 0 },
+                    Instr::VecBinaryVS { out: 1, op: BinaryOp::Div, a: 0, b: 0, scalar_left: false },
+                    Instr::VecAgg { out: 1, op: AggOp::Sum, a: 1 },
+                ],
+                n_regs: 2,
+                vreg_lens: vec![m, m],
+            },
+            out: RowOut::RowAgg { src: 1 },
+            out_rows: n,
+            out_cols: 1,
+            exec_mode: mode,
+        };
+        let a = execute(&spec(RowExecMode::Vectorized), &x, &[], &[]);
+        let b = execute(&spec(RowExecMode::Inlined), &x, &[], &[]);
+        let c = execute(&spec(RowExecMode::InterpretedNoJit), &x, &[], &[]);
+        assert!(a.approx_eq(&b, 1e-12));
+        assert!(a.approx_eq(&c, 1e-12));
+        // Every row sums to 1 after normalization.
+        for r in 0..n {
+            assert!(fusedml_linalg::approx_eq(a.get(r, 0), 1.0, 1e-9));
+        }
+    }
+
+    #[test]
+    fn no_agg_writes_rows() {
+        let (n, m) = (50, 10);
+        let x = generate::rand_dense(n, m, -1.0, 1.0, 7);
+        let spec = RowSpec {
+            prog: Program {
+                instrs: vec![
+                    Instr::LoadMainRow { out: 0 },
+                    Instr::LoadConst { out: 0, value: 2.0 },
+                    Instr::VecBinaryVS { out: 1, op: BinaryOp::Mult, a: 0, b: 0, scalar_left: false },
+                ],
+                n_regs: 1,
+                vreg_lens: vec![m, m],
+            },
+            out: RowOut::NoAgg { src: 1 },
+            out_rows: n,
+            out_cols: m,
+            exec_mode: RowExecMode::Vectorized,
+        };
+        let out = execute(&spec, &x, &[], &[]);
+        let expect = ops::binary_scalar(&x, 2.0, BinaryOp::Mult);
+        assert!(out.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn col_agg_matches_colsums() {
+        let (n, m) = (80, 12);
+        let x = generate::rand_dense(n, m, -1.0, 1.0, 8);
+        let spec = RowSpec {
+            prog: Program {
+                instrs: vec![Instr::LoadMainRow { out: 0 }],
+                n_regs: 0,
+                vreg_lens: vec![m],
+            },
+            out: RowOut::ColAgg { src: 0 },
+            out_rows: 1,
+            out_cols: m,
+            exec_mode: RowExecMode::Vectorized,
+        };
+        let out = execute(&spec, &x, &[], &[]);
+        let expect = ops::agg(&x, AggOp::Sum, AggDir::Col);
+        assert!(out.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn vect_mat_mult_instruction() {
+        // X %*% V per row with OuterColAgg → t(X) %*% (X %*% V).
+        let (n, m, k) = (60, 14, 3);
+        let x = generate::rand_dense(n, m, -1.0, 1.0, 9);
+        let v = generate::rand_dense(m, k, -1.0, 1.0, 10);
+        let spec = RowSpec {
+            prog: Program {
+                instrs: vec![
+                    Instr::LoadMainRow { out: 0 },
+                    Instr::VecMatMult { out: 1, a: 0, side: 0 },
+                ],
+                n_regs: 0,
+                vreg_lens: vec![m, k],
+            },
+            out: RowOut::OuterColAgg { left: 0, right: 1 },
+            out_rows: m,
+            out_cols: k,
+            exec_mode: RowExecMode::Vectorized,
+        };
+        let out = execute(&spec, &x, &[SideInput::bind(&v)], &[]);
+        let expect = ops::matmult(&ops::transpose(&x), &ops::matmult(&x, &v));
+        assert!(out.approx_eq(&expect, 1e-9));
+    }
+}

@@ -1,0 +1,51 @@
+//! A sparse recommender via ALS-CG matrix factorization — the paper's
+//! sparsity-exploitation showcase (Expression 1, Figure 1(d)).
+//!
+//! The dense rating plane `U V^T` (here 20k × 5k = 800 MB dense) is never
+//! materialized: the optimizer compiles the update rules and loss into
+//! sparsity-exploiting Outer-template operators that touch only the
+//! observed ratings.
+//!
+//! ```text
+//! cargo run --release --example als_recommender
+//! ```
+
+use fusedml::algos::alscg;
+use fusedml::core::FusionMode;
+use fusedml::runtime::Executor;
+
+fn main() {
+    let (users, items, sparsity) = (20_000, 5_000, 0.002);
+    let ratings = alscg::synthetic_data(users, items, sparsity, 42);
+    println!(
+        "ratings: {}x{} with {} observed entries ({}% dense plane avoided: {:.1} MB)",
+        users,
+        items,
+        ratings.nnz(),
+        sparsity * 100.0,
+        alscg::dense_plane_bytes(users, items) / 1e6
+    );
+
+    let exec = Executor::new(FusionMode::Gen);
+    let cfg = alscg::AlsConfig { rank: 20, max_iter: 5, ..Default::default() };
+    let result = alscg::run(&exec, &ratings, &cfg);
+    let (fused, handcoded, basic) = exec.stats.snapshot();
+    println!(
+        "trained rank-{} factorization in {:.2}s ({} iterations, loss {:.4e})",
+        cfg.rank, result.seconds, result.iterations, result.objective
+    );
+    println!("operators executed: {fused} generated-fused, {handcoded} hand-coded, {basic} basic");
+    let snap = exec.optimizer.stats.snapshot();
+    println!(
+        "optimizer: {} DAGs optimized, {} operators compiled, {} plan-cache hits",
+        snap.dags_optimized, snap.operators_compiled, snap.cache_hits
+    );
+
+    // Predict a few ratings: r̂(u, i) = U[u,:] · V[i,:].
+    let u = result.model[0].as_dense();
+    let v = result.model[1].as_dense();
+    for (user, item) in [(0usize, 0usize), (7, 123), (100, 4000)] {
+        let pred = fusedml::linalg::primitives::dot_product(u.row(user), v.row(item), 0, 0, cfg.rank);
+        println!("predicted rating for user {user}, item {item}: {pred:.3}");
+    }
+}

@@ -1,0 +1,25 @@
+//! # fusedml
+//!
+//! A Rust reproduction of SystemML's cost-based operator-fusion-plan
+//! optimizer (Boehm et al., *On Optimizing Operator Fusion Plans for
+//! Large-Scale Machine Learning in SystemML*, VLDB 2018).
+//!
+//! This facade crate re-exports the workspace crates under stable paths:
+//!
+//! * [`linalg`] — dense/sparse matrices, kernels, vector primitives,
+//! * [`cla`] — compressed linear algebra (column-group compression),
+//! * [`hop`] — the HOP DAG compiler IR with size propagation,
+//! * [`core`] — the fusion optimizer: OFMC candidate exploration, memo
+//!   table, CPlans, code generation, cost model and `MPSkipEnum`,
+//! * [`runtime`] — fused-operator skeletons, local executor, and the
+//!   simulated distributed backend,
+//! * [`algos`] — the six ML algorithms of the paper's evaluation.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use fusedml_algos as algos;
+pub use fusedml_cla as cla;
+pub use fusedml_core as core;
+pub use fusedml_hop as hop;
+pub use fusedml_linalg as linalg;
+pub use fusedml_runtime as runtime;

@@ -1,0 +1,83 @@
+//! Property test: fused execution must equal unfused execution on randomly
+//! generated DAGs of cell-wise operations, aggregates, and matrix products.
+
+use fusedml::core::FusionMode;
+use fusedml::hop::interp::Bindings;
+use fusedml::hop::{DagBuilder, HopId};
+use fusedml::linalg::generate;
+use fusedml::runtime::Executor;
+use proptest::prelude::*;
+
+/// A random cell-wise expression over three inputs, closed by a full sum.
+#[derive(Debug, Clone)]
+struct RandomExpr {
+    ops: Vec<u8>,
+    rows: usize,
+    cols: usize,
+}
+
+fn expr_strategy() -> impl Strategy<Value = RandomExpr> {
+    (
+        proptest::collection::vec(0u8..6, 1..8),
+        16usize..64,
+        8usize..32,
+    )
+        .prop_map(|(ops, rows, cols)| RandomExpr { ops, rows, cols })
+}
+
+fn build(e: &RandomExpr) -> (fusedml::hop::HopDag, Bindings) {
+    let mut b = DagBuilder::new();
+    let x = b.read("X", e.rows, e.cols, 1.0);
+    let y = b.read("Y", e.rows, e.cols, 1.0);
+    let v = b.read("v", e.rows, 1, 1.0);
+    let mut cur: HopId = x;
+    for &op in &e.ops {
+        cur = match op {
+            0 => b.mult(cur, y),
+            1 => b.add(cur, y),
+            2 => b.sub(cur, v), // col-vector broadcast
+            3 => b.abs(cur),
+            4 => b.sq(cur),
+            _ => {
+                let c = b.lit(1.5);
+                b.mult(cur, c)
+            }
+        };
+    }
+    let s = b.sum(cur);
+    let rs = b.row_sums(cur);
+    let s2 = b.sum(rs);
+    let dag = b.build(vec![s, s2]);
+    let mut bindings = Bindings::new();
+    bindings.insert("X".into(), generate::rand_dense(e.rows, e.cols, -1.0, 1.0, 1));
+    bindings.insert("Y".into(), generate::rand_dense(e.rows, e.cols, -1.0, 1.0, 2));
+    bindings.insert("v".into(), generate::rand_dense(e.rows, 1, -1.0, 1.0, 3));
+    (dag, bindings)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fused_equals_unfused_on_random_dags(e in expr_strategy()) {
+        let (dag, bindings) = build(&e);
+        let expect: Vec<f64> = Executor::new(FusionMode::Base)
+            .execute(&dag, &bindings)
+            .iter()
+            .map(|x| x.as_scalar())
+            .collect();
+        for mode in [FusionMode::Gen, FusionMode::GenFA, FusionMode::GenFNR] {
+            let got: Vec<f64> = Executor::new(mode)
+                .execute(&dag, &bindings)
+                .iter()
+                .map(|x| x.as_scalar())
+                .collect();
+            for (g, x) in got.iter().zip(&expect) {
+                prop_assert!(
+                    fusedml::linalg::approx_eq(*g, *x, 1e-7),
+                    "{mode:?}: {g} vs {x} (ops {:?})", e.ops
+                );
+            }
+        }
+    }
+}
