@@ -129,11 +129,7 @@ pub fn run(exec: &Executor, x: &Matrix, y: &Matrix, cfg: &GlmConfig) -> AlgoResu
 pub fn synthetic_data(n: usize, m: usize, sparsity: f64, seed: u64) -> (Matrix, Matrix) {
     let (x, pm1) = generate::classification_data(n, m, sparsity, 0.05, seed);
     // Map ±1 labels to 0/1.
-    let y = ops::binary_scalar(
-        &ops::binary_scalar(&pm1, 1.0, BinaryOp::Add),
-        0.5,
-        BinaryOp::Mult,
-    );
+    let y = ops::binary_scalar(&ops::binary_scalar(&pm1, 1.0, BinaryOp::Add), 0.5, BinaryOp::Mult);
     (x, y)
 }
 
@@ -157,8 +153,10 @@ mod tests {
     fn gradient_norm_shrinks() {
         let (x, y) = synthetic_data(400, 8, 1.0, 6);
         let exec = Executor::new(FusionMode::Gen);
-        let short = run(&exec, &x, &y, &GlmConfig { max_outer: 1, max_inner: 3, ..Default::default() });
-        let long = run(&exec, &x, &y, &GlmConfig { max_outer: 8, max_inner: 6, ..Default::default() });
+        let short =
+            run(&exec, &x, &y, &GlmConfig { max_outer: 1, max_inner: 3, ..Default::default() });
+        let long =
+            run(&exec, &x, &y, &GlmConfig { max_outer: 8, max_inner: 6, ..Default::default() });
         assert!(long.objective < short.objective);
     }
 }

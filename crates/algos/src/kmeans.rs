@@ -95,12 +95,9 @@ pub fn run(exec: &Executor, x: &Matrix, cfg: &KMeansConfig) -> AlgoResult {
         wcss = new_wcss;
     }
     // Full WCSS including the constant X term for reporting.
-    let xsq = ops::agg(
-        &ops::unary(x, fusedml_linalg::ops::UnaryOp::Pow2),
-        AggOp::Sum,
-        AggDir::Full,
-    )
-    .get(0, 0);
+    let xsq =
+        ops::agg(&ops::unary(x, fusedml_linalg::ops::UnaryOp::Pow2), AggOp::Sum, AggDir::Full)
+            .get(0, 0);
     let _ = run1; // (single-root helper unused here)
     AlgoResult {
         seconds: sw.seconds(),

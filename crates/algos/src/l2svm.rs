@@ -97,8 +97,7 @@ pub fn run(exec: &Executor, x: &Matrix, y: &Matrix, cfg: &L2svmConfig) -> AlgoRe
         let g = run1(exec, &grad_dag, &bindings);
         // w ← w − (α/n)·g — the loss is a sum over rows, so the step is
         // normalized by the number of examples.
-        let step =
-            fusedml_linalg::ops::binary_scalar(&g, cfg.step / n as f64, BinaryOp::Mult);
+        let step = fusedml_linalg::ops::binary_scalar(&g, cfg.step / n as f64, BinaryOp::Mult);
         w = fusedml_linalg::ops::binary(&w, &step, BinaryOp::Sub);
         if (prev_obj - obj).abs() < cfg.epsilon * prev_obj.abs().max(1.0) {
             break;

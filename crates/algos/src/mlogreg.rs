@@ -175,10 +175,7 @@ mod tests {
         let base = run(&Executor::new(FusionMode::Base), &x, &y, &cfg);
         for mode in [FusionMode::Gen, FusionMode::GenFA] {
             let r = run(&Executor::new(mode), &x, &y, &cfg);
-            assert!(
-                r.model[0].approx_eq(&base.model[0], 1e-5),
-                "{mode:?} model diverged"
-            );
+            assert!(r.model[0].approx_eq(&base.model[0], 1e-5), "{mode:?} model diverged");
         }
     }
 
@@ -186,8 +183,10 @@ mod tests {
     fn training_reduces_nll() {
         let (x, y) = synthetic_data(400, 10, 2, 1.0, 2);
         let exec = Executor::new(FusionMode::Gen);
-        let short = run(&exec, &x, &y, &MLogregConfig { max_outer: 1, max_inner: 2, ..Default::default() });
-        let long = run(&exec, &x, &y, &MLogregConfig { max_outer: 6, max_inner: 5, ..Default::default() });
+        let short =
+            run(&exec, &x, &y, &MLogregConfig { max_outer: 1, max_inner: 2, ..Default::default() });
+        let long =
+            run(&exec, &x, &y, &MLogregConfig { max_outer: 6, max_inner: 5, ..Default::default() });
         assert!(long.objective <= short.objective + 1e-9);
     }
 }

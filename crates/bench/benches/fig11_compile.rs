@@ -33,8 +33,7 @@ fn sample_cplan(extra: usize) -> fusedml_core::cplan::CPlan {
 fn benches(c: &mut Criterion) {
     let cplans: Vec<_> = (0..8).map(sample_cplan).collect();
     let mut g = c.benchmark_group("fig11_compile");
-    for (backend, name) in
-        [(CompilerBackend::Janino, "janino"), (CompilerBackend::Javac, "javac")]
+    for (backend, name) in [(CompilerBackend::Janino, "janino"), (CompilerBackend::Javac, "javac")]
     {
         let opts = CodegenOptions { backend, ..Default::default() };
         g.bench_function(format!("{name}_no_cache"), |b| {

@@ -20,9 +20,7 @@ fn benches(c: &mut Criterion) {
     g.bench_function("ULA_fused_single_pass", |b| {
         b.iter(|| std::hint::black_box(ops::agg(&x, AggOp::SumSq, AggDir::Full)))
     });
-    g.bench_function("CLA_dictionary_only", |b| {
-        b.iter(|| std::hint::black_box(cops::sum_sq(&cm)))
-    });
+    g.bench_function("CLA_dictionary_only", |b| b.iter(|| std::hint::black_box(cops::sum_sq(&cm))));
     g.finish();
 }
 

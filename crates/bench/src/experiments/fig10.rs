@@ -65,7 +65,8 @@ pub fn run(scale: Scale) {
             times.sort_by(f64::total_cmp);
             (times[times.len() / 2], code, mode)
         };
-        let (gen_s, _, _) = time_with(CodegenOptions { code_size_budget: budget, ..Default::default() });
+        let (gen_s, _, _) =
+            time_with(CodegenOptions { code_size_budget: budget, ..Default::default() });
         let (inl_s, code, mode) = time_with(CodegenOptions {
             inline_primitives: true,
             code_size_budget: budget,

@@ -18,12 +18,8 @@ pub fn run(scale: Scale) {
     );
     for &k in &ks {
         let (x, y) = mlogreg::synthetic_data(n, m, k, 1.0, 7);
-        let cfg = mlogreg::MLogregConfig {
-            classes: k,
-            max_outer: 2,
-            max_inner: 3,
-            ..Default::default()
-        };
+        let cfg =
+            mlogreg::MLogregConfig { classes: k, max_outer: 2, max_inner: 3, ..Default::default() };
         let mut row = vec![k.to_string()];
         for mode in MODES {
             let r = mlogreg::run(&Executor::new(mode), &x, &y, &cfg);

@@ -119,7 +119,7 @@ pub fn run(scale: Scale) {
         &sizes,
         cols,
         1.0,
-        |r, c, s| cell_dag(r, c, s),
+        cell_dag,
         |r, c, _s, seed| generate::rand_dense(r, c, -1.0, 1.0, seed),
         reps,
     );
@@ -128,7 +128,7 @@ pub fn run(scale: Scale) {
         &sizes,
         cols,
         0.1,
-        |r, c, s| cell_dag(r, c, s),
+        cell_dag,
         |r, c, s, seed| generate::rand_matrix(r, c, -1.0, 1.0, s, seed),
         reps,
     );
@@ -137,7 +137,7 @@ pub fn run(scale: Scale) {
         &sizes,
         cols,
         1.0,
-        |r, c, s| magg_dag(r, c, s),
+        magg_dag,
         |r, c, _s, seed| generate::rand_dense(r, c, -1.0, 1.0, seed),
         reps,
     );
@@ -146,7 +146,7 @@ pub fn run(scale: Scale) {
         &sizes,
         cols,
         0.1,
-        |r, c, s| magg_dag(r, c, s),
+        magg_dag,
         |r, c, s, seed| generate::rand_matrix(r, c, -1.0, 1.0, s, seed),
         reps,
     );

@@ -72,12 +72,7 @@ fn run_dataset(name: &str, x: &Matrix, reps: usize) {
             .map(|_| time_once(|| ops::agg(x, AggOp::SumSq, AggDir::Full).get(0, 0)).1)
             .collect(),
     );
-    t.row(vec![
-        "ULA".into(),
-        Table::secs(ula_base),
-        Table::secs(ula_gen),
-        format!("{vref:.3e}"),
-    ]);
+    t.row(vec!["ULA".into(), Table::secs(ula_base), Table::secs(ula_gen), format!("{vref:.3e}")]);
     // CLA Base/Fused: dictionary-only sum of squares.
     let cla_fused = median((0..reps).map(|_| time_once(|| cops::sum_sq(&cm)).1).collect());
     // CLA Gen: generated operator over distinct values.
@@ -87,12 +82,7 @@ fn run_dataset(name: &str, x: &Matrix, reps: usize) {
         fusedml_linalg::approx_eq(vgen, vref, 1e-6),
         "CLA Gen result must match: {vgen} vs {vref}"
     );
-    t.row(vec![
-        "CLA".into(),
-        Table::secs(cla_fused),
-        Table::secs(cla_gen),
-        format!("{vgen:.3e}"),
-    ]);
+    t.row(vec!["CLA".into(), Table::secs(cla_fused), Table::secs(cla_gen), format!("{vgen:.3e}")]);
     t.print();
 }
 

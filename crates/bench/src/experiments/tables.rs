@@ -33,22 +33,38 @@ pub fn table3(scale: Scale) {
         ]);
     };
     let (x, y) = l2svm::synthetic_data(n, 100, 0.25, 1);
-    run_algo("L2SVM", &mut |e| l2svm::run(e, &x, &y, &l2svm::L2svmConfig { max_iter: 5, ..Default::default() }).seconds);
+    run_algo("L2SVM", &mut |e| {
+        l2svm::run(e, &x, &y, &l2svm::L2svmConfig { max_iter: 5, ..Default::default() }).seconds
+    });
     let (xm, ym) = mlogreg::synthetic_data(n, 100, 3, 0.25, 2);
     run_algo("MLogreg", &mut |e| {
-        mlogreg::run(e, &xm, &ym, &mlogreg::MLogregConfig { classes: 3, max_outer: 3, max_inner: 3, ..Default::default() }).seconds
+        mlogreg::run(
+            e,
+            &xm,
+            &ym,
+            &mlogreg::MLogregConfig {
+                classes: 3,
+                max_outer: 3,
+                max_inner: 3,
+                ..Default::default()
+            },
+        )
+        .seconds
     });
     let (xg, yg) = glm::synthetic_data(n, 100, 0.25, 3);
     run_algo("GLM", &mut |e| {
-        glm::run(e, &xg, &yg, &glm::GlmConfig { max_outer: 3, max_inner: 3, ..Default::default() }).seconds
+        glm::run(e, &xg, &yg, &glm::GlmConfig { max_outer: 3, max_inner: 3, ..Default::default() })
+            .seconds
     });
     let xk = kmeans::synthetic_data(n, 100, 1.0, 4);
     run_algo("KMeans", &mut |e| {
-        kmeans::run(e, &xk, &kmeans::KMeansConfig { k: 5, max_iter: 5, ..Default::default() }).seconds
+        kmeans::run(e, &xk, &kmeans::KMeansConfig { k: 5, max_iter: 5, ..Default::default() })
+            .seconds
     });
     let xa = alscg::synthetic_data(2000, 1500, 0.01, 5);
     run_algo("ALS-CG", &mut |e| {
-        alscg::run(e, &xa, &alscg::AlsConfig { rank: 10, max_iter: 5, ..Default::default() }).seconds
+        alscg::run(e, &xa, &alscg::AlsConfig { rank: 10, max_iter: 5, ..Default::default() })
+            .seconds
     });
     let xe = autoencoder::synthetic_data(2048, 100, 6);
     run_algo("AutoEncoder", &mut |e| {
@@ -59,7 +75,8 @@ pub fn table3(scale: Scale) {
 
 /// Table 4: data-intensive algorithms end-to-end across modes.
 pub fn table4(scale: Scale) {
-    let sizes: Vec<(usize, usize)> = scale.pick(vec![(50_000, 10), (200_000, 10)], vec![(1_000_000, 10), (10_000_000, 10)]);
+    let sizes: Vec<(usize, usize)> =
+        scale.pick(vec![(50_000, 10), (200_000, 10)], vec![(1_000_000, 10), (10_000_000, 10)]);
     let mut t = Table::new(
         "Table 4: data-intensive algorithms [s]",
         &["algorithm", "data", "Base", "Fused", "Gen", "Gen-FA", "Gen-FNR"],
@@ -69,7 +86,12 @@ pub fn table4(scale: Scale) {
         let (x, y) = l2svm::synthetic_data(n, m, 1.0, 11);
         let mut row = vec!["L2SVM".to_string(), data_label.clone()];
         for mode in MODES {
-            let r = l2svm::run(&Executor::new(mode), &x, &y, &l2svm::L2svmConfig { max_iter: 10, ..Default::default() });
+            let r = l2svm::run(
+                &Executor::new(mode),
+                &x,
+                &y,
+                &l2svm::L2svmConfig { max_iter: 10, ..Default::default() },
+            );
             row.push(Table::secs(r.seconds));
         }
         t.row(row);
@@ -80,7 +102,12 @@ pub fn table4(scale: Scale) {
                 &Executor::new(mode),
                 &xm,
                 &ym,
-                &mlogreg::MLogregConfig { classes: 2, max_outer: 3, max_inner: 3, ..Default::default() },
+                &mlogreg::MLogregConfig {
+                    classes: 2,
+                    max_outer: 3,
+                    max_inner: 3,
+                    ..Default::default()
+                },
             );
             row.push(Table::secs(r.seconds));
         }
@@ -100,7 +127,11 @@ pub fn table4(scale: Scale) {
         let xk = kmeans::synthetic_data(n, m, 1.0, 14);
         let mut row = vec!["KMeans".to_string(), data_label.clone()];
         for mode in MODES {
-            let r = kmeans::run(&Executor::new(mode), &xk, &kmeans::KMeansConfig { k: 5, max_iter: 5, ..Default::default() });
+            let r = kmeans::run(
+                &Executor::new(mode),
+                &xk,
+                &kmeans::KMeansConfig { k: 5, max_iter: 5, ..Default::default() },
+            );
             row.push(Table::secs(r.seconds));
         }
         t.row(row);
@@ -111,7 +142,12 @@ pub fn table4(scale: Scale) {
     let (_, ya) = l2svm::synthetic_data(ar, ac, 1.0, 16);
     let mut row = vec!["L2SVM".to_string(), "Airline78-like".to_string()];
     for mode in MODES {
-        let r = l2svm::run(&Executor::new(mode), &airline, &ya, &l2svm::L2svmConfig { max_iter: 10, ..Default::default() });
+        let r = l2svm::run(
+            &Executor::new(mode),
+            &airline,
+            &ya,
+            &l2svm::L2svmConfig { max_iter: 10, ..Default::default() },
+        );
         row.push(Table::secs(r.seconds));
     }
     t.row(row);
@@ -120,7 +156,12 @@ pub fn table4(scale: Scale) {
     let (_, ymn) = l2svm::synthetic_data(mr, mc, 1.0, 18);
     let mut row = vec!["L2SVM".to_string(), "Mnist8m-like".to_string()];
     for mode in MODES {
-        let r = l2svm::run(&Executor::new(mode), &mnist, &ymn, &l2svm::L2svmConfig { max_iter: 10, ..Default::default() });
+        let r = l2svm::run(
+            &Executor::new(mode),
+            &mnist,
+            &ymn,
+            &l2svm::L2svmConfig { max_iter: 10, ..Default::default() },
+        );
         row.push(Table::secs(r.seconds));
     }
     t.row(row);
@@ -137,7 +178,8 @@ pub fn table5(scale: Scale) {
     // The guard: modes without sparsity exploitation materialize the dense
     // n×m plane; refuse when it exceeds the budget (Table 5's N/A).
     let guard_bytes = scale.pick(0.4e9, 2.0e9);
-    let als_sizes: Vec<(usize, usize)> = scale.pick(vec![(2_000, 2_000), (8_000, 8_000)], vec![(10_000, 10_000), (40_000, 40_000)]);
+    let als_sizes: Vec<(usize, usize)> =
+        scale.pick(vec![(2_000, 2_000), (8_000, 8_000)], vec![(10_000, 10_000), (40_000, 40_000)]);
     for &(n, m) in &als_sizes {
         let x = alscg::synthetic_data(n, m, 0.01, 21);
         let mut row = vec!["ALS-CG".to_string(), format!("{n}x{m} (0.01)")];
@@ -148,7 +190,11 @@ pub fn table5(scale: Scale) {
                 row.push("N/A".to_string());
                 continue;
             }
-            let r = alscg::run(&Executor::new(mode), &x, &alscg::AlsConfig { rank: 20, max_iter: 2, ..Default::default() });
+            let r = alscg::run(
+                &Executor::new(mode),
+                &x,
+                &alscg::AlsConfig { rank: 20, max_iter: 2, ..Default::default() },
+            );
             row.push(Table::secs(r.seconds));
         }
         t.row(row);
@@ -164,7 +210,11 @@ pub fn table5(scale: Scale) {
             row.push("N/A".to_string());
             continue;
         }
-        let r = alscg::run(&Executor::new(mode), &netflix, &alscg::AlsConfig { rank: 20, max_iter: 2, ..Default::default() });
+        let r = alscg::run(
+            &Executor::new(mode),
+            &netflix,
+            &alscg::AlsConfig { rank: 20, max_iter: 2, ..Default::default() },
+        );
         row.push(Table::secs(r.seconds));
     }
     t.row(row);
@@ -174,7 +224,11 @@ pub fn table5(scale: Scale) {
         let x = autoencoder::synthetic_data(n, m, 23);
         let mut row = vec!["AutoEncoder".to_string(), format!("{n}x{m}")];
         for mode in MODES {
-            let r = autoencoder::run(&Executor::new(mode), &x, &autoencoder::AeConfig { epochs: 1, ..Default::default() });
+            let r = autoencoder::run(
+                &Executor::new(mode),
+                &x,
+                &autoencoder::AeConfig { epochs: 1, ..Default::default() },
+            );
             row.push(Table::secs(r.seconds));
         }
         t.row(row);
@@ -198,9 +252,9 @@ pub fn table6(scale: Scale) {
     );
     let run_iters = |mode: FusionMode, dag: &fusedml_hop::HopDag, bindings: &Bindings| {
         let exec = Executor::new(mode);
-        let (_, first) = execute_dist(&exec, dag, bindings, &cluster);
+        let _warmup = execute_dist(&exec, dag, bindings, &cluster);
         let mut total = 0.0;
-        let mut bc = first.broadcasts * 0;
+        let mut bc = 0;
         for _ in 0..iters {
             let (_, rep) = execute_dist(&exec, dag, bindings, &cluster);
             total += rep.sim_seconds;

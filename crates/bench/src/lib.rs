@@ -9,7 +9,8 @@
 //! Data sizes are scaled down from the paper by a documented factor (the
 //! harness runs on one machine); the reproduction target is the *shape* of
 //! each series — who wins, by roughly what factor, where crossovers fall.
-//! See EXPERIMENTS.md for paper-vs-measured notes.
+//! See BENCH_NOTES.md (repo root) for the recorded baseline and
+//! reproduction instructions.
 
 pub mod experiments;
 pub mod report;
@@ -20,13 +21,8 @@ use fusedml_runtime::{Executor, FusionMode};
 use std::time::Instant;
 
 /// All execution modes of the evaluation, in table order.
-pub const MODES: [FusionMode; 5] = [
-    FusionMode::Base,
-    FusionMode::Fused,
-    FusionMode::Gen,
-    FusionMode::GenFA,
-    FusionMode::GenFNR,
-];
+pub const MODES: [FusionMode; 5] =
+    [FusionMode::Base, FusionMode::Fused, FusionMode::Gen, FusionMode::GenFA, FusionMode::GenFNR];
 
 /// Median wall-clock seconds of `reps` executions of a DAG under a mode
 /// (one warm-up execution compiles the operators into the plan cache).

@@ -47,8 +47,8 @@ pub fn plan_cocoding(rows: usize, analyses: &[ColumnAnalysis]) -> Vec<Vec<usize>
                 }
                 let wi = candidates[i].0.len();
                 let wj = candidates[j].0.len();
-                let sep = ddc_bytes(rows, candidates[i].1, wi)
-                    + ddc_bytes(rows, candidates[j].1, wj);
+                let sep =
+                    ddc_bytes(rows, candidates[i].1, wi) + ddc_bytes(rows, candidates[j].1, wj);
                 let together = ddc_bytes(rows, joint, wi + wj);
                 if together < sep {
                     let gain_best = best.map(|(bi, bj, bd)| {
@@ -114,12 +114,7 @@ mod tests {
 
     #[test]
     fn mixed_plan_covers_all_columns() {
-        let a = vec![
-            analysis(0, 3, 0),
-            analysis(1, 800, 0),
-            analysis(2, 5, 10),
-            analysis(3, 2, 0),
-        ];
+        let a = vec![analysis(0, 3, 0), analysis(1, 800, 0), analysis(2, 5, 10), analysis(3, 2, 0)];
         let plan = plan_cocoding(1000, &a);
         let mut cols: Vec<usize> = plan.iter().flatten().copied().collect();
         cols.sort_unstable();

@@ -215,11 +215,7 @@ pub fn compress_with_stats(m: &Matrix) -> (CompressedMatrix, CompressionStats) {
         compressed_bytes: cm.size_in_bytes(),
         uncompressed_bytes: cm.uncompressed_size_in_bytes(),
         ratio: cm.compression_ratio(),
-        groups: cm
-            .groups()
-            .iter()
-            .map(|g| (g.columns().to_vec(), g.encoding()))
-            .collect(),
+        groups: cm.groups().iter().map(|g| (g.columns().to_vec(), g.encoding())).collect(),
     };
     (cm, stats)
 }
@@ -259,7 +255,7 @@ mod tests {
         // A sorted low-cardinality column has long runs → RLE.
         let mut data = Vec::new();
         for block in 0..10 {
-            data.extend(std::iter::repeat(block as f64 + 1.0).take(100));
+            data.extend(std::iter::repeat_n(block as f64 + 1.0, 100));
         }
         let m = Matrix::dense(DenseMatrix::new(1000, 1, data));
         let cm = compress(&m);

@@ -217,9 +217,7 @@ impl ColumnGroup {
                 }
                 out
             }
-            ColumnGroup::Uncompressed { data, .. } => {
-                data.iter().map(|&v| (v, 1usize)).collect()
-            }
+            ColumnGroup::Uncompressed { data, .. } => data.iter().map(|&v| (v, 1usize)).collect(),
         }
     }
 

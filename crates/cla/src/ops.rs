@@ -12,16 +12,12 @@ use fusedml_linalg::{DenseMatrix, Matrix};
 
 /// `sum(X)` via per-group value counts.
 pub fn sum(m: &CompressedMatrix) -> f64 {
-    m.group_value_counts()
-        .map(|vc| vc.iter().map(|&(v, n)| v * n as f64).sum::<f64>())
-        .sum()
+    m.group_value_counts().map(|vc| vc.iter().map(|&(v, n)| v * n as f64).sum::<f64>()).sum()
 }
 
 /// `sum(X^2)` via per-group value counts (the Figure 9 workload).
 pub fn sum_sq(m: &CompressedMatrix) -> f64 {
-    m.group_value_counts()
-        .map(|vc| vc.iter().map(|&(v, n)| v * v * n as f64).sum::<f64>())
-        .sum()
+    m.group_value_counts().map(|vc| vc.iter().map(|&(v, n)| v * v * n as f64).sum::<f64>()).sum()
 }
 
 /// Generic full aggregate with a sparse-safe scalar map `f` applied first:

@@ -8,7 +8,7 @@
 //! from scratch in multiple verification passes, and cross-checks the
 //! result — modelling a heavyweight standard compiler.
 
-use crate::cplan::{CellAggKind, CNode, CPlan, NodeId, OutputSpec, OuterOutKind, RowOutKind};
+use crate::cplan::{CNode, CPlan, CellAggKind, NodeId, OuterOutKind, OutputSpec, RowOutKind};
 use crate::spoof::{
     CellAgg, CellSpec, FusedSpec, Instr, MAggSpec, OuterOut, OuterSpec, Program, Reg, RowExecMode,
     RowOut, RowSpec,
@@ -203,7 +203,12 @@ impl<'a> ProgCompiler<'a> {
                     let (r, c) = self.cplan.side_dims[*side];
                     let len = r.max(c);
                     let v = self.vreg(len);
-                    self.prog.instrs.push(Instr::LoadSideRow { out: v, side: *side, cl: 0, cu: len });
+                    self.prog.instrs.push(Instr::LoadSideRow {
+                        out: v,
+                        side: *side,
+                        cl: 0,
+                        cu: len,
+                    });
                     Class::Vector(v, len)
                 }
                 CNode::Unary { op, a } => match self.classes[a] {
@@ -506,7 +511,8 @@ fn javac_like_verification(cplan: &CPlan, source: &str, spec: &FusedSpec, opts: 
         }
         assert_eq!(depth, 0, "unbalanced braces in generated source");
         // Re-compilation + structural equivalence check.
-        let respec = compile_spec(cplan, &CodegenOptions { backend: CompilerBackend::Janino, ..*opts });
+        let respec =
+            compile_spec(cplan, &CodegenOptions { backend: CompilerBackend::Janino, ..*opts });
         assert_eq!(&respec, spec, "recompilation must be deterministic");
     }
     // The token count is intentionally unused beyond forcing the work.

@@ -85,9 +85,13 @@ pub enum RowOutKind {
 pub enum OuterOutKind {
     FullAgg,
     /// `out[i,:] += w * S[j,:]` with an m×r side `S` (right mm).
-    RightMM { side: usize },
+    RightMM {
+        side: usize,
+    },
     /// `out[j,:] += w * S[i,:]` with an n×r side `S` (left mm).
-    LeftMM { side: usize },
+    LeftMM {
+        side: usize,
+    },
     NoAgg,
 }
 
@@ -467,7 +471,8 @@ impl<'a> CellBuilder<'a> {
                 && ih.size.cols == self.iter_cols
                 && !matches!(ih.kind, OpKind::Literal { .. })
             {
-                let better = best.is_none() || ih.size.sparsity < dag.hop(best.unwrap()).size.sparsity;
+                let better =
+                    best.is_none() || ih.size.sparsity < dag.hop(best.unwrap()).size.sparsity;
                 if better {
                     *best = Some(id);
                 }
@@ -532,12 +537,7 @@ impl<'a> CellBuilder<'a> {
         Ok(n)
     }
 
-    fn child(
-        &mut self,
-        h: HopId,
-        j: usize,
-        main: Option<HopId>,
-    ) -> Result<NodeId, ConstructError> {
+    fn child(&mut self, h: HopId, j: usize, main: Option<HopId>) -> Result<NodeId, ConstructError> {
         let input = self.st.dag.hop(h).inputs[j];
         if self.st.fused_input(h, j) && self.st.is_covered(input) {
             self.translate(input, main)
@@ -738,12 +738,7 @@ impl<'a> OuterBuilder<'a> {
         Ok(n)
     }
 
-    fn child(
-        &mut self,
-        h: HopId,
-        j: usize,
-        main: Option<HopId>,
-    ) -> Result<NodeId, ConstructError> {
+    fn child(&mut self, h: HopId, j: usize, main: Option<HopId>) -> Result<NodeId, ConstructError> {
         let input = self.st.dag.hop(h).inputs[j];
         if self.st.fused_input(h, j) && self.st.is_covered(input) {
             self.translate(input, main)
@@ -847,9 +842,7 @@ impl<'a> RowBuilder<'a> {
                     let left = self.translate_transposed_left(l.id)?;
                     let right_raw = self.child(root.id, 1)?;
                     let out = match self.class(right_raw) {
-                        RClass::Vector(_) => {
-                            RowOutKind::OuterColAgg { left, right: right_raw }
-                        }
+                        RClass::Vector(_) => RowOutKind::OuterColAgg { left, right: right_raw },
                         RClass::Scalar => {
                             RowOutKind::ColAggMultAdd { vec: left, scalar: right_raw }
                         }
@@ -869,7 +862,7 @@ impl<'a> RowBuilder<'a> {
                 let inner = self.child(root.id, 0)?;
                 match dir {
                     AggDir::Row => {
-                        let s = self.to_scalar_agg(inner, op)?;
+                        let s = self.scalarize_agg(inner, op)?;
                         (RowOutKind::RowAgg { src: s }, self.n, 1)
                     }
                     AggDir::Col => {
@@ -877,7 +870,7 @@ impl<'a> RowBuilder<'a> {
                         (RowOutKind::ColAgg { src: v }, 1, root.size.cols)
                     }
                     AggDir::Full => {
-                        let s = self.to_scalar_agg(inner, op)?;
+                        let s = self.scalarize_agg(inner, op)?;
                         (RowOutKind::FullAgg { src: s }, 1, 1)
                     }
                 }
@@ -917,7 +910,9 @@ impl<'a> RowBuilder<'a> {
         let mut best: Option<HopId> = None;
         let consider = |id: HopId, best: &mut Option<HopId>, rows: usize| {
             let ih = dag.hop(id);
-            if ih.size.rows == rows && ih.size.cols > 1 && !matches!(ih.kind, OpKind::Literal { .. })
+            if ih.size.rows == rows
+                && ih.size.cols > 1
+                && !matches!(ih.kind, OpKind::Literal { .. })
             {
                 let better =
                     best.is_none() || ih.size.cells() > dag.hop(best.unwrap()).size.cells();
@@ -966,7 +961,7 @@ impl<'a> RowBuilder<'a> {
         }
     }
 
-    fn to_scalar_agg(&mut self, n: NodeId, op: AggOp) -> Result<NodeId, ConstructError> {
+    fn scalarize_agg(&mut self, n: NodeId, op: AggOp) -> Result<NodeId, ConstructError> {
         match self.class(n) {
             RClass::Scalar => Ok(n),
             RClass::Vector(_) => {
@@ -1077,7 +1072,7 @@ impl<'a> RowBuilder<'a> {
             }
             OpKind::Agg { op, dir: AggDir::Row } => {
                 let a = self.child(id, 0)?;
-                self.to_scalar_agg(a, op)?
+                self.scalarize_agg(a, op)?
             }
             OpKind::RightIndex { rows: _, cols } => {
                 let input = h.inputs[0];

@@ -92,8 +92,7 @@ fn create_plans(
         if Some(j) == fused_input {
             options.push(vec![InputRef::Fused(input)]);
         } else {
-            let mergeable = t.merge(dag, h, in_hop)
-                && memo.has_compatible_plan(input, t.ttype());
+            let mergeable = t.merge(dag, h, in_hop) && memo.has_compatible_plan(input, t.ttype());
             if mergeable {
                 options.push(vec![InputRef::Materialized, InputRef::Fused(input)]);
             } else {
@@ -209,11 +208,7 @@ mod tests {
         // Group 11 ba(+*): R(-1,9) R(10,-1) R(10,9) — no R(-1,-1) (no open).
         assert_eq!(
             rendered(&memo, h11),
-            vec![
-                format!("R(-1,{h9})"),
-                format!("R({h10},-1)"),
-                format!("R({h10},{h9})"),
-            ]
+            vec![format!("R(-1,{h9})"), format!("R({h10},-1)"), format!("R({h10},{h9})"),]
         );
     }
 
@@ -247,10 +242,10 @@ mod tests {
         let s = b.sum(prod);
         let dag = b.build(vec![s]);
         let memo = explore(&dag);
-        assert!(memo
-            .entries(uvt)
-            .iter()
-            .any(|e| e.ttype == TemplateType::Outer), "Outer opens at UV^T");
+        assert!(
+            memo.entries(uvt).iter().any(|e| e.ttype == TemplateType::Outer),
+            "Outer opens at UV^T"
+        );
         let sum_entries = memo.entries(s);
         assert!(
             sum_entries.iter().any(|e| e.ttype == TemplateType::Outer && e.closed),

@@ -32,5 +32,5 @@ pub mod templates;
 pub mod util;
 
 pub use memo::{InputRef, MemoEntry, MemoTable};
-pub use optimizer::{optimize, FusionMode, FusionPlan, FusedOperator, Optimizer};
+pub use optimizer::{optimize, FusedOperator, FusionMode, FusionPlan, Optimizer};
 pub use templates::TemplateType;

@@ -146,9 +146,7 @@ impl MemoTable {
     /// fusion reference (paper: "a reference from an entry to a group implies
     /// that the group contains at least one compatible fusion plan").
     pub fn has_compatible_plan(&self, id: HopId, consumer_type: TemplateType) -> bool {
-        self.entries(id)
-            .iter()
-            .any(|e| !e.closed && consumer_type.merge_compatible(e.ttype))
+        self.entries(id).iter().any(|e| !e.closed && consumer_type.merge_compatible(e.ttype))
     }
 
     /// All group ids with at least one entry.
@@ -224,9 +222,10 @@ impl MemoTable {
                 if useful.contains(&g) {
                     continue;
                 }
-                let promote = self.entries(g).iter().any(|e| {
-                    e.ttype == TemplateType::Row && e.refs().any(|r| useful.contains(&r))
-                });
+                let promote = self
+                    .entries(g)
+                    .iter()
+                    .any(|e| e.ttype == TemplateType::Row && e.refs().any(|r| useful.contains(&r)));
                 if promote {
                     useful.insert(g);
                     changed = true;
@@ -240,8 +239,7 @@ impl MemoTable {
             if useful.contains(&g) {
                 continue;
             }
-            let has_cell =
-                self.entries(g).iter().any(|e| e.ttype == TemplateType::Cell);
+            let has_cell = self.entries(g).iter().any(|e| e.ttype == TemplateType::Cell);
             if has_cell {
                 self.retain(g, |e| e.ttype != TemplateType::Row);
             }
@@ -336,10 +334,22 @@ mod tests {
         //  * C(a,y) ⊐ C(-1,y) (extra ref a, single) → C(-1,y) pruned,
         //  * C(a,y) ⋣ C(a,-1) (extra ref y, multi)  → C(a,-1) kept,
         //  * C(a,-1) ⊐ C(-1,-1) (extra ref a, single) → C(-1,-1) pruned.
-        m.add(c, MemoEntry::open(TemplateType::Cell, vec![InputRef::Fused(a), InputRef::Materialized]));
+        m.add(
+            c,
+            MemoEntry::open(TemplateType::Cell, vec![InputRef::Fused(a), InputRef::Materialized]),
+        );
         m.add(c, MemoEntry::open(TemplateType::Cell, vec![InputRef::Fused(a), InputRef::Fused(y)]));
-        m.add(c, MemoEntry::open(TemplateType::Cell, vec![InputRef::Materialized, InputRef::Fused(y)]));
-        m.add(c, MemoEntry::open(TemplateType::Cell, vec![InputRef::Materialized, InputRef::Materialized]));
+        m.add(
+            c,
+            MemoEntry::open(TemplateType::Cell, vec![InputRef::Materialized, InputRef::Fused(y)]),
+        );
+        m.add(
+            c,
+            MemoEntry::open(
+                TemplateType::Cell,
+                vec![InputRef::Materialized, InputRef::Materialized],
+            ),
+        );
         m.prune_dominated(&dag);
         let rendered: Vec<String> = m.entries(c).iter().map(|e| e.render()).collect();
         assert!(rendered.contains(&format!("C({a},{y})")), "maximal entry kept: {rendered:?}");
@@ -348,6 +358,9 @@ mod tests {
             "multi-consumer extra ref does not dominate: {rendered:?}"
         );
         assert!(!rendered.contains(&format!("C(-1,{y})")), "dominated entry pruned: {rendered:?}");
-        assert!(!rendered.contains(&"C(-1,-1)".to_string()), "dominated entry pruned: {rendered:?}");
+        assert!(
+            !rendered.contains(&"C(-1,-1)".to_string()),
+            "dominated entry pruned: {rendered:?}"
+        );
     }
 }

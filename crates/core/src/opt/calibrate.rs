@@ -72,7 +72,7 @@ mod tests {
     #[test]
     fn calibrated_model_still_ranks_fusion_correctly() {
         use crate::explore::explore;
-        use crate::opt::{partitions, cost};
+        use crate::opt::{cost, partitions};
         use crate::util::FxHashSet;
         let mut b = fusedml_hop::DagBuilder::new();
         let x = b.read("X", 1000, 1000, 1.0);

@@ -92,10 +92,7 @@ pub fn compute_costs(dag: &HopDag) -> Vec<f64> {
                     let a = dag.hop(h.inputs[0]);
                     let b = dag.hop(h.inputs[1]);
                     let sp = a.size.sparsity.min(b.size.sparsity).clamp(1e-12, 1.0);
-                    2.0 * a.size.rows as f64
-                        * a.size.cols as f64
-                        * b.size.cols as f64
-                        * sp
+                    2.0 * a.size.rows as f64 * a.size.cols as f64 * b.size.cols as f64 * sp
                 }
                 OpKind::Transpose => h.size.nnz(),
                 OpKind::Agg { .. } => dag.hop(h.inputs[0]).size.nnz(),
@@ -220,8 +217,8 @@ impl<'a> PlanCoster<'a> {
         // into Row operators, which read rows directly).
         if in_part {
             if let Some(v) = cv.as_mut() {
-                let skip = v.ttype == TemplateType::Row
-                    && self.dag.hop(hop).kind == OpKind::Transpose;
+                let skip =
+                    v.ttype == TemplateType::Row && self.dag.hop(hop).kind == OpKind::Transpose;
                 if !skip {
                     v.compute += self.compute[hop.index()];
                 }
@@ -264,8 +261,7 @@ impl<'a> PlanCoster<'a> {
         // Sparsity exploitation: Outer operators scale compute by the
         // sparsity of the main (largest) input.
         if v.ttype == TemplateType::Outer {
-            let max_cells =
-                v.inputs.values().map(|&(_, _, c)| c).fold(0.0f64, f64::max);
+            let max_cells = v.inputs.values().map(|&(_, _, c)| c).fold(0.0f64, f64::max);
             let driver_sp = v
                 .inputs
                 .values()
@@ -288,11 +284,7 @@ impl<'a> PlanCoster<'a> {
             return 0.0;
         }
         let t_c = self.compute[hop.index()] / self.model.compute_bw;
-        let inputs: Vec<f64> = h
-            .inputs
-            .iter()
-            .map(|&i| self.dag.hop(i).size.bytes())
-            .collect();
+        let inputs: Vec<f64> = h.inputs.iter().map(|&i| self.dag.hop(i).size.bytes()).collect();
         self.io_cost(h.size.bytes(), inputs.into_iter(), t_c)
     }
 
@@ -401,8 +393,8 @@ pub fn static_parts(
     compute: &[f64],
     model: &CostModel,
 ) -> StaticCosts {
-    let input_reads: f64 = part.inputs.iter().map(|&i| dag.hop(i).size.bytes()).sum::<f64>()
-        / model.read_bw;
+    let input_reads: f64 =
+        part.inputs.iter().map(|&i| dag.hop(i).size.bytes()).sum::<f64>() / model.read_bw;
     let min_compute: f64 = part
         .nodes
         .iter()
@@ -416,18 +408,13 @@ pub fn static_parts(
         })
         .sum::<f64>()
         / model.compute_bw;
-    let root_writes: f64 = part.roots.iter().map(|&r| dag.hop(r).size.bytes()).sum::<f64>()
-        / model.write_bw;
+    let root_writes: f64 =
+        part.roots.iter().map(|&r| dag.hop(r).size.bytes()).sum::<f64>() / model.write_bw;
     StaticCosts { root_writes, input_reads, min_compute }
 }
 
 /// Convenience: the assignment-independent part of the lower bound.
-pub fn static_costs(
-    dag: &HopDag,
-    part: &PlanPartition,
-    compute: &[f64],
-    model: &CostModel,
-) -> f64 {
+pub fn static_costs(dag: &HopDag, part: &PlanPartition, compute: &[f64], model: &CostModel) -> f64 {
     static_parts(dag, part, compute, model).lower_bound(0.0, 0.0)
 }
 
@@ -493,10 +480,7 @@ mod tests {
         // (pure base execution).
         let empty = MemoTable::new();
         let c_base = cost_of(&dag, &empty, &parts[0], &fuse_all);
-        assert!(
-            c_fused < c_base * 0.8,
-            "fused {c_fused} must beat base {c_base} clearly"
-        );
+        assert!(c_fused < c_base * 0.8, "fused {c_fused} must beat base {c_base} clearly");
     }
 
     /// Redundant compute appears when a shared intermediate is fused into
@@ -517,12 +501,8 @@ mod tests {
         assert_eq!(parts.len(), 1);
         let part = &parts[0];
         // Find the interesting points for the shared node's consumer edges.
-        let shared_pts: Vec<InterestingPoint> = part
-            .interesting
-            .iter()
-            .copied()
-            .filter(|p| p.target == shared)
-            .collect();
+        let shared_pts: Vec<InterestingPoint> =
+            part.interesting.iter().copied().filter(|p| p.target == shared).collect();
         assert_eq!(shared_pts.len(), 2);
         let fuse_all = FxHashSet::default();
         let c_redundant = cost_of(&dag, &memo, part, &fuse_all);
@@ -625,10 +605,7 @@ mod tests {
             let lb = stat.lower_bound(mw, mr);
             let actual = PlanCoster::new(&dag, &memo, part, &compute, &model, &mat)
                 .partition_cost(f64::INFINITY);
-            assert!(
-                lb <= actual * 1.0001,
-                "lower bound {lb} must not exceed actual {actual}"
-            );
+            assert!(lb <= actual * 1.0001, "lower bound {lb} must not exceed actual {actual}");
         }
     }
 }

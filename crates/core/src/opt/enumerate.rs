@@ -114,7 +114,13 @@ struct EnumState<'a> {
 impl<'a> EnumState<'a> {
     /// Costs one assignment (given in `order` space along with any fixed
     /// points), with partial-costing abort at `upper`.
-    fn cost_assignment(&mut self, order: &[usize], q: &[bool], fixed: &[(usize, bool)], upper: f64) -> f64 {
+    fn cost_assignment(
+        &mut self,
+        order: &[usize],
+        q: &[bool],
+        fixed: &[(usize, bool)],
+        upper: f64,
+    ) -> f64 {
         let mut materialized: FxHashSet<InterestingPoint> = FxHashSet::default();
         for (&pt_ix, &on) in order.iter().zip(q.iter()) {
             if on {
@@ -267,9 +273,8 @@ fn plan_order(dag: &HopDag, part: &PlanPartition) -> (Vec<usize>, Option<CutSet>
     let mut targets: Vec<HopId> = part.interesting.iter().map(|p| p.target).collect();
     targets.sort_unstable();
     targets.dedup();
-    let composite = |t: HopId| -> Vec<usize> {
-        (0..n).filter(|&i| part.interesting[i].target == t).collect()
-    };
+    let composite =
+        |t: HopId| -> Vec<usize> { (0..n).filter(|&i| part.interesting[i].target == t).collect() };
     let mut candidates: Vec<Vec<usize>> = targets.iter().map(|&t| composite(t)).collect();
     let pairs: Vec<Vec<usize>> = {
         let mut v = Vec::new();
@@ -284,7 +289,9 @@ fn plan_order(dag: &HopDag, part: &PlanPartition) -> (Vec<usize>, Option<CutSet>
     };
     candidates.extend(pairs);
 
-    let mut best: Option<(f64, Vec<usize>, Vec<usize>, Vec<usize>)> = None;
+    // (score, cutset, left split, right split)
+    type BestSplit = (f64, Vec<usize>, Vec<usize>, Vec<usize>);
+    let mut best: Option<BestSplit> = None;
     for cs in candidates {
         if cs.len() >= n {
             continue;
@@ -326,8 +333,7 @@ fn split_by_cutset(
     cs: &[usize],
 ) -> Option<(Vec<usize>, Vec<usize>)> {
     let part_set: FxHashSet<HopId> = part.nodes.iter().copied().collect();
-    let cut_targets: FxHashSet<HopId> =
-        cs.iter().map(|&i| part.interesting[i].target).collect();
+    let cut_targets: FxHashSet<HopId> = cs.iter().map(|&i| part.interesting[i].target).collect();
     // S1: nodes reachable from partition roots without descending through
     // cut targets.
     let mut top: FxHashSet<HopId> = FxHashSet::default();
@@ -366,8 +372,11 @@ fn split_by_cutset(
             continue;
         }
         let p = part.interesting[i];
-        let in_top = top.contains(&p.consumer) && !cut_targets.contains(&p.target) && top.contains(&p.target);
-        let in_bottom = bottom.contains(&p.consumer) || (bottom.contains(&p.target) && !top.contains(&p.consumer));
+        let in_top = top.contains(&p.consumer)
+            && !cut_targets.contains(&p.target)
+            && top.contains(&p.target);
+        let in_bottom = bottom.contains(&p.consumer)
+            || (bottom.contains(&p.target) && !top.contains(&p.consumer));
         match (in_top, in_bottom) {
             (true, false) => s1.push(i),
             (false, true) => s2.push(i),
@@ -476,10 +485,8 @@ mod tests {
             &dag,
             EnumConfig { cost_prune: false, structural_prune: false, max_eval: u64::MAX },
         );
-        let (pruned, _) = run(
-            &dag,
-            EnumConfig { cost_prune: true, structural_prune: false, max_eval: u64::MAX },
-        );
+        let (pruned, _) =
+            run(&dag, EnumConfig { cost_prune: true, structural_prune: false, max_eval: u64::MAX });
         assert!(n >= 3, "need a real search space, got {n}");
         assert!(
             pruned.evaluated < full.evaluated,
@@ -493,10 +500,8 @@ mod tests {
     #[test]
     fn max_eval_caps_work() {
         let dag = shared_dag();
-        let (r, _) = run(
-            &dag,
-            EnumConfig { cost_prune: false, structural_prune: false, max_eval: 2 },
-        );
+        let (r, _) =
+            run(&dag, EnumConfig { cost_prune: false, structural_prune: false, max_eval: 2 });
         assert!(r.evaluated <= 2);
         assert!(r.cost.is_finite());
     }

@@ -15,10 +15,7 @@ pub fn fuse_all(part: &PlanPartition) -> Vec<bool> {
 /// multiple consumers. "Similar to caching policies in Emma."
 pub fn fuse_no_redundancy(dag: &HopDag, part: &PlanPartition) -> Vec<bool> {
     let counts = dag.consumer_counts();
-    part.interesting
-        .iter()
-        .map(|p| counts[p.target.index()] > 1)
-        .collect()
+    part.interesting.iter().map(|p| counts[p.target.index()] > 1).collect()
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ pub fn partitions(dag: &HopDag, memo: &MemoTable) -> Vec<PlanPartition> {
     let index: FxHashMap<HopId, usize> =
         group_ids.iter().enumerate().map(|(i, &g)| (g, i)).collect();
     let mut parent: Vec<usize> = (0..group_ids.len()).collect();
-    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+    fn find(parent: &mut [usize], i: usize) -> usize {
         let mut i = i;
         while parent[i] != i {
             parent[i] = parent[parent[i]];
@@ -147,8 +147,7 @@ fn build_partition(
             //     fusible dependency (input referenced by some entry at g).
             let fusible = memo.entries(g).iter().any(|e| e.refs().any(|r| r == input));
             let is_switch = fusible && {
-                let tin: Vec<TemplateType> =
-                    memo.entries(input).iter().map(|e| e.ttype).collect();
+                let tin: Vec<TemplateType> = memo.entries(input).iter().map(|e| e.ttype).collect();
                 let tg: Vec<TemplateType> = memo.entries(g).iter().map(|e| e.ttype).collect();
                 tin.iter().any(|t| !tg.contains(t))
             };
@@ -217,12 +216,8 @@ mod tests {
         assert_eq!(parts.len(), 1, "connected through the shared node");
         let p = &parts[0];
         assert!(p.mat_points.contains(&shared), "shared mult is a mat point");
-        let consumers: Vec<HopId> = p
-            .interesting
-            .iter()
-            .filter(|ip| ip.target == shared)
-            .map(|ip| ip.consumer)
-            .collect();
+        let consumers: Vec<HopId> =
+            p.interesting.iter().filter(|ip| ip.target == shared).map(|ip| ip.consumer).collect();
         assert_eq!(consumers.len(), 2, "one interesting point per consumer edge");
     }
 

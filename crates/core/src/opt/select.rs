@@ -114,11 +114,8 @@ fn extract_operators(
         let best = pick_best_entry(memo, root, None, materialized);
         match best {
             Some(entry) if entry.ref_count() > 0 => {
-                let mut plan = OperatorPlan {
-                    root,
-                    ttype: entry.ttype,
-                    entries: FxHashMap::default(),
-                };
+                let mut plan =
+                    OperatorPlan { root, ttype: entry.ttype, entries: FxHashMap::default() };
                 let mut frontier: Vec<HopId> = Vec::new();
                 collect(dag, memo, root, entry, materialized, &mut plan, &mut frontier);
                 // Refs can degrade to materialized when the assignment
@@ -318,15 +315,16 @@ mod tests {
             SelectionPolicy::CostBased(EnumConfig::default()),
             &CostModel::default(),
         );
-        let root_op = r
-            .operators
-            .iter()
-            .find(|o| o.root == h11)
-            .expect("operator at the final matmult");
+        let root_op =
+            r.operators.iter().find(|o| o.root == h11).expect("operator at the final matmult");
         assert_eq!(root_op.ttype, TemplateType::Row);
         // The Q intermediate (h6) has two consumers; the optimal plan for
         // this size fuses everything into one pass (single-pass over X).
-        assert!(root_op.entries.len() >= 4, "covers a multi-op chain: {:?}", root_op.entries.keys());
+        assert!(
+            root_op.entries.len() >= 4,
+            "covers a multi-op chain: {:?}",
+            root_op.entries.keys()
+        );
     }
 
     #[test]

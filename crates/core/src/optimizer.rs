@@ -119,12 +119,8 @@ impl Optimizer {
         let sel = select_plans(dag, &memo, policy, &self.model);
         self.stats.add_plans_evaluated(sel.plans_evaluated);
         self.stats.partitions.fetch_add(sel.partitions, Ordering::Relaxed);
-        self.stats
-            .interesting_points
-            .fetch_add(sel.interesting_points, Ordering::Relaxed);
-        self.stats
-            .optimize_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.stats.interesting_points.fetch_add(sel.interesting_points, Ordering::Relaxed);
+        self.stats.optimize_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
         // Phases 3-4: CPlan construction + code generation (plan cache).
         let t1 = Instant::now();
@@ -167,9 +163,7 @@ impl Optimizer {
                 }
             }
         }
-        self.stats
-            .codegen_nanos
-            .fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.stats.codegen_nanos.fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
         plan
     }
 

@@ -55,8 +55,7 @@ impl PlanCache {
         let n = self.name_counter.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
         let op = Arc::new(generate(cplan, &format!("TMP{n}"), opts));
-        self.compile_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.compile_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.map.lock().insert(key, Arc::clone(&op));
         op
     }
@@ -92,7 +91,7 @@ impl PlanCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cplan::{CellAggKind, CNode, CPlan, OutputSpec};
+    use crate::cplan::{CNode, CPlan, CellAggKind, OutputSpec};
     use crate::templates::TemplateType;
     use fusedml_linalg::ops::{AggOp, BinaryOp};
 

@@ -274,8 +274,7 @@ pub fn eval_scalar_program(
                 regs[out as usize] = op.apply(regs[a as usize], regs[b as usize])
             }
             Instr::Ternary { out, op, a, b, c } => {
-                regs[out as usize] =
-                    op.apply(regs[a as usize], regs[b as usize], regs[c as usize])
+                regs[out as usize] = op.apply(regs[a as usize], regs[b as usize], regs[c as usize])
             }
             _ => panic!("vector instruction in scalar program: {ins:?}"),
         }
@@ -337,11 +336,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "vector instruction in scalar program")]
     fn vector_instr_rejected_in_scalar_eval() {
-        let prog = Program {
-            instrs: vec![Instr::LoadMainRow { out: 0 }],
-            n_regs: 0,
-            vreg_lens: vec![4],
-        };
+        let prog =
+            Program { instrs: vec![Instr::LoadMainRow { out: 0 }], n_regs: 0, vreg_lens: vec![4] };
         let mut regs = vec![];
         eval_scalar_program(&prog, &mut regs, 0.0, 0.0, &no_sides, &[]);
     }

@@ -10,10 +10,8 @@ pub struct CellTemplate;
 
 /// True if `h` is a cell-wise map operation with a non-scalar output.
 fn is_cellwise(h: &Hop) -> bool {
-    matches!(
-        h.kind,
-        OpKind::Unary { .. } | OpKind::Binary { .. } | OpKind::Ternary { .. }
-    ) && shape::is_non_scalar(h)
+    matches!(h.kind, OpKind::Unary { .. } | OpKind::Binary { .. } | OpKind::Ternary { .. })
+        && shape::is_non_scalar(h)
 }
 
 impl FusionTemplate for CellTemplate {

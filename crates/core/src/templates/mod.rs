@@ -132,10 +132,8 @@ pub(crate) mod shape {
 
     /// True when `b` broadcasts cell-wise against `a`'s geometry.
     pub fn broadcast_compatible(a: &Hop, b: &Hop) -> bool {
-        (b.size.rows == a.size.rows && b.size.cols == a.size.cols)
-            || (b.size.rows == a.size.rows && b.size.cols == 1)
-            || (b.size.rows == 1 && b.size.cols == a.size.cols)
-            || is_scalar(b)
+        (b.size.rows == a.size.rows || b.size.rows == 1)
+            && (b.size.cols == a.size.cols || b.size.cols == 1)
     }
 }
 

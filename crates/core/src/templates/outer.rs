@@ -27,7 +27,7 @@ fn is_outer_product(dag: &HopDag, h: &Hop) -> Option<(HopId, HopId)> {
     let vt = dag.hop(h.inputs[1]);
     let rank = u.size.cols;
     let plane_ok = h.size.rows > rank && h.size.cols > rank && h.size.cells() >= OUTER_MIN_CELLS;
-    (rank <= OUTER_MAX_RANK && rank >= 1 && plane_ok).then_some((u.id, vt.id))
+    ((1..=OUTER_MAX_RANK).contains(&rank) && plane_ok).then_some((u.id, vt.id))
 }
 
 /// Cell-wise op over the same plane geometry as `input`.
@@ -62,7 +62,8 @@ impl FusionTemplate for OuterTemplate {
                 if !is_plane_cellwise(h, input) {
                     return false;
                 }
-                let other = dag.hop(if h.inputs[0] == input.id { h.inputs[1] } else { h.inputs[0] });
+                let other =
+                    dag.hop(if h.inputs[0] == input.id { h.inputs[1] } else { h.inputs[0] });
                 let other_scalar = other.size.rows == 1 && other.size.cols == 1;
                 other_scalar || op.sparse_safe_left() || op == fusedml_linalg::ops::BinaryOp::Neq
             }

@@ -16,10 +16,8 @@ pub struct RowTemplate;
 
 /// Cell-wise map over a proper matrix (rows>1, cols>1): row-representable.
 fn is_rowwise_cellwise(h: &Hop) -> bool {
-    matches!(
-        h.kind,
-        OpKind::Unary { .. } | OpKind::Binary { .. } | OpKind::Ternary { .. }
-    ) && shape::is_matrix(h)
+    matches!(h.kind, OpKind::Unary { .. } | OpKind::Binary { .. } | OpKind::Ternary { .. })
+        && shape::is_matrix(h)
 }
 
 /// `mm(X, V)` with a skinny right-hand side and a non-transpose left input:

@@ -26,11 +26,7 @@ struct RandomDag {
 }
 
 fn dag_strategy() -> impl Strategy<Value = RandomDag> {
-    (
-        proptest::collection::vec((0u8..8, 0u8..16, 0u8..16), 2..12),
-        100usize..2000,
-        10usize..100,
-    )
+    (proptest::collection::vec((0u8..8, 0u8..16, 0u8..16), 2..12), 100usize..2000, 10usize..100)
         .prop_map(|(ops, rows, cols)| RandomDag { ops, rows, cols })
 }
 

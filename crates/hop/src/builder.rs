@@ -79,18 +79,13 @@ impl DagBuilder {
     pub fn binary(&mut self, op: BinaryOp, a: HopId, b: HopId) -> HopId {
         let sa = self.size_of(a);
         let sb = self.size_of(b);
-        let (rows, cols) = if sa.cells() >= sb.cells() {
-            (sa.rows, sa.cols)
-        } else {
-            (sb.rows, sb.cols)
-        };
+        let (rows, cols) =
+            if sa.cells() >= sb.cells() { (sa.rows, sa.cols) } else { (sb.rows, sb.cols) };
         // Broadcast legality mirrors ops::resolve_broadcast; checked here so
         // shape errors surface at build time.
         let compat = |big: SizeInfo, small: SizeInfo| {
-            (small.rows == big.rows && small.cols == big.cols)
-                || (small.rows == big.rows && small.cols == 1)
-                || (small.rows == 1 && small.cols == big.cols)
-                || (small.rows == 1 && small.cols == 1)
+            (small.rows == big.rows || small.rows == 1)
+                && (small.cols == big.cols || small.cols == 1)
         };
         let (big, small) = if sa.cells() >= sb.cells() { (sa, sb) } else { (sb, sa) };
         assert!(

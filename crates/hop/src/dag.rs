@@ -35,7 +35,12 @@ impl HopDag {
     }
 
     /// Adds a node; used by the builder. Inputs must already exist.
-    pub(crate) fn push(&mut self, kind: OpKind, inputs: Vec<HopId>, size: crate::SizeInfo) -> HopId {
+    pub(crate) fn push(
+        &mut self,
+        kind: OpKind,
+        inputs: Vec<HopId>,
+        size: crate::SizeInfo,
+    ) -> HopId {
         debug_assert!(inputs.iter().all(|i| i.index() < self.hops.len()));
         debug_assert_eq!(inputs.len(), kind.arity(), "arity mismatch for {kind:?}");
         let id = HopId(self.hops.len() as u32);

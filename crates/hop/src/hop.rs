@@ -34,10 +34,7 @@ pub enum OpKind {
     CumAgg { op: AggOp },
     /// Right indexing `rix` with static half-open ranges; `None` keeps the
     /// full extent of that dimension.
-    RightIndex {
-        rows: Option<(usize, usize)>,
-        cols: Option<(usize, usize)>,
-    },
+    RightIndex { rows: Option<(usize, usize)>, cols: Option<(usize, usize)> },
     /// Column binding `cbind`.
     CBind,
     /// Row binding `rbind`.

@@ -32,24 +32,14 @@ pub fn interpret_all(dag: &HopDag, bindings: &Bindings) -> Vec<Option<Value>> {
 /// Executes the DAG and returns the root values in root order.
 pub fn interpret(dag: &HopDag, bindings: &Bindings) -> Vec<Value> {
     let vals = interpret_all(dag, bindings);
-    dag.roots()
-        .iter()
-        .map(|r| vals[r.index()].clone().expect("root evaluated"))
-        .collect()
+    dag.roots().iter().map(|r| vals[r.index()].clone().expect("root evaluated")).collect()
 }
 
 /// Evaluates a single operator given already-computed input values.
-pub fn eval_op(
-    dag: &HopDag,
-    id: HopId,
-    vals: &[Option<Value>],
-    bindings: &Bindings,
-) -> Value {
+pub fn eval_op(dag: &HopDag, id: HopId, vals: &[Option<Value>], bindings: &Bindings) -> Value {
     let h = dag.hop(id);
     let input = |j: usize| -> &Value {
-        vals[h.inputs[j].index()]
-            .as_ref()
-            .expect("inputs evaluated before consumers")
+        vals[h.inputs[j].index()].as_ref().expect("inputs evaluated before consumers")
     };
     match &h.kind {
         OpKind::Read { name } => {
@@ -105,12 +95,8 @@ pub fn eval_op(
             let cc = cols.map(|(a, b)| a..b).unwrap_or(0..m.cols());
             Value::Matrix(lops::index_range(&m, rr, cc))
         }
-        OpKind::CBind => {
-            Value::Matrix(lops::cbind(&input(0).as_matrix(), &input(1).as_matrix()))
-        }
-        OpKind::RBind => {
-            Value::Matrix(lops::rbind(&input(0).as_matrix(), &input(1).as_matrix()))
-        }
+        OpKind::CBind => Value::Matrix(lops::cbind(&input(0).as_matrix(), &input(1).as_matrix())),
+        OpKind::RBind => Value::Matrix(lops::rbind(&input(0).as_matrix(), &input(1).as_matrix())),
         OpKind::Diag => Value::Matrix(lops::diag(&input(0).as_matrix())),
     }
 }

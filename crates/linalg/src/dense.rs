@@ -175,14 +175,8 @@ impl fmt::Debug for DenseMatrix {
         let show_rows = self.rows.min(8);
         for r in 0..show_rows {
             let row = self.row(r);
-            let shown: Vec<String> =
-                row.iter().take(8).map(|v| format!("{v:.4}")).collect();
-            writeln!(
-                f,
-                "  [{}{}]",
-                shown.join(", "),
-                if self.cols > 8 { ", …" } else { "" }
-            )?;
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            writeln!(f, "  [{}{}]", shown.join(", "), if self.cols > 8 { ", …" } else { "" })?;
         }
         if self.rows > show_rows {
             writeln!(f, "  …")?;

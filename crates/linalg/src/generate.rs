@@ -36,13 +36,7 @@ pub fn rand_matrix(
     let mut rng = StdRng::seed_from_u64(seed);
     if sparsity > crate::matrix::SPARSE_THRESHOLD {
         let data: Vec<f64> = (0..rows * cols)
-            .map(|_| {
-                if rng.gen::<f64>() < sparsity {
-                    rng.gen_range(min..max)
-                } else {
-                    0.0
-                }
-            })
+            .map(|_| if rng.gen::<f64>() < sparsity { rng.gen_range(min..max) } else { 0.0 })
             .collect();
         return Matrix::dense(DenseMatrix::new(rows, cols, data));
     }

@@ -75,9 +75,7 @@ pub fn binary(a: &Matrix, b: &Matrix, op: BinaryOp) -> Matrix {
     let bc = resolve_broadcast(rows, cols, b);
 
     match (a, bc) {
-        (Matrix::Sparse(sa), _) if op.sparse_safe_left() => {
-            sparse_left_driver(sa, b, bc, op)
-        }
+        (Matrix::Sparse(sa), _) if op.sparse_safe_left() => sparse_left_driver(sa, b, bc, op),
         (Matrix::Sparse(sa), Broadcast::Cellwise) if b.is_sparse() && op.zero_zero_is_zero() => {
             sparse_sparse_merge(sa, b.as_sparse(), op)
         }
@@ -240,11 +238,7 @@ mod tests {
 
     #[test]
     fn sparse_mult_stays_sparse() {
-        let a = Matrix::sparse(SparseMatrix::from_triples(
-            3,
-            3,
-            vec![(0, 0, 2.0), (2, 2, 3.0)],
-        ));
+        let a = Matrix::sparse(SparseMatrix::from_triples(3, 3, vec![(0, 0, 2.0), (2, 2, 3.0)]));
         let b = dm(&[&[5.0, 1.0, 1.0], &[1.0, 1.0, 1.0], &[1.0, 1.0, 7.0]]);
         let c = binary(&a, &b, BinaryOp::Mult);
         assert!(c.is_sparse());

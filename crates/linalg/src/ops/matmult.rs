@@ -249,8 +249,7 @@ mod tests {
         let x = rnd_dense(12, 5, 7);
         let y = rnd_dense(12, 2, 8);
         let expect = tsmm_left(&Matrix::dense(x.clone()), &Matrix::dense(y.clone()));
-        let got =
-            tsmm_left(&Matrix::sparse(SparseMatrix::from_dense(&x)), &Matrix::dense(y));
+        let got = tsmm_left(&Matrix::sparse(SparseMatrix::from_dense(&x)), &Matrix::dense(y));
         assert!(got.approx_eq(&expect, 1e-10));
     }
 

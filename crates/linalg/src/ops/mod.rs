@@ -319,13 +319,7 @@ pub fn resolve_broadcast(rows: usize, cols: usize, m: &Matrix) -> Broadcast {
     } else if m.rows() == 1 && m.cols() == cols {
         Broadcast::RowVector
     } else {
-        panic!(
-            "incompatible shapes for broadcast: {}x{} vs {}x{}",
-            rows,
-            cols,
-            m.rows(),
-            m.cols()
-        )
+        panic!("incompatible shapes for broadcast: {}x{} vs {}x{}", rows, cols, m.rows(), m.cols())
     }
 }
 

@@ -16,9 +16,7 @@ pub fn num_threads() -> usize {
     if n != 0 {
         return n;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// Overrides the degree of parallelism used by all parallel kernels
@@ -132,8 +130,8 @@ mod tests {
         let n = 100_000;
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         par_range(n, 1, |lo, hi| {
-            for i in lo..hi {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[lo..hi] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));

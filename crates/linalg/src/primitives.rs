@@ -140,8 +140,8 @@ pub fn vect_sum(a: &[f64], ai: usize, len: usize) -> f64 {
         acc3 += a[base + 3];
     }
     let mut acc = acc0 + acc1 + acc2 + acc3;
-    for i in chunks * 4..len {
-        acc += a[i];
+    for &v in &a[chunks * 4..] {
+        acc += v;
     }
     acc
 }
@@ -175,6 +175,7 @@ pub fn vect_min(a: &[f64], ai: usize, len: usize) -> f64 {
 /// row-major `m×n` output block; used by Row-template column aggregations
 /// (`vectOuterMultAdd`).
 #[inline]
+#[allow(clippy::too_many_arguments)] // mirrors SystemML's LibSpoofPrimitives (array, offset, length) calling convention
 pub fn vect_outer_mult_add(
     a: &[f64],
     b: &[f64],

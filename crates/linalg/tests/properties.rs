@@ -9,11 +9,8 @@ use proptest::prelude::*;
 /// formats are exercised meaningfully.
 fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = DenseMatrix> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(
-            prop_oneof![3 => Just(0.0), 2 => -5.0..5.0f64],
-            r * c,
-        )
-        .prop_map(move |data| DenseMatrix::new(r, c, data))
+        proptest::collection::vec(prop_oneof![3 => Just(0.0), 2 => -5.0..5.0f64], r * c)
+            .prop_map(move |data| DenseMatrix::new(r, c, data))
     })
 }
 
@@ -116,7 +113,7 @@ proptest! {
     fn indexing_matches_cellwise(a in matrix_strategy(10)) {
         let (ad, asp) = both_formats(&a);
         let (r, c) = (a.rows(), a.cols());
-        let rr = 0..(r + 1) / 2;
+        let rr = 0..r.div_ceil(2);
         let cc = (c / 2)..c;
         if !rr.is_empty() && !cc.is_empty() {
             let i1 = ops::index_range(&ad, rr.clone(), cc.clone());

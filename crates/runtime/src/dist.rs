@@ -83,16 +83,11 @@ pub fn execute_dist(
     let mut report = DistReport::default();
     let mut vals: Vec<Option<Value>> = vec![None; dag.len()];
     for &root in dag.roots() {
-        materialize(
-            exec, dag, &plan, &op_roots, bindings, cluster, &mut vals, &mut report, root,
-        );
+        materialize(dag, &plan, &op_roots, bindings, cluster, &mut vals, &mut report, root);
     }
     report.sim_seconds = report.compute_seconds + report.network_seconds;
-    let outs = dag
-        .roots()
-        .iter()
-        .map(|r| vals[r.index()].clone().expect("root computed"))
-        .collect();
+    let outs =
+        dag.roots().iter().map(|r| vals[r.index()].clone().expect("root computed")).collect();
     (outs, report)
 }
 
@@ -103,9 +98,8 @@ fn bytes_of(v: &Value) -> f64 {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // threads the whole simulated-execution state through the recursion
 fn materialize(
-    exec: &Executor,
     dag: &HopDag,
     plan: &FusionPlan,
     op_roots: &FxHashMap<HopId, (usize, usize)>,
@@ -126,7 +120,7 @@ fn materialize(
         input_hops.extend(f.cplan.sides.iter());
         input_hops.extend(f.cplan.scalars.iter());
         for &i in &input_hops {
-            materialize(exec, dag, plan, op_roots, bindings, cluster, vals, report, i);
+            materialize(dag, plan, op_roots, bindings, cluster, vals, report, i);
         }
         let t0 = Instant::now();
         // Execute via the executor's operator runner by delegating to
@@ -134,12 +128,8 @@ fn materialize(
         // inline the same gather logic here.
         let get_matrix = |h: HopId| vals[h.index()].as_ref().expect("input").as_matrix();
         let main_val = f.cplan.main.map(get_matrix);
-        let sides: Vec<crate::side::SideInput> = f
-            .cplan
-            .sides
-            .iter()
-            .map(|&h| crate::side::SideInput::bind(&get_matrix(h)))
-            .collect();
+        let sides: Vec<crate::side::SideInput> =
+            f.cplan.sides.iter().map(|&h| crate::side::SideInput::bind(&get_matrix(h))).collect();
         let scalars: Vec<f64> = f
             .cplan
             .scalars
@@ -160,7 +150,10 @@ fn materialize(
             cluster,
             report,
             wall,
-            &input_hops.iter().map(|&h| bytes_of(vals[h.index()].as_ref().unwrap())).collect::<Vec<_>>(),
+            &input_hops
+                .iter()
+                .map(|&h| bytes_of(vals[h.index()].as_ref().unwrap()))
+                .collect::<Vec<_>>(),
             outs.iter().map(|m| m.size_in_bytes() as f64).sum(),
         );
         for (slot, &r) in f.roots.iter().enumerate() {
@@ -177,7 +170,7 @@ fn materialize(
     // Basic operator.
     let inputs = dag.hop(hop).inputs.clone();
     for &i in &inputs {
-        materialize(exec, dag, plan, op_roots, bindings, cluster, vals, report, i);
+        materialize(dag, plan, op_roots, bindings, cluster, vals, report, i);
     }
     let t0 = Instant::now();
     let v = interp::eval_op(dag, hop, vals, bindings);
@@ -253,11 +246,7 @@ mod tests {
         let exec = Executor::new(FusionMode::GenFA);
         let (outs, report) = execute_dist(&exec, &dag, &bindings, &cluster);
         let base = Executor::new(FusionMode::Base).execute(&dag, &bindings);
-        assert!(fusedml_linalg::approx_eq(
-            outs[0].as_scalar(),
-            base[0].as_scalar(),
-            1e-9
-        ));
+        assert!(fusedml_linalg::approx_eq(outs[0].as_scalar(), base[0].as_scalar(), 1e-9));
         assert!(report.dist_ops >= 1);
         assert!(report.broadcasts >= 1, "vector side input must broadcast");
         assert!(report.network_seconds > 0.0);

@@ -118,10 +118,7 @@ impl Executor {
         for &root in dag.roots() {
             self.materialize(dag, plan, &op_roots, bindings, &mut vals, root);
         }
-        dag.roots()
-            .iter()
-            .map(|r| vals[r.index()].clone().expect("root computed"))
-            .collect()
+        dag.roots().iter().map(|r| vals[r.index()].clone().expect("root computed")).collect()
     }
 
     /// Lazily computes the value of `hop`, preferring its fused operator.
@@ -208,10 +205,7 @@ impl Executor {
 pub fn dag_structural_hash(dag: &HopDag) -> u64 {
     let mut s = String::with_capacity(dag.len() * 16);
     for h in dag.iter() {
-        s.push_str(&format!(
-            "{:?}|{:?}|{}x{};",
-            h.kind, h.inputs, h.size.rows, h.size.cols
-        ));
+        s.push_str(&format!("{:?}|{:?}|{}x{};", h.kind, h.inputs, h.size.rows, h.size.cols));
     }
     s.push_str(&format!("{:?}", dag.roots()));
     fusedml_core::util::fx_hash(&s)
@@ -330,12 +324,7 @@ mod tests {
             ("Z", generate::rand_dense(150, 150, -1.0, 1.0, 13)),
         ]);
         let reference = Executor::new(FusionMode::Base).execute(&dag, &bindings)[0].as_scalar();
-        for mode in [
-            FusionMode::Fused,
-            FusionMode::Gen,
-            FusionMode::GenFA,
-            FusionMode::GenFNR,
-        ] {
+        for mode in [FusionMode::Fused, FusionMode::Gen, FusionMode::GenFA, FusionMode::GenFNR] {
             let out = Executor::new(mode).execute(&dag, &bindings)[0].as_scalar();
             assert!(
                 fusedml_linalg::approx_eq(out, reference, 1e-9),
@@ -385,10 +374,7 @@ mod tests {
         for mode in [FusionMode::Gen, FusionMode::GenFA, FusionMode::GenFNR] {
             let out = Executor::new(mode).execute(&dag, &bindings);
             for (o, e) in out.iter().zip(&base) {
-                assert!(
-                    fusedml_linalg::approx_eq(o.as_scalar(), e.as_scalar(), 1e-9),
-                    "{mode:?}"
-                );
+                assert!(fusedml_linalg::approx_eq(o.as_scalar(), e.as_scalar(), 1e-9), "{mode:?}");
             }
         }
     }

@@ -18,7 +18,7 @@ use fusedml_hop::interp::{self, Bindings};
 use fusedml_hop::{HopDag, HopId, OpKind};
 use fusedml_linalg::matrix::Value;
 use fusedml_linalg::ops::{AggDir, AggOp, BinaryOp, UnaryOp};
-use fusedml_linalg::{primitives as prim, par, DenseMatrix, Matrix};
+use fusedml_linalg::{par, primitives as prim, DenseMatrix, Matrix};
 use std::sync::atomic::Ordering;
 
 /// Interprets a DAG with hand-coded fused operators applied where patterns
@@ -38,10 +38,7 @@ pub fn interpret(dag: &HopDag, bindings: &Bindings, stats: &ExecStats) -> Vec<Va
         stats.basic_ops.fetch_add(1, Ordering::Relaxed);
         vals[h.id.index()] = Some(interp::eval_op(dag, h.id, &vals, bindings));
     }
-    dag.roots()
-        .iter()
-        .map(|r| vals[r.index()].clone().expect("root computed"))
-        .collect()
+    dag.roots().iter().map(|r| vals[r.index()].clone().expect("root computed")).collect()
 }
 
 /// Structural helpers.
@@ -49,12 +46,7 @@ fn kind(dag: &HopDag, h: HopId) -> &OpKind {
     &dag.hop(h).kind
 }
 
-fn value_of(
-    dag: &HopDag,
-    h: HopId,
-    vals: &[Option<Value>],
-    bindings: &Bindings,
-) -> Matrix {
+fn value_of(dag: &HopDag, h: HopId, vals: &[Option<Value>], bindings: &Bindings) -> Matrix {
     match &vals[h.index()] {
         Some(v) => v.as_matrix(),
         None => {
@@ -62,10 +54,9 @@ fn value_of(
             // the pattern consumed the intermediate: evaluate leaves/ops
             // recursively (cheap: only pattern inputs).
             match kind(dag, h) {
-                OpKind::Read { name } => bindings
-                    .get(name)
-                    .unwrap_or_else(|| panic!("unbound input '{name}'"))
-                    .clone(),
+                OpKind::Read { name } => {
+                    bindings.get(name).unwrap_or_else(|| panic!("unbound input '{name}'")).clone()
+                }
                 _ => {
                     // Evaluate via the reference interpreter on demand.
                     let mut local: Vec<Option<Value>> = vals.to_vec();
@@ -278,8 +269,7 @@ fn try_wcemm(
             let mut acc = 0.0;
             for i in lo..hi {
                 for (j, a) in xs.row_iter(i) {
-                    let uv =
-                        prim::dot_product(um.row(i), vm.row(j), 0, 0, r);
+                    let uv = prim::dot_product(um.row(i), vm.row(j), 0, 0, r);
                     acc += a * (uv + epsv).ln();
                 }
             }

@@ -21,5 +21,5 @@ pub mod handcoded;
 pub mod side;
 pub mod spoof;
 
-pub use exec::{Executor, ExecStats};
+pub use exec::{ExecStats, Executor};
 pub use fusedml_core::FusionMode;

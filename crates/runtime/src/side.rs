@@ -84,9 +84,9 @@ impl SideInput {
             SideInput::Sparse(s) => {
                 buf.fill(0.0);
                 if s.cols() == 1 {
-                    for r in 0..s.rows() {
+                    for (r, slot) in buf.iter_mut().enumerate().take(s.rows()) {
                         for (_, v) in s.row_iter(r) {
-                            buf[r] = v;
+                            *slot = v;
                         }
                     }
                 } else {

@@ -195,8 +195,10 @@ fn sparse_safe_exec(
                     let mut acc = op.identity();
                     for r in lo..hi {
                         for (c, v) in main.row_iter(r) {
-                            acc = op
-                                .fold_value(acc, exec_cell(spec, &mut regs, v, sides, scalars, r, c));
+                            acc = op.fold_value(
+                                acc,
+                                exec_cell(spec, &mut regs, v, sides, scalars, r, c),
+                            );
                         }
                     }
                     acc
@@ -363,7 +365,14 @@ mod tests {
             sparse_safe: true,
         };
         let x = generate::rand_matrix(50, 50, 1.0, 2.0, 0.1, 9);
-        let out = crate::spoof::execute(&fusedml_core::spoof::FusedSpec::Cell(spec), Some(&x), &[], &[], 50, 50);
+        let out = crate::spoof::execute(
+            &fusedml_core::spoof::FusedSpec::Cell(spec),
+            Some(&x),
+            &[],
+            &[],
+            50,
+            50,
+        );
         assert_eq!(out[0].get(0, 0), 0.0);
     }
 }

@@ -37,7 +37,12 @@ pub fn execute(
         }
         FusedSpec::MAgg(m) => multiagg::execute(m, main, sides, scalars, iter_rows, iter_cols),
         FusedSpec::Row(r) => {
-            vec![rowwise::execute(r, main.expect("Row template requires a main input"), sides, scalars)]
+            vec![rowwise::execute(
+                r,
+                main.expect("Row template requires a main input"),
+                sides,
+                scalars,
+            )]
         }
         FusedSpec::Outer(o) => {
             vec![outerprod::execute(o, main, sides, scalars, iter_rows, iter_cols)]

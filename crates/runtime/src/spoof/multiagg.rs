@@ -61,9 +61,7 @@ pub fn execute(
             a
         },
     );
-    accs.into_iter()
-        .map(|v| Matrix::dense(DenseMatrix::filled(1, 1, v)))
-        .collect()
+    accs.into_iter().map(|v| Matrix::dense(DenseMatrix::filled(1, 1, v))).collect()
 }
 
 #[cfg(test)]
@@ -97,14 +95,8 @@ mod tests {
         let x = generate::rand_matrix(60, 50, -1.0, 1.0, 0.2, 1);
         let y = generate::rand_dense(60, 50, -1.0, 1.0, 2);
         let z = generate::rand_dense(60, 50, -1.0, 1.0, 3);
-        let outs = execute(
-            &spec(),
-            Some(&x),
-            &[SideInput::bind(&y), SideInput::bind(&z)],
-            &[],
-            60,
-            50,
-        );
+        let outs =
+            execute(&spec(), Some(&x), &[SideInput::bind(&y), SideInput::bind(&z)], &[], 60, 50);
         assert_eq!(outs.len(), 2);
         let e1 = ops::agg(&ops::binary(&x, &y, BinaryOp::Mult), AggOp::Sum, AggDir::Full);
         let e2 = ops::agg(&ops::binary(&x, &z, BinaryOp::Mult), AggOp::Sum, AggDir::Full);

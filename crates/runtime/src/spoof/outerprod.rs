@@ -176,7 +176,16 @@ fn dense_exec(
                     for i in lo..hi {
                         for j in 0..m {
                             acc += exec_value(
-                                spec, &mut regs, main_get(i, j), u, v, r, sides, scalars, i, j,
+                                spec,
+                                &mut regs,
+                                main_get(i, j),
+                                u,
+                                v,
+                                r,
+                                sides,
+                                scalars,
+                                i,
+                                j,
                             );
                         }
                     }
@@ -215,7 +224,16 @@ fn dense_exec(
                     for i in lo..hi {
                         for j in 0..m {
                             let w = exec_value(
-                                spec, &mut regs, main_get(i, j), u, v, r, sides, scalars, i, j,
+                                spec,
+                                &mut regs,
+                                main_get(i, j),
+                                u,
+                                v,
+                                r,
+                                sides,
+                                scalars,
+                                i,
+                                j,
                             );
                             if w != 0.0 {
                                 prim::vect_mult_add(
@@ -301,14 +319,7 @@ mod tests {
         let u = generate::rand_dense(n, r, 0.1, 1.0, 2);
         let v = generate::rand_dense(m, r, 0.1, 1.0, 3);
         let spec = loss_spec(1e-15, true);
-        let out = execute(
-            &spec,
-            Some(&x),
-            &[SideInput::bind(&u), SideInput::bind(&v)],
-            &[],
-            n,
-            m,
-        );
+        let out = execute(&spec, Some(&x), &[SideInput::bind(&u), SideInput::bind(&v)], &[], n, m);
         let expect = reference_loss(&x, &u, &v, 1e-15);
         assert!(
             fusedml_linalg::approx_eq(out.get(0, 0), expect, 1e-9),
@@ -384,14 +395,7 @@ mod tests {
         let u = generate::rand_dense(n, r, 0.1, 1.0, 11);
         let v = generate::rand_dense(m, r, 0.1, 1.0, 12);
         let spec = OuterSpec { out: OuterOut::LeftMM { side: 0 }, ..update_spec() };
-        let out = execute(
-            &spec,
-            Some(&x),
-            &[SideInput::bind(&u), SideInput::bind(&v)],
-            &[],
-            n,
-            m,
-        );
+        let out = execute(&spec, Some(&x), &[SideInput::bind(&u), SideInput::bind(&v)], &[], n, m);
         // Reference: t((X != 0) ⊙ (U V^T)) %*% U.
         let uvt = ops::matmult(&u, &ops::transpose(&v));
         let mask = ops::binary_scalar(&x, 0.0, BinaryOp::Neq);
@@ -407,14 +411,7 @@ mod tests {
         let u = generate::rand_dense(n, r, 0.1, 1.0, 14);
         let v = generate::rand_dense(m, r, 0.1, 1.0, 15);
         let spec = OuterSpec { out: OuterOut::NoAgg, ..update_spec() };
-        let out = execute(
-            &spec,
-            Some(&x),
-            &[SideInput::bind(&u), SideInput::bind(&v)],
-            &[],
-            n,
-            m,
-        );
+        let out = execute(&spec, Some(&x), &[SideInput::bind(&u), SideInput::bind(&v)], &[], n, m);
         assert!(out.is_sparse());
         assert_eq!(out.nnz(), x.nnz(), "W has X's sparsity pattern");
     }

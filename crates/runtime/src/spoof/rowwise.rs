@@ -21,9 +21,11 @@ pub fn execute(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
     // Pre-densify side matrices used by VecMatMult (row-major access).
     let dense_sides: Vec<Option<Vec<f64>>> = (0..sides.len())
         .map(|s| {
-            let used = spec.prog.instrs.iter().any(
-                |i| matches!(i, Instr::VecMatMult { side, .. } if *side == s),
-            );
+            let used = spec
+                .prog
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::VecMatMult { side, .. } if *side == s));
             used.then(|| sides[s].to_dense_values().into_owned())
         })
         .collect();
@@ -421,7 +423,11 @@ fn apply_unary_nojit(op: UnaryOp, a: f64) -> f64 {
 #[inline(never)]
 fn apply_binary_nojit(op: BinaryOp, a: f64, b: f64) -> f64 {
     let f: fn(BinaryOp, f64, f64) -> f64 = apply_binary_inlined;
-    std::hint::black_box(f)(std::hint::black_box(op), std::hint::black_box(a), std::hint::black_box(b))
+    std::hint::black_box(f)(
+        std::hint::black_box(op),
+        std::hint::black_box(a),
+        std::hint::black_box(b),
+    )
 }
 
 #[cfg(test)]
@@ -481,7 +487,13 @@ mod tests {
                 instrs: vec![
                     Instr::LoadMainRow { out: 0 },
                     Instr::VecAgg { out: 0, op: AggOp::Sum, a: 0 },
-                    Instr::VecBinaryVS { out: 1, op: BinaryOp::Div, a: 0, b: 0, scalar_left: false },
+                    Instr::VecBinaryVS {
+                        out: 1,
+                        op: BinaryOp::Div,
+                        a: 0,
+                        b: 0,
+                        scalar_left: false,
+                    },
                     Instr::VecAgg { out: 1, op: AggOp::Sum, a: 1 },
                 ],
                 n_regs: 2,
@@ -512,7 +524,13 @@ mod tests {
                 instrs: vec![
                     Instr::LoadMainRow { out: 0 },
                     Instr::LoadConst { out: 0, value: 2.0 },
-                    Instr::VecBinaryVS { out: 1, op: BinaryOp::Mult, a: 0, b: 0, scalar_left: false },
+                    Instr::VecBinaryVS {
+                        out: 1,
+                        op: BinaryOp::Mult,
+                        a: 0,
+                        b: 0,
+                        scalar_left: false,
+                    },
                 ],
                 n_regs: 1,
                 vreg_lens: vec![m, m],

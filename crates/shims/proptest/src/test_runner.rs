@@ -1,0 +1,71 @@
+//! Test configuration, RNG, and failure type for the proptest shim.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic generator used by all strategies. A thin new-type over the
+/// workspace `rand` shim so strategies can use `rand::Rng` methods.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeded from the test name so distinct tests see distinct (but fully
+    /// reproducible) streams.
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl rand::Rng for TestRng {
+    fn gen<T: rand::Standard>(&mut self) -> T {
+        self.0.gen()
+    }
+
+    fn gen_range<R: rand::SampleRange>(&mut self, range: R) -> R::Output {
+        self.0.gen_range(range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.0.gen_bool(p)
+    }
+}
+
+/// Runner configuration; only `cases` is honoured by the shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property-test case (carried by `prop_assert!` via `Err`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}

@@ -45,7 +45,8 @@ fn main() {
     let u = result.model[0].as_dense();
     let v = result.model[1].as_dense();
     for (user, item) in [(0usize, 0usize), (7, 123), (100, 4000)] {
-        let pred = fusedml::linalg::primitives::dot_product(u.row(user), v.row(item), 0, 0, cfg.rank);
+        let pred =
+            fusedml::linalg::primitives::dot_product(u.row(user), v.row(item), 0, 0, cfg.rank);
         println!("predicted rating for user {user}, item {item}: {pred:.3}");
     }
 }

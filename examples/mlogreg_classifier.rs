@@ -17,12 +17,8 @@ fn main() {
 
     for mode in [FusionMode::Base, FusionMode::Gen] {
         let exec = Executor::new(mode);
-        let cfg = mlogreg::MLogregConfig {
-            classes: k,
-            max_outer: 5,
-            max_inner: 5,
-            ..Default::default()
-        };
+        let cfg =
+            mlogreg::MLogregConfig { classes: k, max_outer: 5, max_inner: 5, ..Default::default() };
         let r = mlogreg::run(&exec, &x, &y, &cfg);
         let (fused, _, basic) = exec.stats.snapshot();
         println!(
@@ -33,7 +29,8 @@ fn main() {
 
     // Show the fusion plan of the Hessian-vector product.
     let exec = Executor::new(FusionMode::Gen);
-    let cfg = mlogreg::MLogregConfig { classes: k, max_outer: 1, max_inner: 1, ..Default::default() };
+    let cfg =
+        mlogreg::MLogregConfig { classes: k, max_outer: 1, max_inner: 1, ..Default::default() };
     let _ = mlogreg::run(&exec, &x, &y, &cfg);
     println!("\n(the HVP `t(X)(Q − P⊙rowSums(Q))` with `Q = P⊙(Xv)` compiles to one Row operator;");
     println!(" see paper Figure 3(c) / Figure 5 for the corresponding CPlan and memo table)");

@@ -12,13 +12,8 @@ fn bind(pairs: &[(&str, Matrix)]) -> Bindings {
     pairs.iter().map(|(n, m)| (n.to_string(), m.clone())).collect()
 }
 
-const ALL_MODES: [FusionMode; 5] = [
-    FusionMode::Base,
-    FusionMode::Fused,
-    FusionMode::Gen,
-    FusionMode::GenFA,
-    FusionMode::GenFNR,
-];
+const ALL_MODES: [FusionMode; 5] =
+    [FusionMode::Base, FusionMode::Fused, FusionMode::Gen, FusionMode::GenFA, FusionMode::GenFNR];
 
 /// Paper Figure 1(a): sum(X⊙Y⊙Z).
 #[test]
@@ -87,11 +82,8 @@ fn fig1c_multi_aggregates_all_modes() {
         .map(|v| v.as_scalar())
         .collect();
     for mode in ALL_MODES {
-        let got: Vec<f64> = Executor::new(mode)
-            .execute(&dag, &bindings)
-            .iter()
-            .map(|v| v.as_scalar())
-            .collect();
+        let got: Vec<f64> =
+            Executor::new(mode).execute(&dag, &bindings).iter().map(|v| v.as_scalar()).collect();
         for (g, e) in got.iter().zip(&expect) {
             assert!(fusedml::linalg::approx_eq(*g, *e, 1e-9), "{mode:?}");
         }

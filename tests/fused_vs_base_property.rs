@@ -17,11 +17,7 @@ struct RandomExpr {
 }
 
 fn expr_strategy() -> impl Strategy<Value = RandomExpr> {
-    (
-        proptest::collection::vec(0u8..6, 1..8),
-        16usize..64,
-        8usize..32,
-    )
+    (proptest::collection::vec(0u8..6, 1..8), 16usize..64, 8usize..32)
         .prop_map(|(ops, rows, cols)| RandomExpr { ops, rows, cols })
 }
 
