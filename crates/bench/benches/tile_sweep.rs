@@ -1,0 +1,54 @@
+//! Tile-width sweep for the block backend: runs the Figure 8(a) Cell
+//! pattern (`sum(X⊙Y⊙Z)`, 2000×1000 dense) under `Gen` across tile widths,
+//! for both the closure-specialized fast path and the generic tile body.
+//! The sweet spot trades per-tile dispatch overhead (small widths) against
+//! register-file cache residency (large widths); 256 is the shipped default.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusedml_bench::experiments::fig8;
+use fusedml_core::spoof::block::{self, CellBackend};
+use fusedml_hop::interp::Bindings;
+use fusedml_linalg::generate;
+use fusedml_runtime::{Executor, FusionMode};
+
+const WIDTHS: [usize; 7] = [32, 64, 128, 256, 512, 1024, 2048];
+
+fn benches(c: &mut Criterion) {
+    let (rows, cols) = (2_000, 1_000);
+    let (dag, _) = fig8::cell_dag(rows, cols, 1.0);
+    let mut b: Bindings = Bindings::new();
+    for (i, n) in ["X", "Y", "Z"].iter().enumerate() {
+        b.insert(n.to_string(), generate::rand_dense(rows, cols, -1.0, 1.0, i as u64));
+    }
+    let exec = Executor::new(FusionMode::Gen);
+    let _ = exec.execute(&dag, &b); // compile
+
+    for (group, backend) in [
+        ("tile_sweep_cell_fast", CellBackend::BlockFast),
+        ("tile_sweep_cell_generic", CellBackend::Block),
+    ] {
+        block::set_cell_backend(backend);
+        let mut g = c.benchmark_group(group);
+        g.sample_size(10);
+        for w in WIDTHS {
+            block::set_tile_width(w);
+            g.bench_function(format!("w{w}"), |bch| {
+                bch.iter(|| std::hint::black_box(exec.execute(&dag, &b)))
+            });
+        }
+        g.finish();
+        block::set_tile_width(block::DEFAULT_TILE_WIDTH);
+    }
+    // The scalar interpreter as the dispatch-overhead reference point.
+    block::set_cell_backend(CellBackend::Scalar);
+    let mut g = c.benchmark_group("tile_sweep_cell_scalar_reference");
+    g.sample_size(10);
+    g.bench_function("per_cell_interpreter", |bch| {
+        bch.iter(|| std::hint::black_box(exec.execute(&dag, &b)))
+    });
+    g.finish();
+    block::set_cell_backend(CellBackend::BlockFast);
+}
+
+criterion_group!(tile_sweep, benches);
+criterion_main!(tile_sweep);

@@ -2,15 +2,24 @@
 //! figure of the evaluation.
 //!
 //! ```text
-//! cargo run --release -p fusedml-bench --bin repro -- <experiment> [--full]
+//! cargo run --release -p fusedml-bench --bin repro -- <experiment> [--full|--smoke]
 //! experiments: fig8 fig9 fig10 fig11 fig12 fig13 table3 table4 table5 table6 all
 //! ```
+//!
+//! `--smoke` runs a seconds-long single-size pass — CI uses it so
+//! bench-path regressions fail the build instead of rotting silently.
 
 use fusedml_bench::experiments::{self, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else if args.iter().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Quick
+    };
     let which = args.first().map(String::as_str).unwrap_or("all");
     let run = |id: &str| match id {
         "fig8" => experiments::fig8::run(scale),

@@ -110,8 +110,9 @@ fn dag_v_cols(dag: &HopDag) -> usize {
 
 /// Runs all Figure 8 panels.
 pub fn run(scale: Scale) {
-    let reps = scale.pick(3, 5);
-    let sizes: Vec<usize> = scale.pick(vec![100, 1_000, 10_000], vec![1_000, 10_000, 100_000]);
+    let reps = scale.pick3(1, 3, 5);
+    let sizes: Vec<usize> =
+        scale.pick3(vec![1_000], vec![100, 1_000, 10_000], vec![1_000, 10_000, 100_000]);
     let cols = 1_000;
 
     sweep(

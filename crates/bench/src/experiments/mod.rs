@@ -8,10 +8,11 @@ pub mod fig8;
 pub mod fig9;
 pub mod tables;
 
-/// Scale preset: `quick` sizes run in seconds; `full` sizes stress the
-/// series further (minutes).
+/// Scale preset: `smoke` is a seconds-long CI guard, `quick` sizes run in
+/// seconds to a minute, `full` sizes stress the series further (minutes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
+    Smoke,
     Quick,
     Full,
 }
@@ -19,6 +20,15 @@ pub enum Scale {
 impl Scale {
     pub fn pick<T>(self, quick: T, full: T) -> T {
         match self {
+            Scale::Smoke | Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+
+    /// Three-way pick for experiments with a dedicated smoke preset.
+    pub fn pick3<T>(self, smoke: T, quick: T, full: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
             Scale::Quick => quick,
             Scale::Full => full,
         }

@@ -7,14 +7,20 @@
 //! points meaningful on the host actually running the benchmarks.
 
 use crate::opt::cost::CostModel;
+use crate::spoof::block::{self, BlockEval, TileCtx, TileSrc};
+use crate::spoof::{Instr, Program, SideAccess};
+use fusedml_linalg::ops::BinaryOp;
+use fusedml_linalg::primitives as prim;
 use std::time::Instant;
 
-/// Measures approximate read/write/compute bandwidths with short
-/// micro-benchmarks and returns a calibrated [`CostModel`].
+/// Measures approximate read/write/compute bandwidths plus the block
+/// backend's per-cell dispatch overhead with short micro-benchmarks and
+/// returns a calibrated [`CostModel`].
 ///
 /// * read: streaming sum over a large buffer,
 /// * write: `fill` of a large buffer,
-/// * compute: fused multiply-add chain on registers.
+/// * compute: fused multiply-add chain on registers,
+/// * dispatch: tile-evaluated `a⊙b` program vs the raw fused loop.
 pub fn calibrate() -> CostModel {
     let n = 8usize << 20; // 8 Mi doubles = 64 MB
     let buf = vec![1.0f64; n];
@@ -47,13 +53,73 @@ pub fn calibrate() -> CostModel {
     }
     std::hint::black_box((a, b, c, d));
     let compute_bw = (iters * 8) as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    let compute_bw = compute_bw.clamp(1e8, 1e12);
+
+    // Per-cell dispatch overhead of the generated-operator backend: the
+    // tile-evaluated `a * b[cell]` program against the raw dot-product loop
+    // over the same data, expressed in FLOP-equivalents per cell.
+    let dispatch = dispatch_overhead_flops(compute_bw);
 
     CostModel {
         read_bw: read_bw.clamp(1e9, 1e12),
         write_bw: write_bw.clamp(5e8, 1e12),
-        compute_bw: compute_bw.clamp(1e8, 1e12),
+        compute_bw,
+        fused_dispatch_flops: dispatch,
         dist: None,
     }
+}
+
+/// Measures the block evaluator's per-cell overhead over a raw fused loop
+/// and converts it to FLOP-equivalents under the measured compute bandwidth.
+fn dispatch_overhead_flops(compute_bw: f64) -> f64 {
+    let n = 64usize << 10; // 64 Ki doubles — resident in L2
+    let x: Vec<f64> = (0..n).map(|i| 0.5 + (i % 17) as f64 * 0.25).collect();
+    let y: Vec<f64> = (0..n).map(|i| 1.0 + (i % 13) as f64 * 0.125).collect();
+    let reps = 48usize;
+
+    // f(a) = a * b0[cell], full-sum fold — the minimal Cell program.
+    let prog = Program {
+        instrs: vec![
+            Instr::LoadMain { out: 0 },
+            Instr::LoadSide { out: 1, side: 0, access: SideAccess::Cell },
+            Instr::Binary { out: 2, op: BinaryOp::Mult, a: 0, b: 1 },
+        ],
+        n_regs: 3,
+        vreg_lens: vec![],
+    };
+    let bp = block::lower(&prog);
+    let width = block::tile_width();
+    let mut ev = BlockEval::new(&bp, width);
+    ev.set_invariants(&bp, &|_, _| 0.0, &[]);
+
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for _ in 0..reps {
+        for (xc, yc) in x.chunks(width).zip(y.chunks(width)) {
+            let g = [TileSrc::Slice(yc)];
+            let ctx = TileCtx { main: TileSrc::Slice(xc), uv: TileSrc::Const(0.0), gathers: &g };
+            ev.eval_body(&bp, &ctx, xc.len());
+            acc = block::fold_result(
+                fusedml_linalg::ops::AggOp::Sum,
+                acc,
+                ev.value_of(&bp, 2, &ctx, xc.len()),
+                xc.len(),
+            );
+        }
+    }
+    std::hint::black_box(acc);
+    let t_block = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for _ in 0..reps {
+        acc += prim::dot_product(&x, &y, 0, 0, n);
+    }
+    std::hint::black_box(acc);
+    let t_raw = t0.elapsed().as_secs_f64();
+
+    let per_cell = (t_block - t_raw).max(0.0) / (n * reps) as f64;
+    (per_cell * compute_bw).clamp(0.25, 24.0)
 }
 
 #[cfg(test)]

@@ -58,13 +58,30 @@ pub struct CostModel {
     pub write_bw: f64,
     /// Peak compute bandwidth (FLOP/s).
     pub compute_bw: f64,
+    /// Per-cell dispatch overhead of generated Cell/MAgg/Outer operators in
+    /// FLOP-equivalents. The scalar register interpreter paid ~10–20 here;
+    /// the tile-vectorized block backend amortizes instruction dispatch over
+    /// whole tiles, leaving a small constant (re-measured by
+    /// `calibrate::calibrate`) so the optimizer's Gen-vs-Base tradeoff
+    /// reflects the faster backend.
+    pub fused_dispatch_flops: f64,
     /// Distributed configuration (None = single-node only).
     pub dist: Option<DistConfig>,
 }
 
+/// Default per-cell dispatch overhead of the block backend (FLOP-equivalents
+/// per generated-operator cell).
+pub const DEFAULT_FUSED_DISPATCH_FLOPS: f64 = 2.0;
+
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { read_bw: 32e9, write_bw: 16e9, compute_bw: 4e9, dist: None }
+        CostModel {
+            read_bw: 32e9,
+            write_bw: 16e9,
+            compute_bw: 4e9,
+            fused_dispatch_flops: DEFAULT_FUSED_DISPATCH_FLOPS,
+            dist: None,
+        }
     }
 }
 
@@ -258,10 +275,10 @@ impl<'a> PlanCoster<'a> {
     /// Eq. (4) contribution of a closed fused operator.
     fn close_cost(&self, v: &CostVector) -> f64 {
         let mut compute = v.compute;
+        let max_cells = v.inputs.values().map(|&(_, _, c)| c).fold(0.0f64, f64::max);
         // Sparsity exploitation: Outer operators scale compute by the
         // sparsity of the main (largest) input.
-        if v.ttype == TemplateType::Outer {
-            let max_cells = v.inputs.values().map(|&(_, _, c)| c).fold(0.0f64, f64::max);
+        let iter_cells = if v.ttype == TemplateType::Outer {
             let driver_sp = v
                 .inputs
                 .values()
@@ -269,6 +286,15 @@ impl<'a> PlanCoster<'a> {
                 .map(|&(_, sp, _)| sp)
                 .fold(1.0f64, f64::min);
             compute *= driver_sp;
+            max_cells * driver_sp
+        } else {
+            max_cells
+        };
+        // Per-cell dispatch overhead of the generated operator's register
+        // program (Cell/MAgg/Outer evaluate it per iterated cell; Row's
+        // per-row dispatch is already amortized over whole rows).
+        if v.ttype != TemplateType::Row {
+            compute += self.model.fused_dispatch_flops * iter_cells;
         }
         let t_c = compute / self.model.compute_bw;
         self.io_cost(v.out_bytes, v.inputs.values().map(|&(b, _, _)| b), t_c)

@@ -1,0 +1,1078 @@
+//! Tile-vectorized execution of scalar register programs (DESIGN.md
+//! substitution X1, "block backend").
+//!
+//! The scalar interpreter in [`super::eval_scalar_program`] pays an
+//! instruction-dispatch `match` per *cell*, which the paper's janino-compiled
+//! Java never does. This module amortizes that dispatch over fixed-width
+//! tiles: a scalar [`Program`] is lowered once into a [`BlockProgram`] whose
+//! registers are tiles of [`tile_width`] doubles, so each instruction becomes
+//! one tight, auto-vectorizable loop per tile instead of one `match` per
+//! cell.
+//!
+//! Lowering classifies every scalar register by *variance*:
+//!
+//! * **invariant** — constants, bound scalars, `Scalar`-access side loads and
+//!   anything derived from them: computed once per operator invocation;
+//! * **row-uniform** — `Col`-access side loads and derivations: computed once
+//!   per row (tiles never cross row boundaries);
+//! * **varying** — the main input, the Outer template's `dot(U,V)` values,
+//!   `Cell`/`Row`-access side loads and derivations: computed per tile.
+//!
+//! Only varying computations reach the per-tile body; uniform work is hoisted
+//! into prologues replayed through the existing scalar evaluator. On top of
+//! the generic body, [`specialize`] pattern-matches the dominant program
+//! shapes (multiply chains like `X⊙Y⊙Z`) into monomorphic fused loops — the
+//! analogue of the paper's fast janino backend emitting straight-line code.
+
+use super::{Instr, Program, Reg, SideAccess};
+use fusedml_linalg::ops::{AggOp, BinaryOp, TernaryOp, UnaryOp};
+use fusedml_linalg::primitives as prim;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// Tile register index.
+pub type TReg = u16;
+
+/// Default tile width (elements per tile register). 256 doubles = 2 KB per
+/// register: a handful of live registers stay comfortably inside L1.
+pub const DEFAULT_TILE_WIDTH: usize = 256;
+
+static TILE_WIDTH: AtomicUsize = AtomicUsize::new(DEFAULT_TILE_WIDTH);
+
+/// The current tile width used by block evaluators.
+pub fn tile_width() -> usize {
+    TILE_WIDTH.load(Ordering::Relaxed)
+}
+
+/// Overrides the tile width (clamped to `8..=8192`); used by the
+/// `tile_sweep` benchmark to locate the dispatch/locality sweet spot.
+pub fn set_tile_width(w: usize) {
+    TILE_WIDTH.store(w.clamp(8, 8192), Ordering::Relaxed);
+}
+
+/// Which execution backend the Cell/MAgg/Outer skeletons use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellBackend {
+    /// The per-cell scalar interpreter (retained as the differential-test
+    /// oracle and for the compressed-input skeleton).
+    Scalar,
+    /// The generic tile evaluator.
+    Block,
+    /// Tile evaluator plus closure-specialized fast kernels (default; the
+    /// analogue of the paper's janino-compiled operators).
+    BlockFast,
+}
+
+static BACKEND: AtomicU8 = AtomicU8::new(2);
+
+/// The globally selected Cell/MAgg/Outer backend.
+pub fn cell_backend() -> CellBackend {
+    match BACKEND.load(Ordering::Relaxed) {
+        0 => CellBackend::Scalar,
+        1 => CellBackend::Block,
+        _ => CellBackend::BlockFast,
+    }
+}
+
+/// Selects the Cell/MAgg/Outer backend (benchmarks and A/B tests only;
+/// library tests pass an explicit backend to the skeletons instead).
+pub fn set_cell_backend(b: CellBackend) {
+    let v = match b {
+        CellBackend::Scalar => 0,
+        CellBackend::Block => 1,
+        CellBackend::BlockFast => 2,
+    };
+    BACKEND.store(v, Ordering::Relaxed);
+}
+
+// ===========================================================================
+// IR
+// ===========================================================================
+
+/// A per-element operand of a body instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Opnd {
+    /// A computed tile register.
+    Tile(TReg),
+    /// The main-input tile supplied by the skeleton.
+    Main,
+    /// The precomputed `dot(U[i,:], V[j,:])` tile (Outer template).
+    Uv,
+    /// A gathered side-input tile (index into [`BlockProgram::gathers`]).
+    Gather(u16),
+    /// A uniform scalar (index into the uniform register file).
+    Uniform(u16),
+}
+
+/// One vectorized instruction of the per-tile body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockInstr {
+    Unary { out: TReg, op: UnaryOp, a: Opnd },
+    Binary { out: TReg, op: BinaryOp, a: Opnd, b: Opnd },
+    Ternary { out: TReg, op: TernaryOp, a: Opnd, b: Opnd, c: Opnd },
+}
+
+/// Where the final value of a scalar register of the source [`Program`]
+/// lives after lowering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValSrc {
+    /// Uniform across the tile: index into the uniform file.
+    Uniform(u16),
+    /// Varies per element: read through the operand source.
+    Varying(Opnd),
+}
+
+/// A scalar [`Program`] lowered to tile-at-a-time form.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct BlockProgram {
+    /// Invocation-invariant prologue (uniform-file scalar instructions).
+    pub invariant: Vec<Instr>,
+    /// Per-row prologue (`Col`-access side loads and derivations).
+    pub row_uniform: Vec<Instr>,
+    /// The per-tile body.
+    pub body: Vec<BlockInstr>,
+    /// Uniform register file size (slot 0 is the constant zero).
+    pub n_uniform: u16,
+    /// Number of tile registers.
+    pub n_tiles: u16,
+    /// Side tiles the skeleton must gather before evaluating the body:
+    /// one `(side, access)` per slot, `access ∈ {Cell, Row}`.
+    pub gathers: Vec<(usize, SideAccess)>,
+    /// Final value source per scalar register of the source program.
+    pub result_src: Vec<ValSrc>,
+}
+
+impl BlockProgram {
+    /// Final value source of scalar register `r`.
+    #[inline]
+    pub fn src_of(&self, r: Reg) -> ValSrc {
+        self.result_src[r as usize]
+    }
+}
+
+/// Variance level of a uniform slot during lowering.
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+enum Level {
+    Invariant,
+    Row,
+}
+
+/// Lowers a scalar program (Cell/MAgg/Outer templates — no vector
+/// instructions) into a [`BlockProgram`].
+pub fn lower(prog: &Program) -> BlockProgram {
+    let mut bp = BlockProgram {
+        // Slot 0 holds 0.0 so unwritten registers read as zero, matching the
+        // scalar evaluator's zero-initialized register file.
+        n_uniform: 1,
+        result_src: vec![ValSrc::Uniform(0); prog.n_regs as usize],
+        ..BlockProgram::default()
+    };
+    let mut ulevel: Vec<Level> = vec![Level::Invariant];
+    let new_u = |bp: &mut BlockProgram, ulevel: &mut Vec<Level>, lvl: Level| -> u16 {
+        let s = bp.n_uniform;
+        bp.n_uniform += 1;
+        ulevel.push(lvl);
+        s
+    };
+    let new_t = |bp: &mut BlockProgram| -> TReg {
+        let t = bp.n_tiles;
+        bp.n_tiles += 1;
+        t
+    };
+    let gather_slot = |bp: &mut BlockProgram, side: usize, access: SideAccess| -> u16 {
+        if let Some(i) = bp.gathers.iter().position(|&g| g == (side, access)) {
+            return i as u16;
+        }
+        bp.gathers.push((side, access));
+        (bp.gathers.len() - 1) as u16
+    };
+    // Resolves a source-program register to an operand + its level.
+    let classify = |bp: &BlockProgram, ulevel: &[Level], r: Reg| -> (Opnd, Level) {
+        match bp.src_of(r) {
+            ValSrc::Uniform(s) => (Opnd::Uniform(s), ulevel[s as usize]),
+            ValSrc::Varying(o) => (o, Level::Row), // level unused for varying
+        }
+    };
+    for ins in &prog.instrs {
+        match *ins {
+            Instr::LoadConst { out, value } => {
+                let s = new_u(&mut bp, &mut ulevel, Level::Invariant);
+                bp.invariant.push(Instr::LoadConst { out: s, value });
+                bp.result_src[out as usize] = ValSrc::Uniform(s);
+            }
+            Instr::LoadScalar { out, idx } => {
+                let s = new_u(&mut bp, &mut ulevel, Level::Invariant);
+                bp.invariant.push(Instr::LoadScalar { out: s, idx });
+                bp.result_src[out as usize] = ValSrc::Uniform(s);
+            }
+            Instr::LoadSide { out, side, access } => match access {
+                SideAccess::Scalar => {
+                    let s = new_u(&mut bp, &mut ulevel, Level::Invariant);
+                    bp.invariant.push(Instr::LoadSide { out: s, side, access });
+                    bp.result_src[out as usize] = ValSrc::Uniform(s);
+                }
+                SideAccess::Col => {
+                    let s = new_u(&mut bp, &mut ulevel, Level::Row);
+                    bp.row_uniform.push(Instr::LoadSide { out: s, side, access });
+                    bp.result_src[out as usize] = ValSrc::Uniform(s);
+                }
+                SideAccess::Cell | SideAccess::Row => {
+                    let slot = gather_slot(&mut bp, side, access);
+                    bp.result_src[out as usize] = ValSrc::Varying(Opnd::Gather(slot));
+                }
+            },
+            Instr::LoadMain { out } => {
+                bp.result_src[out as usize] = ValSrc::Varying(Opnd::Main);
+            }
+            Instr::LoadUVDot { out } => {
+                bp.result_src[out as usize] = ValSrc::Varying(Opnd::Uv);
+            }
+            Instr::Unary { out, op, a } => {
+                let (oa, la) = classify(&bp, &ulevel, a);
+                if let ValSrc::Uniform(sa) = bp.src_of(a) {
+                    let s = new_u(&mut bp, &mut ulevel, la);
+                    let target = if la == Level::Invariant {
+                        &mut bp.invariant
+                    } else {
+                        &mut bp.row_uniform
+                    };
+                    target.push(Instr::Unary { out: s, op, a: sa });
+                    bp.result_src[out as usize] = ValSrc::Uniform(s);
+                } else {
+                    let t = new_t(&mut bp);
+                    bp.body.push(BlockInstr::Unary { out: t, op, a: oa });
+                    bp.result_src[out as usize] = ValSrc::Varying(Opnd::Tile(t));
+                }
+            }
+            Instr::Binary { out, op, a, b } => {
+                let (oa, la) = classify(&bp, &ulevel, a);
+                let (ob, lb) = classify(&bp, &ulevel, b);
+                match (bp.src_of(a), bp.src_of(b)) {
+                    (ValSrc::Uniform(sa), ValSrc::Uniform(sb)) => {
+                        let lvl = if la == Level::Row || lb == Level::Row {
+                            Level::Row
+                        } else {
+                            Level::Invariant
+                        };
+                        let s = new_u(&mut bp, &mut ulevel, lvl);
+                        let target = if lvl == Level::Invariant {
+                            &mut bp.invariant
+                        } else {
+                            &mut bp.row_uniform
+                        };
+                        target.push(Instr::Binary { out: s, op, a: sa, b: sb });
+                        bp.result_src[out as usize] = ValSrc::Uniform(s);
+                    }
+                    _ => {
+                        let t = new_t(&mut bp);
+                        bp.body.push(BlockInstr::Binary { out: t, op, a: oa, b: ob });
+                        bp.result_src[out as usize] = ValSrc::Varying(Opnd::Tile(t));
+                    }
+                }
+            }
+            Instr::Ternary { out, op, a, b, c } => {
+                let (oa, la) = classify(&bp, &ulevel, a);
+                let (ob, lb) = classify(&bp, &ulevel, b);
+                let (oc, lc) = classify(&bp, &ulevel, c);
+                match (bp.src_of(a), bp.src_of(b), bp.src_of(c)) {
+                    (ValSrc::Uniform(sa), ValSrc::Uniform(sb), ValSrc::Uniform(sc)) => {
+                        let lvl = if [la, lb, lc].contains(&Level::Row) {
+                            Level::Row
+                        } else {
+                            Level::Invariant
+                        };
+                        let s = new_u(&mut bp, &mut ulevel, lvl);
+                        let target = if lvl == Level::Invariant {
+                            &mut bp.invariant
+                        } else {
+                            &mut bp.row_uniform
+                        };
+                        target.push(Instr::Ternary { out: s, op, a: sa, b: sb, c: sc });
+                        bp.result_src[out as usize] = ValSrc::Uniform(s);
+                    }
+                    _ => {
+                        let t = new_t(&mut bp);
+                        bp.body.push(BlockInstr::Ternary { out: t, op, a: oa, b: ob, c: oc });
+                        bp.result_src[out as usize] = ValSrc::Varying(Opnd::Tile(t));
+                    }
+                }
+            }
+            _ => panic!("vector instruction in cell block program: {ins:?}"),
+        }
+    }
+    bp
+}
+
+// ===========================================================================
+// Evaluation
+// ===========================================================================
+
+/// A per-element tile input supplied by the skeleton: either a slice of at
+/// least the tile's length, or a value uniform across the tile.
+#[derive(Clone, Copy, Debug)]
+pub enum TileSrc<'a> {
+    Slice(&'a [f64]),
+    Const(f64),
+}
+
+/// Inputs for evaluating one tile.
+#[derive(Clone, Copy)]
+pub struct TileCtx<'a> {
+    pub main: TileSrc<'a>,
+    pub uv: TileSrc<'a>,
+    /// One entry per [`BlockProgram::gathers`] slot.
+    pub gathers: &'a [TileSrc<'a>],
+}
+
+impl<'a> TileCtx<'a> {
+    /// A context with no inputs (programs over constants only).
+    pub fn empty() -> TileCtx<'static> {
+        TileCtx { main: TileSrc::Const(0.0), uv: TileSrc::Const(0.0), gathers: &[] }
+    }
+}
+
+/// A resolved operand: slice of exactly the tile length, or uniform value.
+#[derive(Clone, Copy, Debug)]
+pub enum OpRef<'a> {
+    S(&'a [f64]),
+    C(f64),
+}
+
+impl<'a> OpRef<'a> {
+    #[inline(always)]
+    fn get(self, i: usize) -> f64 {
+        match self {
+            OpRef::S(s) => s[i],
+            OpRef::C(c) => c,
+        }
+    }
+}
+
+/// Reusable evaluator state: the uniform scalar file plus the tile register
+/// file (one allocation per thread, reused across rows and tiles).
+pub struct BlockEval {
+    u: Vec<f64>,
+    tiles: Vec<f64>,
+    width: usize,
+}
+
+impl BlockEval {
+    /// Allocates evaluator state for `bp` with the given tile width.
+    pub fn new(bp: &BlockProgram, width: usize) -> Self {
+        BlockEval {
+            u: vec![0.0; bp.n_uniform as usize],
+            tiles: vec![0.0; bp.n_tiles as usize * width],
+            width,
+        }
+    }
+
+    /// The tile width this evaluator was sized for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs the invocation-invariant prologue (constants, bound scalars,
+    /// `Scalar`-access side loads).
+    pub fn set_invariants(
+        &mut self,
+        bp: &BlockProgram,
+        side_at: &dyn Fn(usize, SideAccess) -> f64,
+        scalars: &[f64],
+    ) {
+        for ins in &bp.invariant {
+            match *ins {
+                Instr::LoadConst { out, value } => self.u[out as usize] = value,
+                Instr::LoadScalar { out, idx } => self.u[out as usize] = scalars[idx],
+                Instr::LoadSide { out, side, access } => {
+                    self.u[out as usize] = side_at(side, access)
+                }
+                Instr::Unary { out, op, a } => self.u[out as usize] = op.apply(self.u[a as usize]),
+                Instr::Binary { out, op, a, b } => {
+                    self.u[out as usize] = op.apply(self.u[a as usize], self.u[b as usize])
+                }
+                Instr::Ternary { out, op, a, b, c } => {
+                    self.u[out as usize] =
+                        op.apply(self.u[a as usize], self.u[b as usize], self.u[c as usize])
+                }
+                _ => unreachable!("only loads and scalar ops are invariant"),
+            }
+        }
+    }
+
+    /// Runs the per-row prologue; `side_at` must resolve `Col` accesses at
+    /// the current row. No-op for programs without row-uniform work.
+    pub fn begin_row(&mut self, bp: &BlockProgram, side_at: &dyn Fn(usize, SideAccess) -> f64) {
+        if bp.row_uniform.is_empty() {
+            return;
+        }
+        for ins in &bp.row_uniform {
+            match *ins {
+                Instr::LoadSide { out, side, access } => {
+                    self.u[out as usize] = side_at(side, access)
+                }
+                Instr::Unary { out, op, a } => self.u[out as usize] = op.apply(self.u[a as usize]),
+                Instr::Binary { out, op, a, b } => {
+                    self.u[out as usize] = op.apply(self.u[a as usize], self.u[b as usize])
+                }
+                Instr::Ternary { out, op, a, b, c } => {
+                    self.u[out as usize] =
+                        op.apply(self.u[a as usize], self.u[b as usize], self.u[c as usize])
+                }
+                _ => unreachable!("only side loads and scalar ops are row-uniform"),
+            }
+        }
+    }
+
+    /// Evaluates the per-tile body for `n` elements (`n <= width`).
+    pub fn eval_body(&mut self, bp: &BlockProgram, ctx: &TileCtx<'_>, n: usize) {
+        debug_assert!(n <= self.width);
+        let w = self.width;
+        for ins in &bp.body {
+            let out = match *ins {
+                BlockInstr::Unary { out, .. }
+                | BlockInstr::Binary { out, .. }
+                | BlockInstr::Ternary { out, .. } => out,
+            };
+            let (head, tail) = self.tiles.split_at_mut(out as usize * w);
+            let dst = &mut tail[..n];
+            match *ins {
+                BlockInstr::Unary { op, a, .. } => {
+                    un_loop(op, resolve(a, head, w, n, ctx, &self.u), dst)
+                }
+                BlockInstr::Binary { op, a, b, .. } => bin_loop(
+                    op,
+                    resolve(a, head, w, n, ctx, &self.u),
+                    resolve(b, head, w, n, ctx, &self.u),
+                    dst,
+                ),
+                BlockInstr::Ternary { op, a, b, c, .. } => ter_loop(
+                    op,
+                    resolve(a, head, w, n, ctx, &self.u),
+                    resolve(b, head, w, n, ctx, &self.u),
+                    resolve(c, head, w, n, ctx, &self.u),
+                    dst,
+                ),
+            }
+        }
+    }
+
+    /// Reads the final value of scalar register `reg` after [`Self::eval_body`]
+    /// (slice of `n` elements, or a uniform value).
+    pub fn value_of<'a>(
+        &'a self,
+        bp: &BlockProgram,
+        reg: Reg,
+        ctx: &TileCtx<'a>,
+        n: usize,
+    ) -> OpRef<'a> {
+        match bp.src_of(reg) {
+            ValSrc::Uniform(s) => OpRef::C(self.u[s as usize]),
+            ValSrc::Varying(o) => resolve(o, &self.tiles, self.width, n, ctx, &self.u),
+        }
+    }
+
+    /// Resolves a gather/main source without evaluating (fast kernels).
+    pub fn opnd<'a>(&'a self, o: Opnd, ctx: &TileCtx<'a>, n: usize) -> OpRef<'a> {
+        resolve(o, &self.tiles, self.width, n, ctx, &self.u)
+    }
+}
+
+#[inline(always)]
+fn resolve<'a>(
+    o: Opnd,
+    tiles: &'a [f64],
+    width: usize,
+    n: usize,
+    ctx: &TileCtx<'a>,
+    u: &[f64],
+) -> OpRef<'a> {
+    let from_src = |s: TileSrc<'a>| match s {
+        TileSrc::Slice(x) => OpRef::S(&x[..n]),
+        TileSrc::Const(c) => OpRef::C(c),
+    };
+    match o {
+        Opnd::Tile(t) => OpRef::S(&tiles[t as usize * width..t as usize * width + n]),
+        Opnd::Main => from_src(ctx.main),
+        Opnd::Uv => from_src(ctx.uv),
+        Opnd::Gather(g) => from_src(ctx.gathers[g as usize]),
+        Opnd::Uniform(s) => OpRef::C(u[s as usize]),
+    }
+}
+
+/// Expands to a `match` over every [`BinaryOp`] so each arm monomorphizes
+/// its loop (`$op.apply` constant-folds per arm under `inline(always)`).
+macro_rules! with_binop {
+    ($op:expr, $go:ident) => {
+        match $op {
+            BinaryOp::Add => $go!(BinaryOp::Add),
+            BinaryOp::Sub => $go!(BinaryOp::Sub),
+            BinaryOp::Mult => $go!(BinaryOp::Mult),
+            BinaryOp::Div => $go!(BinaryOp::Div),
+            BinaryOp::Min => $go!(BinaryOp::Min),
+            BinaryOp::Max => $go!(BinaryOp::Max),
+            BinaryOp::Pow => $go!(BinaryOp::Pow),
+            BinaryOp::Eq => $go!(BinaryOp::Eq),
+            BinaryOp::Neq => $go!(BinaryOp::Neq),
+            BinaryOp::Lt => $go!(BinaryOp::Lt),
+            BinaryOp::Le => $go!(BinaryOp::Le),
+            BinaryOp::Gt => $go!(BinaryOp::Gt),
+            BinaryOp::Ge => $go!(BinaryOp::Ge),
+            BinaryOp::And => $go!(BinaryOp::And),
+            BinaryOp::Or => $go!(BinaryOp::Or),
+        }
+    };
+}
+
+macro_rules! with_unop {
+    ($op:expr, $go:ident) => {
+        match $op {
+            UnaryOp::Exp => $go!(UnaryOp::Exp),
+            UnaryOp::Log => $go!(UnaryOp::Log),
+            UnaryOp::Sqrt => $go!(UnaryOp::Sqrt),
+            UnaryOp::Abs => $go!(UnaryOp::Abs),
+            UnaryOp::Sign => $go!(UnaryOp::Sign),
+            UnaryOp::Round => $go!(UnaryOp::Round),
+            UnaryOp::Floor => $go!(UnaryOp::Floor),
+            UnaryOp::Ceil => $go!(UnaryOp::Ceil),
+            UnaryOp::Neg => $go!(UnaryOp::Neg),
+            UnaryOp::Sigmoid => $go!(UnaryOp::Sigmoid),
+            UnaryOp::Pow2 => $go!(UnaryOp::Pow2),
+            UnaryOp::Sprop => $go!(UnaryOp::Sprop),
+            UnaryOp::Recip => $go!(UnaryOp::Recip),
+        }
+    };
+}
+
+fn un_loop(op: UnaryOp, a: OpRef<'_>, dst: &mut [f64]) {
+    let n = dst.len();
+    match a {
+        OpRef::S(a) => {
+            let a = &a[..n];
+            macro_rules! go {
+                ($k:expr) => {
+                    for i in 0..n {
+                        dst[i] = $k.apply(a[i]);
+                    }
+                };
+            }
+            with_unop!(op, go)
+        }
+        OpRef::C(c) => dst.fill(op.apply(c)),
+    }
+}
+
+fn bin_loop(op: BinaryOp, a: OpRef<'_>, b: OpRef<'_>, dst: &mut [f64]) {
+    let n = dst.len();
+    match (a, b) {
+        (OpRef::S(a), OpRef::S(b)) => {
+            let (a, b) = (&a[..n], &b[..n]);
+            macro_rules! go {
+                ($k:expr) => {
+                    for i in 0..n {
+                        dst[i] = $k.apply(a[i], b[i]);
+                    }
+                };
+            }
+            with_binop!(op, go)
+        }
+        (OpRef::S(a), OpRef::C(c)) => {
+            let a = &a[..n];
+            macro_rules! go {
+                ($k:expr) => {
+                    for i in 0..n {
+                        dst[i] = $k.apply(a[i], c);
+                    }
+                };
+            }
+            with_binop!(op, go)
+        }
+        (OpRef::C(c), OpRef::S(b)) => {
+            let b = &b[..n];
+            macro_rules! go {
+                ($k:expr) => {
+                    for i in 0..n {
+                        dst[i] = $k.apply(c, b[i]);
+                    }
+                };
+            }
+            with_binop!(op, go)
+        }
+        (OpRef::C(x), OpRef::C(y)) => dst.fill(op.apply(x, y)),
+    }
+}
+
+fn ter_loop(op: TernaryOp, a: OpRef<'_>, b: OpRef<'_>, c: OpRef<'_>, dst: &mut [f64]) {
+    // Ternaries are rare; the per-element operand resolution is a
+    // predictable two-way branch.
+    match op {
+        TernaryOp::PlusMult => {
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d = a.get(i) + b.get(i) * c.get(i);
+            }
+        }
+        TernaryOp::MinusMult => {
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d = a.get(i) - b.get(i) * c.get(i);
+            }
+        }
+        TernaryOp::IfElse => {
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d = if a.get(i) != 0.0 { b.get(i) } else { c.get(i) };
+            }
+        }
+    }
+}
+
+/// Folds an aggregate over a tile result of `n` elements.
+pub fn fold_result(op: AggOp, acc: f64, r: OpRef<'_>, n: usize) -> f64 {
+    match r {
+        OpRef::S(s) => match op {
+            AggOp::Sum | AggOp::Mean => acc + prim::vect_sum(s, 0, n),
+            AggOp::SumSq => acc + prim::vect_sum_sq(s, 0, n),
+            AggOp::Min => acc.min(prim::vect_min(s, 0, n)),
+            AggOp::Max => acc.max(prim::vect_max(s, 0, n)),
+        },
+        OpRef::C(c) => match op {
+            AggOp::Sum | AggOp::Mean => acc + c * n as f64,
+            AggOp::SumSq => acc + c * c * n as f64,
+            AggOp::Min => {
+                if n > 0 {
+                    acc.min(c)
+                } else {
+                    acc
+                }
+            }
+            AggOp::Max => {
+                if n > 0 {
+                    acc.max(c)
+                } else {
+                    acc
+                }
+            }
+        },
+    }
+}
+
+/// Copies a tile result into an output slice.
+pub fn write_result(r: OpRef<'_>, dst: &mut [f64]) {
+    match r {
+        OpRef::S(s) => dst.copy_from_slice(&s[..dst.len()]),
+        OpRef::C(c) => dst.fill(c),
+    }
+}
+
+// ===========================================================================
+// Closure specialization (the "fast janino" path)
+// ===========================================================================
+
+/// A closure-specialized kernel for a dominant program shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FastKernel {
+    /// `r = Π factors`: some number of main-input uses times `Cell`/`Row`
+    /// side gathers — `sum(X⊙Y⊙Z)`, `sum(X⊙Y)`, `X⊙b` and friends.
+    ProductChain {
+        /// How many times the main input participates in the product.
+        mains: u8,
+        /// Gather slots (indices into [`BlockProgram::gathers`]).
+        slots: Vec<u16>,
+    },
+}
+
+/// Tries to specialize the value of `result` into a [`FastKernel`].
+///
+/// Requires single-assignment form (the compiler always emits it); bails on
+/// programs that rewrite registers, chains longer than four factors, or any
+/// non-multiply operation on the path.
+pub fn specialize(prog: &Program, bp: &BlockProgram, result: Reg) -> Option<FastKernel> {
+    // Single-assignment check + definition map.
+    let mut def: Vec<Option<usize>> = vec![None; prog.n_regs as usize];
+    for (i, ins) in prog.instrs.iter().enumerate() {
+        let out = match *ins {
+            Instr::LoadMain { out }
+            | Instr::LoadUVDot { out }
+            | Instr::LoadSide { out, .. }
+            | Instr::LoadScalar { out, .. }
+            | Instr::LoadConst { out, .. }
+            | Instr::Unary { out, .. }
+            | Instr::Binary { out, .. }
+            | Instr::Ternary { out, .. } => out,
+            _ => return None,
+        };
+        if def[out as usize].is_some() {
+            return None; // register reuse: reaching defs are ambiguous
+        }
+        def[out as usize] = Some(i);
+    }
+    let mut mains = 0u8;
+    let mut slots = Vec::new();
+    let mut stack = vec![result];
+    while let Some(r) = stack.pop() {
+        let ins = &prog.instrs[def[r as usize]?];
+        match *ins {
+            Instr::LoadMain { .. } => mains = mains.checked_add(1)?,
+            Instr::LoadSide { side, access, .. }
+                if matches!(access, SideAccess::Cell | SideAccess::Row) =>
+            {
+                let slot = bp.gathers.iter().position(|&g| g == (side, access))? as u16;
+                slots.push(slot);
+            }
+            Instr::Binary { op: BinaryOp::Mult, a, b, .. } => {
+                stack.push(a);
+                stack.push(b);
+            }
+            _ => return None,
+        }
+        if mains as usize + slots.len() > 4 {
+            return None;
+        }
+    }
+    if mains as usize + slots.len() == 0 {
+        return None;
+    }
+    Some(FastKernel::ProductChain { mains, slots })
+}
+
+/// Product-chain factors resolved for one tile: a uniform prefactor plus up
+/// to four slice factors.
+#[derive(Clone, Copy)]
+pub struct Factors<'a> {
+    pub k: f64,
+    s: [&'a [f64]; 4],
+    len: usize,
+}
+
+impl<'a> Factors<'a> {
+    /// Builds the factor list from resolved operand references.
+    pub fn from_refs(refs: impl Iterator<Item = OpRef<'a>>) -> Option<Factors<'a>> {
+        let mut f = Factors { k: 1.0, s: [&[]; 4], len: 0 };
+        for r in refs {
+            match r {
+                OpRef::C(c) => f.k *= c,
+                OpRef::S(s) => {
+                    if f.len == 4 {
+                        return None;
+                    }
+                    f.s[f.len] = s;
+                    f.len += 1;
+                }
+            }
+        }
+        Some(f)
+    }
+
+    /// `Σ_i k · Π_j s_j[i]` over `n` elements — the fused sum loop.
+    pub fn sum(&self, n: usize) -> f64 {
+        let k = self.k;
+        match self.len {
+            0 => k * n as f64,
+            1 => k * prim::vect_sum(self.s[0], 0, n),
+            2 => {
+                let d = prim::dot_product(self.s[0], self.s[1], 0, 0, n);
+                if k == 1.0 {
+                    d
+                } else {
+                    k * d
+                }
+            }
+            3 => {
+                let (a, b, c) = (&self.s[0][..n], &self.s[1][..n], &self.s[2][..n]);
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+                let chunks = n / 4;
+                for i in 0..chunks {
+                    let p = i * 4;
+                    a0 += a[p] * b[p] * c[p];
+                    a1 += a[p + 1] * b[p + 1] * c[p + 1];
+                    a2 += a[p + 2] * b[p + 2] * c[p + 2];
+                    a3 += a[p + 3] * b[p + 3] * c[p + 3];
+                }
+                let mut acc = a0 + a1 + a2 + a3;
+                for i in chunks * 4..n {
+                    acc += a[i] * b[i] * c[i];
+                }
+                k * acc
+            }
+            _ => {
+                let (a, b, c, d) =
+                    (&self.s[0][..n], &self.s[1][..n], &self.s[2][..n], &self.s[3][..n]);
+                let mut acc = 0.0;
+                for i in 0..n {
+                    acc += a[i] * b[i] * c[i] * d[i];
+                }
+                k * acc
+            }
+        }
+    }
+
+    /// `dst[i] = k · Π_j s_j[i]` for `i < dst.len()`.
+    pub fn product_into(&self, dst: &mut [f64]) {
+        let n = dst.len();
+        let k = self.k;
+        match self.len {
+            0 => dst.fill(k),
+            1 => {
+                let a = &self.s[0][..n];
+                for i in 0..n {
+                    dst[i] = k * a[i];
+                }
+            }
+            2 => {
+                let (a, b) = (&self.s[0][..n], &self.s[1][..n]);
+                for i in 0..n {
+                    dst[i] = k * a[i] * b[i];
+                }
+            }
+            3 => {
+                let (a, b, c) = (&self.s[0][..n], &self.s[1][..n], &self.s[2][..n]);
+                for i in 0..n {
+                    dst[i] = k * a[i] * b[i] * c[i];
+                }
+            }
+            _ => {
+                let (a, b, c, d) =
+                    (&self.s[0][..n], &self.s[1][..n], &self.s[2][..n], &self.s[3][..n]);
+                for i in 0..n {
+                    dst[i] = k * a[i] * b[i] * c[i] * d[i];
+                }
+            }
+        }
+    }
+}
+
+// ===========================================================================
+// Compiled kernel: block program + specializations
+// ===========================================================================
+
+/// A fully compiled block kernel: the lowered program plus per-register
+/// fast-path specializations (cached by the plan cache, keyed by
+/// [`program_hash`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockKernel {
+    pub block: BlockProgram,
+    /// Fast kernel per scalar register (indexed by `Reg`), where one exists.
+    pub fast: Vec<Option<FastKernel>>,
+}
+
+impl BlockKernel {
+    /// The fast kernel for a result register, if specialized.
+    #[inline]
+    pub fn fast_for(&self, r: Reg) -> Option<&FastKernel> {
+        self.fast.get(r as usize).and_then(|f| f.as_ref())
+    }
+}
+
+/// Lowers and specializes a scalar program into a [`BlockKernel`].
+pub fn compile_kernel(prog: &Program) -> BlockKernel {
+    let block = lower(prog);
+    let fast = (0..prog.n_regs)
+        .map(|r| match block.src_of(r) {
+            // Only varying results benefit from a fused loop.
+            ValSrc::Varying(_) => specialize(prog, &block, r),
+            ValSrc::Uniform(_) => None,
+        })
+        .collect();
+    BlockKernel { block, fast }
+}
+
+/// Structural hash of a scalar program (block-kernel cache key).
+pub fn program_hash(p: &Program) -> u64 {
+    crate::util::fx_hash(&format!("{p:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spoof::eval_scalar_program;
+
+    fn no_sides(_: usize, _: SideAccess) -> f64 {
+        0.0
+    }
+
+    /// `f(a) = (a != 0) * 2 + 1` — from the scalar evaluator's test.
+    fn indicator_prog() -> Program {
+        Program {
+            instrs: vec![
+                Instr::LoadMain { out: 0 },
+                Instr::LoadConst { out: 1, value: 0.0 },
+                Instr::Binary { out: 2, op: BinaryOp::Neq, a: 0, b: 1 },
+                Instr::LoadConst { out: 3, value: 2.0 },
+                Instr::Binary { out: 4, op: BinaryOp::Mult, a: 2, b: 3 },
+                Instr::LoadConst { out: 5, value: 1.0 },
+                Instr::Binary { out: 6, op: BinaryOp::Add, a: 4, b: 5 },
+            ],
+            n_regs: 7,
+            vreg_lens: vec![],
+        }
+    }
+
+    #[test]
+    fn lowering_hoists_constants() {
+        let bp = lower(&indicator_prog());
+        // The three constants are invariant; the three binaries touch the
+        // varying main, so they stay in the body.
+        assert_eq!(bp.invariant.len(), 3);
+        assert!(bp.row_uniform.is_empty());
+        assert_eq!(bp.body.len(), 3);
+        assert!(bp.gathers.is_empty());
+    }
+
+    #[test]
+    fn block_matches_scalar_on_indicator() {
+        let prog = indicator_prog();
+        let bp = lower(&prog);
+        let mut ev = BlockEval::new(&bp, 8);
+        ev.set_invariants(&bp, &no_sides, &[]);
+        let main = [5.0, 0.0, -1.0, 0.0, 2.0];
+        let ctx = TileCtx { main: TileSrc::Slice(&main), uv: TileSrc::Const(0.0), gathers: &[] };
+        ev.eval_body(&bp, &ctx, main.len());
+        let out = ev.value_of(&bp, 6, &ctx, main.len());
+        let mut regs = vec![0.0; 7];
+        for (i, &m) in main.iter().enumerate() {
+            eval_scalar_program(&prog, &mut regs, m, 0.0, &no_sides, &[]);
+            assert_eq!(out.get(i), regs[6], "element {i}");
+        }
+    }
+
+    #[test]
+    fn side_access_classes() {
+        // t0 = side0[Cell]; t1 = side1[Col]; t2 = side2[Scalar];
+        // r = (t0 * t1) + t2
+        let prog = Program {
+            instrs: vec![
+                Instr::LoadSide { out: 0, side: 0, access: SideAccess::Cell },
+                Instr::LoadSide { out: 1, side: 1, access: SideAccess::Col },
+                Instr::LoadSide { out: 2, side: 2, access: SideAccess::Scalar },
+                Instr::Binary { out: 3, op: BinaryOp::Mult, a: 0, b: 1 },
+                Instr::Binary { out: 4, op: BinaryOp::Add, a: 3, b: 2 },
+            ],
+            n_regs: 5,
+            vreg_lens: vec![],
+        };
+        let bp = lower(&prog);
+        assert_eq!(bp.gathers, vec![(0, SideAccess::Cell)]);
+        assert_eq!(bp.invariant.len(), 1, "Scalar access is invariant");
+        assert_eq!(bp.row_uniform.len(), 1, "Col access is row-uniform");
+        assert_eq!(bp.body.len(), 2);
+
+        let mut ev = BlockEval::new(&bp, 4);
+        ev.set_invariants(&bp, &|s, _| if s == 2 { 10.0 } else { 0.0 }, &[]);
+        ev.begin_row(&bp, &|s, _| if s == 1 { 3.0 } else { 0.0 });
+        let side_tile = [1.0, 2.0, 4.0];
+        let g = [TileSrc::Slice(&side_tile[..])];
+        let ctx = TileCtx { main: TileSrc::Const(0.0), uv: TileSrc::Const(0.0), gathers: &g };
+        ev.eval_body(&bp, &ctx, 3);
+        let out = ev.value_of(&bp, 4, &ctx, 3);
+        assert_eq!([out.get(0), out.get(1), out.get(2)], [13.0, 16.0, 22.0]);
+    }
+
+    #[test]
+    fn uniform_result_program() {
+        // r = 3 * 7 — fully invariant; no body instructions at all.
+        let prog = Program {
+            instrs: vec![
+                Instr::LoadConst { out: 0, value: 3.0 },
+                Instr::LoadConst { out: 1, value: 7.0 },
+                Instr::Binary { out: 2, op: BinaryOp::Mult, a: 0, b: 1 },
+            ],
+            n_regs: 3,
+            vreg_lens: vec![],
+        };
+        let bp = lower(&prog);
+        assert!(bp.body.is_empty());
+        let mut ev = BlockEval::new(&bp, 4);
+        ev.set_invariants(&bp, &no_sides, &[]);
+        let ctx = TileCtx::empty();
+        match ev.value_of(&bp, 2, &ctx, 4) {
+            OpRef::C(v) => assert_eq!(v, 21.0),
+            OpRef::S(_) => panic!("uniform result expected"),
+        }
+        assert_eq!(fold_result(AggOp::Sum, 0.0, OpRef::C(21.0), 4), 84.0);
+    }
+
+    #[test]
+    fn specializes_product_chains() {
+        // r = a * s0 * s1 (the fig8a shape).
+        let prog = Program {
+            instrs: vec![
+                Instr::LoadMain { out: 0 },
+                Instr::LoadSide { out: 1, side: 0, access: SideAccess::Cell },
+                Instr::Binary { out: 2, op: BinaryOp::Mult, a: 0, b: 1 },
+                Instr::LoadSide { out: 3, side: 1, access: SideAccess::Cell },
+                Instr::Binary { out: 4, op: BinaryOp::Mult, a: 2, b: 3 },
+            ],
+            n_regs: 5,
+            vreg_lens: vec![],
+        };
+        let k = compile_kernel(&prog);
+        match k.fast_for(4) {
+            Some(FastKernel::ProductChain { mains, slots }) => {
+                assert_eq!(*mains, 1);
+                assert_eq!(slots.len(), 2);
+            }
+            other => panic!("expected product chain, got {other:?}"),
+        }
+        // Intermediate register 2 is also a (shorter) chain.
+        assert!(k.fast_for(2).is_some());
+        // Loads themselves specialize trivially but harmlessly.
+        assert!(k.fast_for(0).is_some());
+    }
+
+    #[test]
+    fn does_not_specialize_non_products() {
+        // r = log(uv + eps) * a — the fig8h shape: has Add + Log + UVDot.
+        let prog = Program {
+            instrs: vec![
+                Instr::LoadMain { out: 0 },
+                Instr::LoadUVDot { out: 1 },
+                Instr::LoadConst { out: 2, value: 1e-15 },
+                Instr::Binary { out: 3, op: BinaryOp::Add, a: 1, b: 2 },
+                Instr::Unary { out: 4, op: UnaryOp::Log, a: 3 },
+                Instr::Binary { out: 5, op: BinaryOp::Mult, a: 0, b: 4 },
+            ],
+            n_regs: 6,
+            vreg_lens: vec![],
+        };
+        let k = compile_kernel(&prog);
+        assert!(k.fast_for(5).is_none());
+    }
+
+    #[test]
+    fn factors_sum_and_product_agree() {
+        let a: Vec<f64> = (0..13).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..13).map(|i| (i as f64).cos()).collect();
+        let c: Vec<f64> = (0..13).map(|i| 1.0 + i as f64 * 0.1).collect();
+        for slices in [vec![&a], vec![&a, &b], vec![&a, &b, &c]] {
+            let refs = slices.iter().map(|s| OpRef::S(&s[..]));
+            let f = Factors::from_refs(refs.chain([OpRef::C(2.0)])).unwrap();
+            let mut out = vec![0.0; 13];
+            f.product_into(&mut out);
+            let expect: Vec<f64> =
+                (0..13).map(|i| 2.0 * slices.iter().map(|s| s[i]).product::<f64>()).collect();
+            for (x, y) in out.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-12);
+            }
+            let s = f.sum(13);
+            let es: f64 = expect.iter().sum();
+            assert!((s - es).abs() < 1e-9 * es.abs().max(1.0), "{s} vs {es}");
+        }
+    }
+
+    #[test]
+    fn tile_width_and_backend_globals() {
+        let w0 = tile_width();
+        set_tile_width(64);
+        assert_eq!(tile_width(), 64);
+        set_tile_width(1); // clamps
+        assert_eq!(tile_width(), 8);
+        set_tile_width(w0);
+        assert_eq!(cell_backend(), CellBackend::BlockFast);
+    }
+
+    #[test]
+    fn program_hash_is_structural() {
+        let p1 = indicator_prog();
+        let p2 = indicator_prog();
+        assert_eq!(program_hash(&p1), program_hash(&p2));
+        let mut p3 = indicator_prog();
+        p3.instrs[1] = Instr::LoadConst { out: 1, value: 4.0 };
+        assert_ne!(program_hash(&p1), program_hash(&p3));
+    }
+}

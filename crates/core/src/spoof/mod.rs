@@ -5,11 +5,16 @@
 //! with janino. We keep the identical pipeline shape but compile CPlans into
 //! flat register programs whose instructions call the same vector-primitive
 //! library (`fusedml_linalg::primitives`) the generated Java calls
-//! (DESIGN.md substitution X1). A program is interpreted once per cell
-//! (Cell/MAgg/Outer templates) or once per row (Row template) by the
-//! skeleton that owns data access, multi-threading and aggregation.
+//! (DESIGN.md substitution X1). Cell/MAgg/Outer programs execute through
+//! the tile-vectorized [`block`] backend by default (dispatch amortized
+//! over whole tiles, with closure-specialized fast paths); the per-cell
+//! scalar interpreter below is retained as the differential-test oracle.
+//! Row programs are interpreted once per row by the skeleton that owns
+//! data access, multi-threading and aggregation.
 
 use fusedml_linalg::ops::{AggOp, BinaryOp, TernaryOp, UnaryOp};
+
+pub mod block;
 
 /// Scalar register index.
 pub type Reg = u16;

@@ -121,6 +121,35 @@ where
     });
 }
 
+/// Splits a mutable slice into per-thread row bands and runs `f` once per
+/// band with `(first_row, band)` — unlike [`par_rows_mut`], workers see their
+/// whole contiguous band, so per-thread state (scratch buffers, evaluator
+/// register files) can be set up once per band instead of once per row.
+pub fn par_row_bands_mut<F>(
+    data: &mut [f64],
+    rows: usize,
+    row_len: usize,
+    work_per_row: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert_eq!(data.len(), rows * row_len, "slice/row geometry mismatch");
+    let k = num_threads();
+    if k <= 1 || rows * work_per_row.max(1) < PAR_THRESHOLD || rows < 2 {
+        f(0, data);
+        return;
+    }
+    let k = k.min(rows);
+    let band = rows.div_ceil(k);
+    std::thread::scope(|s| {
+        for (t, chunk) in data.chunks_mut(band * row_len).enumerate() {
+            let fref = &f;
+            s.spawn(move || fref(t * band, chunk));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +181,25 @@ mod tests {
         par_rows_mut(&mut data, rows, cols, cols, |r, row| {
             for v in row.iter_mut() {
                 *v += r as f64;
+            }
+        });
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(data[r * cols + c], r as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn par_row_bands_cover_all_rows_once() {
+        let rows = 3000;
+        let cols = 4;
+        let mut data = vec![0.0; rows * cols];
+        par_row_bands_mut(&mut data, rows, cols, cols, |r0, band| {
+            for (i, row) in band.chunks_exact_mut(cols).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (r0 + i) as f64;
+                }
             }
         });
         for r in 0..rows {

@@ -1,14 +1,26 @@
 //! The `SpoofCellwise` skeleton: iterates cells (or non-zeros when the
 //! generated function is sparse-safe) of the main input and applies the
-//! scalar register program, with no-agg / row-agg / col-agg / full-agg
-//! variants (paper Table 1, Figure 4).
+//! register program, with no-agg / row-agg / col-agg / full-agg variants
+//! (paper Table 1, Figure 4).
+//!
+//! Two backends share every variant: the **block backend** (default)
+//! evaluates the tile-vectorized [`fusedml_core::spoof::block`] lowering of
+//! the program — amortizing instruction dispatch over whole tiles and taking
+//! closure-specialized fast paths for product chains — while the **scalar
+//! backend** interprets the program per cell and is retained as the
+//! differential-test oracle.
 
 use crate::side::SideInput;
-use fusedml_core::spoof::{eval_scalar_program, CellAgg, CellSpec, SideAccess};
+use crate::spoof::tiles::{self, MainReader, TileRunner};
+use fusedml_core::plancache;
+use fusedml_core::spoof::block::{
+    self, fold_result, write_result, BlockProgram, CellBackend, FastKernel, OpRef, TileSrc,
+};
+use fusedml_core::spoof::{eval_scalar_program, CellAgg, CellSpec, Reg, SideAccess};
 use fusedml_linalg::ops::AggOp;
 use fusedml_linalg::{par, DenseMatrix, Matrix, SparseMatrix};
 
-/// Executes a Cell operator.
+/// Executes a Cell operator under the globally selected backend.
 pub fn execute(
     spec: &CellSpec,
     main: Option<&Matrix>,
@@ -17,12 +29,468 @@ pub fn execute(
     iter_rows: usize,
     iter_cols: usize,
 ) -> Matrix {
+    execute_with(spec, main, sides, scalars, iter_rows, iter_cols, block::cell_backend())
+}
+
+/// Executes a Cell operator under an explicit backend (differential tests
+/// pin [`CellBackend::Scalar`] as the oracle for the tile paths).
+pub fn execute_with(
+    spec: &CellSpec,
+    main: Option<&Matrix>,
+    sides: &[SideInput],
+    scalars: &[f64],
+    iter_rows: usize,
+    iter_cols: usize,
+    backend: CellBackend,
+) -> Matrix {
+    if backend != CellBackend::Scalar {
+        let kernel = plancache::block_cache().get_or_lower(&spec.prog);
+        if tiles::supported(&kernel) {
+            let fast_ok = backend == CellBackend::BlockFast;
+            return match (main, spec.sparse_safe) {
+                (Some(Matrix::Sparse(s)), true) => {
+                    block_sparse_exec(spec, &kernel, fast_ok, s, sides, scalars)
+                }
+                (m, _) => block_dense_exec(
+                    spec, &kernel, fast_ok, m, sides, scalars, iter_rows, iter_cols,
+                ),
+            };
+        }
+    }
     match (main, spec.sparse_safe) {
         (Some(Matrix::Sparse(s)), true) => sparse_safe_exec(spec, s, sides, scalars),
-        (Some(m), _) => dense_exec(spec, Some(m), sides, scalars, iter_rows, iter_cols),
-        (None, _) => dense_exec(spec, None, sides, scalars, iter_rows, iter_cols),
+        (m, _) => dense_exec(spec, m, sides, scalars, iter_rows, iter_cols),
     }
 }
+
+/// `Mean` divides the fold by the number of aggregated positions; shared by
+/// the dense and sparse paths of both backends.
+fn finalize(op: AggOp, acc: f64, count: usize) -> f64 {
+    if op == AggOp::Mean {
+        acc / count as f64
+    } else {
+        acc
+    }
+}
+
+// ===========================================================================
+// Block backend
+// ===========================================================================
+
+/// Shared per-tile fold logic: fast product chain where available, generic
+/// body evaluation otherwise.
+struct CellFold<'k> {
+    bp: &'k BlockProgram,
+    result: Reg,
+    fast: Option<&'k FastKernel>,
+    op: AggOp,
+}
+
+impl<'k> CellFold<'k> {
+    #[allow(clippy::too_many_arguments)] // mirrors the skeleton calling convention
+    fn dense(
+        &self,
+        tr: &mut TileRunner<'_, '_>,
+        m: TileSrc<'_>,
+        r: usize,
+        c0: usize,
+        n: usize,
+        acc: f64,
+        ptile: &mut [f64],
+    ) -> f64 {
+        let zero = TileSrc::Const(0.0);
+        match self.fast {
+            Some(fk) if matches!(self.op, AggOp::Sum | AggOp::Mean) => {
+                tr.dense_tile(m, zero, r, c0, n, false, |ev, ctx, n| {
+                    acc + tiles::factors(ev, fk, ctx, n).sum(n)
+                })
+            }
+            Some(fk) => tr.dense_tile(m, zero, r, c0, n, false, |ev, ctx, n| {
+                tiles::factors(ev, fk, ctx, n).product_into(&mut ptile[..n]);
+                fold_result(self.op, acc, OpRef::S(&ptile[..n]), n)
+            }),
+            None => tr.dense_tile(m, zero, r, c0, n, true, |ev, ctx, n| {
+                fold_result(self.op, acc, ev.value_of(self.bp, self.result, ctx, n), n)
+            }),
+        }
+    }
+
+    fn sparse(
+        &self,
+        tr: &mut TileRunner<'_, '_>,
+        vals: &[f64],
+        r: usize,
+        cols: &[usize],
+        acc: f64,
+        ptile: &mut [f64],
+    ) -> f64 {
+        let (m, zero) = (TileSrc::Slice(vals), TileSrc::Const(0.0));
+        match self.fast {
+            Some(fk) if matches!(self.op, AggOp::Sum | AggOp::Mean) => {
+                tr.sparse_tile(m, zero, r, cols, false, |ev, ctx, n| {
+                    acc + tiles::factors(ev, fk, ctx, n).sum(n)
+                })
+            }
+            Some(fk) => tr.sparse_tile(m, zero, r, cols, false, |ev, ctx, n| {
+                tiles::factors(ev, fk, ctx, n).product_into(&mut ptile[..n]);
+                fold_result(self.op, acc, OpRef::S(&ptile[..n]), n)
+            }),
+            None => tr.sparse_tile(m, zero, r, cols, true, |ev, ctx, n| {
+                fold_result(self.op, acc, ev.value_of(self.bp, self.result, ctx, n), n)
+            }),
+        }
+    }
+}
+
+/// Evaluates one tile into `dst` (NoAgg outputs and scatter folds).
+#[allow(clippy::too_many_arguments)] // mirrors the skeleton calling convention
+fn eval_tile_into(
+    tr: &mut TileRunner<'_, '_>,
+    bp: &BlockProgram,
+    result: Reg,
+    fast: Option<&FastKernel>,
+    m: TileSrc<'_>,
+    r: usize,
+    pos: TilePos<'_>,
+    dst: &mut [f64],
+) {
+    let zero = TileSrc::Const(0.0);
+    match (fast, pos) {
+        (Some(fk), TilePos::Dense(c0)) => {
+            tr.dense_tile(m, zero, r, c0, dst.len(), false, |ev, ctx, n| {
+                tiles::factors(ev, fk, ctx, n).product_into(dst)
+            })
+        }
+        (None, TilePos::Dense(c0)) => {
+            tr.dense_tile(m, zero, r, c0, dst.len(), true, |ev, ctx, n| {
+                write_result(ev.value_of(bp, result, ctx, n), dst)
+            })
+        }
+        (Some(fk), TilePos::Sparse(cols)) => {
+            tr.sparse_tile(m, zero, r, cols, false, |ev, ctx, n| {
+                tiles::factors(ev, fk, ctx, n).product_into(dst)
+            })
+        }
+        (None, TilePos::Sparse(cols)) => tr.sparse_tile(m, zero, r, cols, true, |ev, ctx, n| {
+            write_result(ev.value_of(bp, result, ctx, n), dst)
+        }),
+    }
+}
+
+/// Tile position: a dense column offset or scattered column indices.
+#[derive(Clone, Copy)]
+enum TilePos<'a> {
+    Dense(usize),
+    Sparse(&'a [usize]),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn block_dense_exec(
+    spec: &CellSpec,
+    kernel: &fusedml_core::spoof::block::BlockKernel,
+    fast_ok: bool,
+    main: Option<&Matrix>,
+    sides: &[SideInput],
+    scalars: &[f64],
+    rows: usize,
+    cols: usize,
+) -> Matrix {
+    let width = block::tile_width();
+    let fast = if fast_ok { kernel.fast_for(spec.result) } else { None };
+    let bp = &kernel.block;
+    match spec.agg {
+        CellAgg::NoAgg => {
+            let mut out = vec![0.0f64; rows * cols];
+            par::par_row_bands_mut(&mut out, rows, cols.max(1), cols.max(1) * 4, |r0, band| {
+                let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
+                let mut mr = MainReader::new(main, cols);
+                for (i, orow) in band.chunks_exact_mut(cols.max(1)).enumerate() {
+                    let r = r0 + i;
+                    tr.begin_row_dense(r);
+                    let row_src = mr.row(r);
+                    let mut c0 = 0;
+                    while c0 < cols {
+                        let n = width.min(cols - c0);
+                        let m = tiles::sub_tile(row_src, c0, n);
+                        let dst = &mut orow[c0..c0 + n];
+                        eval_tile_into(
+                            &mut tr,
+                            bp,
+                            spec.result,
+                            fast,
+                            m,
+                            r,
+                            TilePos::Dense(c0),
+                            dst,
+                        );
+                        c0 += n;
+                    }
+                }
+            });
+            Matrix::dense(DenseMatrix::new(rows, cols, out))
+        }
+        CellAgg::RowAgg(op) => {
+            let fold = CellFold { bp, result: spec.result, fast, op };
+            let mut out = vec![0.0f64; rows];
+            par::par_row_bands_mut(&mut out, rows, 1, cols.max(1) * 4, |r0, band| {
+                let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
+                let mut mr = MainReader::new(main, cols);
+                let mut ptile = vec![0.0f64; width];
+                for (i, slot) in band.iter_mut().enumerate() {
+                    let r = r0 + i;
+                    tr.begin_row_dense(r);
+                    let row_src = mr.row(r);
+                    let mut acc = op.identity();
+                    let mut c0 = 0;
+                    while c0 < cols {
+                        let n = width.min(cols - c0);
+                        let m = tiles::sub_tile(row_src, c0, n);
+                        acc = fold.dense(&mut tr, m, r, c0, n, acc, &mut ptile);
+                        c0 += n;
+                    }
+                    *slot = finalize(op, acc, cols);
+                }
+            });
+            Matrix::dense(DenseMatrix::new(rows, 1, out))
+        }
+        CellAgg::ColAgg(op) => {
+            let mut acc = par::par_map_reduce(
+                rows,
+                cols.max(1) * 4,
+                vec![op.identity(); cols],
+                |lo, hi| {
+                    let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
+                    let mut mr = MainReader::new(main, cols);
+                    let mut ptile = vec![0.0f64; width];
+                    let mut acc = vec![op.identity(); cols];
+                    for r in lo..hi {
+                        tr.begin_row_dense(r);
+                        let row_src = mr.row(r);
+                        let mut c0 = 0;
+                        while c0 < cols {
+                            let n = width.min(cols - c0);
+                            let m = tiles::sub_tile(row_src, c0, n);
+                            eval_tile_into(
+                                &mut tr,
+                                bp,
+                                spec.result,
+                                fast,
+                                m,
+                                r,
+                                TilePos::Dense(c0),
+                                &mut ptile[..n],
+                            );
+                            tiles::fold_cols(op, &mut acc[c0..c0 + n], OpRef::S(&ptile[..n]));
+                            c0 += n;
+                        }
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x = op.combine(*x, y);
+                    }
+                    a
+                },
+            );
+            for slot in acc.iter_mut() {
+                *slot = finalize(op, *slot, rows);
+            }
+            Matrix::dense(DenseMatrix::new(1, cols, acc))
+        }
+        CellAgg::FullAgg(op) => {
+            let fold = CellFold { bp, result: spec.result, fast, op };
+            let acc = par::par_map_reduce(
+                rows,
+                cols.max(1) * 4,
+                op.identity(),
+                |lo, hi| {
+                    let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
+                    let mut mr = MainReader::new(main, cols);
+                    let mut ptile = vec![0.0f64; width];
+                    let mut acc = op.identity();
+                    for r in lo..hi {
+                        tr.begin_row_dense(r);
+                        let row_src = mr.row(r);
+                        let mut c0 = 0;
+                        while c0 < cols {
+                            let n = width.min(cols - c0);
+                            let m = tiles::sub_tile(row_src, c0, n);
+                            acc = fold.dense(&mut tr, m, r, c0, n, acc, &mut ptile);
+                            c0 += n;
+                        }
+                    }
+                    acc
+                },
+                |a, b| op.combine(a, b),
+            );
+            Matrix::dense(DenseMatrix::filled(1, 1, finalize(op, acc, rows * cols)))
+        }
+    }
+}
+
+fn block_sparse_exec(
+    spec: &CellSpec,
+    kernel: &fusedml_core::spoof::block::BlockKernel,
+    fast_ok: bool,
+    main: &SparseMatrix,
+    sides: &[SideInput],
+    scalars: &[f64],
+) -> Matrix {
+    let (rows, cols) = (main.rows(), main.cols());
+    let width = block::tile_width();
+    let fast = if fast_ok { kernel.fast_for(spec.result) } else { None };
+    let bp = &kernel.block;
+    let work = (main.nnz() / rows.max(1)).max(1) * 4;
+    match spec.agg {
+        CellAgg::NoAgg => {
+            let triples = par::par_map_reduce(
+                rows,
+                work,
+                Vec::new(),
+                |lo, hi| {
+                    let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
+                    let mut ptile = vec![0.0f64; width];
+                    let mut triples = Vec::new();
+                    for r in lo..hi {
+                        tr.begin_row_sparse(r);
+                        for (vchunk, cchunk) in
+                            main.row_values(r).chunks(width).zip(main.row_cols(r).chunks(width))
+                        {
+                            let n = cchunk.len();
+                            eval_tile_into(
+                                &mut tr,
+                                bp,
+                                spec.result,
+                                fast,
+                                TileSrc::Slice(vchunk),
+                                r,
+                                TilePos::Sparse(cchunk),
+                                &mut ptile[..n],
+                            );
+                            for (i, &c) in cchunk.iter().enumerate() {
+                                if ptile[i] != 0.0 {
+                                    triples.push((r, c, ptile[i]));
+                                }
+                            }
+                        }
+                    }
+                    triples
+                },
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            );
+            Matrix::sparse(SparseMatrix::from_triples(rows, cols, triples))
+        }
+        CellAgg::RowAgg(op) => {
+            let fold = CellFold { bp, result: spec.result, fast, op };
+            let mut out = vec![0.0f64; rows];
+            par::par_row_bands_mut(&mut out, rows, 1, work, |r0, band| {
+                let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
+                let mut ptile = vec![0.0f64; width];
+                for (i, slot) in band.iter_mut().enumerate() {
+                    let r = r0 + i;
+                    tr.begin_row_sparse(r);
+                    let mut acc = op.identity();
+                    for (vchunk, cchunk) in
+                        main.row_values(r).chunks(width).zip(main.row_cols(r).chunks(width))
+                    {
+                        acc = fold.sparse(&mut tr, vchunk, r, cchunk, acc, &mut ptile);
+                    }
+                    if !op.sparse_safe() && main.row_nnz(r) < cols {
+                        acc = op.fold(acc, 0.0);
+                    }
+                    *slot = finalize(op, acc, cols);
+                }
+            });
+            Matrix::dense(DenseMatrix::new(rows, 1, out))
+        }
+        CellAgg::ColAgg(op) => {
+            let (mut acc, counts) = par::par_map_reduce(
+                rows,
+                work,
+                (vec![op.identity(); cols], vec![0usize; cols]),
+                |lo, hi| {
+                    let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
+                    let mut ptile = vec![0.0f64; width];
+                    let mut acc = vec![op.identity(); cols];
+                    let mut counts = vec![0usize; cols];
+                    for r in lo..hi {
+                        tr.begin_row_sparse(r);
+                        for (vchunk, cchunk) in
+                            main.row_values(r).chunks(width).zip(main.row_cols(r).chunks(width))
+                        {
+                            let n = cchunk.len();
+                            eval_tile_into(
+                                &mut tr,
+                                bp,
+                                spec.result,
+                                fast,
+                                TileSrc::Slice(vchunk),
+                                r,
+                                TilePos::Sparse(cchunk),
+                                &mut ptile[..n],
+                            );
+                            for (i, &c) in cchunk.iter().enumerate() {
+                                acc[c] = op.fold(acc[c], ptile[i]);
+                                counts[c] += 1;
+                            }
+                        }
+                    }
+                    (acc, counts)
+                },
+                |(mut a, mut ca), (b, cb)| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x = op.combine(*x, y);
+                    }
+                    for (x, y) in ca.iter_mut().zip(cb) {
+                        *x += y;
+                    }
+                    (a, ca)
+                },
+            );
+            for c in 0..cols {
+                if !op.sparse_safe() && counts[c] < rows {
+                    acc[c] = op.fold(acc[c], 0.0);
+                }
+                acc[c] = finalize(op, acc[c], rows);
+            }
+            Matrix::dense(DenseMatrix::new(1, cols, acc))
+        }
+        CellAgg::FullAgg(op) => {
+            let fold = CellFold { bp, result: spec.result, fast, op };
+            let acc = par::par_map_reduce(
+                rows,
+                work,
+                op.identity(),
+                |lo, hi| {
+                    let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
+                    let mut ptile = vec![0.0f64; width];
+                    let mut acc = op.identity();
+                    for r in lo..hi {
+                        tr.begin_row_sparse(r);
+                        for (vchunk, cchunk) in
+                            main.row_values(r).chunks(width).zip(main.row_cols(r).chunks(width))
+                        {
+                            acc = fold.sparse(&mut tr, vchunk, r, cchunk, acc, &mut ptile);
+                        }
+                    }
+                    acc
+                },
+                |a, b| op.combine(a, b),
+            );
+            let acc =
+                if !op.sparse_safe() && main.nnz() < rows * cols { op.fold(acc, 0.0) } else { acc };
+            Matrix::dense(DenseMatrix::filled(1, 1, finalize(op, acc, rows * cols)))
+        }
+    }
+}
+
+// ===========================================================================
+// Scalar backend (the differential-test oracle)
+// ===========================================================================
 
 /// Evaluates the program for one (rix, cix) position.
 #[inline]
@@ -66,17 +534,17 @@ fn dense_exec(
                 let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
                 let mut acc = op.identity();
                 for c in 0..cols {
-                    acc = op.fold_value(
+                    acc = op.fold(
                         acc,
                         exec_cell(spec, &mut regs, main_get(r, c), sides, scalars, r, c),
                     );
                 }
-                slot[0] = acc;
+                slot[0] = finalize(op, acc, cols);
             });
             Matrix::dense(DenseMatrix::new(rows, 1, out))
         }
         CellAgg::ColAgg(op) => {
-            let acc = par::par_map_reduce(
+            let mut acc = par::par_map_reduce(
                 rows,
                 cols.max(1) * 4,
                 vec![op.identity(); cols],
@@ -85,7 +553,7 @@ fn dense_exec(
                     let mut acc = vec![op.identity(); cols];
                     for r in lo..hi {
                         for (c, slot) in acc.iter_mut().enumerate() {
-                            *slot = op.fold_value(
+                            *slot = op.fold(
                                 *slot,
                                 exec_cell(spec, &mut regs, main_get(r, c), sides, scalars, r, c),
                             );
@@ -100,6 +568,9 @@ fn dense_exec(
                     a
                 },
             );
+            for slot in acc.iter_mut() {
+                *slot = finalize(op, *slot, rows);
+            }
             Matrix::dense(DenseMatrix::new(1, cols, acc))
         }
         CellAgg::FullAgg(op) => {
@@ -112,7 +583,7 @@ fn dense_exec(
                     let mut acc = op.identity();
                     for r in lo..hi {
                         for c in 0..cols {
-                            acc = op.fold_value(
+                            acc = op.fold(
                                 acc,
                                 exec_cell(spec, &mut regs, main_get(r, c), sides, scalars, r, c),
                             );
@@ -122,12 +593,13 @@ fn dense_exec(
                 },
                 |a, b| op.combine(a, b),
             );
-            Matrix::dense(DenseMatrix::filled(1, 1, acc))
+            Matrix::dense(DenseMatrix::filled(1, 1, finalize(op, acc, rows * cols)))
         }
     }
 }
 
-/// Sparse-safe execution over non-zeros only.
+/// Sparse-safe execution over non-zeros only (scalar backend). All variants
+/// parallelize over row ranges via the `linalg::par` helpers.
 fn sparse_safe_exec(
     spec: &CellSpec,
     main: &SparseMatrix,
@@ -135,51 +607,81 @@ fn sparse_safe_exec(
     scalars: &[f64],
 ) -> Matrix {
     let (rows, cols) = (main.rows(), main.cols());
+    let work = (main.nnz() / rows.max(1)).max(1) * 4;
     match spec.agg {
         CellAgg::NoAgg => {
-            let mut triples = Vec::with_capacity(main.nnz());
-            let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
-            for r in 0..rows {
-                for (c, v) in main.row_iter(r) {
-                    let out = exec_cell(spec, &mut regs, v, sides, scalars, r, c);
-                    if out != 0.0 {
-                        triples.push((r, c, out));
+            let triples = par::par_map_reduce(
+                rows,
+                work,
+                Vec::new(),
+                |lo, hi| {
+                    let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                    let mut triples = Vec::new();
+                    for r in lo..hi {
+                        for (c, v) in main.row_iter(r) {
+                            let out = exec_cell(spec, &mut regs, v, sides, scalars, r, c);
+                            if out != 0.0 {
+                                triples.push((r, c, out));
+                            }
+                        }
                     }
-                }
-            }
+                    triples
+                },
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            );
             Matrix::sparse(SparseMatrix::from_triples(rows, cols, triples))
         }
         CellAgg::RowAgg(op) => {
             let mut out = vec![0.0f64; rows];
-            let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
-            for (r, slot) in out.iter_mut().enumerate() {
+            par::par_rows_mut(&mut out, rows, 1, work, |r, slot| {
+                let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
                 let mut acc = op.identity();
                 for (c, v) in main.row_iter(r) {
-                    acc = op.fold_value(acc, exec_cell(spec, &mut regs, v, sides, scalars, r, c));
+                    acc = op.fold(acc, exec_cell(spec, &mut regs, v, sides, scalars, r, c));
                 }
                 // Pseudo-sparse-safe aggregation: min/max must still observe
                 // the implicit zeros (which map to zero under sparse-safety).
                 if !op.sparse_safe() && main.row_nnz(r) < cols {
-                    acc = op.fold_value(acc, 0.0);
+                    acc = op.fold(acc, 0.0);
                 }
-                *slot = finalize(op, acc, cols);
-            }
+                slot[0] = finalize(op, acc, cols);
+            });
             Matrix::dense(DenseMatrix::new(rows, 1, out))
         }
         CellAgg::ColAgg(op) => {
-            let mut acc = vec![op.identity(); cols];
-            let mut counts = vec![0usize; cols];
-            let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
-            for r in 0..rows {
-                for (c, v) in main.row_iter(r) {
-                    acc[c] =
-                        op.fold_value(acc[c], exec_cell(spec, &mut regs, v, sides, scalars, r, c));
-                    counts[c] += 1;
-                }
-            }
+            let (mut acc, counts) = par::par_map_reduce(
+                rows,
+                work,
+                (vec![op.identity(); cols], vec![0usize; cols]),
+                |lo, hi| {
+                    let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
+                    let mut acc = vec![op.identity(); cols];
+                    let mut counts = vec![0usize; cols];
+                    for r in lo..hi {
+                        for (c, v) in main.row_iter(r) {
+                            acc[c] = op
+                                .fold(acc[c], exec_cell(spec, &mut regs, v, sides, scalars, r, c));
+                            counts[c] += 1;
+                        }
+                    }
+                    (acc, counts)
+                },
+                |(mut a, mut ca), (b, cb)| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x = op.combine(*x, y);
+                    }
+                    for (x, y) in ca.iter_mut().zip(cb) {
+                        *x += y;
+                    }
+                    (a, ca)
+                },
+            );
             for c in 0..cols {
                 if !op.sparse_safe() && counts[c] < rows {
-                    acc[c] = op.fold_value(acc[c], 0.0);
+                    acc[c] = op.fold(acc[c], 0.0);
                 }
                 acc[c] = finalize(op, acc[c], rows);
             }
@@ -188,51 +690,24 @@ fn sparse_safe_exec(
         CellAgg::FullAgg(op) => {
             let acc = par::par_map_reduce(
                 rows,
-                (main.nnz() / rows.max(1)).max(1) * 4,
+                work,
                 op.identity(),
                 |lo, hi| {
                     let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
                     let mut acc = op.identity();
                     for r in lo..hi {
                         for (c, v) in main.row_iter(r) {
-                            acc = op.fold_value(
-                                acc,
-                                exec_cell(spec, &mut regs, v, sides, scalars, r, c),
-                            );
+                            acc = op.fold(acc, exec_cell(spec, &mut regs, v, sides, scalars, r, c));
                         }
                     }
                     acc
                 },
                 |a, b| op.combine(a, b),
             );
-            let acc = if !op.sparse_safe() && main.nnz() < rows * cols {
-                op.fold_value(acc, 0.0)
-            } else {
-                acc
-            };
+            let acc =
+                if !op.sparse_safe() && main.nnz() < rows * cols { op.fold(acc, 0.0) } else { acc };
             Matrix::dense(DenseMatrix::filled(1, 1, finalize(op, acc, rows * cols)))
         }
-    }
-}
-
-fn finalize(op: AggOp, acc: f64, count: usize) -> f64 {
-    if op == AggOp::Mean {
-        acc / count as f64
-    } else {
-        acc
-    }
-}
-
-/// Folding that applies the aggregate's value transformation: `SumSq`
-/// squares the generated value before accumulation.
-trait FoldValue {
-    fn fold_value(self, acc: f64, v: f64) -> f64;
-}
-
-impl FoldValue for AggOp {
-    #[inline(always)]
-    fn fold_value(self, acc: f64, v: f64) -> f64 {
-        self.fold(acc, v)
     }
 }
 
@@ -374,5 +849,72 @@ mod tests {
             50,
         );
         assert_eq!(out[0].get(0, 0), 0.0);
+    }
+
+    /// Regression for the dense/sparse `Mean` finalization asymmetry: the
+    /// dense path must divide by the aggregated count exactly like the
+    /// sparse-safe path always did.
+    #[test]
+    fn mean_agg_finalizes_on_dense_inputs() {
+        let (rows, cols) = (37, 23);
+        let x = generate::rand_dense(rows, cols, 0.5, 1.5, 10);
+        let y = generate::rand_dense(rows, cols, 0.5, 1.5, 11);
+        let prod = fusedml_linalg::ops::binary(&x, &y, BinaryOp::Mult);
+        for backend in [CellBackend::Scalar, CellBackend::Block, CellBackend::BlockFast] {
+            for (agg, dir, count) in [
+                (CellAgg::FullAgg(AggOp::Mean), fusedml_linalg::ops::AggDir::Full, rows * cols),
+                (CellAgg::RowAgg(AggOp::Mean), fusedml_linalg::ops::AggDir::Row, cols),
+                (CellAgg::ColAgg(AggOp::Mean), fusedml_linalg::ops::AggDir::Col, rows),
+            ] {
+                let spec = mult_side_spec(agg, true);
+                let out =
+                    execute_with(&spec, Some(&x), &[SideInput::bind(&y)], &[], rows, cols, backend);
+                let sums = fusedml_linalg::ops::agg(&prod, AggOp::Sum, dir);
+                for r in 0..out.rows() {
+                    for c in 0..out.cols() {
+                        let expect = sums.get(r, c) / count as f64;
+                        assert!(
+                            fusedml_linalg::approx_eq(out.get(r, c), expect, 1e-9),
+                            "{backend:?} {dir:?} ({r},{c}): {} vs {expect}",
+                            out.get(r, c)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The block backends must agree with the scalar oracle across all agg
+    /// variants, dense and sparse mains, and ragged (non-tile-multiple)
+    /// shapes.
+    #[test]
+    fn block_backends_match_scalar_oracle() {
+        let (rows, cols) = (45, 300); // cols not a multiple of the tile width
+        let xd = generate::rand_matrix(rows, cols, -1.0, 1.0, 0.3, 12).to_dense();
+        let y = generate::rand_dense(rows, cols, -1.0, 1.0, 13);
+        let sx = Matrix::sparse(SparseMatrix::from_dense(&xd));
+        let dx = Matrix::dense(xd);
+        for agg in [
+            CellAgg::NoAgg,
+            CellAgg::RowAgg(AggOp::Sum),
+            CellAgg::ColAgg(AggOp::Max),
+            CellAgg::FullAgg(AggOp::SumSq),
+            CellAgg::FullAgg(AggOp::Mean),
+        ] {
+            let spec = mult_side_spec(agg, true);
+            for main in [&dx, &sx] {
+                let sides = [SideInput::bind(&y)];
+                let oracle =
+                    execute_with(&spec, Some(main), &sides, &[], rows, cols, CellBackend::Scalar);
+                for backend in [CellBackend::Block, CellBackend::BlockFast] {
+                    let out = execute_with(&spec, Some(main), &sides, &[], rows, cols, backend);
+                    assert!(
+                        out.approx_eq(&oracle, 1e-12),
+                        "{agg:?} {backend:?} sparse={}",
+                        main.is_sparse()
+                    );
+                }
+            }
+        }
     }
 }

@@ -12,6 +12,7 @@ pub mod compressed;
 pub mod multiagg;
 pub mod outerprod;
 pub mod rowwise;
+pub mod tiles;
 
 use crate::side::SideInput;
 use fusedml_core::spoof::FusedSpec;

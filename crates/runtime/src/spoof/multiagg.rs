@@ -2,9 +2,18 @@
 //! evaluating `k` aggregate programs (paper §5.2 "Multi-Aggregate
 //! Operations": `sum(X⊙Y), sum(X⊙Z)` compile to one operator with a shared
 //! read of `X`).
+//!
+//! Like the Cell skeleton, the default block backend evaluates the shared
+//! register program tile-at-a-time — with per-aggregate closure-specialized
+//! product chains where the shapes allow — and the scalar interpreter is
+//! retained as the differential-test oracle.
 
 use crate::side::SideInput;
+use crate::spoof::tiles::{self, MainReader, TileRunner};
+use fusedml_core::plancache;
+use fusedml_core::spoof::block::{self, fold_result, CellBackend, FastKernel, OpRef, TileSrc};
 use fusedml_core::spoof::{eval_scalar_program, MAggSpec, SideAccess};
+use fusedml_linalg::ops::AggOp;
 use fusedml_linalg::{par, DenseMatrix, Matrix};
 
 /// Executes a MultiAgg operator, returning one 1×1 matrix per aggregate.
@@ -16,6 +25,168 @@ pub fn execute(
     iter_rows: usize,
     iter_cols: usize,
 ) -> Vec<Matrix> {
+    execute_with(spec, main, sides, scalars, iter_rows, iter_cols, block::cell_backend())
+}
+
+/// Executes under an explicit backend (differential tests pin `Scalar`).
+pub fn execute_with(
+    spec: &MAggSpec,
+    main: Option<&Matrix>,
+    sides: &[SideInput],
+    scalars: &[f64],
+    iter_rows: usize,
+    iter_cols: usize,
+    backend: CellBackend,
+) -> Vec<Matrix> {
+    let accs = if backend != CellBackend::Scalar {
+        let kernel = plancache::block_cache().get_or_lower(&spec.prog);
+        if tiles::supported(&kernel) {
+            block_fold(
+                spec,
+                &kernel,
+                backend == CellBackend::BlockFast,
+                main,
+                sides,
+                scalars,
+                iter_rows,
+                iter_cols,
+            )
+        } else {
+            scalar_fold(spec, main, sides, scalars, iter_rows, iter_cols)
+        }
+    } else {
+        scalar_fold(spec, main, sides, scalars, iter_rows, iter_cols)
+    };
+    // Shared finalization: min/max over sparse-safe iteration must still
+    // observe the implicit zeros, and `Mean` divides by the cell count.
+    let sparse_iter = matches!(main, Some(Matrix::Sparse(_))) && spec.sparse_safe;
+    let nnz = main.map_or(0, |m| m.nnz());
+    let total = iter_rows * iter_cols;
+    accs.into_iter()
+        .zip(&spec.results)
+        .map(|(mut v, &(_, op))| {
+            if sparse_iter && !op.sparse_safe() && nnz < total {
+                v = op.fold(v, 0.0);
+            }
+            if op == AggOp::Mean {
+                v /= total as f64;
+            }
+            Matrix::dense(DenseMatrix::filled(1, 1, v))
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn block_fold(
+    spec: &MAggSpec,
+    kernel: &fusedml_core::spoof::block::BlockKernel,
+    fast_ok: bool,
+    main: Option<&Matrix>,
+    sides: &[SideInput],
+    scalars: &[f64],
+    rows: usize,
+    cols: usize,
+) -> Vec<f64> {
+    let width = block::tile_width();
+    let bp = &kernel.block;
+    let k = spec.results.len();
+    let identities: Vec<f64> = spec.results.iter().map(|&(_, op)| op.identity()).collect();
+    let fasts: Vec<Option<&FastKernel>> = spec
+        .results
+        .iter()
+        .map(|&(reg, _)| if fast_ok { kernel.fast_for(reg) } else { None })
+        .collect();
+    // The generic body only needs to run when some aggregate lacks a fused
+    // fast kernel.
+    let need_body = fasts.iter().any(|f| f.is_none());
+    let sparse_main = match main {
+        Some(Matrix::Sparse(s)) if spec.sparse_safe => Some(s),
+        _ => None,
+    };
+    let work = match sparse_main {
+        Some(s) => (s.nnz() / rows.max(1)).max(1) * 4 * k,
+        None => cols.max(1) * 4 * k,
+    };
+
+    par::par_map_reduce(
+        rows,
+        work,
+        identities.clone(),
+        |lo, hi| {
+            let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
+            let mut mr = MainReader::new(main, cols);
+            let mut ptile = vec![0.0f64; width];
+            let mut accs = identities.clone();
+            let zero = TileSrc::Const(0.0);
+            for r in lo..hi {
+                let fold = |ev: &block::BlockEval,
+                            ctx: &block::TileCtx<'_>,
+                            n: usize,
+                            accs: &mut [f64],
+                            ptile: &mut [f64]| {
+                    for (j, (&(reg, op), fast)) in spec.results.iter().zip(&fasts).enumerate() {
+                        accs[j] = match fast {
+                            Some(fk) if matches!(op, AggOp::Sum | AggOp::Mean) => {
+                                accs[j] + tiles::factors(ev, fk, ctx, n).sum(n)
+                            }
+                            Some(fk) => {
+                                tiles::factors(ev, fk, ctx, n).product_into(&mut ptile[..n]);
+                                fold_result(op, accs[j], OpRef::S(&ptile[..n]), n)
+                            }
+                            None => fold_result(op, accs[j], ev.value_of(bp, reg, ctx, n), n),
+                        };
+                    }
+                };
+                match sparse_main {
+                    Some(s) => {
+                        tr.begin_row_sparse(r);
+                        for (vchunk, cchunk) in
+                            s.row_values(r).chunks(width).zip(s.row_cols(r).chunks(width))
+                        {
+                            tr.sparse_tile(
+                                TileSrc::Slice(vchunk),
+                                zero,
+                                r,
+                                cchunk,
+                                need_body,
+                                |ev, ctx, n| fold(ev, ctx, n, &mut accs, &mut ptile),
+                            );
+                        }
+                    }
+                    None => {
+                        tr.begin_row_dense(r);
+                        let row_src = mr.row(r);
+                        let mut c0 = 0;
+                        while c0 < cols {
+                            let n = width.min(cols - c0);
+                            let m = tiles::sub_tile(row_src, c0, n);
+                            tr.dense_tile(m, zero, r, c0, n, need_body, |ev, ctx, n| {
+                                fold(ev, ctx, n, &mut accs, &mut ptile)
+                            });
+                            c0 += n;
+                        }
+                    }
+                }
+            }
+            accs
+        },
+        |mut a, b| {
+            for (j, &(_, op)) in spec.results.iter().enumerate() {
+                a[j] = op.combine(a[j], b[j]);
+            }
+            a
+        },
+    )
+}
+
+fn scalar_fold(
+    spec: &MAggSpec,
+    main: Option<&Matrix>,
+    sides: &[SideInput],
+    scalars: &[f64],
+    iter_rows: usize,
+    iter_cols: usize,
+) -> Vec<f64> {
     let k = spec.results.len();
     let identities: Vec<f64> = spec.results.iter().map(|&(_, op)| op.identity()).collect();
 
@@ -49,7 +220,7 @@ pub fn execute(
         accs
     };
 
-    let accs = par::par_map_reduce(
+    par::par_map_reduce(
         iter_rows,
         iter_cols.max(1) * 4 * k,
         identities.clone(),
@@ -60,8 +231,7 @@ pub fn execute(
             }
             a
         },
-    );
-    accs.into_iter().map(|v| Matrix::dense(DenseMatrix::filled(1, 1, v))).collect()
+    )
 }
 
 #[cfg(test)]
@@ -116,6 +286,52 @@ mod tests {
         let b = execute(&spec(), Some(&dx), &sides, &[], 40, 40);
         for (x1, x2) in a.iter().zip(&b) {
             assert!(fusedml_linalg::approx_eq(x1.get(0, 0), x2.get(0, 0), 1e-9));
+        }
+    }
+
+    #[test]
+    fn block_backends_match_scalar_oracle() {
+        // Mixed aggregates (one fast product chain, one generic via SumSq on
+        // a division) over ragged shapes.
+        let mixed = MAggSpec {
+            prog: Program {
+                instrs: vec![
+                    Instr::LoadMain { out: 0 },
+                    Instr::LoadSide { out: 1, side: 0, access: SideAccess::Cell },
+                    Instr::Binary { out: 2, op: BinaryOp::Mult, a: 0, b: 1 },
+                    Instr::LoadSide { out: 3, side: 1, access: SideAccess::Cell },
+                    Instr::Binary { out: 4, op: BinaryOp::Max, a: 0, b: 3 },
+                ],
+                n_regs: 5,
+                vreg_lens: vec![],
+            },
+            results: vec![(2, AggOp::Sum), (4, AggOp::Max), (2, AggOp::Mean)],
+            sparse_safe: false,
+        };
+        let (rows, cols) = (31, 270);
+        let xd = generate::rand_matrix(rows, cols, -1.0, 1.0, 0.4, 7).to_dense();
+        let y = generate::rand_dense(rows, cols, -1.0, 1.0, 8);
+        let z = generate::rand_dense(rows, cols, -1.0, 1.0, 9);
+        let sides = [SideInput::bind(&y), SideInput::bind(&z)];
+        let sx = Matrix::sparse(fusedml_linalg::SparseMatrix::from_dense(&xd));
+        let dx = Matrix::dense(xd);
+        for spec in [spec(), mixed] {
+            for main in [&dx, &sx] {
+                let oracle =
+                    execute_with(&spec, Some(main), &sides, &[], rows, cols, CellBackend::Scalar);
+                for backend in [CellBackend::Block, CellBackend::BlockFast] {
+                    let outs = execute_with(&spec, Some(main), &sides, &[], rows, cols, backend);
+                    for (o, e) in outs.iter().zip(&oracle) {
+                        assert!(
+                            fusedml_linalg::approx_eq(o.get(0, 0), e.get(0, 0), 1e-12),
+                            "{backend:?} sparse={} {} vs {}",
+                            main.is_sparse(),
+                            o.get(0, 0),
+                            e.get(0, 0)
+                        );
+                    }
+                }
+            }
         }
     }
 }
