@@ -41,6 +41,16 @@ fn benches(c: &mut Criterion) {
     bv.insert("v".to_string(), generate::rand_dense(cols, 1, -1.0, 1.0, 2));
     bench_pattern(c, "fig8e_row_mvchain", &dag, &bv);
 
+    // Row sparse: mlogreg-style t(X) %*% (w ⊙ (X %*% v)) over sparse X —
+    // exercises the sparse-aware Row band execution (no densification).
+    let (rows_sp, cols_sp) = (20_000, 1_000);
+    let (dag, _) = fig8::row_sparse_dag(rows_sp, cols_sp, 0.01);
+    let mut brs: Bindings = Bindings::new();
+    brs.insert("X".to_string(), generate::rand_matrix(rows_sp, cols_sp, -1.0, 1.0, 0.01, 6));
+    brs.insert("v".to_string(), generate::rand_dense(cols_sp, 1, -1.0, 1.0, 7));
+    brs.insert("w".to_string(), generate::rand_dense(rows_sp, 1, 0.1, 1.0, 8));
+    bench_pattern(c, "fig8row_sparse_mlogreg", &dag, &brs);
+
     // Fig 8(h): Outer, sparse driver.
     let (n, m) = (2_000, 2_000);
     let (dag, _) = fig8::outer_dag(n, m, 100, 0.01);

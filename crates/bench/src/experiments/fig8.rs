@@ -48,6 +48,21 @@ pub fn row_dag(rows: usize, cols: usize, k: usize, sp: f64) -> (HopDag, Vec<&'st
     (b.build(vec![out]), vec!["X", "v"])
 }
 
+/// `t(X) %*% (w ⊙ (X %*% v))` — the mlogreg/GLM inner-loop shape over a
+/// sparse X: exercises the sparse-aware Row band execution (dot and axpy
+/// over row non-zeros, no densification of the main or sides).
+pub fn row_sparse_dag(rows: usize, cols: usize, sp: f64) -> (HopDag, Vec<&'static str>) {
+    let mut b = DagBuilder::new();
+    let x = b.read("X", rows, cols, sp);
+    let v = b.read("v", cols, 1, 1.0);
+    let w = b.read("w", rows, 1, 1.0);
+    let xv = b.mm(x, v);
+    let wxv = b.mult(w, xv);
+    let xt = b.t(x);
+    let out = b.mm(xt, wxv);
+    (b.build(vec![out]), vec!["X", "v", "w"])
+}
+
 /// `sum(X ⊙ log(U V^T + 1e-15))` — Fig. 8(h).
 pub fn outer_dag(n: usize, m: usize, rank: usize, sp: f64) -> (HopDag, Vec<&'static str>) {
     let mut b = DagBuilder::new();
@@ -83,6 +98,8 @@ fn sweep(
                 .map(|(i, &n)| {
                     if n == "v" {
                         (n, generate::rand_dense(cols, dag_v_cols(&dag), -1.0, 1.0, 99))
+                    } else if n == "w" {
+                        (n, generate::rand_dense(rows, 1, 0.1, 1.0, 98))
                     } else {
                         (n, data(rows, cols, sp, 42 + i as u64))
                     }
@@ -178,6 +195,15 @@ pub fn run(scale: Scale) {
         |r, c, _s, seed| generate::rand_dense(r, c, -1.0, 1.0, seed),
         reps,
     );
+    sweep(
+        "Figure 8(row-sparse): X^T(w⊙(Xv)), mlogreg-style, sparse (0.01)",
+        &sizes,
+        cols,
+        0.01,
+        row_sparse_dag,
+        |r, c, s, seed| generate::rand_matrix(r, c, -1.0, 1.0, s, seed),
+        reps,
+    );
 
     // Fig. 8(h): sparsity sweep with fixed geometry.
     let (n, m) = scale.pick((2_000, 2_000), (20_000, 2_000));
@@ -199,4 +225,40 @@ pub fn run(scale: Scale) {
         t.row(row);
     }
     t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_core::spoof::block::{compile_row_kernel, RowFastKernel};
+    use fusedml_core::spoof::FusedSpec;
+    use fusedml_runtime::{Executor, FusionMode};
+
+    /// The mlogreg-style bench pattern must select a Row operator whose
+    /// lowered kernel executes sparse mains over non-zeros through the
+    /// mv-chain fast path — the property the row-sparse panel measures.
+    #[test]
+    fn row_sparse_pattern_compiles_to_sparse_mv_chain() {
+        let (dag, _) = row_sparse_dag(500, 80, 0.01);
+        let exec = Executor::new(FusionMode::Gen);
+        let plan = exec.plan_for(&dag);
+        let row = plan
+            .operators
+            .iter()
+            .find_map(|o| match &o.op.spec {
+                FusedSpec::Row(r) => Some((r, &o.cplan)),
+                _ => None,
+            })
+            .expect("Gen must fuse the pattern into a Row operator");
+        let (spec, cplan) = row;
+        let kernel = compile_row_kernel(spec, &cplan.side_dims);
+        assert!(kernel.sparse_main_ok, "sparse X must execute over non-zeros");
+        assert!(
+            matches!(kernel.fast, Some(RowFastKernel::MvChain { .. })),
+            "expected the mv-chain fast path, got {:?}",
+            kernel.fast
+        );
+        // The whole-vector load of `v` must be hoisted out of the row loop.
+        assert!(!kernel.invariant.is_empty());
+    }
 }

@@ -373,8 +373,9 @@ pub fn compile_spec(cplan: &CPlan, opts: &CodegenOptions) -> FusedSpec {
 
 /// Backend selection for the compiled spec: Cell/MAgg/Outer programs lower
 /// to the tile-vectorized block backend (generic body plus closure-
-/// specialized fast kernels, DESIGN.md X1); Row programs keep the vector-
-/// primitive interpreter, whose dispatch already amortizes over whole rows.
+/// specialized fast kernels, DESIGN.md X1). Row programs lower separately
+/// through [`block::compile_row_kernel`], which needs the CPlan's side
+/// geometry (see `plancache::row_cache`).
 pub fn lower_block_kernel(spec: &FusedSpec) -> Option<BlockKernel> {
     match spec {
         FusedSpec::Cell(_) | FusedSpec::MAgg(_) | FusedSpec::Outer(_) => {
@@ -528,9 +529,16 @@ fn javac_like_verification(cplan: &CPlan, source: &str, spec: &FusedSpec, opts: 
         let respec =
             compile_spec(cplan, &CodegenOptions { backend: CompilerBackend::Janino, ..*opts });
         assert_eq!(&respec, spec, "recompilation must be deterministic");
-        // The heavyweight backend also re-lowers the block kernel per pass
-        // (cache bypassed), modelling javac's redundant backend work.
-        std::hint::black_box(lower_block_kernel(&respec));
+        // The heavyweight backend also re-lowers the block/row kernel per
+        // pass (cache bypassed), modelling javac's redundant backend work.
+        match &respec {
+            FusedSpec::Row(r) => {
+                std::hint::black_box(block::compile_row_kernel(r, &cplan.side_dims));
+            }
+            _ => {
+                std::hint::black_box(lower_block_kernel(&respec));
+            }
+        }
     }
     // The token count is intentionally unused beyond forcing the work.
     std::hint::black_box(token_count);

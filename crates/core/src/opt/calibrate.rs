@@ -60,13 +60,48 @@ pub fn calibrate() -> CostModel {
     // over the same data, expressed in FLOP-equivalents per cell.
     let dispatch = dispatch_overhead_flops(compute_bw);
 
+    // Per-row dispatch overhead of the Row backend.
+    let row_dispatch = row_dispatch_overhead_flops(compute_bw);
+
     CostModel {
         read_bw: read_bw.clamp(1e9, 1e12),
         write_bw: write_bw.clamp(5e8, 1e12),
         compute_bw,
         fused_dispatch_flops: dispatch,
+        row_dispatch_flops: row_dispatch,
         dist: None,
     }
+}
+
+/// Measures the Row backend's per-row overhead — the per-row scalar
+/// prologue/dispatch the band-lowered kernel replays for every main-input
+/// row (the vector work itself streams at full bandwidth) — and converts it
+/// to FLOP-equivalents under the measured compute bandwidth.
+fn row_dispatch_overhead_flops(compute_bw: f64) -> f64 {
+    // A representative per-row scalar tail: side load + two scalar ops, the
+    // mlogreg `w[r] * g(dot)` shape.
+    let prog = Program {
+        instrs: vec![
+            Instr::LoadSide { out: 0, side: 0, access: SideAccess::Col },
+            Instr::LoadConst { out: 1, value: 0.5 },
+            Instr::Binary { out: 2, op: BinaryOp::Mult, a: 0, b: 1 },
+            Instr::Binary { out: 3, op: BinaryOp::Add, a: 2, b: 1 },
+        ],
+        n_regs: 4,
+        vreg_lens: vec![],
+    };
+    let rows = 64usize << 10;
+    let mut regs = vec![0.0f64; 4];
+    let side = |_: usize, _: SideAccess| 1.25f64;
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for _ in 0..rows {
+        crate::spoof::eval_scalar_program(&prog, &mut regs, 0.0, 0.0, &side, &[]);
+        acc += regs[3];
+    }
+    std::hint::black_box(acc);
+    let per_row = t0.elapsed().as_secs_f64() / rows as f64;
+    (per_row * compute_bw).clamp(4.0, 512.0)
 }
 
 /// Measures the block evaluator's per-cell overhead over a raw fused loop

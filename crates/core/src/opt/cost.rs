@@ -65,6 +65,11 @@ pub struct CostModel {
     /// `calibrate::calibrate`) so the optimizer's Gen-vs-Base tradeoff
     /// reflects the faster backend.
     pub fused_dispatch_flops: f64,
+    /// Per-row dispatch overhead of generated Row operators in
+    /// FLOP-equivalents: the band-lowered row kernel pays its instruction
+    /// dispatch once per row (per-row scalar prologue + per-row body
+    /// dispatch), not per cell.
+    pub row_dispatch_flops: f64,
     /// Distributed configuration (None = single-node only).
     pub dist: Option<DistConfig>,
 }
@@ -73,6 +78,10 @@ pub struct CostModel {
 /// per generated-operator cell).
 pub const DEFAULT_FUSED_DISPATCH_FLOPS: f64 = 2.0;
 
+/// Default per-row dispatch overhead of the Row backend (FLOP-equivalents
+/// per iterated main-input row).
+pub const DEFAULT_ROW_DISPATCH_FLOPS: f64 = 32.0;
+
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
@@ -80,6 +89,7 @@ impl Default for CostModel {
             write_bw: 16e9,
             compute_bw: 4e9,
             fused_dispatch_flops: DEFAULT_FUSED_DISPATCH_FLOPS,
+            row_dispatch_flops: DEFAULT_ROW_DISPATCH_FLOPS,
             dist: None,
         }
     }
@@ -137,8 +147,8 @@ pub struct CostVector {
     pub ttype: TemplateType,
     pub out_bytes: f64,
     pub compute: f64,
-    /// Distinct inputs: hop → (bytes, sparsity, cells).
-    pub inputs: FxHashMap<HopId, (f64, f64, f64)>,
+    /// Distinct inputs: hop → (bytes, sparsity, cells, rows).
+    pub inputs: FxHashMap<HopId, (f64, f64, f64, f64)>,
 }
 
 impl CostVector {
@@ -148,7 +158,7 @@ impl CostVector {
 
     fn add_input(&mut self, dag: &HopDag, h: HopId) {
         let s = dag.hop(h).size;
-        self.inputs.insert(h, (s.bytes(), s.sparsity, s.cells() as f64));
+        self.inputs.insert(h, (s.bytes(), s.sparsity, s.cells() as f64, s.rows as f64));
     }
 }
 
@@ -275,29 +285,49 @@ impl<'a> PlanCoster<'a> {
     /// Eq. (4) contribution of a closed fused operator.
     fn close_cost(&self, v: &CostVector) -> f64 {
         let mut compute = v.compute;
-        let max_cells = v.inputs.values().map(|&(_, _, c)| c).fold(0.0f64, f64::max);
-        // Sparsity exploitation: Outer operators scale compute by the
-        // sparsity of the main (largest) input.
-        let iter_cells = if v.ttype == TemplateType::Outer {
-            let driver_sp = v
-                .inputs
-                .values()
-                .filter(|&&(_, _, c)| c >= 0.5 * max_cells)
-                .map(|&(_, sp, _)| sp)
-                .fold(1.0f64, f64::min);
-            compute *= driver_sp;
-            max_cells * driver_sp
-        } else {
-            max_cells
+        let max_cells = v.inputs.values().map(|&(_, _, c, _)| c).fold(0.0f64, f64::max);
+        // The driver (main) input: the largest bound matrix. Its sparsity
+        // and row count steer sparsity exploitation and per-row overheads.
+        let driver_sp = v
+            .inputs
+            .values()
+            .filter(|&&(_, _, c, _)| c >= 0.5 * max_cells)
+            .map(|&(_, sp, _, _)| sp)
+            .fold(1.0f64, f64::min);
+        let driver_rows = v
+            .inputs
+            .values()
+            .filter(|&&(_, _, c, _)| c >= 0.5 * max_cells)
+            .map(|&(_, _, _, r)| r)
+            .fold(0.0f64, f64::max);
+        let iter_cells = match v.ttype {
+            // Sparsity exploitation: Outer operators iterate non-zeros of
+            // the sparse driver. The covered `UVᵀ` product is estimated
+            // dense by `compute_costs`, so the driver's sparsity is the
+            // correction for computing it at non-zero positions only.
+            TemplateType::Outer => {
+                compute *= driver_sp;
+                max_cells * driver_sp
+            }
+            // Row operators execute sparse main rows over their non-zeros
+            // (sparse-aware band execution). Per-hop compute is already
+            // nnz-proportional for everything a Row template covers
+            // (element-wise, matmult, agg), so no extra sparsity factor —
+            // only the per-row instruction dispatch, paid once per row,
+            // not per cell.
+            TemplateType::Row => {
+                compute += self.model.row_dispatch_flops * driver_rows;
+                max_cells
+            }
+            _ => max_cells,
         };
         // Per-cell dispatch overhead of the generated operator's register
-        // program (Cell/MAgg/Outer evaluate it per iterated cell; Row's
-        // per-row dispatch is already amortized over whole rows).
+        // program (Cell/MAgg/Outer evaluate it per iterated tile cell).
         if v.ttype != TemplateType::Row {
             compute += self.model.fused_dispatch_flops * iter_cells;
         }
         let t_c = compute / self.model.compute_bw;
-        self.io_cost(v.out_bytes, v.inputs.values().map(|&(b, _, _)| b), t_c)
+        self.io_cost(v.out_bytes, v.inputs.values().map(|&(b, _, _, _)| b), t_c)
     }
 
     /// Eq. (4) contribution of a basic (unfused) operator. Compute is
@@ -421,19 +451,19 @@ pub fn static_parts(
 ) -> StaticCosts {
     let input_reads: f64 =
         part.inputs.iter().map(|&i| dag.hop(i).size.bytes()).sum::<f64>() / model.read_bw;
-    let min_compute: f64 = part
+    // Minimal compute assumes maximal sparsity exploitation: a
+    // sparsity-exploiting operator (Outer, sparse-aware Row) scales its
+    // whole compute by its driver's sparsity, so the sound per-node factor
+    // is the minimum sparsity over everything the partition touches.
+    let min_sp = part
         .nodes
         .iter()
-        .map(|&n| {
-            let mut c = compute[n.index()];
-            // Minimal compute assumes maximal sparsity exploitation.
-            if dag.hop(n).size.sparsity < 1.0 {
-                c *= dag.hop(n).size.sparsity;
-            }
-            c
-        })
-        .sum::<f64>()
-        / model.compute_bw;
+        .chain(part.inputs.iter())
+        .map(|&n| dag.hop(n).size.sparsity)
+        .fold(1.0f64, f64::min)
+        .clamp(0.0, 1.0);
+    let min_compute: f64 =
+        part.nodes.iter().map(|&n| compute[n.index()] * min_sp).sum::<f64>() / model.compute_bw;
     let root_writes: f64 =
         part.roots.iter().map(|&r| dag.hop(r).size.bytes()).sum::<f64>() / model.write_bw;
     StaticCosts { root_writes, input_reads, min_compute }
@@ -573,6 +603,50 @@ mod tests {
             c_sparse * 20.0 < c_dense,
             "sparse driver {c_sparse} must be ≫ cheaper than dense {c_dense}"
         );
+    }
+
+    /// Row-template sparsity exploitation: the mv-chain over a sparse main
+    /// must cost far less than over a dense main (the band-lowered Row
+    /// backend iterates non-zeros), and the per-row dispatch overhead must
+    /// be visible for row-heavy shapes.
+    #[test]
+    fn row_sparsity_scales_compute() {
+        let build = |sp: f64| {
+            let mut b = DagBuilder::new();
+            let x = b.read("X", 100_000, 1_000, sp);
+            let v = b.read("v", 1_000, 1, 1.0);
+            let xv = b.mm(x, v);
+            let xt = b.t(x);
+            let out = b.mm(xt, xv);
+            b.build(vec![out])
+        };
+        let cost = |dag: &HopDag| {
+            let memo = explore(dag);
+            let parts = partitions(dag, &memo);
+            let part = parts.iter().max_by_key(|p| p.nodes.len()).unwrap();
+            let fuse_all = FxHashSet::default();
+            cost_of(dag, &memo, part, &fuse_all)
+        };
+        let c_sparse = cost(&build(0.01));
+        let c_dense = cost(&build(1.0));
+        assert!(
+            c_sparse * 5.0 < c_dense,
+            "sparse row driver {c_sparse} must be ≫ cheaper than dense {c_dense}"
+        );
+        // The per-row overhead term responds to the model constant.
+        let dag = build(0.01);
+        let memo = explore(&dag);
+        let parts = partitions(&dag, &memo);
+        let part = parts.iter().max_by_key(|p| p.nodes.len()).unwrap();
+        let compute = compute_costs(&dag);
+        let fuse_all = FxHashSet::default();
+        let cheap = CostModel { row_dispatch_flops: 0.0, ..CostModel::default() };
+        let heavy = CostModel { row_dispatch_flops: 10_000.0, ..CostModel::default() };
+        let c_cheap = PlanCoster::new(&dag, &memo, part, &compute, &cheap, &fuse_all)
+            .partition_cost(f64::INFINITY);
+        let c_heavy = PlanCoster::new(&dag, &memo, part, &compute, &heavy, &fuse_all)
+            .partition_cost(f64::INFINITY);
+        assert!(c_heavy > c_cheap, "per-row dispatch overhead must be visible");
     }
 
     /// Distributed operators charge broadcast costs for small side inputs.

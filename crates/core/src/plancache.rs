@@ -9,8 +9,10 @@
 
 use crate::codegen::{generate, CodegenOptions, GeneratedOperator};
 use crate::cplan::CPlan;
-use crate::spoof::block::{compile_kernel, program_hash, BlockKernel};
-use crate::spoof::{FusedSpec, Program};
+use crate::spoof::block::{
+    compile_kernel, compile_row_kernel, program_hash, row_kernel_hash, BlockKernel, RowKernel,
+};
+use crate::spoof::{FusedSpec, Program, RowSpec};
 use crate::util::FxHashMap;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -57,16 +59,26 @@ impl PlanCache {
         let n = self.name_counter.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
         let op = Arc::new(generate(cplan, &format!("TMP{n}"), opts));
-        // Lower the tile-vectorized block kernel eagerly so its cost is part
-        // of the measured compile time (Figure 11) and the first execution
-        // hits the warm block cache. With lookups disabled (the "no plan
-        // cache" configuration) the shared block cache must not hide the
-        // lowering cost either: pay it on every compile, like a cold JIT.
-        if !matches!(op.spec, FusedSpec::Row(_)) {
-            if self.enabled.load(Ordering::Relaxed) {
-                let _ = block_cache().get_or_lower(op.spec.program());
-            } else {
-                std::hint::black_box(compile_kernel(op.spec.program()));
+        // Lower the tile-vectorized block kernel (Cell/MAgg/Outer) or the
+        // band-lowered row kernel (Row) eagerly so its cost is part of the
+        // measured compile time (Figure 11) and the first execution hits the
+        // warm kernel cache. With lookups disabled (the "no plan cache"
+        // configuration) the shared kernel caches must not hide the lowering
+        // cost either: pay it on every compile, like a cold JIT.
+        match &op.spec {
+            FusedSpec::Row(r) => {
+                if self.enabled.load(Ordering::Relaxed) {
+                    let _ = row_cache().get_or_lower(r, &cplan.side_dims);
+                } else {
+                    std::hint::black_box(compile_row_kernel(r, &cplan.side_dims));
+                }
+            }
+            _ => {
+                if self.enabled.load(Ordering::Relaxed) {
+                    let _ = block_cache().get_or_lower(op.spec.program());
+                } else {
+                    std::hint::black_box(compile_kernel(op.spec.program()));
+                }
             }
         }
         self.compile_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -102,30 +114,35 @@ impl PlanCache {
     }
 }
 
-/// A concurrent cache of tile-vectorized block kernels keyed by the
-/// *structural program hash*, so equivalent register programs — whether they
-/// came through the operator plan cache or were constructed directly —
-/// lower and specialize exactly once (the block-backend analogue of the
-/// operator plan cache above).
-#[derive(Default)]
-pub struct BlockProgramCache {
-    map: Mutex<FxHashMap<u64, Arc<BlockKernel>>>,
+/// Shared machinery of the kernel caches: a concurrent map keyed by a
+/// caller-computed structural hash, with hit/miss statistics. The concrete
+/// caches ([`BlockProgramCache`], [`RowKernelCache`]) wrap this with their
+/// key derivation and lowering function, and expose the statistics API
+/// through `Deref`.
+pub struct KernelCache<V> {
+    map: Mutex<FxHashMap<u64, Arc<V>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
 
-impl BlockProgramCache {
-    /// Looks up or lowers the block kernel for a scalar program. Panics on
-    /// programs with vector instructions (the Row template keeps its own
-    /// vector interpreter).
-    pub fn get_or_lower(&self, prog: &Program) -> Arc<BlockKernel> {
-        let key = program_hash(prog);
+impl<V> Default for KernelCache<V> {
+    fn default() -> Self {
+        KernelCache {
+            map: Mutex::new(FxHashMap::default()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<V> KernelCache<V> {
+    fn get_or_insert_with(&self, key: u64, lower: impl FnOnce() -> V) -> Arc<V> {
         if let Some(k) = self.map.lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(k);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let k = Arc::new(compile_kernel(prog));
+        let k = Arc::new(lower());
         self.map.lock().insert(key, Arc::clone(&k));
         k
     }
@@ -152,10 +169,69 @@ impl BlockProgramCache {
     }
 }
 
+/// A concurrent cache of tile-vectorized block kernels keyed by the
+/// *structural program hash*, so equivalent register programs — whether they
+/// came through the operator plan cache or were constructed directly —
+/// lower and specialize exactly once (the block-backend analogue of the
+/// operator plan cache above).
+#[derive(Default)]
+pub struct BlockProgramCache {
+    cache: KernelCache<BlockKernel>,
+}
+
+impl BlockProgramCache {
+    /// Looks up or lowers the block kernel for a scalar program. Panics on
+    /// programs with vector instructions (the Row template lowers through
+    /// [`RowKernelCache`] instead).
+    pub fn get_or_lower(&self, prog: &Program) -> Arc<BlockKernel> {
+        self.cache.get_or_insert_with(program_hash(prog), || compile_kernel(prog))
+    }
+}
+
+impl std::ops::Deref for BlockProgramCache {
+    type Target = KernelCache<BlockKernel>;
+    fn deref(&self) -> &Self::Target {
+        &self.cache
+    }
+}
+
 /// The process-wide block-kernel cache used by the runtime skeletons.
 pub fn block_cache() -> &'static BlockProgramCache {
     static CACHE: OnceLock<BlockProgramCache> = OnceLock::new();
     CACHE.get_or_init(BlockProgramCache::default)
+}
+
+/// A concurrent cache of band-lowered Row kernels keyed by
+/// [`row_kernel_hash`] (program + output + the side-geometry invariance
+/// bits) — the Row-template analogue of [`BlockProgramCache`], so a row
+/// operator recompiled every iteration, or re-bound over varying data
+/// shapes, lowers and specializes exactly once.
+#[derive(Default)]
+pub struct RowKernelCache {
+    cache: KernelCache<RowKernel>,
+}
+
+impl RowKernelCache {
+    /// Looks up or lowers the row kernel for a Row spec under the given side
+    /// dimensions.
+    pub fn get_or_lower(&self, spec: &RowSpec, side_dims: &[(usize, usize)]) -> Arc<RowKernel> {
+        self.cache.get_or_insert_with(row_kernel_hash(spec, side_dims), || {
+            compile_row_kernel(spec, side_dims)
+        })
+    }
+}
+
+impl std::ops::Deref for RowKernelCache {
+    type Target = KernelCache<RowKernel>;
+    fn deref(&self) -> &Self::Target {
+        &self.cache
+    }
+}
+
+/// The process-wide row-kernel cache used by the Row skeleton.
+pub fn row_cache() -> &'static RowKernelCache {
+    static CACHE: OnceLock<RowKernelCache> = OnceLock::new();
+    CACHE.get_or_init(RowKernelCache::default)
 }
 
 #[cfg(test)]
@@ -256,6 +332,35 @@ mod tests {
         let k1 = block_cache().get_or_lower(op.spec.program());
         let k2 = block_cache().get_or_lower(op.spec.program());
         assert!(Arc::ptr_eq(&k1, &k2));
+    }
+
+    #[test]
+    fn row_cache_dedups_by_program_and_side_dims() {
+        use crate::spoof::{Instr, RowExecMode, RowOut, RowSpec};
+        let cache = RowKernelCache::default();
+        let spec = || RowSpec {
+            prog: crate::spoof::Program {
+                instrs: vec![
+                    Instr::LoadMainRow { out: 0 },
+                    Instr::LoadSideRow { out: 1, side: 0, cl: 0, cu: 8 },
+                    Instr::Dot { out: 0, a: 0, b: 1 },
+                ],
+                n_regs: 1,
+                vreg_lens: vec![8, 8],
+            },
+            out: RowOut::ColAggMultAdd { vec: 0, scalar: 0 },
+            out_rows: 8,
+            out_cols: 1,
+            exec_mode: RowExecMode::Vectorized,
+        };
+        let a = cache.get_or_lower(&spec(), &[(8, 1)]);
+        let b = cache.get_or_lower(&spec(), &[(8, 1)]);
+        assert!(Arc::ptr_eq(&a, &b), "equivalent row operators share one kernel");
+        assert_eq!(cache.stats(), (1, 1));
+        // Different side geometry lowers separately (whole-vector vs slice).
+        let c = cache.get_or_lower(&spec(), &[(20, 8)]);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

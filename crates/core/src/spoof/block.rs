@@ -873,8 +873,241 @@ pub fn compile_kernel(prog: &Program) -> BlockKernel {
 }
 
 /// Structural hash of a scalar program (block-kernel cache key).
+/// Allocation-free: the skeletons hash on every execute, so Debug-format
+/// round-trips would sit on the hot path.
 pub fn program_hash(p: &Program) -> u64 {
-    crate::util::fx_hash(&format!("{p:?}"))
+    crate::util::fx_hash(p)
+}
+
+// ===========================================================================
+// Row-template lowering
+// ===========================================================================
+
+/// A Row [`Program`] lowered for band execution: instructions are split by
+/// *variance* into an invocation-invariant prologue (run once per row band)
+/// and a per-row body, main-row reads become virtual (resolved against the
+/// skeleton's dense or sparse row view instead of a densified copy), and the
+/// dominant `Xᵀ(Xv)` mv-chain shape is closure-specialized.
+///
+/// Lowering depends on the side-input geometry (a `LoadSideRow` of a whole
+/// column vector is invariant, a row-aligned slice is not), so kernels are
+/// cached by [`row_kernel_hash`] which covers program, output, and side dims.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowKernel {
+    /// Invocation-invariant instructions: constants, bound scalars,
+    /// `Scalar`-access side loads, whole-vector / broadcast side rows, and
+    /// anything derived only from those. Run once per band context.
+    pub invariant: Vec<Instr>,
+    /// Per-row instructions (main-row work, `Col` side loads, derivations).
+    pub per_row: Vec<Instr>,
+    /// Vector registers holding the current main row. Never materialized:
+    /// reads resolve against the skeleton's row view.
+    pub main_vregs: Vec<VReg>,
+    /// Vector registers whose value is invocation-invariant.
+    pub invariant_vregs: Vec<bool>,
+    /// True when every use of the main row — instructions and the Row
+    /// output — can consume a sparse row directly over its non-zeros, so
+    /// sparse mains execute without densification.
+    pub sparse_main_ok: bool,
+    /// Closure-specialized fast path, where the program matches one.
+    pub fast: Option<RowFastKernel>,
+}
+
+/// A closure-specialized kernel for a dominant Row program shape.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RowFastKernel {
+    /// `acc += g(dot(x_row, v)) · x_row` — the `Xᵀ(Xv)` / mlogreg
+    /// `Xᵀ(w ⊙ (Xv))` family: a single dot of the main row against an
+    /// invariant vector, an arbitrary scalar-only tail computing the
+    /// multiplier, and a `ColAggMultAdd` output over the main row. Executes
+    /// as one dot + one axpy per row (sparse rows over their non-zeros).
+    MvChain {
+        /// The invariant vector register dotted with the main row.
+        v: VReg,
+        /// Register receiving the dot result.
+        dot_out: Reg,
+        /// Scalar-only per-row instructions computing the multiplier.
+        scalar_tail: Vec<Instr>,
+        /// Register holding the final multiplier (the output's `scalar`).
+        scalar_src: Reg,
+    },
+}
+
+use super::{RowOut, RowSpec, VReg};
+
+/// True when a `LoadSideRow` of a side with dims `(rows, cols)` sliced to
+/// `cl..cu` reads the side's whole column vector (`v` in `X %*% v`) rather
+/// than a per-row slice. Shared by lowering, the band executor, and the
+/// interpreter oracle so the classification can never drift between them.
+#[inline]
+pub fn whole_vector_load(rows: usize, cols: usize, cl: usize, cu: usize) -> bool {
+    cols == 1 && cu - cl == rows && rows > 1
+}
+
+/// Per-`LoadSideRow` invariance bits under the given side dimensions — the
+/// only way side geometry enters Row lowering (whole-vector and broadcast
+/// loads are invariant), and therefore the only geometry the kernel cache
+/// key needs.
+fn side_row_invariance(prog: &Program, side_dims: &[(usize, usize)]) -> Vec<bool> {
+    prog.instrs
+        .iter()
+        .filter_map(|ins| match *ins {
+            Instr::LoadSideRow { side, cl, cu, .. } => {
+                let (r, c) = side_dims.get(side).copied().unwrap_or((0, 0));
+                Some(whole_vector_load(r, c, cl, cu) || r == 1)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Lowers a Row program into a [`RowKernel`] under the given side-input
+/// dimensions (`(rows, cols)` per side, the CPlan's `side_dims`).
+pub fn compile_row_kernel(spec: &RowSpec, side_dims: &[(usize, usize)]) -> RowKernel {
+    let prog = &spec.prog;
+    let mut sc_inv = vec![false; prog.n_regs as usize];
+    let mut v_inv = vec![false; prog.vreg_lens.len()];
+    let mut main_vregs: Vec<VReg> = Vec::new();
+    let mut invariant = Vec::new();
+    let mut per_row = Vec::new();
+    for ins in &prog.instrs {
+        let is_main = |v: VReg, mains: &[VReg]| mains.contains(&v);
+        let inv = match *ins {
+            Instr::LoadConst { .. } | Instr::LoadScalar { .. } => true,
+            Instr::LoadSide { access, .. } => access == SideAccess::Scalar,
+            Instr::LoadMain { .. } => false,
+            Instr::LoadUVDot { .. } => panic!("UVDot in Row program"),
+            Instr::LoadMainRow { out } => {
+                main_vregs.push(out);
+                false
+            }
+            Instr::LoadSideRow { side, cl, cu, .. } => {
+                let (r, c) = side_dims.get(side).copied().unwrap_or((0, 0));
+                // Whole column vectors (`v` in `X %*% v`) and 1×m broadcast
+                // rows read the same data for every row: load once per band.
+                whole_vector_load(r, c, cl, cu) || r == 1
+            }
+            Instr::Unary { a, .. } => sc_inv[a as usize],
+            Instr::Binary { a, b, .. } => sc_inv[a as usize] && sc_inv[b as usize],
+            Instr::Ternary { a, b, c, .. } => {
+                sc_inv[a as usize] && sc_inv[b as usize] && sc_inv[c as usize]
+            }
+            Instr::VecUnary { a, .. } | Instr::VecCumsum { a, .. } => {
+                v_inv[a as usize] && !is_main(a, &main_vregs)
+            }
+            Instr::VecBinaryVV { a, b, .. } => {
+                v_inv[a as usize]
+                    && v_inv[b as usize]
+                    && !is_main(a, &main_vregs)
+                    && !is_main(b, &main_vregs)
+            }
+            Instr::VecBinaryVS { a, b, .. } => {
+                v_inv[a as usize] && sc_inv[b as usize] && !is_main(a, &main_vregs)
+            }
+            Instr::VecMatMult { a, .. } => v_inv[a as usize] && !is_main(a, &main_vregs),
+            Instr::Dot { a, b, .. } => {
+                v_inv[a as usize]
+                    && v_inv[b as usize]
+                    && !is_main(a, &main_vregs)
+                    && !is_main(b, &main_vregs)
+            }
+            Instr::VecAgg { a, .. } => v_inv[a as usize] && !is_main(a, &main_vregs),
+        };
+        match *ins {
+            Instr::LoadMainRow { out }
+            | Instr::LoadSideRow { out, .. }
+            | Instr::VecUnary { out, .. }
+            | Instr::VecBinaryVV { out, .. }
+            | Instr::VecBinaryVS { out, .. }
+            | Instr::VecMatMult { out, .. }
+            | Instr::VecCumsum { out, .. } => v_inv[out as usize] = inv,
+            Instr::LoadMain { out }
+            | Instr::LoadSide { out, .. }
+            | Instr::LoadScalar { out, .. }
+            | Instr::LoadConst { out, .. }
+            | Instr::Unary { out, .. }
+            | Instr::Binary { out, .. }
+            | Instr::Ternary { out, .. }
+            | Instr::Dot { out, .. }
+            | Instr::VecAgg { out, .. } => sc_inv[out as usize] = inv,
+            Instr::LoadUVDot { .. } => unreachable!(),
+        }
+        if inv {
+            invariant.push(ins.clone());
+        } else {
+            per_row.push(ins.clone());
+        }
+    }
+    let sparse_main_ok = row_sparse_main_ok(&per_row, &main_vregs);
+    let fast = specialize_row(&per_row, &main_vregs, &v_inv, &spec.out);
+    RowKernel { invariant, per_row, main_vregs, invariant_vregs: v_inv, sparse_main_ok, fast }
+}
+
+/// True when every per-row use of the main row can iterate non-zeros
+/// directly: `Dot`, `VecMatMult` (as the row operand), and `VecAgg` consume
+/// sparse rows; element-wise vector ops and cumsum need the dense row. All
+/// Row outputs scatter or read scalars, so they never force densification.
+fn row_sparse_main_ok(per_row: &[Instr], mains: &[VReg]) -> bool {
+    let is_main = |v: VReg| mains.contains(&v);
+    per_row.iter().all(|ins| match *ins {
+        Instr::VecUnary { a, .. } | Instr::VecCumsum { a, .. } => !is_main(a),
+        Instr::VecBinaryVV { a, b, .. } => !is_main(a) && !is_main(b),
+        Instr::VecBinaryVS { a, .. } => !is_main(a),
+        _ => true,
+    })
+}
+
+/// Tries to specialize the per-row body into a [`RowFastKernel`].
+fn specialize_row(
+    per_row: &[Instr],
+    mains: &[VReg],
+    v_inv: &[bool],
+    out: &RowOut,
+) -> Option<RowFastKernel> {
+    let RowOut::ColAggMultAdd { vec, scalar } = *out else { return None };
+    if !mains.contains(&vec) {
+        return None;
+    }
+    let is_main = |v: VReg| mains.contains(&v);
+    let mut dot: Option<(Reg, VReg)> = None;
+    let mut tail = Vec::new();
+    for ins in per_row {
+        match *ins {
+            Instr::LoadMainRow { .. } => {}
+            Instr::Dot { out, a, b } => {
+                if dot.is_some() {
+                    return None;
+                }
+                let v = if is_main(a) && !is_main(b) && v_inv[b as usize] {
+                    b
+                } else if is_main(b) && !is_main(a) && v_inv[a as usize] {
+                    a
+                } else {
+                    return None;
+                };
+                dot = Some((out, v));
+            }
+            Instr::LoadSide { .. }
+            | Instr::LoadScalar { .. }
+            | Instr::LoadConst { .. }
+            | Instr::Unary { .. }
+            | Instr::Binary { .. }
+            | Instr::Ternary { .. } => tail.push(ins.clone()),
+            _ => return None, // other vector work: stay on the generic body
+        }
+    }
+    let (dot_out, v) = dot?;
+    Some(RowFastKernel::MvChain { v, dot_out, scalar_tail: tail, scalar_src: scalar })
+}
+
+/// Structural hash of a Row operator under its side geometry (row-kernel
+/// cache key): covers the program, output variant, and the per-load
+/// invariance bits derived from the side dims — NOT the raw dimensions, so
+/// the same operator over varying row counts (mini-batches, growing data)
+/// maps to one cached kernel. The execution mode also shares one lowering.
+pub fn row_kernel_hash(spec: &RowSpec, side_dims: &[(usize, usize)]) -> u64 {
+    let bits = side_row_invariance(&spec.prog, side_dims);
+    crate::util::fx_hash(&(&spec.prog, &spec.out, bits))
 }
 
 #[cfg(test)]
@@ -1064,6 +1297,100 @@ mod tests {
         assert_eq!(tile_width(), 8);
         set_tile_width(w0);
         assert_eq!(cell_backend(), CellBackend::BlockFast);
+    }
+
+    use crate::spoof::{RowExecMode, RowOut, RowSpec};
+
+    /// `t(X) %*% (w ⊙ (X %*% v))` — the mlogreg-style sparse row pattern:
+    /// v0 = main row; v1 = v (whole-vector side 0, m×1); r0 = dot(v0, v1);
+    /// r1 = w[rix] (Col side 1, n×1); r2 = r0 * r1; out += r2 · v0.
+    fn mlogreg_row_spec(m: usize) -> RowSpec {
+        RowSpec {
+            prog: Program {
+                instrs: vec![
+                    Instr::LoadMainRow { out: 0 },
+                    Instr::LoadSideRow { out: 1, side: 0, cl: 0, cu: m },
+                    Instr::Dot { out: 0, a: 0, b: 1 },
+                    Instr::LoadSide { out: 1, side: 1, access: SideAccess::Col },
+                    Instr::Binary { out: 2, op: BinaryOp::Mult, a: 0, b: 1 },
+                ],
+                n_regs: 3,
+                vreg_lens: vec![m, m],
+            },
+            out: RowOut::ColAggMultAdd { vec: 0, scalar: 2 },
+            out_rows: m,
+            out_cols: 1,
+            exec_mode: RowExecMode::Vectorized,
+        }
+    }
+
+    #[test]
+    fn row_lowering_hoists_invariants_and_specializes_mv_chain() {
+        let m = 40;
+        let spec = mlogreg_row_spec(m);
+        let k = compile_row_kernel(&spec, &[(m, 1), (100, 1)]);
+        // The whole-vector load of `v` is invariant (once per band); the
+        // dot, the Col-access load of `w`, and the multiply stay per-row.
+        assert_eq!(k.invariant, vec![Instr::LoadSideRow { out: 1, side: 0, cl: 0, cu: m }]);
+        assert_eq!(k.per_row.len(), 4);
+        assert_eq!(k.main_vregs, vec![0]);
+        assert!(k.invariant_vregs[1] && !k.invariant_vregs[0]);
+        // Sparse mains execute over non-zeros: no densification anywhere.
+        assert!(k.sparse_main_ok, "mv-chain must not densify the sparse main");
+        match k.fast {
+            Some(RowFastKernel::MvChain { v, dot_out, ref scalar_tail, scalar_src }) => {
+                assert_eq!(v, 1);
+                assert_eq!(dot_out, 0);
+                assert_eq!(scalar_tail.len(), 2, "w load + multiply");
+                assert_eq!(scalar_src, 2);
+            }
+            ref other => panic!("expected MvChain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_lowering_detects_dense_main_uses() {
+        // exp(X) per row: VecUnary over the main row needs the dense row.
+        let spec = RowSpec {
+            prog: Program {
+                instrs: vec![
+                    Instr::LoadMainRow { out: 0 },
+                    Instr::VecUnary { out: 1, op: UnaryOp::Exp, a: 0 },
+                ],
+                n_regs: 0,
+                vreg_lens: vec![8, 8],
+            },
+            out: RowOut::NoAgg { src: 1 },
+            out_rows: 4,
+            out_cols: 8,
+            exec_mode: RowExecMode::Vectorized,
+        };
+        let k = compile_row_kernel(&spec, &[]);
+        assert!(!k.sparse_main_ok);
+        assert!(k.fast.is_none());
+        assert!(k.invariant.is_empty());
+    }
+
+    #[test]
+    fn row_kernel_hash_covers_side_dims() {
+        let spec = mlogreg_row_spec(16);
+        // Same program, different side geometry (row slice vs whole vector)
+        // must lower and cache separately.
+        assert_ne!(
+            row_kernel_hash(&spec, &[(16, 1), (100, 1)]),
+            row_kernel_hash(&spec, &[(100, 16), (100, 1)])
+        );
+        assert_eq!(
+            row_kernel_hash(&spec, &[(16, 1), (100, 1)]),
+            row_kernel_hash(&mlogreg_row_spec(16), &[(16, 1), (100, 1)])
+        );
+        // Dims that don't change any load's invariance share one kernel:
+        // varying main row counts (side 1 is the n×1 `w`, read via `Col`
+        // access, not `LoadSideRow`) must not grow the cache.
+        assert_eq!(
+            row_kernel_hash(&spec, &[(16, 1), (100, 1)]),
+            row_kernel_hash(&spec, &[(16, 1), (100_000, 1)])
+        );
     }
 
     #[test]

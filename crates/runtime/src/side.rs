@@ -98,6 +98,30 @@ impl SideInput {
         }
     }
 
+    /// Zero-copy borrow of a dense side's row `rix`, sliced to `cl..cu`
+    /// (rows broadcast when the side has a single row). `None` for sparse
+    /// sides — callers iterate their CSR rows instead of densifying.
+    #[inline]
+    pub fn dense_row(&self, rix: usize, cl: usize, cu: usize) -> Option<&[f64]> {
+        match self {
+            SideInput::Dense(d) => {
+                let r = if d.rows() == 1 { 0 } else { rix };
+                Some(&d.row(r)[cl..cu])
+            }
+            SideInput::Sparse(_) => None,
+        }
+    }
+
+    /// Zero-copy borrow of a dense side's full row-major values — for n×1 /
+    /// 1×n sides this is exactly the vector. `None` for sparse sides.
+    #[inline]
+    pub fn dense_values(&self) -> Option<&[f64]> {
+        match self {
+            SideInput::Dense(d) => Some(d.values()),
+            SideInput::Sparse(_) => None,
+        }
+    }
+
     /// Dense row-major values (densifying once if sparse) — used for
     /// `vectMatMult` side matrices where repeated row access dominates.
     pub fn to_dense_values(&self) -> std::borrow::Cow<'_, [f64]> {
@@ -139,6 +163,28 @@ mod tests {
         let mut buf = vec![0.0; 3];
         s.read_row_into(57, 0, 3, &mut buf);
         assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dense_row_borrows_and_broadcasts() {
+        let d = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let s = SideInput::bind(&Matrix::dense(d));
+        assert_eq!(s.dense_row(1, 0, 3).unwrap(), &[4.0, 5.0, 6.0]);
+        assert_eq!(s.dense_row(1, 1, 3).unwrap(), &[5.0, 6.0]);
+        let row = DenseMatrix::row_vector(&[7.0, 8.0]);
+        let b = SideInput::bind(&Matrix::dense(row));
+        assert_eq!(b.dense_row(42, 0, 2).unwrap(), &[7.0, 8.0], "single row broadcasts");
+        let sp = SparseMatrix::from_triples(2, 3, vec![(0, 1, 5.0)]);
+        assert!(SideInput::bind(&Matrix::sparse(sp)).dense_row(0, 0, 3).is_none());
+    }
+
+    #[test]
+    fn dense_values_borrows_whole_vector() {
+        let col = DenseMatrix::new(3, 1, vec![1.0, 2.0, 3.0]);
+        let s = SideInput::bind(&Matrix::dense(col));
+        assert_eq!(s.dense_values().unwrap(), &[1.0, 2.0, 3.0]);
+        let sp = SparseMatrix::from_triples(3, 1, vec![(1, 0, 9.0)]);
+        assert!(SideInput::bind(&Matrix::sparse(sp)).dense_values().is_none());
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //! data access — depending on its sparse-safeness over cells or non-zero
 //! values — of dense, sparse, or compressed matrices and calls an abstract
 //! genexec method for each value."
+//!
+//! Cell/MAgg/Outer skeletons drive the tile-vectorized block backend
+//! (`tiles::TileRunner`); the Row skeleton drives the band-lowered
+//! `RowKernel` with per-band register contexts and sparse-aware row views.
 
 pub mod cellwise;
 pub mod compressed;

@@ -1,7 +1,20 @@
 //! The `SpoofRowwise` skeleton: iterates rows of the main input, evaluating
-//! the vector register program per row with a preallocated per-thread
-//! register buffer (the paper's ring buffer), and applies the Row output
-//! variant (paper Table 1, Figure 3(c)).
+//! the vector register program per row, and applies the Row output variant
+//! (paper Table 1, Figure 3(c)).
+//!
+//! Two backends share every output variant. The **block backend** (default)
+//! executes the band-lowered [`RowKernel`]: worker threads own one context
+//! per contiguous *row band* (register files allocated once, the kernel's
+//! invariant prologue — constants, whole-vector side loads, derivations —
+//! replayed once per band), dense side rows are borrowed zero-copy through
+//! the [`SideInput`] row-view API, sparse sides feed `VecMatMult` through
+//! their CSR rows without densification, and sparse main rows execute
+//! directly over their non-zeros whenever the kernel is
+//! [`RowKernel::sparse_main_ok`] (the paper's `genexecSparse` split, §2.2).
+//! The `Xᵀ(Xv)`-style mv-chain shape additionally takes the
+//! [`RowFastKernel::MvChain`] closure-specialized path: one dot + one axpy
+//! per row. The **interpreter backend** is the original per-row evaluator,
+//! retained as the differential-test oracle.
 //!
 //! Three vector-execution modes implement the Figure 10 instruction-
 //! footprint experiment (DESIGN.md substitution X4): `Vectorized` calls the
@@ -10,43 +23,509 @@
 //! too large to JIT).
 
 use crate::side::SideInput;
-use fusedml_core::spoof::{Instr, Program, RowExecMode, RowOut, RowSpec};
+use fusedml_core::plancache;
+use fusedml_core::spoof::block::{self, RowFastKernel, RowKernel};
+use fusedml_core::spoof::{Instr, Program, Reg, RowExecMode, RowOut, RowSpec};
 use fusedml_linalg::ops::{AggOp, BinaryOp, UnaryOp};
 use fusedml_linalg::{par, primitives as prim, DenseMatrix, Matrix};
+use std::borrow::Cow;
 
-/// Executes a Row operator over the main input's rows.
+/// Which execution backend the Row skeleton uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowBackend {
+    /// The original per-row vector-program interpreter (differential-test
+    /// oracle).
+    Interp,
+    /// Band-lowered execution over the [`RowKernel`] (default): per-band
+    /// contexts, invariant hoisting, sparse-aware rows, mv-chain fast path.
+    Block,
+}
+
+/// Executes a Row operator over the main input's rows (block backend).
 pub fn execute(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f64]) -> Matrix {
-    let n = main.rows();
-    let m = main.cols();
-    // Pre-densify side matrices used by VecMatMult (row-major access).
-    let dense_sides: Vec<Option<Vec<f64>>> = (0..sides.len())
-        .map(|s| {
-            let used = spec
-                .prog
-                .instrs
-                .iter()
-                .any(|i| matches!(i, Instr::VecMatMult { side, .. } if *side == s));
-            used.then(|| sides[s].to_dense_values().into_owned())
-        })
-        .collect();
+    execute_with(spec, main, sides, scalars, RowBackend::Block)
+}
 
+/// Executes a Row operator under an explicit backend (differential tests pin
+/// [`RowBackend::Interp`] as the oracle for the band-lowered path).
+pub fn execute_with(
+    spec: &RowSpec,
+    main: &Matrix,
+    sides: &[SideInput],
+    scalars: &[f64],
+    backend: RowBackend,
+) -> Matrix {
+    match backend {
+        RowBackend::Block => block_exec(spec, main, sides, scalars),
+        RowBackend::Interp => interp_exec(spec, main, sides, scalars),
+    }
+}
+
+/// Per-row work estimate for the parallel-split heuristic: each vector
+/// instruction streams roughly one row's worth of values (non-zeros for
+/// sparse mains), so the estimate scales with *both* program length and
+/// effective row width — short programs over wide rows still parallelize,
+/// and long programs over skinny (or very sparse) rows don't run serial.
+fn work_per_row(spec: &RowSpec, main: &Matrix) -> usize {
+    let eff_cols = match main {
+        Matrix::Sparse(s) => (s.nnz() / s.rows().max(1)).max(1),
+        Matrix::Dense(_) => main.cols(),
+    };
+    spec.prog.instrs.len().max(4) * eff_cols.max(4)
+}
+
+// ===========================================================================
+// Block backend: band contexts over the lowered RowKernel
+// ===========================================================================
+
+/// The current main row: a zero-copy dense slice or the raw CSR non-zeros.
+#[derive(Clone, Copy)]
+enum RowView<'a> {
+    Dense(&'a [f64]),
+    Sparse { cols: &'a [usize], vals: &'a [f64] },
+}
+
+/// Resolves main rows for a band: dense rows are borrowed, sparse rows pass
+/// through as non-zeros when the kernel allows, and densify into band-owned
+/// scratch otherwise (allocated once per band, not once per row).
+struct RowReader<'a> {
+    main: &'a Matrix,
+    scratch: Vec<f64>,
+    sparse_ok: bool,
+}
+
+impl<'a> RowReader<'a> {
+    fn new(main: &'a Matrix, sparse_ok: bool) -> Self {
+        let scratch = match main {
+            Matrix::Sparse(_) if !sparse_ok => vec![0.0; main.cols()],
+            _ => Vec::new(),
+        };
+        RowReader { main, scratch, sparse_ok }
+    }
+
+    fn view(&mut self, r: usize) -> RowView<'_> {
+        match self.main {
+            Matrix::Dense(d) => RowView::Dense(d.row(r)),
+            Matrix::Sparse(s) if self.sparse_ok => {
+                RowView::Sparse { cols: s.row_cols(r), vals: s.row_values(r) }
+            }
+            Matrix::Sparse(s) => {
+                self.scratch.fill(0.0);
+                for (c, v) in s.row_iter(r) {
+                    self.scratch[c] = v;
+                }
+                RowView::Dense(&self.scratch)
+            }
+        }
+    }
+}
+
+/// Where a vector register's current value lives: an owned band buffer, the
+/// (virtual) main row, or a zero-copy borrow of a dense side.
+#[derive(Clone, Copy)]
+enum VSlot {
+    Owned,
+    Main,
+    /// Slice of a dense side's row-major values (whole-vector loads).
+    SideVals {
+        side: u16,
+        cl: u32,
+        cu: u32,
+    },
+    /// A dense side's row `row`, columns `cl..cu` (broadcast-aware).
+    SideRow {
+        side: u16,
+        row: u32,
+        cl: u32,
+        cu: u32,
+    },
+}
+
+/// Per-band execution context: the register files (the paper's preallocated
+/// per-thread ring buffer), allocated once per band with the kernel's
+/// invariant prologue replayed at construction.
+struct BandCtx<'a> {
+    kernel: &'a RowKernel,
+    spec: &'a RowSpec,
+    sides: &'a [SideInput],
+    scalars: &'a [f64],
+    sregs: Vec<f64>,
+    vregs: Vec<Vec<f64>>,
+    vslots: Vec<VSlot>,
+}
+
+/// `dst += alpha * side[i, :]` — dense rows via the shared axpy primitive,
+/// sparse rows over their CSR non-zeros (no densification).
+fn side_row_axpy(s: &SideInput, i: usize, alpha: f64, dst: &mut [f64]) {
+    match s {
+        SideInput::Dense(d) => prim::vect_mult_add(d.row(i), alpha, dst, 0, 0, dst.len()),
+        SideInput::Sparse(sp) => {
+            for (j, v) in sp.row_iter(i) {
+                dst[j] += alpha * v;
+            }
+        }
+    }
+}
+
+impl<'a> BandCtx<'a> {
+    fn new(
+        kernel: &'a RowKernel,
+        spec: &'a RowSpec,
+        sides: &'a [SideInput],
+        scalars: &'a [f64],
+    ) -> Self {
+        let mut vslots = vec![VSlot::Owned; spec.prog.vreg_lens.len()];
+        for &m in &kernel.main_vregs {
+            vslots[m as usize] = VSlot::Main;
+        }
+        let vregs = spec
+            .prog
+            .vreg_lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| if matches!(vslots[i], VSlot::Main) { Vec::new() } else { vec![0.0; l] })
+            .collect();
+        let mut ctx = BandCtx {
+            kernel,
+            spec,
+            sides,
+            scalars,
+            sregs: vec![0.0; spec.prog.n_regs as usize],
+            vregs,
+            vslots,
+        };
+        for ins in &kernel.invariant {
+            ctx.exec_instr(ins, 0, RowView::Dense(&[]));
+        }
+        ctx
+    }
+
+    #[inline]
+    fn is_main(&self, v: u16) -> bool {
+        matches!(self.vslots[v as usize], VSlot::Main)
+    }
+
+    #[inline]
+    fn scalar(&self, r: Reg) -> f64 {
+        self.sregs[r as usize]
+    }
+
+    /// Resolves a vector register to a slice: owned buffer, the dense main
+    /// row, or a zero-copy dense side borrow. Panics on a dense read of a
+    /// sparse main row — lowering guarantees that never happens.
+    fn vref<'s>(&'s self, v: u16, view: RowView<'s>) -> &'s [f64] {
+        match self.vslots[v as usize] {
+            VSlot::Owned => &self.vregs[v as usize],
+            VSlot::Main => match view {
+                RowView::Dense(d) => d,
+                RowView::Sparse { .. } => unreachable!("dense read of sparse main row"),
+            },
+            VSlot::SideVals { side, cl, cu } => &self.sides[side as usize]
+                .dense_values()
+                .expect("dense side")[cl as usize..cu as usize],
+            VSlot::SideRow { side, row, cl, cu } => self.sides[side as usize]
+                .dense_row(row as usize, cl as usize, cu as usize)
+                .expect("dense side"),
+        }
+    }
+
+    fn run_row(&mut self, rix: usize, view: RowView<'_>) {
+        let kernel = self.kernel;
+        for ins in &kernel.per_row {
+            self.exec_instr(ins, rix, view);
+        }
+    }
+
+    fn exec_instr(&mut self, ins: &Instr, rix: usize, view: RowView<'_>) {
+        let mode = self.spec.exec_mode;
+        match *ins {
+            // ---- scalar instructions -------------------------------------
+            Instr::LoadMain { out } => {
+                // Degenerate scalar main (not used by Row plans): the first
+                // cell of the current row.
+                self.sregs[out as usize] = match view {
+                    RowView::Dense(d) => d.first().copied().unwrap_or(0.0),
+                    RowView::Sparse { cols, vals } => {
+                        if cols.first() == Some(&0) {
+                            vals[0]
+                        } else {
+                            0.0
+                        }
+                    }
+                }
+            }
+            Instr::LoadUVDot { .. } => panic!("UVDot in Row program"),
+            Instr::LoadSide { out, side, access } => {
+                self.sregs[out as usize] = self.sides[side].value_at(access, rix, 0)
+            }
+            Instr::LoadScalar { out, idx } => self.sregs[out as usize] = self.scalars[idx],
+            Instr::LoadConst { out, value } => self.sregs[out as usize] = value,
+            Instr::Unary { out, op, a } => {
+                self.sregs[out as usize] = op.apply(self.sregs[a as usize])
+            }
+            Instr::Binary { out, op, a, b } => {
+                self.sregs[out as usize] = op.apply(self.sregs[a as usize], self.sregs[b as usize])
+            }
+            Instr::Ternary { out, op, a, b, c } => {
+                self.sregs[out as usize] =
+                    op.apply(self.sregs[a as usize], self.sregs[b as usize], self.sregs[c as usize])
+            }
+            // ---- vector loads --------------------------------------------
+            Instr::LoadMainRow { .. } => {} // virtual: reads resolve via the view
+            Instr::LoadSideRow { out, side, cl, cu } => {
+                let s = &self.sides[side];
+                // A col-vector side read at full length is a whole-vector
+                // view (`v` in `X %*% v`), not a row slice.
+                if block::whole_vector_load(s.rows(), s.cols(), cl, cu) {
+                    if s.dense_values().is_some() {
+                        self.vslots[out as usize] =
+                            VSlot::SideVals { side: side as u16, cl: cl as u32, cu: cu as u32 };
+                    } else {
+                        let mut dst = std::mem::take(&mut self.vregs[out as usize]);
+                        s.read_vector_into(&mut dst);
+                        self.vregs[out as usize] = dst;
+                    }
+                } else if s.dense_row(rix, cl, cu).is_some() {
+                    let row = if s.rows() == 1 { 0 } else { rix };
+                    self.vslots[out as usize] = VSlot::SideRow {
+                        side: side as u16,
+                        row: row as u32,
+                        cl: cl as u32,
+                        cu: cu as u32,
+                    };
+                } else {
+                    let mut dst = std::mem::take(&mut self.vregs[out as usize]);
+                    s.read_row_into(rix, cl, cu, &mut dst);
+                    self.vregs[out as usize] = dst;
+                }
+            }
+            // ---- vector compute ------------------------------------------
+            Instr::VecUnary { out, op, a } => {
+                let mut dst = std::mem::take(&mut self.vregs[out as usize]);
+                vec_unary(mode, op, self.vref(a, view), &mut dst);
+                self.vregs[out as usize] = dst;
+            }
+            Instr::VecBinaryVV { out, op, a, b } => {
+                let mut dst = std::mem::take(&mut self.vregs[out as usize]);
+                vec_binary_vv(mode, op, self.vref(a, view), self.vref(b, view), &mut dst);
+                self.vregs[out as usize] = dst;
+            }
+            Instr::VecBinaryVS { out, op, a, b, scalar_left } => {
+                let s = self.sregs[b as usize];
+                let mut dst = std::mem::take(&mut self.vregs[out as usize]);
+                vec_binary_vs(mode, op, self.vref(a, view), s, scalar_left, &mut dst);
+                self.vregs[out as usize] = dst;
+            }
+            Instr::VecMatMult { out, a, side } => {
+                let mut dst = std::mem::take(&mut self.vregs[out as usize]);
+                dst.fill(0.0);
+                let s = &self.sides[side];
+                match view {
+                    RowView::Sparse { cols, vals } if self.is_main(a) => {
+                        for (&c, &v) in cols.iter().zip(vals) {
+                            side_row_axpy(s, c, v, &mut dst);
+                        }
+                    }
+                    _ => {
+                        let src = self.vref(a, view);
+                        for (i, &av) in src.iter().enumerate() {
+                            if av != 0.0 {
+                                side_row_axpy(s, i, av, &mut dst);
+                            }
+                        }
+                    }
+                }
+                self.vregs[out as usize] = dst;
+            }
+            Instr::Dot { out, a, b } => {
+                let val = match view {
+                    RowView::Sparse { cols, vals } if self.is_main(a) || self.is_main(b) => {
+                        match (self.is_main(a), self.is_main(b)) {
+                            (true, true) => prim::vect_sum_sq(vals, 0, vals.len()),
+                            (true, false) => {
+                                prim::dot_product_sparse(vals, cols, self.vref(b, view), 0)
+                            }
+                            _ => prim::dot_product_sparse(vals, cols, self.vref(a, view), 0),
+                        }
+                    }
+                    _ => {
+                        let x = self.vref(a, view);
+                        let y = self.vref(b, view);
+                        prim::dot_product(x, y, 0, 0, x.len())
+                    }
+                };
+                self.sregs[out as usize] = val;
+            }
+            Instr::VecAgg { out, op, a } => {
+                let val = match view {
+                    RowView::Sparse { vals, .. } if self.is_main(a) => {
+                        let len = self.spec.prog.vreg_lens[a as usize];
+                        sparse_agg(op, vals, len)
+                    }
+                    _ => {
+                        let v = self.vref(a, view);
+                        dense_agg(op, v)
+                    }
+                };
+                self.sregs[out as usize] = val;
+            }
+            Instr::VecCumsum { out, a } => {
+                let mut dst = std::mem::take(&mut self.vregs[out as usize]);
+                dst.copy_from_slice(self.vref(a, view));
+                prim::vect_cumsum_inplace(&mut dst);
+                self.vregs[out as usize] = dst;
+            }
+        }
+    }
+
+    // ---- output emission -----------------------------------------------
+
+    /// `dst = vregs[src]` (scatter over non-zeros for the sparse main row;
+    /// `dst` arrives zeroed).
+    fn write_vec(&self, src: u16, view: RowView<'_>, dst: &mut [f64]) {
+        if self.is_main(src) {
+            if let RowView::Sparse { cols, vals } = view {
+                for (&c, &v) in cols.iter().zip(vals) {
+                    dst[c] = v;
+                }
+                return;
+            }
+        }
+        dst.copy_from_slice(self.vref(src, view));
+    }
+
+    /// `acc += vregs[src]`.
+    fn add_vec(&self, src: u16, view: RowView<'_>, acc: &mut [f64]) {
+        if self.is_main(src) {
+            if let RowView::Sparse { cols, vals } = view {
+                prim::vect_add_sparse(vals, cols, acc, 0);
+                return;
+            }
+        }
+        prim::vect_add(self.vref(src, view), acc, 0, 0, acc.len());
+    }
+
+    /// `acc += scale * vregs[src]`.
+    fn mult_add_vec(&self, src: u16, scale: f64, view: RowView<'_>, acc: &mut [f64]) {
+        if self.is_main(src) {
+            if let RowView::Sparse { cols, vals } = view {
+                prim::vect_mult_add_sparse(vals, cols, scale, acc, 0);
+                return;
+            }
+        }
+        prim::vect_mult_add(self.vref(src, view), scale, acc, 0, 0, acc.len());
+    }
+
+    /// `acc[i, j] += left[i] * right[j]` over the row-major `orows×ocols`
+    /// accumulator, iterating main-row non-zeros where possible.
+    fn outer_add(
+        &self,
+        left: u16,
+        right: u16,
+        view: RowView<'_>,
+        acc: &mut [f64],
+        orows: usize,
+        ocols: usize,
+    ) {
+        let (lmain, rmain) = (self.is_main(left), self.is_main(right));
+        match view {
+            RowView::Sparse { cols, vals } if lmain || rmain => {
+                if lmain && rmain {
+                    // x ⊗ x (per-row gram): nnz² updates.
+                    for (&ci, &vi) in cols.iter().zip(vals) {
+                        prim::vect_mult_add_sparse(vals, cols, vi, acc, ci * ocols);
+                    }
+                } else if lmain {
+                    let r = self.vref(right, view);
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        prim::vect_mult_add(r, v, acc, 0, c * ocols, ocols);
+                    }
+                } else {
+                    let l = self.vref(left, view);
+                    for (i, &lv) in l.iter().enumerate().take(orows) {
+                        if lv != 0.0 {
+                            prim::vect_mult_add_sparse(vals, cols, lv, acc, i * ocols);
+                        }
+                    }
+                }
+            }
+            _ => {
+                let l = self.vref(left, view);
+                let r = self.vref(right, view);
+                prim::vect_outer_mult_add(l, r, acc, 0, 0, 0, orows, ocols);
+            }
+        }
+    }
+}
+
+fn dense_agg(op: AggOp, v: &[f64]) -> f64 {
+    match op {
+        AggOp::Sum => prim::vect_sum(v, 0, v.len()),
+        AggOp::SumSq => prim::vect_sum_sq(v, 0, v.len()),
+        AggOp::Min => prim::vect_min(v, 0, v.len()),
+        AggOp::Max => prim::vect_max(v, 0, v.len()),
+        AggOp::Mean => prim::vect_sum(v, 0, v.len()) / v.len() as f64,
+    }
+}
+
+/// Aggregates a sparse main row of logical length `len` over its non-zeros;
+/// `Min`/`Max` fold in the implicit zeros, `Mean` divides by the full length.
+fn sparse_agg(op: AggOp, vals: &[f64], len: usize) -> f64 {
+    let mut v = match op {
+        AggOp::Sum => prim::vect_sum(vals, 0, vals.len()),
+        AggOp::SumSq => prim::vect_sum_sq(vals, 0, vals.len()),
+        AggOp::Min => prim::vect_min(vals, 0, vals.len()),
+        AggOp::Max => prim::vect_max(vals, 0, vals.len()),
+        AggOp::Mean => prim::vect_sum(vals, 0, vals.len()) / len as f64,
+    };
+    if vals.len() < len {
+        match op {
+            AggOp::Min => v = v.min(0.0),
+            AggOp::Max => v = v.max(0.0),
+            _ => {}
+        }
+    }
+    v
+}
+
+fn block_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f64]) -> Matrix {
+    let side_dims: Vec<(usize, usize)> = sides.iter().map(|s| (s.rows(), s.cols())).collect();
+    let kernel = plancache::row_cache().get_or_lower(spec, &side_dims);
+    let n = main.rows();
+    let work = work_per_row(spec, main);
+    let add_reduce = |mut a: Vec<f64>, b: Vec<f64>| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+        a
+    };
     match &spec.out {
         RowOut::NoAgg { src } => {
             let k = spec.out_cols;
             let mut out = vec![0.0f64; n * k];
-            par::par_rows_mut(&mut out, n, k, m.max(4) * 4, |r, orow| {
-                let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
-                ctx.run_row(r);
-                orow.copy_from_slice(&ctx.vregs[*src as usize]);
+            par::par_row_bands_mut(&mut out, n, k, work, |r0, band| {
+                let mut ctx = BandCtx::new(&kernel, spec, sides, scalars);
+                let mut rr = RowReader::new(main, kernel.sparse_main_ok);
+                for (i, orow) in band.chunks_exact_mut(k).enumerate() {
+                    let r = r0 + i;
+                    let view = rr.view(r);
+                    ctx.run_row(r, view);
+                    ctx.write_vec(*src, view, orow);
+                }
             });
             Matrix::dense(DenseMatrix::new(n, k, out))
         }
         RowOut::RowAgg { src } => {
             let mut out = vec![0.0f64; n];
-            par::par_rows_mut(&mut out, n, 1, m.max(4) * 4, |r, slot| {
-                let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
-                ctx.run_row(r);
-                slot[0] = ctx.sregs[*src as usize];
+            par::par_row_bands_mut(&mut out, n, 1, work, |r0, band| {
+                let mut ctx = BandCtx::new(&kernel, spec, sides, scalars);
+                let mut rr = RowReader::new(main, kernel.sparse_main_ok);
+                for (i, slot) in band.iter_mut().enumerate() {
+                    let r = r0 + i;
+                    let view = rr.view(r);
+                    ctx.run_row(r, view);
+                    *slot = ctx.scalar(*src);
+                }
             });
             Matrix::dense(DenseMatrix::new(n, 1, out))
         }
@@ -54,7 +533,175 @@ pub fn execute(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
             let k = spec.out_cols;
             let acc = par::par_map_reduce(
                 n,
-                m.max(4) * 4,
+                work,
+                vec![0.0f64; k],
+                |lo, hi| {
+                    let mut ctx = BandCtx::new(&kernel, spec, sides, scalars);
+                    let mut rr = RowReader::new(main, kernel.sparse_main_ok);
+                    let mut acc = vec![0.0f64; k];
+                    for r in lo..hi {
+                        let view = rr.view(r);
+                        ctx.run_row(r, view);
+                        ctx.add_vec(*src, view, &mut acc);
+                    }
+                    acc
+                },
+                add_reduce,
+            );
+            Matrix::dense(DenseMatrix::new(1, k, acc))
+        }
+        RowOut::FullAgg { src } => {
+            let acc = par::par_map_reduce(
+                n,
+                work,
+                0.0f64,
+                |lo, hi| {
+                    let mut ctx = BandCtx::new(&kernel, spec, sides, scalars);
+                    let mut rr = RowReader::new(main, kernel.sparse_main_ok);
+                    let mut acc = 0.0;
+                    for r in lo..hi {
+                        let view = rr.view(r);
+                        ctx.run_row(r, view);
+                        acc += ctx.scalar(*src);
+                    }
+                    acc
+                },
+                |a, b| a + b,
+            );
+            Matrix::dense(DenseMatrix::filled(1, 1, acc))
+        }
+        RowOut::OuterColAgg { left, right } => {
+            let (orows, ocols) = (spec.out_rows, spec.out_cols);
+            let acc = par::par_map_reduce(
+                n,
+                work,
+                vec![0.0f64; orows * ocols],
+                |lo, hi| {
+                    let mut ctx = BandCtx::new(&kernel, spec, sides, scalars);
+                    let mut rr = RowReader::new(main, kernel.sparse_main_ok);
+                    let mut acc = vec![0.0f64; orows * ocols];
+                    for r in lo..hi {
+                        let view = rr.view(r);
+                        ctx.run_row(r, view);
+                        ctx.outer_add(*left, *right, view, &mut acc, orows, ocols);
+                    }
+                    acc
+                },
+                add_reduce,
+            );
+            Matrix::dense(DenseMatrix::new(orows, ocols, acc))
+        }
+        RowOut::ColAggMultAdd { vec, scalar } => {
+            let orows = spec.out_rows;
+            // The closure-specialized mv-chain path only stands in for the
+            // default vectorized mode; the Figure 10 modes keep per-element
+            // dispatch semantics through the generic body.
+            let fast = match (&kernel.fast, spec.exec_mode) {
+                (Some(f @ RowFastKernel::MvChain { .. }), RowExecMode::Vectorized) => Some(f),
+                _ => None,
+            };
+            let acc = par::par_map_reduce(
+                n,
+                work,
+                vec![0.0f64; orows],
+                |lo, hi| {
+                    let mut ctx = BandCtx::new(&kernel, spec, sides, scalars);
+                    let mut rr = RowReader::new(main, kernel.sparse_main_ok);
+                    let mut acc = vec![0.0f64; orows];
+                    if let Some(RowFastKernel::MvChain { v, dot_out, scalar_tail, scalar_src }) =
+                        fast
+                    {
+                        for r in lo..hi {
+                            let view = rr.view(r);
+                            let d = {
+                                let vv = ctx.vref(*v, view);
+                                match view {
+                                    RowView::Dense(x) => prim::dot_product(x, vv, 0, 0, x.len()),
+                                    RowView::Sparse { cols, vals } => {
+                                        prim::dot_product_sparse(vals, cols, vv, 0)
+                                    }
+                                }
+                            };
+                            ctx.sregs[*dot_out as usize] = d;
+                            for ins in scalar_tail {
+                                ctx.exec_instr(ins, r, view);
+                            }
+                            let s = ctx.scalar(*scalar_src);
+                            match view {
+                                RowView::Dense(x) => {
+                                    prim::vect_mult_add(x, s, &mut acc, 0, 0, orows)
+                                }
+                                RowView::Sparse { cols, vals } => {
+                                    prim::vect_mult_add_sparse(vals, cols, s, &mut acc, 0)
+                                }
+                            }
+                        }
+                    } else {
+                        for r in lo..hi {
+                            let view = rr.view(r);
+                            ctx.run_row(r, view);
+                            let s = ctx.scalar(*scalar);
+                            ctx.mult_add_vec(*vec, s, view, &mut acc);
+                        }
+                    }
+                    acc
+                },
+                add_reduce,
+            );
+            Matrix::dense(DenseMatrix::new(orows, 1, acc))
+        }
+    }
+}
+
+// ===========================================================================
+// Interpreter backend (the differential-test oracle)
+// ===========================================================================
+
+fn interp_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f64]) -> Matrix {
+    let n = main.rows();
+    let work = work_per_row(spec, main);
+    // Side matrices used by VecMatMult need row-major access: dense sides
+    // are borrowed (the Cow stays Borrowed), sparse sides densify once.
+    let dense_sides: Vec<Option<Cow<'_, [f64]>>> = (0..sides.len())
+        .map(|s| {
+            let used = spec
+                .prog
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::VecMatMult { side, .. } if *side == s));
+            used.then(|| sides[s].to_dense_values())
+        })
+        .collect();
+
+    match &spec.out {
+        RowOut::NoAgg { src } => {
+            let k = spec.out_cols;
+            let mut out = vec![0.0f64; n * k];
+            par::par_row_bands_mut(&mut out, n, k, work, |r0, band| {
+                let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
+                for (i, orow) in band.chunks_exact_mut(k).enumerate() {
+                    ctx.run_row(r0 + i);
+                    orow.copy_from_slice(&ctx.vregs[*src as usize]);
+                }
+            });
+            Matrix::dense(DenseMatrix::new(n, k, out))
+        }
+        RowOut::RowAgg { src } => {
+            let mut out = vec![0.0f64; n];
+            par::par_row_bands_mut(&mut out, n, 1, work, |r0, band| {
+                let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
+                for (i, slot) in band.iter_mut().enumerate() {
+                    ctx.run_row(r0 + i);
+                    *slot = ctx.sregs[*src as usize];
+                }
+            });
+            Matrix::dense(DenseMatrix::new(n, 1, out))
+        }
+        RowOut::ColAgg { src } => {
+            let k = spec.out_cols;
+            let acc = par::par_map_reduce(
+                n,
+                work,
                 vec![0.0f64; k],
                 |lo, hi| {
                     let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
@@ -77,7 +724,7 @@ pub fn execute(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
         RowOut::FullAgg { src } => {
             let acc = par::par_map_reduce(
                 n,
-                m.max(4) * 4,
+                work,
                 0.0f64,
                 |lo, hi| {
                     let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
@@ -96,7 +743,7 @@ pub fn execute(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
             let (orows, ocols) = (spec.out_rows, spec.out_cols);
             let acc = par::par_map_reduce(
                 n,
-                m.max(4) * 4,
+                work,
                 vec![0.0f64; orows * ocols],
                 |lo, hi| {
                     let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
@@ -122,7 +769,7 @@ pub fn execute(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
             let orows = spec.out_rows;
             let acc = par::par_map_reduce(
                 n,
-                m.max(4) * 4,
+                work,
                 vec![0.0f64; orows],
                 |lo, hi| {
                     let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
@@ -147,13 +794,13 @@ pub fn execute(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
     }
 }
 
-/// Per-thread execution context: the register "ring buffer".
+/// Per-thread execution context of the interpreter backend.
 struct RowCtx<'a> {
     spec: &'a RowSpec,
     main: &'a Matrix,
     sides: &'a [SideInput],
     scalars: &'a [f64],
-    dense_sides: &'a [Option<Vec<f64>>],
+    dense_sides: &'a [Option<Cow<'a, [f64]>>],
     sregs: Vec<f64>,
     vregs: Vec<Vec<f64>>,
     main_buf: Vec<f64>,
@@ -165,7 +812,7 @@ impl<'a> RowCtx<'a> {
         main: &'a Matrix,
         sides: &'a [SideInput],
         scalars: &'a [f64],
-        dense_sides: &'a [Option<Vec<f64>>],
+        dense_sides: &'a [Option<Cow<'a, [f64]>>],
     ) -> Self {
         RowCtx {
             spec,
@@ -233,7 +880,7 @@ impl<'a> RowCtx<'a> {
                     let dst = &mut self.vregs[out as usize];
                     // A col-vector side read at full length is a whole-vector
                     // view (`v` in `X %*% v`), not a row slice.
-                    if s.cols() == 1 && cu - cl == s.rows() && s.rows() > 1 {
+                    if block::whole_vector_load(s.rows(), s.cols(), cl, cu) {
                         s.read_vector_into(dst);
                     } else {
                         s.read_row_into(rix, cl, cu, dst);
@@ -277,14 +924,7 @@ impl<'a> RowCtx<'a> {
                     self.sregs[out as usize] = prim::dot_product(x, y, 0, 0, x.len());
                 }
                 Instr::VecAgg { out, op, a } => {
-                    let v = &self.vregs[a as usize];
-                    self.sregs[out as usize] = match op {
-                        AggOp::Sum => prim::vect_sum(v, 0, v.len()),
-                        AggOp::SumSq => prim::vect_sum_sq(v, 0, v.len()),
-                        AggOp::Min => prim::vect_min(v, 0, v.len()),
-                        AggOp::Max => prim::vect_max(v, 0, v.len()),
-                        AggOp::Mean => prim::vect_sum(v, 0, v.len()) / v.len() as f64,
-                    };
+                    self.sregs[out as usize] = dense_agg(op, &self.vregs[a as usize]);
                 }
                 Instr::VecCumsum { out, a } => {
                     let src = self.vregs[a as usize].clone();
@@ -461,10 +1101,12 @@ mod tests {
         let (n, m) = (200, 30);
         let x = generate::rand_dense(n, m, -1.0, 1.0, 1);
         let v = generate::rand_dense(m, 1, -1.0, 1.0, 2);
-        let out = execute(&mv_chain_spec(m), &x, &[SideInput::bind(&v)], &[]);
-        let xv = ops::matmult(&x, &v);
-        let expect = ops::matmult(&ops::transpose(&x), &xv);
-        assert!(out.approx_eq(&expect, 1e-9), "X^T(Xv) fused vs reference");
+        for backend in [RowBackend::Interp, RowBackend::Block] {
+            let out = execute_with(&mv_chain_spec(m), &x, &[SideInput::bind(&v)], &[], backend);
+            let xv = ops::matmult(&x, &v);
+            let expect = ops::matmult(&ops::transpose(&x), &xv);
+            assert!(out.approx_eq(&expect, 1e-9), "{backend:?}: X^T(Xv) fused vs reference");
+        }
     }
 
     #[test]
@@ -472,9 +1114,25 @@ mod tests {
         let (n, m) = (300, 25);
         let xs = generate::rand_matrix(n, m, -1.0, 1.0, 0.1, 3);
         let v = generate::rand_dense(m, 1, -1.0, 1.0, 4);
-        let out = execute(&mv_chain_spec(m), &xs, &[SideInput::bind(&v)], &[]);
-        let expect = ops::matmult(&ops::transpose(&xs), &ops::matmult(&xs, &v));
-        assert!(out.approx_eq(&expect, 1e-9));
+        for backend in [RowBackend::Interp, RowBackend::Block] {
+            let out = execute_with(&mv_chain_spec(m), &xs, &[SideInput::bind(&v)], &[], backend);
+            let expect = ops::matmult(&ops::transpose(&xs), &ops::matmult(&xs, &v));
+            assert!(out.approx_eq(&expect, 1e-9), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn mv_chain_sparse_sides_agree() {
+        // Sparse main AND sparse v: the block path must stay exact without
+        // ever densifying either (the kernel is sparse_main_ok).
+        let (n, m) = (300, 25);
+        let xs = generate::rand_matrix(n, m, -1.0, 1.0, 0.1, 5);
+        let vs = generate::rand_matrix(m, 1, -1.0, 1.0, 0.4, 6);
+        let oracle =
+            execute_with(&mv_chain_spec(m), &xs, &[SideInput::bind(&vs)], &[], RowBackend::Interp);
+        let got =
+            execute_with(&mv_chain_spec(m), &xs, &[SideInput::bind(&vs)], &[], RowBackend::Block);
+        assert!(got.approx_eq(&oracle, 1e-9));
     }
 
     #[test]
@@ -540,9 +1198,11 @@ mod tests {
             out_cols: m,
             exec_mode: RowExecMode::Vectorized,
         };
-        let out = execute(&spec, &x, &[], &[]);
-        let expect = ops::binary_scalar(&x, 2.0, BinaryOp::Mult);
-        assert!(out.approx_eq(&expect, 1e-12));
+        for backend in [RowBackend::Interp, RowBackend::Block] {
+            let out = execute_with(&spec, &x, &[], &[], backend);
+            let expect = ops::binary_scalar(&x, 2.0, BinaryOp::Mult);
+            assert!(out.approx_eq(&expect, 1e-12), "{backend:?}");
+        }
     }
 
     #[test]
@@ -560,9 +1220,11 @@ mod tests {
             out_cols: m,
             exec_mode: RowExecMode::Vectorized,
         };
-        let out = execute(&spec, &x, &[], &[]);
-        let expect = ops::agg(&x, AggOp::Sum, AggDir::Col);
-        assert!(out.approx_eq(&expect, 1e-9));
+        for backend in [RowBackend::Interp, RowBackend::Block] {
+            let out = execute_with(&spec, &x, &[], &[], backend);
+            let expect = ops::agg(&x, AggOp::Sum, AggDir::Col);
+            assert!(out.approx_eq(&expect, 1e-9), "{backend:?}");
+        }
     }
 
     #[test]
@@ -585,8 +1247,52 @@ mod tests {
             out_cols: k,
             exec_mode: RowExecMode::Vectorized,
         };
-        let out = execute(&spec, &x, &[SideInput::bind(&v)], &[]);
-        let expect = ops::matmult(&ops::transpose(&x), &ops::matmult(&x, &v));
-        assert!(out.approx_eq(&expect, 1e-9));
+        for backend in [RowBackend::Interp, RowBackend::Block] {
+            let out = execute_with(&spec, &x, &[SideInput::bind(&v)], &[], backend);
+            let expect = ops::matmult(&ops::transpose(&x), &ops::matmult(&x, &v));
+            assert!(out.approx_eq(&expect, 1e-9), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn vect_mat_mult_sparse_main_and_side() {
+        // Sparse X and sparse V: per-row VecMatMult iterates non-zeros and
+        // CSR side rows — results must match the densifying oracle.
+        let (n, m, k) = (80, 20, 5);
+        let x = generate::rand_matrix(n, m, -1.0, 1.0, 0.15, 11);
+        let v = generate::rand_matrix(m, k, -1.0, 1.0, 0.4, 12);
+        let spec = RowSpec {
+            prog: Program {
+                instrs: vec![
+                    Instr::LoadMainRow { out: 0 },
+                    Instr::VecMatMult { out: 1, a: 0, side: 0 },
+                ],
+                n_regs: 0,
+                vreg_lens: vec![m, k],
+            },
+            out: RowOut::OuterColAgg { left: 0, right: 1 },
+            out_rows: m,
+            out_cols: k,
+            exec_mode: RowExecMode::Vectorized,
+        };
+        let sides = [SideInput::bind(&v)];
+        let oracle = execute_with(&spec, &x, &sides, &[], RowBackend::Interp);
+        let got = execute_with(&spec, &x, &sides, &[], RowBackend::Block);
+        assert!(got.approx_eq(&oracle, 1e-9));
+    }
+
+    #[test]
+    fn work_heuristic_tracks_program_length_and_sparsity() {
+        let dense = generate::rand_dense(10, 1000, -1.0, 1.0, 1);
+        let sparse = generate::rand_matrix(1000, 1000, -1.0, 1.0, 0.01, 2);
+        let short = mv_chain_spec(1000);
+        let mut long = mv_chain_spec(1000);
+        for _ in 0..20 {
+            long.prog.instrs.push(Instr::LoadConst { out: 0, value: 1.0 });
+        }
+        // Longer programs mean more work per row.
+        assert!(work_per_row(&long, &dense) > work_per_row(&short, &dense));
+        // Sparse rows cost by their non-zeros, not the full width.
+        assert!(work_per_row(&short, &sparse) < work_per_row(&short, &dense));
     }
 }

@@ -1,0 +1,348 @@
+//! Differential property tests for the band-lowered Row backend: random
+//! Row register programs executed through the block path (per-band
+//! contexts, invariant hoisting, zero-copy dense side views, sparse rows
+//! over non-zeros, mv-chain fast path) must agree with the per-row
+//! interpreter (the oracle) across dense/sparse mains and sides, every
+//! `RowOut` variant, all three `RowExecMode`s, and ragged band tails
+//! (row counts that don't divide the thread-band size) — mirroring
+//! `block_vs_scalar_property.rs` for the Cell/MAgg templates.
+//!
+//! Aggregating outputs reassociate across non-zeros and bands, so results
+//! agree to 1e-9; elementwise (NoAgg) rows agree to 1e-11.
+
+use fusedml_core::spoof::{Instr, Program, RowExecMode, RowOut, RowSpec, SideAccess};
+use fusedml_linalg::ops::{AggOp, BinaryOp, TernaryOp, UnaryOp};
+use fusedml_linalg::{generate, Matrix};
+use fusedml_runtime::side::SideInput;
+use fusedml_runtime::spoof::rowwise::{self, RowBackend};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Side layout (fixed across cases; densities vary):
+/// 0: m×k matrix (VecMatMult), 1: m×1 column vector (whole-vector loads),
+/// 2: n×m row-aligned matrix (side-row slices), 3: n×1 column (Col loads).
+const N_SCALARS: usize = 2;
+
+struct Shape {
+    n: usize,
+    m: usize,
+    k: usize,
+}
+
+/// Register state tracked during generation.
+struct Gen {
+    instrs: Vec<Instr>,
+    n_sregs: u16,
+    vreg_lens: Vec<usize>,
+    /// Vector registers of main-row length m.
+    m_vecs: Vec<u16>,
+    /// Vector registers of VecMatMult-output length k.
+    k_vecs: Vec<u16>,
+}
+
+impl Gen {
+    fn sreg(&mut self) -> u16 {
+        let r = self.n_sregs;
+        self.n_sregs += 1;
+        r
+    }
+    fn vreg(&mut self, len: usize) -> u16 {
+        self.vreg_lens.push(len);
+        (self.vreg_lens.len() - 1) as u16
+    }
+}
+
+/// Generates a random, well-typed Row program. The operator set is
+/// restricted to operations whose NaN/∞ behaviour is order-independent so
+/// the differential comparison stays tolerance-tight.
+fn random_row_program(rng: &mut StdRng, sh: &Shape) -> Gen {
+    let mut g = Gen {
+        instrs: Vec::new(),
+        n_sregs: 0,
+        vreg_lens: Vec::new(),
+        m_vecs: Vec::new(),
+        k_vecs: Vec::new(),
+    };
+    // Always start from the main row.
+    let main = g.vreg(sh.m);
+    g.instrs.push(Instr::LoadMainRow { out: main });
+    g.m_vecs.push(main);
+
+    let n_extra = rng.gen_range(1..10usize);
+    for _ in 0..n_extra {
+        let have_scalars = g.n_sregs > 0;
+        match rng.gen_range(0..10u32) {
+            // Whole-vector load of the m×1 side.
+            0 => {
+                let v = g.vreg(sh.m);
+                g.instrs.push(Instr::LoadSideRow { out: v, side: 1, cl: 0, cu: sh.m });
+                g.m_vecs.push(v);
+            }
+            // Row slice of the row-aligned n×m side.
+            1 => {
+                let v = g.vreg(sh.m);
+                g.instrs.push(Instr::LoadSideRow { out: v, side: 2, cl: 0, cu: sh.m });
+                g.m_vecs.push(v);
+            }
+            // Scalar loads: bound scalar / constant / Col- or Scalar-access.
+            2 => {
+                let out = g.sreg();
+                g.instrs.push(match rng.gen_range(0..4u32) {
+                    0 => Instr::LoadScalar { out, idx: rng.gen_range(0..N_SCALARS) },
+                    1 => Instr::LoadConst { out, value: rng.gen_range(-1.5..1.5) },
+                    2 => Instr::LoadSide { out, side: 3, access: SideAccess::Col },
+                    _ => Instr::LoadSide { out, side: 3, access: SideAccess::Scalar },
+                });
+            }
+            // Vector unary over an m-vector.
+            3 => {
+                let a = g.m_vecs[rng.gen_range(0..g.m_vecs.len())];
+                let out = g.vreg(sh.m);
+                let ops = [UnaryOp::Abs, UnaryOp::Neg, UnaryOp::Pow2, UnaryOp::Sigmoid];
+                g.instrs.push(Instr::VecUnary { out, op: ops[rng.gen_range(0..ops.len())], a });
+                g.m_vecs.push(out);
+            }
+            // Vector-vector binary over two m-vectors.
+            4 => {
+                let a = g.m_vecs[rng.gen_range(0..g.m_vecs.len())];
+                let b = g.m_vecs[rng.gen_range(0..g.m_vecs.len())];
+                let out = g.vreg(sh.m);
+                let ops = [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mult, BinaryOp::Max];
+                g.instrs.push(Instr::VecBinaryVV {
+                    out,
+                    op: ops[rng.gen_range(0..ops.len())],
+                    a,
+                    b,
+                });
+                g.m_vecs.push(out);
+            }
+            // Vector-scalar binary.
+            5 if have_scalars => {
+                let a = g.m_vecs[rng.gen_range(0..g.m_vecs.len())];
+                let b = rng.gen_range(0..g.n_sregs);
+                let out = g.vreg(sh.m);
+                let ops = [BinaryOp::Add, BinaryOp::Mult, BinaryOp::Min];
+                g.instrs.push(Instr::VecBinaryVS {
+                    out,
+                    op: ops[rng.gen_range(0..ops.len())],
+                    a,
+                    b,
+                    scalar_left: rng.gen_bool(0.5),
+                });
+                g.m_vecs.push(out);
+            }
+            // vectMatMult: m-vector × (m×k side) → k-vector.
+            6 => {
+                let a = g.m_vecs[rng.gen_range(0..g.m_vecs.len())];
+                let out = g.vreg(sh.k);
+                g.instrs.push(Instr::VecMatMult { out, a, side: 0 });
+                g.k_vecs.push(out);
+            }
+            // Dot of two m-vectors.
+            7 => {
+                let a = g.m_vecs[rng.gen_range(0..g.m_vecs.len())];
+                let b = g.m_vecs[rng.gen_range(0..g.m_vecs.len())];
+                let out = g.sreg();
+                g.instrs.push(Instr::Dot { out, a, b });
+            }
+            // Vector aggregate to scalar.
+            8 => {
+                let a = g.m_vecs[rng.gen_range(0..g.m_vecs.len())];
+                let out = g.sreg();
+                let ops = [AggOp::Sum, AggOp::SumSq, AggOp::Min, AggOp::Max, AggOp::Mean];
+                g.instrs.push(Instr::VecAgg { out, op: ops[rng.gen_range(0..ops.len())], a });
+            }
+            // Scalar compute over existing scalar registers.
+            _ if have_scalars => {
+                let pick = |rng: &mut StdRng, n: u16| rng.gen_range(0..n);
+                let out = g.sreg();
+                if rng.gen_bool(0.3) {
+                    g.instrs.push(Instr::Ternary {
+                        out,
+                        op: [TernaryOp::PlusMult, TernaryOp::MinusMult, TernaryOp::IfElse]
+                            [rng.gen_range(0..3usize)],
+                        a: pick(rng, out),
+                        b: pick(rng, out),
+                        c: pick(rng, out),
+                    });
+                } else {
+                    let ops = [BinaryOp::Add, BinaryOp::Mult, BinaryOp::Sub, BinaryOp::Max];
+                    g.instrs.push(Instr::Binary {
+                        out,
+                        op: ops[rng.gen_range(0..ops.len())],
+                        a: pick(rng, out),
+                        b: pick(rng, out),
+                    });
+                }
+            }
+            // Fallback when no scalars exist yet: another VecAgg.
+            _ => {
+                let a = g.m_vecs[rng.gen_range(0..g.m_vecs.len())];
+                let out = g.sreg();
+                g.instrs.push(Instr::VecAgg { out, op: AggOp::Sum, a });
+            }
+        }
+    }
+    g
+}
+
+/// Picks a random output variant compatible with the generated registers.
+fn random_out(rng: &mut StdRng, g: &Gen, sh: &Shape) -> (RowOut, usize, usize) {
+    let m_vec = |rng: &mut StdRng| g.m_vecs[rng.gen_range(0..g.m_vecs.len())];
+    loop {
+        match rng.gen_range(0..6u32) {
+            0 => {
+                let src = m_vec(rng);
+                return (RowOut::NoAgg { src }, sh.n, sh.m);
+            }
+            1 if g.n_sregs > 0 => {
+                let src = rng.gen_range(0..g.n_sregs);
+                return (RowOut::RowAgg { src }, sh.n, 1);
+            }
+            2 => {
+                let src = m_vec(rng);
+                return (RowOut::ColAgg { src }, 1, sh.m);
+            }
+            3 if g.n_sregs > 0 => {
+                let src = rng.gen_range(0..g.n_sregs);
+                return (RowOut::FullAgg { src }, 1, 1);
+            }
+            4 => {
+                // m×m outer, or m×k against a VecMatMult result.
+                let left = m_vec(rng);
+                if !g.k_vecs.is_empty() && rng.gen_bool(0.5) {
+                    let right = g.k_vecs[rng.gen_range(0..g.k_vecs.len())];
+                    return (RowOut::OuterColAgg { left, right }, sh.m, sh.k);
+                }
+                let right = m_vec(rng);
+                return (RowOut::OuterColAgg { left, right }, sh.m, sh.m);
+            }
+            5 if g.n_sregs > 0 => {
+                let vec = m_vec(rng);
+                let scalar = rng.gen_range(0..g.n_sregs);
+                return (RowOut::ColAggMultAdd { vec, scalar }, sh.m, 1);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Inputs {
+    dense_main: Matrix,
+    sparse_main: Matrix,
+    sides: Vec<Matrix>,
+    scalars: Vec<f64>,
+}
+
+fn random_inputs(rng: &mut StdRng, sh: &Shape, seed: u64) -> Inputs {
+    let sp = |rng: &mut StdRng| if rng.gen_bool(0.4) { Some(0.3) } else { None };
+    let side = |rng: &mut StdRng, r: usize, c: usize, s: u64| match sp(rng) {
+        Some(d) => generate::rand_matrix(r, c, -1.5, 1.5, d, s),
+        None => generate::rand_dense(r, c, -1.5, 1.5, s),
+    };
+    Inputs {
+        dense_main: generate::rand_dense(sh.n, sh.m, -1.5, 1.5, seed * 31 + 1),
+        sparse_main: generate::rand_matrix(sh.n, sh.m, -1.5, 1.5, 0.25, seed * 31 + 2),
+        sides: vec![
+            side(rng, sh.m, sh.k, seed * 7 + 10),
+            side(rng, sh.m, 1, seed * 7 + 11),
+            side(rng, sh.n, sh.m, seed * 7 + 12),
+            side(rng, sh.n, 1, seed * 7 + 13),
+        ],
+        scalars: (0..N_SCALARS).map(|_| rng.gen_range(-1.5..1.5)).collect(),
+    }
+}
+
+#[test]
+fn row_block_backend_matches_interpreter_on_random_programs() {
+    for seed in 0..150u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Row counts straddle thread-band boundaries (ragged tails); m is
+        // kept moderate so nnz²-style outputs stay cheap.
+        let sh = Shape {
+            n: *[2, 7, 61, 64, 127, 350].get(rng.gen_range(0..6usize)).unwrap(),
+            m: *[3, 17, 40, 97].get(rng.gen_range(0..4usize)).unwrap(),
+            k: rng.gen_range(1..6usize),
+        };
+        let g = random_row_program(&mut rng, &sh);
+        let (out, out_rows, out_cols) = random_out(&mut rng, &g, &sh);
+        let inputs = random_inputs(&mut rng, &sh, seed);
+        let prog =
+            Program { instrs: g.instrs.clone(), n_regs: g.n_sregs, vreg_lens: g.vreg_lens.clone() };
+        let sides: Vec<SideInput> = inputs.sides.iter().map(SideInput::bind).collect();
+        let mode = [RowExecMode::Vectorized, RowExecMode::Inlined, RowExecMode::InterpretedNoJit]
+            [seed as usize % 3];
+        let spec = RowSpec { prog, out, out_rows, out_cols, exec_mode: mode };
+        let tol = if matches!(spec.out, RowOut::NoAgg { .. }) { 1e-11 } else { 1e-9 };
+        for main in [&inputs.dense_main, &inputs.sparse_main] {
+            let oracle =
+                rowwise::execute_with(&spec, main, &sides, &inputs.scalars, RowBackend::Interp);
+            let got =
+                rowwise::execute_with(&spec, main, &sides, &inputs.scalars, RowBackend::Block);
+            assert!(
+                got.approx_eq(&oracle, tol),
+                "seed {seed}: block diverges from interpreter (out {:?}, mode {:?}, \
+                 sparse={}, {}x{}, prog {:?})",
+                spec.out,
+                mode,
+                main.is_sparse(),
+                sh.n,
+                sh.m,
+                spec.prog
+            );
+        }
+    }
+}
+
+/// The mv-chain fast path (Vectorized) and the generic body (other modes)
+/// must agree with each other and the oracle on the mlogreg-style pattern
+/// `t(X) %*% (w ⊙ (X %*% v))` — dense and sparse X, dense and sparse v.
+#[test]
+fn mlogreg_pattern_all_modes_and_densities_agree() {
+    let (n, m) = (211, 37); // ragged everywhere
+    let spec = |mode| RowSpec {
+        prog: Program {
+            instrs: vec![
+                Instr::LoadMainRow { out: 0 },
+                Instr::LoadSideRow { out: 1, side: 0, cl: 0, cu: m },
+                Instr::Dot { out: 0, a: 0, b: 1 },
+                Instr::LoadSide { out: 1, side: 1, access: SideAccess::Col },
+                Instr::Binary { out: 2, op: BinaryOp::Mult, a: 0, b: 1 },
+            ],
+            n_regs: 3,
+            vreg_lens: vec![m, m],
+        },
+        out: RowOut::ColAggMultAdd { vec: 0, scalar: 2 },
+        out_rows: m,
+        out_cols: 1,
+        exec_mode: mode,
+    };
+    let w = generate::rand_dense(n, 1, 0.1, 1.0, 3);
+    for x in
+        [generate::rand_dense(n, m, -1.0, 1.0, 1), generate::rand_matrix(n, m, -1.0, 1.0, 0.08, 2)]
+    {
+        for v in [
+            generate::rand_dense(m, 1, -1.0, 1.0, 4),
+            generate::rand_matrix(m, 1, -1.0, 1.0, 0.5, 5),
+        ] {
+            let sides = [SideInput::bind(&v), SideInput::bind(&w)];
+            let oracle = rowwise::execute_with(
+                &spec(RowExecMode::Vectorized),
+                &x,
+                &sides,
+                &[],
+                RowBackend::Interp,
+            );
+            for mode in
+                [RowExecMode::Vectorized, RowExecMode::Inlined, RowExecMode::InterpretedNoJit]
+            {
+                let got = rowwise::execute_with(&spec(mode), &x, &sides, &[], RowBackend::Block);
+                assert!(
+                    got.approx_eq(&oracle, 1e-9),
+                    "mode {mode:?}, sparse_x={}, sparse_v={}",
+                    x.is_sparse(),
+                    v.is_sparse()
+                );
+            }
+        }
+    }
+}
