@@ -1,6 +1,7 @@
 //! Shared algorithm driver types.
 
 use fusedml_hop::interp::Bindings;
+use fusedml_linalg::ops::{self, BinaryOp};
 use fusedml_linalg::Matrix;
 use fusedml_runtime::Executor;
 use std::time::Instant;
@@ -60,12 +61,30 @@ pub fn bindv(b: &mut Bindings, name: &str, m: Matrix) {
     b.insert(name.to_string(), m);
 }
 
-/// Runs a single-root DAG and returns the root matrix.
+/// Runs a single-root DAG and returns the root matrix, *moved* out of the
+/// executor (the driver keeps unique ownership of the buffer, so in-place
+/// updates and pool recycling apply to it).
 pub fn run1(exec: &Executor, dag: &fusedml_hop::HopDag, b: &Bindings) -> Matrix {
-    exec.execute(dag, b)[0].as_matrix()
+    exec.execute(dag, b).swap_remove(0).into_matrix()
 }
 
 /// Runs a single-root DAG and returns the root scalar.
 pub fn run1s(exec: &Executor, dag: &fusedml_hop::HopDag, b: &Bindings) -> f64 {
-    exec.execute(dag, b)[0].as_scalar()
+    exec.execute(dag, b).swap_remove(0).as_scalar()
+}
+
+/// Iterative driver update `a = a op b`, reusing `a`'s buffer in place when
+/// it is uniquely held (the allocating kernel is the fallback). Steady-state
+/// algorithm iterations update their state vectors through this, so each
+/// iteration allocates ~nothing fresh.
+pub fn update(a: Matrix, b: &Matrix, op: BinaryOp) -> Matrix {
+    match a.try_into_dense() {
+        Ok(d) => ops::binary_assign(d, b, op),
+        Err(m) => ops::binary(&m, b, op),
+    }
+}
+
+/// Retires a dying intermediate, returning its dense buffer to the pool.
+pub fn retire(m: Matrix) {
+    m.recycle();
 }

@@ -7,7 +7,7 @@
 //! (no erf in the operator vocabulary); the workload characteristics —
 //! matrix-vector chains over X per IRLS iteration — are identical.
 
-use crate::common::{bindv, run1, AlgoResult, Stopwatch};
+use crate::common::{bindv, retire, run1, update, AlgoResult, Stopwatch};
 use fusedml_hop::interp::Bindings;
 use fusedml_hop::{DagBuilder, HopDag};
 use fusedml_linalg::ops::{self, AggDir, AggOp, BinaryOp};
@@ -87,13 +87,15 @@ pub fn run(exec: &Executor, x: &Matrix, y: &Matrix, cfg: &GlmConfig) -> AlgoResu
     for _ in 0..cfg.max_outer {
         iters += 1;
         bindv(&mut bindings, "b", beta.clone());
-        let outs = exec.execute(&irls_dag, &bindings);
-        let g = outs[0].as_matrix();
-        let w = outs[1].as_matrix();
+        let mut outs = exec.execute(&irls_dag, &bindings);
+        let w = outs.pop().expect("w root").into_matrix();
+        let g = outs.pop().expect("g root").into_matrix();
         bindv(&mut bindings, "w", w);
-        // CG solve (X'WX + λI) d = g.
+        // CG solve (X'WX + λI) d = g. State vectors update in place; dying
+        // intermediates return to the buffer pool (steady-state iterations
+        // allocate ~zero fresh memory).
         let mut d = Matrix::zeros(m, 1);
-        let mut r = g.clone();
+        let mut r = g;
         let mut p = r.clone();
         let mut rs_old = dot(&r, &r);
         for _ in 0..cfg.max_inner {
@@ -104,16 +106,26 @@ pub fn run(exec: &Executor, x: &Matrix, y: &Matrix, cfg: &GlmConfig) -> AlgoResu
             let hp = run1(exec, &hvp_dag, &bindings);
             let alpha = rs_old / dot(&p, &hp).max(1e-14);
             let step = ops::binary_scalar(&p, alpha, BinaryOp::Mult);
-            d = ops::binary(&d, &step, BinaryOp::Add);
+            d = update(d, &step, BinaryOp::Add);
+            retire(step);
             let hstep = ops::binary_scalar(&hp, alpha, BinaryOp::Mult);
-            r = ops::binary(&r, &hstep, BinaryOp::Sub);
+            retire(hp);
+            r = update(r, &hstep, BinaryOp::Sub);
+            retire(hstep);
             let rs_new = dot(&r, &r);
             let pb = ops::binary_scalar(&p, rs_new / rs_old, BinaryOp::Mult);
-            p = ops::binary(&r, &pb, BinaryOp::Add);
+            p = update(pb, &r, BinaryOp::Add);
             rs_old = rs_new;
         }
-        beta = ops::binary(&beta, &d, BinaryOp::Add);
-        if dot(&d, &d).sqrt() < 1e-8 {
+        retire(r);
+        retire(p);
+        let d_norm = dot(&d, &d).sqrt();
+        // Drop the stale model binding so `beta` is uniquely held and the
+        // update really happens in place (it is re-bound next iteration).
+        bindings.remove("b");
+        beta = update(beta, &d, BinaryOp::Add);
+        retire(d);
+        if d_norm < 1e-8 {
             break;
         }
     }

@@ -4,7 +4,7 @@
 //! assignment indicator `A = (D == rowMins(D))` is the hybrid workload of
 //! Figure 13(b): memory-bound for small k, compute-bound as k grows.
 
-use crate::common::{bindv, run1, AlgoResult, Stopwatch};
+use crate::common::{bindv, retire, run1, AlgoResult, Stopwatch};
 use fusedml_hop::interp::Bindings;
 use fusedml_hop::{DagBuilder, HopDag};
 use fusedml_linalg::ops::{self, AggDir, AggOp, BinaryOp};
@@ -73,20 +73,25 @@ pub fn run(exec: &Executor, x: &Matrix, cfg: &KMeansConfig) -> AlgoResult {
     for _ in 0..cfg.max_iter {
         iters += 1;
         bindv(&mut bindings, "C", centroids.clone());
-        let outs = exec.execute(&dag, &bindings);
-        let a = outs[0].as_matrix();
-        let new_wcss = outs[1].as_scalar();
-        let num = outs[2].as_matrix();
-        let counts = outs[3].as_matrix();
-        // Normalize: rows of A may have ties; scale numerator by true counts.
-        let mut cv = num.to_dense().into_values();
+        let mut outs = exec.execute(&dag, &bindings);
+        let counts = outs.pop().expect("counts root").into_matrix();
+        let num = outs.pop().expect("numerator root").into_matrix();
+        let new_wcss = outs.pop().expect("wcss root").as_scalar();
+        // The assignment matrix is only an explain/debug output: recycle it.
+        outs.pop().expect("assignment root").recycle();
+        // Normalize in place: the numerator root is uniquely owned, so its
+        // buffer becomes the new centroid matrix without a copy.
+        let mut cv = match num.try_into_dense() {
+            Ok(d) => d.into_values(),
+            Err(m) => m.to_dense().into_values(),
+        };
         for ki in 0..cfg.k {
             let cnt = counts.get(0, ki).max(1.0);
             for c in 0..m {
                 cv[ki * m + c] /= cnt;
             }
         }
-        let _ = a;
+        retire(counts);
         centroids = Matrix::dense(DenseMatrix::new(cfg.k, m, cv));
         if (wcss - new_wcss).abs() < cfg.epsilon * wcss.abs().max(1.0) {
             wcss = new_wcss;

@@ -4,7 +4,7 @@
 //!
 //! `Q = P[,1:k] ⊙ (X v);  H = t(X) %*% (Q − P[,1:k] ⊙ rowSums(Q))`
 
-use crate::common::{bindv, run1, AlgoResult, Stopwatch};
+use crate::common::{bindv, retire, run1, update, AlgoResult, Stopwatch};
 use fusedml_hop::interp::Bindings;
 use fusedml_hop::{DagBuilder, HopDag};
 use fusedml_linalg::ops::{self, AggDir, AggOp, BinaryOp};
@@ -119,9 +119,12 @@ pub fn run(exec: &Executor, x: &Matrix, y_labels: &Matrix, cfg: &MLogregConfig) 
         let p = run1(exec, &prob_dag, &bindings);
         bindv(&mut bindings, "P", p);
         let g = run1(exec, &grad_dag, &bindings);
-        // CG solve H d = −g.
+        // CG solve H d = −g. State vectors (d, r, pdir) update in place and
+        // dying intermediates return to the buffer pool, so steady-state CG
+        // iterations allocate ~zero fresh memory.
         let mut d = Matrix::zeros(m, k1);
         let mut r = ops::binary_scalar(&g, -1.0, BinaryOp::Mult);
+        retire(g);
         let mut pdir = r.clone();
         let mut rs_old = frob_dot(&r, &r);
         for _ in 0..cfg.max_inner {
@@ -132,17 +135,28 @@ pub fn run(exec: &Executor, x: &Matrix, y_labels: &Matrix, cfg: &MLogregConfig) 
             let hp = run1(exec, &hvp_dag, &bindings);
             let alpha = rs_old / frob_dot(&pdir, &hp).max(1e-12);
             let step = ops::binary_scalar(&pdir, alpha, BinaryOp::Mult);
-            d = ops::binary(&d, &step, BinaryOp::Add);
+            d = update(d, &step, BinaryOp::Add);
+            retire(step);
             let hstep = ops::binary_scalar(&hp, alpha, BinaryOp::Mult);
-            r = ops::binary(&r, &hstep, BinaryOp::Sub);
+            retire(hp);
+            r = update(r, &hstep, BinaryOp::Sub);
+            retire(hstep);
             let rs_new = frob_dot(&r, &r);
             let beta_cg = rs_new / rs_old;
+            // pdir ← r + beta·pdir, reusing the dying scaled-direction buffer.
             let pb = ops::binary_scalar(&pdir, beta_cg, BinaryOp::Mult);
-            pdir = ops::binary(&r, &pb, BinaryOp::Add);
+            pdir = update(pb, &r, BinaryOp::Add);
             rs_old = rs_new;
         }
-        beta = ops::binary(&beta, &d, BinaryOp::Add);
-        if frob_dot(&d, &d).sqrt() < 1e-8 {
+        retire(r);
+        retire(pdir);
+        let d_norm = frob_dot(&d, &d).sqrt();
+        // Drop the stale model binding so `beta` is uniquely held and the
+        // update really happens in place (it is re-bound next iteration).
+        bindings.remove("B");
+        beta = update(beta, &d, BinaryOp::Add);
+        retire(d);
+        if d_norm < 1e-8 {
             break;
         }
     }
@@ -177,6 +191,25 @@ mod tests {
             let r = run(&Executor::new(mode), &x, &y, &cfg);
             assert!(r.model[0].approx_eq(&base.model[0], 1e-5), "{mode:?} model diverged");
         }
+    }
+
+    /// Steady-state iterations must draw their intermediates from the buffer
+    /// pool: after a warm-up run, further training runs on the same executor
+    /// serve allocations from retired buffers (near-zero fresh allocation).
+    #[test]
+    fn steady_state_iterations_reuse_pool() {
+        let (x, y) = synthetic_data(400, 16, 3, 1.0, 3);
+        let cfg = MLogregConfig { classes: 3, max_outer: 2, max_inner: 4, ..Default::default() };
+        let exec = Executor::new(FusionMode::Gen);
+        let _ = run(&exec, &x, &y, &cfg); // warm-up: cold misses fill the pool
+        let before = exec.stats.scheduler_snapshot();
+        let _ = run(&exec, &x, &y, &cfg);
+        let after = exec.stats.scheduler_snapshot();
+        let hits = after.pool_hits - before.pool_hits;
+        assert!(hits > 0, "warm iterations must hit the pool (hits {hits})");
+        // Early frees are what feed the pool: the scheduler must have
+        // released intermediates before their DAGs finished.
+        assert!(after.bytes_freed_early > 0);
     }
 
     #[test]

@@ -26,6 +26,19 @@ fn benches(c: &mut Criterion) {
     let (rows, cols) = (5_000, 256);
     let mut bindings = Bindings::new();
     bindings.insert("X".to_string(), generate::rand_dense(rows, cols, 0.5, 2.0, 1));
+    // The unfused multi-intermediate chain through the scheduled engine:
+    // every link materializes, frees at last use, and draws from the pool.
+    {
+        let dag = footprint_dag(rows, cols, 8);
+        let exec = Executor::new(FusionMode::Base);
+        let _ = exec.execute(&dag, &bindings);
+        let mut g = c.benchmark_group("fig10_chain_scheduled");
+        g.sample_size(10);
+        g.bench_function("base_n8", |b| {
+            b.iter(|| std::hint::black_box(exec.execute(&dag, &bindings)))
+        });
+        g.finish();
+    }
     for n_ops in [8usize, 64] {
         let dag = footprint_dag(rows, cols, n_ops);
         let mut g = c.benchmark_group(format!("fig10_n{n_ops}"));

@@ -3,6 +3,13 @@
 //! primitive-calling operators (`Gen`) against inlined per-element code
 //! (`Gen inlined`), which falls off a cliff once the code size exceeds the
 //! compiler's budget (DESIGN.md substitution X4).
+//!
+//! A second table reports the *memory* footprint of the same
+//! multi-intermediate chain under the scheduled executor: tracked peak
+//! resident bytes (frees at last use + pooled buffers) against the
+//! hold-everything bytes the seed runtime kept, plus buffer-pool hit rates
+//! and scheduler parallelism. In `--smoke` mode the Base-mode reduction is a
+//! CI regression gate (must stay ≥ 2×).
 
 use super::Scale;
 use crate::report::Table;
@@ -26,9 +33,92 @@ fn footprint_dag(rows: usize, cols: usize, n_ops: usize) -> fusedml_hop::HopDag 
     b.build(vec![s])
 }
 
+/// One footprint measurement: executes the chain DAG under `mode` and
+/// returns `(peak, hold_everything, reduction, freed_early, hit_rate,
+/// parallel_ops)` from the scheduler counters.
+pub fn measure_footprint(
+    mode: FusionMode,
+    rows: usize,
+    cols: usize,
+    n_ops: usize,
+) -> (usize, usize, f64, usize, f64, usize) {
+    let dag = footprint_dag(rows, cols, n_ops);
+    let mut bindings = Bindings::new();
+    bindings.insert("X".to_string(), generate::rand_dense(rows, cols, 0.5, 2.0, 1));
+    let exec = Executor::new(mode);
+    let _ = exec.execute(&dag, &bindings); // cold run compiles + fills pool
+    exec.stats.reset();
+    let _ = exec.execute(&dag, &bindings); // warm run: steady-state numbers
+    let s = exec.stats.scheduler_snapshot();
+    (
+        s.peak_bytes,
+        s.resident_all_bytes,
+        s.footprint_reduction(),
+        s.bytes_freed_early,
+        s.pool_hit_rate(),
+        s.parallel_ops,
+    )
+}
+
+fn mb(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / 1e6)
+}
+
+/// The scheduler/buffer-pool footprint table (and the smoke-mode CI gate).
+fn run_footprint(scale: Scale) {
+    let (rows, cols) = scale.pick3((2_000, 256), (10_000, 256), (100_000, 1_000));
+    let mut t = Table::new(
+        &format!("Figure 10 (runtime footprint): chain on X {rows}x{cols}, warm pool"),
+        &[
+            "mode",
+            "#row ops",
+            "peak MB",
+            "hold-all MB",
+            "reduction",
+            "freed MB",
+            "pool hit%",
+            "par ops",
+        ],
+    );
+    let mut base_reductions: Vec<f64> = Vec::new();
+    for n_ops in scale.pick3(vec![8usize], vec![8, 32, 64], vec![8, 32, 64, 128]) {
+        for mode in [FusionMode::Base, FusionMode::Gen] {
+            let (peak, all, red, freed, hit, par) = measure_footprint(mode, rows, cols, n_ops);
+            if mode == FusionMode::Base {
+                base_reductions.push(red);
+            }
+            t.row(vec![
+                format!("{mode:?}"),
+                n_ops.to_string(),
+                mb(peak),
+                mb(all),
+                format!("{red:.2}x"),
+                mb(freed),
+                format!("{:.0}%", hit * 100.0),
+                par.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    if scale == Scale::Smoke {
+        // CI regression gate: the liveness-aware peak of the
+        // multi-intermediate chain must stay ≥ 2× below hold-everything.
+        for red in base_reductions {
+            assert!(red >= 2.0, "fig10 footprint gate: Base reduction {red:.2}x < 2x");
+        }
+        println!("fig10 footprint gate: ok (Base reduction >= 2x)");
+    }
+}
+
 /// Runs the sweep; returns rows of (n_ops, gen_s, inlined_s, code_size).
 pub fn run(scale: Scale) {
-    let (rows, cols) = scale.pick((10_000, 256), (100_000, 1_000));
+    run_footprint(scale);
+    let (rows, cols) = scale.pick3((2_000, 256), (10_000, 256), (100_000, 1_000));
+    let sweep: Vec<usize> = scale.pick3(
+        vec![8, 64],
+        vec![1, 2, 4, 8, 16, 32, 48, 64, 96, 128],
+        vec![1, 2, 4, 8, 16, 32, 48, 64, 96, 128],
+    );
     let reps = scale.pick(2, 3);
     let budget = 8192;
     let x = generate::rand_dense(rows, cols, 0.5, 2.0, 1);
@@ -38,7 +128,7 @@ pub fn run(scale: Scale) {
         &format!("Figure 10: sum(f(X/rowSums(X))), X {rows}x{cols}, code budget {budget}"),
         &["#row ops", "Gen", "Gen inlined", "inlined code size", "mode"],
     );
-    for n_ops in [1usize, 2, 4, 8, 16, 32, 48, 64, 96, 128] {
+    for n_ops in sweep {
         let dag = footprint_dag(rows, cols, n_ops);
         let time_with = |opts: CodegenOptions| -> (f64, usize, String) {
             let mut exec = Executor::new(FusionMode::Gen);
@@ -81,4 +171,27 @@ pub fn run(scale: Scale) {
         ]);
     }
     t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance bar for the scheduled executor: tracked peak memory on
+    /// the multi-intermediate chain drops ≥ 2× versus hold-everything.
+    #[test]
+    fn footprint_reduction_gate_holds() {
+        let (peak, all, red, freed, _hit, _par) = measure_footprint(FusionMode::Base, 500, 128, 12);
+        assert!(red >= 2.0, "reduction {red:.2}x (peak {peak}, hold-all {all})");
+        assert!(freed > 0, "chain intermediates must free early");
+    }
+
+    /// Under Gen the chain fuses, so even hold-everything is small — but the
+    /// tracked peak must still never exceed it.
+    #[test]
+    fn gen_peak_bounded_by_hold_everything() {
+        let (peak, all, _red, _freed, _hit, _par) =
+            measure_footprint(FusionMode::Gen, 500, 128, 12);
+        assert!(peak <= all);
+    }
 }

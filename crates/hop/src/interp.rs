@@ -29,18 +29,35 @@ pub fn interpret_all(dag: &HopDag, bindings: &Bindings) -> Vec<Option<Value>> {
     vals
 }
 
-/// Executes the DAG and returns the root values in root order.
+/// Executes the DAG and returns the root values in root order. Roots are
+/// *moved* out of the value table (they are deduplicated at build time), not
+/// cloned.
 pub fn interpret(dag: &HopDag, bindings: &Bindings) -> Vec<Value> {
-    let vals = interpret_all(dag, bindings);
-    dag.roots().iter().map(|r| vals[r.index()].clone().expect("root evaluated")).collect()
+    let mut vals = interpret_all(dag, bindings);
+    dag.roots().iter().map(|r| vals[r.index()].take().expect("root evaluated")).collect()
 }
 
 /// Evaluates a single operator given already-computed input values.
 pub fn eval_op(dag: &HopDag, id: HopId, vals: &[Option<Value>], bindings: &Bindings) -> Value {
     let h = dag.hop(id);
-    let input = |j: usize| -> &Value {
-        vals[h.inputs[j].index()].as_ref().expect("inputs evaluated before consumers")
-    };
+    let refs: Vec<&Value> = h
+        .inputs
+        .iter()
+        .map(|&i| vals[i.index()].as_ref().expect("inputs evaluated before consumers"))
+        .collect();
+    eval_kind(dag, id, &refs, bindings)
+}
+
+/// Evaluates a single operator over *positional* input values (the scheduled
+/// executor gathers inputs per task instead of holding a full value table).
+pub fn eval_op_inputs(dag: &HopDag, id: HopId, inputs: &[Value], bindings: &Bindings) -> Value {
+    let refs: Vec<&Value> = inputs.iter().collect();
+    eval_kind(dag, id, &refs, bindings)
+}
+
+fn eval_kind(dag: &HopDag, id: HopId, input_refs: &[&Value], bindings: &Bindings) -> Value {
+    let h = dag.hop(id);
+    let input = |j: usize| -> &Value { input_refs[j] };
     match &h.kind {
         OpKind::Read { name } => {
             let m = bindings

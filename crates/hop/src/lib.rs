@@ -11,6 +11,9 @@
 //!   fusion optimizer relies on known sizes for costing and validity),
 //! * [`memory`] — operation memory estimates driving local-vs-distributed
 //!   execution-type decisions,
+//! * [`liveness`] — consumer counts, last-use positions, ready sets of
+//!   independent operators, and tracked peak-footprint estimates for the
+//!   scheduled executor,
 //! * [`rewrite`] — static simplification rewrites and CSE,
 //! * [`interp`] — a reference interpreter executing a DAG operator-by-
 //!   operator with materialized intermediates (the `Base` mode of the
@@ -20,6 +23,7 @@ pub mod builder;
 pub mod dag;
 pub mod hop;
 pub mod interp;
+pub mod liveness;
 pub mod memory;
 pub mod rewrite;
 pub mod size;

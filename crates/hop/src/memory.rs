@@ -22,12 +22,21 @@ pub enum ExecType {
     Distributed,
 }
 
+/// Sparsity-aware size of one hop's output: nnz-proportional CSR bytes when
+/// the runtime's format rule will keep it sparse, dense bytes otherwise
+/// (mirrors `Matrix::size_in_bytes`). This is what the liveness pass and the
+/// scheduler's footprint accounting charge per resident value.
+pub fn hop_bytes(dag: &HopDag, id: HopId) -> f64 {
+    dag.hop(id).size.bytes()
+}
+
 /// Estimated operation memory: all input sizes + output size (+ a transpose
-/// buffer where applicable), in bytes.
+/// buffer where applicable), in bytes. All terms are sparsity-aware: a
+/// sparse hop charges nnz-proportional bytes, not dense `rows*cols*8`.
 pub fn op_memory_estimate(dag: &HopDag, id: HopId) -> f64 {
     let h = dag.hop(id);
-    let inputs: f64 = h.inputs.iter().map(|&i| dag.hop(i).size.bytes()).sum();
-    let output = h.size.bytes();
+    let inputs: f64 = h.inputs.iter().map(|&i| hop_bytes(dag, i)).sum();
+    let output = hop_bytes(dag, id);
     let intermediate = match h.kind {
         // Transpose and cumsum run out-of-place.
         OpKind::Transpose | OpKind::CumAgg { .. } => output,
@@ -134,6 +143,41 @@ mod tests {
         let sum = summarize(&dag, DEFAULT_LOCAL_BUDGET);
         assert!(sum.distributed_ops >= 2, "sum over X and exp(X) exceed budget");
         assert!(sum.max_op_bytes > 1e11);
+    }
+
+    /// Pins the estimates for dense, sparse, and transposed hops: sparse
+    /// hops must charge nnz-proportional CSR bytes (16 B/nnz + row
+    /// pointers), not dense `rows*cols*8`.
+    #[test]
+    fn estimates_are_sparsity_aware() {
+        let (n, m) = (1000usize, 1000usize);
+        let mut b = DagBuilder::new();
+        let x = b.read("X", n, m, 0.01); // sparse: 10k nnz
+        let y = b.read("Y", n, m, 1.0); // dense
+        let p = b.mult(x, y); // sparse-safe: output stays sparse
+        let xt = b.t(x); // sparse transpose
+        let s = b.sum(p);
+        let s2 = b.sum(xt);
+        let dag = b.build(vec![s, s2]);
+
+        let dense_bytes = 8.0 * (n * m) as f64;
+        let sparse_bytes = |sp: f64| 16.0 * (n * m) as f64 * sp + 8.0 * (n as f64 + 1.0);
+        assert_eq!(hop_bytes(&dag, y), dense_bytes);
+        assert_eq!(hop_bytes(&dag, x), sparse_bytes(0.01));
+        // The product inherits x's (estimated) sparsity and stays CSR-sized.
+        let p_sp = dag.hop(p).size.sparsity;
+        assert!(p_sp <= 0.01 + 1e-12);
+        assert_eq!(hop_bytes(&dag, p), sparse_bytes(p_sp));
+        // mult(x, y): sparse input + dense input + sparse output — orders of
+        // magnitude below the dense-everything figure of 3 * 8 MB.
+        let est = op_memory_estimate(&dag, p);
+        assert_eq!(est, sparse_bytes(0.01) + dense_bytes + sparse_bytes(p_sp));
+        assert!(est < 2.0 * dense_bytes);
+        // Transposed sparse hop: input + output + out-of-place buffer, all
+        // CSR-sized (the transpose of a sparse matrix stays sparse).
+        let est_t = op_memory_estimate(&dag, xt);
+        assert_eq!(est_t, sparse_bytes(0.01) + 2.0 * hop_bytes(&dag, xt));
+        assert!(est_t < dense_bytes);
     }
 
     #[test]

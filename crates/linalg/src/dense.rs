@@ -27,6 +27,12 @@ impl DenseMatrix {
         DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
     }
 
+    /// Creates an all-zero matrix whose buffer is drawn from the buffer pool
+    /// (and returns to it when the matrix is recycled).
+    pub fn zeros_pooled(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: crate::pool::take_zeroed(rows * cols) }
+    }
+
     /// Creates a matrix filled with a constant.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
         DenseMatrix { rows, cols, data: vec![value; rows * cols] }

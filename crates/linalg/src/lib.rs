@@ -16,13 +16,17 @@
 //!   SystemML's `LibSpoofPrimitives`,
 //! * [`generate`] — seeded random/structured matrix generators used by the
 //!   benchmark workloads,
-//! * [`par`] — minimal scoped-thread parallelization helpers.
+//! * [`par`] — minimal scoped-thread parallelization helpers,
+//! * [`pool`] — the size-class keyed buffer pool standing in for SystemML's
+//!   buffer-pool-managed intermediates (dense outputs draw from and return
+//!   to it, so steady-state iterations allocate near zero).
 
 pub mod dense;
 pub mod generate;
 pub mod matrix;
 pub mod ops;
 pub mod par;
+pub mod pool;
 pub mod primitives;
 pub mod sparse;
 

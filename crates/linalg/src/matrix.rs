@@ -150,6 +150,28 @@ impl Matrix {
         }
     }
 
+    /// Consumes a dying matrix, returning its dense buffer to the buffer
+    /// pool when this is the last reference (sparse payloads and shared
+    /// dense payloads are simply dropped). Call sites that know a value is
+    /// dead use this instead of `drop` so the next allocation is a pool hit.
+    pub fn recycle(self) {
+        if let Matrix::Dense(a) = self {
+            if let Some(d) = Arc::into_inner(a) {
+                crate::pool::give(d.into_values());
+            }
+        }
+    }
+
+    /// Attempts to take sole ownership of the dense payload (for in-place
+    /// reuse of a dying input as an operator output). Returns the matrix
+    /// unchanged when it is sparse or the payload is shared.
+    pub fn try_into_dense(self) -> Result<DenseMatrix, Matrix> {
+        match self {
+            Matrix::Dense(a) => Arc::try_unwrap(a).map_err(Matrix::Dense),
+            other => Err(other),
+        }
+    }
+
     /// Structural + numeric equality within tolerance, independent of format.
     pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
         if self.rows() != other.rows() || self.cols() != other.cols() {
@@ -203,8 +225,32 @@ impl Value {
         }
     }
 
+    /// Moves the matrix payload out without touching the reference count
+    /// (callers that own the value keep unique ownership of the buffer).
+    pub fn into_matrix(self) -> Matrix {
+        match self {
+            Value::Matrix(m) => m,
+            Value::Scalar(v) => Matrix::dense(DenseMatrix::filled(1, 1, v)),
+        }
+    }
+
     pub fn is_scalar(&self) -> bool {
         matches!(self, Value::Scalar(_))
+    }
+
+    /// In-memory size in bytes (scalars charge one cell).
+    pub fn size_in_bytes(&self) -> usize {
+        match self {
+            Value::Scalar(_) => 8,
+            Value::Matrix(m) => m.size_in_bytes(),
+        }
+    }
+
+    /// Recycles a dying value's buffer into the pool (see [`Matrix::recycle`]).
+    pub fn recycle(self) {
+        if let Value::Matrix(m) = self {
+            m.recycle();
+        }
     }
 }
 

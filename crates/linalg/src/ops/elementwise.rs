@@ -19,9 +19,11 @@ pub fn binary_scalar(a: &Matrix, s: f64, op: BinaryOp) -> Matrix {
             Matrix::sparse(out)
         }
         _ => {
-            let d = a.to_dense();
-            let (rows, cols) = (d.rows(), d.cols());
-            let mut data = d.into_values();
+            let (rows, cols) = (a.rows(), a.cols());
+            let mut data = match a {
+                Matrix::Dense(d) => crate::pool::take_copy(d.values()),
+                Matrix::Sparse(_) => a.to_dense().into_values(),
+            };
             par::par_rows_mut(&mut data, rows, cols.max(1), cols.max(1), |_, row| {
                 for v in row.iter_mut() {
                     *v = op.apply(*v, s);
@@ -44,9 +46,11 @@ pub fn scalar_binary(s: f64, a: &Matrix, op: BinaryOp) -> Matrix {
             Matrix::sparse(out)
         }
         _ => {
-            let d = a.to_dense();
-            let (rows, cols) = (d.rows(), d.cols());
-            let mut data = d.into_values();
+            let (rows, cols) = (a.rows(), a.cols());
+            let mut data = match a {
+                Matrix::Dense(d) => crate::pool::take_copy(d.values()),
+                Matrix::Sparse(_) => a.to_dense().into_values(),
+            };
             par::par_rows_mut(&mut data, rows, cols.max(1), cols.max(1), |_, row| {
                 for v in row.iter_mut() {
                     *v = op.apply(s, *v);
@@ -135,10 +139,79 @@ fn sparse_sparse_merge(a: &SparseMatrix, b: &SparseMatrix, op: BinaryOp) -> Matr
     Matrix::sparse(SparseMatrix::from_triples(a.rows(), a.cols(), triples))
 }
 
+/// In-place `a = a op b`, reusing `a`'s (uniquely owned, typically dying)
+/// buffer as the output. Bitwise-identical to [`binary`] for a dense left
+/// operand: it mirrors `binary`'s dispatch arm-for-arm, only writing into
+/// `a`'s buffer instead of a fresh one. When the output shape differs from
+/// `a` (1×1 left operand against a matrix), it falls back to [`binary`].
+pub fn binary_assign(mut a: DenseMatrix, b: &Matrix, op: BinaryOp) -> Matrix {
+    let (rows, cols) = (a.rows(), a.cols());
+    if a.is_empty() || (rows == 1 && cols == 1 && !b.is_scalar_shaped()) {
+        return binary(&Matrix::dense(a), b, op);
+    }
+    if b.is_scalar_shaped() && !(rows == 1 && cols == 1) {
+        // binary_scalar's dense path, in place.
+        let s = b.get(0, 0);
+        par::par_rows_mut(a.values_mut(), rows, cols.max(1), cols.max(1), |_, row| {
+            for v in row.iter_mut() {
+                *v = op.apply(*v, s);
+            }
+        });
+        return Matrix::dense(a);
+    }
+    let bc = resolve_broadcast(rows, cols, b);
+    let bd;
+    let b_dense: Option<&DenseMatrix> = match b {
+        Matrix::Dense(d) => Some(d),
+        Matrix::Sparse(s) => {
+            if bc != Broadcast::Cellwise {
+                bd = s.to_dense();
+                Some(&bd)
+            } else {
+                None
+            }
+        }
+    };
+    par::par_rows_mut(a.values_mut(), rows, cols.max(1), cols.max(1), |r, row| {
+        match (b_dense, bc) {
+            (Some(bm), Broadcast::Cellwise) => {
+                let brow = bm.row(r);
+                for c in 0..cols {
+                    row[c] = op.apply(row[c], brow[c]);
+                }
+            }
+            (Some(bm), Broadcast::ColVector) => {
+                let bv = bm.get(r, 0);
+                for v in row.iter_mut() {
+                    *v = op.apply(*v, bv);
+                }
+            }
+            (Some(bm), Broadcast::RowVector) => {
+                let brow = bm.row(0);
+                for c in 0..cols {
+                    row[c] = op.apply(row[c], brow[c]);
+                }
+            }
+            (Some(bm), Broadcast::Scalar) => {
+                let bv = bm.get(0, 0);
+                for v in row.iter_mut() {
+                    *v = op.apply(*v, bv);
+                }
+            }
+            (None, _) => {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = op.apply(*v, b.get(r, c));
+                }
+            }
+        }
+    });
+    Matrix::dense(a)
+}
+
 /// Dense fallback; parallel over row bands.
 fn dense_binary(a: &DenseMatrix, b: &Matrix, bc: Broadcast, op: BinaryOp) -> Matrix {
     let (rows, cols) = (a.rows(), a.cols());
-    let mut out = vec![0.0f64; rows * cols];
+    let mut out = crate::pool::take_zeroed(rows * cols);
     let bd;
     let b_dense: Option<&DenseMatrix> = match b {
         Matrix::Dense(d) => Some(d),
@@ -289,6 +362,46 @@ mod tests {
         let c = binary_scalar(&a, 0.0, BinaryOp::Neq);
         assert_eq!(c.get(0, 0), 1.0);
         assert_eq!(c.get(1, 0), 0.0);
+    }
+
+    /// The in-place variant must be *bitwise* identical to `binary` — it is
+    /// substituted for dying inputs on the scheduled execution path, which is
+    /// differentially tested against the sequential oracle.
+    #[test]
+    fn binary_assign_bitwise_equals_binary() {
+        let a = DenseMatrix::from_rows(&[&[1.5, -2.0, 0.0], &[0.25, 4.0, -1.0]]);
+        let cell = dm(&[&[2.0, 3.0, 4.0], &[5.0, 6.0, 7.0]]);
+        let colv = dm(&[&[10.0], &[20.0]]);
+        let rowv = dm(&[&[1.0, 2.0, 3.0]]);
+        let sc = dm(&[&[0.5]]);
+        let sp = Matrix::sparse(SparseMatrix::from_triples(2, 3, vec![(0, 1, 2.0), (1, 2, 3.0)]));
+        for b in [&cell, &colv, &rowv, &sc, &sp] {
+            for op in [BinaryOp::Add, BinaryOp::Div, BinaryOp::Pow, BinaryOp::Max] {
+                let expect = binary(&Matrix::dense(a.clone()), b, op);
+                let got = binary_assign(a.clone(), b, op);
+                assert_eq!((got.rows(), got.cols()), (expect.rows(), expect.cols()));
+                for r in 0..got.rows() {
+                    for c in 0..got.cols() {
+                        assert!(
+                            got.get(r, c).to_bits() == expect.get(r, c).to_bits(),
+                            "{op:?} at ({r},{c}): {} vs {}",
+                            got.get(r, c),
+                            expect.get(r, c)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_assign_scalar_left_falls_back() {
+        let a = DenseMatrix::filled(1, 1, 2.0);
+        let b = dm(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let got = binary_assign(a, &b, BinaryOp::Mult);
+        let expect = binary(&dm(&[&[2.0]]), &b, BinaryOp::Mult);
+        assert!(got.approx_eq(&expect, 0.0));
+        assert_eq!((got.rows(), got.cols()), (2, 2));
     }
 
     #[test]

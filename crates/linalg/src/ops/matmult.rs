@@ -36,9 +36,9 @@ pub fn tsmm_left(x: &Matrix, y: &Matrix) -> Matrix {
     let acc = par::par_map_reduce(
         rows,
         m * n,
-        vec![0.0f64; m * n],
+        crate::pool::take_zeroed(m * n),
         |lo, hi| {
-            let mut c = vec![0.0f64; m * n];
+            let mut c = crate::pool::take_zeroed(m * n);
             match (x, y) {
                 (Matrix::Dense(xd), Matrix::Dense(yd)) => {
                     for r in lo..hi {
@@ -84,6 +84,7 @@ pub fn tsmm_left(x: &Matrix, y: &Matrix) -> Matrix {
             for (av, bv) in a.iter_mut().zip(b.iter()) {
                 *av += bv;
             }
+            crate::pool::give(b);
             a
         },
     );
@@ -92,7 +93,7 @@ pub fn tsmm_left(x: &Matrix, y: &Matrix) -> Matrix {
 
 fn dense_dense(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = vec![0.0f64; m * n];
+    let mut out = crate::pool::take_zeroed(m * n);
     par::par_rows_mut(&mut out, m, n.max(1), k * n.max(1), |r, crow| {
         let arow = a.row(r);
         // ikj loop order: stream through B rows, accumulate into the C row.
@@ -110,7 +111,7 @@ fn dense_dense(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
 
 fn sparse_dense(a: &SparseMatrix, b: &DenseMatrix) -> DenseMatrix {
     let (m, n) = (a.rows(), b.cols());
-    let mut out = vec![0.0f64; m * n];
+    let mut out = crate::pool::take_zeroed(m * n);
     par::par_rows_mut(&mut out, m, n.max(1), n.max(1).max(a.nnz() / m.max(1)), |r, crow| {
         for (ki, av) in a.row_iter(r) {
             let brow = b.row(ki);
@@ -124,7 +125,7 @@ fn sparse_dense(a: &SparseMatrix, b: &DenseMatrix) -> DenseMatrix {
 
 fn dense_sparse(a: &DenseMatrix, b: &SparseMatrix) -> DenseMatrix {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = vec![0.0f64; m * n];
+    let mut out = crate::pool::take_zeroed(m * n);
     par::par_rows_mut(&mut out, m, n.max(1), k.max(1), |r, crow| {
         let arow = a.row(r);
         for (ki, &av) in arow.iter().enumerate() {

@@ -17,11 +17,11 @@ pub mod ternary;
 pub mod unary;
 
 pub use agg::{agg, cum_agg};
-pub use elementwise::{binary, binary_scalar};
+pub use elementwise::{binary, binary_assign, binary_scalar};
 pub use matmult::{matmult, tsmm_left};
 pub use reorg::{cbind, diag, index_range, rbind, seq, transpose};
 pub use ternary::ternary;
-pub use unary::unary;
+pub use unary::{unary, unary_assign};
 
 /// Element-wise binary operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -18,7 +18,7 @@ const BLOCK: usize = 64;
 
 fn transpose_dense(a: &DenseMatrix) -> DenseMatrix {
     let (rows, cols) = (a.rows(), a.cols());
-    let mut out = vec![0.0f64; rows * cols];
+    let mut out = crate::pool::take_zeroed(rows * cols);
     // Parallel over output row bands (output rows = input columns).
     let src = a.values();
     par::par_rows_mut(&mut out, cols, rows.max(1), rows.max(1), |oc, orow| {

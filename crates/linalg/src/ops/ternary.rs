@@ -16,7 +16,7 @@ pub fn ternary(a: &Matrix, b: &Matrix, c: &Matrix, op: TernaryOp) -> Matrix {
     let ad = a.to_dense();
     let bd = b.to_dense();
     let cd = c.to_dense();
-    let mut out = vec![0.0f64; rows * cols];
+    let mut out = crate::pool::take_zeroed(rows * cols);
     par::par_rows_mut(&mut out, rows, cols.max(1), cols.max(1), |r, orow| {
         let arow = ad.row(r);
         for col in 0..cols {

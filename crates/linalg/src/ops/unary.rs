@@ -18,9 +18,11 @@ pub fn unary(a: &Matrix, op: UnaryOp) -> Matrix {
             Matrix::sparse(out)
         }
         _ => {
-            let d = a.to_dense();
-            let (rows, cols) = (d.rows(), d.cols());
-            let mut data = d.into_values();
+            let (rows, cols) = (a.rows(), a.cols());
+            let mut data = match a {
+                Matrix::Dense(d) => crate::pool::take_copy(d.values()),
+                Matrix::Sparse(_) => a.to_dense().into_values(),
+            };
             par::par_rows_mut(&mut data, rows, cols.max(1), cols.max(1), |_, row| {
                 for v in row.iter_mut() {
                     *v = op.apply(*v);
@@ -29,6 +31,18 @@ pub fn unary(a: &Matrix, op: UnaryOp) -> Matrix {
             Matrix::dense(DenseMatrix::new(rows, cols, data))
         }
     }
+}
+
+/// In-place `a = f(a)`, reusing a uniquely owned dense (typically dying)
+/// input buffer as the output. Bitwise-identical to [`unary`]'s dense path.
+pub fn unary_assign(mut a: DenseMatrix, op: UnaryOp) -> Matrix {
+    let (rows, cols) = (a.rows(), a.cols());
+    par::par_rows_mut(a.values_mut(), rows, cols.max(1), cols.max(1), |_, row| {
+        for v in row.iter_mut() {
+            *v = op.apply(*v);
+        }
+    });
+    Matrix::dense(a)
 }
 
 #[cfg(test)]

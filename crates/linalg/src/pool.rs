@@ -1,0 +1,364 @@
+//! Pooled dense-buffer allocator — the stand-in for SystemML's buffer pool.
+//!
+//! SystemML's control program manages intermediates through a buffer pool:
+//! operator outputs are acquired from and released back to a managed region,
+//! so iterative algorithms reach a steady state with near-zero fresh
+//! allocation. This module provides the same behaviour for the dense `f64`
+//! buffers that dominate this runtime's allocation volume.
+//!
+//! Design:
+//!
+//! * **Size-class keyed.** Buffers are binned by the power-of-two class of
+//!   their capacity (`⌊log2 cap⌋`, so a class-`k` shelf only holds buffers
+//!   with capacity ≥ `2^k`). A request of length `len` drains the
+//!   guaranteed-fit class `⌈log2 len⌉` first and then scans the class below
+//!   for a large-enough entry. Fresh allocations are exact-size: the pool
+//!   never inflates a live buffer beyond its logical length, so physical
+//!   memory matches the tracked footprint byte-for-byte.
+//! * **Epoch-bounded.** The executor advances the pool epoch after each DAG
+//!   execution; buffers that have sat unused for more than
+//!   [`BufferPool::MAX_AGE`] epochs are released to the allocator. This
+//!   bounds retained memory across workload changes without a background
+//!   thread.
+//! * **Shared.** One global pool serves the scheduler workers, the fused
+//!   skeletons, and the basic-operator kernels; all methods are thread-safe
+//!   behind a single mutex (acquisition is per-operator / per-band, never
+//!   per-cell, so contention is negligible).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buffers below this length are not worth pooling (allocator fast paths
+/// beat the pool lock for tiny vectors).
+const MIN_POOL_LEN: usize = 64;
+/// Maximum retained buffers per size class.
+const MAX_PER_CLASS: usize = 32;
+/// Maximum total bytes retained by the pool (beyond this, `give` drops).
+const MAX_POOL_BYTES: usize = 1 << 30;
+
+/// A pooled buffer with the epoch at which it was returned.
+struct Shelved {
+    buf: Vec<f64>,
+    epoch: u64,
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// `classes[k]` holds buffers with capacity in `[2^k, 2^(k+1))`.
+    classes: Vec<Vec<Shelved>>,
+    epoch: u64,
+    retained_bytes: usize,
+}
+
+/// Counters describing pool behaviour (monotonic; see [`PoolStats`]).
+#[derive(Debug, Default)]
+struct PoolCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returns: AtomicU64,
+    drops: AtomicU64,
+}
+
+/// A point-in-time snapshot of the pool counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from a retired buffer.
+    pub hits: u64,
+    /// Requests that fell through to a fresh allocation.
+    pub misses: u64,
+    /// Buffers returned to the pool.
+    pub returns: u64,
+    /// Buffers rejected at return time (too small / class full / over cap).
+    pub drops: u64,
+    /// Bytes currently shelved in the pool.
+    pub retained_bytes: usize,
+}
+
+impl PoolStats {
+    /// Fraction of requests served from the pool, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A size-class keyed, epoch-bounded pool of dense `f64` buffers.
+pub struct BufferPool {
+    state: Mutex<PoolState>,
+    counters: PoolCounters,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::new()
+    }
+}
+
+impl BufferPool {
+    /// Buffers unused for more than this many epochs are released.
+    pub const MAX_AGE: u64 = 8;
+
+    pub const fn new() -> Self {
+        BufferPool {
+            state: Mutex::new(PoolState { classes: Vec::new(), epoch: 0, retained_bytes: 0 }),
+            counters: PoolCounters {
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                returns: AtomicU64::new(0),
+                drops: AtomicU64::new(0),
+            },
+        }
+    }
+
+    /// The size class a request of `len` draws from: the exponent of the next
+    /// power of two ≥ `len`. Buffers shelved under class `k` have capacity
+    /// ≥ `2^k`, so any class-`k` request fits.
+    fn class_of(len: usize) -> usize {
+        len.next_power_of_two().trailing_zeros() as usize
+    }
+
+    /// Takes a zeroed buffer of exactly `len` elements, reusing a shelved
+    /// buffer when one fits. Fresh allocations are *exact-size* (no
+    /// power-of-two slack, so physical memory matches the accounted bytes);
+    /// reuse first drains the guaranteed-fit class `⌈log2 len⌉`, then scans
+    /// the class below for an entry whose capacity happens to fit (that is
+    /// where exact-size non-power-of-two buffers retire to).
+    pub fn take_zeroed(&self, len: usize) -> Vec<f64> {
+        if len < MIN_POOL_LEN {
+            return vec![0.0; len];
+        }
+        let cls = Self::class_of(len);
+        let reused = {
+            let mut st = self.state.lock();
+            let mut popped = st.classes.get_mut(cls).and_then(|shelf| shelf.pop());
+            if popped.is_none() && cls > 0 {
+                if let Some(shelf) = st.classes.get_mut(cls - 1) {
+                    if let Some(i) = shelf.iter().rposition(|s| s.buf.capacity() >= len) {
+                        popped = Some(shelf.swap_remove(i));
+                    }
+                }
+            }
+            if let Some(s) = &popped {
+                st.retained_bytes -= s.buf.capacity() * 8;
+            }
+            popped.map(|s| s.buf)
+        };
+        match reused {
+            Some(mut buf) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Takes a buffer initialized as a copy of `src` (pool-backed `to_vec`).
+    pub fn take_copy(&self, src: &[f64]) -> Vec<f64> {
+        if src.len() < MIN_POOL_LEN {
+            return src.to_vec();
+        }
+        let mut buf = self.take_zeroed(src.len());
+        buf.copy_from_slice(src);
+        buf
+    }
+
+    /// Returns a buffer to the pool. Tiny buffers, overfull classes, and
+    /// anything beyond the global retention cap are dropped instead.
+    pub fn give(&self, buf: Vec<f64>) {
+        if buf.capacity() < MIN_POOL_LEN {
+            return;
+        }
+        // Shelve by floor-log2 of capacity so a class-k shelf only holds
+        // buffers with capacity ≥ 2^k (a class-k request has len ≤ 2^k).
+        let cls = (usize::BITS - 1 - buf.capacity().leading_zeros()) as usize;
+        let bytes = buf.capacity() * 8;
+        let mut st = self.state.lock();
+        if st.retained_bytes + bytes > MAX_POOL_BYTES {
+            self.counters.drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if st.classes.len() <= cls {
+            st.classes.resize_with(cls + 1, Vec::new);
+        }
+        let epoch = st.epoch;
+        let shelf = &mut st.classes[cls];
+        if shelf.len() >= MAX_PER_CLASS {
+            self.counters.drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        shelf.push(Shelved { buf, epoch });
+        st.retained_bytes += bytes;
+        self.counters.returns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Advances the pool epoch and releases buffers unused for more than
+    /// [`BufferPool::MAX_AGE`] epochs. Called by the executor after each DAG.
+    pub fn advance_epoch(&self) {
+        let mut st = self.state.lock();
+        st.epoch += 1;
+        let cutoff = st.epoch.saturating_sub(Self::MAX_AGE);
+        let mut freed = 0usize;
+        for shelf in st.classes.iter_mut() {
+            shelf.retain(|s| {
+                if s.epoch < cutoff {
+                    freed += s.buf.capacity() * 8;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        st.retained_bytes -= freed;
+    }
+
+    /// Releases every shelved buffer.
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.classes.clear();
+        st.retained_bytes = 0;
+    }
+
+    /// Snapshot of the pool counters and retained bytes.
+    pub fn stats(&self) -> PoolStats {
+        let retained = self.state.lock().retained_bytes;
+        PoolStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            returns: self.counters.returns.load(Ordering::Relaxed),
+            drops: self.counters.drops.load(Ordering::Relaxed),
+            retained_bytes: retained,
+        }
+    }
+}
+
+/// The process-wide pool shared by scheduler workers, skeletons, and kernels.
+static GLOBAL: BufferPool = BufferPool::new();
+
+/// The global buffer pool.
+pub fn global() -> &'static BufferPool {
+    &GLOBAL
+}
+
+/// Takes a zeroed buffer of `len` elements from the global pool.
+pub fn take_zeroed(len: usize) -> Vec<f64> {
+    GLOBAL.take_zeroed(len)
+}
+
+/// Takes a pool-backed copy of `src` from the global pool.
+pub fn take_copy(src: &[f64]) -> Vec<f64> {
+    GLOBAL.take_copy(src)
+}
+
+/// Returns a buffer to the global pool.
+pub fn give(buf: Vec<f64>) {
+    GLOBAL.give(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mapping_round_trips() {
+        assert_eq!(BufferPool::class_of(1), 0);
+        assert_eq!(BufferPool::class_of(64), 6);
+        assert_eq!(BufferPool::class_of(65), 7);
+        assert_eq!(BufferPool::class_of(300), 9); // next pow2 = 512
+    }
+
+    #[test]
+    fn take_give_take_hits() {
+        let p = BufferPool::new();
+        let a = p.take_zeroed(300);
+        assert_eq!(a.len(), 300);
+        assert!(a.capacity() < 512, "fresh allocations are exact-size");
+        p.give(a);
+        let b = p.take_zeroed(300);
+        assert_eq!(b.len(), 300);
+        let s = p.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_request_reuses_neighbor_class() {
+        let p = BufferPool::new();
+        p.give(p.take_zeroed(400)); // capacity ~400 retires to class 8
+        let b = p.take_zeroed(350); // class 9 is empty; class-8 scan fits
+        assert_eq!(b.len(), 350);
+        assert_eq!(p.stats().hits, 1);
+    }
+
+    #[test]
+    fn too_small_neighbor_is_not_reused() {
+        let p = BufferPool::new();
+        p.give(p.take_zeroed(300)); // class 8, capacity ~300
+        let b = p.take_zeroed(500); // needs ≥ 500: class-8 entry must not serve
+        assert_eq!(b.len(), 500);
+        assert_eq!(p.stats().hits, 0);
+        assert_eq!(p.stats().misses, 2);
+    }
+
+    #[test]
+    fn reused_buffers_are_zeroed() {
+        let p = BufferPool::new();
+        let mut a = p.take_zeroed(128);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        p.give(a);
+        let b = p.take_zeroed(100);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn tiny_buffers_bypass_pool() {
+        let p = BufferPool::new();
+        let a = p.take_zeroed(8);
+        p.give(a);
+        let s = p.stats();
+        assert_eq!(s.hits + s.misses, 0);
+        assert_eq!(s.returns, 0);
+    }
+
+    #[test]
+    fn epoch_bound_releases_stale_buffers() {
+        let p = BufferPool::new();
+        p.give(p.take_zeroed(1024));
+        assert!(p.stats().retained_bytes >= 1024 * 8);
+        for _ in 0..=BufferPool::MAX_AGE {
+            p.advance_epoch();
+        }
+        assert_eq!(p.stats().retained_bytes, 0);
+    }
+
+    #[test]
+    fn class_capacity_is_bounded() {
+        let p = BufferPool::new();
+        for _ in 0..64 {
+            // Fresh buffers (not from take) so returns exceed the cap.
+            let mut b = Vec::with_capacity(256);
+            b.resize(256, 0.0);
+            p.give(b);
+        }
+        let s = p.stats();
+        assert!(s.drops > 0);
+        assert!(s.retained_bytes <= 32 * 256 * 8);
+    }
+
+    #[test]
+    fn take_copy_matches_source() {
+        let p = BufferPool::new();
+        let src: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let c = p.take_copy(&src);
+        assert_eq!(c, src);
+    }
+}

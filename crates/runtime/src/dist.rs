@@ -13,6 +13,13 @@
 //!
 //! Compute time is the measured wall time divided by the virtual cluster's
 //! parallelism advantage over the local machine.
+//!
+//! Intermediates are liveness-tracked: values are freed at their last use
+//! and the driver's resident footprint is accounted exactly. When the
+//! tracked footprint exceeds the driver budget, the excess is *evicted* to
+//! local disk at `disk_bw` (write now, read back on next use) and charged to
+//! the report — instead of the seed behaviour of assuming every
+//! intermediate stays resident for free.
 
 use crate::exec::Executor;
 use fusedml_core::optimizer::FusionPlan;
@@ -32,8 +39,12 @@ pub struct SimCluster {
     pub net_bw: f64,
     /// Aggregate executor scan bandwidth relative to local scan speed.
     pub scan_speedup: f64,
-    /// Driver memory budget in bytes; larger inputs go distributed.
+    /// Driver memory budget in bytes; larger inputs go distributed, and a
+    /// tracked resident footprint beyond it evicts to disk.
     pub local_budget: f64,
+    /// Local-disk bandwidth (bytes/s) used for buffer-pool eviction and the
+    /// read-back of evicted intermediates.
+    pub disk_bw: f64,
 }
 
 impl Default for SimCluster {
@@ -43,6 +54,7 @@ impl Default for SimCluster {
             net_bw: 1.25e9,
             scan_speedup: 6.0,
             local_budget: 512.0 * 1024.0 * 1024.0,
+            disk_bw: 5.0e8,
         }
     }
 }
@@ -50,16 +62,30 @@ impl Default for SimCluster {
 /// Accounting report of a simulated distributed execution.
 #[derive(Clone, Debug, Default)]
 pub struct DistReport {
-    /// Total simulated time (compute + network).
+    /// Total simulated time (compute + network + eviction).
     pub sim_seconds: f64,
     /// Compute part (measured, scaled by virtual parallelism).
     pub compute_seconds: f64,
     /// Network part (modeled broadcasts/shuffles/collects).
     pub network_seconds: f64,
+    /// Modeled buffer-pool eviction time (write + read-back at disk_bw).
+    pub eviction_seconds: f64,
     /// Number of broadcast events.
     pub broadcasts: usize,
     /// Number of operators executed distributed.
     pub dist_ops: usize,
+    /// Number of eviction events (footprint exceeded the driver budget).
+    pub evictions: usize,
+    /// Total bytes spilled to disk across eviction events.
+    pub evicted_bytes: f64,
+    /// Peak tracked resident bytes (with frees at last use).
+    pub peak_resident_bytes: f64,
+    /// Tracked resident bytes (live values), updated as values materialize
+    /// and die. Spilled bytes are still "resident" in this figure; the
+    /// in-memory portion is `resident_bytes - spilled_bytes`.
+    resident_bytes: f64,
+    /// Bytes currently spilled to disk (subset of `resident_bytes`).
+    spilled_bytes: f64,
 }
 
 /// Executes a DAG on the simulated cluster, returning values and the
@@ -82,13 +108,124 @@ pub fn execute_dist(
     }
     let mut report = DistReport::default();
     let mut vals: Vec<Option<Value>> = vec![None; dag.len()];
+    let mut live = Liveness::analyze(dag, &plan, &op_roots);
     for &root in dag.roots() {
-        materialize(dag, &plan, &op_roots, bindings, cluster, &mut vals, &mut report, root);
+        materialize(
+            dag,
+            &plan,
+            &op_roots,
+            bindings,
+            cluster,
+            &mut vals,
+            &mut report,
+            &mut live,
+            root,
+        );
     }
-    report.sim_seconds = report.compute_seconds + report.network_seconds;
-    let outs =
-        dag.roots().iter().map(|r| vals[r.index()].clone().expect("root computed")).collect();
+    report.sim_seconds = report.compute_seconds + report.network_seconds + report.eviction_seconds;
+    let outs = dag.roots().iter().map(|r| vals[r.index()].take().expect("root computed")).collect();
     (outs, report)
+}
+
+/// Read-occurrence refcounts over the demanded (plan-aware) graph, so the
+/// simulation frees each value at its last use, exactly like the scheduled
+/// local engine.
+struct Liveness {
+    reads_left: Vec<u32>,
+}
+
+impl Liveness {
+    fn analyze(
+        dag: &HopDag,
+        plan: &FusionPlan,
+        op_roots: &FxHashMap<HopId, (usize, usize)>,
+    ) -> Liveness {
+        let mut reads = vec![0u32; dag.len()];
+        let mut demanded = vec![false; dag.len()];
+        let mut stack: Vec<HopId> = dag.roots().to_vec();
+        let charge = |reads: &mut Vec<u32>, stack: &mut Vec<HopId>, deps: &[HopId]| {
+            for &d in deps {
+                reads[d.index()] += 1;
+                stack.push(d);
+            }
+        };
+        while let Some(h) = stack.pop() {
+            if demanded[h.index()] {
+                continue;
+            }
+            demanded[h.index()] = true;
+            if let Some(&(op_ix, _)) = op_roots.get(&h) {
+                // The operator executes (and releases its inputs) once, even
+                // with several roots: charge its reads once and mark every
+                // root demanded.
+                let f = &plan.operators[op_ix];
+                for &r in &f.roots {
+                    demanded[r.index()] = true;
+                }
+                let mut deps: Vec<HopId> = Vec::new();
+                deps.extend(f.cplan.main.iter());
+                deps.extend(&f.cplan.sides);
+                deps.extend(&f.cplan.scalars);
+                charge(&mut reads, &mut stack, &deps);
+            } else {
+                let inputs = dag.hop(h).inputs.clone();
+                charge(&mut reads, &mut stack, &inputs);
+            }
+        }
+        for &r in dag.roots() {
+            reads[r.index()] += 1;
+        }
+        Liveness { reads_left: reads }
+    }
+}
+
+/// Stores one freshly computed value, tracks the resident footprint, and
+/// evicts the excess beyond the driver budget to disk.
+fn store_value(
+    cluster: &SimCluster,
+    vals: &mut [Option<Value>],
+    report: &mut DistReport,
+    hop: HopId,
+    v: Value,
+) {
+    report.resident_bytes += bytes_of(&v);
+    if report.resident_bytes > report.peak_resident_bytes {
+        report.peak_resident_bytes = report.resident_bytes;
+    }
+    let in_memory = report.resident_bytes - report.spilled_bytes;
+    if in_memory > cluster.local_budget {
+        // Spill the excess: write now, read back when next used.
+        let excess = in_memory - cluster.local_budget;
+        report.evictions += 1;
+        report.evicted_bytes += excess;
+        report.eviction_seconds += 2.0 * excess / cluster.disk_bw;
+        report.spilled_bytes += excess;
+    }
+    vals[hop.index()] = Some(v);
+}
+
+/// Frees inputs whose last read this operator performed.
+fn release_inputs(
+    dag: &HopDag,
+    vals: &mut [Option<Value>],
+    report: &mut DistReport,
+    live: &mut Liveness,
+    inputs: &[HopId],
+) {
+    let is_root = |h: HopId| dag.roots().contains(&h);
+    for &i in inputs {
+        let slot = &mut live.reads_left[i.index()];
+        *slot = slot.saturating_sub(1);
+        if *slot == 0 && !is_root(i) {
+            if let Some(v) = vals[i.index()].take() {
+                report.resident_bytes = (report.resident_bytes - bytes_of(&v)).max(0.0);
+                // A dead value cannot stay spilled; the on-disk portion never
+                // exceeds what is still live.
+                report.spilled_bytes = report.spilled_bytes.min(report.resident_bytes);
+                v.recycle();
+            }
+        }
+    }
 }
 
 fn bytes_of(v: &Value) -> f64 {
@@ -107,6 +244,7 @@ fn materialize(
     cluster: &SimCluster,
     vals: &mut Vec<Option<Value>>,
     report: &mut DistReport,
+    live: &mut Liveness,
     hop: HopId,
 ) {
     if vals[hop.index()].is_some() {
@@ -120,12 +258,9 @@ fn materialize(
         input_hops.extend(f.cplan.sides.iter());
         input_hops.extend(f.cplan.scalars.iter());
         for &i in &input_hops {
-            materialize(dag, plan, op_roots, bindings, cluster, vals, report, i);
+            materialize(dag, plan, op_roots, bindings, cluster, vals, report, live, i);
         }
         let t0 = Instant::now();
-        // Execute via the executor's operator runner by delegating to
-        // execute_with_plan on a single-root sub-invocation: simplest is to
-        // inline the same gather logic here.
         let get_matrix = |h: HopId| vals[h.index()].as_ref().expect("input").as_matrix();
         let main_val = f.cplan.main.map(get_matrix);
         let sides: Vec<crate::side::SideInput> =
@@ -163,14 +298,15 @@ fn materialize(
             } else {
                 Value::Matrix(m.clone())
             };
-            vals[r.index()] = Some(v);
+            store_value(cluster, vals, report, r, v);
         }
+        release_inputs(dag, vals, report, live, &input_hops);
         return;
     }
     // Basic operator.
     let inputs = dag.hop(hop).inputs.clone();
     for &i in &inputs {
-        materialize(dag, plan, op_roots, bindings, cluster, vals, report, i);
+        materialize(dag, plan, op_roots, bindings, cluster, vals, report, live, i);
     }
     let t0 = Instant::now();
     let v = interp::eval_op(dag, hop, vals, bindings);
@@ -180,7 +316,8 @@ fn materialize(
             inputs.iter().map(|&h| bytes_of(vals[h.index()].as_ref().unwrap())).collect();
         account(dag, cluster, report, wall, &in_bytes, bytes_of(&v));
     }
-    vals[hop.index()] = Some(v);
+    store_value(cluster, vals, report, hop, v);
+    release_inputs(dag, vals, report, live, &inputs);
 }
 
 /// Charges one operator's simulated time.
@@ -268,6 +405,52 @@ mod tests {
         let (_, report) = execute_dist(&exec, &dag, &bindings, &SimCluster::default());
         assert_eq!(report.dist_ops, 0);
         assert_eq!(report.network_seconds, 0.0);
+    }
+
+    /// A long elementwise chain under a tight budget: the tracked peak must
+    /// sit far below the hold-everything total (frees at last use), and the
+    /// excess beyond the budget must be charged as eviction time.
+    #[test]
+    fn footprint_is_tracked_and_eviction_charged() {
+        let (n, m) = (600, 400); // 1.92 MB per intermediate
+        let mut b = DagBuilder::new();
+        let x = b.read("X", n, m, 1.0);
+        let mut cur = x;
+        for _ in 0..6 {
+            cur = b.exp(cur);
+        }
+        let s = b.sum(cur);
+        let dag = b.build(vec![s]);
+        let bindings = bind(&[("X", generate::rand_dense(n, m, -0.1, 0.1, 7))]);
+        let exec = Executor::new(FusionMode::Base);
+        // Budget below two live intermediates (3.84 MB): the chain must
+        // evict even though frees keep the true peak at exactly two values.
+        let cluster = SimCluster { local_budget: 3e6, ..SimCluster::default() };
+        let (_, report) = execute_dist(&exec, &dag, &bindings, &cluster);
+        let one = 8.0 * (n * m) as f64;
+        // Hold-everything would be 7 matrices ≈ 13.4 MB; with frees the peak
+        // stays within input + two live intermediates.
+        assert!(report.peak_resident_bytes <= 3.0 * one + 64.0, "{}", report.peak_resident_bytes);
+        assert!(report.evictions >= 1, "budget of 3 MB must trigger eviction");
+        assert!(report.evicted_bytes > 0.0);
+        assert!(report.eviction_seconds > 0.0);
+        assert!(report.sim_seconds >= report.eviction_seconds);
+    }
+
+    /// With a comfortable budget nothing evicts, but the peak is reported.
+    #[test]
+    fn no_eviction_within_budget() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 100, 100, 1.0);
+        let e = b.exp(x);
+        let s = b.sum(e);
+        let dag = b.build(vec![s]);
+        let bindings = bind(&[("X", generate::rand_dense(100, 100, -1.0, 1.0, 8))]);
+        let exec = Executor::new(FusionMode::Base);
+        let (_, report) = execute_dist(&exec, &dag, &bindings, &SimCluster::default());
+        assert_eq!(report.evictions, 0);
+        assert_eq!(report.eviction_seconds, 0.0);
+        assert!(report.peak_resident_bytes >= 2.0 * 8e4);
     }
 
     #[test]

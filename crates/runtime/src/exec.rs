@@ -1,9 +1,17 @@
 //! The DAG executor: runs a HOP DAG under a fusion mode, dispatching
 //! between basic operators (the `Base` interpreter), hand-coded fused
 //! operators (`Fused`), and generated fused operators (`Gen`/`Gen-FA`/
-//! `Gen-FNR`), with lazy materialization of intermediates.
+//! `Gen-FNR`).
+//!
+//! Execution goes through the scheduled engine ([`crate::schedule`]):
+//! liveness-refcounted value slots freed at last use, buffers drawn from and
+//! returned to the shared pool, and independent ready operators executed in
+//! parallel. The seed's recursive lazy materializer is retained as
+//! [`Executor::execute_with_plan_sequential`] — the differential-test oracle
+//! (scheduled results must be bitwise-equal to it).
 
 use crate::handcoded;
+use crate::schedule;
 use crate::side::SideInput;
 use crate::spoof;
 use fusedml_core::optimizer::{FusedOperator, FusionPlan, Optimizer};
@@ -12,11 +20,14 @@ use fusedml_core::FusionMode;
 use fusedml_hop::interp::{self, Bindings};
 use fusedml_hop::{HopDag, HopId};
 use fusedml_linalg::matrix::Value;
+use fusedml_linalg::pool;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Execution statistics.
+/// Execution statistics, including scheduler events (operators executed
+/// while another was in flight, buffer-pool hits/misses, bytes freed before
+/// the DAG finished, and the tracked peak footprint of the last execution).
 #[derive(Debug, Default)]
 pub struct ExecStats {
     /// Generated fused operators executed.
@@ -25,6 +36,52 @@ pub struct ExecStats {
     pub handcoded_ops: AtomicUsize,
     /// Basic operators executed.
     pub basic_ops: AtomicUsize,
+    /// Operators that started while at least one other was still running.
+    pub sched_parallel_ops: AtomicUsize,
+    /// Bytes of intermediates freed before the end of their DAG.
+    pub sched_bytes_freed_early: AtomicUsize,
+    /// Tracked peak resident bytes of the most recent execution.
+    pub sched_peak_bytes: AtomicUsize,
+    /// Hold-everything resident bytes of the most recent execution (inputs +
+    /// every materialized value, nothing freed) — what the seed runtime kept.
+    pub sched_resident_all_bytes: AtomicUsize,
+    /// Buffer-pool hits attributed to this executor's runs.
+    pub pool_hits: AtomicUsize,
+    /// Buffer-pool misses attributed to this executor's runs.
+    pub pool_misses: AtomicUsize,
+}
+
+/// Plain-data snapshot of the scheduler counters in [`ExecStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedSnapshot {
+    pub parallel_ops: usize,
+    pub bytes_freed_early: usize,
+    pub peak_bytes: usize,
+    pub resident_all_bytes: usize,
+    pub pool_hits: usize,
+    pub pool_misses: usize,
+}
+
+impl SchedSnapshot {
+    /// Fraction of pooled allocations served from the pool.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Hold-everything bytes over tracked peak (≥ 1: how much smaller the
+    /// liveness-aware footprint is than the seed behaviour).
+    pub fn footprint_reduction(&self) -> f64 {
+        if self.peak_bytes == 0 {
+            1.0
+        } else {
+            self.resident_all_bytes as f64 / self.peak_bytes as f64
+        }
+    }
 }
 
 impl ExecStats {
@@ -36,10 +93,28 @@ impl ExecStats {
         )
     }
 
+    /// Scheduler-event counters (see [`SchedSnapshot`]).
+    pub fn scheduler_snapshot(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            parallel_ops: self.sched_parallel_ops.load(Ordering::Relaxed),
+            bytes_freed_early: self.sched_bytes_freed_early.load(Ordering::Relaxed),
+            peak_bytes: self.sched_peak_bytes.load(Ordering::Relaxed),
+            resident_all_bytes: self.sched_resident_all_bytes.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
+        }
+    }
+
     pub fn reset(&self) {
         self.fused_ops.store(0, Ordering::Relaxed);
         self.handcoded_ops.store(0, Ordering::Relaxed);
         self.basic_ops.store(0, Ordering::Relaxed);
+        self.sched_parallel_ops.store(0, Ordering::Relaxed);
+        self.sched_bytes_freed_early.store(0, Ordering::Relaxed);
+        self.sched_peak_bytes.store(0, Ordering::Relaxed);
+        self.sched_resident_all_bytes.store(0, Ordering::Relaxed);
+        self.pool_hits.store(0, Ordering::Relaxed);
+        self.pool_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -68,20 +143,37 @@ impl Executor {
         }
     }
 
-    /// Executes a DAG, returning root values in root order.
+    /// Executes a DAG through the scheduled engine, returning root values in
+    /// root order (moved out of their slots, never cloned).
     pub fn execute(&self, dag: &HopDag, bindings: &Bindings) -> Vec<Value> {
-        match self.mode {
-            FusionMode::Base => {
-                let live = dag.live_set();
-                self.stats
-                    .basic_ops
-                    .fetch_add(live.iter().filter(|&&l| l).count(), Ordering::Relaxed);
-                interp::interpret(dag, bindings)
+        let out = match self.mode {
+            FusionMode::Base => schedule::execute(dag, None, None, bindings, &self.stats),
+            FusionMode::Fused => {
+                let patterns = handcoded::match_patterns(dag);
+                schedule::execute(dag, None, Some(&patterns), bindings, &self.stats)
             }
+            _ => {
+                let plan = self.plan_for(dag);
+                schedule::execute(dag, Some(&plan), None, bindings, &self.stats)
+            }
+        };
+        // Epoch-bound the shared pool: buffers unused for a few DAGs retire.
+        pool::global().advance_epoch();
+        out
+    }
+
+    /// Executes a DAG sequentially with the retained seed-era paths (the
+    /// reference interpreter for `Base`, the demand-driven hand-coded
+    /// interpreter for `Fused`, the recursive materializer for Gen modes).
+    /// This is the oracle the scheduled engine is differentially tested
+    /// against; results must be bitwise-equal.
+    pub fn execute_sequential(&self, dag: &HopDag, bindings: &Bindings) -> Vec<Value> {
+        match self.mode {
+            FusionMode::Base => interp::interpret(dag, bindings),
             FusionMode::Fused => handcoded::interpret(dag, bindings, &self.stats),
             _ => {
                 let plan = self.plan_for(dag);
-                self.execute_with_plan(dag, &plan, bindings)
+                self.execute_with_plan_sequential(dag, &plan, bindings)
             }
         }
     }
@@ -100,8 +192,21 @@ impl Executor {
         p
     }
 
-    /// Executes a DAG under an explicit fusion plan.
+    /// Executes a DAG under an explicit fusion plan through the scheduled
+    /// engine.
     pub fn execute_with_plan(
+        &self,
+        dag: &HopDag,
+        plan: &FusionPlan,
+        bindings: &Bindings,
+    ) -> Vec<Value> {
+        schedule::execute(dag, Some(plan), None, bindings, &self.stats)
+    }
+
+    /// The seed's recursive lazy materializer, retained as the sequential
+    /// oracle for differential tests: every intermediate stays alive for the
+    /// whole DAG and operators run one at a time.
+    pub fn execute_with_plan_sequential(
         &self,
         dag: &HopDag,
         plan: &FusionPlan,
@@ -118,7 +223,7 @@ impl Executor {
         for &root in dag.roots() {
             self.materialize(dag, plan, &op_roots, bindings, &mut vals, root);
         }
-        dag.roots().iter().map(|r| vals[r.index()].clone().expect("root computed")).collect()
+        dag.roots().iter().map(|r| vals[r.index()].take().expect("root computed")).collect()
     }
 
     /// Lazily computes the value of `hop`, preferring its fused operator.

@@ -1,6 +1,6 @@
 //! Hand-coded fused operators: the `Fused` baseline of the evaluation
 //! (SystemML's default before automatic codegen), implementing a fixed set
-//! of two-to-three-operator patterns matched structurally at execution time
+//! of two-to-three-operator patterns matched structurally at compile time
 //! (paper §1: such operators "are usually limited to fixed patterns of few
 //! operators").
 //!
@@ -12,33 +12,104 @@
 //! * `wcemm` — weighted cross-entropy `sum(X ⊙ log(U V^T + eps))`,
 //! * `wdivmm`-style — `((X != 0) ⊙ (U V^T)) %*% V` and the transposed
 //!   variant, the ALS-CG update kernels.
+//!
+//! Matching ([`match_patterns`]) is purely structural and value-free, so the
+//! scheduled executor can treat each matched instance as one task with
+//! explicit input dependencies; execution ([`exec_operator`]) receives the
+//! materialized input values. The demand-driven sequential [`interpret`] is
+//! retained as the differential-test oracle for the `Fused` mode.
 
 use crate::exec::ExecStats;
+use fusedml_core::util::FxHashMap;
 use fusedml_hop::interp::{self, Bindings};
 use fusedml_hop::{HopDag, HopId, OpKind};
 use fusedml_linalg::matrix::Value;
 use fusedml_linalg::ops::{AggDir, AggOp, BinaryOp, UnaryOp};
-use fusedml_linalg::{par, primitives as prim, DenseMatrix, Matrix};
+use fusedml_linalg::{par, pool, primitives as prim, DenseMatrix, Matrix};
 use std::sync::atomic::Ordering;
 
-/// Interprets a DAG with hand-coded fused operators applied where patterns
-/// match; everything else executes as basic operators.
-pub fn interpret(dag: &HopDag, bindings: &Bindings, stats: &ExecStats) -> Vec<Value> {
+/// The concrete hand-coded kernel a matched pattern executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HcKind {
+    /// `sum(A ⊙ B [⊙ C])`; inputs `[a, b]` or `[a, b, c]`.
+    TakPlusMult,
+    /// `t(X) %*% ([w ⊙] (X %*% v))`; inputs `[x, v]` or `[x, v, w]`.
+    MmChain,
+    /// `sum(X ⊙ log(U Vᵀ + eps))`; inputs `[x, u, v, eps]`.
+    Wcemm,
+    /// `((X != 0) ⊙ (U Vᵀ)) %*% S` (right) / `t(…) %*% U`-style (left);
+    /// inputs `[x, u, v, s]`.
+    Wdivmm { left: bool },
+}
+
+/// A structurally matched hand-coded operator instance rooted at one hop.
+#[derive(Clone, Debug)]
+pub struct HcOperator {
+    /// The hop whose value this operator produces.
+    pub root: HopId,
+    /// The values the executor must materialize before running it.
+    pub inputs: Vec<HopId>,
+    kind: HcKind,
+}
+
+/// Structurally matches all hand-coded patterns over the live hops of a DAG,
+/// returning `root hop → operator`. No values are consulted.
+pub fn match_patterns(dag: &HopDag) -> FxHashMap<HopId, HcOperator> {
     let live = dag.live_set();
-    let mut vals: Vec<Option<Value>> = vec![None; dag.len()];
+    let mut out = FxHashMap::default();
     for h in dag.iter() {
-        if !live[h.id.index()] || vals[h.id.index()].is_some() {
+        if !live[h.id.index()] {
             continue;
         }
-        if let Some(v) = try_patterns(dag, h.id, &vals, bindings) {
-            stats.handcoded_ops.fetch_add(1, Ordering::Relaxed);
-            vals[h.id.index()] = Some(v);
-            continue;
+        if let Some(hc) = try_match(dag, h.id) {
+            out.insert(h.id, hc);
         }
-        stats.basic_ops.fetch_add(1, Ordering::Relaxed);
-        vals[h.id.index()] = Some(interp::eval_op(dag, h.id, &vals, bindings));
     }
-    dag.roots().iter().map(|r| vals[r.index()].clone().expect("root computed")).collect()
+    out
+}
+
+/// Interprets a DAG with hand-coded fused operators applied where patterns
+/// match; everything else executes as basic operators. Demand-driven and
+/// sequential — this is the `Fused`-mode oracle for the scheduled executor.
+pub fn interpret(dag: &HopDag, bindings: &Bindings, stats: &ExecStats) -> Vec<Value> {
+    let patterns = match_patterns(dag);
+    let mut vals: Vec<Option<Value>> = vec![None; dag.len()];
+    for &root in dag.roots() {
+        materialize(dag, &patterns, bindings, &mut vals, stats, root);
+    }
+    dag.roots().iter().map(|r| vals[r.index()].take().expect("root computed")).collect()
+}
+
+fn materialize(
+    dag: &HopDag,
+    patterns: &FxHashMap<HopId, HcOperator>,
+    bindings: &Bindings,
+    vals: &mut Vec<Option<Value>>,
+    stats: &ExecStats,
+    hop: HopId,
+) {
+    if vals[hop.index()].is_some() {
+        return;
+    }
+    if let Some(hc) = patterns.get(&hop) {
+        for &i in &hc.inputs {
+            materialize(dag, patterns, bindings, vals, stats, i);
+        }
+        let inputs: Vec<Value> =
+            hc.inputs.iter().map(|&i| vals[i.index()].clone().expect("input computed")).collect();
+        stats.handcoded_ops.fetch_add(1, Ordering::Relaxed);
+        vals[hop.index()] = Some(exec_operator(hc, &inputs));
+        return;
+    }
+    let inputs = dag.hop(hop).inputs.clone();
+    for &i in &inputs {
+        materialize(dag, patterns, bindings, vals, stats, i);
+    }
+    if !dag.hop(hop).kind.is_leaf() {
+        stats.basic_ops.fetch_add(1, Ordering::Relaxed);
+    }
+    let v = interp::eval_op(dag, hop, vals, bindings);
+    vals[hop.index()] = Some(v);
 }
 
 /// Structural helpers.
@@ -46,56 +117,31 @@ fn kind(dag: &HopDag, h: HopId) -> &OpKind {
     &dag.hop(h).kind
 }
 
-fn value_of(dag: &HopDag, h: HopId, vals: &[Option<Value>], bindings: &Bindings) -> Matrix {
-    match &vals[h.index()] {
-        Some(v) => v.as_matrix(),
-        None => {
-            // Inputs of a matched pattern might not be materialized yet when
-            // the pattern consumed the intermediate: evaluate leaves/ops
-            // recursively (cheap: only pattern inputs).
-            match kind(dag, h) {
-                OpKind::Read { name } => {
-                    bindings.get(name).unwrap_or_else(|| panic!("unbound input '{name}'")).clone()
-                }
-                _ => {
-                    // Evaluate via the reference interpreter on demand.
-                    let mut local: Vec<Option<Value>> = vals.to_vec();
-                    for hh in dag.iter() {
-                        if hh.id > h {
-                            break;
-                        }
-                        if local[hh.id.index()].is_none() {
-                            local[hh.id.index()] =
-                                Some(interp::eval_op(dag, hh.id, &local, bindings));
-                        }
-                    }
-                    local[h.index()].as_ref().expect("evaluated").as_matrix()
-                }
-            }
-        }
+/// Attempts all hand-coded patterns at `hop`.
+fn try_match(dag: &HopDag, hop: HopId) -> Option<HcOperator> {
+    match_tak_plus_mult(dag, hop)
+        .or_else(|| match_mmchain(dag, hop))
+        .or_else(|| match_wcemm(dag, hop))
+        .or_else(|| match_wdivmm(dag, hop))
+}
+
+/// Executes a matched operator over its materialized input values (in
+/// [`HcOperator::inputs`] order).
+pub fn exec_operator(hc: &HcOperator, inputs: &[Value]) -> Value {
+    debug_assert_eq!(inputs.len(), hc.inputs.len());
+    match hc.kind {
+        HcKind::TakPlusMult => exec_tak_plus_mult(inputs),
+        HcKind::MmChain => exec_mmchain(inputs),
+        HcKind::Wcemm => exec_wcemm(inputs),
+        HcKind::Wdivmm { left } => exec_wdivmm(inputs, left),
     }
 }
 
-/// Attempts all hand-coded patterns at `hop`.
-fn try_patterns(
-    dag: &HopDag,
-    hop: HopId,
-    vals: &[Option<Value>],
-    bindings: &Bindings,
-) -> Option<Value> {
-    try_tak_plus_mult(dag, hop, vals, bindings)
-        .or_else(|| try_mmchain(dag, hop, vals, bindings))
-        .or_else(|| try_wcemm(dag, hop, vals, bindings))
-        .or_else(|| try_wdivmm(dag, hop, vals, bindings))
-}
+// ---------------------------------------------------------------------------
+// `tak+*`: `sum(A ⊙ B)` or `sum(A ⊙ B ⊙ C)`.
+// ---------------------------------------------------------------------------
 
-/// `tak+*`: `sum(A ⊙ B)` or `sum(A ⊙ B ⊙ C)`.
-fn try_tak_plus_mult(
-    dag: &HopDag,
-    hop: HopId,
-    vals: &[Option<Value>],
-    bindings: &Bindings,
-) -> Option<Value> {
+fn match_tak_plus_mult(dag: &HopDag, hop: HopId) -> Option<HcOperator> {
     let OpKind::Agg { op: AggOp::Sum, dir: AggDir::Full } = kind(dag, hop) else {
         return None;
     };
@@ -123,9 +169,15 @@ fn try_tak_plus_mult(
     if !all_same || g.cells() <= 1 {
         return None;
     }
-    let ma = value_of(dag, ops[0], vals, bindings);
-    let mb = value_of(dag, ops[1], vals, bindings);
-    let mc = third.map(|t| value_of(dag, t, vals, bindings));
+    let mut inputs = ops;
+    inputs.extend(third);
+    Some(HcOperator { root: hop, inputs, kind: HcKind::TakPlusMult })
+}
+
+fn exec_tak_plus_mult(inputs: &[Value]) -> Value {
+    let ma = inputs[0].as_matrix();
+    let mb = inputs[1].as_matrix();
+    let mc = inputs.get(2).map(|v| v.as_matrix());
     let (rows, cols) = (ma.rows(), ma.cols());
     let acc = par::par_map_reduce(
         rows,
@@ -143,16 +195,14 @@ fn try_tak_plus_mult(
         },
         |x, y| x + y,
     );
-    Some(Value::Scalar(acc))
+    Value::Scalar(acc)
 }
 
-/// `mmchain`: `t(X) %*% (X %*% v)` or `t(X) %*% (w ⊙ (X %*% v))`, vector `v`.
-fn try_mmchain(
-    dag: &HopDag,
-    hop: HopId,
-    vals: &[Option<Value>],
-    bindings: &Bindings,
-) -> Option<Value> {
+// ---------------------------------------------------------------------------
+// `mmchain`: `t(X) %*% (X %*% v)` or `t(X) %*% (w ⊙ (X %*% v))`, vector `v`.
+// ---------------------------------------------------------------------------
+
+fn match_mmchain(dag: &HopDag, hop: HopId) -> Option<HcOperator> {
     if *kind(dag, hop) != OpKind::MatMult {
         return None;
     }
@@ -183,9 +233,15 @@ fn try_mmchain(
             return None;
         }
     }
-    let xm = value_of(dag, x1, vals, bindings);
-    let vm = value_of(dag, v, vals, bindings).to_dense().into_values();
-    let wm = w.map(|wh| value_of(dag, wh, vals, bindings));
+    let mut inputs = vec![x1, v];
+    inputs.extend(w);
+    Some(HcOperator { root: hop, inputs, kind: HcKind::MmChain })
+}
+
+fn exec_mmchain(inputs: &[Value]) -> Value {
+    let xm = inputs[0].as_matrix();
+    let vm = inputs[1].as_matrix().to_dense().into_values();
+    let wm = inputs.get(2).map(|v| v.as_matrix());
     let (n, m) = (xm.rows(), xm.cols());
     // Single pass: acc += X_r * (w_r * dot(X_r, v)).
     let acc = par::par_map_reduce(
@@ -222,16 +278,14 @@ fn try_mmchain(
             a
         },
     );
-    Some(Value::Matrix(Matrix::dense(DenseMatrix::new(m, 1, acc))))
+    Value::Matrix(Matrix::dense(DenseMatrix::new(m, 1, acc)))
 }
 
-/// `wcemm`: `sum(X ⊙ log(U V^T + eps))` over the non-zeros of sparse X.
-fn try_wcemm(
-    dag: &HopDag,
-    hop: HopId,
-    vals: &[Option<Value>],
-    bindings: &Bindings,
-) -> Option<Value> {
+// ---------------------------------------------------------------------------
+// `wcemm`: `sum(X ⊙ log(U V^T + eps))` over the non-zeros of sparse X.
+// ---------------------------------------------------------------------------
+
+fn match_wcemm(dag: &HopDag, hop: HopId) -> Option<HcOperator> {
     let OpKind::Agg { op: AggOp::Sum, dir: AggDir::Full } = kind(dag, hop) else {
         return None;
     };
@@ -248,17 +302,14 @@ fn try_wcemm(
     let [u, vt] = dag.hop(uvt).inputs[..] else { return None };
     let OpKind::Transpose = kind(dag, vt) else { return None };
     let v = dag.hop(vt).inputs[0];
+    Some(HcOperator { root: hop, inputs: vec![x, u, v, eps], kind: HcKind::Wcemm })
+}
 
-    let xm = value_of(dag, x, vals, bindings);
-    let um = value_of(dag, u, vals, bindings).to_dense();
-    let vm = value_of(dag, v, vals, bindings).to_dense();
-    let epsv = match &vals[eps.index()] {
-        Some(val) => val.as_scalar(),
-        None => match kind(dag, eps) {
-            OpKind::Literal { value } => *value,
-            _ => return None,
-        },
-    };
+fn exec_wcemm(inputs: &[Value]) -> Value {
+    let xm = inputs[0].as_matrix();
+    let um = inputs[1].as_matrix().to_dense();
+    let vm = inputs[2].as_matrix().to_dense();
+    let epsv = inputs[3].as_scalar();
     let r = um.cols();
     let xs = xm.to_sparse();
     let acc = par::par_map_reduce(
@@ -277,17 +328,15 @@ fn try_wcemm(
         },
         |a, b| a + b,
     );
-    Some(Value::Scalar(acc))
+    Value::Scalar(acc)
 }
 
-/// `wdivmm`-style: `((X != 0) ⊙ (U V^T)) %*% V` (right) or
-/// `t((X != 0) ⊙ (U V^T)) %*% U` (left).
-fn try_wdivmm(
-    dag: &HopDag,
-    hop: HopId,
-    vals: &[Option<Value>],
-    bindings: &Bindings,
-) -> Option<Value> {
+// ---------------------------------------------------------------------------
+// `wdivmm`-style: `((X != 0) ⊙ (U V^T)) %*% V` (right) or
+// `t((X != 0) ⊙ (U V^T)) %*% U` (left).
+// ---------------------------------------------------------------------------
+
+fn match_wdivmm(dag: &HopDag, hop: HopId) -> Option<HcOperator> {
     if *kind(dag, hop) != OpKind::MatMult {
         return None;
     }
@@ -307,11 +356,14 @@ fn try_wdivmm(
     let [u, vt] = dag.hop(uvt).inputs[..] else { return None };
     let OpKind::Transpose = kind(dag, vt) else { return None };
     let v = dag.hop(vt).inputs[0];
+    Some(HcOperator { root: hop, inputs: vec![x, u, v, s], kind: HcKind::Wdivmm { left } })
+}
 
-    let xm = value_of(dag, x, vals, bindings).to_sparse();
-    let um = value_of(dag, u, vals, bindings).to_dense();
-    let vm = value_of(dag, v, vals, bindings).to_dense();
-    let sm = value_of(dag, s, vals, bindings).to_dense();
+fn exec_wdivmm(inputs: &[Value], left: bool) -> Value {
+    let xm = inputs[0].as_matrix().to_sparse();
+    let um = inputs[1].as_matrix().to_dense();
+    let vm = inputs[2].as_matrix().to_dense();
+    let sm = inputs[3].as_matrix().to_dense();
     let r = um.cols();
     let k = sm.cols();
     let (n, m) = (xm.rows(), xm.cols());
@@ -320,9 +372,9 @@ fn try_wdivmm(
         let acc = par::par_map_reduce(
             n,
             (xm.nnz() / n.max(1)).max(1) * r,
-            vec![0.0f64; m * k],
+            pool::take_zeroed(m * k),
             |lo, hi| {
-                let mut acc = vec![0.0f64; m * k];
+                let mut acc = pool::take_zeroed(m * k);
                 for i in lo..hi {
                     for (j, _a) in xm.row_iter(i) {
                         let w = prim::dot_product(um.row(i), vm.row(j), 0, 0, r);
@@ -332,22 +384,23 @@ fn try_wdivmm(
                 acc
             },
             |mut a, b| {
-                for (x, y) in a.iter_mut().zip(b) {
+                for (x, y) in a.iter_mut().zip(b.iter()) {
                     *x += y;
                 }
+                pool::give(b);
                 a
             },
         );
-        Some(Value::Matrix(Matrix::dense(DenseMatrix::new(m, k, acc))))
+        Value::Matrix(Matrix::dense(DenseMatrix::new(m, k, acc)))
     } else {
-        let mut out = vec![0.0f64; n * k];
+        let mut out = pool::take_zeroed(n * k);
         par::par_rows_mut(&mut out, n, k, (xm.nnz() / n.max(1)).max(1) * r, |i, orow| {
             for (j, _a) in xm.row_iter(i) {
                 let w = prim::dot_product(um.row(i), vm.row(j), 0, 0, r);
                 prim::vect_mult_add(sm.row(j), w, orow, 0, 0, k);
             }
         });
-        Some(Value::Matrix(Matrix::dense(DenseMatrix::new(n, k, out))))
+        Value::Matrix(Matrix::dense(DenseMatrix::new(n, k, out)))
     }
 }
 
@@ -473,5 +526,26 @@ mod tests {
         let (fused, base, hc) = run_both(&dag, &bindings);
         assert!(hc >= 1, "wdivmm must match");
         assert!(fused[0].as_matrix().approx_eq(&base[0].as_matrix(), 1e-9));
+    }
+
+    /// The demand-driven interpreter must not evaluate interior hops of a
+    /// matched pattern (the seed implementation materialized them anyway).
+    #[test]
+    fn pattern_interiors_are_not_materialized() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 100, 80, 1.0);
+        let y = b.read("Y", 100, 80, 1.0);
+        let m1 = b.mult(x, y);
+        let s = b.sum(m1);
+        let dag = b.build(vec![s]);
+        let bindings = bind(&[
+            ("X", generate::rand_dense(100, 80, -1.0, 1.0, 14)),
+            ("Y", generate::rand_dense(100, 80, -1.0, 1.0, 15)),
+        ]);
+        let stats = ExecStats::default();
+        let _ = interpret(&dag, &bindings, &stats);
+        let (_, hc, basic) = stats.snapshot();
+        assert_eq!(hc, 1);
+        assert_eq!(basic, 0, "the ⊙ interior must not run as a basic op");
     }
 }

@@ -12,14 +12,18 @@
 //!   `Fused` baseline (fixed patterns: tak+*, mmchain, wsloss, wdivmm),
 //! * [`exec`] — the DAG executor dispatching between basic operators,
 //!   hand-coded fused operators, and generated fused operators,
+//! * [`schedule`] — the liveness-aware scheduled engine: refcounted value
+//!   slots freed at last use, pool-backed buffers, and parallel execution of
+//!   independent ready operators,
 //! * [`dist`] — the simulated distributed (Spark-like) backend with
 //!   broadcast/shuffle time accounting (DESIGN.md substitution X2).
 
 pub mod dist;
 pub mod exec;
 pub mod handcoded;
+pub mod schedule;
 pub mod side;
 pub mod spoof;
 
-pub use exec::{ExecStats, Executor};
+pub use exec::{ExecStats, Executor, SchedSnapshot};
 pub use fusedml_core::FusionMode;

@@ -1,0 +1,532 @@
+//! The scheduled execution engine: liveness-aware, pool-backed, and
+//! parallel across independent operators.
+//!
+//! This replaces the seed's recursive lazy materializer (which held every
+//! intermediate alive for the whole DAG and recursed serially) with an
+//! explicit task graph:
+//!
+//! * every demanded hop maps to one task — a **basic** operator, a
+//!   **generated fused** operator from the fusion plan (one task per
+//!   operator, covering all its roots), or a **hand-coded** pattern
+//!   instance — with explicit input dependencies;
+//! * value slots are **refcounted by read occurrences**: the last reader
+//!   takes the value owned, the slot is freed immediately, and uniquely
+//!   held dense buffers return to the buffer pool (or are reused *in place*
+//!   as the output of same-shape element-wise operators);
+//! * a **ready set** of tasks with no unmet dependencies is drained by a
+//!   small worker pool (scoped threads sharing the global buffer pool), so
+//!   independent DAG branches execute concurrently while each kernel keeps
+//!   its internal row-band parallelism;
+//! * **roots are moved** (never cloned) out of their slots at the end;
+//! * resident bytes are tracked on every store/free, yielding the
+//!   per-execution peak footprint surfaced through [`ExecStats`].
+//!
+//! The seed's sequential materializer survives as
+//! [`crate::exec::Executor::execute_with_plan_sequential`], the oracle the
+//! differential property tests compare against (results must be
+//! *bitwise* equal).
+
+use crate::exec::ExecStats;
+use crate::handcoded::{self, HcOperator};
+use crate::side::SideInput;
+use crate::spoof;
+use fusedml_core::optimizer::FusionPlan;
+use fusedml_core::util::FxHashMap;
+use fusedml_hop::interp::{self, Bindings};
+use fusedml_hop::{HopDag, HopId, OpKind};
+use fusedml_linalg::matrix::Value;
+use fusedml_linalg::ops as lops;
+use fusedml_linalg::{par, pool, Matrix};
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Upper bound on scheduler workers: kernels parallelize internally over row
+/// bands, so inter-operator parallelism beyond a few ways oversubscribes.
+const MAX_WORKERS: usize = 4;
+
+/// What one task executes.
+enum TaskKind<'p> {
+    /// A single basic operator.
+    Basic(HopId),
+    /// A generated fused operator (index into the plan's operator list).
+    Fused { op_ix: usize },
+    /// A hand-coded fused pattern instance.
+    Handcoded(&'p HcOperator),
+}
+
+/// One schedulable unit.
+struct Task<'p> {
+    kind: TaskKind<'p>,
+    /// Input hops in gather order (for fused ops: main, sides, scalars).
+    deps: Vec<HopId>,
+    /// Tasks reading at least one of `outs`.
+    consumers: Vec<usize>,
+    /// Dependency depth (tasks at equal depth are mutually independent).
+    level: usize,
+}
+
+/// The demand-driven task graph for one DAG under one fusion plan.
+struct TaskGraph<'p> {
+    tasks: Vec<Task<'p>>,
+    /// Demanded leaf hops, materialized inline before scheduling.
+    leaves: Vec<HopId>,
+    /// Per hop: total read occurrences across tasks, +1 for DAG roots.
+    reads: Vec<u32>,
+    /// Per task: number of distinct producer tasks that must finish first.
+    n_producers: Vec<u32>,
+    /// Widest set of same-level tasks (parallelism upper bound).
+    max_width: usize,
+}
+
+fn build_graph<'p>(
+    dag: &HopDag,
+    plan: Option<&'p FusionPlan>,
+    patterns: Option<&'p FxHashMap<HopId, HcOperator>>,
+) -> TaskGraph<'p> {
+    let mut op_roots: FxHashMap<HopId, usize> = FxHashMap::default();
+    if let Some(plan) = plan {
+        for (i, f) in plan.operators.iter().enumerate() {
+            for &r in &f.roots {
+                op_roots.insert(r, i);
+            }
+        }
+    }
+    let mut tasks: Vec<Task<'p>> = Vec::new();
+    let mut leaves: Vec<HopId> = Vec::new();
+    let mut reads = vec![0u32; dag.len()];
+    // hop → producing task (leaves have none).
+    let mut producer: Vec<Option<usize>> = vec![None; dag.len()];
+    let mut demanded = vec![false; dag.len()];
+    let mut fused_task: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut stack: Vec<HopId> = dag.roots().to_vec();
+    while let Some(h) = stack.pop() {
+        if demanded[h.index()] {
+            continue;
+        }
+        demanded[h.index()] = true;
+        let hop = dag.hop(h);
+        if hop.kind.is_leaf() {
+            leaves.push(h);
+            continue;
+        }
+        if let Some(&op_ix) = op_roots.get(&h) {
+            let f = &plan.expect("op_roots implies a plan").operators[op_ix];
+            if let Some(&t) = fused_task.get(&op_ix) {
+                // Another root of the same operator was demanded first; the
+                // existing task already covers this hop.
+                producer[h.index()] = Some(t);
+                continue;
+            }
+            let mut deps: Vec<HopId> = Vec::new();
+            deps.extend(f.cplan.main.iter());
+            deps.extend(f.cplan.sides.iter());
+            deps.extend(f.cplan.scalars.iter());
+            let t = tasks.len();
+            fused_task.insert(op_ix, t);
+            for &r in &f.roots {
+                producer[r.index()] = Some(t);
+                demanded[r.index()] = true;
+            }
+            demanded[h.index()] = true;
+            stack.extend(deps.iter().copied());
+            tasks.push(Task {
+                kind: TaskKind::Fused { op_ix },
+                deps,
+                consumers: Vec::new(),
+                level: 0,
+            });
+            continue;
+        }
+        if let Some(hc) = patterns.and_then(|p| p.get(&h)) {
+            let t = tasks.len();
+            producer[h.index()] = Some(t);
+            stack.extend(hc.inputs.iter().copied());
+            tasks.push(Task {
+                kind: TaskKind::Handcoded(hc),
+                deps: hc.inputs.clone(),
+                consumers: Vec::new(),
+                level: 0,
+            });
+            continue;
+        }
+        let t = tasks.len();
+        producer[h.index()] = Some(t);
+        stack.extend(hop.inputs.iter().copied());
+        tasks.push(Task {
+            kind: TaskKind::Basic(h),
+            deps: hop.inputs.clone(),
+            consumers: Vec::new(),
+            level: 0,
+        });
+    }
+    // Read occurrences (+1 per DAG root so outputs survive the execution).
+    for t in &tasks {
+        for &d in &t.deps {
+            reads[d.index()] += 1;
+        }
+    }
+    for &r in dag.roots() {
+        reads[r.index()] += 1;
+    }
+    // Producer→consumer edges over distinct producer tasks.
+    let n = tasks.len();
+    let mut n_producers = vec![0u32; n];
+    let mut seen: Vec<usize> = Vec::new();
+    for t in 0..n {
+        seen.clear();
+        for di in 0..tasks[t].deps.len() {
+            let d = tasks[t].deps[di];
+            if let Some(p) = producer[d.index()] {
+                if !seen.contains(&p) {
+                    seen.push(p);
+                    n_producers[t] += 1;
+                    tasks[p].consumers.push(t);
+                }
+            }
+        }
+    }
+    // Levels by fixpoint: tasks were created roots-first (demand order), so a
+    // producer can appear after its consumers in `tasks` and a single sweep
+    // is not enough. Task counts are small; this is compile-side work.
+    loop {
+        let mut changed = false;
+        for t in 0..n {
+            let lvl = tasks[t].level + 1;
+            for ci in 0..tasks[t].consumers.len() {
+                let c = tasks[t].consumers[ci];
+                if tasks[c].level < lvl {
+                    tasks[c].level = lvl;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut width: FxHashMap<usize, usize> = FxHashMap::default();
+    for t in &tasks {
+        *width.entry(t.level).or_insert(0) += 1;
+    }
+    let max_width = width.values().copied().max().unwrap_or(0);
+    TaskGraph { tasks, leaves, reads, n_producers, max_width }
+}
+
+/// A gathered task input: the value plus whether this task took the last
+/// read (and therefore owns the value and may consume or recycle it).
+struct SlotIn {
+    val: Value,
+    owned: bool,
+}
+
+/// Shared mutable scheduler state.
+struct EngineState {
+    slots: Vec<Option<Value>>,
+    reads_left: Vec<u32>,
+    producers_left: Vec<u32>,
+    ready: Vec<usize>,
+    remaining: usize,
+    running: usize,
+    resident_bytes: usize,
+    peak_bytes: usize,
+    resident_all_bytes: usize,
+    freed_early_bytes: usize,
+    parallel_ops: usize,
+    poisoned: bool,
+}
+
+/// Executes a DAG under the scheduled engine. `plan` carries generated fused
+/// operators (Gen modes); `patterns` carries hand-coded instances (`Fused`
+/// mode); with neither, every live hop schedules as a basic task (`Base`).
+pub fn execute(
+    dag: &HopDag,
+    plan: Option<&FusionPlan>,
+    patterns: Option<&FxHashMap<HopId, HcOperator>>,
+    bindings: &Bindings,
+    stats: &ExecStats,
+) -> Vec<Value> {
+    let pool_before = pool::global().stats();
+    let graph = build_graph(dag, plan, patterns);
+    let mut st = EngineState {
+        slots: vec![None; dag.len()],
+        reads_left: graph.reads.clone(),
+        producers_left: graph.n_producers.clone(),
+        ready: Vec::new(),
+        remaining: graph.tasks.len(),
+        running: 0,
+        resident_bytes: 0,
+        peak_bytes: 0,
+        resident_all_bytes: 0,
+        freed_early_bytes: 0,
+        parallel_ops: 0,
+        poisoned: false,
+    };
+    // Materialize demanded leaves inline (cheap: Arc clones of bindings).
+    for &l in &graph.leaves {
+        let v = interp::eval_op_inputs(dag, l, &[], bindings);
+        st.resident_bytes += v.size_in_bytes();
+        st.slots[l.index()] = Some(v);
+    }
+    st.peak_bytes = st.resident_bytes;
+    st.resident_all_bytes = st.resident_bytes;
+    for (t, &np) in graph.n_producers.iter().enumerate() {
+        if np == 0 {
+            st.ready.push(t);
+        }
+    }
+    let workers =
+        graph.max_width.min(par::num_threads()).clamp(1, MAX_WORKERS).min(graph.tasks.len().max(1));
+    let shared = Mutex::new(st);
+    let cvar = Condvar::new();
+    let run = |w: &Mutex<EngineState>| {
+        worker_loop(w, &cvar, &graph, dag, plan, bindings, stats);
+    };
+    if workers <= 1 {
+        run(&shared);
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| run(&shared));
+            }
+        });
+    }
+    let mut st = lock(&shared);
+    assert!(!st.poisoned, "scheduler worker panicked");
+    stats.sched_parallel_ops.fetch_add(st.parallel_ops, Ordering::Relaxed);
+    stats.sched_bytes_freed_early.fetch_add(st.freed_early_bytes, Ordering::Relaxed);
+    stats.sched_peak_bytes.store(st.peak_bytes, Ordering::Relaxed);
+    stats.sched_resident_all_bytes.store(st.resident_all_bytes, Ordering::Relaxed);
+    let pool_after = pool::global().stats();
+    stats.pool_hits.fetch_add((pool_after.hits - pool_before.hits) as usize, Ordering::Relaxed);
+    stats
+        .pool_misses
+        .fetch_add((pool_after.misses - pool_before.misses) as usize, Ordering::Relaxed);
+    // Roots are moved out, never cloned.
+    dag.roots().iter().map(|r| st.slots[r.index()].take().expect("root computed")).collect()
+}
+
+fn lock<'a>(m: &'a Mutex<EngineState>) -> MutexGuard<'a, EngineState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[allow(clippy::too_many_arguments)] // threads the whole engine through the worker
+fn worker_loop(
+    shared: &Mutex<EngineState>,
+    cvar: &Condvar,
+    graph: &TaskGraph<'_>,
+    dag: &HopDag,
+    plan: Option<&FusionPlan>,
+    bindings: &Bindings,
+    stats: &ExecStats,
+) {
+    let mut st = lock(shared);
+    loop {
+        let t = loop {
+            if st.remaining == 0 || st.poisoned {
+                cvar.notify_all();
+                return;
+            }
+            if let Some(t) = st.ready.pop() {
+                break t;
+            }
+            st = cvar.wait(st).unwrap_or_else(|e| e.into_inner());
+        };
+        let task = &graph.tasks[t];
+        st.running += 1;
+        if st.running > 1 {
+            st.parallel_ops += 1;
+        }
+        // Gather inputs; the last reader takes the value owned and frees the
+        // slot immediately (liveness-driven early free). The *bytes* of dying
+        // inputs stay counted until the task completes: during execution the
+        // input and output buffers coexist, and the tracked peak must cover
+        // that spike (for in-place reuse this over-counts one buffer — the
+        // conservative direction for the footprint gate).
+        let mut dying_bytes = 0usize;
+        let mut ins: Vec<SlotIn> = Vec::with_capacity(task.deps.len());
+        for &d in &task.deps {
+            let di = d.index();
+            st.reads_left[di] -= 1;
+            let dying = st.reads_left[di] == 0;
+            let slot = &mut st.slots[di];
+            let val = if dying {
+                let v = slot.take().expect("input computed");
+                dying_bytes += v.size_in_bytes();
+                v
+            } else {
+                slot.clone().expect("input computed")
+            };
+            ins.push(SlotIn { val, owned: dying });
+        }
+        drop(st);
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_task(task, ins, dag, plan, bindings, stats)
+        }));
+
+        st = lock(shared);
+        match result {
+            Ok(outs) => {
+                for (h, v) in outs {
+                    if st.reads_left[h.index()] == 0 {
+                        // An undemanded extra output of a multi-root fused
+                        // operator: recycle it instead of keeping it resident.
+                        v.recycle();
+                        continue;
+                    }
+                    st.resident_bytes += v.size_in_bytes();
+                    st.resident_all_bytes += v.size_in_bytes();
+                    if st.resident_bytes > st.peak_bytes {
+                        st.peak_bytes = st.resident_bytes;
+                    }
+                    st.slots[h.index()] = Some(v);
+                }
+                // Now the dying inputs are really gone.
+                st.resident_bytes -= dying_bytes;
+                if st.remaining > 1 {
+                    st.freed_early_bytes += dying_bytes;
+                }
+                for &c in &task.consumers {
+                    st.producers_left[c] -= 1;
+                    if st.producers_left[c] == 0 {
+                        st.ready.push(c);
+                    }
+                }
+                st.running -= 1;
+                st.remaining -= 1;
+                cvar.notify_all();
+            }
+            Err(payload) => {
+                st.poisoned = true;
+                st.remaining = 0;
+                cvar.notify_all();
+                drop(st);
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Runs one task over its gathered inputs; returns `(hop, value)` stores.
+fn run_task(
+    task: &Task<'_>,
+    ins: Vec<SlotIn>,
+    dag: &HopDag,
+    plan: Option<&FusionPlan>,
+    bindings: &Bindings,
+    stats: &ExecStats,
+) -> Vec<(HopId, Value)> {
+    match task.kind {
+        TaskKind::Basic(h) => {
+            stats.basic_ops.fetch_add(1, Ordering::Relaxed);
+            let v = eval_basic(dag, h, ins, bindings);
+            vec![(h, v)]
+        }
+        TaskKind::Handcoded(hc) => {
+            stats.handcoded_ops.fetch_add(1, Ordering::Relaxed);
+            let vals: Vec<Value> = ins.iter().map(|s| s.val.clone()).collect();
+            let v = handcoded::exec_operator(hc, &vals);
+            // Drop the clones first, or the owned inputs are never uniquely
+            // held and recycling silently degrades to a plain drop.
+            drop(vals);
+            recycle_all(ins);
+            vec![(hc.root, v)]
+        }
+        TaskKind::Fused { op_ix } => {
+            stats.fused_ops.fetch_add(1, Ordering::Relaxed);
+            let f = &plan.expect("fused task implies a plan").operators[op_ix];
+            let n_main = usize::from(f.cplan.main.is_some());
+            let n_sides = f.cplan.sides.len();
+            let main_val = ins.first().filter(|_| n_main == 1).map(|s| s.val.as_matrix());
+            let side_mats: Vec<Matrix> =
+                ins[n_main..n_main + n_sides].iter().map(|s| s.val.as_matrix()).collect();
+            let sides: Vec<SideInput> = side_mats.iter().map(SideInput::bind).collect();
+            let scalars: Vec<f64> =
+                ins[n_main + n_sides..].iter().map(|s| s.val.as_scalar()).collect();
+            let outs = spoof::execute(
+                &f.op.spec,
+                main_val.as_ref(),
+                &sides,
+                &scalars,
+                f.cplan.iter_rows,
+                f.cplan.iter_cols,
+            );
+            drop(sides);
+            drop(side_mats);
+            drop(main_val);
+            recycle_all(ins);
+            f.roots
+                .iter()
+                .enumerate()
+                .map(|(slot, &r)| {
+                    let m = &outs[slot];
+                    let v = if dag.hop(r).is_scalar() && m.is_scalar_shaped() {
+                        Value::Scalar(m.get(0, 0))
+                    } else {
+                        Value::Matrix(m.clone())
+                    };
+                    (r, v)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Returns the dense buffers of owned (dying) inputs to the pool.
+fn recycle_all(ins: Vec<SlotIn>) {
+    for s in ins {
+        if s.owned {
+            s.val.recycle();
+        }
+    }
+}
+
+/// Evaluates a basic operator, reusing a dying dense input buffer in place
+/// for the dominant same-shape element-wise operators. The in-place variants
+/// are bitwise-identical to the out-of-place kernels `eval_op` dispatches to,
+/// so scheduled results match the sequential oracle exactly.
+fn eval_basic(dag: &HopDag, h: HopId, mut ins: Vec<SlotIn>, bindings: &Bindings) -> Value {
+    let kind = &dag.hop(h).kind;
+    let in_place_candidate =
+        !ins.is_empty() && ins[0].owned && matches!(ins[0].val, Value::Matrix(Matrix::Dense(_)));
+    if in_place_candidate {
+        match kind {
+            OpKind::Binary { op } => {
+                let op = *op;
+                let a = match std::mem::replace(&mut ins[0].val, Value::Scalar(0.0)) {
+                    Value::Matrix(m) => m,
+                    Value::Scalar(_) => unreachable!("checked above"),
+                };
+                match a.try_into_dense() {
+                    Ok(ad) => {
+                        let out = lops::binary_assign(ad, &ins[1].val.as_matrix(), op);
+                        ins.swap_remove(0);
+                        recycle_all(ins);
+                        return Value::Matrix(out);
+                    }
+                    Err(m) => ins[0].val = Value::Matrix(m),
+                }
+            }
+            OpKind::Unary { op } => {
+                let op = *op;
+                let a = match std::mem::replace(&mut ins[0].val, Value::Scalar(0.0)) {
+                    Value::Matrix(m) => m,
+                    Value::Scalar(_) => unreachable!("checked above"),
+                };
+                match a.try_into_dense() {
+                    Ok(ad) => {
+                        recycle_all(ins);
+                        return Value::Matrix(lops::unary_assign(ad, op));
+                    }
+                    Err(m) => ins[0].val = Value::Matrix(m),
+                }
+            }
+            _ => {}
+        }
+    }
+    let vals: Vec<Value> = ins.iter().map(|s| s.val.clone()).collect();
+    let v = interp::eval_op_inputs(dag, h, &vals, bindings);
+    drop(vals);
+    recycle_all(ins);
+    v
+}

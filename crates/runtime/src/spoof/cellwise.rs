@@ -18,7 +18,7 @@ use fusedml_core::spoof::block::{
 };
 use fusedml_core::spoof::{eval_scalar_program, CellAgg, CellSpec, Reg, SideAccess};
 use fusedml_linalg::ops::AggOp;
-use fusedml_linalg::{par, DenseMatrix, Matrix, SparseMatrix};
+use fusedml_linalg::{par, pool, DenseMatrix, Matrix, SparseMatrix};
 
 /// Executes a Cell operator under the globally selected backend.
 pub fn execute(
@@ -200,7 +200,7 @@ fn block_dense_exec(
     let bp = &kernel.block;
     match spec.agg {
         CellAgg::NoAgg => {
-            let mut out = vec![0.0f64; rows * cols];
+            let mut out = pool::take_zeroed(rows * cols);
             par::par_row_bands_mut(&mut out, rows, cols.max(1), cols.max(1) * 4, |r0, band| {
                 let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
                 let mut mr = MainReader::new(main, cols);
@@ -231,7 +231,7 @@ fn block_dense_exec(
         }
         CellAgg::RowAgg(op) => {
             let fold = CellFold { bp, result: spec.result, fast, op };
-            let mut out = vec![0.0f64; rows];
+            let mut out = pool::take_zeroed(rows);
             par::par_row_bands_mut(&mut out, rows, 1, cols.max(1) * 4, |r0, band| {
                 let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
                 let mut mr = MainReader::new(main, cols);
@@ -386,7 +386,7 @@ fn block_sparse_exec(
         }
         CellAgg::RowAgg(op) => {
             let fold = CellFold { bp, result: spec.result, fast, op };
-            let mut out = vec![0.0f64; rows];
+            let mut out = pool::take_zeroed(rows);
             par::par_row_bands_mut(&mut out, rows, 1, work, |r0, band| {
                 let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
                 let mut ptile = vec![0.0f64; width];
@@ -519,7 +519,7 @@ fn dense_exec(
     let main_get = |r: usize, c: usize| main.map_or(0.0, |m| m.get(r, c));
     match spec.agg {
         CellAgg::NoAgg => {
-            let mut out = vec![0.0f64; rows * cols];
+            let mut out = pool::take_zeroed(rows * cols);
             par::par_rows_mut(&mut out, rows, cols.max(1), cols.max(1) * 4, |r, orow| {
                 let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
                 for (c, slot) in orow.iter_mut().enumerate() {
@@ -529,7 +529,7 @@ fn dense_exec(
             Matrix::dense(DenseMatrix::new(rows, cols, out))
         }
         CellAgg::RowAgg(op) => {
-            let mut out = vec![0.0f64; rows];
+            let mut out = pool::take_zeroed(rows);
             par::par_rows_mut(&mut out, rows, 1, cols.max(1) * 4, |r, slot| {
                 let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
                 let mut acc = op.identity();
@@ -635,7 +635,7 @@ fn sparse_safe_exec(
             Matrix::sparse(SparseMatrix::from_triples(rows, cols, triples))
         }
         CellAgg::RowAgg(op) => {
-            let mut out = vec![0.0f64; rows];
+            let mut out = pool::take_zeroed(rows);
             par::par_rows_mut(&mut out, rows, 1, work, |r, slot| {
                 let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
                 let mut acc = op.identity();

@@ -10,7 +10,7 @@ use fusedml_core::plancache;
 use fusedml_core::spoof::block::{self, fold_result, write_result, CellBackend, OpRef, TileSrc};
 use fusedml_core::spoof::{eval_scalar_program, OuterOut, OuterSpec, SideAccess};
 use fusedml_linalg::ops::AggOp;
-use fusedml_linalg::{par, primitives as prim, DenseMatrix, Matrix, SparseMatrix};
+use fusedml_linalg::{par, pool, primitives as prim, DenseMatrix, Matrix, SparseMatrix};
 
 /// Executes an Outer operator under the globally selected backend.
 pub fn execute(
@@ -165,7 +165,7 @@ fn block_sparse_exec(
             // out (n×k) : out[i,:] += w_ij * S[j,:], row-parallel.
             let s = sides[side].to_dense_values().into_owned();
             let k = sides[side].cols();
-            let mut out = vec![0.0f64; n * k];
+            let mut out = pool::take_zeroed(n * k);
             par::par_row_bands_mut(&mut out, n, k, work, |r0, band| {
                 let mut tr = TileRunner::new(kernel, sides, scalars, m, width);
                 let mut uvbuf = vec![0.0f64; width];
@@ -200,11 +200,11 @@ fn block_sparse_exec(
             let acc = par::par_map_reduce(
                 n,
                 work,
-                vec![0.0f64; m * k],
+                pool::take_zeroed(m * k),
                 |lo, hi| {
                     let mut tr = TileRunner::new(kernel, sides, scalars, m, width);
                     let mut uvbuf = vec![0.0f64; width];
-                    let mut acc = vec![0.0f64; m * k];
+                    let mut acc = pool::take_zeroed(m * k);
                     for i in lo..hi {
                         tr.begin_row_sparse(i);
                         for (vchunk, cchunk) in
@@ -244,9 +244,10 @@ fn block_sparse_exec(
                     acc
                 },
                 |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
+                    for (x, y) in a.iter_mut().zip(b.iter()) {
                         *x += y;
                     }
+                    pool::give(b);
                     a
                 },
             );
@@ -363,7 +364,7 @@ fn block_dense_exec(
         OuterOut::RightMM { side } => {
             let s = sides[side].to_dense_values().into_owned();
             let k = sides[side].cols();
-            let mut out = vec![0.0f64; n * k];
+            let mut out = pool::take_zeroed(n * k);
             par::par_row_bands_mut(&mut out, n, k, m * rank, |r0, band| {
                 let mut tr = TileRunner::new(kernel, sides, scalars, m, width);
                 let mut mr = MainReader::new(main, m);
@@ -401,12 +402,12 @@ fn block_dense_exec(
             let acc = par::par_map_reduce(
                 n,
                 m * rank,
-                vec![0.0f64; m * k],
+                pool::take_zeroed(m * k),
                 |lo, hi| {
                     let mut tr = TileRunner::new(kernel, sides, scalars, m, width);
                     let mut mr = MainReader::new(main, m);
                     let mut uvbuf = vec![0.0f64; width];
-                    let mut acc = vec![0.0f64; m * k];
+                    let mut acc = pool::take_zeroed(m * k);
                     for i in lo..hi {
                         tr.begin_row_dense(i);
                         let row_src = mr.row(i);
@@ -449,16 +450,17 @@ fn block_dense_exec(
                     acc
                 },
                 |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
+                    for (x, y) in a.iter_mut().zip(b.iter()) {
                         *x += y;
                     }
+                    pool::give(b);
                     a
                 },
             );
             Matrix::dense(DenseMatrix::new(m, k, acc))
         }
         OuterOut::NoAgg => {
-            let mut out = vec![0.0f64; n * m];
+            let mut out = pool::take_zeroed(n * m);
             par::par_row_bands_mut(&mut out, n, m, m * rank, |r0, band| {
                 let mut tr = TileRunner::new(kernel, sides, scalars, m, width);
                 let mut mr = MainReader::new(main, m);
@@ -547,7 +549,7 @@ fn sparse_exec(
             // out (n×k) : out[i,:] += w_ij * S[j,:], row-parallel.
             let s = sides[side].to_dense_values().into_owned();
             let k = sides[side].cols();
-            let mut out = vec![0.0f64; n * k];
+            let mut out = pool::take_zeroed(n * k);
             par::par_rows_mut(&mut out, n, k, (x.nnz() / n.max(1)).max(1) * r, |i, orow| {
                 let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
                 for (j, a) in x.row_iter(i) {
@@ -566,10 +568,10 @@ fn sparse_exec(
             let acc = par::par_map_reduce(
                 n,
                 (x.nnz() / n.max(1)).max(1) * r,
-                vec![0.0f64; m * k],
+                pool::take_zeroed(m * k),
                 |lo, hi| {
                     let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
-                    let mut acc = vec![0.0f64; m * k];
+                    let mut acc = pool::take_zeroed(m * k);
                     for i in lo..hi {
                         for (j, a) in x.row_iter(i) {
                             let w = exec_value(spec, &mut regs, a, u, v, r, sides, scalars, i, j);
@@ -588,9 +590,10 @@ fn sparse_exec(
                     acc
                 },
                 |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
+                    for (x, y) in a.iter_mut().zip(b.iter()) {
                         *x += y;
                     }
+                    pool::give(b);
                     a
                 },
             );
@@ -659,7 +662,7 @@ fn dense_exec(
         OuterOut::RightMM { side } => {
             let s = sides[side].to_dense_values().into_owned();
             let k = sides[side].cols();
-            let mut out = vec![0.0f64; n * k];
+            let mut out = pool::take_zeroed(n * k);
             par::par_rows_mut(&mut out, n, k, m * r, |i, orow| {
                 let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
                 for j in 0..m {
@@ -678,10 +681,10 @@ fn dense_exec(
             let acc = par::par_map_reduce(
                 n,
                 m * r,
-                vec![0.0f64; m * k],
+                pool::take_zeroed(m * k),
                 |lo, hi| {
                     let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
-                    let mut acc = vec![0.0f64; m * k];
+                    let mut acc = pool::take_zeroed(m * k);
                     for i in lo..hi {
                         for j in 0..m {
                             let w = exec_value(
@@ -711,16 +714,17 @@ fn dense_exec(
                     acc
                 },
                 |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
+                    for (x, y) in a.iter_mut().zip(b.iter()) {
                         *x += y;
                     }
+                    pool::give(b);
                     a
                 },
             );
             Matrix::dense(DenseMatrix::new(m, k, acc))
         }
         OuterOut::NoAgg => {
-            let mut out = vec![0.0f64; n * m];
+            let mut out = pool::take_zeroed(n * m);
             par::par_rows_mut(&mut out, n, m, m * r, |i, orow| {
                 let mut regs = vec![0.0f64; spec.prog.n_regs as usize];
                 for (j, slot) in orow.iter_mut().enumerate() {

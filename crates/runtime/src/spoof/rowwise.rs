@@ -27,7 +27,7 @@ use fusedml_core::plancache;
 use fusedml_core::spoof::block::{self, RowFastKernel, RowKernel};
 use fusedml_core::spoof::{Instr, Program, Reg, RowExecMode, RowOut, RowSpec};
 use fusedml_linalg::ops::{AggOp, BinaryOp, UnaryOp};
-use fusedml_linalg::{par, primitives as prim, DenseMatrix, Matrix};
+use fusedml_linalg::{par, pool, primitives as prim, DenseMatrix, Matrix};
 use std::borrow::Cow;
 
 /// Which execution backend the Row skeleton uses.
@@ -494,15 +494,16 @@ fn block_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f64
     let n = main.rows();
     let work = work_per_row(spec, main);
     let add_reduce = |mut a: Vec<f64>, b: Vec<f64>| {
-        for (x, y) in a.iter_mut().zip(b) {
+        for (x, y) in a.iter_mut().zip(b.iter()) {
             *x += y;
         }
+        pool::give(b);
         a
     };
     match &spec.out {
         RowOut::NoAgg { src } => {
             let k = spec.out_cols;
-            let mut out = vec![0.0f64; n * k];
+            let mut out = pool::take_zeroed(n * k);
             par::par_row_bands_mut(&mut out, n, k, work, |r0, band| {
                 let mut ctx = BandCtx::new(&kernel, spec, sides, scalars);
                 let mut rr = RowReader::new(main, kernel.sparse_main_ok);
@@ -516,7 +517,7 @@ fn block_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f64
             Matrix::dense(DenseMatrix::new(n, k, out))
         }
         RowOut::RowAgg { src } => {
-            let mut out = vec![0.0f64; n];
+            let mut out = pool::take_zeroed(n);
             par::par_row_bands_mut(&mut out, n, 1, work, |r0, band| {
                 let mut ctx = BandCtx::new(&kernel, spec, sides, scalars);
                 let mut rr = RowReader::new(main, kernel.sparse_main_ok);
@@ -534,11 +535,11 @@ fn block_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f64
             let acc = par::par_map_reduce(
                 n,
                 work,
-                vec![0.0f64; k],
+                pool::take_zeroed(k),
                 |lo, hi| {
                     let mut ctx = BandCtx::new(&kernel, spec, sides, scalars);
                     let mut rr = RowReader::new(main, kernel.sparse_main_ok);
-                    let mut acc = vec![0.0f64; k];
+                    let mut acc = pool::take_zeroed(k);
                     for r in lo..hi {
                         let view = rr.view(r);
                         ctx.run_row(r, view);
@@ -575,11 +576,11 @@ fn block_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f64
             let acc = par::par_map_reduce(
                 n,
                 work,
-                vec![0.0f64; orows * ocols],
+                pool::take_zeroed(orows * ocols),
                 |lo, hi| {
                     let mut ctx = BandCtx::new(&kernel, spec, sides, scalars);
                     let mut rr = RowReader::new(main, kernel.sparse_main_ok);
-                    let mut acc = vec![0.0f64; orows * ocols];
+                    let mut acc = pool::take_zeroed(orows * ocols);
                     for r in lo..hi {
                         let view = rr.view(r);
                         ctx.run_row(r, view);
@@ -603,11 +604,11 @@ fn block_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f64
             let acc = par::par_map_reduce(
                 n,
                 work,
-                vec![0.0f64; orows],
+                pool::take_zeroed(orows),
                 |lo, hi| {
                     let mut ctx = BandCtx::new(&kernel, spec, sides, scalars);
                     let mut rr = RowReader::new(main, kernel.sparse_main_ok);
-                    let mut acc = vec![0.0f64; orows];
+                    let mut acc = pool::take_zeroed(orows);
                     if let Some(RowFastKernel::MvChain { v, dot_out, scalar_tail, scalar_src }) =
                         fast
                     {
@@ -676,7 +677,7 @@ fn interp_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
     match &spec.out {
         RowOut::NoAgg { src } => {
             let k = spec.out_cols;
-            let mut out = vec![0.0f64; n * k];
+            let mut out = pool::take_zeroed(n * k);
             par::par_row_bands_mut(&mut out, n, k, work, |r0, band| {
                 let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
                 for (i, orow) in band.chunks_exact_mut(k).enumerate() {
@@ -687,7 +688,7 @@ fn interp_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
             Matrix::dense(DenseMatrix::new(n, k, out))
         }
         RowOut::RowAgg { src } => {
-            let mut out = vec![0.0f64; n];
+            let mut out = pool::take_zeroed(n);
             par::par_row_bands_mut(&mut out, n, 1, work, |r0, band| {
                 let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
                 for (i, slot) in band.iter_mut().enumerate() {
@@ -702,10 +703,10 @@ fn interp_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
             let acc = par::par_map_reduce(
                 n,
                 work,
-                vec![0.0f64; k],
+                pool::take_zeroed(k),
                 |lo, hi| {
                     let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
-                    let mut acc = vec![0.0f64; k];
+                    let mut acc = pool::take_zeroed(k);
                     for r in lo..hi {
                         ctx.run_row(r);
                         prim::vect_add(&ctx.vregs[*src as usize], &mut acc, 0, 0, k);
@@ -713,9 +714,10 @@ fn interp_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
                     acc
                 },
                 |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
+                    for (x, y) in a.iter_mut().zip(b.iter()) {
                         *x += y;
                     }
+                    pool::give(b);
                     a
                 },
             );
@@ -744,10 +746,10 @@ fn interp_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
             let acc = par::par_map_reduce(
                 n,
                 work,
-                vec![0.0f64; orows * ocols],
+                pool::take_zeroed(orows * ocols),
                 |lo, hi| {
                     let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
-                    let mut acc = vec![0.0f64; orows * ocols];
+                    let mut acc = pool::take_zeroed(orows * ocols);
                     for r in lo..hi {
                         ctx.run_row(r);
                         let l = &ctx.vregs[*left as usize];
@@ -757,9 +759,10 @@ fn interp_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
                     acc
                 },
                 |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
+                    for (x, y) in a.iter_mut().zip(b.iter()) {
                         *x += y;
                     }
+                    pool::give(b);
                     a
                 },
             );
@@ -770,10 +773,10 @@ fn interp_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
             let acc = par::par_map_reduce(
                 n,
                 work,
-                vec![0.0f64; orows],
+                pool::take_zeroed(orows),
                 |lo, hi| {
                     let mut ctx = RowCtx::new(spec, main, sides, scalars, &dense_sides);
-                    let mut acc = vec![0.0f64; orows];
+                    let mut acc = pool::take_zeroed(orows);
                     for r in lo..hi {
                         ctx.run_row(r);
                         let v = &ctx.vregs[*vec as usize];
@@ -783,9 +786,10 @@ fn interp_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f6
                     acc
                 },
                 |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
+                    for (x, y) in a.iter_mut().zip(b.iter()) {
                         *x += y;
                     }
+                    pool::give(b);
                     a
                 },
             );

@@ -8,6 +8,8 @@
 //! tile worth of positions" and "here is the evaluated result tile".
 
 use crate::side::SideInput;
+use fusedml_linalg::pool;
+
 use fusedml_core::spoof::block::{
     BlockEval, BlockKernel, Factors, FastKernel, OpRef, Opnd, TileCtx, TileSrc,
 };
@@ -38,10 +40,16 @@ pub struct MainReader<'a> {
     scratch: Vec<f64>,
 }
 
+impl Drop for MainReader<'_> {
+    fn drop(&mut self) {
+        pool::give(std::mem::take(&mut self.scratch));
+    }
+}
+
 impl<'a> MainReader<'a> {
     pub fn new(m: Option<&'a fusedml_linalg::Matrix>, cols: usize) -> Self {
         let scratch = match m {
-            Some(fusedml_linalg::Matrix::Sparse(_)) => vec![0.0; cols],
+            Some(fusedml_linalg::Matrix::Sparse(_)) => pool::take_zeroed(cols),
             _ => Vec::new(),
         };
         MainReader { m, scratch }
@@ -77,6 +85,14 @@ pub struct TileRunner<'k, 's> {
     width: usize,
 }
 
+impl Drop for TileRunner<'_, '_> {
+    fn drop(&mut self) {
+        for buf in self.row_bufs.drain(..).chain(self.scatter_bufs.drain(..)) {
+            pool::give(buf);
+        }
+    }
+}
+
 impl<'k, 's> TileRunner<'k, 's> {
     /// Builds a runner and runs the invocation-invariant prologue.
     /// `iter_cols` sizes the densified-row scratch for dense iteration.
@@ -95,14 +111,14 @@ impl<'k, 's> TileRunner<'k, 's> {
         let mut scatter_bufs = vec![Vec::new(); bp.gathers.len()];
         for (slot, &(side, access)) in bp.gathers.iter().enumerate() {
             if matches!(sides[side], SideInput::Sparse(_)) {
-                let mut buf = vec![0.0; iter_cols];
+                let mut buf = pool::take_zeroed(iter_cols);
                 if access == SideAccess::Row {
                     // Row access reads row 0 everywhere: densify once.
                     sides[side].read_row_into(0, 0, iter_cols, &mut buf);
                 }
                 row_bufs[slot] = buf;
             }
-            scatter_bufs[slot] = vec![0.0; width];
+            scatter_bufs[slot] = pool::take_zeroed(width);
         }
         TileRunner { kernel, eval, sides, row_bufs, scatter_bufs, width }
     }
