@@ -17,7 +17,7 @@ use fusedml_hop::interp::Bindings;
 use fusedml_hop::{DagBuilder, HopDag};
 use fusedml_linalg::ops::{self, BinaryOp};
 use fusedml_linalg::{generate, Matrix};
-use fusedml_runtime::Executor;
+use fusedml_runtime::Engine;
 
 /// Hyper-parameters (paper Table 2: rank 20, λ=1e-3).
 #[derive(Clone, Copy, Debug)]
@@ -105,7 +105,9 @@ pub fn dense_plane_bytes(n: usize, m: usize) -> f64 {
 
 /// Trains the factorization by alternating gradient steps with the fused
 /// update rules.
-pub fn run(exec: &Executor, x: &Matrix, cfg: &AlsConfig) -> AlgoResult {
+pub fn run(exec: &Engine, x: &Matrix, cfg: &AlsConfig) -> AlgoResult {
+    // Driver-side updates/retires recycle through the engine pool.
+    let _scope = exec.scope();
     let sw = Stopwatch::start();
     let (n, m) = (x.rows(), x.cols());
     let r = cfg.rank;
@@ -155,9 +157,9 @@ mod tests {
     fn modes_agree_on_loss() {
         let x = synthetic_data(150, 120, 0.05, 1);
         let cfg = AlsConfig { rank: 6, max_iter: 3, ..Default::default() };
-        let base = run(&Executor::new(FusionMode::Base), &x, &cfg);
+        let base = run(&Engine::new(FusionMode::Base), &x, &cfg);
         for mode in [FusionMode::Fused, FusionMode::Gen] {
-            let r = run(&Executor::new(mode), &x, &cfg);
+            let r = run(&Engine::new(mode), &x, &cfg);
             assert!(
                 fusedml_linalg::approx_eq(r.objective, base.objective, 1e-6),
                 "{mode:?}: {} vs {}",
@@ -170,7 +172,7 @@ mod tests {
     #[test]
     fn loss_decreases() {
         let x = synthetic_data(200, 150, 0.05, 2);
-        let exec = Executor::new(FusionMode::Gen);
+        let exec = Engine::new(FusionMode::Gen);
         let one = run(&exec, &x, &AlsConfig { rank: 8, max_iter: 1, ..Default::default() });
         let ten = run(&exec, &x, &AlsConfig { rank: 8, max_iter: 10, ..Default::default() });
         assert!(ten.objective < one.objective);
@@ -179,9 +181,9 @@ mod tests {
     #[test]
     fn gen_runs_fused_operators() {
         let x = synthetic_data(200, 150, 0.05, 3);
-        let exec = Executor::new(FusionMode::Gen);
+        let exec = Engine::new(FusionMode::Gen);
         let _ = run(&exec, &x, &AlsConfig { rank: 6, max_iter: 2, ..Default::default() });
-        let (fused, _, _) = exec.stats.snapshot();
+        let (fused, _, _) = exec.stats().snapshot();
         assert!(fused >= 4, "Outer operators must execute: {fused}");
     }
 }

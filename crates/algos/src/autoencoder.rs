@@ -10,7 +10,7 @@ use fusedml_hop::interp::Bindings;
 use fusedml_hop::{DagBuilder, HopDag};
 use fusedml_linalg::ops::{self, BinaryOp, UnaryOp};
 use fusedml_linalg::{generate, Matrix};
-use fusedml_runtime::Executor;
+use fusedml_runtime::Engine;
 
 /// Hyper-parameters.
 #[derive(Clone, Copy, Debug)]
@@ -79,7 +79,9 @@ fn build_batch_dag(bsz: usize, m: usize, h1: usize, h2: usize) -> HopDag {
 }
 
 /// Trains the autoencoder for `epochs` passes of mini-batches.
-pub fn run(exec: &Executor, x: &Matrix, cfg: &AeConfig) -> AlgoResult {
+pub fn run(exec: &Engine, x: &Matrix, cfg: &AeConfig) -> AlgoResult {
+    // Driver-side updates/retires recycle through the engine pool.
+    let _scope = exec.scope();
     let sw = Stopwatch::start();
     let (n, m) = (x.rows(), x.cols());
     let bsz = cfg.batch.min(n);
@@ -136,9 +138,9 @@ mod tests {
     fn modes_agree_on_loss() {
         let x = synthetic_data(256, 20, 1);
         let cfg = AeConfig { h1: 16, h2: 2, batch: 128, epochs: 1, step: 0.05 };
-        let base = run(&Executor::new(FusionMode::Base), &x, &cfg);
+        let base = run(&Engine::new(FusionMode::Base), &x, &cfg);
         for mode in [FusionMode::Gen, FusionMode::GenFA] {
-            let r = run(&Executor::new(mode), &x, &cfg);
+            let r = run(&Engine::new(mode), &x, &cfg);
             assert!(
                 fusedml_linalg::approx_eq(r.objective, base.objective, 1e-6),
                 "{mode:?}: {} vs {}",
@@ -151,7 +153,7 @@ mod tests {
     #[test]
     fn loss_decreases_over_epochs() {
         let x = synthetic_data(512, 16, 2);
-        let exec = Executor::new(FusionMode::Gen);
+        let exec = Engine::new(FusionMode::Gen);
         let one = run(&exec, &x, &AeConfig { epochs: 1, batch: 128, h1: 12, h2: 2, step: 0.2 });
         let five = run(&exec, &x, &AeConfig { epochs: 5, batch: 128, h1: 12, h2: 2, step: 0.2 });
         assert!(five.objective < one.objective);

@@ -3,7 +3,7 @@
 use fusedml_hop::interp::Bindings;
 use fusedml_linalg::ops::{self, BinaryOp};
 use fusedml_linalg::Matrix;
-use fusedml_runtime::Executor;
+use fusedml_runtime::Engine;
 use std::time::Instant;
 
 /// Algorithm identifiers (Table 2).
@@ -62,15 +62,16 @@ pub fn bindv(b: &mut Bindings, name: &str, m: Matrix) {
 }
 
 /// Runs a single-root DAG and returns the root matrix, *moved* out of the
-/// executor (the driver keeps unique ownership of the buffer, so in-place
-/// updates and pool recycling apply to it).
-pub fn run1(exec: &Executor, dag: &fusedml_hop::HopDag, b: &Bindings) -> Matrix {
-    exec.execute(dag, b).swap_remove(0).into_matrix()
+/// engine (the driver keeps unique ownership of the buffer, so in-place
+/// updates and pool recycling apply to it). The engine's script cache makes
+/// repeated calls with the same DAG shape compile-free.
+pub fn run1(exec: &Engine, dag: &fusedml_hop::HopDag, b: &Bindings) -> Matrix {
+    exec.execute(dag, b).into_values().swap_remove(0).into_matrix()
 }
 
 /// Runs a single-root DAG and returns the root scalar.
-pub fn run1s(exec: &Executor, dag: &fusedml_hop::HopDag, b: &Bindings) -> f64 {
-    exec.execute(dag, b).swap_remove(0).as_scalar()
+pub fn run1s(exec: &Engine, dag: &fusedml_hop::HopDag, b: &Bindings) -> f64 {
+    exec.execute(dag, b).into_values().swap_remove(0).as_scalar()
 }
 
 /// Iterative driver update `a = a op b`, reusing `a`'s buffer in place when

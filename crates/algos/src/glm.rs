@@ -12,7 +12,7 @@ use fusedml_hop::interp::Bindings;
 use fusedml_hop::{DagBuilder, HopDag};
 use fusedml_linalg::ops::{self, AggDir, AggOp, BinaryOp};
 use fusedml_linalg::{generate, Matrix};
-use fusedml_runtime::Executor;
+use fusedml_runtime::Engine;
 
 /// Hyper-parameters (paper Table 2: λ=1e-3, 20 outer / 10 inner).
 #[derive(Clone, Copy, Debug)]
@@ -68,7 +68,9 @@ fn dot(a: &Matrix, bm: &Matrix) -> f64 {
 }
 
 /// Trains the binomial GLM. `y` holds 0/1 responses.
-pub fn run(exec: &Executor, x: &Matrix, y: &Matrix, cfg: &GlmConfig) -> AlgoResult {
+pub fn run(exec: &Engine, x: &Matrix, y: &Matrix, cfg: &GlmConfig) -> AlgoResult {
+    // Driver-side updates/retires recycle through the engine pool.
+    let _scope = exec.scope();
     let sw = Stopwatch::start();
     let (n, m) = (x.rows(), x.cols());
     let sp = x.sparsity();
@@ -87,7 +89,7 @@ pub fn run(exec: &Executor, x: &Matrix, y: &Matrix, cfg: &GlmConfig) -> AlgoResu
     for _ in 0..cfg.max_outer {
         iters += 1;
         bindv(&mut bindings, "b", beta.clone());
-        let mut outs = exec.execute(&irls_dag, &bindings);
+        let mut outs = exec.execute(&irls_dag, &bindings).into_values();
         let w = outs.pop().expect("w root").into_matrix();
         let g = outs.pop().expect("g root").into_matrix();
         bindv(&mut bindings, "w", w);
@@ -154,9 +156,9 @@ mod tests {
     fn modes_agree() {
         let (x, y) = synthetic_data(300, 10, 1.0, 5);
         let cfg = GlmConfig { max_outer: 3, max_inner: 4, ..Default::default() };
-        let base = run(&Executor::new(FusionMode::Base), &x, &y, &cfg);
+        let base = run(&Engine::new(FusionMode::Base), &x, &y, &cfg);
         for mode in [FusionMode::Fused, FusionMode::Gen, FusionMode::GenFNR] {
-            let r = run(&Executor::new(mode), &x, &y, &cfg);
+            let r = run(&Engine::new(mode), &x, &y, &cfg);
             assert!(r.model[0].approx_eq(&base.model[0], 1e-5), "{mode:?}");
         }
     }
@@ -164,7 +166,7 @@ mod tests {
     #[test]
     fn gradient_norm_shrinks() {
         let (x, y) = synthetic_data(400, 8, 1.0, 6);
-        let exec = Executor::new(FusionMode::Gen);
+        let exec = Engine::new(FusionMode::Gen);
         let short =
             run(&exec, &x, &y, &GlmConfig { max_outer: 1, max_inner: 3, ..Default::default() });
         let long =

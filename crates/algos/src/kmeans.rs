@@ -9,7 +9,7 @@ use fusedml_hop::interp::Bindings;
 use fusedml_hop::{DagBuilder, HopDag};
 use fusedml_linalg::ops::{self, AggDir, AggOp, BinaryOp};
 use fusedml_linalg::{generate, DenseMatrix, Matrix};
-use fusedml_runtime::Executor;
+use fusedml_runtime::Engine;
 
 /// Hyper-parameters (paper Table 2: ε=1e-12, 20 iterations, k centroids).
 #[derive(Clone, Copy, Debug)]
@@ -53,7 +53,9 @@ fn build_iter_dag(n: usize, m: usize, k: usize, sp: f64) -> HopDag {
 }
 
 /// Runs Lloyd's algorithm from a deterministic sample initialization.
-pub fn run(exec: &Executor, x: &Matrix, cfg: &KMeansConfig) -> AlgoResult {
+pub fn run(exec: &Engine, x: &Matrix, cfg: &KMeansConfig) -> AlgoResult {
+    // Driver-side updates/retires recycle through the engine pool.
+    let _scope = exec.scope();
     let sw = Stopwatch::start();
     let (n, m) = (x.rows(), x.cols());
     let dag = build_iter_dag(n, m, cfg.k, x.sparsity());
@@ -73,7 +75,7 @@ pub fn run(exec: &Executor, x: &Matrix, cfg: &KMeansConfig) -> AlgoResult {
     for _ in 0..cfg.max_iter {
         iters += 1;
         bindv(&mut bindings, "C", centroids.clone());
-        let mut outs = exec.execute(&dag, &bindings);
+        let mut outs = exec.execute(&dag, &bindings).into_values();
         let counts = outs.pop().expect("counts root").into_matrix();
         let num = outs.pop().expect("numerator root").into_matrix();
         let new_wcss = outs.pop().expect("wcss root").as_scalar();
@@ -126,9 +128,9 @@ mod tests {
     fn modes_agree_on_centroids() {
         let x = synthetic_data(400, 8, 1.0, 11);
         let cfg = KMeansConfig { k: 4, max_iter: 5, ..Default::default() };
-        let base = run(&Executor::new(FusionMode::Base), &x, &cfg);
+        let base = run(&Engine::new(FusionMode::Base), &x, &cfg);
         for mode in [FusionMode::Gen, FusionMode::GenFA, FusionMode::GenFNR] {
-            let r = run(&Executor::new(mode), &x, &cfg);
+            let r = run(&Engine::new(mode), &x, &cfg);
             assert!(r.model[0].approx_eq(&base.model[0], 1e-6), "{mode:?}");
         }
     }
@@ -136,7 +138,7 @@ mod tests {
     #[test]
     fn wcss_decreases_with_iterations() {
         let x = synthetic_data(600, 6, 1.0, 13);
-        let exec = Executor::new(FusionMode::Gen);
+        let exec = Engine::new(FusionMode::Gen);
         let one = run(&exec, &x, &KMeansConfig { k: 5, max_iter: 1, ..Default::default() });
         let ten = run(&exec, &x, &KMeansConfig { k: 5, max_iter: 10, ..Default::default() });
         assert!(ten.objective <= one.objective + 1e-6);

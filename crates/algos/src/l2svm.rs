@@ -10,7 +10,7 @@ use fusedml_hop::interp::Bindings;
 use fusedml_hop::{DagBuilder, HopDag};
 use fusedml_linalg::ops::BinaryOp;
 use fusedml_linalg::{generate, DenseMatrix, Matrix};
-use fusedml_runtime::Executor;
+use fusedml_runtime::Engine;
 
 /// Hyper-parameters (paper Table 2: λ=1e-3, ε=1e-12, maxiter 20).
 #[derive(Clone, Copy, Debug)]
@@ -78,7 +78,9 @@ fn build_dags(n: usize, m: usize, sp: f64) -> (HopDag, HopDag) {
 }
 
 /// Trains the SVM with gradient descent over the squared hinge loss.
-pub fn run(exec: &Executor, x: &Matrix, y: &Matrix, cfg: &L2svmConfig) -> AlgoResult {
+pub fn run(exec: &Engine, x: &Matrix, y: &Matrix, cfg: &L2svmConfig) -> AlgoResult {
+    // Driver-side updates/retires recycle through the engine pool.
+    let _scope = exec.scope();
     let sw = Stopwatch::start();
     let (n, m) = (x.rows(), x.cols());
     let (obj_dag, grad_dag) = build_dags(n, m, x.sparsity());
@@ -121,10 +123,10 @@ mod tests {
     fn objective_decreases_and_modes_agree() {
         let (x, y) = synthetic_data(400, 10, 1.0, 42);
         let cfg = L2svmConfig { max_iter: 8, ..Default::default() };
-        let base = run(&Executor::new(FusionMode::Base), &x, &y, &cfg);
+        let base = run(&Engine::new(FusionMode::Base), &x, &y, &cfg);
         assert!(base.objective.is_finite());
         for mode in [FusionMode::Fused, FusionMode::Gen, FusionMode::GenFA, FusionMode::GenFNR] {
-            let r = run(&Executor::new(mode), &x, &y, &cfg);
+            let r = run(&Engine::new(mode), &x, &y, &cfg);
             assert!(
                 fusedml_linalg::approx_eq(r.objective, base.objective, 1e-6),
                 "{mode:?}: {} vs {}",
@@ -138,7 +140,7 @@ mod tests {
     #[test]
     fn training_reduces_hinge_loss() {
         let (x, y) = synthetic_data(600, 8, 1.0, 7);
-        let exec = Executor::new(FusionMode::Gen);
+        let exec = Engine::new(FusionMode::Gen);
         let short = run(&exec, &x, &y, &L2svmConfig { max_iter: 1, ..Default::default() });
         let long = run(&exec, &x, &y, &L2svmConfig { max_iter: 15, ..Default::default() });
         assert!(long.objective < short.objective, "{} < {}", long.objective, short.objective);
@@ -148,8 +150,8 @@ mod tests {
     fn sparse_features_work() {
         let (x, y) = synthetic_data(500, 20, 0.1, 3);
         assert!(x.is_sparse());
-        let base = run(&Executor::new(FusionMode::Base), &x, &y, &L2svmConfig::default());
-        let gen = run(&Executor::new(FusionMode::Gen), &x, &y, &L2svmConfig::default());
+        let base = run(&Engine::new(FusionMode::Base), &x, &y, &L2svmConfig::default());
+        let gen = run(&Engine::new(FusionMode::Gen), &x, &y, &L2svmConfig::default());
         assert!(fusedml_linalg::approx_eq(gen.objective, base.objective, 1e-6));
     }
 }

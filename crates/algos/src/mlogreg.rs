@@ -9,7 +9,7 @@ use fusedml_hop::interp::Bindings;
 use fusedml_hop::{DagBuilder, HopDag};
 use fusedml_linalg::ops::{self, AggDir, AggOp, BinaryOp};
 use fusedml_linalg::{generate, DenseMatrix, Matrix};
-use fusedml_runtime::Executor;
+use fusedml_runtime::Engine;
 
 /// Hyper-parameters (paper Table 2: λ=1e-3, 20 outer / 10 inner iterations).
 #[derive(Clone, Copy, Debug)]
@@ -86,7 +86,9 @@ fn frob_dot(a: &Matrix, bm: &Matrix) -> f64 {
 
 /// Trains MLogreg with Newton-CG (outer Newton steps, inner CG solves using
 /// the fused HVP).
-pub fn run(exec: &Executor, x: &Matrix, y_labels: &Matrix, cfg: &MLogregConfig) -> AlgoResult {
+pub fn run(exec: &Engine, x: &Matrix, y_labels: &Matrix, cfg: &MLogregConfig) -> AlgoResult {
+    // Driver-side updates/retires recycle through the engine pool.
+    let _scope = exec.scope();
     let sw = Stopwatch::start();
     let (n, m) = (x.rows(), x.cols());
     let k1 = cfg.classes - 1; // #classes − 1 coefficient columns
@@ -186,9 +188,9 @@ mod tests {
     fn modes_agree_on_model() {
         let (x, y) = synthetic_data(300, 12, 3, 1.0, 1);
         let cfg = MLogregConfig { classes: 3, max_outer: 3, max_inner: 4, ..Default::default() };
-        let base = run(&Executor::new(FusionMode::Base), &x, &y, &cfg);
+        let base = run(&Engine::new(FusionMode::Base), &x, &y, &cfg);
         for mode in [FusionMode::Gen, FusionMode::GenFA] {
-            let r = run(&Executor::new(mode), &x, &y, &cfg);
+            let r = run(&Engine::new(mode), &x, &y, &cfg);
             assert!(r.model[0].approx_eq(&base.model[0], 1e-5), "{mode:?} model diverged");
         }
     }
@@ -200,11 +202,11 @@ mod tests {
     fn steady_state_iterations_reuse_pool() {
         let (x, y) = synthetic_data(400, 16, 3, 1.0, 3);
         let cfg = MLogregConfig { classes: 3, max_outer: 2, max_inner: 4, ..Default::default() };
-        let exec = Executor::new(FusionMode::Gen);
+        let exec = Engine::new(FusionMode::Gen);
         let _ = run(&exec, &x, &y, &cfg); // warm-up: cold misses fill the pool
-        let before = exec.stats.scheduler_snapshot();
+        let before = exec.stats().scheduler_snapshot();
         let _ = run(&exec, &x, &y, &cfg);
-        let after = exec.stats.scheduler_snapshot();
+        let after = exec.stats().scheduler_snapshot();
         let hits = after.pool_hits - before.pool_hits;
         assert!(hits > 0, "warm iterations must hit the pool (hits {hits})");
         // Early frees are what feed the pool: the scheduler must have
@@ -215,7 +217,7 @@ mod tests {
     #[test]
     fn training_reduces_nll() {
         let (x, y) = synthetic_data(400, 10, 2, 1.0, 2);
-        let exec = Executor::new(FusionMode::Gen);
+        let exec = Engine::new(FusionMode::Gen);
         let short =
             run(&exec, &x, &y, &MLogregConfig { max_outer: 1, max_inner: 2, ..Default::default() });
         let long =

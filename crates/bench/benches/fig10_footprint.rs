@@ -7,7 +7,7 @@ use fusedml_core::codegen::CodegenOptions;
 use fusedml_hop::interp::Bindings;
 use fusedml_hop::DagBuilder;
 use fusedml_linalg::generate;
-use fusedml_runtime::{Executor, FusionMode};
+use fusedml_runtime::{Engine, FusionMode};
 
 fn footprint_dag(rows: usize, cols: usize, n_ops: usize) -> fusedml_hop::HopDag {
     let mut b = DagBuilder::new();
@@ -30,7 +30,7 @@ fn benches(c: &mut Criterion) {
     // every link materializes, frees at last use, and draws from the pool.
     {
         let dag = footprint_dag(rows, cols, 8);
-        let exec = Executor::new(FusionMode::Base);
+        let exec = Engine::new(FusionMode::Base);
         let _ = exec.execute(&dag, &bindings);
         let mut g = c.benchmark_group("fig10_chain_scheduled");
         g.sample_size(10);
@@ -44,9 +44,9 @@ fn benches(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("fig10_n{n_ops}"));
         g.sample_size(10);
         for (label, inline) in [("primitives", false), ("inlined", true)] {
-            let mut exec = Executor::new(FusionMode::Gen);
-            exec.optimizer.codegen =
-                CodegenOptions { inline_primitives: inline, ..Default::default() };
+            let exec = Engine::builder(FusionMode::Gen)
+                .codegen_options(CodegenOptions { inline_primitives: inline, ..Default::default() })
+                .build();
             let _ = exec.execute(&dag, &bindings);
             g.bench_function(label, |b| {
                 b.iter(|| std::hint::black_box(exec.execute(&dag, &bindings)))

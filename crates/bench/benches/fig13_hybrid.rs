@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fusedml_algos::kmeans;
-use fusedml_runtime::{Executor, FusionMode};
+use fusedml_runtime::{Engine, FusionMode};
 
 fn benches(c: &mut Criterion) {
     let x = kmeans::synthetic_data(10_000, 100, 1.0, 8);
@@ -12,8 +12,10 @@ fn benches(c: &mut Criterion) {
         g.sample_size(10);
         for mode in [FusionMode::Base, FusionMode::Gen] {
             let cfg = kmeans::KMeansConfig { k, max_iter: 2, ..Default::default() };
+            // One engine per mode: timed iterations run with warm pool + caches.
+            let engine = Engine::new(mode);
             g.bench_function(format!("{mode:?}"), |b| {
-                b.iter(|| std::hint::black_box(kmeans::run(&Executor::new(mode), &x, &cfg)))
+                b.iter(|| std::hint::black_box(kmeans::run(&engine, &x, &cfg)))
             });
         }
         g.finish();

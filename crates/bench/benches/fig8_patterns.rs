@@ -5,13 +5,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fusedml_bench::experiments::fig8;
 use fusedml_hop::interp::Bindings;
 use fusedml_linalg::generate;
-use fusedml_runtime::{Executor, FusionMode};
+use fusedml_runtime::{Engine, FusionMode};
 
 fn bench_pattern(c: &mut Criterion, group: &str, dag: &fusedml_hop::HopDag, bindings: &Bindings) {
     let mut g = c.benchmark_group(group);
     g.sample_size(10);
     for mode in [FusionMode::Base, FusionMode::Fused, FusionMode::Gen] {
-        let exec = Executor::new(mode);
+        let exec = Engine::new(mode);
         let _ = exec.execute(dag, bindings); // compile
         g.bench_function(format!("{mode:?}"), |b| {
             b.iter(|| std::hint::black_box(exec.execute(dag, bindings)))

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fusedml_algos::{alscg, l2svm};
-use fusedml_runtime::{Executor, FusionMode};
+use fusedml_runtime::{Engine, FusionMode};
 
 fn benches(c: &mut Criterion) {
     // Table 4 representative: L2SVM on 50k x 10 dense.
@@ -12,8 +12,10 @@ fn benches(c: &mut Criterion) {
     g.sample_size(10);
     for mode in [FusionMode::Base, FusionMode::Fused, FusionMode::Gen] {
         let cfg = l2svm::L2svmConfig { max_iter: 5, ..Default::default() };
+        // One engine per mode: timed iterations run with warm pool + caches.
+        let engine = Engine::new(mode);
         g.bench_function(format!("{mode:?}"), |b| {
-            b.iter(|| std::hint::black_box(l2svm::run(&Executor::new(mode), &x, &y, &cfg)))
+            b.iter(|| std::hint::black_box(l2svm::run(&engine, &x, &y, &cfg)))
         });
     }
     g.finish();
@@ -25,8 +27,9 @@ fn benches(c: &mut Criterion) {
     g.sample_size(10);
     for mode in [FusionMode::Fused, FusionMode::Gen] {
         let cfg = alscg::AlsConfig { rank: 20, max_iter: 1, ..Default::default() };
+        let engine = Engine::new(mode);
         g.bench_function(format!("{mode:?}"), |b| {
-            b.iter(|| std::hint::black_box(alscg::run(&Executor::new(mode), &xa, &cfg)))
+            b.iter(|| std::hint::black_box(alscg::run(&engine, &xa, &cfg)))
         });
     }
     g.finish();

@@ -9,7 +9,7 @@ use fusedml_bench::experiments::fig8;
 use fusedml_core::spoof::block::{self, CellBackend};
 use fusedml_hop::interp::Bindings;
 use fusedml_linalg::generate;
-use fusedml_runtime::{Executor, FusionMode};
+use fusedml_runtime::{Engine, FusionMode};
 
 const WIDTHS: [usize; 7] = [32, 64, 128, 256, 512, 1024, 2048];
 
@@ -20,7 +20,7 @@ fn benches(c: &mut Criterion) {
     for (i, n) in ["X", "Y", "Z"].iter().enumerate() {
         b.insert(n.to_string(), generate::rand_dense(rows, cols, -1.0, 1.0, i as u64));
     }
-    let exec = Executor::new(FusionMode::Gen);
+    let exec = Engine::new(FusionMode::Gen);
     let _ = exec.execute(&dag, &b); // compile
 
     for (group, backend) in [

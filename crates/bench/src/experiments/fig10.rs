@@ -17,7 +17,7 @@ use fusedml_core::codegen::CodegenOptions;
 use fusedml_hop::interp::Bindings;
 use fusedml_hop::DagBuilder;
 use fusedml_linalg::generate;
-use fusedml_runtime::{Executor, FusionMode};
+use fusedml_runtime::{Engine, FusionMode};
 use std::time::Instant;
 
 fn footprint_dag(rows: usize, cols: usize, n_ops: usize) -> fusedml_hop::HopDag {
@@ -45,11 +45,11 @@ pub fn measure_footprint(
     let dag = footprint_dag(rows, cols, n_ops);
     let mut bindings = Bindings::new();
     bindings.insert("X".to_string(), generate::rand_dense(rows, cols, 0.5, 2.0, 1));
-    let exec = Executor::new(mode);
+    let exec = Engine::new(mode);
     let _ = exec.execute(&dag, &bindings); // cold run compiles + fills pool
-    exec.stats.reset();
+    exec.stats().reset();
     let _ = exec.execute(&dag, &bindings); // warm run: steady-state numbers
-    let s = exec.stats.scheduler_snapshot();
+    let s = exec.stats().scheduler_snapshot();
     (
         s.peak_bytes,
         s.resident_all_bytes,
@@ -131,8 +131,7 @@ pub fn run(scale: Scale) {
     for n_ops in sweep {
         let dag = footprint_dag(rows, cols, n_ops);
         let time_with = |opts: CodegenOptions| -> (f64, usize, String) {
-            let mut exec = Executor::new(FusionMode::Gen);
-            exec.optimizer.codegen = opts;
+            let exec = Engine::builder(FusionMode::Gen).codegen_options(opts).build();
             let _ = exec.execute(&dag, &bindings); // warm-up/compile
             let plan = exec.plan_for(&dag);
             let code = plan.operators.iter().map(|o| o.op.code_size).max().unwrap_or(0);

@@ -6,7 +6,7 @@ use super::Scale;
 use crate::report::Table;
 use crate::{mode_label, MODES};
 use fusedml_algos::{kmeans, mlogreg};
-use fusedml_runtime::Executor;
+use fusedml_runtime::Engine;
 
 pub fn run(scale: Scale) {
     let (n, m) = scale.pick((20_000, 100), (200_000, 100));
@@ -22,7 +22,7 @@ pub fn run(scale: Scale) {
             mlogreg::MLogregConfig { classes: k, max_outer: 2, max_inner: 3, ..Default::default() };
         let mut row = vec![k.to_string()];
         for mode in MODES {
-            let r = mlogreg::run(&Executor::new(mode), &x, &y, &cfg);
+            let r = mlogreg::run(&Engine::new(mode), &x, &y, &cfg);
             row.push(Table::secs(r.seconds));
             let _ = mode_label(mode);
         }
@@ -39,7 +39,7 @@ pub fn run(scale: Scale) {
         let cfg = kmeans::KMeansConfig { k, max_iter: 3, ..Default::default() };
         let mut row = vec![k.to_string()];
         for mode in MODES {
-            let r = kmeans::run(&Executor::new(mode), &x, &cfg);
+            let r = kmeans::run(&Engine::new(mode), &x, &cfg);
             row.push(Table::secs(r.seconds));
         }
         t.row(row);

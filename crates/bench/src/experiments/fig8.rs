@@ -232,7 +232,7 @@ mod tests {
     use super::*;
     use fusedml_core::spoof::block::{compile_row_kernel, RowFastKernel};
     use fusedml_core::spoof::FusedSpec;
-    use fusedml_runtime::{Executor, FusionMode};
+    use fusedml_runtime::{Engine, FusionMode};
 
     /// The mlogreg-style bench pattern must select a Row operator whose
     /// lowered kernel executes sparse mains over non-zeros through the
@@ -240,7 +240,7 @@ mod tests {
     #[test]
     fn row_sparse_pattern_compiles_to_sparse_mv_chain() {
         let (dag, _) = row_sparse_dag(500, 80, 0.01);
-        let exec = Executor::new(FusionMode::Gen);
+        let exec = Engine::new(FusionMode::Gen);
         let plan = exec.plan_for(&dag);
         let row = plan
             .operators

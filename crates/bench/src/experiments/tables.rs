@@ -8,7 +8,7 @@ use fusedml_algos::{alscg, autoencoder, glm, kmeans, l2svm, mlogreg};
 use fusedml_hop::interp::Bindings;
 use fusedml_linalg::{generate, Matrix};
 use fusedml_runtime::dist::{execute_dist, SimCluster};
-use fusedml_runtime::{Executor, FusionMode};
+use fusedml_runtime::{Engine, FusionMode};
 
 /// Table 3: end-to-end compilation overhead per algorithm (Mnist60k-like
 /// input; plan caching across iterations disabled to expose per-DAG
@@ -19,11 +19,12 @@ pub fn table3(scale: Scale) {
         &format!("Table 3: compilation overhead (Mnist60k-like {n}x{m}, Gen)"),
         &["algorithm", "total [s]", "#DAGs/#CPlans/#compiled", "codegen [ms]", "opt [ms]"],
     );
-    let mut run_algo = |name: &str, f: &mut dyn FnMut(&Executor) -> f64| {
-        let mut exec = Executor::new(FusionMode::Gen);
-        exec.cache_plans = false; // re-optimize per iteration (recompilation)
+    let mut run_algo = |name: &str, f: &mut dyn FnMut(&Engine) -> f64| {
+        // Re-optimize per iteration (recompilation), as SystemML's dynamic
+        // recompilation does.
+        let exec = Engine::builder(FusionMode::Gen).cache_plans(false).build();
         let secs = f(&exec);
-        let s = exec.optimizer.stats.snapshot();
+        let s = exec.optimizer().stats.snapshot();
         t.row(vec![
             name.to_string(),
             Table::secs(secs),
@@ -87,7 +88,7 @@ pub fn table4(scale: Scale) {
         let mut row = vec!["L2SVM".to_string(), data_label.clone()];
         for mode in MODES {
             let r = l2svm::run(
-                &Executor::new(mode),
+                &Engine::new(mode),
                 &x,
                 &y,
                 &l2svm::L2svmConfig { max_iter: 10, ..Default::default() },
@@ -99,7 +100,7 @@ pub fn table4(scale: Scale) {
         let mut row = vec!["MLogreg".to_string(), data_label.clone()];
         for mode in MODES {
             let r = mlogreg::run(
-                &Executor::new(mode),
+                &Engine::new(mode),
                 &xm,
                 &ym,
                 &mlogreg::MLogregConfig {
@@ -116,7 +117,7 @@ pub fn table4(scale: Scale) {
         let mut row = vec!["GLM".to_string(), data_label.clone()];
         for mode in MODES {
             let r = glm::run(
-                &Executor::new(mode),
+                &Engine::new(mode),
                 &xg,
                 &yg,
                 &glm::GlmConfig { max_outer: 3, max_inner: 3, ..Default::default() },
@@ -128,7 +129,7 @@ pub fn table4(scale: Scale) {
         let mut row = vec!["KMeans".to_string(), data_label.clone()];
         for mode in MODES {
             let r = kmeans::run(
-                &Executor::new(mode),
+                &Engine::new(mode),
                 &xk,
                 &kmeans::KMeansConfig { k: 5, max_iter: 5, ..Default::default() },
             );
@@ -143,7 +144,7 @@ pub fn table4(scale: Scale) {
     let mut row = vec!["L2SVM".to_string(), "Airline78-like".to_string()];
     for mode in MODES {
         let r = l2svm::run(
-            &Executor::new(mode),
+            &Engine::new(mode),
             &airline,
             &ya,
             &l2svm::L2svmConfig { max_iter: 10, ..Default::default() },
@@ -157,7 +158,7 @@ pub fn table4(scale: Scale) {
     let mut row = vec!["L2SVM".to_string(), "Mnist8m-like".to_string()];
     for mode in MODES {
         let r = l2svm::run(
-            &Executor::new(mode),
+            &Engine::new(mode),
             &mnist,
             &ymn,
             &l2svm::L2svmConfig { max_iter: 10, ..Default::default() },
@@ -191,7 +192,7 @@ pub fn table5(scale: Scale) {
                 continue;
             }
             let r = alscg::run(
-                &Executor::new(mode),
+                &Engine::new(mode),
                 &x,
                 &alscg::AlsConfig { rank: 20, max_iter: 2, ..Default::default() },
             );
@@ -211,7 +212,7 @@ pub fn table5(scale: Scale) {
             continue;
         }
         let r = alscg::run(
-            &Executor::new(mode),
+            &Engine::new(mode),
             &netflix,
             &alscg::AlsConfig { rank: 20, max_iter: 2, ..Default::default() },
         );
@@ -225,7 +226,7 @@ pub fn table5(scale: Scale) {
         let mut row = vec!["AutoEncoder".to_string(), format!("{n}x{m}")];
         for mode in MODES {
             let r = autoencoder::run(
-                &Executor::new(mode),
+                &Engine::new(mode),
                 &x,
                 &autoencoder::AeConfig { epochs: 1, ..Default::default() },
             );
@@ -251,7 +252,7 @@ pub fn table6(scale: Scale) {
         &["algorithm", "Base", "Fused", "Gen", "Gen-FA", "Gen-FNR", "Gen broadcasts"],
     );
     let run_iters = |mode: FusionMode, dag: &fusedml_hop::HopDag, bindings: &Bindings| {
-        let exec = Executor::new(mode);
+        let exec = Engine::new(mode);
         let _warmup = execute_dist(&exec, dag, bindings, &cluster);
         let mut total = 0.0;
         let mut bc = 0;

@@ -17,22 +17,25 @@ pub mod report;
 
 use fusedml_hop::interp::Bindings;
 use fusedml_hop::HopDag;
-use fusedml_runtime::{Executor, FusionMode};
+use fusedml_runtime::{Engine, FusionMode};
 use std::time::Instant;
 
 /// All execution modes of the evaluation, in table order.
 pub const MODES: [FusionMode; 5] =
     [FusionMode::Base, FusionMode::Fused, FusionMode::Gen, FusionMode::GenFA, FusionMode::GenFNR];
 
-/// Median wall-clock seconds of `reps` executions of a DAG under a mode
-/// (one warm-up execution compiles the operators into the plan cache).
+/// Median wall-clock seconds of `reps` executions of a DAG under a mode.
+/// The DAG is compiled once ([`Engine::compile`]); the warm-up execution
+/// fills the buffer pool, and the timed repetitions run the compiled script
+/// with zero re-optimization.
 pub fn time_dag(mode: FusionMode, dag: &HopDag, bindings: &Bindings, reps: usize) -> f64 {
-    let exec = Executor::new(mode);
-    let _ = exec.execute(dag, bindings); // warm-up + compile
+    let engine = Engine::new(mode);
+    let script = engine.compile(dag);
+    let _ = script.execute(bindings); // warm-up: fills pool + kernel caches
     let mut times: Vec<f64> = (0..reps.max(1))
         .map(|_| {
             let t0 = Instant::now();
-            let _ = exec.execute(dag, bindings);
+            let _ = script.execute(bindings);
             t0.elapsed().as_secs_f64()
         })
         .collect();

@@ -54,6 +54,63 @@ pub struct FusedOperator {
 #[derive(Clone, Debug, Default)]
 pub struct FusionPlan {
     pub operators: Vec<FusedOperator>,
+    /// Structural hash of the DAG this plan was optimized for (operator
+    /// kinds, edges, *sizes*). Executors revalidate against the DAG they are
+    /// asked to run: a mismatch means the bound geometry changed since
+    /// costing and the plan must not be trusted (see
+    /// [`FusionPlan::matches`]).
+    pub dag_hash: u64,
+}
+
+impl FusionPlan {
+    /// True when this plan was optimized for exactly this DAG (same
+    /// structure and sizes).
+    pub fn matches(&self, dag: &HopDag) -> bool {
+        self.dag_hash == dag_structural_hash(dag)
+    }
+}
+
+/// A structural hash of a DAG (operator kinds, edges, sizes, *and* sparsity
+/// estimates) — the key of per-engine fusion-plan caches and the token plan
+/// revalidation compares. Sparsity is part of the key because costing
+/// depends on it: a geometry-revalidation recompile that re-probes bound
+/// sparsity must not be served a plan costed under a different data
+/// profile. For identical DAG structures sparsity derives deterministically
+/// from the declared reads, so including it adds no cache fragmentation.
+///
+/// This runs on the per-execute hot path (the engine's plan/script cache
+/// probe), so it feeds a hasher directly — no string rendering.
+pub fn dag_structural_hash(dag: &HopDag) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = crate::util::FxHasher::default();
+    for hop in dag.iter() {
+        hash_op_kind(&hop.kind, &mut h);
+        hop.inputs.hash(&mut h);
+        hop.size.rows.hash(&mut h);
+        hop.size.cols.hash(&mut h);
+        hop.size.sparsity.to_bits().hash(&mut h);
+    }
+    dag.roots().hash(&mut h);
+    h.finish()
+}
+
+/// Hashes an [`fusedml_hop::OpKind`] structurally (`f64` literals by bit
+/// pattern — the same identity the builder's CSE uses).
+fn hash_op_kind(kind: &fusedml_hop::OpKind, h: &mut impl std::hash::Hasher) {
+    use fusedml_hop::OpKind;
+    use std::hash::Hash;
+    std::mem::discriminant(kind).hash(h);
+    match kind {
+        OpKind::Read { name } => name.hash(h),
+        OpKind::Literal { value } => value.to_bits().hash(h),
+        OpKind::Unary { op } => op.hash(h),
+        OpKind::Binary { op } => op.hash(h),
+        OpKind::Ternary { op } => op.hash(h),
+        OpKind::Agg { op, dir } => (op, dir).hash(h),
+        OpKind::CumAgg { op } => op.hash(h),
+        OpKind::RightIndex { rows, cols } => (rows, cols).hash(h),
+        OpKind::MatMult | OpKind::Transpose | OpKind::CBind | OpKind::RBind | OpKind::Diag => {}
+    }
 }
 
 impl FusionPlan {
@@ -86,14 +143,21 @@ pub struct Optimizer {
 }
 
 impl Optimizer {
-    /// Creates an optimizer with default model and options.
+    /// Creates an optimizer with default model and options (and its own
+    /// private plan cache).
     pub fn new(mode: FusionMode) -> Self {
+        Self::with_plan_cache(mode, Arc::new(PlanCache::new()))
+    }
+
+    /// Creates an optimizer over an engine-owned plan cache (which in turn
+    /// warms the engine's kernel caches).
+    pub fn with_plan_cache(mode: FusionMode, plan_cache: Arc<PlanCache>) -> Self {
         Optimizer {
             mode,
             model: CostModel::default(),
             codegen: CodegenOptions::default(),
             enum_cfg: EnumConfig::default(),
-            plan_cache: Arc::new(PlanCache::new()),
+            plan_cache,
             stats: Arc::new(CodegenStats::new()),
         }
     }
@@ -101,7 +165,7 @@ impl Optimizer {
     /// Optimizes one HOP DAG into a fusion plan.
     pub fn optimize(&self, dag: &HopDag) -> FusionPlan {
         if !self.mode.uses_codegen() {
-            return FusionPlan::default();
+            return FusionPlan { dag_hash: dag_structural_hash(dag), ..FusionPlan::default() };
         }
         let t0 = Instant::now();
         self.stats.dags_optimized.fetch_add(1, Ordering::Relaxed);
@@ -124,7 +188,7 @@ impl Optimizer {
 
         // Phases 3-4: CPlan construction + code generation (plan cache).
         let t1 = Instant::now();
-        let mut plan = FusionPlan::default();
+        let mut plan = FusionPlan { dag_hash: dag_structural_hash(dag), ..FusionPlan::default() };
         let in_magg: crate::util::FxHashSet<usize> =
             sel.magg_groups.iter().flatten().copied().collect();
 

@@ -6,6 +6,11 @@
 //! one compiled operator. The cache also tracks hit/miss statistics and the
 //! cumulative compilation time, which the Figure 11 and Table 3 harnesses
 //! report.
+//!
+//! None of the caches here are process-wide: each `fusedml_runtime::Engine`
+//! owns one [`KernelCaches`] (the lowered block/row kernels the skeletons
+//! execute) and one [`PlanCache`] over it, so engines with different
+//! configurations never share compiled state.
 
 use crate::codegen::{generate, CodegenOptions, GeneratedOperator};
 use crate::cplan::CPlan;
@@ -13,16 +18,22 @@ use crate::spoof::block::{
     compile_kernel, compile_row_kernel, program_hash, row_kernel_hash, BlockKernel, RowKernel,
 };
 use crate::spoof::{FusedSpec, Program, RowSpec};
-use crate::util::FxHashMap;
+use crate::util::FifoMap;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// A concurrent plan cache for generated operators.
-#[derive(Default)]
+/// Default bound on distinct compiled operators retained per plan cache.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 1024;
+
+/// A concurrent, capacity-bounded plan cache for generated operators
+/// (FIFO eviction via [`FifoMap`]).
 pub struct PlanCache {
-    map: Mutex<FxHashMap<u64, Arc<GeneratedOperator>>>,
+    state: Mutex<FifoMap<Arc<GeneratedOperator>>>,
+    /// The kernel caches warmed on compilation (shared with the runtime
+    /// skeletons of the owning engine).
+    kernels: Arc<KernelCaches>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     /// Cumulative compile time (nanoseconds) spent on cache misses.
@@ -34,11 +45,37 @@ pub struct PlanCache {
     enabled: std::sync::atomic::AtomicBool,
 }
 
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
 impl PlanCache {
+    /// A plan cache with its own kernel caches and the default capacity.
     pub fn new() -> Self {
-        let pc = PlanCache::default();
+        Self::with_kernels(Arc::new(KernelCaches::default()), DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// A plan cache warming the given (engine-owned) kernel caches, retaining
+    /// at most `capacity` compiled operators.
+    pub fn with_kernels(kernels: Arc<KernelCaches>, capacity: usize) -> Self {
+        let pc = PlanCache {
+            state: Mutex::new(FifoMap::new(capacity)),
+            kernels,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            compile_nanos: AtomicU64::new(0),
+            name_counter: AtomicUsize::new(0),
+            enabled: std::sync::atomic::AtomicBool::new(true),
+        };
         pc.enabled.store(true, Ordering::Relaxed);
         pc
+    }
+
+    /// The kernel caches this plan cache warms.
+    pub fn kernels(&self) -> &Arc<KernelCaches> {
+        &self.kernels
     }
 
     /// Enables or disables cache lookups (compilation still records stats).
@@ -50,7 +87,7 @@ impl PlanCache {
     pub fn get_or_compile(&self, cplan: &CPlan, opts: &CodegenOptions) -> Arc<GeneratedOperator> {
         let key = cplan.structural_hash();
         if self.enabled.load(Ordering::Relaxed) {
-            if let Some(op) = self.map.lock().get(&key) {
+            if let Some(op) = self.state.lock().get(key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(op);
             }
@@ -68,21 +105,21 @@ impl PlanCache {
         match &op.spec {
             FusedSpec::Row(r) => {
                 if self.enabled.load(Ordering::Relaxed) {
-                    let _ = row_cache().get_or_lower(r, &cplan.side_dims);
+                    let _ = self.kernels.row.get_or_lower(r, &cplan.side_dims);
                 } else {
                     std::hint::black_box(compile_row_kernel(r, &cplan.side_dims));
                 }
             }
             _ => {
                 if self.enabled.load(Ordering::Relaxed) {
-                    let _ = block_cache().get_or_lower(op.spec.program());
+                    let _ = self.kernels.block.get_or_lower(op.spec.program());
                 } else {
                     std::hint::black_box(compile_kernel(op.spec.program()));
                 }
             }
         }
         self.compile_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.map.lock().insert(key, Arc::clone(&op));
+        self.state.lock().insert(key, Arc::clone(&op));
         op
     }
 
@@ -98,7 +135,7 @@ impl PlanCache {
 
     /// Number of distinct compiled operators.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.state.lock().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -107,43 +144,56 @@ impl PlanCache {
 
     /// Clears contents and statistics.
     pub fn clear(&self) {
-        self.map.lock().clear();
+        self.state.lock().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.compile_nanos.store(0, Ordering::Relaxed);
     }
 }
 
-/// Shared machinery of the kernel caches: a concurrent map keyed by a
-/// caller-computed structural hash, with hit/miss statistics. The concrete
-/// caches ([`BlockProgramCache`], [`RowKernelCache`]) wrap this with their
-/// key derivation and lowering function, and expose the statistics API
-/// through `Deref`.
+/// Default bound on distinct lowered kernels retained per kernel cache —
+/// kernels are keyed by structural program hash, so this comfortably covers
+/// every workload in the evaluation while keeping long-running engines with
+/// churning programs bounded (matching the plan cache's capacity policy).
+pub const DEFAULT_KERNEL_CACHE_CAPACITY: usize = 1024;
+
+/// Shared machinery of the kernel caches: a concurrent, capacity-bounded
+/// map keyed by a caller-computed structural hash, with hit/miss
+/// statistics. The concrete caches ([`BlockProgramCache`],
+/// [`RowKernelCache`]) wrap this with their key derivation and lowering
+/// function, and expose the statistics API through `Deref`. Eviction is
+/// FIFO, like [`PlanCache`]; in-flight `Arc`s keep evicted kernels alive
+/// until their executions finish.
 pub struct KernelCache<V> {
-    map: Mutex<FxHashMap<u64, Arc<V>>>,
+    state: Mutex<FifoMap<Arc<V>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
 
 impl<V> Default for KernelCache<V> {
     fn default() -> Self {
-        KernelCache {
-            map: Mutex::new(FxHashMap::default()),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-        }
+        Self::with_capacity(DEFAULT_KERNEL_CACHE_CAPACITY)
     }
 }
 
 impl<V> KernelCache<V> {
+    /// A cache retaining at most `capacity` lowered kernels.
+    pub fn with_capacity(capacity: usize) -> Self {
+        KernelCache {
+            state: Mutex::new(FifoMap::new(capacity)),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
     fn get_or_insert_with(&self, key: u64, lower: impl FnOnce() -> V) -> Arc<V> {
-        if let Some(k) = self.map.lock().get(&key) {
+        if let Some(k) = self.state.lock().get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(k);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let k = Arc::new(lower());
-        self.map.lock().insert(key, Arc::clone(&k));
+        self.state.lock().insert(key, Arc::clone(&k));
         k
     }
 
@@ -154,7 +204,7 @@ impl<V> KernelCache<V> {
 
     /// Number of distinct lowered kernels.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.state.lock().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -163,7 +213,7 @@ impl<V> KernelCache<V> {
 
     /// Clears contents and statistics.
     pub fn clear(&self) {
-        self.map.lock().clear();
+        self.state.lock().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -195,12 +245,6 @@ impl std::ops::Deref for BlockProgramCache {
     }
 }
 
-/// The process-wide block-kernel cache used by the runtime skeletons.
-pub fn block_cache() -> &'static BlockProgramCache {
-    static CACHE: OnceLock<BlockProgramCache> = OnceLock::new();
-    CACHE.get_or_init(BlockProgramCache::default)
-}
-
 /// A concurrent cache of band-lowered Row kernels keyed by
 /// [`row_kernel_hash`] (program + output + the side-geometry invariance
 /// bits) — the Row-template analogue of [`BlockProgramCache`], so a row
@@ -228,10 +272,32 @@ impl std::ops::Deref for RowKernelCache {
     }
 }
 
-/// The process-wide row-kernel cache used by the Row skeleton.
-pub fn row_cache() -> &'static RowKernelCache {
-    static CACHE: OnceLock<RowKernelCache> = OnceLock::new();
-    CACHE.get_or_init(RowKernelCache::default)
+/// The lowered-kernel caches of one engine: the block kernels the
+/// Cell/MAgg/Outer skeletons dispatch and the band-lowered Row kernels.
+/// Shared (via `Arc`) between the engine's [`PlanCache`] — which warms them
+/// at compile time — and its runtime skeletons, which look kernels up at
+/// execution time. There is deliberately no process-wide instance.
+#[derive(Default)]
+pub struct KernelCaches {
+    pub block: BlockProgramCache,
+    pub row: RowKernelCache,
+}
+
+impl KernelCaches {
+    /// A fresh, empty set of kernel caches behind a shareable handle.
+    pub fn shared() -> Arc<KernelCaches> {
+        Arc::new(KernelCaches::default())
+    }
+
+    /// Kernel caches bounded at `capacity` lowered kernels each (the engine
+    /// builder passes its plan-cache capacity, so the compiled-state bound
+    /// covers operators *and* their kernels).
+    pub fn with_capacity(capacity: usize) -> Arc<KernelCaches> {
+        Arc::new(KernelCaches {
+            block: BlockProgramCache { cache: KernelCache::with_capacity(capacity) },
+            row: RowKernelCache { cache: KernelCache::with_capacity(capacity) },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -324,14 +390,29 @@ mod tests {
     }
 
     #[test]
-    fn get_or_compile_warms_global_block_cache() {
+    fn get_or_compile_warms_kernel_caches() {
         let cache = PlanCache::new();
         let op = cache.get_or_compile(&tiny_cplan(41.5), &CodegenOptions::default());
-        // The global cache must now resolve the same program without
-        // lowering again (same Arc on both lookups).
-        let k1 = block_cache().get_or_lower(op.spec.program());
-        let k2 = block_cache().get_or_lower(op.spec.program());
+        // The engine-owned kernel cache must now resolve the same program
+        // without lowering again (a hit on the first lookup after warming).
+        let k1 = cache.kernels().block.get_or_lower(op.spec.program());
+        let k2 = cache.kernels().block.get_or_lower(op.spec.program());
         assert!(Arc::ptr_eq(&k1, &k2));
+        assert_eq!(cache.kernels().block.stats().0, 2, "both lookups hit the warmed cache");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_inserted() {
+        let cache = PlanCache::with_kernels(KernelCaches::shared(), 2);
+        let opts = CodegenOptions::default();
+        let _ = cache.get_or_compile(&tiny_cplan(1.0), &opts);
+        let _ = cache.get_or_compile(&tiny_cplan(2.0), &opts);
+        let _ = cache.get_or_compile(&tiny_cplan(3.0), &opts); // evicts 1.0
+        assert_eq!(cache.len(), 2);
+        let _ = cache.get_or_compile(&tiny_cplan(2.0), &opts); // still cached
+        assert_eq!(cache.stats().0, 1, "2.0 survives eviction");
+        let _ = cache.get_or_compile(&tiny_cplan(1.0), &opts); // recompiles
+        assert_eq!(cache.stats().1, 4, "1.0 was evicted and compiles again");
     }
 
     #[test]
@@ -361,6 +442,19 @@ mod tests {
         let c = cache.get_or_lower(&spec(), &[(20, 8)]);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn kernel_cache_capacity_evicts_fifo() {
+        let c: KernelCache<u32> = KernelCache::with_capacity(2);
+        let _ = c.get_or_insert_with(1, || 1);
+        let _ = c.get_or_insert_with(2, || 2);
+        let _ = c.get_or_insert_with(3, || 3); // evicts key 1
+        assert_eq!(c.len(), 2);
+        let _ = c.get_or_insert_with(2, || 22); // still cached
+        assert_eq!(c.stats().0, 1);
+        let _ = c.get_or_insert_with(1, || 11); // evicted: lowers again
+        assert_eq!(c.stats().1, 4);
     }
 
     #[test]

@@ -64,6 +64,58 @@ pub fn fx_hash<T: std::hash::Hash>(value: &T) -> u64 {
     h.finish()
 }
 
+/// A hash-keyed map bounded by FIFO eviction — the one retention policy
+/// shared by every compiled-state cache (generated operators, lowered
+/// kernels, fusion plans, compiled scripts). When the capacity is exceeded
+/// the oldest-inserted entry is dropped; values held elsewhere behind `Arc`
+/// stay alive until their users finish.
+pub struct FifoMap<V> {
+    map: FxHashMap<u64, V>,
+    order: std::collections::VecDeque<u64>,
+    capacity: usize,
+}
+
+impl<V> FifoMap<V> {
+    /// A map retaining at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        FifoMap {
+            map: FxHashMap::default(),
+            order: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.map.get(&key)
+    }
+
+    /// Inserts (or replaces) an entry, evicting the oldest-inserted entries
+    /// beyond the capacity.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.map.insert(key, value).is_none() {
+            self.order.push_back(key);
+            while self.map.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -74,84 +74,45 @@ impl DagBuilder {
 
     // ---- generic node constructors --------------------------------------
 
+    /// Creates (or CSE-resolves) a node whose size is inferred from its
+    /// inputs by [`size::infer`] — the same propagation the executor re-runs
+    /// when bound input geometry changes.
+    fn infer_node(&mut self, kind: OpKind, inputs: Vec<HopId>) -> HopId {
+        let sizes: Vec<SizeInfo> = inputs.iter().map(|&i| self.size_of(i)).collect();
+        let sz = size::infer(&kind, &sizes);
+        let key = self.op_key(&kind, &inputs);
+        self.intern(key, kind, inputs, sz)
+    }
+
     /// Element-wise binary with broadcasting; the output geometry follows the
     /// non-scalar operand.
     pub fn binary(&mut self, op: BinaryOp, a: HopId, b: HopId) -> HopId {
-        let sa = self.size_of(a);
-        let sb = self.size_of(b);
-        let (rows, cols) =
-            if sa.cells() >= sb.cells() { (sa.rows, sa.cols) } else { (sb.rows, sb.cols) };
-        // Broadcast legality mirrors ops::resolve_broadcast; checked here so
-        // shape errors surface at build time.
-        let compat = |big: SizeInfo, small: SizeInfo| {
-            (small.rows == big.rows || small.rows == 1)
-                && (small.cols == big.cols || small.cols == 1)
-        };
-        let (big, small) = if sa.cells() >= sb.cells() { (sa, sb) } else { (sb, sa) };
-        assert!(
-            compat(big, small),
-            "incompatible binary shapes {}x{} vs {}x{}",
-            sa.rows,
-            sa.cols,
-            sb.rows,
-            sb.cols
-        );
-        // Sparsity: broadcast vectors behave like dense inputs for estimation.
-        let sp = size::binary_sparsity(op, sa.sparsity, sb.sparsity);
-        let kind = OpKind::Binary { op };
-        let key = self.op_key(&kind, &[a, b]);
-        self.intern(key, kind, vec![a, b], SizeInfo::new(rows, cols, sp))
+        self.infer_node(OpKind::Binary { op }, vec![a, b])
     }
 
     /// Element-wise unary.
     pub fn unary(&mut self, op: UnaryOp, a: HopId) -> HopId {
-        let sa = self.size_of(a);
-        let sp = if op.sparse_safe() { sa.sparsity } else { 1.0 };
-        let kind = OpKind::Unary { op };
-        let key = self.op_key(&kind, &[a]);
-        self.intern(key, kind, vec![a], SizeInfo::new(sa.rows, sa.cols, sp))
+        self.infer_node(OpKind::Unary { op }, vec![a])
     }
 
     /// Fused scalar ternary.
     pub fn ternary(&mut self, op: TernaryOp, a: HopId, b: HopId, c: HopId) -> HopId {
-        let sa = self.size_of(a);
-        let kind = OpKind::Ternary { op };
-        let key = self.op_key(&kind, &[a, b, c]);
-        self.intern(key, kind, vec![a, b, c], SizeInfo::dense(sa.rows, sa.cols))
+        self.infer_node(OpKind::Ternary { op }, vec![a, b, c])
     }
 
     /// Matrix multiplication.
     pub fn mm(&mut self, a: HopId, b: HopId) -> HopId {
-        let sa = self.size_of(a);
-        let sb = self.size_of(b);
-        assert_eq!(
-            sa.cols, sb.rows,
-            "matmult shape mismatch {}x{} %*% {}x{}",
-            sa.rows, sa.cols, sb.rows, sb.cols
-        );
-        let sp = size::matmult_sparsity(sa.sparsity, sb.sparsity, sa.cols);
-        let key = self.op_key(&OpKind::MatMult, &[a, b]);
-        self.intern(key, OpKind::MatMult, vec![a, b], SizeInfo::new(sa.rows, sb.cols, sp))
+        self.infer_node(OpKind::MatMult, vec![a, b])
     }
 
     /// Transpose.
     pub fn t(&mut self, a: HopId) -> HopId {
-        let sa = self.size_of(a);
-        let key = self.op_key(&OpKind::Transpose, &[a]);
-        self.intern(key, OpKind::Transpose, vec![a], SizeInfo::new(sa.cols, sa.rows, sa.sparsity))
+        self.infer_node(OpKind::Transpose, vec![a])
     }
 
     /// Aggregation.
     pub fn agg(&mut self, op: AggOp, dir: AggDir, a: HopId) -> HopId {
-        let sa = self.size_of(a);
-        let (rows, cols) = match dir {
-            AggDir::Full => (1, 1),
-            AggDir::Row => (sa.rows, 1),
-            AggDir::Col => (1, sa.cols),
-        };
-        let kind = OpKind::Agg { op, dir };
-        let key = self.op_key(&kind, &[a]);
-        self.intern(key, kind, vec![a], SizeInfo::new(rows, cols, size::agg_sparsity(dir)))
+        self.infer_node(OpKind::Agg { op, dir }, vec![a])
     }
 
     /// Right indexing with optional static ranges.
@@ -161,55 +122,27 @@ impl DagBuilder {
         rows: Option<(usize, usize)>,
         cols: Option<(usize, usize)>,
     ) -> HopId {
-        let sa = self.size_of(a);
-        let (rl, ru) = rows.unwrap_or((0, sa.rows));
-        let (cl, cu) = cols.unwrap_or((0, sa.cols));
-        assert!(rl < ru && ru <= sa.rows, "row range {rl}..{ru} out of {}", sa.rows);
-        assert!(cl < cu && cu <= sa.cols, "col range {cl}..{cu} out of {}", sa.cols);
-        let kind = OpKind::RightIndex { rows, cols };
-        let key = self.op_key(&kind, &[a]);
-        self.intern(key, kind, vec![a], SizeInfo::new(ru - rl, cu - cl, sa.sparsity))
+        self.infer_node(OpKind::RightIndex { rows, cols }, vec![a])
     }
 
     /// Cumulative sum down the rows.
     pub fn cumsum(&mut self, a: HopId) -> HopId {
-        let sa = self.size_of(a);
-        let kind = OpKind::CumAgg { op: AggOp::Sum };
-        let key = self.op_key(&kind, &[a]);
-        self.intern(key, kind, vec![a], SizeInfo::dense(sa.rows, sa.cols))
+        self.infer_node(OpKind::CumAgg { op: AggOp::Sum }, vec![a])
     }
 
     /// Column binding.
     pub fn cbind(&mut self, a: HopId, b: HopId) -> HopId {
-        let sa = self.size_of(a);
-        let sb = self.size_of(b);
-        assert_eq!(sa.rows, sb.rows, "cbind row mismatch");
-        let sp = (sa.nnz() + sb.nnz()) / ((sa.cells() + sb.cells()) as f64).max(1.0);
-        let key = self.op_key(&OpKind::CBind, &[a, b]);
-        self.intern(key, OpKind::CBind, vec![a, b], SizeInfo::new(sa.rows, sa.cols + sb.cols, sp))
+        self.infer_node(OpKind::CBind, vec![a, b])
     }
 
     /// Row binding.
     pub fn rbind(&mut self, a: HopId, b: HopId) -> HopId {
-        let sa = self.size_of(a);
-        let sb = self.size_of(b);
-        assert_eq!(sa.cols, sb.cols, "rbind col mismatch");
-        let sp = (sa.nnz() + sb.nnz()) / ((sa.cells() + sb.cells()) as f64).max(1.0);
-        let key = self.op_key(&OpKind::RBind, &[a, b]);
-        self.intern(key, OpKind::RBind, vec![a, b], SizeInfo::new(sa.rows + sb.rows, sa.cols, sp))
+        self.infer_node(OpKind::RBind, vec![a, b])
     }
 
     /// `diag`.
     pub fn diag(&mut self, a: HopId) -> HopId {
-        let sa = self.size_of(a);
-        let sz = if sa.cols == 1 {
-            SizeInfo::new(sa.rows, sa.rows, 1.0 / sa.rows.max(1) as f64)
-        } else {
-            assert_eq!(sa.rows, sa.cols, "diag of non-square");
-            SizeInfo::dense(sa.rows, 1)
-        };
-        let key = self.op_key(&OpKind::Diag, &[a]);
-        self.intern(key, OpKind::Diag, vec![a], sz)
+        self.infer_node(OpKind::Diag, vec![a])
     }
 
     // ---- convenience wrappers (script-like surface) ----------------------

@@ -118,6 +118,62 @@ impl HopDag {
         live
     }
 
+    /// The declared geometry of every *live* `Read` input, sorted by name:
+    /// `(name, rows, cols)`. This is the geometry a compiled script was
+    /// costed under; executors compare it against the bound matrices to
+    /// decide whether the plan is still valid.
+    pub fn input_shapes(&self) -> Vec<(String, usize, usize)> {
+        let live = self.live_set();
+        let mut out: Vec<(String, usize, usize)> = self
+            .hops
+            .iter()
+            .filter(|h| live[h.id.index()])
+            .filter_map(|h| match &h.kind {
+                OpKind::Read { name } => Some((name.clone(), h.size.rows, h.size.cols)),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Rebuilds this DAG with updated `Read` geometry (and sparsity), re-
+    /// propagating every downstream size with [`crate::size::infer`] — the
+    /// recompile path when bound input geometry invalidates a costed plan.
+    /// `geometry` maps input names to `(rows, cols, sparsity)`; unnamed reads
+    /// keep their declared size. Panics when the new geometry is structurally
+    /// incompatible with the DAG (e.g. a matmult inner-dimension mismatch),
+    /// with the same messages the builder raises.
+    pub fn with_read_geometry(
+        &self,
+        geometry: &std::collections::HashMap<String, (usize, usize, f64)>,
+    ) -> HopDag {
+        // Only live hops execute, and only live reads were probed for the
+        // new geometry — dead nodes keep their declared sizes instead of
+        // being re-inferred (their stale inputs could be incompatible with
+        // the new shapes, and they never run).
+        let live = self.live_set();
+        let mut out = HopDag::new();
+        for h in &self.hops {
+            let size = match &h.kind {
+                OpKind::Read { name } => match geometry.get(name) {
+                    Some(&(rows, cols, sparsity)) => crate::SizeInfo::new(rows, cols, sparsity),
+                    None => h.size,
+                },
+                OpKind::Literal { .. } => h.size,
+                _ if !live[h.id.index()] => h.size,
+                kind => {
+                    let ins: Vec<crate::SizeInfo> =
+                        h.inputs.iter().map(|&i| out.hop(i).size).collect();
+                    crate::size::infer(kind, &ins)
+                }
+            };
+            out.push(h.kind.clone(), h.inputs.clone(), size);
+        }
+        out.roots = self.roots.clone();
+        out
+    }
+
     /// Renders an `explain`-style listing (one line per live node), for
     /// debugging and documentation examples.
     pub fn explain(&self) -> String {
@@ -189,6 +245,24 @@ mod tests {
         assert!(live[x.index()]);
         assert!(live[s.index()]);
         assert!(!live[1], "exp node should be dead");
+    }
+
+    #[test]
+    fn with_read_geometry_ignores_dead_nodes() {
+        // A dead mm(A, X) whose stale inner dimension (8) becomes
+        // incompatible once X grows to 16 rows — it never executes, so the
+        // re-propagation must not try to re-infer (and panic on) it.
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 8, 4, 1.0);
+        let a = b.read("A", 3, 8, 1.0);
+        let _dead = b.mm(a, x);
+        let s = b.sum(x);
+        let dag = b.build(vec![s]);
+        let geometry =
+            std::collections::HashMap::from([("X".to_string(), (16usize, 4usize, 1.0f64))]);
+        let reshaped = dag.with_read_geometry(&geometry);
+        assert_eq!(reshaped.hop(x).size.rows, 16, "live read reshaped");
+        assert_eq!(reshaped.hop(s).size.rows, 1, "live consumer re-inferred");
     }
 
     #[test]

@@ -14,6 +14,35 @@ use std::collections::HashMap;
 /// Execution-time bindings of `Read` names to matrices.
 pub type Bindings = HashMap<String, Matrix>;
 
+/// Builds [`Bindings`] from `(name, matrix)` pairs — the ergonomic way to
+/// bind inputs for `CompiledScript::execute` and the tests' oracle paths.
+///
+/// ```
+/// use fusedml_hop::interp::bind;
+/// use fusedml_linalg::Matrix;
+/// let b = bind(&[("X", Matrix::zeros(2, 2))]);
+/// assert!(b.contains_key("X"));
+/// ```
+pub fn bind(pairs: &[(&str, Matrix)]) -> Bindings {
+    pairs.iter().map(|(n, m)| (n.to_string(), m.clone())).collect()
+}
+
+/// The `(name, rows, cols)` geometry of the bound matrices for the given
+/// input names, sorted by name — the execution-side counterpart of
+/// [`crate::HopDag::input_shapes`]. Panics on a missing binding, mirroring
+/// the interpreter's unbound-input error.
+pub fn bound_shapes(bindings: &Bindings, names: &[String]) -> Vec<(String, usize, usize)> {
+    let mut out: Vec<(String, usize, usize)> = names
+        .iter()
+        .map(|n| {
+            let m = bindings.get(n).unwrap_or_else(|| panic!("unbound input matrix '{n}'"));
+            (n.clone(), m.rows(), m.cols())
+        })
+        .collect();
+    out.sort();
+    out
+}
+
 /// Executes all live operators bottom-up; returns the values of all nodes
 /// (dead nodes hold `None`).
 pub fn interpret_all(dag: &HopDag, bindings: &Bindings) -> Vec<Option<Value>> {

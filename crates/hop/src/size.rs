@@ -6,6 +6,7 @@
 //! bottom-up when nodes are created, using standard worst-case sparsity
 //! estimators.
 
+use crate::hop::OpKind;
 use fusedml_linalg::ops::{AggDir, BinaryOp};
 
 /// Inferred output geometry and sparsity of a HOP.
@@ -88,6 +89,98 @@ pub fn agg_sparsity(dir: AggDir) -> f64 {
     // Aggregates are treated as dense outputs (vectors/scalars).
     let _ = dir;
     1.0
+}
+
+/// Infers the output [`SizeInfo`] of an operator from its input sizes —
+/// the single source of truth shared by [`crate::builder::DagBuilder`] (when
+/// nodes are created) and [`crate::dag::HopDag::with_read_geometry`] (when a
+/// compiled DAG is re-propagated for changed input geometry). Panics on
+/// incompatible shapes with the same messages the builder always raised.
+///
+/// `Read` sizes are external facts and cannot be inferred; callers supply
+/// them directly.
+pub fn infer(kind: &OpKind, ins: &[SizeInfo]) -> SizeInfo {
+    match kind {
+        OpKind::Read { name } => panic!("Read '{name}' has no inferable size"),
+        OpKind::Literal { .. } => SizeInfo::scalar(),
+        OpKind::Unary { op } => {
+            let sa = ins[0];
+            let sp = if op.sparse_safe() { sa.sparsity } else { 1.0 };
+            SizeInfo::new(sa.rows, sa.cols, sp)
+        }
+        OpKind::Binary { op } => {
+            let (sa, sb) = (ins[0], ins[1]);
+            let (rows, cols) =
+                if sa.cells() >= sb.cells() { (sa.rows, sa.cols) } else { (sb.rows, sb.cols) };
+            // Broadcast legality mirrors ops::resolve_broadcast; checked here
+            // so shape errors surface at build/re-propagation time.
+            let compat = |big: SizeInfo, small: SizeInfo| {
+                (small.rows == big.rows || small.rows == 1)
+                    && (small.cols == big.cols || small.cols == 1)
+            };
+            let (big, small) = if sa.cells() >= sb.cells() { (sa, sb) } else { (sb, sa) };
+            assert!(
+                compat(big, small),
+                "incompatible binary shapes {}x{} vs {}x{}",
+                sa.rows,
+                sa.cols,
+                sb.rows,
+                sb.cols
+            );
+            // Sparsity: broadcast vectors behave like dense inputs here.
+            SizeInfo::new(rows, cols, binary_sparsity(*op, sa.sparsity, sb.sparsity))
+        }
+        OpKind::Ternary { .. } => SizeInfo::dense(ins[0].rows, ins[0].cols),
+        OpKind::MatMult => {
+            let (sa, sb) = (ins[0], ins[1]);
+            assert_eq!(
+                sa.cols, sb.rows,
+                "matmult shape mismatch {}x{} %*% {}x{}",
+                sa.rows, sa.cols, sb.rows, sb.cols
+            );
+            SizeInfo::new(sa.rows, sb.cols, matmult_sparsity(sa.sparsity, sb.sparsity, sa.cols))
+        }
+        OpKind::Transpose => SizeInfo::new(ins[0].cols, ins[0].rows, ins[0].sparsity),
+        OpKind::Agg { dir, .. } => {
+            let sa = ins[0];
+            let (rows, cols) = match dir {
+                AggDir::Full => (1, 1),
+                AggDir::Row => (sa.rows, 1),
+                AggDir::Col => (1, sa.cols),
+            };
+            SizeInfo::new(rows, cols, agg_sparsity(*dir))
+        }
+        OpKind::CumAgg { .. } => SizeInfo::dense(ins[0].rows, ins[0].cols),
+        OpKind::RightIndex { rows, cols } => {
+            let sa = ins[0];
+            let (rl, ru) = rows.unwrap_or((0, sa.rows));
+            let (cl, cu) = cols.unwrap_or((0, sa.cols));
+            assert!(rl < ru && ru <= sa.rows, "row range {rl}..{ru} out of {}", sa.rows);
+            assert!(cl < cu && cu <= sa.cols, "col range {cl}..{cu} out of {}", sa.cols);
+            SizeInfo::new(ru - rl, cu - cl, sa.sparsity)
+        }
+        OpKind::CBind => {
+            let (sa, sb) = (ins[0], ins[1]);
+            assert_eq!(sa.rows, sb.rows, "cbind row mismatch");
+            let sp = (sa.nnz() + sb.nnz()) / ((sa.cells() + sb.cells()) as f64).max(1.0);
+            SizeInfo::new(sa.rows, sa.cols + sb.cols, sp)
+        }
+        OpKind::RBind => {
+            let (sa, sb) = (ins[0], ins[1]);
+            assert_eq!(sa.cols, sb.cols, "rbind col mismatch");
+            let sp = (sa.nnz() + sb.nnz()) / ((sa.cells() + sb.cells()) as f64).max(1.0);
+            SizeInfo::new(sa.rows + sb.rows, sa.cols, sp)
+        }
+        OpKind::Diag => {
+            let sa = ins[0];
+            if sa.cols == 1 {
+                SizeInfo::new(sa.rows, sa.rows, 1.0 / sa.rows.max(1) as f64)
+            } else {
+                assert_eq!(sa.rows, sa.cols, "diag of non-square");
+                SizeInfo::dense(sa.rows, 1)
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ pub mod ops;
 pub mod par;
 pub mod pool;
 pub mod primitives;
+pub mod scoped;
 pub mod sparse;
 
 pub use dense::DenseMatrix;

@@ -150,14 +150,26 @@ impl Matrix {
         }
     }
 
-    /// Consumes a dying matrix, returning its dense buffer to the buffer
-    /// pool when this is the last reference (sparse payloads and shared
-    /// dense payloads are simply dropped). Call sites that know a value is
-    /// dead use this instead of `drop` so the next allocation is a pool hit.
+    /// Consumes a dying matrix, returning its buffers to the scoped buffer
+    /// pool when this is the last reference (shared payloads are simply
+    /// dropped). Dense matrices recycle their value buffer; sparse matrices
+    /// recycle the CSR value and index buffers. Call sites that know a value
+    /// is dead use this instead of `drop` so the next allocation is a pool
+    /// hit.
     pub fn recycle(self) {
-        if let Matrix::Dense(a) = self {
-            if let Some(d) = Arc::into_inner(a) {
-                crate::pool::give(d.into_values());
+        match self {
+            Matrix::Dense(a) => {
+                if let Some(d) = Arc::into_inner(a) {
+                    crate::pool::give(d.into_values());
+                }
+            }
+            Matrix::Sparse(a) => {
+                if let Some(s) = Arc::into_inner(a) {
+                    let (row_ptr, col_idx, values) = s.into_raw();
+                    crate::pool::give_indices(row_ptr);
+                    crate::pool::give_indices(col_idx);
+                    crate::pool::give(values);
+                }
             }
         }
     }
@@ -306,6 +318,30 @@ mod tests {
         let m = v.as_matrix();
         assert_eq!((m.rows(), m.cols()), (1, 1));
         assert_eq!(Value::Matrix(m).as_scalar(), 3.0);
+    }
+
+    #[test]
+    fn sparse_recycle_returns_csr_buffers_to_pool() {
+        let pool = crate::pool::BufferPool::handle();
+        let _scope = crate::pool::enter(&pool);
+        // Large enough that values/col_idx/row_ptr all clear the pooling
+        // threshold.
+        let mut d = DenseMatrix::zeros(100, 100);
+        for i in 0..100 {
+            for j in 0..100 {
+                if (i + j) % 7 == 0 {
+                    d.set(i, j, 1.0 + i as f64);
+                }
+            }
+        }
+        let m = Matrix::sparse(SparseMatrix::from_dense(&d));
+        let returns_before = pool.stats().returns;
+        m.recycle();
+        assert!(pool.stats().returns > returns_before, "CSR buffers must shelve");
+        // The next sparse construction is served from the recycled buffers.
+        let hits_before = pool.stats().hits;
+        let _again = SparseMatrix::from_dense(&d);
+        assert!(pool.stats().hits > hits_before, "rebuild reuses recycled CSR buffers");
     }
 
     #[test]

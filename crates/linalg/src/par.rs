@@ -4,7 +4,13 @@
 //! row ranges. We deliberately avoid a work-stealing runtime: static row
 //! partitioning matches SystemML's executor model and keeps the
 //! time-measurement behaviour of the benchmarks deterministic.
+//!
+//! Every helper propagates the caller's scoped buffer pool
+//! ([`crate::pool::current`]) into its band threads, so kernels that draw
+//! per-band scratch from the pool keep hitting the engine's pool when they
+//! run under internal parallelism.
 
+use crate::pool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -42,6 +48,7 @@ where
     }
     let k = k.min(n);
     let chunk = n.div_ceil(k);
+    let cur = pool::current_scope();
     std::thread::scope(|s| {
         for t in 0..k {
             let lo = t * chunk;
@@ -50,7 +57,11 @@ where
                 break;
             }
             let fref = &f;
-            s.spawn(move || fref(lo, hi));
+            let cur = &cur;
+            s.spawn(move || {
+                let _pool = cur.as_ref().map(pool::reenter);
+                fref(lo, hi)
+            });
         }
     });
 }
@@ -70,6 +81,7 @@ where
     }
     let k = k.min(n);
     let chunk = n.div_ceil(k);
+    let cur = pool::current_scope();
     let mut results: Vec<Option<T>> = Vec::new();
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(k);
@@ -80,7 +92,11 @@ where
                 break;
             }
             let mref = &map;
-            handles.push(s.spawn(move || mref(lo, hi)));
+            let cur = &cur;
+            handles.push(s.spawn(move || {
+                let _pool = cur.as_ref().map(pool::reenter);
+                mref(lo, hi)
+            }));
         }
         for h in handles {
             results.push(Some(h.join().expect("worker thread panicked")));
@@ -109,10 +125,13 @@ where
     }
     let k = k.min(rows);
     let band = rows.div_ceil(k);
+    let cur = pool::current_scope();
     std::thread::scope(|s| {
         for (t, chunk) in data.chunks_mut(band * row_len).enumerate() {
             let fref = &f;
+            let cur = &cur;
             s.spawn(move || {
+                let _pool = cur.as_ref().map(pool::reenter);
                 for (i, row) in chunk.chunks_exact_mut(row_len).enumerate() {
                     fref(t * band + i, row);
                 }
@@ -142,10 +161,15 @@ pub fn par_row_bands_mut<F>(
     }
     let k = k.min(rows);
     let band = rows.div_ceil(k);
+    let cur = pool::current_scope();
     std::thread::scope(|s| {
         for (t, chunk) in data.chunks_mut(band * row_len).enumerate() {
             let fref = &f;
-            s.spawn(move || fref(t * band, chunk));
+            let cur = &cur;
+            s.spawn(move || {
+                let _pool = cur.as_ref().map(pool::reenter);
+                fref(t * band, chunk)
+            });
         }
     });
 }

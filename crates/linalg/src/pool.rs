@@ -1,13 +1,23 @@
-//! Pooled dense-buffer allocator — the stand-in for SystemML's buffer pool.
+//! Pooled buffer allocator — the stand-in for SystemML's buffer pool.
 //!
 //! SystemML's control program manages intermediates through a buffer pool:
 //! operator outputs are acquired from and released back to a managed region,
 //! so iterative algorithms reach a steady state with near-zero fresh
 //! allocation. This module provides the same behaviour for the dense `f64`
-//! buffers that dominate this runtime's allocation volume.
+//! buffers that dominate this runtime's allocation volume, and for the
+//! `usize` index buffers of CSR sparse outputs.
 //!
 //! Design:
 //!
+//! * **Engine-owned.** There is no process-wide pool. Each
+//!   `fusedml_runtime::Engine` owns a [`BufferPool`] (behind a
+//!   [`PoolHandle`]) sized by its memory budget, so two engines with
+//!   different configurations coexist in one process without sharing
+//!   retention state. Kernels reach the pool through a *scoped* thread-local
+//!   handle ([`enter`]): the executor installs its engine's pool around each
+//!   task, and the parallel helpers in [`crate::par`] propagate the handle
+//!   into their band threads. Outside any scope the free functions degrade
+//!   to plain allocation — correct, just unpooled.
 //! * **Size-class keyed.** Buffers are binned by the power-of-two class of
 //!   their capacity (`⌊log2 cap⌋`, so a class-`k` shelf only holds buffers
 //!   with capacity ≥ `2^k`). A request of length `len` drains the
@@ -20,32 +30,104 @@
 //!   [`BufferPool::MAX_AGE`] epochs are released to the allocator. This
 //!   bounds retained memory across workload changes without a background
 //!   thread.
-//! * **Shared.** One global pool serves the scheduler workers, the fused
-//!   skeletons, and the basic-operator kernels; all methods are thread-safe
-//!   behind a single mutex (acquisition is per-operator / per-band, never
-//!   per-cell, so contention is negligible).
 
+use crate::scoped;
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Buffers below this length are not worth pooling (allocator fast paths
 /// beat the pool lock for tiny vectors).
 const MIN_POOL_LEN: usize = 64;
-/// Maximum retained buffers per size class.
-const MAX_PER_CLASS: usize = 32;
-/// Maximum total bytes retained by the pool (beyond this, `give` drops).
-const MAX_POOL_BYTES: usize = 1 << 30;
+/// Default maximum retained buffers per size class.
+const DEFAULT_MAX_PER_CLASS: usize = 32;
+/// Default maximum total bytes retained by a pool (beyond this, `give`
+/// drops).
+const DEFAULT_MAX_POOL_BYTES: usize = 1 << 30;
+
+/// A shared, thread-safe handle to an engine-owned buffer pool.
+pub type PoolHandle = Arc<BufferPool>;
 
 /// A pooled buffer with the epoch at which it was returned.
-struct Shelved {
-    buf: Vec<f64>,
+struct Shelved<T> {
+    buf: Vec<T>,
     epoch: u64,
+}
+
+/// Size-class shelves for one element type.
+struct Shelves<T> {
+    /// `classes[k]` holds buffers with capacity in `[2^k, 2^(k+1))`.
+    classes: Vec<Vec<Shelved<T>>>,
+}
+
+impl<T> Default for Shelves<T> {
+    fn default() -> Self {
+        Shelves { classes: Vec::new() }
+    }
+}
+
+impl<T> Shelves<T> {
+    /// The size class a request of `len` draws from: the exponent of the next
+    /// power of two ≥ `len`. Buffers shelved under class `k` have capacity
+    /// ≥ `2^k`, so any class-`k` request fits.
+    fn class_of(len: usize) -> usize {
+        len.next_power_of_two().trailing_zeros() as usize
+    }
+
+    /// Pops a buffer with capacity ≥ `len`, if one is shelved.
+    fn pop(&mut self, len: usize) -> Option<Vec<T>> {
+        let cls = Self::class_of(len);
+        let mut popped = self.classes.get_mut(cls).and_then(|shelf| shelf.pop());
+        if popped.is_none() && cls > 0 {
+            if let Some(shelf) = self.classes.get_mut(cls - 1) {
+                if let Some(i) = shelf.iter().rposition(|s| s.buf.capacity() >= len) {
+                    popped = Some(shelf.swap_remove(i));
+                }
+            }
+        }
+        popped.map(|s| s.buf)
+    }
+
+    /// Shelves a buffer under the floor-log2 class of its capacity (so a
+    /// class-`k` shelf only holds buffers with capacity ≥ `2^k`). Returns
+    /// `false` when the class is full.
+    fn push(&mut self, buf: Vec<T>, epoch: u64, max_per_class: usize) -> bool {
+        let cls = (usize::BITS - 1 - buf.capacity().leading_zeros()) as usize;
+        if self.classes.len() <= cls {
+            self.classes.resize_with(cls + 1, Vec::new);
+        }
+        let shelf = &mut self.classes[cls];
+        if shelf.len() >= max_per_class {
+            return false;
+        }
+        shelf.push(Shelved { buf, epoch });
+        true
+    }
+
+    /// Drops buffers older than `cutoff`; returns the freed element count.
+    fn retire_older_than(&mut self, cutoff: u64) -> usize {
+        let mut freed = 0usize;
+        for shelf in self.classes.iter_mut() {
+            shelf.retain(|s| {
+                if s.epoch < cutoff {
+                    freed += s.buf.capacity();
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        freed
+    }
 }
 
 #[derive(Default)]
 struct PoolState {
-    /// `classes[k]` holds buffers with capacity in `[2^k, 2^(k+1))`.
-    classes: Vec<Vec<Shelved>>,
+    /// Dense `f64` value buffers.
+    values: Shelves<f64>,
+    /// CSR `usize` index buffers (column indices / row pointers).
+    indices: Shelves<usize>,
     epoch: u64,
     retained_bytes: usize,
 }
@@ -86,10 +168,47 @@ impl PoolStats {
     }
 }
 
-/// A size-class keyed, epoch-bounded pool of dense `f64` buffers.
+/// Per-execution tally of pool requests: the scheduler installs one per
+/// `execute` call (see [`enter_tallied`]), and every pooled request made
+/// inside that scope — including from kernel band threads, which re-enter
+/// the caller's scope via [`crate::par`] — counts here as well as in the
+/// engine-wide pool counters. This is what makes per-call `SchedSnapshot`
+/// deltas exact under concurrent executions on one engine.
+#[derive(Debug, Default)]
+pub struct PoolTally {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PoolTally {
+    /// Requests served from the pool within this scope.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that fell through to fresh allocation within this scope.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+fn bump(counter: &AtomicU64, tally: Option<&PoolTally>, hit: bool) {
+    counter.fetch_add(1, Ordering::Relaxed);
+    if let Some(t) = tally {
+        let c = if hit { &t.hits } else { &t.misses };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A size-class keyed, epoch-bounded pool of dense `f64` value buffers and
+/// CSR `usize` index buffers.
 pub struct BufferPool {
     state: Mutex<PoolState>,
     counters: PoolCounters,
+    /// Maximum total bytes retained (beyond this, returns drop).
+    max_bytes: usize,
+    /// Maximum retained buffers per size class.
+    max_per_class: usize,
 }
 
 impl Default for BufferPool {
@@ -102,23 +221,36 @@ impl BufferPool {
     /// Buffers unused for more than this many epochs are released.
     pub const MAX_AGE: u64 = 8;
 
-    pub const fn new() -> Self {
+    /// A pool with the default retention limits (1 GiB, 32 buffers/class).
+    pub fn new() -> Self {
+        Self::with_limits(DEFAULT_MAX_POOL_BYTES, DEFAULT_MAX_PER_CLASS)
+    }
+
+    /// A pool with explicit retention limits: `max_bytes` caps the total
+    /// shelved bytes (an engine's memory budget for recycled buffers);
+    /// `max_per_class` caps the buffers kept per power-of-two size class.
+    pub fn with_limits(max_bytes: usize, max_per_class: usize) -> Self {
         BufferPool {
-            state: Mutex::new(PoolState { classes: Vec::new(), epoch: 0, retained_bytes: 0 }),
-            counters: PoolCounters {
-                hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
-                returns: AtomicU64::new(0),
-                drops: AtomicU64::new(0),
-            },
+            state: Mutex::new(PoolState::default()),
+            counters: PoolCounters::default(),
+            max_bytes,
+            max_per_class: max_per_class.max(1),
         }
     }
 
-    /// The size class a request of `len` draws from: the exponent of the next
-    /// power of two ≥ `len`. Buffers shelved under class `k` have capacity
-    /// ≥ `2^k`, so any class-`k` request fits.
+    /// A shareable handle to a fresh default pool.
+    pub fn handle() -> PoolHandle {
+        Arc::new(BufferPool::new())
+    }
+
+    /// The configured retention cap in bytes.
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    #[cfg(test)]
     fn class_of(len: usize) -> usize {
-        len.next_power_of_two().trailing_zeros() as usize
+        Shelves::<f64>::class_of(len)
     }
 
     /// Takes a zeroed buffer of exactly `len` elements, reusing a shelved
@@ -128,34 +260,30 @@ impl BufferPool {
     /// the class below for an entry whose capacity happens to fit (that is
     /// where exact-size non-power-of-two buffers retire to).
     pub fn take_zeroed(&self, len: usize) -> Vec<f64> {
+        self.take_zeroed_tallied(len, None)
+    }
+
+    fn take_zeroed_tallied(&self, len: usize, tally: Option<&PoolTally>) -> Vec<f64> {
         if len < MIN_POOL_LEN {
             return vec![0.0; len];
         }
-        let cls = Self::class_of(len);
         let reused = {
             let mut st = self.state.lock();
-            let mut popped = st.classes.get_mut(cls).and_then(|shelf| shelf.pop());
-            if popped.is_none() && cls > 0 {
-                if let Some(shelf) = st.classes.get_mut(cls - 1) {
-                    if let Some(i) = shelf.iter().rposition(|s| s.buf.capacity() >= len) {
-                        popped = Some(shelf.swap_remove(i));
-                    }
-                }
+            let popped = st.values.pop(len);
+            if let Some(b) = &popped {
+                st.retained_bytes -= b.capacity() * 8;
             }
-            if let Some(s) = &popped {
-                st.retained_bytes -= s.buf.capacity() * 8;
-            }
-            popped.map(|s| s.buf)
+            popped
         };
         match reused {
             Some(mut buf) => {
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.counters.hits, tally, true);
                 buf.clear();
                 buf.resize(len, 0.0);
                 buf
             }
             None => {
-                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                bump(&self.counters.misses, tally, false);
                 vec![0.0; len]
             }
         }
@@ -163,41 +291,125 @@ impl BufferPool {
 
     /// Takes a buffer initialized as a copy of `src` (pool-backed `to_vec`).
     pub fn take_copy(&self, src: &[f64]) -> Vec<f64> {
+        self.take_copy_tallied(src, None)
+    }
+
+    fn take_copy_tallied(&self, src: &[f64], tally: Option<&PoolTally>) -> Vec<f64> {
         if src.len() < MIN_POOL_LEN {
             return src.to_vec();
         }
-        let mut buf = self.take_zeroed(src.len());
+        let mut buf = self.take_zeroed_tallied(src.len(), tally);
         buf.copy_from_slice(src);
         buf
     }
 
-    /// Returns a buffer to the pool. Tiny buffers, overfull classes, and
-    /// anything beyond the global retention cap are dropped instead.
+    /// Returns a value buffer to the pool. Tiny buffers, overfull classes,
+    /// and anything beyond the retention cap are dropped instead.
     pub fn give(&self, buf: Vec<f64>) {
         if buf.capacity() < MIN_POOL_LEN {
             return;
         }
-        // Shelve by floor-log2 of capacity so a class-k shelf only holds
-        // buffers with capacity ≥ 2^k (a class-k request has len ≤ 2^k).
-        let cls = (usize::BITS - 1 - buf.capacity().leading_zeros()) as usize;
         let bytes = buf.capacity() * 8;
         let mut st = self.state.lock();
-        if st.retained_bytes + bytes > MAX_POOL_BYTES {
+        if st.retained_bytes + bytes > self.max_bytes {
             self.counters.drops.fetch_add(1, Ordering::Relaxed);
             return;
-        }
-        if st.classes.len() <= cls {
-            st.classes.resize_with(cls + 1, Vec::new);
         }
         let epoch = st.epoch;
-        let shelf = &mut st.classes[cls];
-        if shelf.len() >= MAX_PER_CLASS {
+        let max_per_class = self.max_per_class;
+        if st.values.push(buf, epoch, max_per_class) {
+            st.retained_bytes += bytes;
+            self.counters.returns.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.drops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes an *empty* `f64` buffer with capacity ≥ `cap` for push-based
+    /// construction (CSR values). The `f64` twin of
+    /// [`BufferPool::take_indices`].
+    pub fn take_values(&self, cap: usize) -> Vec<f64> {
+        self.take_values_tallied(cap, None)
+    }
+
+    fn take_values_tallied(&self, cap: usize, tally: Option<&PoolTally>) -> Vec<f64> {
+        if cap < MIN_POOL_LEN {
+            return Vec::with_capacity(cap);
+        }
+        let reused = {
+            let mut st = self.state.lock();
+            let popped = st.values.pop(cap);
+            if let Some(b) = &popped {
+                st.retained_bytes -= b.capacity() * 8;
+            }
+            popped
+        };
+        match reused {
+            Some(mut buf) => {
+                bump(&self.counters.hits, tally, true);
+                buf.clear();
+                buf
+            }
+            None => {
+                bump(&self.counters.misses, tally, false);
+                Vec::with_capacity(cap)
+            }
+        }
+    }
+
+    /// Takes an *empty* `usize` buffer with capacity ≥ `cap` for CSR index
+    /// construction (column indices, row pointers). The caller pushes into
+    /// it; return it with [`BufferPool::give_indices`] when the sparse value
+    /// dies.
+    pub fn take_indices(&self, cap: usize) -> Vec<usize> {
+        self.take_indices_tallied(cap, None)
+    }
+
+    fn take_indices_tallied(&self, cap: usize, tally: Option<&PoolTally>) -> Vec<usize> {
+        if cap < MIN_POOL_LEN {
+            return Vec::with_capacity(cap);
+        }
+        let reused = {
+            let mut st = self.state.lock();
+            let popped = st.indices.pop(cap);
+            if let Some(b) = &popped {
+                st.retained_bytes -= b.capacity() * std::mem::size_of::<usize>();
+            }
+            popped
+        };
+        match reused {
+            Some(mut buf) => {
+                bump(&self.counters.hits, tally, true);
+                buf.clear();
+                buf
+            }
+            None => {
+                bump(&self.counters.misses, tally, false);
+                Vec::with_capacity(cap)
+            }
+        }
+    }
+
+    /// Returns an index buffer to the pool (the `usize` twin of
+    /// [`BufferPool::give`]).
+    pub fn give_indices(&self, buf: Vec<usize>) {
+        if buf.capacity() < MIN_POOL_LEN {
+            return;
+        }
+        let bytes = buf.capacity() * std::mem::size_of::<usize>();
+        let mut st = self.state.lock();
+        if st.retained_bytes + bytes > self.max_bytes {
             self.counters.drops.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        shelf.push(Shelved { buf, epoch });
-        st.retained_bytes += bytes;
-        self.counters.returns.fetch_add(1, Ordering::Relaxed);
+        let epoch = st.epoch;
+        let max_per_class = self.max_per_class;
+        if st.indices.push(buf, epoch, max_per_class) {
+            st.retained_bytes += bytes;
+            self.counters.returns.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.drops.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Advances the pool epoch and releases buffers unused for more than
@@ -206,24 +418,16 @@ impl BufferPool {
         let mut st = self.state.lock();
         st.epoch += 1;
         let cutoff = st.epoch.saturating_sub(Self::MAX_AGE);
-        let mut freed = 0usize;
-        for shelf in st.classes.iter_mut() {
-            shelf.retain(|s| {
-                if s.epoch < cutoff {
-                    freed += s.buf.capacity() * 8;
-                    false
-                } else {
-                    true
-                }
-            });
-        }
+        let freed = st.values.retire_older_than(cutoff) * 8
+            + st.indices.retire_older_than(cutoff) * std::mem::size_of::<usize>();
         st.retained_bytes -= freed;
     }
 
     /// Releases every shelved buffer.
     pub fn clear(&self) {
         let mut st = self.state.lock();
-        st.classes.clear();
+        st.values.classes.clear();
+        st.indices.classes.clear();
         st.retained_bytes = 0;
     }
 
@@ -240,27 +444,116 @@ impl BufferPool {
     }
 }
 
-/// The process-wide pool shared by scheduler workers, skeletons, and kernels.
-static GLOBAL: BufferPool = BufferPool::new();
+// ---------------------------------------------------------------------------
+// Scoped thread-local pool: how kernels reach the engine's pool without the
+// handle being threaded through every call signature.
+// ---------------------------------------------------------------------------
 
-/// The global buffer pool.
-pub fn global() -> &'static BufferPool {
-    &GLOBAL
+/// One installed scope: the pool plus the per-execution tally (if any)
+/// that requests inside the scope should be attributed to. Opaque; obtained
+/// from [`current_scope`] and re-installed with [`reenter`] (how
+/// [`crate::par`] band threads inherit the caller's scope, tally included).
+#[derive(Clone)]
+pub struct ScopeHandle {
+    pool: PoolHandle,
+    tally: Option<Arc<PoolTally>>,
 }
 
-/// Takes a zeroed buffer of `len` elements from the global pool.
+thread_local! {
+    static CURRENT: scoped::Stack<ScopeHandle> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for an installed pool scope (see [`enter`]). Dropping it
+/// uninstalls the pool from the current thread; the shared
+/// [`crate::scoped`] machinery debug-asserts LIFO drop order (an
+/// out-of-order drop would route requests to the wrong engine's pool).
+pub struct PoolScope {
+    _guard: scoped::Guard<ScopeHandle>,
+}
+
+fn push_scope(scope: ScopeHandle) -> PoolScope {
+    PoolScope { _guard: scoped::push(&CURRENT, scope) }
+}
+
+/// Installs `pool` as the current thread's buffer pool until the returned
+/// guard drops. Nested scopes stack; the innermost wins. The executor enters
+/// a scope around each task, and [`crate::par`] helpers re-enter the caller's
+/// scope inside their band threads, so kernels can keep calling the free
+/// functions ([`take_zeroed`], [`give`], …) with no handle threading.
+pub fn enter(pool: &PoolHandle) -> PoolScope {
+    push_scope(ScopeHandle { pool: Arc::clone(pool), tally: None })
+}
+
+/// Like [`enter`], additionally attributing every pooled request in the
+/// scope to `tally` — the scheduler installs one tally per `execute` call,
+/// so per-call pool deltas stay exact under concurrent executions.
+pub fn enter_tallied(pool: &PoolHandle, tally: &Arc<PoolTally>) -> PoolScope {
+    push_scope(ScopeHandle { pool: Arc::clone(pool), tally: Some(Arc::clone(tally)) })
+}
+
+/// Re-installs a scope captured with [`current_scope`] (tally included).
+pub fn reenter(scope: &ScopeHandle) -> PoolScope {
+    push_scope(scope.clone())
+}
+
+/// The innermost scope installed on the current thread, if any.
+pub fn current_scope() -> Option<ScopeHandle> {
+    scoped::top(&CURRENT)
+}
+
+/// The pool installed on the current thread, if any.
+pub fn current() -> Option<PoolHandle> {
+    current_scope().map(|s| s.pool)
+}
+
+/// Takes a zeroed buffer of `len` elements from the current scope's pool
+/// (plain allocation outside any scope).
 pub fn take_zeroed(len: usize) -> Vec<f64> {
-    GLOBAL.take_zeroed(len)
+    match current_scope() {
+        Some(s) => s.pool.take_zeroed_tallied(len, s.tally.as_deref()),
+        None => vec![0.0; len],
+    }
 }
 
-/// Takes a pool-backed copy of `src` from the global pool.
+/// Takes a pool-backed copy of `src` from the current scope's pool.
 pub fn take_copy(src: &[f64]) -> Vec<f64> {
-    GLOBAL.take_copy(src)
+    match current_scope() {
+        Some(s) => s.pool.take_copy_tallied(src, s.tally.as_deref()),
+        None => src.to_vec(),
+    }
 }
 
-/// Returns a buffer to the global pool.
+/// Returns a value buffer to the current scope's pool (dropped outside any
+/// scope).
 pub fn give(buf: Vec<f64>) {
-    GLOBAL.give(buf)
+    if let Some(p) = current() {
+        p.give(buf);
+    }
+}
+
+/// Takes an empty `f64` value buffer with capacity ≥ `cap` from the current
+/// scope's pool.
+pub fn take_values(cap: usize) -> Vec<f64> {
+    match current_scope() {
+        Some(s) => s.pool.take_values_tallied(cap, s.tally.as_deref()),
+        None => Vec::with_capacity(cap),
+    }
+}
+
+/// Takes an empty `usize` index buffer with capacity ≥ `cap` from the
+/// current scope's pool.
+pub fn take_indices(cap: usize) -> Vec<usize> {
+    match current_scope() {
+        Some(s) => s.pool.take_indices_tallied(cap, s.tally.as_deref()),
+        None => Vec::with_capacity(cap),
+    }
+}
+
+/// Returns a `usize` index buffer to the current scope's pool.
+pub fn give_indices(buf: Vec<usize>) {
+    if let Some(p) = current() {
+        p.give_indices(buf);
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +626,11 @@ mod tests {
     fn epoch_bound_releases_stale_buffers() {
         let p = BufferPool::new();
         p.give(p.take_zeroed(1024));
+        p.give_indices({
+            let mut v = Vec::with_capacity(256);
+            v.push(1usize);
+            v
+        });
         assert!(p.stats().retained_bytes >= 1024 * 8);
         for _ in 0..=BufferPool::MAX_AGE {
             p.advance_epoch();
@@ -355,10 +653,66 @@ mod tests {
     }
 
     #[test]
+    fn byte_budget_is_respected() {
+        let p = BufferPool::with_limits(4096, 32);
+        p.give(p.take_zeroed(256)); // 2 KiB: fits
+        p.give(p.take_zeroed(512)); // would exceed 4 KiB: dropped
+        let s = p.stats();
+        assert_eq!(s.returns, 1);
+        assert_eq!(s.drops, 1);
+        assert!(s.retained_bytes <= 4096);
+    }
+
+    #[test]
     fn take_copy_matches_source() {
         let p = BufferPool::new();
         let src: Vec<f64> = (0..200).map(|i| i as f64).collect();
         let c = p.take_copy(&src);
         assert_eq!(c, src);
+    }
+
+    #[test]
+    fn index_buffers_recycle() {
+        let p = BufferPool::new();
+        let mut a = p.take_indices(300);
+        a.extend(0..300usize);
+        p.give_indices(a);
+        let b = p.take_indices(280);
+        assert!(b.is_empty(), "reused index buffers come back cleared");
+        assert!(b.capacity() >= 280);
+        assert_eq!(p.stats().hits, 1);
+    }
+
+    #[test]
+    fn scoped_pool_routes_free_functions() {
+        let pool = BufferPool::handle();
+        {
+            let _g = enter(&pool);
+            let b = take_zeroed(128);
+            give(b);
+            let b2 = take_zeroed(128);
+            assert_eq!(b2.len(), 128);
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits, 1, "second take inside the scope reuses the first");
+        // Outside any scope the free functions degrade to plain allocation.
+        assert!(current().is_none());
+        give(take_zeroed(128));
+        assert_eq!(pool.stats().hits, 1, "unscoped traffic never touches the pool");
+    }
+
+    #[test]
+    fn scopes_nest_innermost_wins() {
+        let outer = BufferPool::handle();
+        let inner = BufferPool::handle();
+        let _a = enter(&outer);
+        {
+            let _b = enter(&inner);
+            give(take_zeroed(256));
+        }
+        assert_eq!(inner.stats().misses, 1);
+        assert_eq!(outer.stats().misses, 0);
+        give(take_zeroed(256));
+        assert_eq!(outer.stats().misses, 1);
     }
 }

@@ -1,6 +1,12 @@
 //! CSR (compressed sparse row) matrices.
+//!
+//! Value and index buffers of freshly built CSR matrices are drawn from the
+//! current scope's buffer pool ([`crate::pool`]) and return to it when the
+//! matrix is recycled, so sparse fused-operator outputs reach the same
+//! steady-state zero-allocation behaviour as dense ones.
 
 use crate::dense::DenseMatrix;
+use crate::pool;
 
 /// A CSR sparse matrix of `f64` values.
 ///
@@ -51,12 +57,12 @@ impl SparseMatrix {
     }
 
     /// Builds a CSR matrix from (row, col, value) triples; duplicates are
-    /// summed, zeros dropped.
+    /// summed, zeros dropped. Buffers come from the scoped pool.
     pub fn from_triples(rows: usize, cols: usize, mut triples: Vec<(usize, usize, f64)>) -> Self {
         triples.sort_unstable_by_key(|&(r, c, _)| (r, c));
-        let mut row_ptr = vec![0usize; rows + 1];
-        let mut col_idx = Vec::with_capacity(triples.len());
-        let mut values: Vec<f64> = Vec::with_capacity(triples.len());
+        let mut counts = vec![0usize; rows + 1];
+        let mut col_idx = pool::take_indices(triples.len());
+        let mut values = pool::take_values(triples.len());
         let mut last: Option<(usize, usize)> = None;
         for (r, c, v) in triples {
             assert!(r < rows && c < cols, "triple out of range");
@@ -65,42 +71,42 @@ impl SparseMatrix {
             } else {
                 col_idx.push(c);
                 values.push(v);
-                row_ptr[r + 1] += 1;
+                counts[r + 1] += 1;
                 last = Some((r, c));
             }
         }
         // Drop explicit zeros produced by cancellation.
-        let mut keep_col = Vec::with_capacity(col_idx.len());
-        let mut keep_val = Vec::with_capacity(values.len());
-        let mut kept_per_row = vec![0usize; rows];
+        let mut keep_col = pool::take_indices(col_idx.len());
+        let mut keep_val = pool::take_values(values.len());
+        let mut ptr = pool::take_indices(rows + 1);
+        ptr.push(0);
         let mut pos = 0usize;
         for r in 0..rows {
-            let cnt = row_ptr[r + 1];
+            let cnt = counts[r + 1];
             for _ in 0..cnt {
                 if values[pos] != 0.0 {
                     keep_col.push(col_idx[pos]);
                     keep_val.push(values[pos]);
-                    kept_per_row[r] += 1;
                 }
                 pos += 1;
             }
+            ptr.push(keep_col.len());
         }
-        let mut ptr = vec![0usize; rows + 1];
-        for r in 0..rows {
-            ptr[r + 1] = ptr[r] + kept_per_row[r];
-        }
+        pool::give_indices(col_idx);
+        pool::give(values);
         SparseMatrix { rows, cols, row_ptr: ptr, col_idx: keep_col, values: keep_val }
     }
 
-    /// Converts a dense matrix to CSR, skipping zero cells.
+    /// Converts a dense matrix to CSR, skipping zero cells. Buffers come from
+    /// the scoped pool.
     pub fn from_dense(d: &DenseMatrix) -> Self {
         let rows = d.rows();
         let cols = d.cols();
-        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut row_ptr = pool::take_indices(rows + 1);
         row_ptr.push(0);
         let nnz = d.count_nnz();
-        let mut col_idx = Vec::with_capacity(nnz);
-        let mut values = Vec::with_capacity(nnz);
+        let mut col_idx = pool::take_indices(nnz);
+        let mut values = pool::take_values(nnz);
         for r in 0..rows {
             for (c, &v) in d.row(r).iter().enumerate() {
                 if v != 0.0 {
@@ -111,6 +117,12 @@ impl SparseMatrix {
             row_ptr.push(col_idx.len());
         }
         SparseMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Decomposes into the raw CSR buffers `(row_ptr, col_idx, values)` —
+    /// the recycling path back into the buffer pool.
+    pub fn into_raw(self) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+        (self.row_ptr, self.col_idx, self.values)
     }
 
     /// Materializes as a dense matrix.

@@ -21,7 +21,7 @@
 //! the report — instead of the seed behaviour of assuming every
 //! intermediate stays resident for free.
 
-use crate::exec::Executor;
+use crate::engine::Engine;
 use fusedml_core::optimizer::FusionPlan;
 use fusedml_core::util::FxHashMap;
 use fusedml_core::FusionMode;
@@ -91,14 +91,18 @@ pub struct DistReport {
 /// Executes a DAG on the simulated cluster, returning values and the
 /// accounting report.
 pub fn execute_dist(
-    exec: &Executor,
+    engine: &Engine,
     dag: &HopDag,
     bindings: &Bindings,
     cluster: &SimCluster,
 ) -> (Vec<Value>, DistReport) {
-    let plan: Arc<FusionPlan> = match exec.mode {
+    // The simulation runs real kernels on this thread: install the engine's
+    // pool and kernel caches so fused operators resolve their pre-lowered
+    // kernels (and recycle buffers) instead of re-lowering per execution.
+    let _scope = engine.scope();
+    let plan: Arc<FusionPlan> = match engine.mode() {
         FusionMode::Base | FusionMode::Fused => Arc::new(FusionPlan::default()),
-        _ => exec.plan_for(dag),
+        _ => engine.plan_for(dag),
     };
     let mut op_roots: FxHashMap<HopId, (usize, usize)> = FxHashMap::default();
     for (i, f) in plan.operators.iter().enumerate() {
@@ -380,9 +384,9 @@ mod tests {
         ]);
         // Budget below X's 1.6 MB so the op counts as distributed.
         let cluster = SimCluster { local_budget: 1e6, ..SimCluster::default() };
-        let exec = Executor::new(FusionMode::GenFA);
+        let exec = Engine::new(FusionMode::GenFA);
         let (outs, report) = execute_dist(&exec, &dag, &bindings, &cluster);
-        let base = Executor::new(FusionMode::Base).execute(&dag, &bindings);
+        let base = Engine::new(FusionMode::Base).execute(&dag, &bindings).into_values();
         assert!(fusedml_linalg::approx_eq(outs[0].as_scalar(), base[0].as_scalar(), 1e-9));
         assert!(report.dist_ops >= 1);
         assert!(report.broadcasts >= 1, "vector side input must broadcast");
@@ -401,7 +405,7 @@ mod tests {
             ("X", generate::rand_dense(50, 50, -1.0, 1.0, 3)),
             ("Y", generate::rand_dense(50, 50, -1.0, 1.0, 4)),
         ]);
-        let exec = Executor::new(FusionMode::Gen);
+        let exec = Engine::new(FusionMode::Gen);
         let (_, report) = execute_dist(&exec, &dag, &bindings, &SimCluster::default());
         assert_eq!(report.dist_ops, 0);
         assert_eq!(report.network_seconds, 0.0);
@@ -422,7 +426,7 @@ mod tests {
         let s = b.sum(cur);
         let dag = b.build(vec![s]);
         let bindings = bind(&[("X", generate::rand_dense(n, m, -0.1, 0.1, 7))]);
-        let exec = Executor::new(FusionMode::Base);
+        let exec = Engine::new(FusionMode::Base);
         // Budget below two live intermediates (3.84 MB): the chain must
         // evict even though frees keep the true peak at exactly two values.
         let cluster = SimCluster { local_budget: 3e6, ..SimCluster::default() };
@@ -446,7 +450,7 @@ mod tests {
         let s = b.sum(e);
         let dag = b.build(vec![s]);
         let bindings = bind(&[("X", generate::rand_dense(100, 100, -1.0, 1.0, 8))]);
-        let exec = Executor::new(FusionMode::Base);
+        let exec = Engine::new(FusionMode::Base);
         let (_, report) = execute_dist(&exec, &dag, &bindings, &SimCluster::default());
         assert_eq!(report.evictions, 0);
         assert_eq!(report.eviction_seconds, 0.0);
@@ -467,7 +471,7 @@ mod tests {
             ("Y", generate::rand_dense(n, m, -1.0, 1.0, 6)),
         ]);
         let cluster = SimCluster { local_budget: 1e6, ..SimCluster::default() };
-        let exec = Executor::new(FusionMode::Base);
+        let exec = Engine::new(FusionMode::Base);
         let (_, report) = execute_dist(&exec, &dag, &bindings, &cluster);
         // Both the multiply and the sum see the large input.
         assert!(report.dist_ops >= 2);

@@ -1,0 +1,744 @@
+//! The engine API: **compile once, execute concurrently**.
+//!
+//! The paper's premise is that fusion-plan optimization is an expensive
+//! compile-time investment amortized over many executions (Boehm et al.,
+//! VLDB 2018; the costing companion, Boehm 2015, makes the
+//! compile-once/run-many assumption explicit). This module makes that split
+//! the shape of the public API:
+//!
+//! * an [`Engine`] (built via [`EngineBuilder`]) owns everything that used
+//!   to be implicit or process-wide — the buffer pool, the plan and kernel
+//!   caches, scheduler worker limits, optimizer knobs — so two engines with
+//!   different configurations coexist in one process;
+//! * [`Engine::compile`] runs candidate exploration, costing, code
+//!   generation, and task-graph/liveness construction **exactly once**,
+//!   returning a [`CompiledScript`];
+//! * [`CompiledScript::execute`] is `&self`, `Send + Sync`, and allocates
+//!   only per-call state — so one compiled script serves many threads
+//!   simultaneously with zero re-optimization;
+//! * every `execute` **revalidates** the bound input geometry against the
+//!   shapes the plan was costed under, and transparently recompiles (once
+//!   per new geometry) when they diverge — trusting a stale plan is the one
+//!   thing the API makes impossible.
+//!
+//! ```
+//! use fusedml_hop::interp::bind;
+//! use fusedml_hop::DagBuilder;
+//! use fusedml_linalg::generate;
+//! use fusedml_runtime::{EngineBuilder, FusionMode};
+//!
+//! // sum(X ⊙ Y): one fused Cell operator under Gen.
+//! let mut b = DagBuilder::new();
+//! let x = b.read("X", 64, 32, 1.0);
+//! let y = b.read("Y", 64, 32, 1.0);
+//! let m = b.mult(x, y);
+//! let s = b.sum(m);
+//! let dag = b.build(vec![s]);
+//!
+//! let engine = EngineBuilder::new(FusionMode::Gen).workers(2).build();
+//! let script = engine.compile(&dag); // exploration/costing/codegen run here, once
+//! let out = script.execute(&bind(&[
+//!     ("X", generate::rand_dense(64, 32, 0.0, 1.0, 1)),
+//!     ("Y", generate::rand_dense(64, 32, 0.0, 1.0, 2)),
+//! ]));
+//! assert_eq!(out.len(), 1);
+//! let _sum = out.scalar(0);
+//! ```
+
+use crate::exec::{self, ExecStats, SchedSnapshot};
+use crate::handcoded;
+use crate::schedule::{self, TaskGraph};
+use crate::spoof;
+use fusedml_core::codegen::CodegenOptions;
+use fusedml_core::opt::{CostModel, EnumConfig};
+use fusedml_core::optimizer::{dag_structural_hash, FusionPlan, Optimizer};
+use fusedml_core::plancache::{KernelCaches, PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
+use fusedml_core::util::FifoMap;
+use fusedml_core::FusionMode;
+use fusedml_hop::interp::{self, Bindings};
+use fusedml_hop::liveness::{self, Liveness};
+use fusedml_hop::HopDag;
+use fusedml_linalg::matrix::Value;
+use fusedml_linalg::pool::{self, BufferPool, PoolHandle, PoolStats};
+use fusedml_linalg::Matrix;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Configures and builds an [`Engine`].
+///
+/// Every knob that used to live in a per-call path or a process-wide static
+/// is set here, once, and owned by the built engine: the fusion mode,
+/// optimizer configuration (cost model, enumeration, codegen), the
+/// inter-operator worker count, the memory budget of the buffer pool, and
+/// the plan-cache capacity.
+pub struct EngineBuilder {
+    mode: FusionMode,
+    workers: usize,
+    memory_budget: usize,
+    pool_buffers_per_class: usize,
+    plan_cache_capacity: usize,
+    cache_plans: bool,
+    model: Option<CostModel>,
+    codegen: Option<CodegenOptions>,
+    enum_cfg: Option<EnumConfig>,
+}
+
+impl EngineBuilder {
+    /// Starts a builder for the given fusion mode with default limits
+    /// (4 scheduler workers, 1 GiB pool budget, 1024-operator plan cache).
+    pub fn new(mode: FusionMode) -> Self {
+        EngineBuilder {
+            mode,
+            workers: schedule::DEFAULT_MAX_WORKERS,
+            memory_budget: 1 << 30,
+            pool_buffers_per_class: 32,
+            plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            cache_plans: true,
+            model: None,
+            codegen: None,
+            enum_cfg: None,
+        }
+    }
+
+    /// Caps inter-operator scheduler workers (kernels keep their internal
+    /// row-band parallelism on top of this).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// The engine's memory budget for retained (recycled) buffers, in bytes.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Buffers retained per power-of-two size class in the pool.
+    pub fn pool_buffers_per_class(mut self, n: usize) -> Self {
+        self.pool_buffers_per_class = n.max(1);
+        self
+    }
+
+    /// Maximum distinct compiled operators retained by the plan cache.
+    pub fn plan_cache_capacity(mut self, n: usize) -> Self {
+        self.plan_cache_capacity = n.max(1);
+        self
+    }
+
+    /// Enables or disables fusion-plan caching (disabled = re-optimize on
+    /// every call, as in the compilation-overhead experiments).
+    pub fn cache_plans(mut self, on: bool) -> Self {
+        self.cache_plans = on;
+        self
+    }
+
+    /// Overrides the optimizer's cost model.
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Overrides code-generation options (inlining, code-size budget, …).
+    pub fn codegen_options(mut self, opts: CodegenOptions) -> Self {
+        self.codegen = Some(opts);
+        self
+    }
+
+    /// Overrides the enumeration configuration (`MPSkipEnum` knobs).
+    pub fn enum_config(mut self, cfg: EnumConfig) -> Self {
+        self.enum_cfg = Some(cfg);
+        self
+    }
+
+    /// Builds the engine: allocates its buffer pool, kernel caches, plan
+    /// cache, optimizer, and statistics.
+    pub fn build(self) -> Engine {
+        let kernels = KernelCaches::with_capacity(self.plan_cache_capacity);
+        let plan_cache =
+            Arc::new(PlanCache::with_kernels(Arc::clone(&kernels), self.plan_cache_capacity));
+        let mut optimizer = Optimizer::with_plan_cache(self.mode, plan_cache);
+        if let Some(m) = self.model {
+            optimizer.model = m;
+        }
+        if let Some(c) = self.codegen {
+            optimizer.codegen = c;
+        }
+        if let Some(e) = self.enum_cfg {
+            optimizer.enum_cfg = e;
+        }
+        Engine {
+            inner: Arc::new(EngineInner {
+                mode: self.mode,
+                optimizer,
+                kernels,
+                pool: Arc::new(BufferPool::with_limits(
+                    self.memory_budget,
+                    self.pool_buffers_per_class,
+                )),
+                stats: Arc::new(ExecStats::default()),
+                workers: self.workers,
+                cache_plans: AtomicBool::new(self.cache_plans),
+                compile_lock: Mutex::new(()),
+                plans: Mutex::new(FifoMap::new(self.plan_cache_capacity)),
+                scripts: Mutex::new(FifoMap::new(self.plan_cache_capacity)),
+            }),
+        }
+    }
+}
+
+/// Maximum geometry-revalidation variants retained per compiled script;
+/// beyond this, the oldest variant is dropped (recompiled on demand if that
+/// geometry ever returns). Bounds long-running servers with churning batch
+/// sizes.
+const MAX_GEOMETRY_VARIANTS: usize = 16;
+
+/// Everything one engine owns. Shared behind an `Arc` by the [`Engine`]
+/// handle and every [`CompiledScript`] it produces.
+struct EngineInner {
+    mode: FusionMode,
+    optimizer: Optimizer,
+    kernels: Arc<KernelCaches>,
+    pool: PoolHandle,
+    stats: Arc<ExecStats>,
+    workers: usize,
+    cache_plans: AtomicBool,
+    /// Serializes cold script compilation so N threads racing on the same
+    /// uncached DAG run the optimizer once (the "exactly once" contract
+    /// holds even for a cold start; cached lookups never take this lock).
+    compile_lock: Mutex<()>,
+    /// Fusion plans per structural DAG hash (SystemML's runtime-program
+    /// cache across dynamic recompilations) — per engine, not per process,
+    /// and bounded by the plan-cache capacity.
+    plans: Mutex<FifoMap<Arc<FusionPlan>>>,
+    /// Compiled scripts per structural DAG hash (bounded likewise), so the
+    /// convenience [`Engine::execute`] also amortizes task-graph
+    /// construction.
+    scripts: Mutex<FifoMap<Arc<ScriptInner>>>,
+}
+
+/// A thread-safe, cheaply clonable handle to an execution engine.
+///
+/// The engine owns what was previously implicit global state: the buffer
+/// pool, the plan/kernel caches, the optimizer and its statistics, and the
+/// scheduler worker limit. Two engines with different configurations
+/// coexist in one process without sharing anything.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Engine {
+    /// An engine with default configuration for the given mode
+    /// (equivalent to `EngineBuilder::new(mode).build()`).
+    pub fn new(mode: FusionMode) -> Self {
+        EngineBuilder::new(mode).build()
+    }
+
+    /// Starts a configuration builder.
+    pub fn builder(mode: FusionMode) -> EngineBuilder {
+        EngineBuilder::new(mode)
+    }
+
+    /// The engine's fusion mode.
+    pub fn mode(&self) -> FusionMode {
+        self.inner.mode
+    }
+
+    /// Shared execution statistics (accumulated across all scripts and
+    /// threads of this engine).
+    pub fn stats(&self) -> &ExecStats {
+        &self.inner.stats
+    }
+
+    /// A clonable handle to the shared statistics.
+    pub fn stats_handle(&self) -> Arc<ExecStats> {
+        Arc::clone(&self.inner.stats)
+    }
+
+    /// The optimizer (cost model, codegen options, codegen statistics).
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.inner.optimizer
+    }
+
+    /// The engine-owned plan cache (generated operators keyed by CPlan).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.inner.optimizer.plan_cache
+    }
+
+    /// The engine-owned lowered-kernel caches.
+    pub fn kernel_caches(&self) -> &Arc<KernelCaches> {
+        &self.inner.kernels
+    }
+
+    /// The engine-owned buffer pool.
+    pub fn pool(&self) -> &PoolHandle {
+        &self.inner.pool
+    }
+
+    /// Buffer-pool counters (hits/misses/returns/drops/retained bytes).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.inner.pool.stats()
+    }
+
+    /// The configured inter-operator worker cap.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Whether fusion plans (and compiled scripts) are cached.
+    pub fn plan_caching(&self) -> bool {
+        self.inner.cache_plans.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables fusion-plan caching at runtime.
+    pub fn set_plan_caching(&self, on: bool) {
+        self.inner.cache_plans.store(on, Ordering::Relaxed);
+    }
+
+    /// Installs this engine's buffer pool and kernel caches on the current
+    /// thread until the returned guard drops. Driver loops that recycle
+    /// values or update buffers *between* `execute` calls (e.g. iterative
+    /// algorithms retiring dead intermediates) hold a scope so those
+    /// buffers land back in — and are served from — this engine's pool.
+    pub fn scope(&self) -> EngineScope {
+        EngineScope {
+            _pool: pool::enter(&self.inner.pool),
+            _kernels: spoof::enter_kernels(&self.inner.kernels),
+        }
+    }
+
+    /// Returns a dying value's buffers to this engine's pool (shorthand for
+    /// recycling under [`Engine::scope`]).
+    pub fn recycle(&self, v: Value) {
+        let _scope = pool::enter(&self.inner.pool);
+        v.recycle();
+    }
+
+    /// Compiles a DAG into a [`CompiledScript`]: exploration, costing, code
+    /// generation, hand-coded pattern matching, liveness analysis, and task
+    /// graph construction all happen here — **exactly once**. The returned
+    /// script is `Send + Sync` and executes from any number of threads.
+    pub fn compile(&self, dag: &HopDag) -> CompiledScript {
+        let key = dag_structural_hash(dag);
+        if self.plan_caching() {
+            if let Some(s) = self.inner.scripts.lock().get(key) {
+                return CompiledScript { engine: self.clone(), inner: Arc::clone(s) };
+            }
+        }
+        // Cold compile: serialize, and re-probe the cache once the lock is
+        // held — a racing thread may have just compiled this DAG.
+        let _cold = self.inner.compile_lock.lock();
+        if self.plan_caching() {
+            if let Some(s) = self.inner.scripts.lock().get(key) {
+                return CompiledScript { engine: self.clone(), inner: Arc::clone(s) };
+            }
+        }
+        let inner = Arc::new(self.inner.compile_script(dag));
+        if self.plan_caching() {
+            self.inner.scripts.lock().insert(key, Arc::clone(&inner));
+        }
+        CompiledScript { engine: self.clone(), inner }
+    }
+
+    /// Convenience: compile (cached by DAG structure) and execute in one
+    /// call. Repeated calls with the same DAG shape hit the script cache and
+    /// perform zero re-optimization.
+    pub fn execute(&self, dag: &HopDag, bindings: &Bindings) -> Outputs {
+        self.compile(dag).execute(bindings)
+    }
+
+    /// Executes a DAG sequentially with the retained seed-era paths (the
+    /// reference interpreter for `Base`, the demand-driven hand-coded
+    /// interpreter for `Fused`, the recursive materializer for Gen modes) —
+    /// the oracle the scheduled engine is differentially tested against.
+    pub fn execute_sequential(&self, dag: &HopDag, bindings: &Bindings) -> Vec<Value> {
+        let inner = &self.inner;
+        let _pool = pool::enter(&inner.pool);
+        let _kern = spoof::enter_kernels(&inner.kernels);
+        match inner.mode {
+            FusionMode::Base => interp::interpret(dag, bindings),
+            FusionMode::Fused => handcoded::interpret(dag, bindings, &inner.stats),
+            _ => {
+                let plan = self.plan_for(dag);
+                exec::plan_sequential(dag, &plan, bindings, &inner.stats)
+            }
+        }
+    }
+
+    /// Returns the (possibly cached) fusion plan for a DAG.
+    pub fn plan_for(&self, dag: &HopDag) -> Arc<FusionPlan> {
+        self.inner.plan_for(dag)
+    }
+
+    /// Executes a DAG under an explicit fusion plan through the scheduled
+    /// engine. The plan is revalidated: when it was optimized for a
+    /// different DAG geometry, it is discarded and the DAG re-optimized —
+    /// the costed operators' iteration spaces would otherwise be stale.
+    pub fn execute_with_plan(
+        &self,
+        dag: &HopDag,
+        plan: &FusionPlan,
+        bindings: &Bindings,
+    ) -> Vec<Value> {
+        let replacement = self.inner.revalidate(dag, plan);
+        let plan: &FusionPlan = replacement.as_deref().unwrap_or(plan);
+        let graph = schedule::prepare(dag, Some(plan), None);
+        let inner = &self.inner;
+        let (vals, _) = schedule::run(
+            &graph,
+            dag,
+            Some(plan),
+            bindings,
+            &inner.stats,
+            inner.workers,
+            &inner.pool,
+            &inner.kernels,
+        );
+        inner.pool.advance_epoch();
+        vals
+    }
+
+    /// The sequential twin of [`Engine::execute_with_plan`] (same
+    /// revalidation guard, seed-era recursive materializer).
+    pub fn execute_with_plan_sequential(
+        &self,
+        dag: &HopDag,
+        plan: &FusionPlan,
+        bindings: &Bindings,
+    ) -> Vec<Value> {
+        let replacement = self.inner.revalidate(dag, plan);
+        let plan: &FusionPlan = replacement.as_deref().unwrap_or(plan);
+        let inner = &self.inner;
+        let _pool = pool::enter(&inner.pool);
+        let _kern = spoof::enter_kernels(&inner.kernels);
+        exec::plan_sequential(dag, plan, bindings, &inner.stats)
+    }
+}
+
+impl EngineInner {
+    fn plan_for(&self, dag: &HopDag) -> Arc<FusionPlan> {
+        if !self.cache_plans.load(Ordering::Relaxed) {
+            return Arc::new(self.optimizer.optimize(dag));
+        }
+        let key = dag_structural_hash(dag);
+        if let Some(p) = self.plans.lock().get(key) {
+            return Arc::clone(p);
+        }
+        let p = Arc::new(self.optimizer.optimize(dag));
+        self.plans.lock().insert(key, Arc::clone(&p));
+        p
+    }
+
+    /// The shape-revalidation guard for explicitly supplied plans: `None`
+    /// when the plan matches the DAG's geometry (use it as-is, no copy),
+    /// otherwise the re-optimized replacement (counted as a recompile).
+    fn revalidate(&self, dag: &HopDag, plan: &FusionPlan) -> Option<Arc<FusionPlan>> {
+        if plan.matches(dag) {
+            None
+        } else {
+            self.stats.plan_recompiles.fetch_add(1, Ordering::Relaxed);
+            Some(self.plan_for(dag))
+        }
+    }
+
+    /// Compiles one geometry variant: plan / patterns / task graph /
+    /// liveness facts (per variant, so they always describe the geometry
+    /// that actually executes).
+    fn compile_variant(&self, dag: HopDag) -> ScriptVariant {
+        let (plan, patterns) = match self.mode {
+            FusionMode::Base => (None, None),
+            FusionMode::Fused => (None, Some(handcoded::match_patterns(&dag))),
+            _ => (Some(self.plan_for(&dag)), None),
+        };
+        let graph = schedule::prepare(&dag, plan.as_deref(), patterns.as_ref());
+        let shapes = dag.input_shapes();
+        let liveness = liveness::analyze(&dag);
+        ScriptVariant { shapes, dag, plan, graph, liveness }
+    }
+
+    fn compile_script(&self, dag: &HopDag) -> ScriptInner {
+        let base = Arc::new(self.compile_variant(dag.clone()));
+        let input_names = base.shapes.iter().map(|(n, _, _)| n.clone()).collect();
+        ScriptInner {
+            base,
+            variants: Mutex::new(Vec::new()),
+            recompiles: AtomicUsize::new(0),
+            input_names,
+        }
+    }
+}
+
+/// One compiled geometry of a script: the DAG (sizes as costed), its fusion
+/// plan or hand-coded patterns, and the prepared task graph.
+struct ScriptVariant {
+    /// `(name, rows, cols)` of every live input, sorted — the geometry this
+    /// variant was costed under.
+    shapes: Vec<(String, usize, usize)>,
+    dag: HopDag,
+    plan: Option<Arc<FusionPlan>>,
+    graph: TaskGraph,
+    /// Liveness facts for this variant's DAG, computed once at compile.
+    liveness: Liveness,
+}
+
+/// The shared immutable state of a compiled script.
+struct ScriptInner {
+    /// The variant compiled for the DAG's declared geometry.
+    base: Arc<ScriptVariant>,
+    /// Geometry-revalidated recompiles (one per distinct bound geometry,
+    /// FIFO-bounded at [`MAX_GEOMETRY_VARIANTS`]).
+    variants: Mutex<Vec<Arc<ScriptVariant>>>,
+    /// Total geometry recompiles this script performed (monotonic — unlike
+    /// `variants.len()`, eviction never decrements it).
+    recompiles: AtomicUsize,
+    /// Live input names (sorted), for the per-execute geometry probe.
+    input_names: Vec<String>,
+}
+
+/// A compiled, reusable, thread-safe execution plan for one DAG.
+///
+/// Produced by [`Engine::compile`]. `execute` takes `&self` and allocates
+/// only per-call state, so the same script can run from many threads
+/// simultaneously — all of them sharing the engine's buffer pool, kernel
+/// caches, and statistics, and none of them re-running the optimizer.
+///
+/// Every call revalidates the bound input geometry against the shapes the
+/// plan was costed under. On divergence the script transparently recompiles
+/// for the new geometry (once — each distinct geometry is cached) instead of
+/// trusting the stale plan.
+#[derive(Clone)]
+pub struct CompiledScript {
+    engine: Engine,
+    inner: Arc<ScriptInner>,
+}
+
+impl CompiledScript {
+    /// Executes the compiled script over bound inputs, returning the root
+    /// values plus this call's scheduler delta. Thread-safe: `&self`, no
+    /// re-optimization.
+    pub fn execute(&self, bindings: &Bindings) -> Outputs {
+        let v = self.variant_for(bindings);
+        let e = &self.engine.inner;
+        let (values, sched) = schedule::run(
+            &v.graph,
+            &v.dag,
+            v.plan.as_deref(),
+            bindings,
+            &e.stats,
+            e.workers,
+            &e.pool,
+            &e.kernels,
+        );
+        // Epoch-bound the engine pool: buffers unused for a few DAGs retire.
+        e.pool.advance_epoch();
+        Outputs { values, sched }
+    }
+
+    /// Executes sequentially with the retained seed-era oracle paths (same
+    /// revalidation guard; used by differential tests).
+    pub fn execute_sequential(&self, bindings: &Bindings) -> Vec<Value> {
+        let v = self.variant_for(bindings);
+        let e = &self.engine.inner;
+        let _pool = pool::enter(&e.pool);
+        let _kern = spoof::enter_kernels(&e.kernels);
+        match e.mode {
+            FusionMode::Base => interp::interpret(&v.dag, bindings),
+            FusionMode::Fused => handcoded::interpret(&v.dag, bindings, &e.stats),
+            _ => exec::plan_sequential(
+                &v.dag,
+                v.plan.as_deref().expect("codegen mode implies a plan"),
+                bindings,
+                &e.stats,
+            ),
+        }
+    }
+
+    /// The engine this script was compiled by.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The DAG as compiled (sizes of the declared geometry).
+    pub fn dag(&self) -> &HopDag {
+        &self.inner.base.dag
+    }
+
+    /// The fusion plan of the declared geometry (`None` for `Base`/`Fused`).
+    pub fn plan(&self) -> Option<&Arc<FusionPlan>> {
+        self.inner.base.plan.as_ref()
+    }
+
+    /// Liveness facts of the declared geometry, computed once at compile
+    /// time (consumer counts, last-use positions, ready-set levels).
+    pub fn liveness(&self) -> &Liveness {
+        &self.inner.base.liveness
+    }
+
+    /// The input geometry this script was costed under, sorted by name.
+    pub fn input_shapes(&self) -> &[(String, usize, usize)] {
+        &self.inner.base.shapes
+    }
+
+    /// Number of geometry-revalidation recompiles this script performed
+    /// (monotonic; evicted variants that recompile on return count again).
+    pub fn recompiled_variants(&self) -> usize {
+        self.inner.recompiles.load(Ordering::Relaxed)
+    }
+
+    /// An explain-style rendering of the compiled plan.
+    pub fn explain(&self) -> String {
+        match &self.inner.base.plan {
+            Some(p) => p.explain(),
+            None => format!("{:?} (no generated operators)\n", self.engine.mode()),
+        }
+    }
+
+    /// Resolves the variant matching the bound geometry: the base plan when
+    /// shapes agree, a cached recompile otherwise — compiling one on first
+    /// divergence (the shape-revalidation guard).
+    fn variant_for(&self, bindings: &Bindings) -> Arc<ScriptVariant> {
+        // Fast path: compare the bound geometry against the costed shapes
+        // in place — zero allocation on the (overwhelmingly common) case
+        // that nothing changed. A missing binding falls through to
+        // `bound_shapes`, which panics with the interpreter's message.
+        let base = &self.inner.base;
+        let matches_base = base.shapes.iter().all(|(name, rows, cols)| {
+            bindings.get(name).is_some_and(|m| m.rows() == *rows && m.cols() == *cols)
+        });
+        if matches_base {
+            return Arc::clone(base);
+        }
+        let shapes = interp::bound_shapes(bindings, &self.inner.input_names);
+        {
+            let variants = self.inner.variants.lock();
+            if let Some(v) = variants.iter().find(|v| v.shapes == shapes) {
+                return Arc::clone(v);
+            }
+        }
+        // Geometry diverged from the costed plan: re-propagate sizes and
+        // recompile for the bound shapes. Reads whose shape changed are
+        // re-probed for their *actual* bound sparsity (the structural hash
+        // includes sparsity, so the plan cache keeps data profiles apart);
+        // revalidation is deliberately shape-only — same-shape sparsity
+        // drift keeps the costed plan. Compilation runs *outside*
+        // the variants lock so concurrent executes on cached geometries are
+        // never stalled behind an optimizer run; a racing thread may compile
+        // the same variant, and the loser's copy is simply dropped below.
+        let mut geometry: HashMap<String, (usize, usize, f64)> = HashMap::new();
+        for ((name, rows, cols), (bname, brows, bcols)) in base.shapes.iter().zip(&shapes) {
+            debug_assert_eq!(name, bname, "sorted shape lists align");
+            if (rows, cols) != (brows, bcols) {
+                let sp =
+                    bindings.get(name).map(Matrix::sparsity).unwrap_or(1.0).max(f64::MIN_POSITIVE);
+                geometry.insert(name.clone(), (*brows, *bcols, sp));
+            }
+        }
+        let reshaped = base.dag.with_read_geometry(&geometry);
+        let v = Arc::new(self.engine.inner.compile_variant(reshaped));
+        let mut variants = self.inner.variants.lock();
+        if let Some(existing) = variants.iter().find(|x| x.shapes == shapes) {
+            return Arc::clone(existing); // lost the race; drop our copy
+        }
+        self.engine.inner.stats.plan_recompiles.fetch_add(1, Ordering::Relaxed);
+        self.inner.recompiles.fetch_add(1, Ordering::Relaxed);
+        if variants.len() >= MAX_GEOMETRY_VARIANTS {
+            variants.remove(0); // FIFO: oldest geometry recompiles if it returns
+        }
+        variants.push(Arc::clone(&v));
+        v
+    }
+}
+
+/// RAII guard installing an engine's pool and kernel caches on the current
+/// thread (see [`Engine::scope`]).
+pub struct EngineScope {
+    _pool: pool::PoolScope,
+    _kernels: spoof::KernelScope,
+}
+
+/// The result of one `execute` call: the root values (in root order) plus
+/// the call's scheduler event delta.
+#[derive(Debug)]
+pub struct Outputs {
+    values: Vec<Value>,
+    sched: SchedSnapshot,
+}
+
+impl Outputs {
+    /// The root values in root order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consumes the outputs, moving the root values out (never cloned).
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// The `i`-th root value.
+    pub fn value(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// The `i`-th root as a scalar (panics if it is a larger matrix).
+    pub fn scalar(&self, i: usize) -> f64 {
+        self.values[i].as_scalar()
+    }
+
+    /// The `i`-th root as a matrix (scalars promote to 1×1).
+    pub fn matrix(&self, i: usize) -> Matrix {
+        self.values[i].as_matrix()
+    }
+
+    /// This call's scheduler delta (peak bytes, pool hits, parallel ops, …).
+    pub fn sched(&self) -> SchedSnapshot {
+        self.sched
+    }
+
+    /// Iterates the root values in root order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.values.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl std::ops::Index<usize> for Outputs {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl IntoIterator for Outputs {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Outputs {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.iter()
+    }
+}
+
+// `Engine` and `CompiledScript` must stay usable across threads; this fails
+// to compile if a non-Sync field ever sneaks in.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<CompiledScript>();
+    assert_send_sync::<Outputs>();
+};

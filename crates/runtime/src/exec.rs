@@ -1,57 +1,64 @@
-//! The DAG executor: runs a HOP DAG under a fusion mode, dispatching
-//! between basic operators (the `Base` interpreter), hand-coded fused
-//! operators (`Fused`), and generated fused operators (`Gen`/`Gen-FA`/
-//! `Gen-FNR`).
+//! Execution statistics and the legacy [`Executor`] facade.
 //!
-//! Execution goes through the scheduled engine ([`crate::schedule`]):
-//! liveness-refcounted value slots freed at last use, buffers drawn from and
-//! returned to the shared pool, and independent ready operators executed in
-//! parallel. The seed's recursive lazy materializer is retained as
-//! [`Executor::execute_with_plan_sequential`] — the differential-test oracle
-//! (scheduled results must be bitwise-equal to it).
+//! The executor API was redesigned around [`crate::engine::Engine`] and
+//! [`crate::engine::CompiledScript`] (compile once, execute concurrently).
+//! `Executor` survives as a thin shim over an engine for code that still
+//! wants the old `new(mode)` + `execute(&dag, &bindings)` surface; new code
+//! should use `EngineBuilder`/`Engine::compile` directly.
 
-use crate::handcoded;
-use crate::schedule;
+use crate::engine::Engine;
 use crate::side::SideInput;
 use crate::spoof;
+pub use fusedml_core::optimizer::dag_structural_hash;
 use fusedml_core::optimizer::{FusedOperator, FusionPlan, Optimizer};
 use fusedml_core::util::FxHashMap;
 use fusedml_core::FusionMode;
 use fusedml_hop::interp::{self, Bindings};
 use fusedml_hop::{HopDag, HopId};
 use fusedml_linalg::matrix::Value;
-use fusedml_linalg::pool;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Execution statistics, including scheduler events (operators executed
 /// while another was in flight, buffer-pool hits/misses, bytes freed before
 /// the DAG finished, and the tracked peak footprint of the last execution).
+///
+/// All counters are interior-mutable atomics behind a shared handle: one
+/// instance is owned by an [`Engine`] (as `Arc<ExecStats>`) and shared with
+/// every [`crate::engine::CompiledScript`] it compiles, so concurrent
+/// executions accumulate into the same counters without any `&mut` access.
+/// Read through [`ExecStats::snapshot`] / [`ExecStats::scheduler_snapshot`];
+/// per-call deltas come back on `Outputs::sched`.
 #[derive(Debug, Default)]
 pub struct ExecStats {
     /// Generated fused operators executed.
-    pub fused_ops: AtomicUsize,
+    pub(crate) fused_ops: AtomicUsize,
     /// Hand-coded fused operators executed.
-    pub handcoded_ops: AtomicUsize,
+    pub(crate) handcoded_ops: AtomicUsize,
     /// Basic operators executed.
-    pub basic_ops: AtomicUsize,
+    pub(crate) basic_ops: AtomicUsize,
     /// Operators that started while at least one other was still running.
-    pub sched_parallel_ops: AtomicUsize,
+    pub(crate) sched_parallel_ops: AtomicUsize,
     /// Bytes of intermediates freed before the end of their DAG.
-    pub sched_bytes_freed_early: AtomicUsize,
-    /// Tracked peak resident bytes of the most recent execution.
-    pub sched_peak_bytes: AtomicUsize,
-    /// Hold-everything resident bytes of the most recent execution (inputs +
-    /// every materialized value, nothing freed) — what the seed runtime kept.
-    pub sched_resident_all_bytes: AtomicUsize,
-    /// Buffer-pool hits attributed to this executor's runs.
-    pub pool_hits: AtomicUsize,
-    /// Buffer-pool misses attributed to this executor's runs.
-    pub pool_misses: AtomicUsize,
+    pub(crate) sched_bytes_freed_early: AtomicUsize,
+    /// High-water tracked peak resident bytes over all executions since the
+    /// last reset (per-execution peaks come back on `Outputs::sched`; a
+    /// last-writer store here would be clobbered under concurrent runs).
+    pub(crate) sched_peak_bytes: AtomicUsize,
+    /// High-water hold-everything resident bytes (inputs + every
+    /// materialized value, nothing freed) — what the seed runtime kept.
+    pub(crate) sched_resident_all_bytes: AtomicUsize,
+    /// Buffer-pool hits attributed to this engine's runs.
+    pub(crate) pool_hits: AtomicUsize,
+    /// Buffer-pool misses attributed to this engine's runs.
+    pub(crate) pool_misses: AtomicUsize,
+    /// Compiled-script recompiles triggered by the shape-revalidation guard
+    /// (bound input geometry diverged from the costed plan).
+    pub(crate) plan_recompiles: AtomicUsize,
 }
 
-/// Plain-data snapshot of the scheduler counters in [`ExecStats`].
+/// Plain-data snapshot of the scheduler counters in [`ExecStats`] — also the
+/// per-`execute` delta returned on `Outputs`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SchedSnapshot {
     pub parallel_ops: usize,
@@ -85,6 +92,7 @@ impl SchedSnapshot {
 }
 
 impl ExecStats {
+    /// `(fused, handcoded, basic)` operator counts.
     pub fn snapshot(&self) -> (usize, usize, usize) {
         (
             self.fused_ops.load(Ordering::Relaxed),
@@ -105,6 +113,24 @@ impl ExecStats {
         }
     }
 
+    /// Recompiles triggered by the shape-revalidation guard.
+    pub fn plan_recompiles(&self) -> usize {
+        self.plan_recompiles.load(Ordering::Relaxed)
+    }
+
+    /// Accumulates one execution's scheduler delta into the shared counters.
+    /// Event counts sum; the footprint figures keep the high-water mark, so
+    /// a small run finishing after a large one cannot clobber the engine's
+    /// reported peak (per-run figures live on `Outputs::sched`).
+    pub(crate) fn record_sched(&self, s: &SchedSnapshot) {
+        self.sched_parallel_ops.fetch_add(s.parallel_ops, Ordering::Relaxed);
+        self.sched_bytes_freed_early.fetch_add(s.bytes_freed_early, Ordering::Relaxed);
+        self.sched_peak_bytes.fetch_max(s.peak_bytes, Ordering::Relaxed);
+        self.sched_resident_all_bytes.fetch_max(s.resident_all_bytes, Ordering::Relaxed);
+        self.pool_hits.fetch_add(s.pool_hits, Ordering::Relaxed);
+        self.pool_misses.fetch_add(s.pool_misses, Ordering::Relaxed);
+    }
+
     pub fn reset(&self) {
         self.fused_ops.store(0, Ordering::Relaxed);
         self.handcoded_ops.store(0, Ordering::Relaxed);
@@ -115,51 +141,62 @@ impl ExecStats {
         self.sched_resident_all_bytes.store(0, Ordering::Relaxed);
         self.pool_hits.store(0, Ordering::Relaxed);
         self.pool_misses.store(0, Ordering::Relaxed);
+        self.plan_recompiles.store(0, Ordering::Relaxed);
     }
 }
 
-/// The executor: owns the optimizer (for codegen modes) and a per-DAG
-/// fusion-plan cache standing in for SystemML's runtime-program cache
-/// across dynamic recompilations.
+/// **Deprecated facade** retained for the transition to the engine API: a
+/// thin shim over an [`Engine`] with the seed's `Executor::new(mode)` +
+/// `execute(&dag, &bindings)` surface. Each `Executor` owns a private
+/// engine (its own buffer pool, plan/kernel caches and stats). Prefer
+/// [`crate::engine::EngineBuilder`] and [`Engine::compile`]; this type adds
+/// nothing over them and will eventually be removed.
 pub struct Executor {
-    pub mode: FusionMode,
-    pub optimizer: Optimizer,
-    pub stats: ExecStats,
-    /// Cache of fusion plans per structural DAG hash (set `false` to force
-    /// re-optimization on every call, as in the compilation-overhead
-    /// experiments).
-    pub cache_plans: bool,
-    plans: Mutex<FxHashMap<u64, Arc<FusionPlan>>>,
+    engine: Engine,
 }
 
 impl Executor {
     pub fn new(mode: FusionMode) -> Self {
-        Executor {
-            mode,
-            optimizer: Optimizer::new(mode),
-            stats: ExecStats::default(),
-            cache_plans: true,
-            plans: Mutex::new(FxHashMap::default()),
-        }
+        Self::from_engine(Engine::new(mode))
+    }
+
+    /// Wraps an existing engine in the legacy surface.
+    pub fn from_engine(engine: Engine) -> Self {
+        Executor { engine }
+    }
+
+    /// The backing engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The engine's fusion mode (fixed at construction; the seed's writable
+    /// `mode` field is gone — mutating it stopped doing anything once
+    /// dispatch moved into the engine).
+    pub fn mode(&self) -> FusionMode {
+        self.engine.mode()
+    }
+
+    /// Shared execution statistics of the backing engine.
+    pub fn stats(&self) -> &ExecStats {
+        self.engine.stats()
+    }
+
+    /// The backing engine's optimizer.
+    pub fn optimizer(&self) -> &Optimizer {
+        self.engine.optimizer()
+    }
+
+    /// Enables or disables fusion-plan caching (disabled = re-optimize every
+    /// call, as in the compilation-overhead experiments).
+    pub fn set_cache_plans(&self, on: bool) {
+        self.engine.set_plan_caching(on);
     }
 
     /// Executes a DAG through the scheduled engine, returning root values in
     /// root order (moved out of their slots, never cloned).
     pub fn execute(&self, dag: &HopDag, bindings: &Bindings) -> Vec<Value> {
-        let out = match self.mode {
-            FusionMode::Base => schedule::execute(dag, None, None, bindings, &self.stats),
-            FusionMode::Fused => {
-                let patterns = handcoded::match_patterns(dag);
-                schedule::execute(dag, None, Some(&patterns), bindings, &self.stats)
-            }
-            _ => {
-                let plan = self.plan_for(dag);
-                schedule::execute(dag, Some(&plan), None, bindings, &self.stats)
-            }
-        };
-        // Epoch-bound the shared pool: buffers unused for a few DAGs retire.
-        pool::global().advance_epoch();
-        out
+        self.engine.execute(dag, bindings).into_values()
     }
 
     /// Executes a DAG sequentially with the retained seed-era paths (the
@@ -168,162 +205,144 @@ impl Executor {
     /// This is the oracle the scheduled engine is differentially tested
     /// against; results must be bitwise-equal.
     pub fn execute_sequential(&self, dag: &HopDag, bindings: &Bindings) -> Vec<Value> {
-        match self.mode {
-            FusionMode::Base => interp::interpret(dag, bindings),
-            FusionMode::Fused => handcoded::interpret(dag, bindings, &self.stats),
-            _ => {
-                let plan = self.plan_for(dag);
-                self.execute_with_plan_sequential(dag, &plan, bindings)
-            }
-        }
+        self.engine.execute_sequential(dag, bindings)
     }
 
     /// Returns (possibly cached) fusion plan for a DAG.
     pub fn plan_for(&self, dag: &HopDag) -> Arc<FusionPlan> {
-        if !self.cache_plans {
-            return Arc::new(self.optimizer.optimize(dag));
-        }
-        let key = dag_structural_hash(dag);
-        if let Some(p) = self.plans.lock().get(&key) {
-            return Arc::clone(p);
-        }
-        let p = Arc::new(self.optimizer.optimize(dag));
-        self.plans.lock().insert(key, Arc::clone(&p));
-        p
+        self.engine.plan_for(dag)
     }
 
     /// Executes a DAG under an explicit fusion plan through the scheduled
-    /// engine.
+    /// engine. The plan is revalidated against the DAG's current geometry:
+    /// when it was optimized for different shapes (the legacy
+    /// `plan_for`-then-reshape hazard), it is discarded and the DAG is
+    /// re-optimized instead of trusting the stale operators.
     pub fn execute_with_plan(
         &self,
         dag: &HopDag,
         plan: &FusionPlan,
         bindings: &Bindings,
     ) -> Vec<Value> {
-        schedule::execute(dag, Some(plan), None, bindings, &self.stats)
+        self.engine.execute_with_plan(dag, plan, bindings)
     }
 
     /// The seed's recursive lazy materializer, retained as the sequential
     /// oracle for differential tests: every intermediate stays alive for the
-    /// whole DAG and operators run one at a time.
+    /// whole DAG and operators run one at a time. Applies the same
+    /// shape-revalidation guard as [`Executor::execute_with_plan`].
     pub fn execute_with_plan_sequential(
         &self,
         dag: &HopDag,
         plan: &FusionPlan,
         bindings: &Bindings,
     ) -> Vec<Value> {
-        // Map root hop → (operator, output slot).
-        let mut op_roots: FxHashMap<HopId, (usize, usize)> = FxHashMap::default();
-        for (i, f) in plan.operators.iter().enumerate() {
-            for (slot, &r) in f.roots.iter().enumerate() {
-                op_roots.insert(r, (i, slot));
-            }
-        }
-        let mut vals: Vec<Option<Value>> = vec![None; dag.len()];
-        for &root in dag.roots() {
-            self.materialize(dag, plan, &op_roots, bindings, &mut vals, root);
-        }
-        dag.roots().iter().map(|r| vals[r.index()].take().expect("root computed")).collect()
-    }
-
-    /// Lazily computes the value of `hop`, preferring its fused operator.
-    fn materialize(
-        &self,
-        dag: &HopDag,
-        plan: &FusionPlan,
-        op_roots: &FxHashMap<HopId, (usize, usize)>,
-        bindings: &Bindings,
-        vals: &mut Vec<Option<Value>>,
-        hop: HopId,
-    ) {
-        if vals[hop.index()].is_some() {
-            return;
-        }
-        if let Some(&(op_ix, _)) = op_roots.get(&hop) {
-            let f = &plan.operators[op_ix];
-            // Gather operator inputs.
-            for &m in f.cplan.main.iter() {
-                self.materialize(dag, plan, op_roots, bindings, vals, m);
-            }
-            for &s in &f.cplan.sides {
-                self.materialize(dag, plan, op_roots, bindings, vals, s);
-            }
-            for &s in &f.cplan.scalars {
-                self.materialize(dag, plan, op_roots, bindings, vals, s);
-            }
-            let outs = self.run_operator(f, vals);
-            self.stats.fused_ops.fetch_add(1, Ordering::Relaxed);
-            for (slot, &r) in f.roots.iter().enumerate() {
-                let m = &outs[slot];
-                let v = if dag.hop(r).is_scalar() && m.is_scalar_shaped() {
-                    Value::Scalar(m.get(0, 0))
-                } else {
-                    Value::Matrix(m.clone())
-                };
-                vals[r.index()] = Some(v);
-            }
-            return;
-        }
-        // Basic operator: compute inputs then evaluate.
-        let inputs = dag.hop(hop).inputs.clone();
-        for &i in &inputs {
-            self.materialize(dag, plan, op_roots, bindings, vals, i);
-        }
-        if !dag.hop(hop).kind.is_leaf() {
-            self.stats.basic_ops.fetch_add(1, Ordering::Relaxed);
-        }
-        let v = interp::eval_op(dag, hop, vals, bindings);
-        vals[hop.index()] = Some(v);
-    }
-
-    /// Runs one fused operator with bound inputs.
-    fn run_operator(
-        &self,
-        f: &FusedOperator,
-        vals: &[Option<Value>],
-    ) -> Vec<fusedml_linalg::Matrix> {
-        let get_matrix = |h: HopId| -> fusedml_linalg::Matrix {
-            vals[h.index()].as_ref().expect("operator input computed").as_matrix()
-        };
-        let main_val = f.cplan.main.map(get_matrix);
-        let sides: Vec<SideInput> =
-            f.cplan.sides.iter().map(|&h| SideInput::bind(&get_matrix(h))).collect();
-        let scalars: Vec<f64> = f
-            .cplan
-            .scalars
-            .iter()
-            .map(|&h| vals[h.index()].as_ref().expect("scalar computed").as_scalar())
-            .collect();
-        spoof::execute(
-            &f.op.spec,
-            main_val.as_ref(),
-            &sides,
-            &scalars,
-            f.cplan.iter_rows,
-            f.cplan.iter_cols,
-        )
+        self.engine.execute_with_plan_sequential(dag, plan, bindings)
     }
 }
 
-/// A structural hash of a DAG (operator kinds, edges, sizes) for the
-/// fusion-plan cache.
-pub fn dag_structural_hash(dag: &HopDag) -> u64 {
-    let mut s = String::with_capacity(dag.len() * 16);
-    for h in dag.iter() {
-        s.push_str(&format!("{:?}|{:?}|{}x{};", h.kind, h.inputs, h.size.rows, h.size.cols));
+/// The seed's recursive lazy materializer: every intermediate stays alive
+/// for the whole DAG and operators run one at a time. Shared by the engine's
+/// `execute_sequential` oracle and the legacy shim.
+pub(crate) fn plan_sequential(
+    dag: &HopDag,
+    plan: &FusionPlan,
+    bindings: &Bindings,
+    stats: &ExecStats,
+) -> Vec<Value> {
+    // Map root hop → (operator, output slot).
+    let mut op_roots: FxHashMap<HopId, (usize, usize)> = FxHashMap::default();
+    for (i, f) in plan.operators.iter().enumerate() {
+        for (slot, &r) in f.roots.iter().enumerate() {
+            op_roots.insert(r, (i, slot));
+        }
     }
-    s.push_str(&format!("{:?}", dag.roots()));
-    fusedml_core::util::fx_hash(&s)
+    let mut vals: Vec<Option<Value>> = vec![None; dag.len()];
+    for &root in dag.roots() {
+        materialize(dag, plan, &op_roots, bindings, stats, &mut vals, root);
+    }
+    dag.roots().iter().map(|r| vals[r.index()].take().expect("root computed")).collect()
+}
+
+/// Lazily computes the value of `hop`, preferring its fused operator.
+fn materialize(
+    dag: &HopDag,
+    plan: &FusionPlan,
+    op_roots: &FxHashMap<HopId, (usize, usize)>,
+    bindings: &Bindings,
+    stats: &ExecStats,
+    vals: &mut Vec<Option<Value>>,
+    hop: HopId,
+) {
+    if vals[hop.index()].is_some() {
+        return;
+    }
+    if let Some(&(op_ix, _)) = op_roots.get(&hop) {
+        let f = &plan.operators[op_ix];
+        // Gather operator inputs.
+        for &m in f.cplan.main.iter() {
+            materialize(dag, plan, op_roots, bindings, stats, vals, m);
+        }
+        for &s in &f.cplan.sides {
+            materialize(dag, plan, op_roots, bindings, stats, vals, s);
+        }
+        for &s in &f.cplan.scalars {
+            materialize(dag, plan, op_roots, bindings, stats, vals, s);
+        }
+        let outs = run_operator(f, vals);
+        stats.fused_ops.fetch_add(1, Ordering::Relaxed);
+        for (slot, &r) in f.roots.iter().enumerate() {
+            let m = &outs[slot];
+            let v = if dag.hop(r).is_scalar() && m.is_scalar_shaped() {
+                Value::Scalar(m.get(0, 0))
+            } else {
+                Value::Matrix(m.clone())
+            };
+            vals[r.index()] = Some(v);
+        }
+        return;
+    }
+    // Basic operator: compute inputs then evaluate.
+    let inputs = dag.hop(hop).inputs.clone();
+    for &i in &inputs {
+        materialize(dag, plan, op_roots, bindings, stats, vals, i);
+    }
+    if !dag.hop(hop).kind.is_leaf() {
+        stats.basic_ops.fetch_add(1, Ordering::Relaxed);
+    }
+    let v = interp::eval_op(dag, hop, vals, bindings);
+    vals[hop.index()] = Some(v);
+}
+
+/// Runs one fused operator with bound inputs.
+fn run_operator(f: &FusedOperator, vals: &[Option<Value>]) -> Vec<fusedml_linalg::Matrix> {
+    let get_matrix = |h: HopId| -> fusedml_linalg::Matrix {
+        vals[h.index()].as_ref().expect("operator input computed").as_matrix()
+    };
+    let main_val = f.cplan.main.map(get_matrix);
+    let sides: Vec<SideInput> =
+        f.cplan.sides.iter().map(|&h| SideInput::bind(&get_matrix(h))).collect();
+    let scalars: Vec<f64> = f
+        .cplan
+        .scalars
+        .iter()
+        .map(|&h| vals[h.index()].as_ref().expect("scalar computed").as_scalar())
+        .collect();
+    spoof::execute(
+        &f.op.spec,
+        main_val.as_ref(),
+        &sides,
+        &scalars,
+        f.cplan.iter_rows,
+        f.cplan.iter_cols,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fusedml_linalg::{generate, Matrix};
-
-    fn bind(pairs: &[(&str, Matrix)]) -> Bindings {
-        pairs.iter().map(|(n, m)| (n.to_string(), m.clone())).collect()
-    }
+    use fusedml_hop::interp::bind;
+    use fusedml_linalg::generate;
 
     /// Gen and Base must agree on the paper's Expression (2) (MLogreg core).
     #[test]
@@ -351,7 +370,7 @@ mod tests {
         let gen = Executor::new(FusionMode::Gen);
         let out = gen.execute(&dag, &bindings);
         assert!(out[0].as_matrix().approx_eq(&base[0].as_matrix(), 1e-9));
-        let (fused, _, _) = gen.stats.snapshot();
+        let (fused, _, _) = gen.stats().snapshot();
         assert!(fused >= 1, "the Row operator must actually run");
     }
 
@@ -385,7 +404,7 @@ mod tests {
         let gen = Executor::new(FusionMode::Gen);
         let out = gen.execute(&dag, &bindings);
         assert!(out[0].as_matrix().approx_eq(&base[0].as_matrix(), 1e-9));
-        let (fused, _, _) = gen.stats.snapshot();
+        let (fused, _, _) = gen.stats().snapshot();
         assert!(fused >= 1, "fused operators must run: {:?}", gen.plan_for(&dag).explain());
     }
 
@@ -455,7 +474,7 @@ mod tests {
         ]);
         let _ = exec.execute(&build(), &bindings);
         let _ = exec.execute(&build(), &bindings);
-        let snap = exec.optimizer.stats.snapshot();
+        let snap = exec.optimizer().stats.snapshot();
         assert_eq!(snap.dags_optimized, 1, "second execution hits the plan cache");
     }
 
@@ -482,5 +501,33 @@ mod tests {
                 assert!(fusedml_linalg::approx_eq(o.as_scalar(), e.as_scalar(), 1e-9), "{mode:?}");
             }
         }
+    }
+
+    /// The legacy-shim revalidation guard: a plan optimized for one geometry
+    /// must not be trusted on a reshaped DAG (the stale-plan bug).
+    #[test]
+    fn stale_plan_is_revalidated_by_shim() {
+        let build = |n: usize| {
+            let mut b = fusedml_hop::DagBuilder::new();
+            let x = b.read("X", n, 64, 1.0);
+            let y = b.read("Y", n, 64, 1.0);
+            let m = b.mult(x, y);
+            let s = b.sum(m);
+            b.build(vec![s])
+        };
+        let exec = Executor::new(FusionMode::Gen);
+        let small = build(64);
+        let plan = exec.plan_for(&small);
+        // Reshaped DAG with the *stale* plan: the guard must re-optimize.
+        let big = build(512);
+        let bindings = bind(&[
+            ("X", generate::rand_dense(512, 64, 0.0, 1.0, 21)),
+            ("Y", generate::rand_dense(512, 64, 0.0, 1.0, 22)),
+        ]);
+        let expect = Executor::new(FusionMode::Base).execute(&big, &bindings)[0].as_scalar();
+        let got = exec.execute_with_plan(&big, &plan, &bindings)[0].as_scalar();
+        assert!(fusedml_linalg::approx_eq(got, expect, 1e-9));
+        let got_seq = exec.execute_with_plan_sequential(&big, &plan, &bindings)[0].as_scalar();
+        assert!(fusedml_linalg::approx_eq(got_seq, expect, 1e-9));
     }
 }

@@ -10,8 +10,12 @@
 //! * [`side`] — side-input access (`getValue(b[i], …)`),
 //! * [`handcoded`] — SystemML-style hand-coded fused operators for the
 //!   `Fused` baseline (fixed patterns: tak+*, mmchain, wsloss, wdivmm),
-//! * [`exec`] — the DAG executor dispatching between basic operators,
-//!   hand-coded fused operators, and generated fused operators,
+//! * [`engine`] — the public execution API: [`EngineBuilder`] → [`Engine`]
+//!   (owns the buffer pool, plan/kernel caches, worker pool, stats) →
+//!   [`Engine::compile`] → [`CompiledScript`] (`Send + Sync`, executes from
+//!   many threads with zero re-optimization),
+//! * [`exec`] — execution statistics plus the deprecated [`Executor`] shim
+//!   over the engine,
 //! * [`schedule`] — the liveness-aware scheduled engine: refcounted value
 //!   slots freed at last use, pool-backed buffers, and parallel execution of
 //!   independent ready operators,
@@ -19,11 +23,13 @@
 //!   broadcast/shuffle time accounting (DESIGN.md substitution X2).
 
 pub mod dist;
+pub mod engine;
 pub mod exec;
 pub mod handcoded;
 pub mod schedule;
 pub mod side;
 pub mod spoof;
 
+pub use engine::{CompiledScript, Engine, EngineBuilder, Outputs};
 pub use exec::{ExecStats, Executor, SchedSnapshot};
 pub use fusedml_core::FusionMode;

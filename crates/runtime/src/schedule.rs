@@ -11,63 +11,77 @@
 //!   instance — with explicit input dependencies;
 //! * value slots are **refcounted by read occurrences**: the last reader
 //!   takes the value owned, the slot is freed immediately, and uniquely
-//!   held dense buffers return to the buffer pool (or are reused *in place*
-//!   as the output of same-shape element-wise operators);
+//!   held dense buffers return to the engine's buffer pool (or are reused
+//!   *in place* as the output of same-shape element-wise operators);
 //! * a **ready set** of tasks with no unmet dependencies is drained by a
-//!   small worker pool (scoped threads sharing the global buffer pool), so
-//!   independent DAG branches execute concurrently while each kernel keeps
-//!   its internal row-band parallelism;
+//!   small worker pool (scoped threads sharing the engine's buffer pool),
+//!   so independent DAG branches execute concurrently while each kernel
+//!   keeps its internal row-band parallelism;
 //! * **roots are moved** (never cloned) out of their slots at the end;
 //! * resident bytes are tracked on every store/free, yielding the
-//!   per-execution peak footprint surfaced through [`ExecStats`].
+//!   per-execution peak footprint surfaced through [`ExecStats`] and the
+//!   per-call [`SchedSnapshot`].
+//!
+//! The task graph is **built once at compile time** ([`prepare`]) and
+//! **executed many times** ([`run`]): `Engine::compile` prepares the graph
+//! for a `CompiledScript`, whose `execute` only allocates the per-call
+//! mutable state — which is why one compiled script can execute from many
+//! threads simultaneously.
 //!
 //! The seed's sequential materializer survives as
 //! [`crate::exec::Executor::execute_with_plan_sequential`], the oracle the
 //! differential property tests compare against (results must be
 //! *bitwise* equal).
 
-use crate::exec::ExecStats;
+use crate::exec::{ExecStats, SchedSnapshot};
 use crate::handcoded::{self, HcOperator};
 use crate::side::SideInput;
 use crate::spoof;
 use fusedml_core::optimizer::FusionPlan;
+use fusedml_core::plancache::KernelCaches;
 use fusedml_core::util::FxHashMap;
 use fusedml_hop::interp::{self, Bindings};
 use fusedml_hop::{HopDag, HopId, OpKind};
 use fusedml_linalg::matrix::Value;
 use fusedml_linalg::ops as lops;
+use fusedml_linalg::pool::PoolHandle;
 use fusedml_linalg::{par, pool, Matrix};
 use std::sync::atomic::Ordering;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-/// Upper bound on scheduler workers: kernels parallelize internally over row
-/// bands, so inter-operator parallelism beyond a few ways oversubscribes.
-const MAX_WORKERS: usize = 4;
+/// Default upper bound on scheduler workers: kernels parallelize internally
+/// over row bands, so inter-operator parallelism beyond a few ways
+/// oversubscribes. Engines can override via `EngineBuilder::workers`.
+pub const DEFAULT_MAX_WORKERS: usize = 4;
 
 /// What one task executes.
-enum TaskKind<'p> {
+enum TaskKind {
     /// A single basic operator.
     Basic(HopId),
     /// A generated fused operator (index into the plan's operator list).
     Fused { op_ix: usize },
-    /// A hand-coded fused pattern instance.
-    Handcoded(&'p HcOperator),
+    /// A hand-coded fused pattern instance (owned, so the graph outlives the
+    /// match pass and can be reused across executions).
+    Handcoded(HcOperator),
 }
 
 /// One schedulable unit.
-struct Task<'p> {
-    kind: TaskKind<'p>,
+struct Task {
+    kind: TaskKind,
     /// Input hops in gather order (for fused ops: main, sides, scalars).
     deps: Vec<HopId>,
-    /// Tasks reading at least one of `outs`.
+    /// Tasks reading at least one of this task's outputs.
     consumers: Vec<usize>,
     /// Dependency depth (tasks at equal depth are mutually independent).
     level: usize,
 }
 
-/// The demand-driven task graph for one DAG under one fusion plan.
-struct TaskGraph<'p> {
-    tasks: Vec<Task<'p>>,
+/// The demand-driven task graph for one DAG under one fusion plan: the
+/// immutable, shareable product of [`prepare`]. All per-execution state
+/// lives in [`run`]'s local scheduler state, so one graph serves concurrent
+/// executions.
+pub struct TaskGraph {
+    tasks: Vec<Task>,
     /// Demanded leaf hops, materialized inline before scheduling.
     leaves: Vec<HopId>,
     /// Per hop: total read occurrences across tasks, +1 for DAG roots.
@@ -78,11 +92,15 @@ struct TaskGraph<'p> {
     max_width: usize,
 }
 
-fn build_graph<'p>(
+/// Builds the task graph for a DAG: the compile-time half of the scheduled
+/// engine. `plan` carries generated fused operators (Gen modes); `patterns`
+/// carries hand-coded instances (`Fused` mode); with neither, every live hop
+/// schedules as a basic task (`Base`).
+pub fn prepare(
     dag: &HopDag,
-    plan: Option<&'p FusionPlan>,
-    patterns: Option<&'p FxHashMap<HopId, HcOperator>>,
-) -> TaskGraph<'p> {
+    plan: Option<&FusionPlan>,
+    patterns: Option<&FxHashMap<HopId, HcOperator>>,
+) -> TaskGraph {
     let mut op_roots: FxHashMap<HopId, usize> = FxHashMap::default();
     if let Some(plan) = plan {
         for (i, f) in plan.operators.iter().enumerate() {
@@ -91,7 +109,7 @@ fn build_graph<'p>(
             }
         }
     }
-    let mut tasks: Vec<Task<'p>> = Vec::new();
+    let mut tasks: Vec<Task> = Vec::new();
     let mut leaves: Vec<HopId> = Vec::new();
     let mut reads = vec![0u32; dag.len()];
     // hop → producing task (leaves have none).
@@ -142,7 +160,7 @@ fn build_graph<'p>(
             producer[h.index()] = Some(t);
             stack.extend(hc.inputs.iter().copied());
             tasks.push(Task {
-                kind: TaskKind::Handcoded(hc),
+                kind: TaskKind::Handcoded(hc.clone()),
                 deps: hc.inputs.clone(),
                 consumers: Vec::new(),
                 level: 0,
@@ -219,7 +237,8 @@ struct SlotIn {
     owned: bool,
 }
 
-/// Shared mutable scheduler state.
+/// Shared mutable scheduler state — one instance per [`run`] call, so
+/// concurrent executions of the same graph never interfere.
 struct EngineState {
     slots: Vec<Option<Value>>,
     reads_left: Vec<u32>,
@@ -235,18 +254,26 @@ struct EngineState {
     poisoned: bool,
 }
 
-/// Executes a DAG under the scheduled engine. `plan` carries generated fused
-/// operators (Gen modes); `patterns` carries hand-coded instances (`Fused`
-/// mode); with neither, every live hop schedules as a basic task (`Base`).
-pub fn execute(
+/// Executes a prepared task graph over bound inputs: the run-time half of
+/// the scheduled engine. Workers draw buffers from `pool` and resolve
+/// lowered kernels from `kernels` (both engine-owned). Returns the root
+/// values in root order plus this call's [`SchedSnapshot`] delta; the same
+/// events are also accumulated into `stats`.
+#[allow(clippy::too_many_arguments)] // the engine's full execution context
+pub fn run(
+    graph: &TaskGraph,
     dag: &HopDag,
     plan: Option<&FusionPlan>,
-    patterns: Option<&FxHashMap<HopId, HcOperator>>,
     bindings: &Bindings,
     stats: &ExecStats,
-) -> Vec<Value> {
-    let pool_before = pool::global().stats();
-    let graph = build_graph(dag, plan, patterns);
+    max_workers: usize,
+    pool_handle: &PoolHandle,
+    kernels: &Arc<KernelCaches>,
+) -> (Vec<Value>, SchedSnapshot) {
+    // Per-call tally: pooled requests made by this call's workers (and their
+    // band threads) are attributed here, so the returned delta stays exact
+    // even when other executions run concurrently on the same engine pool.
+    let tally = Arc::new(pool::PoolTally::default());
     let mut st = EngineState {
         slots: vec![None; dag.len()],
         reads_left: graph.reads.clone(),
@@ -274,35 +301,42 @@ pub fn execute(
             st.ready.push(t);
         }
     }
-    let workers =
-        graph.max_width.min(par::num_threads()).clamp(1, MAX_WORKERS).min(graph.tasks.len().max(1));
+    let workers = graph
+        .max_width
+        .min(par::num_threads())
+        .clamp(1, max_workers.max(1))
+        .min(graph.tasks.len().max(1));
     let shared = Mutex::new(st);
     let cvar = Condvar::new();
-    let run = |w: &Mutex<EngineState>| {
-        worker_loop(w, &cvar, &graph, dag, plan, bindings, stats);
+    let run_worker = |w: &Mutex<EngineState>| {
+        let _pool = pool::enter_tallied(pool_handle, &tally);
+        let _kern = spoof::enter_kernels(kernels);
+        worker_loop(w, &cvar, graph, dag, plan, bindings, stats);
     };
     if workers <= 1 {
-        run(&shared);
+        run_worker(&shared);
     } else {
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| run(&shared));
+                s.spawn(|| run_worker(&shared));
             }
         });
     }
     let mut st = lock(&shared);
     assert!(!st.poisoned, "scheduler worker panicked");
-    stats.sched_parallel_ops.fetch_add(st.parallel_ops, Ordering::Relaxed);
-    stats.sched_bytes_freed_early.fetch_add(st.freed_early_bytes, Ordering::Relaxed);
-    stats.sched_peak_bytes.store(st.peak_bytes, Ordering::Relaxed);
-    stats.sched_resident_all_bytes.store(st.resident_all_bytes, Ordering::Relaxed);
-    let pool_after = pool::global().stats();
-    stats.pool_hits.fetch_add((pool_after.hits - pool_before.hits) as usize, Ordering::Relaxed);
-    stats
-        .pool_misses
-        .fetch_add((pool_after.misses - pool_before.misses) as usize, Ordering::Relaxed);
+    let snapshot = SchedSnapshot {
+        parallel_ops: st.parallel_ops,
+        bytes_freed_early: st.freed_early_bytes,
+        peak_bytes: st.peak_bytes,
+        resident_all_bytes: st.resident_all_bytes,
+        pool_hits: tally.hits() as usize,
+        pool_misses: tally.misses() as usize,
+    };
+    stats.record_sched(&snapshot);
     // Roots are moved out, never cloned.
-    dag.roots().iter().map(|r| st.slots[r.index()].take().expect("root computed")).collect()
+    let roots =
+        dag.roots().iter().map(|r| st.slots[r.index()].take().expect("root computed")).collect();
+    (roots, snapshot)
 }
 
 fn lock<'a>(m: &'a Mutex<EngineState>) -> MutexGuard<'a, EngineState> {
@@ -313,7 +347,7 @@ fn lock<'a>(m: &'a Mutex<EngineState>) -> MutexGuard<'a, EngineState> {
 fn worker_loop(
     shared: &Mutex<EngineState>,
     cvar: &Condvar,
-    graph: &TaskGraph<'_>,
+    graph: &TaskGraph,
     dag: &HopDag,
     plan: Option<&FusionPlan>,
     bindings: &Bindings,
@@ -409,18 +443,18 @@ fn worker_loop(
 
 /// Runs one task over its gathered inputs; returns `(hop, value)` stores.
 fn run_task(
-    task: &Task<'_>,
+    task: &Task,
     ins: Vec<SlotIn>,
     dag: &HopDag,
     plan: Option<&FusionPlan>,
     bindings: &Bindings,
     stats: &ExecStats,
 ) -> Vec<(HopId, Value)> {
-    match task.kind {
+    match &task.kind {
         TaskKind::Basic(h) => {
             stats.basic_ops.fetch_add(1, Ordering::Relaxed);
-            let v = eval_basic(dag, h, ins, bindings);
-            vec![(h, v)]
+            let v = eval_basic(dag, *h, ins, bindings);
+            vec![(*h, v)]
         }
         TaskKind::Handcoded(hc) => {
             stats.handcoded_ops.fetch_add(1, Ordering::Relaxed);
@@ -434,7 +468,7 @@ fn run_task(
         }
         TaskKind::Fused { op_ix } => {
             stats.fused_ops.fetch_add(1, Ordering::Relaxed);
-            let f = &plan.expect("fused task implies a plan").operators[op_ix];
+            let f = &plan.expect("fused task implies a plan").operators[*op_ix];
             let n_main = usize::from(f.cplan.main.is_some());
             let n_sides = f.cplan.sides.len();
             let main_val = ins.first().filter(|_| n_main == 1).map(|s| s.val.as_matrix());

@@ -12,7 +12,6 @@
 
 use crate::side::SideInput;
 use crate::spoof::tiles::{self, MainReader, TileRunner};
-use fusedml_core::plancache;
 use fusedml_core::spoof::block::{
     self, fold_result, write_result, BlockProgram, CellBackend, FastKernel, OpRef, TileSrc,
 };
@@ -44,7 +43,7 @@ pub fn execute_with(
     backend: CellBackend,
 ) -> Matrix {
     if backend != CellBackend::Scalar {
-        let kernel = plancache::block_cache().get_or_lower(&spec.prog);
+        let kernel = super::kernels().block.get_or_lower(&spec.prog);
         if tiles::supported(&kernel) {
             let fast_ok = backend == CellBackend::BlockFast;
             return match (main, spec.sparse_safe) {

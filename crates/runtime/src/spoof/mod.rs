@@ -19,8 +19,37 @@ pub mod rowwise;
 pub mod tiles;
 
 use crate::side::SideInput;
+use fusedml_core::plancache::KernelCaches;
 use fusedml_core::spoof::FusedSpec;
-use fusedml_linalg::Matrix;
+use fusedml_linalg::{scoped, Matrix};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+thread_local! {
+    static CURRENT_KERNELS: scoped::Stack<Arc<KernelCaches>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for an installed kernel-cache scope (see [`enter_kernels`]);
+/// the shared [`scoped`] machinery debug-asserts LIFO drop order.
+pub struct KernelScope {
+    _guard: scoped::Guard<Arc<KernelCaches>>,
+}
+
+/// Installs an engine's kernel caches as the current thread's lowering cache
+/// until the returned guard drops. The executor enters a scope around each
+/// task, so the skeletons resolve lowered block/row kernels from the engine
+/// that compiled them — there is no process-wide kernel cache. Outside any
+/// scope the skeletons lower uncached (correct, just slower; only exercised
+/// by direct skeleton tests).
+pub fn enter_kernels(caches: &Arc<KernelCaches>) -> KernelScope {
+    KernelScope { _guard: scoped::push(&CURRENT_KERNELS, Arc::clone(caches)) }
+}
+
+/// The kernel caches the skeletons should lower through: the innermost
+/// installed scope, or a fresh empty set when executing outside any engine.
+pub(crate) fn kernels() -> Arc<KernelCaches> {
+    scoped::top(&CURRENT_KERNELS).unwrap_or_else(|| Arc::new(KernelCaches::default()))
+}
 
 /// Executes a compiled fused operator over bound inputs.
 ///

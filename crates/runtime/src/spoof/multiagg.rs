@@ -10,7 +10,6 @@
 
 use crate::side::SideInput;
 use crate::spoof::tiles::{self, MainReader, TileRunner};
-use fusedml_core::plancache;
 use fusedml_core::spoof::block::{self, fold_result, CellBackend, FastKernel, OpRef, TileSrc};
 use fusedml_core::spoof::{eval_scalar_program, MAggSpec, SideAccess};
 use fusedml_linalg::ops::AggOp;
@@ -39,7 +38,7 @@ pub fn execute_with(
     backend: CellBackend,
 ) -> Vec<Matrix> {
     let accs = if backend != CellBackend::Scalar {
-        let kernel = plancache::block_cache().get_or_lower(&spec.prog);
+        let kernel = super::kernels().block.get_or_lower(&spec.prog);
         if tiles::supported(&kernel) {
             block_fold(
                 spec,

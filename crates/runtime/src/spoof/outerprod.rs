@@ -6,7 +6,6 @@
 
 use crate::side::SideInput;
 use crate::spoof::tiles::{self, MainReader, TileRunner};
-use fusedml_core::plancache;
 use fusedml_core::spoof::block::{self, fold_result, write_result, CellBackend, OpRef, TileSrc};
 use fusedml_core::spoof::{eval_scalar_program, OuterOut, OuterSpec, SideAccess};
 use fusedml_linalg::ops::AggOp;
@@ -40,7 +39,7 @@ pub fn execute_with(
     let r = spec.rank;
 
     if backend != CellBackend::Scalar {
-        let kernel = plancache::block_cache().get_or_lower(&spec.prog);
+        let kernel = super::kernels().block.get_or_lower(&spec.prog);
         if tiles::supported(&kernel) {
             return match main {
                 Some(Matrix::Sparse(s)) if spec.sparse_safe => {

@@ -23,7 +23,6 @@
 //! too large to JIT).
 
 use crate::side::SideInput;
-use fusedml_core::plancache;
 use fusedml_core::spoof::block::{self, RowFastKernel, RowKernel};
 use fusedml_core::spoof::{Instr, Program, Reg, RowExecMode, RowOut, RowSpec};
 use fusedml_linalg::ops::{AggOp, BinaryOp, UnaryOp};
@@ -490,7 +489,7 @@ fn sparse_agg(op: AggOp, vals: &[f64], len: usize) -> f64 {
 
 fn block_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f64]) -> Matrix {
     let side_dims: Vec<(usize, usize)> = sides.iter().map(|s| (s.rows(), s.cols())).collect();
-    let kernel = plancache::row_cache().get_or_lower(spec, &side_dims);
+    let kernel = super::kernels().row.get_or_lower(spec, &side_dims);
     let n = main.rows();
     let work = work_per_row(spec, main);
     let add_reduce = |mut a: Vec<f64>, b: Vec<f64>| {

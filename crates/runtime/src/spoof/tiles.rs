@@ -1,5 +1,5 @@
 //! Tile gathering for the block backend: resolves each of a
-//! [`BlockProgram`]'s side gathers into per-tile slices — zero-copy for
+//! [`fusedml_core::spoof::block::BlockProgram`]'s side gathers into per-tile slices — zero-copy for
 //! dense sides under dense iteration, densified-row or scatter-gather
 //! scratch otherwise — and drives the tile evaluator.
 //!

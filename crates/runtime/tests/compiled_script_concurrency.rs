@@ -1,0 +1,252 @@
+//! The compile-once / execute-concurrently contract of the engine API:
+//!
+//! * one `CompiledScript` executed from N threads on distinct bindings must
+//!   agree **bitwise** with the sequential oracle on every one of them;
+//! * repeated `execute` calls perform **zero re-optimization** (`plan_for` /
+//!   codegen run exactly once, pinned via optimizer and plan-cache stats);
+//! * the shape-revalidation guard recompiles exactly once per new input
+//!   geometry instead of trusting the stale plan;
+//! * two engines with different configurations coexist without sharing
+//!   pools or caches.
+
+use fusedml_hop::interp::{bind, Bindings};
+use fusedml_hop::{DagBuilder, HopDag};
+use fusedml_linalg::generate;
+use fusedml_linalg::matrix::Value;
+use fusedml_runtime::{Engine, EngineBuilder, FusionMode};
+
+/// The MLogreg-core expression (paper Expression 2) — compiles to a Row
+/// operator under Gen.
+fn mlogreg_dag(n: usize, m: usize, k: usize) -> HopDag {
+    let mut b = DagBuilder::new();
+    let x = b.read("X", n, m, 1.0);
+    let v = b.read("V", m, k, 1.0);
+    let p = b.read("P", n, k + 1, 1.0);
+    let xv = b.mm(x, v);
+    let pk = b.rix(p, None, Some((0, k)));
+    let q = b.mult(pk, xv);
+    let rs = b.row_sums(q);
+    let prs = b.mult(pk, rs);
+    let diff = b.sub(q, prs);
+    let xt = b.t(x);
+    let h = b.mm(xt, diff);
+    b.build(vec![h])
+}
+
+fn mlogreg_bindings(n: usize, m: usize, k: usize, seed: u64) -> Bindings {
+    bind(&[
+        ("X", generate::rand_dense(n, m, -1.0, 1.0, seed)),
+        ("V", generate::rand_dense(m, k, -1.0, 1.0, seed + 1000)),
+        ("P", generate::rand_dense(n, k + 1, 0.0, 1.0, seed + 2000)),
+    ])
+}
+
+/// Bitwise equality (NaN bit patterns included).
+fn assert_bitwise_eq(got: &[Value], expect: &[Value], what: &str) {
+    assert_eq!(got.len(), expect.len(), "{what}: root count");
+    for (i, (g, x)) in got.iter().zip(expect).enumerate() {
+        let (gm, xm) = (g.as_matrix(), x.as_matrix());
+        assert_eq!((gm.rows(), gm.cols()), (xm.rows(), xm.cols()), "{what} root {i}");
+        for r in 0..gm.rows() {
+            for c in 0..gm.cols() {
+                assert!(
+                    gm.get(r, c).to_bits() == xm.get(r, c).to_bits(),
+                    "{what} root {i} at ({r},{c}): {} vs {}",
+                    gm.get(r, c),
+                    xm.get(r, c)
+                );
+            }
+        }
+    }
+}
+
+/// N threads hammer one compiled script with *distinct* bindings; every
+/// result must be bitwise-equal to the sequential oracle, and the optimizer
+/// must have run exactly once.
+#[test]
+fn concurrent_executes_agree_bitwise_with_sequential() {
+    const THREADS: usize = 8;
+    let (n, m, k) = (120, 24, 3);
+    let dag = mlogreg_dag(n, m, k);
+    for mode in [FusionMode::Base, FusionMode::Fused, FusionMode::Gen] {
+        let engine = Engine::new(mode);
+        let script = engine.compile(&dag);
+        let compiled_dags = engine.optimizer().stats.snapshot().dags_optimized;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let script = script.clone();
+                s.spawn(move || {
+                    let bindings = mlogreg_bindings(n, m, k, 100 * t as u64 + 1);
+                    let expect = script.execute_sequential(&bindings);
+                    for round in 0..3 {
+                        let got = script.execute(&bindings);
+                        assert_bitwise_eq(
+                            got.values(),
+                            &expect,
+                            &format!("{mode:?} thread {t} round {round}"),
+                        );
+                    }
+                });
+            }
+        });
+        let snap = engine.optimizer().stats.snapshot();
+        assert_eq!(
+            snap.dags_optimized, compiled_dags,
+            "{mode:?}: no thread may re-run the optimizer"
+        );
+        if mode == FusionMode::Gen {
+            assert_eq!(snap.dags_optimized, 1, "Gen compiles the DAG exactly once");
+            let (fused, _, _) = engine.stats().snapshot();
+            assert!(fused >= THREADS, "every thread executed the fused operator");
+        }
+        assert_eq!(engine.stats().plan_recompiles(), 0, "{mode:?}: no shape recompiles");
+    }
+}
+
+/// Repeated `execute` calls (including through freshly rebuilt DAGs, as an
+/// iterative algorithm would issue) hit the engine's plan/script caches with
+/// a 100% hit rate after the first call: zero re-optimization, zero new
+/// codegen, zero new kernel lowering.
+#[test]
+fn repeated_execute_is_compile_free() {
+    let (n, m, k) = (90, 16, 3);
+    let engine = Engine::new(FusionMode::Gen);
+    let bindings = mlogreg_bindings(n, m, k, 7);
+    let _ = engine.execute(&mlogreg_dag(n, m, k), &bindings); // cold: compiles
+    let opt_after_first = engine.optimizer().stats.snapshot();
+    let plan_cache_after_first = engine.plan_cache().stats();
+    let block_after_first = engine.kernel_caches().block.stats();
+    let row_after_first = engine.kernel_caches().row.stats();
+    assert_eq!(opt_after_first.dags_optimized, 1);
+
+    for round in 0..10 {
+        // Rebuild the DAG each round — same structure, fresh object — like
+        // an iterative driver re-emitting its update rule.
+        let _ = engine.execute(&mlogreg_dag(n, m, k), &bindings);
+        let snap = engine.optimizer().stats.snapshot();
+        assert_eq!(snap.dags_optimized, 1, "round {round}: plan cache must absorb the call");
+    }
+    assert_eq!(
+        engine.plan_cache().stats().1,
+        plan_cache_after_first.1,
+        "no new operator compilations after the first call (100% hit rate)"
+    );
+    assert_eq!(
+        engine.kernel_caches().block.stats().1,
+        block_after_first.1,
+        "no new block-kernel lowering after the first call"
+    );
+    assert_eq!(
+        engine.kernel_caches().row.stats().1,
+        row_after_first.1,
+        "no new row-kernel lowering after the first call"
+    );
+}
+
+/// Binding a different input geometry than the script was costed under must
+/// not silently trust the stale plan: the guard recompiles — exactly once
+/// per distinct geometry — and the results match the oracle.
+#[test]
+fn shape_revalidation_recompiles_once_per_geometry() {
+    let (n, m, k) = (64, 16, 3);
+    let engine = Engine::new(FusionMode::Gen);
+    let script = engine.compile(&mlogreg_dag(n, m, k));
+
+    // Declared geometry: no recompile.
+    let b0 = mlogreg_bindings(n, m, k, 1);
+    let expect0 = script.execute_sequential(&b0);
+    assert_bitwise_eq(script.execute(&b0).values(), &expect0, "declared geometry");
+    assert_eq!(engine.stats().plan_recompiles(), 0);
+
+    // New row count: the costed plan's iteration spaces are stale — the
+    // guard must recompile, once, and keep serving the new geometry.
+    let big = 256;
+    let b1 = mlogreg_bindings(big, m, k, 2);
+    let expect1 = script.execute_sequential(&b1);
+    for _ in 0..4 {
+        assert_bitwise_eq(script.execute(&b1).values(), &expect1, "reshaped geometry");
+    }
+    assert_eq!(engine.stats().plan_recompiles(), 1, "one recompile per new geometry");
+    assert_eq!(script.recompiled_variants(), 1);
+
+    // The original geometry still runs against the base plan.
+    assert_bitwise_eq(script.execute(&b0).values(), &expect0, "declared geometry again");
+    assert_eq!(engine.stats().plan_recompiles(), 1);
+}
+
+/// A *dead* node whose stale geometry becomes incompatible with the new
+/// bound shapes must not break the revalidation recompile — only live
+/// nodes are re-propagated (regression: `with_read_geometry` used to
+/// re-infer dead hops and panic on a valid execution).
+#[test]
+fn shape_revalidation_ignores_dead_nodes() {
+    let mut b = DagBuilder::new();
+    let x = b.read("X", 8, 4, 1.0);
+    let a = b.read("A", 3, 8, 1.0);
+    let _dead = b.mm(a, x); // unreachable from roots; inner dim pins X to 8 rows
+    let s = b.sum(x);
+    let dag = b.build(vec![s]);
+    let engine = Engine::new(FusionMode::Gen);
+    let script = engine.compile(&dag);
+    // X grows to 16 rows: valid (the dead matmult never runs).
+    let bindings = bind(&[
+        ("X", generate::rand_dense(16, 4, 0.0, 1.0, 11)),
+        ("A", generate::rand_dense(3, 8, 0.0, 1.0, 12)),
+    ]);
+    let expect = script.execute_sequential(&bindings);
+    assert_bitwise_eq(script.execute(&bindings).values(), &expect, "dead-node reshape");
+    assert_eq!(engine.stats().plan_recompiles(), 1);
+}
+
+/// Two engines with different configurations coexist in one process with
+/// fully isolated pools and caches.
+#[test]
+fn engines_are_isolated() {
+    let (n, m, k) = (80, 16, 3);
+    let a = EngineBuilder::new(FusionMode::Gen).workers(1).memory_budget(1 << 20).build();
+    let b = EngineBuilder::new(FusionMode::Gen).workers(4).build();
+    let bindings = mlogreg_bindings(n, m, k, 3);
+    let _ = a.execute(&mlogreg_dag(n, m, k), &bindings);
+
+    // Engine A did work; engine B's caches and pool never saw any of it.
+    assert_eq!(a.optimizer().stats.snapshot().dags_optimized, 1);
+    assert_eq!(b.optimizer().stats.snapshot().dags_optimized, 0);
+    assert_eq!(b.plan_cache().stats(), (0, 0));
+    assert_eq!(b.kernel_caches().block.stats(), (0, 0));
+    assert_eq!(b.kernel_caches().row.stats(), (0, 0));
+    let bp = b.pool_stats();
+    assert_eq!((bp.hits, bp.misses, bp.returns), (0, 0, 0), "pools are engine-owned");
+    assert_eq!(b.stats().snapshot(), (0, 0, 0));
+
+    // B still works independently, with its own budget.
+    let out_a = a.execute(&mlogreg_dag(n, m, k), &bindings);
+    let out_b = b.execute(&mlogreg_dag(n, m, k), &bindings);
+    assert_bitwise_eq(out_b.values(), out_a.values(), "engines agree on results");
+    assert!(a.pool().max_bytes() != b.pool().max_bytes());
+}
+
+/// Per-call scheduler deltas come back on `Outputs` (satellite: SchedSnapshot
+/// deltas per execute), and the multi-intermediate chain's delta shows early
+/// frees on every call, not just cumulative totals.
+#[test]
+fn per_call_sched_deltas_are_reported() {
+    let mut b = DagBuilder::new();
+    let x = b.read("X", 300, 200, 1.0);
+    let mut cur = x;
+    for _ in 0..8 {
+        cur = b.exp(cur);
+    }
+    let s = b.sum(cur);
+    let dag = b.build(vec![s]);
+    let engine = Engine::new(FusionMode::Base);
+    let script = engine.compile(&dag);
+    let bindings = bind(&[("X", generate::rand_dense(300, 200, -0.01, 0.01, 5))]);
+    let first = script.execute(&bindings).sched();
+    let second = script.execute(&bindings).sched();
+    for (i, snap) in [first, second].into_iter().enumerate() {
+        assert!(snap.bytes_freed_early > 0, "call {i}: chain frees early");
+        assert!(snap.peak_bytes > 0 && snap.peak_bytes <= snap.resident_all_bytes);
+    }
+    // Warm call recycles through the engine pool.
+    assert!(second.pool_hits > 0, "warm executions must hit the engine pool");
+}

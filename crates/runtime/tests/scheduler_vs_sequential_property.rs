@@ -116,7 +116,7 @@ proptest! {
             assert_bitwise_eq(&got, &expect, mode, &e.ops);
             // The liveness-tracked peak can never exceed the hold-everything
             // resident set (inputs + every materialized intermediate).
-            let sched = exec.stats.scheduler_snapshot();
+            let sched = exec.stats().scheduler_snapshot();
             prop_assert!(
                 sched.peak_bytes <= sched.resident_all_bytes,
                 "{mode:?}: peak {} > hold-everything {}",
@@ -144,7 +144,7 @@ fn chain_footprint_drops_at_least_2x() {
     bindings.insert("X".into(), generate::rand_dense(400, 300, -0.01, 0.01, 9));
     let exec = Executor::new(FusionMode::Base);
     let _ = exec.execute(&dag, &bindings);
-    let sched = exec.stats.scheduler_snapshot();
+    let sched = exec.stats().scheduler_snapshot();
     assert!(
         sched.footprint_reduction() >= 2.0,
         "chain peak {} vs hold-everything {} (reduction {:.2}×)",
@@ -182,7 +182,7 @@ fn independent_branches_run_in_parallel() {
     let base = exec.execute_sequential(&dag, &bindings);
     let got = exec.execute(&dag, &bindings);
     assert_bitwise_eq(&got, &base, FusionMode::Base, &[]);
-    let sched = exec.stats.scheduler_snapshot();
+    let sched = exec.stats().scheduler_snapshot();
     assert!(sched.parallel_ops > 0, "independent branches must overlap");
 }
 

@@ -12,7 +12,7 @@
 
 use fusedml::algos::alscg;
 use fusedml::core::FusionMode;
-use fusedml::runtime::Executor;
+use fusedml::runtime::Engine;
 
 fn main() {
     let (users, items, sparsity) = (20_000, 5_000, 0.002);
@@ -26,16 +26,16 @@ fn main() {
         alscg::dense_plane_bytes(users, items) / 1e6
     );
 
-    let exec = Executor::new(FusionMode::Gen);
+    let exec = Engine::new(FusionMode::Gen);
     let cfg = alscg::AlsConfig { rank: 20, max_iter: 5, ..Default::default() };
     let result = alscg::run(&exec, &ratings, &cfg);
-    let (fused, handcoded, basic) = exec.stats.snapshot();
+    let (fused, handcoded, basic) = exec.stats().snapshot();
     println!(
         "trained rank-{} factorization in {:.2}s ({} iterations, loss {:.4e})",
         cfg.rank, result.seconds, result.iterations, result.objective
     );
     println!("operators executed: {fused} generated-fused, {handcoded} hand-coded, {basic} basic");
-    let snap = exec.optimizer.stats.snapshot();
+    let snap = exec.optimizer().stats.snapshot();
     println!(
         "optimizer: {} DAGs optimized, {} operators compiled, {} plan-cache hits",
         snap.dags_optimized, snap.operators_compiled, snap.cache_hits

@@ -8,7 +8,7 @@
 
 use fusedml::algos::mlogreg;
 use fusedml::core::FusionMode;
-use fusedml::runtime::Executor;
+use fusedml::runtime::Engine;
 
 fn main() {
     let (n, m, k) = (50_000, 50, 4);
@@ -16,11 +16,11 @@ fn main() {
     println!("training {k}-class MLogreg on {n}x{m} features");
 
     for mode in [FusionMode::Base, FusionMode::Gen] {
-        let exec = Executor::new(mode);
+        let exec = Engine::new(mode);
         let cfg =
             mlogreg::MLogregConfig { classes: k, max_outer: 5, max_inner: 5, ..Default::default() };
         let r = mlogreg::run(&exec, &x, &y, &cfg);
-        let (fused, _, basic) = exec.stats.snapshot();
+        let (fused, _, basic) = exec.stats().snapshot();
         println!(
             "{mode:?}: {:.2}s, {} outer iterations, NLL {:.2}, {} fused / {} basic operators",
             r.seconds, r.iterations, r.objective, fused, basic
@@ -28,7 +28,7 @@ fn main() {
     }
 
     // Show the fusion plan of the Hessian-vector product.
-    let exec = Executor::new(FusionMode::Gen);
+    let exec = Engine::new(FusionMode::Gen);
     let cfg =
         mlogreg::MLogregConfig { classes: k, max_outer: 1, max_inner: 1, ..Default::default() };
     let _ = mlogreg::run(&exec, &x, &y, &cfg);

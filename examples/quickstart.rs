@@ -1,15 +1,16 @@
-//! Quickstart: build a linear-algebra DAG, let the cost-based optimizer
-//! fuse it, and execute it — comparing against unfused execution.
+//! Quickstart: build a linear-algebra DAG, compile it once into a
+//! [`CompiledScript`] (the cost-based optimizer fuses it here), and execute
+//! the compiled script — comparing against unfused execution.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use fusedml::core::FusionMode;
-use fusedml::hop::interp::Bindings;
+use fusedml::hop::interp::bind;
 use fusedml::hop::DagBuilder;
 use fusedml::linalg::generate;
-use fusedml::runtime::Executor;
+use fusedml::runtime::Engine;
 
 fn main() {
     // sum(X ⊙ Y ⊙ Z): three element-wise multiplies and a full aggregate.
@@ -26,25 +27,28 @@ fn main() {
     let dag = b.build(vec![s]);
     println!("HOP DAG:\n{}", dag.explain());
 
-    let mut bindings = Bindings::new();
-    bindings.insert("X".into(), generate::rand_dense(n, m, -1.0, 1.0, 1));
-    bindings.insert("Y".into(), generate::rand_dense(n, m, -1.0, 1.0, 2));
-    bindings.insert("Z".into(), generate::rand_dense(n, m, -1.0, 1.0, 3));
+    let bindings = bind(&[
+        ("X", generate::rand_dense(n, m, -1.0, 1.0, 1)),
+        ("Y", generate::rand_dense(n, m, -1.0, 1.0, 2)),
+        ("Z", generate::rand_dense(n, m, -1.0, 1.0, 3)),
+    ]);
 
-    // Optimize: explore fusion candidates, select the cost-optimal plan,
-    // generate the fused operator.
-    let exec = Executor::new(FusionMode::Gen);
-    let plan = exec.plan_for(&dag);
-    println!("Fusion plan:\n{}", plan.explain());
+    // Compile once: explore fusion candidates, select the cost-optimal plan,
+    // generate the fused operator, prepare the task graph. The returned
+    // script is Send + Sync and executes from any number of threads.
+    let engine = Engine::new(FusionMode::Gen);
+    let script = engine.compile(&dag);
+    println!("Fusion plan:\n{}", script.explain());
+    let plan = script.plan().expect("Gen mode generates operators");
     println!("Generated operator source:\n{}", plan.operators[0].op.source);
 
     // Execute fused and unfused; both must agree.
     let t0 = std::time::Instant::now();
-    let fused = exec.execute(&dag, &bindings)[0].as_scalar();
+    let fused = script.execute(&bindings).scalar(0);
     let fused_time = t0.elapsed();
-    let base_exec = Executor::new(FusionMode::Base);
+    let base_engine = Engine::new(FusionMode::Base);
     let t0 = std::time::Instant::now();
-    let base = base_exec.execute(&dag, &bindings)[0].as_scalar();
+    let base = base_engine.execute(&dag, &bindings).scalar(0);
     let base_time = t0.elapsed();
     println!("fused  = {fused:.6}  ({fused_time:?})");
     println!("unfused= {base:.6}  ({base_time:?})");

@@ -11,9 +11,38 @@
 //! * [`hop`] — the HOP DAG compiler IR with size propagation,
 //! * [`core`] — the fusion optimizer: OFMC candidate exploration, memo
 //!   table, CPlans, code generation, cost model and `MPSkipEnum`,
-//! * [`runtime`] — fused-operator skeletons, local executor, and the
-//!   simulated distributed backend,
+//! * [`runtime`] — the engine API (`EngineBuilder` → `Engine::compile` →
+//!   `CompiledScript`), fused-operator skeletons, the scheduled executor,
+//!   and the simulated distributed backend,
 //! * [`algos`] — the six ML algorithms of the paper's evaluation.
+//!
+//! The README quickstart, compile-checked:
+//!
+//! ```
+//! use fusedml::hop::{interp::bind, DagBuilder};
+//! use fusedml::linalg::generate;
+//! use fusedml::runtime::{EngineBuilder, FusionMode};
+//!
+//! // sum(X ⊙ Y): fuses into a single-pass Cell operator under Gen.
+//! let mut b = DagBuilder::new();
+//! let x = b.read("X", 1000, 100, 1.0);
+//! let y = b.read("Y", 1000, 100, 1.0);
+//! let xy = b.mult(x, y);
+//! let s = b.sum(xy);
+//! let dag = b.build(vec![s]);
+//!
+//! let engine = EngineBuilder::new(FusionMode::Gen)
+//!     .workers(4)               // inter-operator scheduler workers
+//!     .memory_budget(1 << 30)   // buffer-pool retention budget
+//!     .build();
+//! let script = engine.compile(&dag); // exploration/costing/codegen run once
+//! let out = script.execute(&bind(&[
+//!     ("X", generate::rand_dense(1000, 100, 0.0, 1.0, 1)),
+//!     ("Y", generate::rand_dense(1000, 100, 0.0, 1.0, 2)),
+//! ]));
+//! assert!(out.scalar(0).is_finite());
+//! assert_eq!(engine.optimizer().stats.snapshot().dags_optimized, 1);
+//! ```
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 

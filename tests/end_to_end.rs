@@ -3,14 +3,10 @@
 //! the reference interpreter for every fusion mode.
 
 use fusedml::core::FusionMode;
-use fusedml::hop::interp::Bindings;
+use fusedml::hop::interp::bind;
 use fusedml::hop::DagBuilder;
-use fusedml::linalg::{generate, Matrix};
-use fusedml::runtime::Executor;
-
-fn bind(pairs: &[(&str, Matrix)]) -> Bindings {
-    pairs.iter().map(|(n, m)| (n.to_string(), m.clone())).collect()
-}
+use fusedml::linalg::generate;
+use fusedml::runtime::Engine;
 
 const ALL_MODES: [FusionMode; 5] =
     [FusionMode::Base, FusionMode::Fused, FusionMode::Gen, FusionMode::GenFA, FusionMode::GenFNR];
@@ -31,9 +27,9 @@ fn fig1a_cell_chain_all_modes() {
         ("Y", generate::rand_dense(300, 200, -1.0, 1.0, 2)),
         ("Z", generate::rand_dense(300, 200, -1.0, 1.0, 3)),
     ]);
-    let expect = Executor::new(FusionMode::Base).execute(&dag, &bindings)[0].as_scalar();
+    let expect = Engine::new(FusionMode::Base).execute(&dag, &bindings)[0].as_scalar();
     for mode in ALL_MODES {
-        let got = Executor::new(mode).execute(&dag, &bindings)[0].as_scalar();
+        let got = Engine::new(mode).execute(&dag, &bindings)[0].as_scalar();
         assert!(fusedml::linalg::approx_eq(got, expect, 1e-9), "{mode:?}");
     }
 }
@@ -52,9 +48,9 @@ fn fig1b_mv_chain_all_modes() {
         ("X", generate::rand_dense(1_000, 100, -1.0, 1.0, 4)),
         ("v", generate::rand_dense(100, 1, -1.0, 1.0, 5)),
     ]);
-    let expect = Executor::new(FusionMode::Base).execute(&dag, &bindings)[0].as_matrix();
+    let expect = Engine::new(FusionMode::Base).execute(&dag, &bindings)[0].as_matrix();
     for mode in ALL_MODES {
-        let got = Executor::new(mode).execute(&dag, &bindings)[0].as_matrix();
+        let got = Engine::new(mode).execute(&dag, &bindings)[0].as_matrix();
         assert!(got.approx_eq(&expect, 1e-9), "{mode:?}");
     }
 }
@@ -76,14 +72,14 @@ fn fig1c_multi_aggregates_all_modes() {
         ("X", generate::rand_dense(400, 150, -1.0, 1.0, 6)),
         ("Y", generate::rand_dense(400, 150, -1.0, 1.0, 7)),
     ]);
-    let expect: Vec<f64> = Executor::new(FusionMode::Base)
+    let expect: Vec<f64> = Engine::new(FusionMode::Base)
         .execute(&dag, &bindings)
         .iter()
         .map(|v| v.as_scalar())
         .collect();
     for mode in ALL_MODES {
         let got: Vec<f64> =
-            Executor::new(mode).execute(&dag, &bindings).iter().map(|v| v.as_scalar()).collect();
+            Engine::new(mode).execute(&dag, &bindings).iter().map(|v| v.as_scalar()).collect();
         for (g, e) in got.iter().zip(&expect) {
             assert!(fusedml::linalg::approx_eq(*g, *e, 1e-9), "{mode:?}");
         }
@@ -111,9 +107,9 @@ fn fig1d_outer_loss_all_modes() {
         ("U", generate::rand_dense(n, r, 0.1, 1.0, 9)),
         ("V", generate::rand_dense(m, r, 0.1, 1.0, 10)),
     ]);
-    let expect = Executor::new(FusionMode::Base).execute(&dag, &bindings)[0].as_scalar();
+    let expect = Engine::new(FusionMode::Base).execute(&dag, &bindings)[0].as_scalar();
     for mode in ALL_MODES {
-        let got = Executor::new(mode).execute(&dag, &bindings)[0].as_scalar();
+        let got = Engine::new(mode).execute(&dag, &bindings)[0].as_scalar();
         assert!(fusedml::linalg::approx_eq(got, expect, 1e-9), "{mode:?}");
     }
 }
@@ -133,9 +129,9 @@ fn gen_operator_counts() {
         ("X", generate::rand_dense(300, 300, -1.0, 1.0, 11)),
         ("Y", generate::rand_dense(300, 300, -1.0, 1.0, 12)),
     ]);
-    let exec = Executor::new(FusionMode::Gen);
+    let exec = Engine::new(FusionMode::Gen);
     let _ = exec.execute(&dag, &bindings);
-    let (fused, _, basic) = exec.stats.snapshot();
+    let (fused, _, basic) = exec.stats().snapshot();
     assert_eq!(fused, 1, "one fused operator covers the whole chain");
     assert_eq!(basic, 0, "no basic operators remain");
 }
@@ -171,8 +167,8 @@ fn distributed_simulation_integration() {
         ("X", generate::rand_dense(5_000, 100, -1.0, 1.0, 14)),
         ("w", generate::rand_dense(100, 1, -1.0, 1.0, 15)),
     ]);
-    let local = Executor::new(FusionMode::Gen).execute(&dag, &bindings)[0].as_scalar();
-    let exec = Executor::new(FusionMode::Gen);
+    let local = Engine::new(FusionMode::Gen).execute(&dag, &bindings)[0].as_scalar();
+    let exec = Engine::new(FusionMode::Gen);
     let cluster = SimCluster { local_budget: 1e6, ..SimCluster::default() };
     let (outs, report) = execute_dist(&exec, &dag, &bindings, &cluster);
     assert!(fusedml::linalg::approx_eq(outs[0].as_scalar(), local, 1e-9));

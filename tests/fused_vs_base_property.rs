@@ -5,7 +5,7 @@ use fusedml::core::FusionMode;
 use fusedml::hop::interp::Bindings;
 use fusedml::hop::{DagBuilder, HopId};
 use fusedml::linalg::generate;
-use fusedml::runtime::Executor;
+use fusedml::runtime::Engine;
 use proptest::prelude::*;
 
 /// A random cell-wise expression over three inputs, closed by a full sum.
@@ -57,13 +57,13 @@ proptest! {
     #[test]
     fn fused_equals_unfused_on_random_dags(e in expr_strategy()) {
         let (dag, bindings) = build(&e);
-        let expect: Vec<f64> = Executor::new(FusionMode::Base)
+        let expect: Vec<f64> = Engine::new(FusionMode::Base)
             .execute(&dag, &bindings)
             .iter()
             .map(|x| x.as_scalar())
             .collect();
         for mode in [FusionMode::Gen, FusionMode::GenFA, FusionMode::GenFNR] {
-            let got: Vec<f64> = Executor::new(mode)
+            let got: Vec<f64> = Engine::new(mode)
                 .execute(&dag, &bindings)
                 .iter()
                 .map(|x| x.as_scalar())

@@ -6,7 +6,7 @@ use fusedml::core::{optimize, FusionMode};
 use fusedml::hop::interp::Bindings;
 use fusedml::hop::DagBuilder;
 use fusedml::linalg::generate;
-use fusedml::runtime::Executor;
+use fusedml::runtime::Engine;
 use std::process::Command;
 
 /// Invokes the same cargo that runs the tests (offline-safe: all
@@ -81,8 +81,8 @@ fn fuse_compile_execute_matches_unfused_baseline() {
     bindings.insert("Y".into(), generate::rand_dense(rows, cols, -1.0, 1.0, 12));
     bindings.insert("Z".into(), generate::rand_dense(rows, cols, -1.0, 1.0, 13));
 
-    let fused = Executor::new(FusionMode::Gen).execute(&dag, &bindings);
-    let base = Executor::new(FusionMode::Base).execute(&dag, &bindings);
+    let fused = Engine::new(FusionMode::Gen).execute(&dag, &bindings);
+    let base = Engine::new(FusionMode::Base).execute(&dag, &bindings);
     assert_eq!(fused.len(), base.len());
     for (f, u) in fused.iter().zip(&base) {
         let (f, u) = (f.as_scalar(), u.as_scalar());
