@@ -10,6 +10,13 @@
 //! hold-everything bytes the seed runtime kept, plus buffer-pool hit rates
 //! and scheduler parallelism. In `--smoke` mode the Base-mode reduction is a
 //! CI regression gate (must stay ≥ 2×).
+//!
+//! A third table exercises the *out-of-core* path: a chain whose live
+//! working set is ~4× the engine's memory budget, forcing the spill tier to
+//! evict farthest-next-use anchors and fault them back during the fold. In
+//! `--smoke` mode this is a second CI gate: the bounded run must keep its
+//! tracked peak within the budget, actually spill, and finish within 3× of
+//! the unbounded run.
 
 use super::Scale;
 use crate::report::Table;
@@ -110,9 +117,131 @@ fn run_footprint(scale: Scale) {
     }
 }
 
+/// A workload whose *minimum possible* working set exceeds any fraction of
+/// its size — no execution order can dodge the spill tier. A forced
+/// sequential chain `a_{i+1} = exp(a_i)` is consumed in *mirror* order
+/// (`sum(a_i ⊙ a_{k-1-i})`): while the first half of the chain is being
+/// produced, none of its mirror partners exist yet, so all of it must stay
+/// live — k/2 full-size values no scheduler can free early. `exp` keeps the
+/// workload compute-bound, which is what makes the ≤ 3× out-of-core
+/// slowdown gate meaningful rather than a measure of disk bandwidth.
+fn ooc_dag(rows: usize, cols: usize, k: usize) -> fusedml_hop::HopDag {
+    let mut b = DagBuilder::new();
+    let x = b.read("X", rows, cols, 1.0);
+    let neg = b.lit(-1.0);
+    let mut anchors = Vec::with_capacity(k);
+    let mut cur = x;
+    for _ in 0..k {
+        // a ← exp(-a) keeps the chain bounded in (0, 1): no overflow and no
+        // denormal slowdowns over an arbitrary chain depth.
+        let m = b.mult(cur, neg);
+        cur = b.exp(m);
+        anchors.push(cur);
+    }
+    let mut total = None;
+    for i in 0..k / 2 {
+        let m = b.mult(anchors[i], anchors[k - 1 - i]);
+        let p = b.sum(m);
+        total = Some(match total {
+            None => p,
+            Some(t) => b.add(t, p),
+        });
+    }
+    b.build(vec![total.expect("k >= 2")])
+}
+
+/// Median wall time plus the warm-run scheduler snapshot for one engine on
+/// the out-of-core chain.
+fn measure_ooc(
+    exec: &Engine,
+    dag: &fusedml_hop::HopDag,
+    bindings: &Bindings,
+    reps: usize,
+) -> (f64, fusedml_runtime::SchedSnapshot) {
+    let _ = exec.execute(dag, bindings); // cold run compiles + fills pool
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            exec.stats().reset();
+            let t0 = Instant::now();
+            let _ = exec.execute(dag, bindings);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    let snap = exec.stats().scheduler_snapshot();
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], snap)
+}
+
+/// The out-of-core panel (and the smoke-mode CI gate): working set ≈ 4× the
+/// budget, single worker so the budget reservation is exact.
+fn run_out_of_core(scale: Scale) {
+    let (rows, cols, k) = scale.pick3((1_000, 256, 28), (4_000, 256, 28), (10_000, 512, 28));
+    let val_bytes = 8 * rows * cols;
+    // The unavoidable working set is the first half of the chain plus the
+    // in-flight pair (~k/2 + 2 values); the budget is a quarter of it. The
+    // 4 KiB of headroom covers the scalar slots (fold partials and the
+    // literal), which sit below `MIN_SPILL_BYTES` and can never evict.
+    let budget = (k / 2 + 2) * val_bytes / 4 + 4096;
+    let reps = scale.pick(3, 5);
+    let dag = ooc_dag(rows, cols, k);
+    let mut bindings = Bindings::new();
+    bindings.insert("X".to_string(), generate::rand_dense(rows, cols, 0.0, 0.5, 2));
+    let loose = Engine::builder(FusionMode::Base).workers(1).build();
+    let tight = Engine::builder(FusionMode::Base).memory_budget(budget).workers(1).build();
+    let (loose_s, loose_snap) = measure_ooc(&loose, &dag, &bindings, reps);
+    let (tight_s, tight_snap) = measure_ooc(&tight, &dag, &bindings, reps);
+    let mut t = Table::new(
+        &format!(
+            "Figure 10 (out-of-core): mirror-paired chain of {k} on X {rows}x{cols}, budget {} MB",
+            mb(budget)
+        ),
+        &[
+            "engine",
+            "peak MB",
+            "spilled MB",
+            "reloaded MB",
+            "faults",
+            "prefetch",
+            "stall ms",
+            "time",
+        ],
+    );
+    for (name, s, secs) in [("unbounded", &loose_snap, loose_s), ("budgeted", &tight_snap, tight_s)]
+    {
+        t.row(vec![
+            name.to_string(),
+            mb(s.peak_bytes),
+            mb(s.spilled_bytes),
+            mb(s.reloaded_bytes),
+            s.spill_faults.to_string(),
+            s.prefetch_hits.to_string(),
+            format!("{:.1}", s.spill_stall_us as f64 / 1e3),
+            Table::secs(secs),
+        ]);
+    }
+    t.print();
+    if scale == Scale::Smoke {
+        assert_eq!(loose_snap.spilled_bytes, 0, "fig10 ooc gate: unbounded run must not spill");
+        assert!(tight_snap.spilled_bytes > 0, "fig10 ooc gate: 4x working set must spill");
+        assert!(
+            tight_snap.peak_bytes <= budget,
+            "fig10 ooc gate: peak {} exceeds budget {}",
+            tight_snap.peak_bytes,
+            budget
+        );
+        let ratio = tight_s / loose_s.max(1e-3);
+        assert!(
+            ratio <= 3.0,
+            "fig10 ooc gate: out-of-core slowdown {ratio:.2}x > 3x (tight {tight_s:.4}s vs loose {loose_s:.4}s)"
+        );
+        println!("fig10 ooc gate: ok (peak <= budget, spills > 0, slowdown {ratio:.2}x <= 3x)");
+    }
+}
+
 /// Runs the sweep; returns rows of (n_ops, gen_s, inlined_s, code_size).
 pub fn run(scale: Scale) {
     run_footprint(scale);
+    run_out_of_core(scale);
     let (rows, cols) = scale.pick3((2_000, 256), (10_000, 256), (100_000, 1_000));
     let sweep: Vec<usize> = scale.pick3(
         vec![8, 64],
@@ -192,5 +321,21 @@ mod tests {
         let (peak, all, _red, _freed, _hit, _par) =
             measure_footprint(FusionMode::Gen, 500, 128, 12);
         assert!(peak <= all);
+    }
+
+    /// The out-of-core gate conditions hold at test size: a working set 4×
+    /// the budget spills, stays within the budget, and reloads everything.
+    #[test]
+    fn ooc_chain_stays_within_budget() {
+        let (rows, cols, k) = (300, 128, 28);
+        let budget = (k / 2 + 2) * 8 * rows * cols / 4 + 4096; // scalar-slot headroom
+        let dag = ooc_dag(rows, cols, k);
+        let mut bindings = Bindings::new();
+        bindings.insert("X".to_string(), generate::rand_dense(rows, cols, 0.0, 0.5, 2));
+        let exec = Engine::builder(FusionMode::Base).memory_budget(budget).workers(1).build();
+        let (_, snap) = measure_ooc(&exec, &dag, &bindings, 1);
+        assert!(snap.spilled_bytes > 0, "4x working set must spill");
+        assert!(snap.peak_bytes <= budget, "peak {} > budget {budget}", snap.peak_bytes);
+        assert_eq!(snap.spilled_bytes, snap.reloaded_bytes, "every anchor faults back");
     }
 }

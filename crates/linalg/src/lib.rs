@@ -19,7 +19,10 @@
 //! * [`par`] — minimal scoped-thread parallelization helpers,
 //! * [`pool`] — the size-class keyed buffer pool standing in for SystemML's
 //!   buffer-pool-managed intermediates (dense outputs draw from and return
-//!   to it, so steady-state iterations allocate near zero).
+//!   to it, so steady-state iterations allocate near zero),
+//! * [`spill`] — the second tier under the pool: a budgeted [`spill::TieredStore`]
+//!   that serializes cold live values to engine-owned temp files and reloads
+//!   them bit-exactly, making the engine's memory budget a real contract.
 
 pub mod dense;
 pub mod generate;
@@ -30,6 +33,7 @@ pub mod pool;
 pub mod primitives;
 pub mod scoped;
 pub mod sparse;
+pub mod spill;
 
 pub use dense::DenseMatrix;
 pub use matrix::Matrix;

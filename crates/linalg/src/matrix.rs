@@ -141,6 +141,16 @@ impl Matrix {
         self.rows() == 1 && self.cols() == 1
     }
 
+    /// True when this handle is the only reference to the payload — the
+    /// precondition for spilling (dropping a shared payload frees nothing)
+    /// and for in-place reuse.
+    pub fn is_uniquely_owned(&self) -> bool {
+        match self {
+            Matrix::Dense(m) => Arc::strong_count(m) == 1,
+            Matrix::Sparse(m) => Arc::strong_count(m) == 1,
+        }
+    }
+
     /// In-memory size estimate in bytes (8B/cell dense; 16B/nnz + row
     /// pointers sparse), mirroring SystemML's memory estimates.
     pub fn size_in_bytes(&self) -> usize {

@@ -1,0 +1,424 @@
+//! The spill tier: engine-owned temp-file storage for cold live values.
+//!
+//! The buffer pool ([`crate::pool`]) recycles *free* buffers; this module
+//! adds the second tier that makes an engine's memory budget a real
+//! contract for *live* values. A [`TieredStore`] pairs the engine's
+//! `BufferPool` with a spill directory: when the executor's resident bytes
+//! would exceed the budget, it serializes cold slots (dense and CSR) to
+//! engine-owned temp files through [`TieredStore::spill`] and faults them
+//! back in with [`TieredStore::reload`]. SystemML's buffer pool does the
+//! same on the JVM (evict-to-local-FS under memory pressure); here the
+//! executor picks victims from its liveness facts (farthest next use first)
+//! and the store only does the byte movement.
+//!
+//! Serialization is **bit-exact**: `f64` payloads round-trip through
+//! little-endian byte encoding, so an execution that spills is bitwise
+//! identical to one that never does — the property the
+//! `spill_vs_resident_property` differential test pins.
+//!
+//! The byte counts and cost constants here are also the model the simulated
+//! distributed backend charges its `disk_bw` eviction against
+//! ([`serialized_bytes`], [`SPILL_ROUNDTRIP_FACTOR`]), so modeled and
+//! measured spill costs cannot drift apart.
+
+use crate::dense::DenseMatrix;
+use crate::matrix::Matrix;
+use crate::pool::PoolHandle;
+use crate::sparse::SparseMatrix;
+use parking_lot::Mutex;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Eviction writes a value and reads it back exactly once in the common
+/// case: the modeled cost of one spill is `roundtrip × bytes / disk_bw`.
+/// Shared with the simulated cluster so model and measurement agree.
+pub const SPILL_ROUNDTRIP_FACTOR: f64 = 2.0;
+
+/// Values below this in-memory size are never worth spilling: a file
+/// round-trip costs more than the bytes they would free.
+pub const MIN_SPILL_BYTES: usize = 4096;
+
+/// File-format header: `[tag][rows][cols]` as `u64`s (sparse adds `[nnz]`).
+const DENSE_TAG: u64 = 1;
+const SPARSE_TAG: u64 = 2;
+const HEADER_BYTES: usize = 3 * 8;
+
+/// The exact on-disk byte count of a spilled matrix — also the byte count
+/// the distributed simulation charges for modeled eviction.
+pub fn serialized_bytes(m: &Matrix) -> usize {
+    match m {
+        Matrix::Dense(d) => HEADER_BYTES + 8 * d.len(),
+        Matrix::Sparse(s) => HEADER_BYTES + 8 + 8 * (s.rows() + 1) + 16 * s.nnz(),
+    }
+}
+
+/// A receipt for one spilled value: where it lives on disk and what it will
+/// cost to bring back. The executor stores this in the slot the value left.
+#[derive(Debug)]
+pub struct SpillToken {
+    path: PathBuf,
+    /// In-memory size of the value (what reloading adds to the resident set).
+    mem_bytes: usize,
+    /// On-disk size (what the write/read actually moved).
+    file_bytes: usize,
+}
+
+impl SpillToken {
+    /// In-memory bytes the reloaded value will occupy.
+    pub fn mem_bytes(&self) -> usize {
+        self.mem_bytes
+    }
+
+    /// Serialized on-disk bytes.
+    pub fn file_bytes(&self) -> usize {
+        self.file_bytes
+    }
+}
+
+/// Monotonic counters for the spill tier (engine-wide, across runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Values written to the spill tier.
+    pub spill_events: u64,
+    /// Values read back from the spill tier.
+    pub reload_events: u64,
+    /// Serialized bytes written.
+    pub bytes_spilled: u64,
+    /// Serialized bytes read back.
+    pub bytes_reloaded: u64,
+}
+
+#[derive(Debug, Default)]
+struct SpillCounters {
+    spill_events: AtomicU64,
+    reload_events: AtomicU64,
+    bytes_spilled: AtomicU64,
+    bytes_reloaded: AtomicU64,
+}
+
+/// Process-global sequence so two engines (or two test runs in one process)
+/// never collide on a spill directory name.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The two-tier store an engine owns: the recycled-buffer pool plus a
+/// budgeted spill tier of temp files. `threshold` is the resident-bytes
+/// budget the executor enforces ([`usize::MAX`] disables spilling — the
+/// pre-spill behaviour). The spill directory is created lazily on first
+/// spill and removed (with any remaining files) when the store drops.
+pub struct TieredStore {
+    pool: PoolHandle,
+    threshold: usize,
+    parent: PathBuf,
+    dir: Mutex<Option<PathBuf>>,
+    file_seq: AtomicU64,
+    counters: SpillCounters,
+}
+
+impl TieredStore {
+    /// A store over `pool` with resident budget `threshold`, spilling under
+    /// `dir` (defaults to the OS temp directory).
+    pub fn new(pool: PoolHandle, threshold: usize, dir: Option<PathBuf>) -> Self {
+        TieredStore {
+            pool,
+            threshold,
+            parent: dir.unwrap_or_else(std::env::temp_dir),
+            dir: Mutex::new(None),
+            file_seq: AtomicU64::new(0),
+            counters: SpillCounters::default(),
+        }
+    }
+
+    /// The resident-bytes budget ([`usize::MAX`] = spilling disabled).
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Whether the executor should enforce the budget at all.
+    pub fn enabled(&self) -> bool {
+        self.threshold != usize::MAX
+    }
+
+    /// The recycled-buffer tier.
+    pub fn pool(&self) -> &PoolHandle {
+        &self.pool
+    }
+
+    /// The spill directory, if anything has spilled yet.
+    pub fn spill_dir(&self) -> Option<PathBuf> {
+        self.dir.lock().clone()
+    }
+
+    /// Snapshot of the spill counters.
+    pub fn stats(&self) -> SpillStats {
+        SpillStats {
+            spill_events: self.counters.spill_events.load(Ordering::Relaxed),
+            reload_events: self.counters.reload_events.load(Ordering::Relaxed),
+            bytes_spilled: self.counters.bytes_spilled.load(Ordering::Relaxed),
+            bytes_reloaded: self.counters.bytes_reloaded.load(Ordering::Relaxed),
+        }
+    }
+
+    fn ensure_dir(&self) -> io::Result<PathBuf> {
+        let mut guard = self.dir.lock();
+        if let Some(d) = guard.as_ref() {
+            return Ok(d.clone());
+        }
+        let name = format!(
+            "fusedml-spill-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let d = self.parent.join(name);
+        fs::create_dir_all(&d)?;
+        *guard = Some(d.clone());
+        Ok(d)
+    }
+
+    /// Serializes `m` to a fresh temp file and returns the receipt. The
+    /// caller drops its reference afterwards — that is what actually frees
+    /// the memory (the executor only spills uniquely held values).
+    pub fn spill(&self, m: &Matrix) -> io::Result<SpillToken> {
+        let dir = self.ensure_dir()?;
+        let path = dir.join(format!("slot-{}.bin", self.file_seq.fetch_add(1, Ordering::Relaxed)));
+        let file_bytes = write_matrix(&path, m)?;
+        self.counters.spill_events.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes_spilled.fetch_add(file_bytes as u64, Ordering::Relaxed);
+        Ok(SpillToken { path, mem_bytes: m.size_in_bytes(), file_bytes })
+    }
+
+    /// Reads a spilled value back (bit-exact) and deletes its file. Buffers
+    /// are drawn from the store's pool, so steady-state spill/reload cycles
+    /// allocate nothing fresh.
+    pub fn reload(&self, token: SpillToken) -> io::Result<Matrix> {
+        let m = read_matrix(&token.path, &self.pool)?;
+        let _ = fs::remove_file(&token.path); // best-effort; Drop sweeps the dir
+        self.counters.reload_events.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes_reloaded.fetch_add(token.file_bytes as u64, Ordering::Relaxed);
+        Ok(m)
+    }
+}
+
+impl Drop for TieredStore {
+    fn drop(&mut self) {
+        if let Some(d) = self.dir.get_mut().take() {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exact little-endian (de)serialization, chunked through a small stack
+// buffer so no format-width allocation is needed.
+// ---------------------------------------------------------------------------
+
+const CHUNK: usize = 1024;
+
+fn write_u64s(w: &mut impl Write, vals: impl Iterator<Item = u64>) -> io::Result<()> {
+    let mut buf = [0u8; CHUNK * 8];
+    let mut n = 0usize;
+    for v in vals {
+        buf[n * 8..n * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        n += 1;
+        if n == CHUNK {
+            w.write_all(&buf)?;
+            n = 0;
+        }
+    }
+    if n > 0 {
+        w.write_all(&buf[..n * 8])?;
+    }
+    Ok(())
+}
+
+fn write_f64s(w: &mut impl Write, vals: &[f64]) -> io::Result<()> {
+    write_u64s(w, vals.iter().map(|v| v.to_bits()))
+}
+
+fn read_u64s(r: &mut impl Read, n: usize, mut sink: impl FnMut(u64)) -> io::Result<()> {
+    let mut buf = [0u8; CHUNK * 8];
+    let mut left = n;
+    while left > 0 {
+        let take = left.min(CHUNK);
+        r.read_exact(&mut buf[..take * 8])?;
+        for i in 0..take {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[i * 8..i * 8 + 8]);
+            sink(u64::from_le_bytes(b));
+        }
+        left -= take;
+    }
+    Ok(())
+}
+
+/// Writes `m` to `path`; returns the serialized byte count.
+fn write_matrix(path: &Path, m: &Matrix) -> io::Result<usize> {
+    let mut w = BufWriter::new(File::create(path)?);
+    match m {
+        Matrix::Dense(d) => {
+            write_u64s(&mut w, [DENSE_TAG, d.rows() as u64, d.cols() as u64].into_iter())?;
+            write_f64s(&mut w, d.values())?;
+        }
+        Matrix::Sparse(s) => {
+            write_u64s(&mut w, [SPARSE_TAG, s.rows() as u64, s.cols() as u64].into_iter())?;
+            write_u64s(&mut w, std::iter::once(s.nnz() as u64))?;
+            write_u64s(&mut w, s.row_ptr().iter().map(|&p| p as u64))?;
+            write_u64s(&mut w, s.col_indices().iter().map(|&c| c as u64))?;
+            write_f64s(&mut w, s.values())?;
+        }
+    }
+    w.flush()?;
+    Ok(serialized_bytes(m))
+}
+
+/// Reads a matrix written by [`write_matrix`], drawing buffers from `pool`.
+fn read_matrix(path: &Path, pool: &PoolHandle) -> io::Result<Matrix> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut header = [0u64; 3];
+    {
+        let mut i = 0;
+        read_u64s(&mut r, 3, |v| {
+            header[i] = v;
+            i += 1;
+        })?;
+    }
+    let (tag, rows, cols) = (header[0], header[1] as usize, header[2] as usize);
+    match tag {
+        DENSE_TAG => {
+            let len = rows * cols;
+            let mut values = pool.take_zeroed(len);
+            {
+                let mut i = 0;
+                read_u64s(&mut r, len, |v| {
+                    values[i] = f64::from_bits(v);
+                    i += 1;
+                })?;
+            }
+            Ok(Matrix::dense(DenseMatrix::new(rows, cols, values)))
+        }
+        SPARSE_TAG => {
+            let mut nnz = 0usize;
+            read_u64s(&mut r, 1, |v| nnz = v as usize)?;
+            let mut row_ptr = pool.take_indices(rows + 1);
+            read_u64s(&mut r, rows + 1, |v| row_ptr.push(v as usize))?;
+            let mut col_idx = pool.take_indices(nnz);
+            read_u64s(&mut r, nnz, |v| col_idx.push(v as usize))?;
+            let mut values = pool.take_values(nnz);
+            read_u64s(&mut r, nnz, |v| values.push(f64::from_bits(v)))?;
+            Ok(Matrix::sparse(SparseMatrix::from_csr(rows, cols, row_ptr, col_idx, values)))
+        }
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown spill tag {other} in {}", path.display()),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::BufferPool;
+
+    fn store() -> TieredStore {
+        TieredStore::new(BufferPool::handle(), 1 << 20, None)
+    }
+
+    #[test]
+    fn dense_round_trip_is_bitwise() {
+        let s = store();
+        let d = DenseMatrix::new(
+            7,
+            13,
+            (0..7 * 13).map(|i| (i as f64).sin() * 1e300 + f64::MIN_POSITIVE).collect(),
+        );
+        let m = Matrix::dense(d.clone());
+        let tok = s.spill(&m).unwrap();
+        assert_eq!(tok.mem_bytes(), m.size_in_bytes());
+        assert_eq!(tok.file_bytes(), serialized_bytes(&m));
+        let path = tok.path.clone();
+        assert!(path.exists());
+        let back = s.reload(tok).unwrap();
+        assert!(!path.exists(), "reload deletes the file");
+        match back {
+            Matrix::Dense(b) => assert!(
+                d.values().iter().zip(b.values()).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "dense payload must round-trip bit-exactly"
+            ),
+            _ => panic!("dense in, dense out"),
+        }
+    }
+
+    #[test]
+    fn sparse_round_trip_preserves_structure() {
+        let s = store();
+        let mut d = DenseMatrix::zeros(50, 40);
+        for i in 0..50 {
+            d.set(i, (i * 7) % 40, -(i as f64) / 3.0);
+        }
+        let m = Matrix::sparse(SparseMatrix::from_dense(&d));
+        let tok = s.spill(&m).unwrap();
+        let back = s.reload(tok).unwrap();
+        assert!(back.is_sparse());
+        assert_eq!(back.nnz(), m.nnz());
+        for i in 0..50 {
+            let c = (i * 7) % 40;
+            assert_eq!(back.get(i, c).to_bits(), m.get(i, c).to_bits());
+        }
+    }
+
+    #[test]
+    fn special_values_round_trip() {
+        let s = store();
+        let d = DenseMatrix::new(1, 6, vec![f64::NAN, f64::INFINITY, -0.0, 0.0, -1e-308, 1e308]);
+        let m = Matrix::dense(d.clone());
+        let back = s.reload(s.spill(&m).unwrap()).unwrap();
+        for (a, b) in d.values().iter().zip(back.as_dense().values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn drop_removes_spill_dir() {
+        let s = store();
+        let m = Matrix::dense(DenseMatrix::filled(10, 10, 2.5));
+        let _tok = s.spill(&m).unwrap();
+        let dir = s.spill_dir().expect("dir created on first spill");
+        assert!(dir.exists());
+        drop(s);
+        assert!(!dir.exists(), "TieredStore drop must sweep its temp files");
+    }
+
+    #[test]
+    fn counters_track_bytes() {
+        let s = store();
+        let m = Matrix::dense(DenseMatrix::filled(16, 16, 1.0));
+        let expect = serialized_bytes(&m) as u64;
+        let tok = s.spill(&m).unwrap();
+        let _ = s.reload(tok).unwrap();
+        let st = s.stats();
+        assert_eq!(st.spill_events, 1);
+        assert_eq!(st.reload_events, 1);
+        assert_eq!(st.bytes_spilled, expect);
+        assert_eq!(st.bytes_reloaded, expect);
+    }
+
+    #[test]
+    fn reload_draws_from_pool() {
+        let pool = BufferPool::handle();
+        let s = TieredStore::new(std::sync::Arc::clone(&pool), 1 << 20, None);
+        let m = Matrix::dense(DenseMatrix::filled(64, 64, 3.0));
+        // Prime the pool with a right-sized buffer, then reload: it must hit.
+        pool.give(pool.take_zeroed(64 * 64));
+        let hits_before = pool.stats().hits;
+        let _back = s.reload(s.spill(&m).unwrap()).unwrap();
+        assert!(pool.stats().hits > hits_before, "reload buffers come from the pool");
+    }
+
+    #[test]
+    fn disabled_threshold_reports_disabled() {
+        let s = TieredStore::new(BufferPool::handle(), usize::MAX, None);
+        assert!(!s.enabled());
+        assert!(TieredStore::new(BufferPool::handle(), 1024, None).enabled());
+    }
+}

@@ -16,10 +16,12 @@
 //!
 //! Intermediates are liveness-tracked: values are freed at their last use
 //! and the driver's resident footprint is accounted exactly. When the
-//! tracked footprint exceeds the driver budget, the excess is *evicted* to
-//! local disk at `disk_bw` (write now, read back on next use) and charged to
-//! the report — instead of the seed behaviour of assuming every
-//! intermediate stays resident for free.
+//! tracked in-memory footprint exceeds the driver budget, whole live values
+//! are *evicted* to local disk — largest serialized payload first — and
+//! charged at `disk_bw`. The charge uses the same serializer byte counts
+//! ([`fusedml_linalg::spill::serialized_bytes`]) and round-trip constant
+//! ([`fusedml_linalg::spill::SPILL_ROUNDTRIP_FACTOR`]) as the engine's real
+//! spill tier, so modeled and measured spill costs cannot drift apart.
 
 use crate::engine::Engine;
 use fusedml_core::optimizer::FusionPlan;
@@ -28,6 +30,7 @@ use fusedml_core::FusionMode;
 use fusedml_hop::interp::{self, Bindings};
 use fusedml_hop::{HopDag, HopId};
 use fusedml_linalg::matrix::Value;
+use fusedml_linalg::spill::{self, SPILL_ROUNDTRIP_FACTOR};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -43,7 +46,9 @@ pub struct SimCluster {
     /// tracked resident footprint beyond it evicts to disk.
     pub local_budget: f64,
     /// Local-disk bandwidth (bytes/s) used for buffer-pool eviction and the
-    /// read-back of evicted intermediates.
+    /// read-back of evicted intermediates. Each eviction moves the value's
+    /// *serialized* size (the real tier's on-disk format) through this
+    /// bandwidth [`SPILL_ROUNDTRIP_FACTOR`] times (write + read-back).
     pub disk_bw: f64,
 }
 
@@ -74,9 +79,12 @@ pub struct DistReport {
     pub broadcasts: usize,
     /// Number of operators executed distributed.
     pub dist_ops: usize,
-    /// Number of eviction events (footprint exceeded the driver budget).
+    /// Number of whole-value eviction events (in-memory footprint exceeded
+    /// the driver budget).
     pub evictions: usize,
-    /// Total bytes spilled to disk across eviction events.
+    /// Total *serialized* bytes written to disk across eviction events (the
+    /// same byte counts [`TieredStore`](fusedml_linalg::spill::TieredStore)
+    /// would write for these values).
     pub evicted_bytes: f64,
     /// Peak tracked resident bytes (with frees at last use).
     pub peak_resident_bytes: f64,
@@ -112,6 +120,7 @@ pub fn execute_dist(
     }
     let mut report = DistReport::default();
     let mut vals: Vec<Option<Value>> = vec![None; dag.len()];
+    let mut spilled: Vec<bool> = vec![false; dag.len()];
     let mut live = Liveness::analyze(dag, &plan, &op_roots);
     for &root in dag.roots() {
         materialize(
@@ -121,6 +130,7 @@ pub fn execute_dist(
             bindings,
             cluster,
             &mut vals,
+            &mut spilled,
             &mut report,
             &mut live,
             root,
@@ -183,11 +193,20 @@ impl Liveness {
     }
 }
 
-/// Stores one freshly computed value, tracks the resident footprint, and
-/// evicts the excess beyond the driver budget to disk.
+/// Stores one freshly computed value and tracks the resident footprint.
+/// While the in-memory portion exceeds the driver budget, whole live values
+/// are evicted to disk, largest serialized payload first. The charge per
+/// victim is `SPILL_ROUNDTRIP_FACTOR × serialized_bytes / disk_bw` — the
+/// identical byte counts and round-trip constant the engine's real
+/// [`TieredStore`](spill::TieredStore) pays, so the model cannot drift from
+/// the measured tier. Leaves stay resident (the real tier never spills
+/// caller-owned bindings) and values below [`spill::MIN_SPILL_BYTES`] are
+/// not worth a file.
 fn store_value(
+    dag: &HopDag,
     cluster: &SimCluster,
     vals: &mut [Option<Value>],
+    spilled: &mut [bool],
     report: &mut DistReport,
     hop: HopId,
     v: Value,
@@ -196,22 +215,38 @@ fn store_value(
     if report.resident_bytes > report.peak_resident_bytes {
         report.peak_resident_bytes = report.resident_bytes;
     }
-    let in_memory = report.resident_bytes - report.spilled_bytes;
-    if in_memory > cluster.local_budget {
-        // Spill the excess: write now, read back when next used.
-        let excess = in_memory - cluster.local_budget;
-        report.evictions += 1;
-        report.evicted_bytes += excess;
-        report.eviction_seconds += 2.0 * excess / cluster.disk_bw;
-        report.spilled_bytes += excess;
-    }
     vals[hop.index()] = Some(v);
+    while report.resident_bytes - report.spilled_bytes > cluster.local_budget {
+        let victim = vals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Some(Value::Matrix(m))
+                    if !spilled[i]
+                        && !dag.hop(HopId(i as u32)).kind.is_leaf()
+                        && m.size_in_bytes() >= spill::MIN_SPILL_BYTES =>
+                {
+                    Some((i, spill::serialized_bytes(m) as f64, m.size_in_bytes() as f64))
+                }
+                _ => None,
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        let Some((ix, file_bytes, mem_bytes)) = victim else {
+            break; // nothing evictable left: proceed over budget, like the real tier
+        };
+        spilled[ix] = true;
+        report.evictions += 1;
+        report.evicted_bytes += file_bytes;
+        report.eviction_seconds += SPILL_ROUNDTRIP_FACTOR * file_bytes / cluster.disk_bw;
+        report.spilled_bytes += mem_bytes;
+    }
 }
 
 /// Frees inputs whose last read this operator performed.
 fn release_inputs(
     dag: &HopDag,
     vals: &mut [Option<Value>],
+    spilled: &mut [bool],
     report: &mut DistReport,
     live: &mut Liveness,
     inputs: &[HopId],
@@ -223,9 +258,11 @@ fn release_inputs(
         if *slot == 0 && !is_root(i) {
             if let Some(v) = vals[i.index()].take() {
                 report.resident_bytes = (report.resident_bytes - bytes_of(&v)).max(0.0);
-                // A dead value cannot stay spilled; the on-disk portion never
-                // exceeds what is still live.
-                report.spilled_bytes = report.spilled_bytes.min(report.resident_bytes);
+                if spilled[i.index()] {
+                    // A dead value's on-disk copy is deleted with it.
+                    spilled[i.index()] = false;
+                    report.spilled_bytes = (report.spilled_bytes - bytes_of(&v)).max(0.0);
+                }
                 v.recycle();
             }
         }
@@ -247,6 +284,7 @@ fn materialize(
     bindings: &Bindings,
     cluster: &SimCluster,
     vals: &mut Vec<Option<Value>>,
+    spilled: &mut Vec<bool>,
     report: &mut DistReport,
     live: &mut Liveness,
     hop: HopId,
@@ -262,7 +300,7 @@ fn materialize(
         input_hops.extend(f.cplan.sides.iter());
         input_hops.extend(f.cplan.scalars.iter());
         for &i in &input_hops {
-            materialize(dag, plan, op_roots, bindings, cluster, vals, report, live, i);
+            materialize(dag, plan, op_roots, bindings, cluster, vals, spilled, report, live, i);
         }
         let t0 = Instant::now();
         let get_matrix = |h: HopId| vals[h.index()].as_ref().expect("input").as_matrix();
@@ -302,15 +340,15 @@ fn materialize(
             } else {
                 Value::Matrix(m.clone())
             };
-            store_value(cluster, vals, report, r, v);
+            store_value(dag, cluster, vals, spilled, report, r, v);
         }
-        release_inputs(dag, vals, report, live, &input_hops);
+        release_inputs(dag, vals, spilled, report, live, &input_hops);
         return;
     }
     // Basic operator.
     let inputs = dag.hop(hop).inputs.clone();
     for &i in &inputs {
-        materialize(dag, plan, op_roots, bindings, cluster, vals, report, live, i);
+        materialize(dag, plan, op_roots, bindings, cluster, vals, spilled, report, live, i);
     }
     let t0 = Instant::now();
     let v = interp::eval_op(dag, hop, vals, bindings);
@@ -320,8 +358,8 @@ fn materialize(
             inputs.iter().map(|&h| bytes_of(vals[h.index()].as_ref().unwrap())).collect();
         account(dag, cluster, report, wall, &in_bytes, bytes_of(&v));
     }
-    store_value(cluster, vals, report, hop, v);
-    release_inputs(dag, vals, report, live, &inputs);
+    store_value(dag, cluster, vals, spilled, report, hop, v);
+    release_inputs(dag, vals, spilled, report, live, &inputs);
 }
 
 /// Charges one operator's simulated time.

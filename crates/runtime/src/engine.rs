@@ -60,9 +60,11 @@ use fusedml_hop::liveness::{self, Liveness};
 use fusedml_hop::HopDag;
 use fusedml_linalg::matrix::Value;
 use fusedml_linalg::pool::{self, BufferPool, PoolHandle, PoolStats};
+use fusedml_linalg::spill::{SpillStats, TieredStore};
 use fusedml_linalg::Matrix;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -83,6 +85,9 @@ pub struct EngineBuilder {
     model: Option<CostModel>,
     codegen: Option<CodegenOptions>,
     enum_cfg: Option<EnumConfig>,
+    spill_threshold: Option<usize>,
+    spill_dir: Option<PathBuf>,
+    prefetch_depth: usize,
 }
 
 impl EngineBuilder {
@@ -99,6 +104,9 @@ impl EngineBuilder {
             model: None,
             codegen: None,
             enum_cfg: None,
+            spill_threshold: None,
+            spill_dir: None,
+            prefetch_depth: schedule::DEFAULT_PREFETCH_DEPTH,
         }
     }
 
@@ -109,9 +117,35 @@ impl EngineBuilder {
         self
     }
 
-    /// The engine's memory budget for retained (recycled) buffers, in bytes.
+    /// The engine's memory budget in bytes: the retention cap of the buffer
+    /// pool *and* (unless overridden by [`EngineBuilder::spill_threshold`])
+    /// the resident-bytes budget the scheduler enforces by spilling cold
+    /// values to disk — a real contract, not advice.
     pub fn memory_budget(mut self, bytes: usize) -> Self {
         self.memory_budget = bytes;
+        self
+    }
+
+    /// Overrides the resident-bytes threshold above which the scheduler
+    /// evicts cold values to the spill tier (defaults to the memory budget;
+    /// `usize::MAX` disables spilling entirely).
+    pub fn spill_threshold(mut self, bytes: usize) -> Self {
+        self.spill_threshold = Some(bytes);
+        self
+    }
+
+    /// Directory for the engine's spill files (default: the OS temp dir).
+    /// A uniquely named subdirectory is created on first spill and removed,
+    /// with any remaining files, when the engine drops.
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Bounds queued/in-flight asynchronous spill-reload jobs per execution
+    /// (beyond it, consumers fault their inputs back synchronously).
+    pub fn prefetch_depth(mut self, n: usize) -> Self {
+        self.prefetch_depth = n;
         self
     }
 
@@ -168,17 +202,23 @@ impl EngineBuilder {
         if let Some(e) = self.enum_cfg {
             optimizer.enum_cfg = e;
         }
+        let pool: PoolHandle =
+            Arc::new(BufferPool::with_limits(self.memory_budget, self.pool_buffers_per_class));
+        let store = TieredStore::new(
+            Arc::clone(&pool),
+            self.spill_threshold.unwrap_or(self.memory_budget),
+            self.spill_dir,
+        );
         Engine {
             inner: Arc::new(EngineInner {
                 mode: self.mode,
                 optimizer,
                 kernels,
-                pool: Arc::new(BufferPool::with_limits(
-                    self.memory_budget,
-                    self.pool_buffers_per_class,
-                )),
+                pool,
+                store,
                 stats: Arc::new(ExecStats::default()),
                 workers: self.workers,
+                prefetch_depth: self.prefetch_depth,
                 cache_plans: AtomicBool::new(self.cache_plans),
                 compile_lock: Mutex::new(()),
                 plans: Mutex::new(FifoMap::new(self.plan_cache_capacity)),
@@ -201,8 +241,12 @@ struct EngineInner {
     optimizer: Optimizer,
     kernels: Arc<KernelCaches>,
     pool: PoolHandle,
+    /// The two-tier store: the buffer pool above plus the engine-owned spill
+    /// tier (budgeted temp files; the directory dies with the engine).
+    store: TieredStore,
     stats: Arc<ExecStats>,
     workers: usize,
+    prefetch_depth: usize,
     cache_plans: AtomicBool,
     /// Serializes cold script compilation so N threads racing on the same
     /// uncached DAG run the optimizer once (the "exactly once" contract
@@ -280,6 +324,22 @@ impl Engine {
     /// Buffer-pool counters (hits/misses/returns/drops/retained bytes).
     pub fn pool_stats(&self) -> PoolStats {
         self.inner.pool.stats()
+    }
+
+    /// The engine-owned two-tier store (buffer pool + spill tier).
+    pub fn store(&self) -> &TieredStore {
+        &self.inner.store
+    }
+
+    /// Spill-tier counters (values and bytes spilled/reloaded).
+    pub fn spill_stats(&self) -> SpillStats {
+        self.inner.store.stats()
+    }
+
+    /// The engine's spill directory, if anything has spilled yet. The
+    /// directory and its files are removed when the engine drops.
+    pub fn spill_dir(&self) -> Option<PathBuf> {
+        self.inner.store.spill_dir()
     }
 
     /// The configured inter-operator worker cap.
@@ -386,16 +446,7 @@ impl Engine {
         let plan: &FusionPlan = replacement.as_deref().unwrap_or(plan);
         let graph = schedule::prepare(dag, Some(plan), None);
         let inner = &self.inner;
-        let (vals, _) = schedule::run(
-            &graph,
-            dag,
-            Some(plan),
-            bindings,
-            &inner.stats,
-            inner.workers,
-            &inner.pool,
-            &inner.kernels,
-        );
+        let (vals, _) = schedule::run(&graph, dag, Some(plan), bindings, &inner.exec_ctx());
         inner.pool.advance_epoch();
         vals
     }
@@ -418,6 +469,18 @@ impl Engine {
 }
 
 impl EngineInner {
+    /// The execution context handed to the scheduler: this engine's stats,
+    /// two-tier store, kernel caches, and worker/prefetch limits.
+    fn exec_ctx(&self) -> schedule::ExecCtx<'_> {
+        schedule::ExecCtx {
+            stats: &self.stats,
+            max_workers: self.workers,
+            store: &self.store,
+            kernels: &self.kernels,
+            prefetch_depth: self.prefetch_depth,
+        }
+    }
+
     fn plan_for(&self, dag: &HopDag) -> Arc<FusionPlan> {
         if !self.cache_plans.load(Ordering::Relaxed) {
             return Arc::new(self.optimizer.optimize(dag));
@@ -521,16 +584,8 @@ impl CompiledScript {
     pub fn execute(&self, bindings: &Bindings) -> Outputs {
         let v = self.variant_for(bindings);
         let e = &self.engine.inner;
-        let (values, sched) = schedule::run(
-            &v.graph,
-            &v.dag,
-            v.plan.as_deref(),
-            bindings,
-            &e.stats,
-            e.workers,
-            &e.pool,
-            &e.kernels,
-        );
+        let (values, sched) =
+            schedule::run(&v.graph, &v.dag, v.plan.as_deref(), bindings, &e.exec_ctx());
         // Epoch-bound the engine pool: buffers unused for a few DAGs retire.
         e.pool.advance_epoch();
         Outputs { values, sched }

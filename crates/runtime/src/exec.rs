@@ -55,6 +55,18 @@ pub struct ExecStats {
     /// Compiled-script recompiles triggered by the shape-revalidation guard
     /// (bound input geometry diverged from the costed plan).
     pub(crate) plan_recompiles: AtomicUsize,
+    /// Serialized bytes written to the spill tier.
+    pub(crate) sched_spilled_bytes: AtomicUsize,
+    /// Serialized bytes read back from the spill tier.
+    pub(crate) sched_reloaded_bytes: AtomicUsize,
+    /// Synchronous reloads: a consumer found its input spilled at gather.
+    pub(crate) sched_spill_faults: AtomicUsize,
+    /// Asynchronous reloads completed by prefetch jobs ahead of the consumer.
+    pub(crate) sched_prefetch_hits: AtomicUsize,
+    /// Microseconds workers spent blocked on in-flight spill I/O.
+    pub(crate) sched_spill_stall_us: AtomicUsize,
+    /// High-water bytes of leaf bindings streamed (uncharged) in one run.
+    pub(crate) sched_streamed_leaf_bytes: AtomicUsize,
 }
 
 /// Plain-data snapshot of the scheduler counters in [`ExecStats`] — also the
@@ -67,6 +79,19 @@ pub struct SchedSnapshot {
     pub resident_all_bytes: usize,
     pub pool_hits: usize,
     pub pool_misses: usize,
+    /// Serialized bytes evicted to the spill tier.
+    pub spilled_bytes: usize,
+    /// Serialized bytes reloaded from the spill tier.
+    pub reloaded_bytes: usize,
+    /// Synchronous reloads (consumer found its input on disk at gather).
+    pub spill_faults: usize,
+    /// Reloads completed by async prefetch jobs before the consumer asked.
+    pub prefetch_hits: usize,
+    /// Microseconds workers spent blocked on in-flight spill I/O.
+    pub spill_stall_us: usize,
+    /// Bytes of leaf bindings streamed band-by-band instead of being charged
+    /// against the resident budget (each larger than the whole budget).
+    pub streamed_leaf_bytes: usize,
 }
 
 impl SchedSnapshot {
@@ -87,6 +112,17 @@ impl SchedSnapshot {
             1.0
         } else {
             self.resident_all_bytes as f64 / self.peak_bytes as f64
+        }
+    }
+
+    /// Fraction of spill reloads that the async prefetcher finished before
+    /// the consumer asked (the rest were synchronous faults).
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        let total = self.prefetch_hits + self.spill_faults;
+        if total == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / total as f64
         }
     }
 }
@@ -110,6 +146,12 @@ impl ExecStats {
             resident_all_bytes: self.sched_resident_all_bytes.load(Ordering::Relaxed),
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            spilled_bytes: self.sched_spilled_bytes.load(Ordering::Relaxed),
+            reloaded_bytes: self.sched_reloaded_bytes.load(Ordering::Relaxed),
+            spill_faults: self.sched_spill_faults.load(Ordering::Relaxed),
+            prefetch_hits: self.sched_prefetch_hits.load(Ordering::Relaxed),
+            spill_stall_us: self.sched_spill_stall_us.load(Ordering::Relaxed),
+            streamed_leaf_bytes: self.sched_streamed_leaf_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -129,6 +171,12 @@ impl ExecStats {
         self.sched_resident_all_bytes.fetch_max(s.resident_all_bytes, Ordering::Relaxed);
         self.pool_hits.fetch_add(s.pool_hits, Ordering::Relaxed);
         self.pool_misses.fetch_add(s.pool_misses, Ordering::Relaxed);
+        self.sched_spilled_bytes.fetch_add(s.spilled_bytes, Ordering::Relaxed);
+        self.sched_reloaded_bytes.fetch_add(s.reloaded_bytes, Ordering::Relaxed);
+        self.sched_spill_faults.fetch_add(s.spill_faults, Ordering::Relaxed);
+        self.sched_prefetch_hits.fetch_add(s.prefetch_hits, Ordering::Relaxed);
+        self.sched_spill_stall_us.fetch_add(s.spill_stall_us, Ordering::Relaxed);
+        self.sched_streamed_leaf_bytes.fetch_max(s.streamed_leaf_bytes, Ordering::Relaxed);
     }
 
     pub fn reset(&self) {
@@ -142,6 +190,12 @@ impl ExecStats {
         self.pool_hits.store(0, Ordering::Relaxed);
         self.pool_misses.store(0, Ordering::Relaxed);
         self.plan_recompiles.store(0, Ordering::Relaxed);
+        self.sched_spilled_bytes.store(0, Ordering::Relaxed);
+        self.sched_reloaded_bytes.store(0, Ordering::Relaxed);
+        self.sched_spill_faults.store(0, Ordering::Relaxed);
+        self.sched_prefetch_hits.store(0, Ordering::Relaxed);
+        self.sched_spill_stall_us.store(0, Ordering::Relaxed);
+        self.sched_streamed_leaf_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -151,10 +205,12 @@ impl ExecStats {
 /// engine (its own buffer pool, plan/kernel caches and stats). Prefer
 /// [`crate::engine::EngineBuilder`] and [`Engine::compile`]; this type adds
 /// nothing over them and will eventually be removed.
+#[deprecated(note = "use `EngineBuilder`/`Engine::compile` instead; this shim adds nothing")]
 pub struct Executor {
     engine: Engine,
 }
 
+#[allow(deprecated)] // the shim's own impl necessarily names the shim
 impl Executor {
     pub fn new(mode: FusionMode) -> Self {
         Self::from_engine(Engine::new(mode))
@@ -344,6 +400,10 @@ mod tests {
     use fusedml_hop::interp::bind;
     use fusedml_linalg::generate;
 
+    fn run(mode: FusionMode, dag: &HopDag, bindings: &Bindings) -> Vec<Value> {
+        Engine::new(mode).execute(dag, bindings).into_values()
+    }
+
     /// Gen and Base must agree on the paper's Expression (2) (MLogreg core).
     #[test]
     fn mlogreg_core_gen_equals_base() {
@@ -366,9 +426,9 @@ mod tests {
             ("V", generate::rand_dense(m, k, -1.0, 1.0, 2)),
             ("P", generate::rand_dense(n, k + 1, 0.0, 1.0, 3)),
         ]);
-        let base = Executor::new(FusionMode::Base).execute(&dag, &bindings);
-        let gen = Executor::new(FusionMode::Gen);
-        let out = gen.execute(&dag, &bindings);
+        let base = run(FusionMode::Base, &dag, &bindings);
+        let gen = Engine::new(FusionMode::Gen);
+        let out = gen.execute(&dag, &bindings).into_values();
         assert!(out[0].as_matrix().approx_eq(&base[0].as_matrix(), 1e-9));
         let (fused, _, _) = gen.stats().snapshot();
         assert!(fused >= 1, "the Row operator must actually run");
@@ -400,9 +460,9 @@ mod tests {
             ("V", generate::rand_dense(m, r, 0.1, 1.0, 6)),
             ("R", generate::rand_dense(n, r, 0.1, 1.0, 7)),
         ]);
-        let base = Executor::new(FusionMode::Base).execute(&dag, &bindings);
-        let gen = Executor::new(FusionMode::Gen);
-        let out = gen.execute(&dag, &bindings);
+        let base = run(FusionMode::Base, &dag, &bindings);
+        let gen = Engine::new(FusionMode::Gen);
+        let out = gen.execute(&dag, &bindings).into_values();
         assert!(out[0].as_matrix().approx_eq(&base[0].as_matrix(), 1e-9));
         let (fused, _, _) = gen.stats().snapshot();
         assert!(fused >= 1, "fused operators must run: {:?}", gen.plan_for(&dag).explain());
@@ -424,9 +484,9 @@ mod tests {
             ("Y", generate::rand_dense(200, 100, -1.0, 1.0, 9)),
             ("Z", generate::rand_dense(200, 100, -1.0, 1.0, 10)),
         ]);
-        let base = Executor::new(FusionMode::Base).execute(&dag, &bindings);
-        let gen = Executor::new(FusionMode::Gen);
-        let out = gen.execute(&dag, &bindings);
+        let base = run(FusionMode::Base, &dag, &bindings);
+        let gen = Engine::new(FusionMode::Gen);
+        let out = gen.execute(&dag, &bindings).into_values();
         for (o, e) in out.iter().zip(&base) {
             assert!(fusedml_linalg::approx_eq(o.as_scalar(), e.as_scalar(), 1e-9));
         }
@@ -447,9 +507,9 @@ mod tests {
             ("Y", generate::rand_dense(150, 150, -1.0, 1.0, 12)),
             ("Z", generate::rand_dense(150, 150, -1.0, 1.0, 13)),
         ]);
-        let reference = Executor::new(FusionMode::Base).execute(&dag, &bindings)[0].as_scalar();
+        let reference = run(FusionMode::Base, &dag, &bindings)[0].as_scalar();
         for mode in [FusionMode::Fused, FusionMode::Gen, FusionMode::GenFA, FusionMode::GenFNR] {
-            let out = Executor::new(mode).execute(&dag, &bindings)[0].as_scalar();
+            let out = run(mode, &dag, &bindings)[0].as_scalar();
             assert!(
                 fusedml_linalg::approx_eq(out, reference, 1e-9),
                 "{mode:?}: {out} vs {reference}"
@@ -467,7 +527,7 @@ mod tests {
             let s = b.sum(m);
             b.build(vec![s])
         };
-        let exec = Executor::new(FusionMode::Gen);
+        let exec = Engine::new(FusionMode::Gen);
         let bindings = bind(&[
             ("X", generate::rand_dense(100, 100, 0.0, 1.0, 14)),
             ("Y", generate::rand_dense(100, 100, 0.0, 1.0, 15)),
@@ -494,19 +554,19 @@ mod tests {
             ("X", generate::rand_dense(120, 80, -0.5, 0.5, 16)),
             ("Y", generate::rand_dense(120, 80, -0.5, 0.5, 17)),
         ]);
-        let base = Executor::new(FusionMode::Base).execute(&dag, &bindings);
+        let base = run(FusionMode::Base, &dag, &bindings);
         for mode in [FusionMode::Gen, FusionMode::GenFA, FusionMode::GenFNR] {
-            let out = Executor::new(mode).execute(&dag, &bindings);
+            let out = run(mode, &dag, &bindings);
             for (o, e) in out.iter().zip(&base) {
                 assert!(fusedml_linalg::approx_eq(o.as_scalar(), e.as_scalar(), 1e-9), "{mode:?}");
             }
         }
     }
 
-    /// The legacy-shim revalidation guard: a plan optimized for one geometry
-    /// must not be trusted on a reshaped DAG (the stale-plan bug).
+    /// The revalidation guard: a plan optimized for one geometry must not be
+    /// trusted on a reshaped DAG (the stale-plan bug).
     #[test]
-    fn stale_plan_is_revalidated_by_shim() {
+    fn stale_plan_is_revalidated() {
         let build = |n: usize| {
             let mut b = fusedml_hop::DagBuilder::new();
             let x = b.read("X", n, 64, 1.0);
@@ -515,7 +575,7 @@ mod tests {
             let s = b.sum(m);
             b.build(vec![s])
         };
-        let exec = Executor::new(FusionMode::Gen);
+        let exec = Engine::new(FusionMode::Gen);
         let small = build(64);
         let plan = exec.plan_for(&small);
         // Reshaped DAG with the *stale* plan: the guard must re-optimize.
@@ -524,7 +584,7 @@ mod tests {
             ("X", generate::rand_dense(512, 64, 0.0, 1.0, 21)),
             ("Y", generate::rand_dense(512, 64, 0.0, 1.0, 22)),
         ]);
-        let expect = Executor::new(FusionMode::Base).execute(&big, &bindings)[0].as_scalar();
+        let expect = run(FusionMode::Base, &big, &bindings)[0].as_scalar();
         let got = exec.execute_with_plan(&big, &plan, &bindings)[0].as_scalar();
         assert!(fusedml_linalg::approx_eq(got, expect, 1e-9));
         let got_seq = exec.execute_with_plan_sequential(&big, &plan, &bindings)[0].as_scalar();

@@ -17,8 +17,10 @@
 //! * [`exec`] — execution statistics plus the deprecated [`Executor`] shim
 //!   over the engine,
 //! * [`schedule`] — the liveness-aware scheduled engine: refcounted value
-//!   slots freed at last use, pool-backed buffers, and parallel execution of
-//!   independent ready operators,
+//!   slots freed at last use, pool-backed buffers, parallel execution of
+//!   independent ready operators, and out-of-core execution under a memory
+//!   budget (farthest-next-use eviction to the engine's spill tier, async
+//!   prefetch of spilled inputs),
 //! * [`dist`] — the simulated distributed (Spark-like) backend with
 //!   broadcast/shuffle time accounting (DESIGN.md substitution X2).
 
@@ -31,5 +33,7 @@ pub mod side;
 pub mod spoof;
 
 pub use engine::{CompiledScript, Engine, EngineBuilder, Outputs};
-pub use exec::{ExecStats, Executor, SchedSnapshot};
+#[allow(deprecated)] // the shim stays reachable until its last users migrate off
+pub use exec::Executor;
+pub use exec::{ExecStats, SchedSnapshot};
 pub use fusedml_core::FusionMode;

@@ -1,5 +1,5 @@
-//! The scheduled execution engine: liveness-aware, pool-backed, and
-//! parallel across independent operators.
+//! The scheduled execution engine: liveness-aware, pool-backed, parallel
+//! across independent operators — and out-of-core under a memory budget.
 //!
 //! This replaces the seed's recursive lazy materializer (which held every
 //! intermediate alive for the whole DAG and recursed serially) with an
@@ -13,7 +13,7 @@
 //!   takes the value owned, the slot is freed immediately, and uniquely
 //!   held dense buffers return to the engine's buffer pool (or are reused
 //!   *in place* as the output of same-shape element-wise operators);
-//! * a **ready set** of tasks with no unmet dependencies is drained by a
+//! * a **ready set** of jobs with no unmet dependencies is drained by a
 //!   small worker pool (scoped threads sharing the engine's buffer pool),
 //!   so independent DAG branches execute concurrently while each kernel
 //!   keeps its internal row-band parallelism;
@@ -22,11 +22,37 @@
 //!   per-execution peak footprint surfaced through [`ExecStats`] and the
 //!   per-call [`SchedSnapshot`].
 //!
+//! ## Slot residency and the spill tier
+//!
+//! Each slot is a small state machine (`Slot`): `Resident` values live in
+//! memory, `Spilled` values live in the engine's
+//! [`fusedml_linalg::spill::TieredStore`] as temp files, and
+//! `Loading`/`Evicting` mark in-flight byte movement (file I/O never runs
+//! under the scheduler lock — waiters block on the condvar). Before a task
+//! dispatches, the scheduler **reserves** its output estimate plus any
+//! spilled inputs against the store's budget, evicting victims by
+//! **farthest next use** (the compile-time ready-set level of the nearest
+//! unfinished consumer; DAG roots nothing will read again evict first).
+//! Only uniquely held values are victims — spilling a shared `Arc` (a leaf
+//! binding, an input some running task gathered) would free nothing.
+//!
+//! When a task becomes ready with spilled inputs, **reload jobs** are pushed
+//! onto the same ready queue, so the worker pool overlaps those reads with
+//! execution of the rest of the level (async prefetch, bounded by the
+//! engine's prefetch depth); a consumer that outruns its prefetch faults the
+//! input back synchronously. Leaf bindings larger than the whole budget are
+//! not charged against it at all (`Slot::Streamed`): they are caller-owned
+//! `Arc` clones that kernels already walk band-by-band by reference, so
+//! spilling them would double their footprint instead of shrinking it.
+//!
 //! The task graph is **built once at compile time** ([`prepare`]) and
 //! **executed many times** ([`run`]): `Engine::compile` prepares the graph
 //! for a `CompiledScript`, whose `execute` only allocates the per-call
 //! mutable state — which is why one compiled script can execute from many
-//! threads simultaneously.
+//! threads simultaneously. Spilling changes *where* values wait, never what
+//! they contain: the spill tier round-trips bit-exactly, so a run under a
+//! tight budget is bitwise-identical to an unbounded one (pinned by the
+//! `spill_vs_resident_property` differential test).
 //!
 //! The seed's sequential materializer survives as
 //! [`crate::exec::Executor::execute_with_plan_sequential`], the oracle the
@@ -44,15 +70,32 @@ use fusedml_hop::interp::{self, Bindings};
 use fusedml_hop::{HopDag, HopId, OpKind};
 use fusedml_linalg::matrix::Value;
 use fusedml_linalg::ops as lops;
-use fusedml_linalg::pool::PoolHandle;
+use fusedml_linalg::spill::{SpillToken, TieredStore, MIN_SPILL_BYTES};
 use fusedml_linalg::{par, pool, Matrix};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Default upper bound on scheduler workers: kernels parallelize internally
 /// over row bands, so inter-operator parallelism beyond a few ways
 /// oversubscribes. Engines can override via `EngineBuilder::workers`.
 pub const DEFAULT_MAX_WORKERS: usize = 4;
+
+/// Default bound on queued/in-flight asynchronous reload jobs. Beyond this,
+/// consumers fault their spilled inputs back synchronously.
+pub const DEFAULT_PREFETCH_DEPTH: usize = 4;
+
+/// The engine-owned execution context threaded through [`run`]: statistics,
+/// the two-tier store (pool + spill files), kernel caches, and the worker /
+/// prefetch limits. Bundling these keeps the `run` signature stable as the
+/// engine grows.
+pub struct ExecCtx<'a> {
+    pub stats: &'a ExecStats,
+    pub max_workers: usize,
+    pub store: &'a TieredStore,
+    pub kernels: &'a Arc<KernelCaches>,
+    pub prefetch_depth: usize,
+}
 
 /// What one task executes.
 enum TaskKind {
@@ -90,6 +133,12 @@ pub struct TaskGraph {
     n_producers: Vec<u32>,
     /// Widest set of same-level tasks (parallelism upper bound).
     max_width: usize,
+    /// Per hop: the tasks reading it. Victim scoring derives a value's next
+    /// use from the levels of its unfinished consumers.
+    consumers_of: Vec<Vec<usize>>,
+    /// Per task: compile-time estimate of its output bytes (from the hop
+    /// size facts), used for pre-dispatch budget reservation.
+    task_out_bytes: Vec<usize>,
 }
 
 /// Builds the task graph for a DAG: the compile-time half of the scheduled
@@ -227,7 +276,29 @@ pub fn prepare(
         *width.entry(t.level).or_insert(0) += 1;
     }
     let max_width = width.values().copied().max().unwrap_or(0);
-    TaskGraph { tasks, leaves, reads, n_producers, max_width }
+    // Spill-side compile facts: who reads each hop, and how large each
+    // task's output is expected to be.
+    let mut consumers_of: Vec<Vec<usize>> = vec![Vec::new(); dag.len()];
+    for (t, task) in tasks.iter().enumerate() {
+        for &d in &task.deps {
+            if consumers_of[d.index()].last() != Some(&t) {
+                consumers_of[d.index()].push(t);
+            }
+        }
+    }
+    let est = |h: HopId| dag.hop(h).size.bytes().max(0.0) as usize;
+    let task_out_bytes = tasks
+        .iter()
+        .map(|t| match &t.kind {
+            TaskKind::Basic(h) => est(*h),
+            TaskKind::Handcoded(hc) => est(hc.root),
+            TaskKind::Fused { op_ix } => {
+                let f = &plan.expect("fused task implies a plan").operators[*op_ix];
+                f.roots.iter().map(|&r| est(r)).sum()
+            }
+        })
+        .collect();
+    TaskGraph { tasks, leaves, reads, n_producers, max_width, consumers_of, task_out_bytes }
 }
 
 /// A gathered task input: the value plus whether this task took the last
@@ -237,13 +308,40 @@ struct SlotIn {
     owned: bool,
 }
 
+/// One unit of work on the ready queue: execute a task, or reload a spilled
+/// slot ahead of its consumer (async prefetch on the same worker pool).
+enum Job {
+    Exec(usize),
+    Reload(usize),
+}
+
+/// The residency state machine of one value slot. File I/O (`Loading`,
+/// `Evicting`) always happens with the scheduler lock released; readers that
+/// hit an in-flight state wait on the condvar.
+enum Slot {
+    Empty,
+    /// In memory, charged against the resident budget.
+    Resident(Value),
+    /// A caller-owned leaf binding larger than the whole budget: kernels
+    /// stream it band-by-band by reference, so it is neither charged nor
+    /// ever picked as a spill victim (the caller's `Arc` keeps it alive
+    /// regardless — spilling it would *add* a file without freeing bytes).
+    Streamed(Value),
+    /// On disk in the engine's spill tier.
+    Spilled(SpillToken),
+    /// A worker is reading it back from the spill tier.
+    Loading,
+    /// A worker is serializing it out to the spill tier.
+    Evicting,
+}
+
 /// Shared mutable scheduler state — one instance per [`run`] call, so
 /// concurrent executions of the same graph never interfere.
 struct EngineState {
-    slots: Vec<Option<Value>>,
+    slots: Vec<Slot>,
     reads_left: Vec<u32>,
     producers_left: Vec<u32>,
-    ready: Vec<usize>,
+    ready: Vec<Job>,
     remaining: usize,
     running: usize,
     resident_bytes: usize,
@@ -252,30 +350,52 @@ struct EngineState {
     freed_early_bytes: usize,
     parallel_ops: usize,
     poisoned: bool,
+    /// Per task: completed (its outputs' next-use levels are settled).
+    tasks_done: Vec<bool>,
+    /// Reload jobs queued or in flight (bounds prefetch).
+    reloads_queued: usize,
+    /// Set when a spill write fails (disk full): degrade to best-effort
+    /// resident execution instead of failing the run.
+    spill_disabled: bool,
+    spilled_bytes: usize,
+    reloaded_bytes: usize,
+    spill_faults: usize,
+    prefetch_hits: usize,
+    spill_stall_us: usize,
+    streamed_leaf_bytes: usize,
 }
 
+/// Everything a worker needs, borrowed for the scope of one [`run`] call.
+struct Ctx<'a> {
+    shared: &'a Mutex<EngineState>,
+    cvar: &'a Condvar,
+    graph: &'a TaskGraph,
+    dag: &'a HopDag,
+    plan: Option<&'a FusionPlan>,
+    bindings: &'a Bindings,
+    exec: &'a ExecCtx<'a>,
+}
+
+type Guard<'a> = MutexGuard<'a, EngineState>;
+
 /// Executes a prepared task graph over bound inputs: the run-time half of
-/// the scheduled engine. Workers draw buffers from `pool` and resolve
-/// lowered kernels from `kernels` (both engine-owned). Returns the root
-/// values in root order plus this call's [`SchedSnapshot`] delta; the same
-/// events are also accumulated into `stats`.
-#[allow(clippy::too_many_arguments)] // the engine's full execution context
+/// the scheduled engine. Workers draw buffers from the context's store
+/// (pool + spill tier) and resolve lowered kernels from its caches. Returns
+/// the root values in root order plus this call's [`SchedSnapshot`] delta;
+/// the same events are also accumulated into the context's stats.
 pub fn run(
     graph: &TaskGraph,
     dag: &HopDag,
     plan: Option<&FusionPlan>,
     bindings: &Bindings,
-    stats: &ExecStats,
-    max_workers: usize,
-    pool_handle: &PoolHandle,
-    kernels: &Arc<KernelCaches>,
+    cx: &ExecCtx<'_>,
 ) -> (Vec<Value>, SchedSnapshot) {
     // Per-call tally: pooled requests made by this call's workers (and their
     // band threads) are attributed here, so the returned delta stays exact
     // even when other executions run concurrently on the same engine pool.
     let tally = Arc::new(pool::PoolTally::default());
     let mut st = EngineState {
-        slots: vec![None; dag.len()],
+        slots: (0..dag.len()).map(|_| Slot::Empty).collect(),
         reads_left: graph.reads.clone(),
         producers_left: graph.n_producers.clone(),
         ready: Vec::new(),
@@ -287,43 +407,78 @@ pub fn run(
         freed_early_bytes: 0,
         parallel_ops: 0,
         poisoned: false,
+        tasks_done: vec![false; graph.tasks.len()],
+        reloads_queued: 0,
+        spill_disabled: false,
+        spilled_bytes: 0,
+        reloaded_bytes: 0,
+        spill_faults: 0,
+        prefetch_hits: 0,
+        spill_stall_us: 0,
+        streamed_leaf_bytes: 0,
     };
     // Materialize demanded leaves inline (cheap: Arc clones of bindings).
+    // Leaves larger than the entire budget are streamed, not charged (see
+    // `Slot::Streamed`); everything else is resident like any other value.
+    let spill_on = cx.store.enabled();
     for &l in &graph.leaves {
         let v = interp::eval_op_inputs(dag, l, &[], bindings);
-        st.resident_bytes += v.size_in_bytes();
-        st.slots[l.index()] = Some(v);
+        let sz = v.size_in_bytes();
+        if spill_on && sz > cx.store.threshold() {
+            st.streamed_leaf_bytes += sz;
+            st.slots[l.index()] = Slot::Streamed(v);
+        } else {
+            st.resident_bytes += sz;
+            st.slots[l.index()] = Slot::Resident(v);
+        }
     }
     st.peak_bytes = st.resident_bytes;
     st.resident_all_bytes = st.resident_bytes;
     for (t, &np) in graph.n_producers.iter().enumerate() {
         if np == 0 {
-            st.ready.push(t);
+            st.ready.push(Job::Exec(t));
         }
     }
     let workers = graph
         .max_width
         .min(par::num_threads())
-        .clamp(1, max_workers.max(1))
+        .clamp(1, cx.max_workers.max(1))
         .min(graph.tasks.len().max(1));
     let shared = Mutex::new(st);
     let cvar = Condvar::new();
-    let run_worker = |w: &Mutex<EngineState>| {
-        let _pool = pool::enter_tallied(pool_handle, &tally);
-        let _kern = spoof::enter_kernels(kernels);
-        worker_loop(w, &cvar, graph, dag, plan, bindings, stats);
+    let wcx = Ctx { shared: &shared, cvar: &cvar, graph, dag, plan, bindings, exec: cx };
+    let run_worker = || {
+        let _pool = pool::enter_tallied(cx.store.pool(), &tally);
+        let _kern = spoof::enter_kernels(cx.kernels);
+        worker_loop(&wcx);
     };
     if workers <= 1 {
-        run_worker(&shared);
+        run_worker();
     } else {
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| run_worker(&shared));
+                s.spawn(run_worker);
             }
         });
     }
     let mut st = lock(&shared);
     assert!(!st.poisoned, "scheduler worker panicked");
+    // Roots are moved out, never cloned — faulting back any that were
+    // evicted (a held root's next use is "after the DAG", so under pressure
+    // roots are the first victims).
+    let mut roots = Vec::with_capacity(dag.roots().len());
+    for &r in dag.roots() {
+        let v = match std::mem::replace(&mut st.slots[r.index()], Slot::Empty) {
+            Slot::Resident(v) | Slot::Streamed(v) => v,
+            Slot::Spilled(tok) => {
+                st.spill_faults += 1;
+                st.reloaded_bytes += tok.file_bytes();
+                Value::Matrix(cx.store.reload(tok).expect("reload spilled root"))
+            }
+            _ => panic!("root computed"),
+        };
+        roots.push(v);
+    }
     let snapshot = SchedSnapshot {
         parallel_ops: st.parallel_ops,
         bytes_freed_early: st.freed_early_bytes,
@@ -331,11 +486,14 @@ pub fn run(
         resident_all_bytes: st.resident_all_bytes,
         pool_hits: tally.hits() as usize,
         pool_misses: tally.misses() as usize,
+        spilled_bytes: st.spilled_bytes,
+        reloaded_bytes: st.reloaded_bytes,
+        spill_faults: st.spill_faults,
+        prefetch_hits: st.prefetch_hits,
+        spill_stall_us: st.spill_stall_us,
+        streamed_leaf_bytes: st.streamed_leaf_bytes,
     };
-    stats.record_sched(&snapshot);
-    // Roots are moved out, never cloned.
-    let roots =
-        dag.roots().iter().map(|r| st.slots[r.index()].take().expect("root computed")).collect();
+    cx.stats.record_sched(&snapshot);
     (roots, snapshot)
 }
 
@@ -343,29 +501,36 @@ fn lock<'a>(m: &'a Mutex<EngineState>) -> MutexGuard<'a, EngineState> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-#[allow(clippy::too_many_arguments)] // threads the whole engine through the worker
-fn worker_loop(
-    shared: &Mutex<EngineState>,
-    cvar: &Condvar,
-    graph: &TaskGraph,
-    dag: &HopDag,
-    plan: Option<&FusionPlan>,
-    bindings: &Bindings,
-    stats: &ExecStats,
-) {
-    let mut st = lock(shared);
+fn worker_loop(cx: &Ctx<'_>) {
+    let mut st = lock(cx.shared);
     loop {
         let t = loop {
             if st.remaining == 0 || st.poisoned {
-                cvar.notify_all();
+                cx.cvar.notify_all();
                 return;
             }
-            if let Some(t) = st.ready.pop() {
-                break t;
+            match st.ready.pop() {
+                Some(Job::Exec(t)) => break t,
+                Some(Job::Reload(h)) => {
+                    st = prefetch_reload(cx, st, h);
+                }
+                None => st = cx.cvar.wait(st).unwrap_or_else(|e| e.into_inner()),
             }
-            st = cvar.wait(st).unwrap_or_else(|e| e.into_inner());
         };
-        let task = &graph.tasks[t];
+        let task = &cx.graph.tasks[t];
+        // Reserve budget for this task's output plus any spilled inputs it
+        // is about to fault back in, evicting colder slots to make room.
+        // (Best effort: concurrent reservations can overlap, and with no
+        // eligible victims the task proceeds over budget.)
+        if cx.exec.store.enabled() {
+            let mut need = cx.graph.task_out_bytes[t];
+            for &d in &task.deps {
+                if let Slot::Spilled(tok) = &st.slots[d.index()] {
+                    need += tok.mem_bytes();
+                }
+            }
+            st = reserve(cx, st, need, &task.deps);
+        }
         st.running += 1;
         if st.running > 1 {
             st.parallel_ops += 1;
@@ -380,25 +545,34 @@ fn worker_loop(
         let mut ins: Vec<SlotIn> = Vec::with_capacity(task.deps.len());
         for &d in &task.deps {
             let di = d.index();
+            st = ensure_resident(cx, st, di);
             st.reads_left[di] -= 1;
             let dying = st.reads_left[di] == 0;
-            let slot = &mut st.slots[di];
             let val = if dying {
-                let v = slot.take().expect("input computed");
-                dying_bytes += v.size_in_bytes();
-                v
+                match std::mem::replace(&mut st.slots[di], Slot::Empty) {
+                    Slot::Resident(v) => {
+                        dying_bytes += v.size_in_bytes();
+                        v
+                    }
+                    // Caller-owned and never charged; nothing to subtract.
+                    Slot::Streamed(v) => v,
+                    _ => unreachable!("ensure_resident leaves the slot resident"),
+                }
             } else {
-                slot.clone().expect("input computed")
+                match &st.slots[di] {
+                    Slot::Resident(v) | Slot::Streamed(v) => v.clone(),
+                    _ => unreachable!("ensure_resident leaves the slot resident"),
+                }
             };
             ins.push(SlotIn { val, owned: dying });
         }
         drop(st);
 
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_task(task, ins, dag, plan, bindings, stats)
+            run_task(task, ins, cx.dag, cx.plan, cx.bindings, cx.exec.stats)
         }));
 
-        st = lock(shared);
+        st = lock(cx.shared);
         match result {
             Ok(outs) => {
                 for (h, v) in outs {
@@ -413,32 +587,209 @@ fn worker_loop(
                     if st.resident_bytes > st.peak_bytes {
                         st.peak_bytes = st.resident_bytes;
                     }
-                    st.slots[h.index()] = Some(v);
+                    st.slots[h.index()] = Slot::Resident(v);
                 }
                 // Now the dying inputs are really gone.
                 st.resident_bytes -= dying_bytes;
                 if st.remaining > 1 {
                     st.freed_early_bytes += dying_bytes;
                 }
+                st.tasks_done[t] = true;
                 for &c in &task.consumers {
                     st.producers_left[c] -= 1;
                     if st.producers_left[c] == 0 {
-                        st.ready.push(c);
+                        st.ready.push(Job::Exec(c));
+                        // Async prefetch: queue reloads for the newly ready
+                        // task's spilled inputs (pushed after the exec job,
+                        // so the LIFO queue starts the reads first) and let
+                        // the pool overlap them with other execution.
+                        if cx.exec.store.enabled() {
+                            for &d in &cx.graph.tasks[c].deps {
+                                if st.reloads_queued < cx.exec.prefetch_depth
+                                    && matches!(st.slots[d.index()], Slot::Spilled(_))
+                                {
+                                    st.reloads_queued += 1;
+                                    st.ready.push(Job::Reload(d.index()));
+                                }
+                            }
+                        }
                     }
                 }
                 st.running -= 1;
                 st.remaining -= 1;
-                cvar.notify_all();
+                cx.cvar.notify_all();
             }
             Err(payload) => {
                 st.poisoned = true;
                 st.remaining = 0;
-                cvar.notify_all();
+                cx.cvar.notify_all();
                 drop(st);
                 std::panic::resume_unwind(payload);
             }
         }
     }
+}
+
+/// Blocks until slot `di` holds an in-memory value: faults `Spilled` slots
+/// back synchronously (counted as a spill fault) and waits out in-flight
+/// `Loading`/`Evicting` transitions (counted as stall time).
+fn ensure_resident<'a>(cx: &Ctx<'a>, mut st: Guard<'a>, di: usize) -> Guard<'a> {
+    loop {
+        match &st.slots[di] {
+            Slot::Resident(_) | Slot::Streamed(_) => return st,
+            Slot::Spilled(_) => {
+                let tok = match std::mem::replace(&mut st.slots[di], Slot::Loading) {
+                    Slot::Spilled(t) => t,
+                    _ => unreachable!("just matched"),
+                };
+                st = fault_in(cx, st, di, tok, false);
+            }
+            Slot::Loading | Slot::Evicting => {
+                if st.poisoned {
+                    drop(st);
+                    panic!("scheduler poisoned while waiting on a spilled input");
+                }
+                let t0 = Instant::now();
+                st = cx.cvar.wait(st).unwrap_or_else(|e| e.into_inner());
+                st.spill_stall_us += t0.elapsed().as_micros() as usize;
+            }
+            Slot::Empty => unreachable!("input computed before its consumer"),
+        }
+    }
+}
+
+/// Services one queued reload job. The job may be stale — its consumer can
+/// have faulted the slot in (or taken it) before a worker got here — in
+/// which case it is a no-op.
+fn prefetch_reload<'a>(cx: &Ctx<'a>, mut st: Guard<'a>, di: usize) -> Guard<'a> {
+    st.reloads_queued -= 1;
+    if !matches!(st.slots[di], Slot::Spilled(_)) {
+        return st;
+    }
+    let tok = match std::mem::replace(&mut st.slots[di], Slot::Loading) {
+        Slot::Spilled(t) => t,
+        _ => unreachable!("just matched"),
+    };
+    fault_in(cx, st, di, tok, true)
+}
+
+/// Reads a spilled slot back into memory (lock released around the file
+/// read), reserving budget for the incoming bytes first.
+fn fault_in<'a>(
+    cx: &Ctx<'a>,
+    st: Guard<'a>,
+    di: usize,
+    tok: SpillToken,
+    prefetch: bool,
+) -> Guard<'a> {
+    let mem = tok.mem_bytes();
+    let file = tok.file_bytes();
+    let mut st = reserve(cx, st, mem, &[]);
+    drop(st);
+    let loaded = cx.exec.store.reload(tok);
+    st = lock(cx.shared);
+    match loaded {
+        Ok(m) => {
+            st.resident_bytes += mem;
+            if st.resident_bytes > st.peak_bytes {
+                st.peak_bytes = st.resident_bytes;
+            }
+            st.reloaded_bytes += file;
+            if prefetch {
+                st.prefetch_hits += 1;
+            } else {
+                st.spill_faults += 1;
+            }
+            st.slots[di] = Slot::Resident(Value::Matrix(m));
+            cx.cvar.notify_all();
+            st
+        }
+        Err(e) => {
+            // A lost spill file is unrecoverable — the value exists nowhere.
+            st.poisoned = true;
+            cx.cvar.notify_all();
+            drop(st);
+            panic!("spill reload failed: {e}");
+        }
+    }
+}
+
+/// Evicts farthest-next-use victims until `need` more bytes fit under the
+/// store's budget (or no victim remains — the run then proceeds over
+/// budget, best effort). `keep` shields the reserving task's own inputs.
+fn reserve<'a>(cx: &Ctx<'a>, mut st: Guard<'a>, need: usize, keep: &[HopId]) -> Guard<'a> {
+    let store = cx.exec.store;
+    if !store.enabled() {
+        return st;
+    }
+    let budget = store.threshold();
+    while !st.spill_disabled && st.resident_bytes.saturating_add(need) > budget {
+        let Some(h) = pick_victim(cx, &st, keep) else { break };
+        let v = match std::mem::replace(&mut st.slots[h], Slot::Evicting) {
+            Slot::Resident(v) => v,
+            _ => unreachable!("victims are resident"),
+        };
+        let sz = v.size_in_bytes();
+        st.resident_bytes -= sz;
+        drop(st);
+        let res = match &v {
+            Value::Matrix(m) => store.spill(m),
+            Value::Scalar(_) => unreachable!("victims are matrices"),
+        };
+        st = lock(cx.shared);
+        match res {
+            Ok(tok) => {
+                st.spilled_bytes += tok.file_bytes();
+                st.slots[h] = Slot::Spilled(tok);
+                // The slot held the only reference: recycling hands the
+                // buffers to the pool, where the eventual reload (or the
+                // next output) picks them straight back up.
+                v.recycle();
+            }
+            Err(_) => {
+                // Spill tier unavailable (disk full, dir removed): put the
+                // value back and degrade to resident-only for this run.
+                st.resident_bytes += sz;
+                st.slots[h] = Slot::Resident(v);
+                st.spill_disabled = true;
+            }
+        }
+        cx.cvar.notify_all();
+    }
+    st
+}
+
+/// Picks the resident slot with the farthest next use: the minimum ready-set
+/// level over unfinished consumers, `usize::MAX` for values only the root
+/// collection will touch again (those evict first). Only uniquely held
+/// matrix values at least [`MIN_SPILL_BYTES`] large qualify — shared
+/// payloads (leaf bindings, inputs gathered by running tasks) free nothing
+/// when dropped. Ties break toward the larger value.
+fn pick_victim(cx: &Ctx<'_>, st: &EngineState, keep: &[HopId]) -> Option<usize> {
+    let mut best: Option<(usize, usize, usize)> = None; // (next_use, bytes, slot)
+    for (h, slot) in st.slots.iter().enumerate() {
+        let Slot::Resident(Value::Matrix(m)) = slot else { continue };
+        if !m.is_uniquely_owned() {
+            continue;
+        }
+        let bytes = m.size_in_bytes();
+        if bytes < MIN_SPILL_BYTES {
+            continue;
+        }
+        if keep.iter().any(|k| k.index() == h) {
+            continue;
+        }
+        let next_use = cx.graph.consumers_of[h]
+            .iter()
+            .filter(|&&t| !st.tasks_done[t])
+            .map(|&t| cx.graph.tasks[t].level)
+            .min()
+            .unwrap_or(usize::MAX);
+        if best.is_none_or(|(bu, bb, _)| (next_use, bytes) > (bu, bb)) {
+            best = Some((next_use, bytes, h));
+        }
+    }
+    best.map(|(_, _, h)| h)
 }
 
 /// Runs one task over its gathered inputs; returns `(hop, value)` stores.

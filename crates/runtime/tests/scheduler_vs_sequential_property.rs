@@ -9,7 +9,7 @@ use fusedml_hop::interp::Bindings;
 use fusedml_hop::{DagBuilder, HopDag, HopId};
 use fusedml_linalg::generate;
 use fusedml_linalg::matrix::Value;
-use fusedml_runtime::{Executor, FusionMode};
+use fusedml_runtime::{Engine, FusionMode};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -110,9 +110,9 @@ proptest! {
             FusionMode::GenFA,
             FusionMode::GenFNR,
         ] {
-            let exec = Executor::new(mode);
+            let exec = Engine::new(mode);
             let expect = exec.execute_sequential(&dag, &bindings);
-            let got = exec.execute(&dag, &bindings);
+            let got = exec.execute(&dag, &bindings).into_values();
             assert_bitwise_eq(&got, &expect, mode, &e.ops);
             // The liveness-tracked peak can never exceed the hold-everything
             // resident set (inputs + every materialized intermediate).
@@ -142,7 +142,7 @@ fn chain_footprint_drops_at_least_2x() {
     let dag = b.build(vec![s]);
     let mut bindings = Bindings::new();
     bindings.insert("X".into(), generate::rand_dense(400, 300, -0.01, 0.01, 9));
-    let exec = Executor::new(FusionMode::Base);
+    let exec = Engine::new(FusionMode::Base);
     let _ = exec.execute(&dag, &bindings);
     let sched = exec.stats().scheduler_snapshot();
     assert!(
@@ -178,9 +178,9 @@ fn independent_branches_run_in_parallel() {
     let mut bindings = Bindings::new();
     bindings.insert("X".into(), generate::rand_dense(300, 300, 0.0, 1.0, 4));
     bindings.insert("Y".into(), generate::rand_dense(300, 300, 0.0, 1.0, 5));
-    let exec = Executor::new(FusionMode::Base);
+    let exec = Engine::new(FusionMode::Base);
     let base = exec.execute_sequential(&dag, &bindings);
-    let got = exec.execute(&dag, &bindings);
+    let got = exec.execute(&dag, &bindings).into_values();
     assert_bitwise_eq(&got, &base, FusionMode::Base, &[]);
     let sched = exec.stats().scheduler_snapshot();
     assert!(sched.parallel_ops > 0, "independent branches must overlap");
@@ -197,9 +197,9 @@ fn sparse_roots_keep_format() {
     let mut bindings = Bindings::new();
     bindings.insert("X".into(), generate::rand_matrix(200, 200, 1.0, 2.0, 0.02, 6));
     bindings.insert("Y".into(), generate::rand_dense(200, 200, 1.0, 2.0, 7));
-    let exec = Executor::new(FusionMode::Base);
+    let exec = Engine::new(FusionMode::Base);
     let seq = exec.execute_sequential(&dag, &bindings);
-    let got = exec.execute(&dag, &bindings);
+    let got = exec.execute(&dag, &bindings).into_values();
     assert_bitwise_eq(&got, &seq, FusionMode::Base, &[]);
     match (&got[0], &seq[0]) {
         (Value::Matrix(a), Value::Matrix(b)) => assert_eq!(a.is_sparse(), b.is_sparse()),

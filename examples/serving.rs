@@ -86,4 +86,17 @@ fn main() {
     );
     assert_eq!(opt.dags_optimized, 1, "compile once");
     assert_eq!(engine.stats().plan_recompiles(), 0, "no shape drift in this loop");
+
+    // Memory tier: the budget is a real contract, so report where the bytes
+    // lived. Peak is the worst single run; spill counters sum over the load.
+    let sched = engine.stats().scheduler_snapshot();
+    println!(
+        "memory: peak resident {:.2} MB/run, spilled {:.2} MB, reloaded {:.2} MB, \
+         prefetch hit rate {:.0}%",
+        sched.peak_bytes as f64 / 1e6,
+        sched.spilled_bytes as f64 / 1e6,
+        sched.reloaded_bytes as f64 / 1e6,
+        100.0 * sched.prefetch_hit_rate()
+    );
+    assert_eq!(sched.spilled_bytes, 0, "a scorer this small must serve entirely in memory");
 }
