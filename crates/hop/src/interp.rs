@@ -27,6 +27,52 @@ pub fn bind(pairs: &[(&str, Matrix)]) -> Bindings {
     pairs.iter().map(|(n, m)| (n.to_string(), m.clone())).collect()
 }
 
+/// A typed binding defect: what `validate_bindings` reports instead of the
+/// interpreter's panic. The runtime converts these into its `ExecError`
+/// variants so `try_execute` callers get a structured error, not an abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// A live `Read` has no matrix bound under its name.
+    Unbound { name: String },
+    /// A bound matrix disagrees with the shape the DAG was compiled for.
+    Shape { name: String, expected: (usize, usize), bound: (usize, usize) },
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindError::Unbound { name } => write!(f, "unbound input matrix '{name}'"),
+            BindError::Shape { name, expected, bound } => write!(
+                f,
+                "bound matrix '{name}' is {}x{} but the plan was compiled for {}x{}",
+                bound.0, bound.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// Checks every live `Read` of the DAG against `bindings`: present, and
+/// exactly the declared shape. This is the fallible twin of the shape
+/// assertion the interpreter makes at `Read` evaluation — run it up front
+/// and execution cannot abort on a binding defect.
+pub fn validate_bindings(dag: &HopDag, bindings: &Bindings) -> Result<(), BindError> {
+    for (name, rows, cols) in dag.input_shapes() {
+        let Some(m) = bindings.get(&name) else {
+            return Err(BindError::Unbound { name });
+        };
+        if (m.rows(), m.cols()) != (rows, cols) {
+            return Err(BindError::Shape {
+                name,
+                expected: (rows, cols),
+                bound: (m.rows(), m.cols()),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// The `(name, rows, cols)` geometry of the bound matrices for the given
 /// input names, sorted by name — the execution-side counterpart of
 /// [`crate::HopDag::input_shapes`]. Panics on a missing binding, mirroring
@@ -234,6 +280,24 @@ mod tests {
         let x = b.read("X", 2, 2, 1.0);
         let dag = b.build(vec![x]);
         interpret(&dag, &bind(&[("X", Matrix::zeros(3, 3))]));
+    }
+
+    #[test]
+    fn validate_bindings_reports_typed_defects() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 2, 3, 1.0);
+        let y = b.read("Y", 2, 3, 1.0);
+        let s = b.add(x, y);
+        let dag = b.build(vec![s]);
+        let ok = bind(&[("X", Matrix::zeros(2, 3)), ("Y", Matrix::zeros(2, 3))]);
+        assert_eq!(validate_bindings(&dag, &ok), Ok(()));
+        let missing = bind(&[("X", Matrix::zeros(2, 3))]);
+        assert_eq!(validate_bindings(&dag, &missing), Err(BindError::Unbound { name: "Y".into() }));
+        let misshaped = bind(&[("X", Matrix::zeros(2, 3)), ("Y", Matrix::zeros(3, 2))]);
+        assert_eq!(
+            validate_bindings(&dag, &misshaped),
+            Err(BindError::Shape { name: "Y".into(), expected: (2, 3), bound: (3, 2) })
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //!   them bit-exactly, making the engine's memory budget a real contract.
 
 pub mod dense;
+pub mod fault;
 pub mod generate;
 pub mod matrix;
 pub mod ops;

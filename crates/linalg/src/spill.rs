@@ -22,14 +22,17 @@
 //! measured spill costs cannot drift apart.
 
 use crate::dense::DenseMatrix;
+use crate::fault::{FaultPlan, FaultSite};
 use crate::matrix::Matrix;
 use crate::pool::PoolHandle;
 use crate::sparse::SparseMatrix;
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Eviction writes a value and reads it back exactly once in the common
 /// case: the modeled cost of one spill is `roundtrip × bytes / disk_bw`.
@@ -59,6 +62,9 @@ pub fn serialized_bytes(m: &Matrix) -> usize {
 #[derive(Debug)]
 pub struct SpillToken {
     path: PathBuf,
+    /// The store-wide file sequence number (keys the live-file registry the
+    /// orphan sweep consults).
+    seq: u64,
     /// In-memory size of the value (what reloading adds to the resident set).
     mem_bytes: usize,
     /// On-disk size (what the write/read actually moved).
@@ -88,6 +94,11 @@ pub struct SpillStats {
     pub bytes_spilled: u64,
     /// Serialized bytes read back.
     pub bytes_reloaded: u64,
+    /// Spilled values discarded unread (failed runs sweep their tokens).
+    pub discard_events: u64,
+    /// Files deleted by [`TieredStore::sweep_orphans`] (present on disk but
+    /// not owned by any outstanding token).
+    pub orphans_swept: u64,
 }
 
 #[derive(Debug, Default)]
@@ -96,6 +107,8 @@ struct SpillCounters {
     reload_events: AtomicU64,
     bytes_spilled: AtomicU64,
     bytes_reloaded: AtomicU64,
+    discard_events: AtomicU64,
+    orphans_swept: AtomicU64,
 }
 
 /// Process-global sequence so two engines (or two test runs in one process)
@@ -114,6 +127,14 @@ pub struct TieredStore {
     dir: Mutex<Option<PathBuf>>,
     file_seq: AtomicU64,
     counters: SpillCounters,
+    /// Sequence numbers of files owned by an outstanding [`SpillToken`].
+    /// A file in the spill dir whose sequence is *not* here is an orphan
+    /// (its run failed before discarding it) and is fair game for
+    /// [`TieredStore::sweep_orphans`].
+    live: Mutex<HashSet<u64>>,
+    /// Optional chaos harness: injects `io::Error`s at the
+    /// [`FaultSite::SpillWrite`]/[`FaultSite::SpillRead`] sites.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl TieredStore {
@@ -127,7 +148,21 @@ impl TieredStore {
             dir: Mutex::new(None),
             file_seq: AtomicU64::new(0),
             counters: SpillCounters::default(),
+            live: Mutex::new(HashSet::new()),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault plan: spill writes and reads consult it and fail
+    /// with an injected `io::Error` when it fires (before touching disk, so
+    /// injected failures never leave partial files behind).
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    fn injected(&self, site: FaultSite) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.should_inject(site))
     }
 
     /// The resident-bytes budget ([`usize::MAX`] = spilling disabled).
@@ -157,6 +192,8 @@ impl TieredStore {
             reload_events: self.counters.reload_events.load(Ordering::Relaxed),
             bytes_spilled: self.counters.bytes_spilled.load(Ordering::Relaxed),
             bytes_reloaded: self.counters.bytes_reloaded.load(Ordering::Relaxed),
+            discard_events: self.counters.discard_events.load(Ordering::Relaxed),
+            orphans_swept: self.counters.orphans_swept.load(Ordering::Relaxed),
         }
     }
 
@@ -179,24 +216,99 @@ impl TieredStore {
     /// Serializes `m` to a fresh temp file and returns the receipt. The
     /// caller drops its reference afterwards — that is what actually frees
     /// the memory (the executor only spills uniquely held values).
+    ///
+    /// A failed write (real or injected) never leaves a partial file behind:
+    /// the path is removed best-effort before the error propagates, so the
+    /// only cleanup a failed run owes is discarding the tokens it *did* get.
     pub fn spill(&self, m: &Matrix) -> io::Result<SpillToken> {
+        if self.injected(FaultSite::SpillWrite) {
+            return Err(io::Error::other("injected spill-write fault"));
+        }
         let dir = self.ensure_dir()?;
-        let path = dir.join(format!("slot-{}.bin", self.file_seq.fetch_add(1, Ordering::Relaxed)));
-        let file_bytes = write_matrix(&path, m)?;
+        let seq = self.file_seq.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("slot-{seq}.bin"));
+        // Register before creating the file so a concurrent orphan sweep
+        // never deletes a file that is still being written.
+        self.live.lock().insert(seq);
+        let file_bytes = match write_matrix(&path, m) {
+            Ok(n) => n,
+            Err(e) => {
+                self.live.lock().remove(&seq);
+                let _ = fs::remove_file(&path);
+                return Err(e);
+            }
+        };
         self.counters.spill_events.fetch_add(1, Ordering::Relaxed);
         self.counters.bytes_spilled.fetch_add(file_bytes as u64, Ordering::Relaxed);
-        Ok(SpillToken { path, mem_bytes: m.size_in_bytes(), file_bytes })
+        Ok(SpillToken { path, seq, mem_bytes: m.size_in_bytes(), file_bytes })
     }
 
     /// Reads a spilled value back (bit-exact) and deletes its file. Buffers
     /// are drawn from the store's pool, so steady-state spill/reload cycles
     /// allocate nothing fresh.
-    pub fn reload(&self, token: SpillToken) -> io::Result<Matrix> {
+    ///
+    /// The token is borrowed, not consumed: on `Err` the file (and the
+    /// token's claim on it) survives, so the caller can retry a transient
+    /// failure or [`TieredStore::discard`] the token when it gives up.
+    pub fn reload(&self, token: &SpillToken) -> io::Result<Matrix> {
+        if self.injected(FaultSite::SpillRead) {
+            return Err(io::Error::other("injected spill-read fault"));
+        }
         let m = read_matrix(&token.path, &self.pool)?;
+        self.live.lock().remove(&token.seq);
         let _ = fs::remove_file(&token.path); // best-effort; Drop sweeps the dir
         self.counters.reload_events.fetch_add(1, Ordering::Relaxed);
         self.counters.bytes_reloaded.fetch_add(token.file_bytes as u64, Ordering::Relaxed);
         Ok(m)
+    }
+
+    /// Releases a spilled value without reading it back: deletes the file
+    /// and the token's live-registry claim. Failed runs call this for every
+    /// token they still hold, so an error leaves no temp files behind.
+    pub fn discard(&self, token: &SpillToken) {
+        self.live.lock().remove(&token.seq);
+        let _ = fs::remove_file(&token.path);
+        self.counters.discard_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deletes every file in the spill directory not owned by an outstanding
+    /// token and returns how many were removed. Safe under concurrent
+    /// executions: in-flight spills register their sequence number *before*
+    /// creating the file, so the sweep only ever touches files whose run
+    /// lost track of them (e.g. a process that was killed mid-run in a
+    /// previous life of the directory).
+    pub fn sweep_orphans(&self) -> usize {
+        let Some(dir) = self.spill_dir() else { return 0 };
+        let Ok(entries) = fs::read_dir(&dir) else { return 0 };
+        // Hold the registry lock across the scan so no spill can register
+        // between the liveness check and the deletion.
+        let live = self.live.lock();
+        let mut swept = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(seq) = name
+                .to_str()
+                .and_then(|s| s.strip_prefix("slot-"))
+                .and_then(|s| s.strip_suffix(".bin"))
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if !live.contains(&seq) && fs::remove_file(entry.path()).is_ok() {
+                swept += 1;
+            }
+        }
+        self.counters.orphans_swept.fetch_add(swept as u64, Ordering::Relaxed);
+        swept
+    }
+
+    /// Number of files currently present in the spill directory (0 when the
+    /// directory was never created). Test hook for the no-leak invariant.
+    pub fn spill_file_count(&self) -> usize {
+        self.spill_dir()
+            .and_then(|d| fs::read_dir(d).ok())
+            .map(|entries| entries.flatten().count())
+            .unwrap_or(0)
     }
 }
 
@@ -338,7 +450,7 @@ mod tests {
         assert_eq!(tok.file_bytes(), serialized_bytes(&m));
         let path = tok.path.clone();
         assert!(path.exists());
-        let back = s.reload(tok).unwrap();
+        let back = s.reload(&tok).unwrap();
         assert!(!path.exists(), "reload deletes the file");
         match back {
             Matrix::Dense(b) => assert!(
@@ -358,7 +470,7 @@ mod tests {
         }
         let m = Matrix::sparse(SparseMatrix::from_dense(&d));
         let tok = s.spill(&m).unwrap();
-        let back = s.reload(tok).unwrap();
+        let back = s.reload(&tok).unwrap();
         assert!(back.is_sparse());
         assert_eq!(back.nnz(), m.nnz());
         for i in 0..50 {
@@ -372,7 +484,7 @@ mod tests {
         let s = store();
         let d = DenseMatrix::new(1, 6, vec![f64::NAN, f64::INFINITY, -0.0, 0.0, -1e-308, 1e308]);
         let m = Matrix::dense(d.clone());
-        let back = s.reload(s.spill(&m).unwrap()).unwrap();
+        let back = s.reload(&s.spill(&m).unwrap()).unwrap();
         for (a, b) in d.values().iter().zip(back.as_dense().values()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
@@ -395,7 +507,7 @@ mod tests {
         let m = Matrix::dense(DenseMatrix::filled(16, 16, 1.0));
         let expect = serialized_bytes(&m) as u64;
         let tok = s.spill(&m).unwrap();
-        let _ = s.reload(tok).unwrap();
+        let _ = s.reload(&tok).unwrap();
         let st = s.stats();
         assert_eq!(st.spill_events, 1);
         assert_eq!(st.reload_events, 1);
@@ -411,7 +523,7 @@ mod tests {
         // Prime the pool with a right-sized buffer, then reload: it must hit.
         pool.give(pool.take_zeroed(64 * 64));
         let hits_before = pool.stats().hits;
-        let _back = s.reload(s.spill(&m).unwrap()).unwrap();
+        let _back = s.reload(&s.spill(&m).unwrap()).unwrap();
         assert!(pool.stats().hits > hits_before, "reload buffers come from the pool");
     }
 

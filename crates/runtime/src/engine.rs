@@ -45,6 +45,7 @@
 //! let _sum = out.scalar(0);
 //! ```
 
+use crate::error::{panic_message, ExecError};
 use crate::exec::{self, ExecStats, SchedSnapshot};
 use crate::handcoded;
 use crate::schedule::{self, TaskGraph};
@@ -58,6 +59,7 @@ use fusedml_core::FusionMode;
 use fusedml_hop::interp::{self, Bindings};
 use fusedml_hop::liveness::{self, Liveness};
 use fusedml_hop::HopDag;
+use fusedml_linalg::fault::FaultPlan;
 use fusedml_linalg::matrix::Value;
 use fusedml_linalg::pool::{self, BufferPool, PoolHandle, PoolStats};
 use fusedml_linalg::spill::{SpillStats, TieredStore};
@@ -88,6 +90,7 @@ pub struct EngineBuilder {
     spill_threshold: Option<usize>,
     spill_dir: Option<PathBuf>,
     prefetch_depth: usize,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl EngineBuilder {
@@ -107,6 +110,7 @@ impl EngineBuilder {
             spill_threshold: None,
             spill_dir: None,
             prefetch_depth: schedule::DEFAULT_PREFETCH_DEPTH,
+            faults: None,
         }
     }
 
@@ -146,6 +150,16 @@ impl EngineBuilder {
     /// (beyond it, consumers fault their inputs back synchronously).
     pub fn prefetch_depth(mut self, n: usize) -> Self {
         self.prefetch_depth = n;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (chaos testing): the
+    /// scheduler and spill tier consult it at every injectable site
+    /// ([`fusedml_linalg::fault::FaultSite`]). Keep a clone of the `Arc` to
+    /// [`FaultPlan::disarm`] it or read its injection counters. Production
+    /// engines leave this unset.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -204,11 +218,14 @@ impl EngineBuilder {
         }
         let pool: PoolHandle =
             Arc::new(BufferPool::with_limits(self.memory_budget, self.pool_buffers_per_class));
-        let store = TieredStore::new(
+        let mut store = TieredStore::new(
             Arc::clone(&pool),
             self.spill_threshold.unwrap_or(self.memory_budget),
             self.spill_dir,
         );
+        if let Some(f) = &self.faults {
+            store = store.with_faults(Arc::clone(f));
+        }
         Engine {
             inner: Arc::new(EngineInner {
                 mode: self.mode,
@@ -219,6 +236,7 @@ impl EngineBuilder {
                 stats: Arc::new(ExecStats::default()),
                 workers: self.workers,
                 prefetch_depth: self.prefetch_depth,
+                faults: self.faults,
                 cache_plans: AtomicBool::new(self.cache_plans),
                 compile_lock: Mutex::new(()),
                 plans: Mutex::new(FifoMap::new(self.plan_cache_capacity)),
@@ -247,6 +265,9 @@ struct EngineInner {
     stats: Arc<ExecStats>,
     workers: usize,
     prefetch_depth: usize,
+    /// Deterministic chaos harness consulted at every injectable site;
+    /// `None` in production engines.
+    faults: Option<Arc<FaultPlan>>,
     cache_plans: AtomicBool,
     /// Serializes cold script compilation so N threads racing on the same
     /// uncached DAG run the optimizer once (the "exactly once" contract
@@ -347,6 +368,11 @@ impl Engine {
         self.inner.workers
     }
 
+    /// The installed fault-injection plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.inner.faults.as_ref()
+    }
+
     /// Whether fusion plans (and compiled scripts) are cached.
     pub fn plan_caching(&self) -> bool {
         self.inner.cache_plans.load(Ordering::Relaxed)
@@ -404,9 +430,17 @@ impl Engine {
 
     /// Convenience: compile (cached by DAG structure) and execute in one
     /// call. Repeated calls with the same DAG shape hit the script cache and
-    /// perform zero re-optimization.
+    /// perform zero re-optimization. Panics on failure; see
+    /// [`Engine::try_execute`] for the fallible form.
     pub fn execute(&self, dag: &HopDag, bindings: &Bindings) -> Outputs {
         self.compile(dag).execute(bindings)
+    }
+
+    /// Fallible twin of [`Engine::execute`]: failures come back as a typed
+    /// [`ExecError`] and leave the engine fully reusable (see
+    /// [`CompiledScript::try_execute`]).
+    pub fn try_execute(&self, dag: &HopDag, bindings: &Bindings) -> Result<Outputs, ExecError> {
+        self.compile(dag).try_execute(bindings)
     }
 
     /// Executes a DAG sequentially with the retained seed-era paths (the
@@ -442,13 +476,26 @@ impl Engine {
         plan: &FusionPlan,
         bindings: &Bindings,
     ) -> Vec<Value> {
+        self.try_execute_with_plan(dag, plan, bindings).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Engine::execute_with_plan`]: binding defects and
+    /// runtime failures come back as a typed [`ExecError`] instead of
+    /// panicking, and the engine stays reusable after any of them.
+    pub fn try_execute_with_plan(
+        &self,
+        dag: &HopDag,
+        plan: &FusionPlan,
+        bindings: &Bindings,
+    ) -> Result<Vec<Value>, ExecError> {
+        interp::validate_bindings(dag, bindings)?;
         let replacement = self.inner.revalidate(dag, plan);
         let plan: &FusionPlan = replacement.as_deref().unwrap_or(plan);
         let graph = schedule::prepare(dag, Some(plan), None);
         let inner = &self.inner;
-        let (vals, _) = schedule::run(&graph, dag, Some(plan), bindings, &inner.exec_ctx());
+        let result = schedule::run(&graph, dag, Some(plan), bindings, &inner.exec_ctx());
         inner.pool.advance_epoch();
-        vals
+        Ok(result?.0)
     }
 
     /// The sequential twin of [`Engine::execute_with_plan`] (same
@@ -478,6 +525,7 @@ impl EngineInner {
             store: &self.store,
             kernels: &self.kernels,
             prefetch_depth: self.prefetch_depth,
+            faults: self.faults.as_ref(),
         }
     }
 
@@ -580,15 +628,43 @@ pub struct CompiledScript {
 impl CompiledScript {
     /// Executes the compiled script over bound inputs, returning the root
     /// values plus this call's scheduler delta. Thread-safe: `&self`, no
-    /// re-optimization.
+    /// re-optimization. Panics on failure; see
+    /// [`CompiledScript::try_execute`] for the fallible form.
     pub fn execute(&self, bindings: &Bindings) -> Outputs {
-        let v = self.variant_for(bindings);
+        self.try_execute(bindings).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`CompiledScript::execute`]: every failure — a
+    /// missing or mis-shaped binding, a worker panic, exhausted spill-I/O
+    /// retries, an injected fault — comes back as a typed [`ExecError`].
+    ///
+    /// Failures are *contained*: the scheduler cancels pending tasks, drains
+    /// in-flight ones, returns every pooled buffer, and discards the run's
+    /// spill files, so the engine (and this script) execute correctly
+    /// afterwards, and concurrent executions on sibling threads are never
+    /// affected.
+    pub fn try_execute(&self, bindings: &Bindings) -> Result<Outputs, ExecError> {
+        for name in &self.inner.input_names {
+            if bindings.get(name).is_none() {
+                return Err(ExecError::UnboundInput { name: name.clone() });
+            }
+        }
+        // Geometry revalidation recompiles for reshaped inputs; a geometry
+        // the size propagator rejects outright (mutually inconsistent
+        // shapes) panics inside compilation — contain that too.
+        let v =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.variant_for(bindings)))
+                .map_err(|p| ExecError::WorkerPanic {
+                op: "geometry revalidation".to_string(),
+                message: panic_message(p.as_ref()),
+            })?;
+        interp::validate_bindings(&v.dag, bindings)?;
         let e = &self.engine.inner;
-        let (values, sched) =
-            schedule::run(&v.graph, &v.dag, v.plan.as_deref(), bindings, &e.exec_ctx());
+        let result = schedule::run(&v.graph, &v.dag, v.plan.as_deref(), bindings, &e.exec_ctx());
         // Epoch-bound the engine pool: buffers unused for a few DAGs retire.
         e.pool.advance_epoch();
-        Outputs { values, sched }
+        let (values, sched) = result?;
+        Ok(Outputs { values, sched })
     }
 
     /// Executes sequentially with the retained seed-era oracle paths (same

@@ -1,30 +1,29 @@
-//! Execution statistics and the legacy [`Executor`] facade.
+//! Execution statistics and the sequential oracle.
 //!
-//! The executor API was redesigned around [`crate::engine::Engine`] and
+//! The executor API lives on [`crate::engine::Engine`] and
 //! [`crate::engine::CompiledScript`] (compile once, execute concurrently).
-//! `Executor` survives as a thin shim over an engine for code that still
-//! wants the old `new(mode)` + `execute(&dag, &bindings)` surface; new code
-//! should use `EngineBuilder`/`Engine::compile` directly.
+//! This module keeps the shared [`ExecStats`] counters, the per-call
+//! [`SchedSnapshot`] delta, and the seed's recursive materializer
+//! (`plan_sequential`) that the scheduled engine is differentially tested
+//! against.
 
-use crate::engine::Engine;
 use crate::side::SideInput;
 use crate::spoof;
 pub use fusedml_core::optimizer::dag_structural_hash;
-use fusedml_core::optimizer::{FusedOperator, FusionPlan, Optimizer};
+use fusedml_core::optimizer::{FusedOperator, FusionPlan};
 use fusedml_core::util::FxHashMap;
-use fusedml_core::FusionMode;
 use fusedml_hop::interp::{self, Bindings};
 use fusedml_hop::{HopDag, HopId};
 use fusedml_linalg::matrix::Value;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
 /// Execution statistics, including scheduler events (operators executed
 /// while another was in flight, buffer-pool hits/misses, bytes freed before
 /// the DAG finished, and the tracked peak footprint of the last execution).
 ///
 /// All counters are interior-mutable atomics behind a shared handle: one
-/// instance is owned by an [`Engine`] (as `Arc<ExecStats>`) and shared with
+/// instance is owned by an [`crate::engine::Engine`] (as `Arc<ExecStats>`)
+/// and shared with
 /// every [`crate::engine::CompiledScript`] it compiles, so concurrent
 /// executions accumulate into the same counters without any `&mut` access.
 /// Read through [`ExecStats::snapshot`] / [`ExecStats::scheduler_snapshot`];
@@ -67,6 +66,16 @@ pub struct ExecStats {
     pub(crate) sched_spill_stall_us: AtomicUsize,
     /// High-water bytes of leaf bindings streamed (uncharged) in one run.
     pub(crate) sched_streamed_leaf_bytes: AtomicUsize,
+    /// Executions that ended in a typed [`crate::error::ExecError`] (the
+    /// engine swept and stayed reusable after each).
+    pub(crate) failed_executions: AtomicUsize,
+    /// Spill I/O attempts that failed and were retried.
+    pub(crate) sched_spill_retries: AtomicUsize,
+    /// Faults injected by the engine's `FaultPlan` across all runs.
+    pub(crate) sched_injected_faults: AtomicUsize,
+    /// Runs that degraded to resident-only execution after exhausting spill
+    /// write retries.
+    pub(crate) sched_degraded_runs: AtomicUsize,
 }
 
 /// Plain-data snapshot of the scheduler counters in [`ExecStats`] — also the
@@ -92,6 +101,14 @@ pub struct SchedSnapshot {
     /// Bytes of leaf bindings streamed band-by-band instead of being charged
     /// against the resident budget (each larger than the whole budget).
     pub streamed_leaf_bytes: usize,
+    /// Spill I/O attempts that failed and were retried (whether or not a
+    /// later attempt succeeded).
+    pub spill_retries: usize,
+    /// Faults the engine's `FaultPlan` injected into this run.
+    pub injected_faults: usize,
+    /// 1 if this run degraded to resident-only execution after exhausting
+    /// spill write retries, else 0.
+    pub degraded: usize,
 }
 
 impl SchedSnapshot {
@@ -152,7 +169,16 @@ impl ExecStats {
             prefetch_hits: self.sched_prefetch_hits.load(Ordering::Relaxed),
             spill_stall_us: self.sched_spill_stall_us.load(Ordering::Relaxed),
             streamed_leaf_bytes: self.sched_streamed_leaf_bytes.load(Ordering::Relaxed),
+            spill_retries: self.sched_spill_retries.load(Ordering::Relaxed),
+            injected_faults: self.sched_injected_faults.load(Ordering::Relaxed),
+            degraded: self.sched_degraded_runs.load(Ordering::Relaxed),
         }
+    }
+
+    /// Executions that returned a typed error (after which the engine swept
+    /// itself and stayed reusable).
+    pub fn failed_executions(&self) -> usize {
+        self.failed_executions.load(Ordering::Relaxed)
     }
 
     /// Recompiles triggered by the shape-revalidation guard.
@@ -177,6 +203,9 @@ impl ExecStats {
         self.sched_prefetch_hits.fetch_add(s.prefetch_hits, Ordering::Relaxed);
         self.sched_spill_stall_us.fetch_add(s.spill_stall_us, Ordering::Relaxed);
         self.sched_streamed_leaf_bytes.fetch_max(s.streamed_leaf_bytes, Ordering::Relaxed);
+        self.sched_spill_retries.fetch_add(s.spill_retries, Ordering::Relaxed);
+        self.sched_injected_faults.fetch_add(s.injected_faults, Ordering::Relaxed);
+        self.sched_degraded_runs.fetch_add(s.degraded, Ordering::Relaxed);
     }
 
     pub fn reset(&self) {
@@ -196,110 +225,16 @@ impl ExecStats {
         self.sched_prefetch_hits.store(0, Ordering::Relaxed);
         self.sched_spill_stall_us.store(0, Ordering::Relaxed);
         self.sched_streamed_leaf_bytes.store(0, Ordering::Relaxed);
-    }
-}
-
-/// **Deprecated facade** retained for the transition to the engine API: a
-/// thin shim over an [`Engine`] with the seed's `Executor::new(mode)` +
-/// `execute(&dag, &bindings)` surface. Each `Executor` owns a private
-/// engine (its own buffer pool, plan/kernel caches and stats). Prefer
-/// [`crate::engine::EngineBuilder`] and [`Engine::compile`]; this type adds
-/// nothing over them and will eventually be removed.
-#[deprecated(note = "use `EngineBuilder`/`Engine::compile` instead; this shim adds nothing")]
-pub struct Executor {
-    engine: Engine,
-}
-
-#[allow(deprecated)] // the shim's own impl necessarily names the shim
-impl Executor {
-    pub fn new(mode: FusionMode) -> Self {
-        Self::from_engine(Engine::new(mode))
-    }
-
-    /// Wraps an existing engine in the legacy surface.
-    pub fn from_engine(engine: Engine) -> Self {
-        Executor { engine }
-    }
-
-    /// The backing engine.
-    pub fn engine(&self) -> &Engine {
-        &self.engine
-    }
-
-    /// The engine's fusion mode (fixed at construction; the seed's writable
-    /// `mode` field is gone — mutating it stopped doing anything once
-    /// dispatch moved into the engine).
-    pub fn mode(&self) -> FusionMode {
-        self.engine.mode()
-    }
-
-    /// Shared execution statistics of the backing engine.
-    pub fn stats(&self) -> &ExecStats {
-        self.engine.stats()
-    }
-
-    /// The backing engine's optimizer.
-    pub fn optimizer(&self) -> &Optimizer {
-        self.engine.optimizer()
-    }
-
-    /// Enables or disables fusion-plan caching (disabled = re-optimize every
-    /// call, as in the compilation-overhead experiments).
-    pub fn set_cache_plans(&self, on: bool) {
-        self.engine.set_plan_caching(on);
-    }
-
-    /// Executes a DAG through the scheduled engine, returning root values in
-    /// root order (moved out of their slots, never cloned).
-    pub fn execute(&self, dag: &HopDag, bindings: &Bindings) -> Vec<Value> {
-        self.engine.execute(dag, bindings).into_values()
-    }
-
-    /// Executes a DAG sequentially with the retained seed-era paths (the
-    /// reference interpreter for `Base`, the demand-driven hand-coded
-    /// interpreter for `Fused`, the recursive materializer for Gen modes).
-    /// This is the oracle the scheduled engine is differentially tested
-    /// against; results must be bitwise-equal.
-    pub fn execute_sequential(&self, dag: &HopDag, bindings: &Bindings) -> Vec<Value> {
-        self.engine.execute_sequential(dag, bindings)
-    }
-
-    /// Returns (possibly cached) fusion plan for a DAG.
-    pub fn plan_for(&self, dag: &HopDag) -> Arc<FusionPlan> {
-        self.engine.plan_for(dag)
-    }
-
-    /// Executes a DAG under an explicit fusion plan through the scheduled
-    /// engine. The plan is revalidated against the DAG's current geometry:
-    /// when it was optimized for different shapes (the legacy
-    /// `plan_for`-then-reshape hazard), it is discarded and the DAG is
-    /// re-optimized instead of trusting the stale operators.
-    pub fn execute_with_plan(
-        &self,
-        dag: &HopDag,
-        plan: &FusionPlan,
-        bindings: &Bindings,
-    ) -> Vec<Value> {
-        self.engine.execute_with_plan(dag, plan, bindings)
-    }
-
-    /// The seed's recursive lazy materializer, retained as the sequential
-    /// oracle for differential tests: every intermediate stays alive for the
-    /// whole DAG and operators run one at a time. Applies the same
-    /// shape-revalidation guard as [`Executor::execute_with_plan`].
-    pub fn execute_with_plan_sequential(
-        &self,
-        dag: &HopDag,
-        plan: &FusionPlan,
-        bindings: &Bindings,
-    ) -> Vec<Value> {
-        self.engine.execute_with_plan_sequential(dag, plan, bindings)
+        self.failed_executions.store(0, Ordering::Relaxed);
+        self.sched_spill_retries.store(0, Ordering::Relaxed);
+        self.sched_injected_faults.store(0, Ordering::Relaxed);
+        self.sched_degraded_runs.store(0, Ordering::Relaxed);
     }
 }
 
 /// The seed's recursive lazy materializer: every intermediate stays alive
-/// for the whole DAG and operators run one at a time. Shared by the engine's
-/// `execute_sequential` oracle and the legacy shim.
+/// for the whole DAG and operators run one at a time. Backs the engine's
+/// `execute_sequential` oracle.
 pub(crate) fn plan_sequential(
     dag: &HopDag,
     plan: &FusionPlan,
@@ -397,6 +332,8 @@ fn run_operator(f: &FusedOperator, vals: &[Option<Value>]) -> Vec<fusedml_linalg
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
+    use fusedml_core::FusionMode;
     use fusedml_hop::interp::bind;
     use fusedml_linalg::generate;
 

@@ -14,8 +14,10 @@
 //!   (owns the buffer pool, plan/kernel caches, worker pool, stats) →
 //!   [`Engine::compile`] → [`CompiledScript`] (`Send + Sync`, executes from
 //!   many threads with zero re-optimization),
-//! * [`exec`] — execution statistics plus the deprecated [`Executor`] shim
-//!   over the engine,
+//! * [`exec`] — execution statistics and the sequential oracle,
+//! * [`error`] — typed execution failures ([`ExecError`]) surfaced by the
+//!   `try_execute` APIs: panics are contained per run, spill I/O retries
+//!   and degrades, and a failed execution leaves the engine fully reusable,
 //! * [`schedule`] — the liveness-aware scheduled engine: refcounted value
 //!   slots freed at last use, pool-backed buffers, parallel execution of
 //!   independent ready operators, and out-of-core execution under a memory
@@ -26,6 +28,7 @@
 
 pub mod dist;
 pub mod engine;
+pub mod error;
 pub mod exec;
 pub mod handcoded;
 pub mod schedule;
@@ -33,7 +36,7 @@ pub mod side;
 pub mod spoof;
 
 pub use engine::{CompiledScript, Engine, EngineBuilder, Outputs};
-#[allow(deprecated)] // the shim stays reachable until its last users migrate off
-pub use exec::Executor;
+pub use error::ExecError;
 pub use exec::{ExecStats, SchedSnapshot};
 pub use fusedml_core::FusionMode;
+pub use fusedml_linalg::fault::{FaultPlan, FaultSite};

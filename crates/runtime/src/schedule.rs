@@ -55,10 +55,31 @@
 //! `spill_vs_resident_property` differential test).
 //!
 //! The seed's sequential materializer survives as
-//! [`crate::exec::Executor::execute_with_plan_sequential`], the oracle the
-//! differential property tests compare against (results must be
-//! *bitwise* equal).
+//! `Engine::execute_with_plan_sequential`, the oracle the differential
+//! property tests compare against (results must be *bitwise* equal).
+//!
+//! ## Failure semantics
+//!
+//! [`run`] returns `Result`: a worker panic, an exhausted spill retry, or an
+//! injected fault becomes a typed [`ExecError`] instead of tearing down the
+//! process. The first failure wins (`fail`): it cancels every pending job,
+//! zeroes `remaining`, and wakes all condvar waiters, who observe the
+//! failure and bail instead of blocking on I/O that will never complete.
+//! In-flight tasks drain normally (their outputs are recycled), and after
+//! the workers join, a cleanup sweep returns every surviving slot value to
+//! the buffer pool, discards this run's spill tokens, and sweeps orphaned
+//! temp files — so the engine is bitwise-correct for the next execution and
+//! one poisoned request never kills sibling serving threads.
+//!
+//! Transient spill-tier failures don't surface at all when avoidable: writes
+//! and reads retry with backoff ([`SPILL_RETRIES`]); exhausted *write*
+//! retries degrade the run to resident-only execution; exhausted *read*
+//! retries are fatal to the run (the value exists nowhere else) but still
+//! typed. All fault-injection sites ([`fusedml_linalg::fault::FaultSite`])
+//! draw their decisions under the scheduler lock, so a seeded `FaultPlan`
+//! replays deterministically per site-visit index.
 
+use crate::error::{panic_message, ExecError};
 use crate::exec::{ExecStats, SchedSnapshot};
 use crate::handcoded::{self, HcOperator};
 use crate::side::SideInput;
@@ -68,13 +89,14 @@ use fusedml_core::plancache::KernelCaches;
 use fusedml_core::util::FxHashMap;
 use fusedml_hop::interp::{self, Bindings};
 use fusedml_hop::{HopDag, HopId, OpKind};
+use fusedml_linalg::fault::{FaultPlan, FaultSite};
 use fusedml_linalg::matrix::Value;
 use fusedml_linalg::ops as lops;
 use fusedml_linalg::spill::{SpillToken, TieredStore, MIN_SPILL_BYTES};
 use fusedml_linalg::{par, pool, Matrix};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default upper bound on scheduler workers: kernels parallelize internally
 /// over row bands, so inter-operator parallelism beyond a few ways
@@ -84,6 +106,19 @@ pub const DEFAULT_MAX_WORKERS: usize = 4;
 /// Default bound on queued/in-flight asynchronous reload jobs. Beyond this,
 /// consumers fault their spilled inputs back synchronously.
 pub const DEFAULT_PREFETCH_DEPTH: usize = 4;
+
+/// Retries (beyond the first attempt) for a failing spill-tier read or
+/// write, with exponential backoff, before the failure is treated as
+/// permanent: writes then degrade the run to resident-only, reads surface a
+/// typed [`ExecError::SpillIo`].
+pub const SPILL_RETRIES: usize = 3;
+
+/// Sleeps briefly before spill-retry attempt `attempt` (1-based): 100µs,
+/// 200µs, 400µs, … — enough to ride out transient contention without
+/// stalling a run that is going to fail anyway.
+fn backoff(attempt: usize) {
+    std::thread::sleep(Duration::from_micros(50u64 << attempt.min(6)));
+}
 
 /// The engine-owned execution context threaded through [`run`]: statistics,
 /// the two-tier store (pool + spill files), kernel caches, and the worker /
@@ -95,6 +130,10 @@ pub struct ExecCtx<'a> {
     pub store: &'a TieredStore,
     pub kernels: &'a Arc<KernelCaches>,
     pub prefetch_depth: usize,
+    /// Engine-level fault-injection plan (chaos testing); `None` in
+    /// production. The scheduler draws its `Alloc`/`TaskExec`/`TaskPanic`
+    /// decisions here; the store draws the spill-I/O sites itself.
+    pub faults: Option<&'a Arc<FaultPlan>>,
 }
 
 /// What one task executes.
@@ -349,7 +388,10 @@ struct EngineState {
     resident_all_bytes: usize,
     freed_early_bytes: usize,
     parallel_ops: usize,
-    poisoned: bool,
+    /// The first failure of this run. Once set, `remaining` is zeroed and
+    /// the ready queue cleared: workers drain in-flight tasks (discarding
+    /// their outputs) and exit; condvar waiters observe it and bail.
+    failure: Option<ExecError>,
     /// Per task: completed (its outputs' next-use levels are settled).
     tasks_done: Vec<bool>,
     /// Reload jobs queued or in flight (bounds prefetch).
@@ -363,6 +405,11 @@ struct EngineState {
     prefetch_hits: usize,
     spill_stall_us: usize,
     streamed_leaf_bytes: usize,
+    /// Spill I/O attempts that failed and were retried (whether or not a
+    /// later attempt succeeded).
+    spill_retries: usize,
+    /// Faults the engine's `FaultPlan` injected into this run.
+    injected_faults: usize,
 }
 
 /// Everything a worker needs, borrowed for the scope of one [`run`] call.
@@ -383,13 +430,18 @@ type Guard<'a> = MutexGuard<'a, EngineState>;
 /// (pool + spill tier) and resolve lowered kernels from its caches. Returns
 /// the root values in root order plus this call's [`SchedSnapshot`] delta;
 /// the same events are also accumulated into the context's stats.
+///
+/// On failure (worker panic, exhausted spill-read retries, injected fault)
+/// returns the first [`ExecError`] — after sweeping every slot back to the
+/// pool and discarding this run's spill files, so the engine stays correct
+/// for subsequent executions.
 pub fn run(
     graph: &TaskGraph,
     dag: &HopDag,
     plan: Option<&FusionPlan>,
     bindings: &Bindings,
     cx: &ExecCtx<'_>,
-) -> (Vec<Value>, SchedSnapshot) {
+) -> Result<(Vec<Value>, SchedSnapshot), ExecError> {
     // Per-call tally: pooled requests made by this call's workers (and their
     // band threads) are attributed here, so the returned delta stays exact
     // even when other executions run concurrently on the same engine pool.
@@ -406,7 +458,7 @@ pub fn run(
         resident_all_bytes: 0,
         freed_early_bytes: 0,
         parallel_ops: 0,
-        poisoned: false,
+        failure: None,
         tasks_done: vec![false; graph.tasks.len()],
         reloads_queued: 0,
         spill_disabled: false,
@@ -416,6 +468,8 @@ pub fn run(
         prefetch_hits: 0,
         spill_stall_us: 0,
         streamed_leaf_bytes: 0,
+        spill_retries: 0,
+        injected_faults: 0,
     };
     // Materialize demanded leaves inline (cheap: Arc clones of bindings).
     // Leaves larger than the entire budget are streamed, not charged (see
@@ -462,22 +516,66 @@ pub fn run(
         });
     }
     let mut st = lock(&shared);
-    assert!(!st.poisoned, "scheduler worker panicked");
     // Roots are moved out, never cloned — faulting back any that were
     // evicted (a held root's next use is "after the DAG", so under pressure
-    // roots are the first victims).
+    // roots are the first victims). Root reloads retry like any other spill
+    // read; exhausted retries fail the run.
     let mut roots = Vec::with_capacity(dag.roots().len());
-    for &r in dag.roots() {
-        let v = match std::mem::replace(&mut st.slots[r.index()], Slot::Empty) {
-            Slot::Resident(v) | Slot::Streamed(v) => v,
-            Slot::Spilled(tok) => {
-                st.spill_faults += 1;
-                st.reloaded_bytes += tok.file_bytes();
-                Value::Matrix(cx.store.reload(tok).expect("reload spilled root"))
+    if st.failure.is_none() {
+        for &r in dag.roots() {
+            match std::mem::replace(&mut st.slots[r.index()], Slot::Empty) {
+                Slot::Resident(v) | Slot::Streamed(v) => roots.push(v),
+                Slot::Spilled(tok) => {
+                    let mut retries = 0usize;
+                    let loaded = loop {
+                        match cx.store.reload(&tok) {
+                            Ok(m) => break Ok(m),
+                            Err(_) if retries < SPILL_RETRIES => {
+                                retries += 1;
+                                backoff(retries);
+                            }
+                            Err(e) => break Err(e),
+                        }
+                    };
+                    st.spill_retries += retries;
+                    match loaded {
+                        Ok(m) => {
+                            st.spill_faults += 1;
+                            st.reloaded_bytes += tok.file_bytes();
+                            roots.push(Value::Matrix(m));
+                        }
+                        Err(e) => {
+                            cx.store.discard(&tok);
+                            st.failure = Some(ExecError::SpillIo {
+                                op: format!("root hop {}", r.index()),
+                                during: "read",
+                                source: e,
+                            });
+                            break;
+                        }
+                    }
+                }
+                _ => unreachable!("root computed"),
             }
-            _ => panic!("root computed"),
-        };
-        roots.push(v);
+        }
+    }
+    if st.failure.is_some() {
+        // Failed run: leave the engine exactly as reusable as before the
+        // call. Every surviving value goes back to the pool, every spill
+        // token of this run is discarded, and any orphaned temp file (e.g.
+        // from a worker killed mid-write) is swept.
+        let _pool = pool::enter_tallied(cx.store.pool(), &tally);
+        for v in roots.drain(..) {
+            v.recycle();
+        }
+        for slot in st.slots.iter_mut() {
+            match std::mem::replace(slot, Slot::Empty) {
+                Slot::Resident(v) | Slot::Streamed(v) => v.recycle(),
+                Slot::Spilled(tok) => cx.store.discard(&tok),
+                Slot::Empty | Slot::Loading | Slot::Evicting => {}
+            }
+        }
+        cx.store.sweep_orphans();
     }
     let snapshot = SchedSnapshot {
         parallel_ops: st.parallel_ops,
@@ -492,9 +590,40 @@ pub fn run(
         prefetch_hits: st.prefetch_hits,
         spill_stall_us: st.spill_stall_us,
         streamed_leaf_bytes: st.streamed_leaf_bytes,
+        spill_retries: st.spill_retries,
+        injected_faults: st.injected_faults,
+        degraded: usize::from(st.spill_disabled),
     };
     cx.stats.record_sched(&snapshot);
-    (roots, snapshot)
+    match st.failure.take() {
+        Some(err) => {
+            cx.stats.failed_executions.fetch_add(1, Ordering::Relaxed);
+            Err(err)
+        }
+        None => Ok((roots, snapshot)),
+    }
+}
+
+/// Marks the run failed: records the first error, cancels every pending
+/// job, and wakes all waiters so workers exit and condvar waiters bail
+/// instead of blocking on movement that will never complete.
+fn fail(cx: &Ctx<'_>, st: &mut Guard<'_>, err: ExecError) {
+    if st.failure.is_none() {
+        st.failure = Some(err);
+    }
+    st.remaining = 0;
+    st.ready.clear();
+    cx.cvar.notify_all();
+}
+
+/// Names a task's operator for error reports: enough identity to find the
+/// failing op in a log without parsing panic strings.
+fn task_label(cx: &Ctx<'_>, task: &Task) -> String {
+    match &task.kind {
+        TaskKind::Basic(h) => format!("basic {:?} (hop {})", cx.dag.hop(*h).kind, h.index()),
+        TaskKind::Handcoded(hc) => format!("handcoded pattern (hop {})", hc.root.index()),
+        TaskKind::Fused { op_ix } => format!("fused operator #{op_ix}"),
+    }
 }
 
 fn lock<'a>(m: &'a Mutex<EngineState>) -> MutexGuard<'a, EngineState> {
@@ -505,7 +634,7 @@ fn worker_loop(cx: &Ctx<'_>) {
     let mut st = lock(cx.shared);
     loop {
         let t = loop {
-            if st.remaining == 0 || st.poisoned {
+            if st.remaining == 0 || st.failure.is_some() {
                 cx.cvar.notify_all();
                 return;
             }
@@ -518,6 +647,21 @@ fn worker_loop(cx: &Ctx<'_>) {
             }
         };
         let task = &cx.graph.tasks[t];
+        // Fault site: the pre-dispatch reservation. An injected allocation
+        // failure surfaces as a typed budget-exhaustion error (the real
+        // reservation path degrades over budget instead of failing).
+        if let Some(f) = cx.exec.faults {
+            if f.should_inject(FaultSite::Alloc) {
+                st.injected_faults += 1;
+                let err = ExecError::BudgetExhausted {
+                    op: task_label(cx, task),
+                    needed: cx.graph.task_out_bytes[t],
+                    budget: cx.exec.store.threshold(),
+                };
+                fail(cx, &mut st, err);
+                continue;
+            }
+        }
         // Reserve budget for this task's output plus any spilled inputs it
         // is about to fault back in, evicting colder slots to make room.
         // (Best effort: concurrent reservations can overlap, and with no
@@ -543,9 +687,17 @@ fn worker_loop(cx: &Ctx<'_>) {
         // conservative direction for the footprint gate).
         let mut dying_bytes = 0usize;
         let mut ins: Vec<SlotIn> = Vec::with_capacity(task.deps.len());
+        let mut aborted = false;
         for &d in &task.deps {
             let di = d.index();
             st = ensure_resident(cx, st, di);
+            if st.failure.is_some() {
+                // The run failed while this task was gathering (possibly
+                // while it waited on a reload that will never finish): stop
+                // gathering and hand back what it already took.
+                aborted = true;
+                break;
+            }
             st.reads_left[di] -= 1;
             let dying = st.reads_left[di] == 0;
             let val = if dying {
@@ -566,15 +718,58 @@ fn worker_loop(cx: &Ctx<'_>) {
             };
             ins.push(SlotIn { val, owned: dying });
         }
+        // Fault sites: task execution. Decisions are drawn under the lock
+        // (atomic with the per-site draw counters), the effects happen in
+        // the execution below. `TaskPanic` exercises the full
+        // panic-isolation path; `TaskExec` is the non-panicking variant.
+        let (inject_exec, inject_panic) = match cx.exec.faults {
+            Some(f) if !aborted => {
+                let p = f.should_inject(FaultSite::TaskPanic);
+                let x = !p && f.should_inject(FaultSite::TaskExec);
+                if p || x {
+                    st.injected_faults += 1;
+                }
+                (x, p)
+            }
+            _ => (false, false),
+        };
+        if aborted || inject_exec {
+            st.resident_bytes = st.resident_bytes.saturating_sub(dying_bytes);
+            st.running -= 1;
+            if inject_exec {
+                let err =
+                    ExecError::Injected { site: FaultSite::TaskExec, op: task_label(cx, task) };
+                fail(cx, &mut st, err);
+            }
+            drop(st);
+            recycle_all(ins);
+            st = lock(cx.shared);
+            continue;
+        }
         drop(st);
 
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected task panic");
+            }
             run_task(task, ins, cx.dag, cx.plan, cx.bindings, cx.exec.stats)
         }));
 
         st = lock(cx.shared);
         match result {
             Ok(outs) => {
+                if st.failure.is_some() {
+                    // The run failed while this task was executing: its
+                    // outputs have no consumers anymore — recycle them.
+                    st.running -= 1;
+                    st.resident_bytes = st.resident_bytes.saturating_sub(dying_bytes);
+                    drop(st);
+                    for (_, v) in outs {
+                        v.recycle();
+                    }
+                    st = lock(cx.shared);
+                    continue;
+                }
                 for (h, v) in outs {
                     if st.reads_left[h.index()] == 0 {
                         // An undemanded extra output of a multi-root fused
@@ -620,11 +815,16 @@ fn worker_loop(cx: &Ctx<'_>) {
                 cx.cvar.notify_all();
             }
             Err(payload) => {
-                st.poisoned = true;
-                st.remaining = 0;
-                cx.cvar.notify_all();
-                drop(st);
-                std::panic::resume_unwind(payload);
+                // Contain the panic on this worker: it becomes a typed task
+                // failure, never crosses to sibling threads, and the run's
+                // post-join sweep restores the engine.
+                st.running -= 1;
+                st.resident_bytes = st.resident_bytes.saturating_sub(dying_bytes);
+                let err = ExecError::WorkerPanic {
+                    op: task_label(cx, task),
+                    message: panic_message(payload.as_ref()),
+                };
+                fail(cx, &mut st, err);
             }
         }
     }
@@ -633,8 +833,16 @@ fn worker_loop(cx: &Ctx<'_>) {
 /// Blocks until slot `di` holds an in-memory value: faults `Spilled` slots
 /// back synchronously (counted as a spill fault) and waits out in-flight
 /// `Loading`/`Evicting` transitions (counted as stall time).
+///
+/// If the run fails while this waits, it returns with the slot untouched —
+/// the caller observes `st.failure` and aborts its gather. Waiters *must
+/// not* block forever on byte movement that will never complete, and must
+/// not panic either: the failure is the task's result, not the waiter's.
 fn ensure_resident<'a>(cx: &Ctx<'a>, mut st: Guard<'a>, di: usize) -> Guard<'a> {
     loop {
+        if st.failure.is_some() {
+            return st;
+        }
         match &st.slots[di] {
             Slot::Resident(_) | Slot::Streamed(_) => return st,
             Slot::Spilled(_) => {
@@ -645,10 +853,6 @@ fn ensure_resident<'a>(cx: &Ctx<'a>, mut st: Guard<'a>, di: usize) -> Guard<'a> 
                 st = fault_in(cx, st, di, tok, false);
             }
             Slot::Loading | Slot::Evicting => {
-                if st.poisoned {
-                    drop(st);
-                    panic!("scheduler poisoned while waiting on a spilled input");
-                }
                 let t0 = Instant::now();
                 st = cx.cvar.wait(st).unwrap_or_else(|e| e.into_inner());
                 st.spill_stall_us += t0.elapsed().as_micros() as usize;
@@ -674,7 +878,10 @@ fn prefetch_reload<'a>(cx: &Ctx<'a>, mut st: Guard<'a>, di: usize) -> Guard<'a> 
 }
 
 /// Reads a spilled slot back into memory (lock released around the file
-/// read), reserving budget for the incoming bytes first.
+/// read), reserving budget for the incoming bytes first. Transient read
+/// failures retry with backoff; exhausted retries fail the run with a typed
+/// error — a lost spill file is unrecoverable (the value exists nowhere
+/// else), but it is a *run* failure, not a process one.
 fn fault_in<'a>(
     cx: &Ctx<'a>,
     st: Guard<'a>,
@@ -686,8 +893,19 @@ fn fault_in<'a>(
     let file = tok.file_bytes();
     let mut st = reserve(cx, st, mem, &[]);
     drop(st);
-    let loaded = cx.exec.store.reload(tok);
+    let mut retries = 0usize;
+    let loaded = loop {
+        match cx.exec.store.reload(&tok) {
+            Ok(m) => break Ok(m),
+            Err(_) if retries < SPILL_RETRIES => {
+                retries += 1;
+                backoff(retries);
+            }
+            Err(e) => break Err(e),
+        }
+    };
     st = lock(cx.shared);
+    st.spill_retries += retries;
     match loaded {
         Ok(m) => {
             st.resident_bytes += mem;
@@ -705,11 +923,11 @@ fn fault_in<'a>(
             st
         }
         Err(e) => {
-            // A lost spill file is unrecoverable — the value exists nowhere.
-            st.poisoned = true;
-            cx.cvar.notify_all();
-            drop(st);
-            panic!("spill reload failed: {e}");
+            cx.exec.store.discard(&tok);
+            let err =
+                ExecError::SpillIo { op: format!("spilled slot {di}"), during: "read", source: e };
+            fail(cx, &mut st, err);
+            st
         }
     }
 }
@@ -732,11 +950,26 @@ fn reserve<'a>(cx: &Ctx<'a>, mut st: Guard<'a>, need: usize, keep: &[HopId]) -> 
         let sz = v.size_in_bytes();
         st.resident_bytes -= sz;
         drop(st);
-        let res = match &v {
-            Value::Matrix(m) => store.spill(m),
+        let mat = match &v {
+            Value::Matrix(m) => m,
             Value::Scalar(_) => unreachable!("victims are matrices"),
         };
+        // Transient write failures retry with backoff; nothing is lost
+        // either way (the value is still in memory), so exhausted retries
+        // degrade the run to resident-only instead of failing it.
+        let mut retries = 0usize;
+        let res = loop {
+            match store.spill(mat) {
+                Ok(tok) => break Ok(tok),
+                Err(_) if retries < SPILL_RETRIES => {
+                    retries += 1;
+                    backoff(retries);
+                }
+                Err(e) => break Err(e),
+            }
+        };
         st = lock(cx.shared);
+        st.spill_retries += retries;
         match res {
             Ok(tok) => {
                 st.spilled_bytes += tok.file_bytes();

@@ -1,4 +1,5 @@
-//! Model serving: compile a scorer once, answer requests from many threads.
+//! Model serving: compile a scorer once, answer requests from many threads —
+//! and keep serving when one request dies.
 //!
 //! The paper's premise — fusion-plan optimization is compile-time work
 //! amortized over many executions — is exactly the shape of a serving
@@ -8,6 +9,13 @@
 //! engine's buffer pool and kernel caches, and none of them ever re-runs
 //! the optimizer.
 //!
+//! The failure half: a deterministic fault plan injects a worker panic into
+//! exactly one request (`TaskPanic` at rate 1.0, fault budget 1). That
+//! request comes back as a typed `ExecError` from `try_execute`; the other
+//! requests — including later ones on the *same* thread — serve normally,
+//! because a contained failure sweeps its slots, returns its pooled
+//! buffers, and never poisons the engine.
+//!
 //! ```text
 //! cargo run --release --example serving
 //! ```
@@ -15,8 +23,11 @@
 use fusedml::core::FusionMode;
 use fusedml::hop::interp::bind;
 use fusedml::hop::DagBuilder;
+use fusedml::linalg::fault::{FaultPlan, FaultSite};
 use fusedml::linalg::generate;
 use fusedml::runtime::EngineBuilder;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 fn main() {
     // The scorer: raw class scores S = X W for a request batch X, plus the
@@ -31,8 +42,14 @@ fn main() {
     let dag = b.build(vec![scores, best]);
 
     // One engine for the process: 2 inter-op workers per request (kernels
-    // keep their internal row-band parallelism), a 256 MiB pool budget.
-    let engine = EngineBuilder::new(FusionMode::Gen).workers(2).memory_budget(256 << 20).build();
+    // keep their internal row-band parallelism), a 256 MiB pool budget —
+    // and a chaos plan that panics exactly one task across the whole load.
+    let faults = Arc::new(FaultPlan::seeded(2024).rate(FaultSite::TaskPanic, 1.0).max_faults(1));
+    let engine = EngineBuilder::new(FusionMode::Gen)
+        .workers(2)
+        .memory_budget(256 << 20)
+        .fault_plan(Arc::clone(&faults))
+        .build();
     let script = engine.compile(&dag); // optimize + codegen happen HERE, once
     println!("compiled scorer for {batch}x{features} -> {classes} classes");
     println!("plan:\n{}", script.explain());
@@ -41,11 +58,17 @@ fn main() {
     let weights = generate::rand_dense(features, classes, -0.5, 0.5, 42);
     let threads = 8;
     let requests_per_thread = 50;
+    let served = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    // The injected panic is caught inside the engine; silence the default
+    // hook's backtrace spam for the serving loop.
+    std::panic::set_hook(Box::new(|_| {}));
     let t0 = std::time::Instant::now();
     std::thread::scope(|s| {
         for t in 0..threads {
             let script = script.clone();
             let weights = weights.clone();
+            let (served, failed) = (&served, &failed);
             s.spawn(move || {
                 // Hold the engine scope so retired responses recycle into
                 // the shared pool (and the next request reuses them).
@@ -53,26 +76,43 @@ fn main() {
                 for r in 0..requests_per_thread {
                     let seed = (t * requests_per_thread + r + 1) as u64;
                     let batch_x = generate::rand_dense(batch, features, -1.0, 1.0, seed);
-                    let out = script.execute(&bind(&[("X", batch_x), ("W", weights.clone())]));
-                    {
-                        let best = out.matrix(1);
-                        assert_eq!((best.rows(), best.cols()), (batch, 1));
-                        // `best` (an Arc clone) must die before the recycle
-                        // below, or root 1's buffer is still shared and
-                        // silently skips the pool.
+                    match script.try_execute(&bind(&[("X", batch_x), ("W", weights.clone())])) {
+                        Ok(out) => {
+                            {
+                                let best = out.matrix(1);
+                                assert_eq!((best.rows(), best.cols()), (batch, 1));
+                                // `best` (an Arc clone) must die before the
+                                // recycle below, or root 1's buffer is still
+                                // shared and silently skips the pool.
+                            }
+                            // Response consumed: retire its buffers.
+                            out.into_values()
+                                .into_iter()
+                                .for_each(fusedml::linalg::matrix::Value::recycle);
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            // One poisoned request, typed and contained;
+                            // this thread keeps serving the rest.
+                            println!("request {seed} failed cleanly: {e}");
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
-                    // Response consumed: retire its buffers.
-                    out.into_values().into_iter().for_each(fusedml::linalg::matrix::Value::recycle);
                 }
             });
         }
     });
+    drop(std::panic::take_hook()); // restore the default hook
     let elapsed = t0.elapsed();
     let total = threads * requests_per_thread;
+    let (ok, err) = (served.load(Ordering::Relaxed), failed.load(Ordering::Relaxed));
     println!(
-        "served {total} requests from {threads} threads in {elapsed:?} ({:.0} req/s)",
-        total as f64 / elapsed.as_secs_f64()
+        "served {ok}/{total} requests ({err} failed) from {threads} threads in {elapsed:?} \
+         ({:.0} req/s)",
+        ok as f64 / elapsed.as_secs_f64()
     );
+    assert_eq!(err, 1, "the fault budget allows exactly one injected panic");
+    assert_eq!(ok, total - 1, "every other request must serve normally");
 
     // The whole point: zero re-optimization under load.
     let opt = engine.optimizer().stats.snapshot();
@@ -87,9 +127,22 @@ fn main() {
     assert_eq!(opt.dags_optimized, 1, "compile once");
     assert_eq!(engine.stats().plan_recompiles(), 0, "no shape drift in this loop");
 
+    // Error-path accounting: the failure is visible in the engine counters,
+    // not just in the one rejected request.
+    let sched = engine.stats().scheduler_snapshot();
+    println!(
+        "failures: {} failed execution(s), {} injected fault(s) ({} from the plan), \
+         {} spill retries",
+        engine.stats().failed_executions(),
+        sched.injected_faults,
+        faults.total_injected(),
+        sched.spill_retries,
+    );
+    assert_eq!(engine.stats().failed_executions(), 1);
+    assert_eq!(faults.total_injected(), 1);
+
     // Memory tier: the budget is a real contract, so report where the bytes
     // lived. Peak is the worst single run; spill counters sum over the load.
-    let sched = engine.stats().scheduler_snapshot();
     println!(
         "memory: peak resident {:.2} MB/run, spilled {:.2} MB, reloaded {:.2} MB, \
          prefetch hit rate {:.0}%",
