@@ -1,3 +1,6 @@
+// Tests and assertions use unwrap/expect freely; the targeted failure-path
+// modules (`spill`, the runtime scheduler) re-deny at module level.
+#![allow(clippy::disallowed_methods)]
 //! # fusedml-algos
 //!
 //! The six ML algorithms of the paper's evaluation (Table 2), written

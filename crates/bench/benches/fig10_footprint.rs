@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Criterion benchmarks for Figure 10: vector-primitive operators vs
 //! inlined per-element code at two chain lengths (before/after the
 //! code-size cliff).

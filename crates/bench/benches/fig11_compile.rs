@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Criterion benchmarks for Figure 11: operator compilation under the fast
 //! (janino-like) vs heavyweight (javac-like) backends, with/without the
 //! plan cache.

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Criterion benchmarks for Figure 13: KMeans iteration cost as k grows
 //! (Base vs Gen).
 

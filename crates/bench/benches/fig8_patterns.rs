@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Criterion micro-benchmarks for the Figure 8 patterns (Cell, MAgg, Row,
 //! Outer) comparing Base / Fused / Gen at a representative size.
 

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Criterion benchmarks for Figure 9: `sum(X^2)` over uncompressed (ULA)
 //! and compressed (CLA) representations.
 

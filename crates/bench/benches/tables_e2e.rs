@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Criterion benchmarks for the end-to-end tables (4 and 5): representative
 //! algorithm runs under Base / Fused / Gen.
 

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Tile-width sweep for the block backend: runs the Figure 8(a) Cell
 //! pattern (`sum(X⊙Y⊙Z)`, 2000×1000 dense) under `Gen` across tile widths,
 //! for both the closure-specialized fast path and the generic tile body.

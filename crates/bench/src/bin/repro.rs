@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! The reproduction driver: prints the paper-style rows for every table and
 //! figure of the evaluation.
 //!

@@ -20,6 +20,14 @@
 //! value once and scales by its count) and value-count iteration
 //! ([`CompressedMatrix::group_value_counts`]).
 
+// Every unsafe block in this crate must discharge its obligations locally:
+// `unsafe fn` bodies get no blanket license, and each block carries a
+// `// SAFETY:` comment (enforced by the CI unsafe-audit grep gate).
+#![deny(unsafe_op_in_unsafe_fn)]
+// Tests and assertions use unwrap/expect freely; the targeted failure-path
+// modules (`spill`, the runtime scheduler) re-deny at module level.
+#![allow(clippy::disallowed_methods)]
+
 pub mod cocode;
 pub mod compress;
 pub mod groups;

@@ -123,8 +123,19 @@ pub fn mat_vect_mult(m: &CompressedMatrix, v: &Matrix) -> Matrix {
                         *c += dict[t * w + j] * v.get(col, 0);
                     }
                 }
+                // The code-array scan is the hot loop of compressed
+                // mat-vect (one lookup per row); hoist the bounds check
+                // out of it. Validity of every code against the dictionary
+                // is a structural invariant of DDC groups, re-checked here.
+                assert!(
+                    codes.iter().all(|&c| (c as usize) < ndist),
+                    "DDC code out of dictionary range"
+                );
                 for (r, &code) in codes.iter().enumerate() {
-                    out[r] += contrib[code as usize];
+                    // SAFETY: `contrib` has length `ndist` and the assert
+                    // above verified every `code as usize < ndist`, so the
+                    // index is in bounds for all iterations.
+                    out[r] += unsafe { *contrib.get_unchecked(code as usize) };
                 }
             }
             ColumnGroup::Rle { dict, runs, .. } => {

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Property tests: compression must be lossless and compressed operations
 //! must agree with uncompressed execution for arbitrary matrices.
 

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Property tests for the fusion optimizer:
 //!
 //! * memo-table invariants after exploration (references point to groups

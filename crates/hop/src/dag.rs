@@ -66,6 +66,14 @@ impl HopDag {
         &self.hops[id.index()]
     }
 
+    /// Mutable node accessor for verifier mutation tests only: lets a test
+    /// corrupt a compiled artifact (e.g. drift a stored size) to prove the
+    /// verifier catches it. Not part of the public API contract.
+    #[doc(hidden)]
+    pub fn hop_mut(&mut self, id: HopId) -> &mut Hop {
+        &mut self.hops[id.index()]
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.hops.len()

@@ -12,6 +12,7 @@
 
 use crate::dag::{HopDag, HopId};
 use crate::memory::op_memory_estimate;
+use std::fmt;
 
 /// Liveness facts for one DAG.
 #[derive(Clone, Debug)]
@@ -43,6 +44,153 @@ impl Liveness {
     pub fn max_width(&self) -> usize {
         self.levels.iter().map(Vec::len).max().unwrap_or(0)
     }
+}
+
+/// A divergence between cached [`Liveness`] facts and the facts recomputed
+/// from the DAG they claim to describe. Cached facts go stale when a DAG is
+/// mutated after analysis (or a compiled artifact is corrupted); every
+/// variant names the first field found to disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LivenessError {
+    /// A per-hop fact vector has the wrong length for the DAG.
+    FieldLength {
+        /// Which vector (`"live"`, `"consumers"`, …).
+        field: &'static str,
+        /// Expected length (`dag.len()`).
+        expected: usize,
+        /// Stored length.
+        got: usize,
+    },
+    /// The reachable-from-roots mask disagrees at this hop.
+    LiveMask {
+        /// The hop whose liveness bit is wrong.
+        hop: u32,
+    },
+    /// A consumer (read-occurrence) count disagrees at this hop.
+    ConsumerCount {
+        /// The hop whose count is wrong.
+        hop: u32,
+        /// Recomputed count.
+        expected: u32,
+        /// Stored count.
+        got: u32,
+    },
+    /// The root mask disagrees at this hop.
+    RootMask {
+        /// The hop whose root bit is wrong.
+        hop: u32,
+    },
+    /// The last-use position disagrees at this hop.
+    LastUse {
+        /// The hop whose last-use fact is wrong.
+        hop: u32,
+    },
+    /// The topological order is not the live creation order.
+    Order {
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
+    /// A dependency-depth level disagrees at this hop.
+    Level {
+        /// The hop whose level is wrong.
+        hop: u32,
+        /// Recomputed level.
+        expected: usize,
+        /// Stored level.
+        got: usize,
+    },
+}
+
+impl fmt::Display for LivenessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LivenessError::FieldLength { field, expected, got } => {
+                write!(f, "liveness field '{field}' has length {got}, DAG has {expected} hops")
+            }
+            LivenessError::LiveMask { hop } => {
+                write!(f, "live mask disagrees with reachability at hop {hop}")
+            }
+            LivenessError::ConsumerCount { hop, expected, got } => {
+                write!(f, "hop {hop} has {expected} live read occurrences, facts claim {got}")
+            }
+            LivenessError::RootMask { hop } => {
+                write!(f, "root mask disagrees with DAG roots at hop {hop}")
+            }
+            LivenessError::LastUse { hop } => {
+                write!(f, "last-use position disagrees at hop {hop}")
+            }
+            LivenessError::Order { detail } => write!(f, "topological order invalid: {detail}"),
+            LivenessError::Level { hop, expected, got } => {
+                write!(f, "hop {hop} has dependency depth {expected}, facts claim {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LivenessError {}
+
+/// Re-audits cached liveness facts against the DAG by recomputing them from
+/// scratch and comparing field by field; reports the first divergence. The
+/// plan verifier and any future recompilation path share this single auditor
+/// instead of trusting cached facts.
+pub fn check(dag: &HopDag, facts: &Liveness) -> Result<(), LivenessError> {
+    let fresh = analyze(dag);
+    let n = dag.len();
+    let lengths: [(&'static str, usize); 6] = [
+        ("live", facts.live.len()),
+        ("consumers", facts.consumers.len()),
+        ("is_root", facts.is_root.len()),
+        ("last_use", facts.last_use.len()),
+        ("level", facts.level.len()),
+        ("levels(flat)", facts.levels.iter().map(Vec::len).sum()),
+    ];
+    for (field, got) in lengths {
+        let expected = if field == "levels(flat)" { fresh.order.len() } else { n };
+        if got != expected {
+            return Err(LivenessError::FieldLength { field, expected, got });
+        }
+    }
+    for i in 0..n {
+        if facts.live[i] != fresh.live[i] {
+            return Err(LivenessError::LiveMask { hop: i as u32 });
+        }
+        if facts.is_root[i] != fresh.is_root[i] {
+            return Err(LivenessError::RootMask { hop: i as u32 });
+        }
+        if facts.consumers[i] != fresh.consumers[i] {
+            return Err(LivenessError::ConsumerCount {
+                hop: i as u32,
+                expected: fresh.consumers[i],
+                got: facts.consumers[i],
+            });
+        }
+    }
+    if facts.order != fresh.order {
+        return Err(LivenessError::Order {
+            detail: format!(
+                "expected live creation order of {} hops, facts list {}",
+                fresh.order.len(),
+                facts.order.len()
+            ),
+        });
+    }
+    for i in 0..n {
+        if facts.last_use[i] != fresh.last_use[i] {
+            return Err(LivenessError::LastUse { hop: i as u32 });
+        }
+        if facts.level[i] != fresh.level[i] {
+            return Err(LivenessError::Level {
+                hop: i as u32,
+                expected: fresh.level[i],
+                got: facts.level[i],
+            });
+        }
+    }
+    if facts.levels != fresh.levels {
+        return Err(LivenessError::Order { detail: "ready sets disagree with levels".to_string() });
+    }
+    Ok(())
 }
 
 /// Computes liveness facts for a DAG.
@@ -227,6 +375,22 @@ mod tests {
         assert_eq!(lv.level[s.index()], 2);
         assert_eq!(lv.levels[1].len(), 2);
         assert_eq!(lv.max_width(), 2);
+    }
+
+    #[test]
+    fn check_accepts_fresh_facts_and_rejects_stale_ones() {
+        let mut b = DagBuilder::new();
+        let x = b.read("X", 10, 10, 1.0);
+        let a = b.mult(x, x);
+        let s = b.sum(a);
+        let dag = b.build(vec![s]);
+        let mut lv = analyze(&dag);
+        assert_eq!(check(&dag, &lv), Ok(()));
+        lv.consumers[x.index()] += 1;
+        assert!(matches!(
+            check(&dag, &lv),
+            Err(LivenessError::ConsumerCount { hop, expected: 2, got: 3 }) if hop == x.0
+        ));
     }
 
     #[test]

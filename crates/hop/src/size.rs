@@ -100,8 +100,19 @@ pub fn agg_sparsity(dir: AggDir) -> f64 {
 /// `Read` sizes are external facts and cannot be inferred; callers supply
 /// them directly.
 pub fn infer(kind: &OpKind, ins: &[SizeInfo]) -> SizeInfo {
-    match kind {
-        OpKind::Read { name } => panic!("Read '{name}' has no inferable size"),
+    match try_infer(kind, ins) {
+        Ok(s) => s,
+        Err(m) => panic!("{m}"),
+    }
+}
+
+/// Non-panicking twin of [`infer`]: incompatible shapes come back as the
+/// message [`infer`] would have panicked with. The plan verifier re-derives
+/// every stored hop size through this entry point, so shape drift in a
+/// compiled artifact surfaces as a typed error instead of a miscompile.
+pub fn try_infer(kind: &OpKind, ins: &[SizeInfo]) -> Result<SizeInfo, String> {
+    Ok(match kind {
+        OpKind::Read { name } => return Err(format!("Read '{name}' has no inferable size")),
         OpKind::Literal { .. } => SizeInfo::scalar(),
         OpKind::Unary { op } => {
             let sa = ins[0];
@@ -119,25 +130,24 @@ pub fn infer(kind: &OpKind, ins: &[SizeInfo]) -> SizeInfo {
                     && (small.cols == big.cols || small.cols == 1)
             };
             let (big, small) = if sa.cells() >= sb.cells() { (sa, sb) } else { (sb, sa) };
-            assert!(
-                compat(big, small),
-                "incompatible binary shapes {}x{} vs {}x{}",
-                sa.rows,
-                sa.cols,
-                sb.rows,
-                sb.cols
-            );
+            if !compat(big, small) {
+                return Err(format!(
+                    "incompatible binary shapes {}x{} vs {}x{}",
+                    sa.rows, sa.cols, sb.rows, sb.cols
+                ));
+            }
             // Sparsity: broadcast vectors behave like dense inputs here.
             SizeInfo::new(rows, cols, binary_sparsity(*op, sa.sparsity, sb.sparsity))
         }
         OpKind::Ternary { .. } => SizeInfo::dense(ins[0].rows, ins[0].cols),
         OpKind::MatMult => {
             let (sa, sb) = (ins[0], ins[1]);
-            assert_eq!(
-                sa.cols, sb.rows,
-                "matmult shape mismatch {}x{} %*% {}x{}",
-                sa.rows, sa.cols, sb.rows, sb.cols
-            );
+            if sa.cols != sb.rows {
+                return Err(format!(
+                    "matmult shape mismatch {}x{} %*% {}x{}",
+                    sa.rows, sa.cols, sb.rows, sb.cols
+                ));
+            }
             SizeInfo::new(sa.rows, sb.cols, matmult_sparsity(sa.sparsity, sb.sparsity, sa.cols))
         }
         OpKind::Transpose => SizeInfo::new(ins[0].cols, ins[0].rows, ins[0].sparsity),
@@ -155,19 +165,27 @@ pub fn infer(kind: &OpKind, ins: &[SizeInfo]) -> SizeInfo {
             let sa = ins[0];
             let (rl, ru) = rows.unwrap_or((0, sa.rows));
             let (cl, cu) = cols.unwrap_or((0, sa.cols));
-            assert!(rl < ru && ru <= sa.rows, "row range {rl}..{ru} out of {}", sa.rows);
-            assert!(cl < cu && cu <= sa.cols, "col range {cl}..{cu} out of {}", sa.cols);
+            if !(rl < ru && ru <= sa.rows) {
+                return Err(format!("row range {rl}..{ru} out of {}", sa.rows));
+            }
+            if !(cl < cu && cu <= sa.cols) {
+                return Err(format!("col range {cl}..{cu} out of {}", sa.cols));
+            }
             SizeInfo::new(ru - rl, cu - cl, sa.sparsity)
         }
         OpKind::CBind => {
             let (sa, sb) = (ins[0], ins[1]);
-            assert_eq!(sa.rows, sb.rows, "cbind row mismatch");
+            if sa.rows != sb.rows {
+                return Err("cbind row mismatch".to_string());
+            }
             let sp = (sa.nnz() + sb.nnz()) / ((sa.cells() + sb.cells()) as f64).max(1.0);
             SizeInfo::new(sa.rows, sa.cols + sb.cols, sp)
         }
         OpKind::RBind => {
             let (sa, sb) = (ins[0], ins[1]);
-            assert_eq!(sa.cols, sb.cols, "rbind col mismatch");
+            if sa.cols != sb.cols {
+                return Err("rbind col mismatch".to_string());
+            }
             let sp = (sa.nnz() + sb.nnz()) / ((sa.cells() + sb.cells()) as f64).max(1.0);
             SizeInfo::new(sa.rows + sb.rows, sa.cols, sp)
         }
@@ -176,11 +194,13 @@ pub fn infer(kind: &OpKind, ins: &[SizeInfo]) -> SizeInfo {
             if sa.cols == 1 {
                 SizeInfo::new(sa.rows, sa.rows, 1.0 / sa.rows.max(1) as f64)
             } else {
-                assert_eq!(sa.rows, sa.cols, "diag of non-square");
+                if sa.rows != sa.cols {
+                    return Err("diag of non-square".to_string());
+                }
                 SizeInfo::dense(sa.rows, 1)
             }
         }
-    }
+    })
 }
 
 #[cfg(test)]

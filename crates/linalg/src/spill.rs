@@ -21,6 +21,12 @@
 //! ([`serialized_bytes`], [`SPILL_ROUNDTRIP_FACTOR`]), so modeled and
 //! measured spill costs cannot drift apart.
 
+// Spill I/O runs on scheduler workers; a stray unwrap here turns a
+// recoverable disk hiccup into a worker death. The workspace bans
+// `unwrap`/`expect` via `clippy.toml` (disallowed-methods); this module opts
+// into enforcement at deny level.
+#![deny(clippy::disallowed_methods)]
+
 use crate::dense::DenseMatrix;
 use crate::fault::{FaultPlan, FaultSite};
 use crate::matrix::Matrix;
@@ -428,6 +434,7 @@ fn read_matrix(path: &Path, pool: &PoolHandle) -> io::Result<Matrix> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap freely
 mod tests {
     use super::*;
     use crate::pool::BufferPool;

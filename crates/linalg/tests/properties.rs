@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Property-based tests: dense and sparse kernels must agree on every
 //! operation, and algebraic invariants must hold across formats.
 

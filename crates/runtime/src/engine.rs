@@ -91,6 +91,7 @@ pub struct EngineBuilder {
     spill_dir: Option<PathBuf>,
     prefetch_depth: usize,
     faults: Option<Arc<FaultPlan>>,
+    verify_plans: bool,
 }
 
 impl EngineBuilder {
@@ -111,7 +112,22 @@ impl EngineBuilder {
             spill_dir: None,
             prefetch_depth: schedule::DEFAULT_PREFETCH_DEPTH,
             faults: None,
+            verify_plans: cfg!(debug_assertions),
         }
+    }
+
+    /// Enables or disables static plan verification inside
+    /// [`Engine::compile`]: every compiled artifact (hop DAG, fusion plan,
+    /// register programs, task graph) is checked against the IR-invariant
+    /// catalogue (DESIGN.md substitution X9) before it can execute, and a
+    /// violation surfaces as a typed [`crate::verify::VerifyError`].
+    ///
+    /// Defaults to **on in debug builds, off in release** — verification is
+    /// compile-path-only (executing a compiled script never re-verifies),
+    /// but release users who want the guarantee opt in here.
+    pub fn verify_plans(mut self, on: bool) -> Self {
+        self.verify_plans = on;
+        self
     }
 
     /// Caps inter-operator scheduler workers (kernels keep their internal
@@ -237,6 +253,7 @@ impl EngineBuilder {
                 workers: self.workers,
                 prefetch_depth: self.prefetch_depth,
                 faults: self.faults,
+                verify_plans: self.verify_plans,
                 cache_plans: AtomicBool::new(self.cache_plans),
                 compile_lock: Mutex::new(()),
                 plans: Mutex::new(FifoMap::new(self.plan_cache_capacity)),
@@ -268,6 +285,9 @@ struct EngineInner {
     /// Deterministic chaos harness consulted at every injectable site;
     /// `None` in production engines.
     faults: Option<Arc<FaultPlan>>,
+    /// Run the static plan verifier on every cold compile (and geometry
+    /// recompile). Compile-path-only cost; see `EngineBuilder::verify_plans`.
+    verify_plans: bool,
     cache_plans: AtomicBool,
     /// Serializes cold script compilation so N threads racing on the same
     /// uncached DAG run the optimizer once (the "exactly once" contract
@@ -373,6 +393,12 @@ impl Engine {
         self.inner.faults.as_ref()
     }
 
+    /// Whether this engine statically verifies compiled plans (see
+    /// `EngineBuilder::verify_plans`).
+    pub fn verify_plans(&self) -> bool {
+        self.inner.verify_plans
+    }
+
     /// Whether fusion plans (and compiled scripts) are cached.
     pub fn plan_caching(&self) -> bool {
         self.inner.cache_plans.load(Ordering::Relaxed)
@@ -406,11 +432,22 @@ impl Engine {
     /// generation, hand-coded pattern matching, liveness analysis, and task
     /// graph construction all happen here — **exactly once**. The returned
     /// script is `Send + Sync` and executes from any number of threads.
+    /// Panics if the plan verifier rejects the compiled artifact (see
+    /// [`Engine::try_compile`] for the fallible form).
     pub fn compile(&self, dag: &HopDag) -> CompiledScript {
+        self.try_compile(dag).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Engine::compile`]: when
+    /// `EngineBuilder::verify_plans` is on and the static verifier rejects
+    /// the compiled artifact, the violation comes back as a typed
+    /// [`ExecError::Verify`] instead of a panic. Nothing is cached on
+    /// rejection — a rejected artifact can never execute.
+    pub fn try_compile(&self, dag: &HopDag) -> Result<CompiledScript, ExecError> {
         let key = dag_structural_hash(dag);
         if self.plan_caching() {
             if let Some(s) = self.inner.scripts.lock().get(key) {
-                return CompiledScript { engine: self.clone(), inner: Arc::clone(s) };
+                return Ok(CompiledScript { engine: self.clone(), inner: Arc::clone(s) });
             }
         }
         // Cold compile: serialize, and re-probe the cache once the lock is
@@ -418,14 +455,14 @@ impl Engine {
         let _cold = self.inner.compile_lock.lock();
         if self.plan_caching() {
             if let Some(s) = self.inner.scripts.lock().get(key) {
-                return CompiledScript { engine: self.clone(), inner: Arc::clone(s) };
+                return Ok(CompiledScript { engine: self.clone(), inner: Arc::clone(s) });
             }
         }
-        let inner = Arc::new(self.inner.compile_script(dag));
+        let inner = Arc::new(self.inner.compile_script(dag)?);
         if self.plan_caching() {
             self.inner.scripts.lock().insert(key, Arc::clone(&inner));
         }
-        CompiledScript { engine: self.clone(), inner }
+        Ok(CompiledScript { engine: self.clone(), inner })
     }
 
     /// Convenience: compile (cached by DAG structure) and execute in one
@@ -440,7 +477,7 @@ impl Engine {
     /// [`ExecError`] and leave the engine fully reusable (see
     /// [`CompiledScript::try_execute`]).
     pub fn try_execute(&self, dag: &HopDag, bindings: &Bindings) -> Result<Outputs, ExecError> {
-        self.compile(dag).try_execute(bindings)
+        self.try_compile(dag)?.try_execute(bindings)
     }
 
     /// Executes a DAG sequentially with the retained seed-era paths (the
@@ -556,8 +593,10 @@ impl EngineInner {
 
     /// Compiles one geometry variant: plan / patterns / task graph /
     /// liveness facts (per variant, so they always describe the geometry
-    /// that actually executes).
-    fn compile_variant(&self, dag: HopDag) -> ScriptVariant {
+    /// that actually executes). With `verify_plans` on, the compiled
+    /// artifact is statically verified before it is allowed to exist —
+    /// cold compiles and geometry recompiles only, never the execute path.
+    fn compile_variant(&self, dag: HopDag) -> Result<ScriptVariant, crate::verify::VerifyError> {
         let (plan, patterns) = match self.mode {
             FusionMode::Base => (None, None),
             FusionMode::Fused => (None, Some(handcoded::match_patterns(&dag))),
@@ -566,18 +605,21 @@ impl EngineInner {
         let graph = schedule::prepare(&dag, plan.as_deref(), patterns.as_ref());
         let shapes = dag.input_shapes();
         let liveness = liveness::analyze(&dag);
-        ScriptVariant { shapes, dag, plan, graph, liveness }
+        if self.verify_plans {
+            crate::verify::verify_compiled(&dag, plan.as_deref(), &graph, &liveness)?;
+        }
+        Ok(ScriptVariant { shapes, dag, plan, graph, liveness })
     }
 
-    fn compile_script(&self, dag: &HopDag) -> ScriptInner {
-        let base = Arc::new(self.compile_variant(dag.clone()));
+    fn compile_script(&self, dag: &HopDag) -> Result<ScriptInner, crate::verify::VerifyError> {
+        let base = Arc::new(self.compile_variant(dag.clone())?);
         let input_names = base.shapes.iter().map(|(n, _, _)| n.clone()).collect();
-        ScriptInner {
+        Ok(ScriptInner {
             base,
             variants: Mutex::new(Vec::new()),
             recompiles: AtomicUsize::new(0),
             input_names,
-        }
+        })
     }
 }
 
@@ -651,13 +693,14 @@ impl CompiledScript {
         }
         // Geometry revalidation recompiles for reshaped inputs; a geometry
         // the size propagator rejects outright (mutually inconsistent
-        // shapes) panics inside compilation — contain that too.
+        // shapes) panics inside compilation — contain that too. A verifier
+        // rejection of the recompiled variant surfaces as a typed error.
         let v =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.variant_for(bindings)))
                 .map_err(|p| ExecError::WorkerPanic {
-                op: "geometry revalidation".to_string(),
-                message: panic_message(p.as_ref()),
-            })?;
+                    op: "geometry revalidation".to_string(),
+                    message: panic_message(p.as_ref()),
+                })??;
         interp::validate_bindings(&v.dag, bindings)?;
         let e = &self.engine.inner;
         let result = schedule::run(&v.graph, &v.dag, v.plan.as_deref(), bindings, &e.exec_ctx());
@@ -670,7 +713,7 @@ impl CompiledScript {
     /// Executes sequentially with the retained seed-era oracle paths (same
     /// revalidation guard; used by differential tests).
     pub fn execute_sequential(&self, bindings: &Bindings) -> Vec<Value> {
-        let v = self.variant_for(bindings);
+        let v = self.variant_for(bindings).unwrap_or_else(|e| panic!("{e}"));
         let e = &self.engine.inner;
         let _pool = pool::enter(&e.pool);
         let _kern = spoof::enter_kernels(&e.kernels);
@@ -728,8 +771,12 @@ impl CompiledScript {
 
     /// Resolves the variant matching the bound geometry: the base plan when
     /// shapes agree, a cached recompile otherwise — compiling one on first
-    /// divergence (the shape-revalidation guard).
-    fn variant_for(&self, bindings: &Bindings) -> Arc<ScriptVariant> {
+    /// divergence (the shape-revalidation guard). Errs only when the plan
+    /// verifier rejects a freshly recompiled variant.
+    fn variant_for(
+        &self,
+        bindings: &Bindings,
+    ) -> Result<Arc<ScriptVariant>, crate::verify::VerifyError> {
         // Fast path: compare the bound geometry against the costed shapes
         // in place — zero allocation on the (overwhelmingly common) case
         // that nothing changed. A missing binding falls through to
@@ -739,13 +786,13 @@ impl CompiledScript {
             bindings.get(name).is_some_and(|m| m.rows() == *rows && m.cols() == *cols)
         });
         if matches_base {
-            return Arc::clone(base);
+            return Ok(Arc::clone(base));
         }
         let shapes = interp::bound_shapes(bindings, &self.inner.input_names);
         {
             let variants = self.inner.variants.lock();
             if let Some(v) = variants.iter().find(|v| v.shapes == shapes) {
-                return Arc::clone(v);
+                return Ok(Arc::clone(v));
             }
         }
         // Geometry diverged from the costed plan: re-propagate sizes and
@@ -767,10 +814,10 @@ impl CompiledScript {
             }
         }
         let reshaped = base.dag.with_read_geometry(&geometry);
-        let v = Arc::new(self.engine.inner.compile_variant(reshaped));
+        let v = Arc::new(self.engine.inner.compile_variant(reshaped)?);
         let mut variants = self.inner.variants.lock();
         if let Some(existing) = variants.iter().find(|x| x.shapes == shapes) {
-            return Arc::clone(existing); // lost the race; drop our copy
+            return Ok(Arc::clone(existing)); // lost the race; drop our copy
         }
         self.engine.inner.stats.plan_recompiles.fetch_add(1, Ordering::Relaxed);
         self.inner.recompiles.fetch_add(1, Ordering::Relaxed);
@@ -778,7 +825,7 @@ impl CompiledScript {
             variants.remove(0); // FIFO: oldest geometry recompiles if it returns
         }
         variants.push(Arc::clone(&v));
-        v
+        Ok(v)
     }
 }
 

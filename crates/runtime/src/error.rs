@@ -81,6 +81,10 @@ pub enum ExecError {
         /// The task it fired on.
         op: String,
     },
+    /// Static plan verification rejected a compiled artifact before it could
+    /// execute (see [`crate::verify`]). Only reachable when
+    /// `EngineBuilder::verify_plans` is on.
+    Verify(crate::verify::VerifyError),
 }
 
 impl fmt::Display for ExecError {
@@ -104,6 +108,7 @@ impl fmt::Display for ExecError {
             ExecError::Injected { site, op } => {
                 write!(f, "injected {site:?} fault at {op}")
             }
+            ExecError::Verify(e) => write!(f, "plan verification failed: {e}"),
         }
     }
 }
@@ -112,8 +117,15 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::SpillIo { source, .. } => Some(source),
+            ExecError::Verify(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::verify::VerifyError> for ExecError {
+    fn from(e: crate::verify::VerifyError) -> Self {
+        ExecError::Verify(e)
     }
 }
 

@@ -1,3 +1,6 @@
+// Tests and assertions use unwrap/expect freely; the targeted failure-path
+// modules (`spill`, the runtime scheduler) re-deny at module level.
+#![allow(clippy::disallowed_methods)]
 //! # fusedml-runtime
 //!
 //! Execution runtime for fused and basic operators:
@@ -24,7 +27,12 @@
 //!   budget (farthest-next-use eviction to the engine's spill tier, async
 //!   prefetch of spilled inputs),
 //! * [`dist`] — the simulated distributed (Spark-like) backend with
-//!   broadcast/shuffle time accounting (DESIGN.md substitution X2).
+//!   broadcast/shuffle time accounting (DESIGN.md substitution X2),
+//! * [`verify`] — the static plan verifier (DESIGN.md substitution X9): an
+//!   IR-invariant checker across the hop, fusion-plan, register-program, and
+//!   task-graph layers, plus the residency state-machine spec the debug
+//!   scheduler replays its slot-transition traces against. Runs inside
+//!   [`Engine::compile`] behind `EngineBuilder::verify_plans`.
 
 pub mod dist;
 pub mod engine;
@@ -34,9 +42,11 @@ pub mod handcoded;
 pub mod schedule;
 pub mod side;
 pub mod spoof;
+pub mod verify;
 
 pub use engine::{CompiledScript, Engine, EngineBuilder, Outputs};
 pub use error::ExecError;
 pub use exec::{ExecStats, SchedSnapshot};
 pub use fusedml_core::FusionMode;
 pub use fusedml_linalg::fault::{FaultPlan, FaultSite};
+pub use verify::VerifyError;

@@ -79,6 +79,12 @@
 //! draw their decisions under the scheduler lock, so a seeded `FaultPlan`
 //! replays deterministically per site-visit index.
 
+// The scheduler is the one module where a stray unwrap can strand a worker
+// pool: panics here cross the containment boundary the error module
+// promises. The workspace bans `unwrap`/`expect` via `clippy.toml`
+// (disallowed-methods); this module opts into enforcement at deny level.
+#![deny(clippy::disallowed_methods)]
+
 use crate::error::{panic_message, ExecError};
 use crate::exec::{ExecStats, SchedSnapshot};
 use crate::handcoded::{self, HcOperator};
@@ -137,7 +143,7 @@ pub struct ExecCtx<'a> {
 }
 
 /// What one task executes.
-enum TaskKind {
+pub(crate) enum TaskKind {
     /// A single basic operator.
     Basic(HopId),
     /// A generated fused operator (index into the plan's operator list).
@@ -148,14 +154,14 @@ enum TaskKind {
 }
 
 /// One schedulable unit.
-struct Task {
-    kind: TaskKind,
+pub(crate) struct Task {
+    pub(crate) kind: TaskKind,
     /// Input hops in gather order (for fused ops: main, sides, scalars).
-    deps: Vec<HopId>,
+    pub(crate) deps: Vec<HopId>,
     /// Tasks reading at least one of this task's outputs.
     consumers: Vec<usize>,
     /// Dependency depth (tasks at equal depth are mutually independent).
-    level: usize,
+    pub(crate) level: usize,
 }
 
 /// The demand-driven task graph for one DAG under one fusion plan: the
@@ -163,21 +169,50 @@ struct Task {
 /// lives in [`run`]'s local scheduler state, so one graph serves concurrent
 /// executions.
 pub struct TaskGraph {
-    tasks: Vec<Task>,
+    pub(crate) tasks: Vec<Task>,
     /// Demanded leaf hops, materialized inline before scheduling.
     leaves: Vec<HopId>,
     /// Per hop: total read occurrences across tasks, +1 for DAG roots.
-    reads: Vec<u32>,
+    pub(crate) reads: Vec<u32>,
     /// Per task: number of distinct producer tasks that must finish first.
-    n_producers: Vec<u32>,
+    pub(crate) n_producers: Vec<u32>,
     /// Widest set of same-level tasks (parallelism upper bound).
     max_width: usize,
     /// Per hop: the tasks reading it. Victim scoring derives a value's next
     /// use from the levels of its unfinished consumers.
-    consumers_of: Vec<Vec<usize>>,
+    pub(crate) consumers_of: Vec<Vec<usize>>,
     /// Per task: compile-time estimate of its output bytes (from the hop
     /// size facts), used for pre-dispatch budget reservation.
-    task_out_bytes: Vec<usize>,
+    pub(crate) task_out_bytes: Vec<usize>,
+    /// Per hop: statically spill-eligible — a non-leaf value at least
+    /// [`MIN_SPILL_BYTES`] large by the compile-time estimate. Leaf bindings
+    /// are caller-owned `Arc` clones (spilling frees nothing), and
+    /// sub-threshold values churn the spill tier for no relief. The victim
+    /// picker re-checks the dynamic conditions (unique ownership, actual
+    /// size) at eviction time; this flag is the static precondition the
+    /// verifier re-derives.
+    pub(crate) spill_ok: Vec<bool>,
+}
+
+impl TaskGraph {
+    /// Mutable refcount access for verifier mutation tests only: lets a test
+    /// corrupt a compiled graph to prove the verifier rejects it.
+    #[doc(hidden)]
+    pub fn reads_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.reads
+    }
+
+    /// See [`TaskGraph::reads_mut`].
+    #[doc(hidden)]
+    pub fn task_out_bytes_mut(&mut self) -> &mut Vec<usize> {
+        &mut self.task_out_bytes
+    }
+
+    /// See [`TaskGraph::reads_mut`].
+    #[doc(hidden)]
+    pub fn spill_ok_mut(&mut self) -> &mut Vec<bool> {
+        &mut self.spill_ok
+    }
 }
 
 /// Builds the task graph for a DAG: the compile-time half of the scheduled
@@ -189,12 +224,11 @@ pub fn prepare(
     plan: Option<&FusionPlan>,
     patterns: Option<&FxHashMap<HopId, HcOperator>>,
 ) -> TaskGraph {
+    let plan_ops = plan.map_or(&[][..], |p| &p.operators[..]);
     let mut op_roots: FxHashMap<HopId, usize> = FxHashMap::default();
-    if let Some(plan) = plan {
-        for (i, f) in plan.operators.iter().enumerate() {
-            for &r in &f.roots {
-                op_roots.insert(r, i);
-            }
+    for (i, f) in plan_ops.iter().enumerate() {
+        for &r in &f.roots {
+            op_roots.insert(r, i);
         }
     }
     let mut tasks: Vec<Task> = Vec::new();
@@ -216,7 +250,7 @@ pub fn prepare(
             continue;
         }
         if let Some(&op_ix) = op_roots.get(&h) {
-            let f = &plan.expect("op_roots implies a plan").operators[op_ix];
+            let f = &plan_ops[op_ix];
             if let Some(&t) = fused_task.get(&op_ix) {
                 // Another root of the same operator was demanded first; the
                 // existing task already covers this hop.
@@ -331,13 +365,23 @@ pub fn prepare(
         .map(|t| match &t.kind {
             TaskKind::Basic(h) => est(*h),
             TaskKind::Handcoded(hc) => est(hc.root),
-            TaskKind::Fused { op_ix } => {
-                let f = &plan.expect("fused task implies a plan").operators[*op_ix];
-                f.roots.iter().map(|&r| est(r)).sum()
-            }
+            TaskKind::Fused { op_ix } => plan_ops[*op_ix].roots.iter().map(|&r| est(r)).sum(),
         })
         .collect();
-    TaskGraph { tasks, leaves, reads, n_producers, max_width, consumers_of, task_out_bytes }
+    let spill_ok = dag
+        .iter()
+        .map(|h| !h.kind.is_leaf() && h.size.bytes().max(0.0) as usize >= MIN_SPILL_BYTES)
+        .collect();
+    TaskGraph {
+        tasks,
+        leaves,
+        reads,
+        n_producers,
+        max_width,
+        consumers_of,
+        task_out_bytes,
+        spill_ok,
+    }
 }
 
 /// A gathered task input: the value plus whether this task took the last
@@ -410,6 +454,41 @@ struct EngineState {
     spill_retries: usize,
     /// Faults the engine's `FaultPlan` injected into this run.
     injected_faults: usize,
+    /// Debug-build residency event trace: every slot transition, recorded
+    /// under the scheduler lock (totally ordered), replayed against the
+    /// state-machine spec ([`crate::verify::check_residency_trace`]) after
+    /// the run. `None` in release builds — zero cost on the hot path.
+    trace: Option<Vec<crate::verify::SlotTransition>>,
+}
+
+impl EngineState {
+    /// Notes slot `slot` moving from its current state to `to`. Callers
+    /// invoke this immediately before mutating the slot, while they hold the
+    /// scheduler lock (or before workers start), so `from` is read off the
+    /// live slot and the trace stays totally ordered.
+    #[inline]
+    fn note(&mut self, slot: usize, to: crate::verify::SlotState) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(crate::verify::SlotTransition {
+                slot,
+                from: slot_state(&self.slots[slot]),
+                to,
+            });
+        }
+    }
+}
+
+/// The observable state of a slot (payloads erased) for the trace recorder.
+fn slot_state(s: &Slot) -> crate::verify::SlotState {
+    use crate::verify::SlotState as S;
+    match s {
+        Slot::Empty => S::Empty,
+        Slot::Resident(_) => S::Resident,
+        Slot::Streamed(_) => S::Streamed,
+        Slot::Spilled(_) => S::Spilled,
+        Slot::Loading => S::Loading,
+        Slot::Evicting => S::Evicting,
+    }
 }
 
 /// Everything a worker needs, borrowed for the scope of one [`run`] call.
@@ -470,6 +549,7 @@ pub fn run(
         streamed_leaf_bytes: 0,
         spill_retries: 0,
         injected_faults: 0,
+        trace: cfg!(debug_assertions).then(Vec::new),
     };
     // Materialize demanded leaves inline (cheap: Arc clones of bindings).
     // Leaves larger than the entire budget are streamed, not charged (see
@@ -480,9 +560,11 @@ pub fn run(
         let sz = v.size_in_bytes();
         if spill_on && sz > cx.store.threshold() {
             st.streamed_leaf_bytes += sz;
+            st.note(l.index(), crate::verify::SlotState::Streamed);
             st.slots[l.index()] = Slot::Streamed(v);
         } else {
             st.resident_bytes += sz;
+            st.note(l.index(), crate::verify::SlotState::Resident);
             st.slots[l.index()] = Slot::Resident(v);
         }
     }
@@ -523,6 +605,7 @@ pub fn run(
     let mut roots = Vec::with_capacity(dag.roots().len());
     if st.failure.is_none() {
         for &r in dag.roots() {
+            st.note(r.index(), crate::verify::SlotState::Empty);
             match std::mem::replace(&mut st.slots[r.index()], Slot::Empty) {
                 Slot::Resident(v) | Slot::Streamed(v) => roots.push(v),
                 Slot::Spilled(tok) => {
@@ -568,14 +651,25 @@ pub fn run(
         for v in roots.drain(..) {
             v.recycle();
         }
-        for slot in st.slots.iter_mut() {
-            match std::mem::replace(slot, Slot::Empty) {
+        for i in 0..st.slots.len() {
+            if !matches!(st.slots[i], Slot::Empty) {
+                st.note(i, crate::verify::SlotState::Empty);
+            }
+            match std::mem::replace(&mut st.slots[i], Slot::Empty) {
                 Slot::Resident(v) | Slot::Streamed(v) => v.recycle(),
                 Slot::Spilled(tok) => cx.store.discard(&tok),
                 Slot::Empty | Slot::Loading | Slot::Evicting => {}
             }
         }
         cx.store.sweep_orphans();
+    }
+    // Replay the residency trace against the state-machine spec. The trace
+    // is only recorded in debug builds, so this can never fire in release;
+    // in tests a violated lifecycle invariant aborts loudly.
+    if let Some(trace) = st.trace.take() {
+        if let Err(e) = crate::verify::check_residency_trace(st.slots.len(), &trace) {
+            panic!("residency trace violation: {e}");
+        }
     }
     let snapshot = SchedSnapshot {
         parallel_ops: st.parallel_ops,
@@ -701,6 +795,7 @@ fn worker_loop(cx: &Ctx<'_>) {
             st.reads_left[di] -= 1;
             let dying = st.reads_left[di] == 0;
             let val = if dying {
+                st.note(di, crate::verify::SlotState::Empty);
                 match std::mem::replace(&mut st.slots[di], Slot::Empty) {
                     Slot::Resident(v) => {
                         dying_bytes += v.size_in_bytes();
@@ -782,6 +877,7 @@ fn worker_loop(cx: &Ctx<'_>) {
                     if st.resident_bytes > st.peak_bytes {
                         st.peak_bytes = st.resident_bytes;
                     }
+                    st.note(h.index(), crate::verify::SlotState::Resident);
                     st.slots[h.index()] = Slot::Resident(v);
                 }
                 // Now the dying inputs are really gone.
@@ -846,6 +942,7 @@ fn ensure_resident<'a>(cx: &Ctx<'a>, mut st: Guard<'a>, di: usize) -> Guard<'a> 
         match &st.slots[di] {
             Slot::Resident(_) | Slot::Streamed(_) => return st,
             Slot::Spilled(_) => {
+                st.note(di, crate::verify::SlotState::Loading);
                 let tok = match std::mem::replace(&mut st.slots[di], Slot::Loading) {
                     Slot::Spilled(t) => t,
                     _ => unreachable!("just matched"),
@@ -870,6 +967,7 @@ fn prefetch_reload<'a>(cx: &Ctx<'a>, mut st: Guard<'a>, di: usize) -> Guard<'a> 
     if !matches!(st.slots[di], Slot::Spilled(_)) {
         return st;
     }
+    st.note(di, crate::verify::SlotState::Loading);
     let tok = match std::mem::replace(&mut st.slots[di], Slot::Loading) {
         Slot::Spilled(t) => t,
         _ => unreachable!("just matched"),
@@ -918,6 +1016,7 @@ fn fault_in<'a>(
             } else {
                 st.spill_faults += 1;
             }
+            st.note(di, crate::verify::SlotState::Resident);
             st.slots[di] = Slot::Resident(Value::Matrix(m));
             cx.cvar.notify_all();
             st
@@ -943,6 +1042,7 @@ fn reserve<'a>(cx: &Ctx<'a>, mut st: Guard<'a>, need: usize, keep: &[HopId]) -> 
     let budget = store.threshold();
     while !st.spill_disabled && st.resident_bytes.saturating_add(need) > budget {
         let Some(h) = pick_victim(cx, &st, keep) else { break };
+        st.note(h, crate::verify::SlotState::Evicting);
         let v = match std::mem::replace(&mut st.slots[h], Slot::Evicting) {
             Slot::Resident(v) => v,
             _ => unreachable!("victims are resident"),
@@ -973,6 +1073,7 @@ fn reserve<'a>(cx: &Ctx<'a>, mut st: Guard<'a>, need: usize, keep: &[HopId]) -> 
         match res {
             Ok(tok) => {
                 st.spilled_bytes += tok.file_bytes();
+                st.note(h, crate::verify::SlotState::Spilled);
                 st.slots[h] = Slot::Spilled(tok);
                 // The slot held the only reference: recycling hands the
                 // buffers to the pool, where the eventual reload (or the
@@ -983,6 +1084,7 @@ fn reserve<'a>(cx: &Ctx<'a>, mut st: Guard<'a>, need: usize, keep: &[HopId]) -> 
                 // Spill tier unavailable (disk full, dir removed): put the
                 // value back and degrade to resident-only for this run.
                 st.resident_bytes += sz;
+                st.note(h, crate::verify::SlotState::Resident);
                 st.slots[h] = Slot::Resident(v);
                 st.spill_disabled = true;
             }
@@ -1001,6 +1103,9 @@ fn reserve<'a>(cx: &Ctx<'a>, mut st: Guard<'a>, need: usize, keep: &[HopId]) -> 
 fn pick_victim(cx: &Ctx<'_>, st: &EngineState, keep: &[HopId]) -> Option<usize> {
     let mut best: Option<(usize, usize, usize)> = None; // (next_use, bytes, slot)
     for (h, slot) in st.slots.iter().enumerate() {
+        if !cx.graph.spill_ok[h] {
+            continue;
+        }
         let Slot::Resident(Value::Matrix(m)) = slot else { continue };
         if !m.is_uniquely_owned() {
             continue;
@@ -1052,7 +1157,11 @@ fn run_task(
         }
         TaskKind::Fused { op_ix } => {
             stats.fused_ops.fetch_add(1, Ordering::Relaxed);
-            let f = &plan.expect("fused task implies a plan").operators[*op_ix];
+            // A fused task without a plan is a compile bug; the panic is
+            // contained by the worker's catch_unwind and surfaces as a typed
+            // WorkerPanic rather than a process abort.
+            let Some(plan) = plan else { unreachable!("fused task implies a plan") };
+            let f = &plan.operators[*op_ix];
             let n_main = usize::from(f.cplan.main.is_some());
             let n_sides = f.cplan.sides.len();
             let main_val = ins.first().filter(|_| n_main == 1).map(|s| s.val.as_matrix());

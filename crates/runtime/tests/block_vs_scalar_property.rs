@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Differential property tests for the tile-vectorized block backend:
 //! random scalar register programs executed through the Cell and MultiAgg
 //! skeletons must agree with the per-cell scalar interpreter (the oracle)

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Chaos property suite: random DAGs × fusion modes × seeded fault
 //! schedules. The failure-safety contract under test:
 //!
@@ -123,6 +124,7 @@ fn chaos_matrix_ok_is_bitwise_err_is_clean_and_engine_survives() {
                 .memory_budget(2 * 8 * rows * cols)
                 .workers(2)
                 .fault_plan(Arc::clone(&plan))
+                .verify_plans(true)
                 .build();
 
             match engine.try_execute(&dag, &bindings) {
@@ -170,7 +172,8 @@ fn chaos_matrix_ok_is_bitwise_err_is_clean_and_engine_survives() {
 fn saturated_task_faults_always_err() {
     let (dag, bindings, _, _) = random_dag(99);
     let plan = Arc::new(FaultPlan::seeded(7).rate(FaultSite::TaskExec, 1.0));
-    let engine = Engine::builder(FusionMode::Gen).fault_plan(Arc::clone(&plan)).build();
+    let engine =
+        Engine::builder(FusionMode::Gen).fault_plan(Arc::clone(&plan)).verify_plans(true).build();
     for _ in 0..3 {
         match engine.try_execute(&dag, &bindings) {
             Err(ExecError::Injected { site: FaultSite::TaskExec, .. }) => {}
@@ -193,6 +196,7 @@ fn zero_rate_plan_is_invisible() {
     let engine = Engine::builder(FusionMode::Gen)
         .memory_budget(2 * 8 * rows * cols)
         .fault_plan(Arc::clone(&plan))
+        .verify_plans(true)
         .build();
     let reference = Engine::new(FusionMode::Gen).execute(&dag, &bindings).into_values();
     let out = engine.try_execute(&dag, &bindings).expect("zero rates never fail");

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! The compile-once / execute-concurrently contract of the engine API:
 //!
 //! * one `CompiledScript` executed from N threads on distinct bindings must

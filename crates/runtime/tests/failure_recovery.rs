@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Engine reuse after failure: the recovery half of the failure-safety
 //! contract. A worker panic or an exhausted spill-I/O retry must leave the
 //! engine's pool, caches, and spill directory fully reusable — pinned by
@@ -58,7 +59,10 @@ fn worker_panic_leaves_engine_reusable() {
     let reference = Engine::new(FusionMode::Gen).execute(&dag, &bindings).into_values();
 
     let plan = Arc::new(FaultPlan::seeded(3).rate(FaultSite::TaskPanic, 1.0).max_faults(1));
-    let engine = EngineBuilder::new(FusionMode::Gen).fault_plan(Arc::clone(&plan)).build();
+    let engine = EngineBuilder::new(FusionMode::Gen)
+        .fault_plan(Arc::clone(&plan))
+        .verify_plans(true)
+        .build();
     match engine.try_execute(&dag, &bindings) {
         Err(ExecError::WorkerPanic { op, message }) => {
             assert!(!op.is_empty(), "the error names the failing op");
@@ -90,6 +94,7 @@ fn spill_read_failure_leaves_engine_reusable() {
         .memory_budget(2 * 8 * rows * cols)
         .workers(1)
         .fault_plan(Arc::clone(&plan))
+        .verify_plans(true)
         .build();
     match engine.try_execute(&dag, &bindings) {
         Err(e @ ExecError::SpillIo { during: "read", .. }) => {
@@ -121,6 +126,7 @@ fn spill_write_failure_degrades_to_resident() {
         .memory_budget(2 * 8 * rows * cols)
         .workers(1)
         .fault_plan(Arc::clone(&plan))
+        .verify_plans(true)
         .build();
     let out = engine.try_execute(&dag, &bindings).expect("write loss degrades, not fails");
     assert_bitwise_eq(out.values(), &reference, "degraded run");
@@ -147,7 +153,10 @@ fn poisoned_request_spares_sibling_threads() {
     let weights = generate::rand_dense(features, classes, -0.5, 0.5, 42);
 
     let plan = Arc::new(FaultPlan::seeded(17).rate(FaultSite::TaskPanic, 1.0).max_faults(1));
-    let engine = EngineBuilder::new(FusionMode::Gen).fault_plan(Arc::clone(&plan)).build();
+    let engine = EngineBuilder::new(FusionMode::Gen)
+        .fault_plan(Arc::clone(&plan))
+        .verify_plans(true)
+        .build();
     let script = engine.compile(&dag);
     let reference_engine = Engine::new(FusionMode::Gen);
 

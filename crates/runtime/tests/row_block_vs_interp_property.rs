@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Differential property tests for the band-lowered Row backend: random
 //! Row register programs executed through the block path (per-band
 //! contexts, invariant hoisting, zero-copy dense side views, sparse rows

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Differential property test for the scheduled execution engine: random
 //! DAGs (mixed dense/sparse inputs, shared subexpressions, multiple roots)
 //! executed by the liveness-aware parallel scheduler must produce results

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Differential property test for the spill tier: the same random
 //! multi-root DAG executed by an engine with an unbounded budget and by an
 //! engine with a budget far below the working set must produce *bitwise

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // shim crates are test/bench infrastructure
 //! Offline, API-compatible shim for the subset of the `criterion` crate used
 //! by this workspace (the build container has no network access to
 //! crates.io).

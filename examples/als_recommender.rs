@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/example code may unwrap freely
 //! A sparse recommender via ALS-CG matrix factorization — the paper's
 //! sparsity-exploitation showcase (Expression 1, Figure 1(d)).
 //!

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/example code may unwrap freely
 //! Fusion-plan explorer: prints the memo table (paper Figure 5), the plan
 //! partitions with interesting points, the enumeration statistics, and the
 //! generated operator sources for an expression of your choice.

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/example code may unwrap freely
 //! Multinomial logistic regression with the Newton-CG solver whose
 //! Hessian-vector product is the paper's Figure 5 expression — compiled to
 //! a single-pass Row-template operator.

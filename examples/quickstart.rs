@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/example code may unwrap freely
 //! Quickstart: build a linear-algebra DAG, compile it once into a
 //! [`CompiledScript`] (the cost-based optimizer fuses it here), and execute
 //! the compiled script — comparing against unfused execution.

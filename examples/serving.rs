@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/example code may unwrap freely
 //! Model serving: compile a scorer once, answer requests from many threads —
 //! and keep serving when one request dies.
 //!

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/example code may unwrap freely
 //! Cross-crate integration tests: the full pipeline from DAG construction
 //! through optimization, code generation, and execution, validated against
 //! the reference interpreter for every fusion mode.

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/example code may unwrap freely
 //! Property test: fused execution must equal unfused execution on randomly
 //! generated DAGs of cell-wise operations, aggregates, and matrix products.
 

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)] // test/example code may unwrap freely
 //! Workspace smoke tests: every example must compile, `quickstart` must run
 //! to completion, and one full fuse-compile-execute path must agree
 //! numerically with the unfused baseline.
