@@ -1,13 +1,18 @@
 #![allow(clippy::disallowed_methods)] // test/bench code may unwrap freely
 //! Tile-width sweep for the block backend: runs the Figure 8(a) Cell
-//! pattern (`sum(X⊙Y⊙Z)`, 2000×1000 dense) under `Gen` across tile widths,
-//! for both the closure-specialized fast path and the generic tile body.
+//! pattern (`sum(X⊙Y⊙Z)`, 2000×1000 dense) under `Gen` across tile widths
+//! and cell backends. Width and backend are per-engine configuration
+//! ([`fusedml_runtime::EngineBuilder::tile_width`] /
+//! [`fusedml_runtime::EngineBuilder::cell_backend`]), so every sweep point
+//! builds its own engine — no process globals are mutated. Each point
+//! reports the backend and the kernel class it executed under (mono versus
+//! interpreted) through the benchmark id.
 //! The sweet spot trades per-tile dispatch overhead (small widths) against
 //! register-file cache residency (large widths); 256 is the shipped default.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fusedml_bench::experiments::fig8;
-use fusedml_core::spoof::block::{self, CellBackend};
+use fusedml_core::spoof::block::CellBackend;
 use fusedml_hop::interp::Bindings;
 use fusedml_linalg::generate;
 use fusedml_runtime::{Engine, FusionMode};
@@ -21,34 +26,37 @@ fn benches(c: &mut Criterion) {
     for (i, n) in ["X", "Y", "Z"].iter().enumerate() {
         b.insert(n.to_string(), generate::rand_dense(rows, cols, -1.0, 1.0, i as u64));
     }
-    let exec = Engine::new(FusionMode::Gen);
-    let _ = exec.execute(&dag, &b); // compile
 
     for (group, backend) in [
+        ("tile_sweep_cell_mono", CellBackend::Mono),
         ("tile_sweep_cell_fast", CellBackend::BlockFast),
         ("tile_sweep_cell_generic", CellBackend::Block),
     ] {
-        block::set_cell_backend(backend);
         let mut g = c.benchmark_group(group);
         g.sample_size(10);
         for w in WIDTHS {
-            block::set_tile_width(w);
-            g.bench_function(format!("w{w}"), |bch| {
+            let exec = Engine::builder(FusionMode::Gen).tile_width(w).cell_backend(backend).build();
+            let _ = exec.execute(&dag, &b); // compile + warm the kernel cache
+            let stats = exec.stats();
+            stats.reset();
+            let _ = exec.execute(&dag, &b);
+            let (mono, interp) = stats.mono_snapshot();
+            let class = if mono > 0 && interp == 0 { "mono" } else { "interp" };
+            g.bench_function(format!("w{w}/{backend:?}/{class}"), |bch| {
                 bch.iter(|| std::hint::black_box(exec.execute(&dag, &b)))
             });
         }
         g.finish();
-        block::set_tile_width(block::DEFAULT_TILE_WIDTH);
     }
     // The scalar interpreter as the dispatch-overhead reference point.
-    block::set_cell_backend(CellBackend::Scalar);
+    let exec = Engine::builder(FusionMode::Gen).cell_backend(CellBackend::Scalar).build();
+    let _ = exec.execute(&dag, &b);
     let mut g = c.benchmark_group("tile_sweep_cell_scalar_reference");
     g.sample_size(10);
-    g.bench_function("per_cell_interpreter", |bch| {
+    g.bench_function("per_cell_interpreter/Scalar/interp", |bch| {
         bch.iter(|| std::hint::black_box(exec.execute(&dag, &b)))
     });
     g.finish();
-    block::set_cell_backend(CellBackend::BlockFast);
 }
 
 criterion_group!(tile_sweep, benches);

@@ -3,10 +3,60 @@
 
 use super::Scale;
 use crate::report::Table;
-use crate::{time_dag, MODES};
+use crate::{mode_label, time_dag_stats, MODES};
 use fusedml_hop::interp::Bindings;
 use fusedml_hop::{DagBuilder, HopDag};
 use fusedml_linalg::{generate, Matrix};
+use fusedml_runtime::FusionMode;
+
+/// One measured point of a Figure 8 panel, as serialized to
+/// `BENCH_fig8.json` (no external JSON dependency — fields are written by
+/// hand in the private `write_json` helper).
+#[derive(Clone, Debug)]
+pub struct PanelPoint {
+    /// Panel caption (e.g. `"fig8a"`).
+    pub panel: String,
+    /// The swept x value: `cells/input` for size sweeps, sparsity for 8(h).
+    pub x: String,
+    /// Execution mode label (`Base`, `Fused`, `Gen`, …).
+    pub mode: String,
+    /// Median wall-clock seconds.
+    pub secs: f64,
+    /// Fused operators executed in one run.
+    pub fused_ops: usize,
+    /// Fused operators that ran as specialized static kernels.
+    pub mono_ops: usize,
+    /// Fused operators interpreted by the generic tile body.
+    pub interp_fused_ops: usize,
+}
+
+/// Writes the collected panel points as `BENCH_fig8.json` in the current
+/// directory. The CI smoke gate parses this file and requires every `Gen`
+/// point to report `mono_ops > 0` with `interp_fused_ops == 0`.
+fn write_json(scale: Scale, points: &[PanelPoint]) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"fig8\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"panel\": \"{}\", \"x\": \"{}\", \"mode\": \"{}\",              \"secs\": {:.6}, \"fused_ops\": {}, \"mono_ops\": {},              \"interp_fused_ops\": {}}}{}\n",
+            p.panel,
+            p.x,
+            p.mode,
+            p.secs,
+            p.fused_ops,
+            p.mono_ops,
+            p.interp_fused_ops,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_fig8.json", &out) {
+        Ok(()) => println!("wrote BENCH_fig8.json ({} points)", points.len()),
+        Err(e) => eprintln!("could not write BENCH_fig8.json: {e}"),
+    }
+}
 
 fn bind(pairs: Vec<(&str, Matrix)>) -> Bindings {
     pairs.into_iter().map(|(n, m)| (n.to_string(), m)).collect()
@@ -79,7 +129,9 @@ pub fn outer_dag(n: usize, m: usize, rank: usize, sp: f64) -> (HopDag, Vec<&'sta
     (b.build(vec![s]), vec!["X", "U", "V"])
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sweep(
+    panel: &str,
     caption: &str,
     sizes: &[usize],
     cols: usize,
@@ -87,6 +139,7 @@ fn sweep(
     build: impl Fn(usize, usize, f64) -> (HopDag, Vec<&'static str>),
     data: impl Fn(usize, usize, f64, u64) -> Matrix,
     reps: usize,
+    points: &mut Vec<PanelPoint>,
 ) {
     let mut t = Table::new(caption, &["cells/input", "Base", "Fused", "Gen", "Gen-FA", "Gen-FNR"]);
     for &rows in sizes {
@@ -108,7 +161,17 @@ fn sweep(
         );
         let mut row = vec![format!("{}", rows * cols)];
         for m in MODES {
-            row.push(Table::secs(time_dag(m, &dag, &bindings, reps)));
+            let ts = time_dag_stats(m, &dag, &bindings, reps);
+            row.push(Table::secs(ts.secs));
+            points.push(PanelPoint {
+                panel: panel.to_string(),
+                x: format!("{}", rows * cols),
+                mode: mode_label(m).to_string(),
+                secs: ts.secs,
+                fused_ops: ts.fused_ops,
+                mono_ops: ts.mono_ops,
+                interp_fused_ops: ts.interp_fused_ops,
+            });
         }
         t.row(row);
     }
@@ -131,8 +194,10 @@ pub fn run(scale: Scale) {
     let sizes: Vec<usize> =
         scale.pick3(vec![1_000], vec![100, 1_000, 10_000], vec![1_000, 10_000, 100_000]);
     let cols = 1_000;
+    let mut points: Vec<PanelPoint> = Vec::new();
 
     sweep(
+        "fig8a",
         "Figure 8(a): sum(X⊙Y⊙Z), dense",
         &sizes,
         cols,
@@ -140,8 +205,10 @@ pub fn run(scale: Scale) {
         cell_dag,
         |r, c, _s, seed| generate::rand_dense(r, c, -1.0, 1.0, seed),
         reps,
+        &mut points,
     );
     sweep(
+        "fig8b",
         "Figure 8(b): sum(X⊙Y⊙Z), sparse (0.1)",
         &sizes,
         cols,
@@ -149,8 +216,10 @@ pub fn run(scale: Scale) {
         cell_dag,
         |r, c, s, seed| generate::rand_matrix(r, c, -1.0, 1.0, s, seed),
         reps,
+        &mut points,
     );
     sweep(
+        "fig8c",
         "Figure 8(c): sum(X⊙Y), sum(X⊙Z), dense (multi-aggregate)",
         &sizes,
         cols,
@@ -158,8 +227,10 @@ pub fn run(scale: Scale) {
         magg_dag,
         |r, c, _s, seed| generate::rand_dense(r, c, -1.0, 1.0, seed),
         reps,
+        &mut points,
     );
     sweep(
+        "fig8d",
         "Figure 8(d): sum(X⊙Y), sum(X⊙Z), sparse (0.1)",
         &sizes,
         cols,
@@ -167,8 +238,10 @@ pub fn run(scale: Scale) {
         magg_dag,
         |r, c, s, seed| generate::rand_matrix(r, c, -1.0, 1.0, s, seed),
         reps,
+        &mut points,
     );
     sweep(
+        "fig8e",
         "Figure 8(e): X^T(Xv), dense",
         &sizes,
         cols,
@@ -176,8 +249,10 @@ pub fn run(scale: Scale) {
         |r, c, s| row_dag(r, c, 1, s),
         |r, c, _s, seed| generate::rand_dense(r, c, -1.0, 1.0, seed),
         reps,
+        &mut points,
     );
     sweep(
+        "fig8f",
         "Figure 8(f): X^T(Xv), sparse (0.1)",
         &sizes,
         cols,
@@ -185,8 +260,10 @@ pub fn run(scale: Scale) {
         |r, c, s| row_dag(r, c, 1, s),
         |r, c, s, seed| generate::rand_matrix(r, c, -1.0, 1.0, s, seed),
         reps,
+        &mut points,
     );
     sweep(
+        "fig8g",
         "Figure 8(g): X^T(XV), dense, ncol(V)=2",
         &sizes,
         cols,
@@ -194,8 +271,10 @@ pub fn run(scale: Scale) {
         |r, c, s| row_dag(r, c, 2, s),
         |r, c, _s, seed| generate::rand_dense(r, c, -1.0, 1.0, seed),
         reps,
+        &mut points,
     );
     sweep(
+        "fig8rs",
         "Figure 8(row-sparse): X^T(w⊙(Xv)), mlogreg-style, sparse (0.01)",
         &sizes,
         cols,
@@ -203,6 +282,7 @@ pub fn run(scale: Scale) {
         row_sparse_dag,
         |r, c, s, seed| generate::rand_matrix(r, c, -1.0, 1.0, s, seed),
         reps,
+        &mut points,
     );
 
     // Fig. 8(h): sparsity sweep with fixed geometry.
@@ -220,11 +300,35 @@ pub fn run(scale: Scale) {
         ]);
         let mut row = vec![format!("{sp}")];
         for md in MODES {
-            row.push(Table::secs(time_dag(md, &dag, &bindings, reps)));
+            let ts = time_dag_stats(md, &dag, &bindings, reps);
+            row.push(Table::secs(ts.secs));
+            points.push(PanelPoint {
+                panel: "fig8h".to_string(),
+                x: format!("{sp}"),
+                mode: mode_label(md).to_string(),
+                secs: ts.secs,
+                fused_ops: ts.fused_ops,
+                mono_ops: ts.mono_ops,
+                interp_fused_ops: ts.interp_fused_ops,
+            });
         }
         t.row(row);
     }
     t.print();
+
+    write_json(scale, &points);
+    // The monomorphizer must carry every Gen panel: a Gen point with fused
+    // operators but no specialized kernel means a shape family regressed to
+    // the tile interpreter.
+    for p in points.iter().filter(|p| p.mode == mode_label(FusionMode::Gen)) {
+        assert!(
+            p.fused_ops == 0 || p.mono_ops > 0,
+            "panel {} (x={}) ran {} fused ops with zero mono hits",
+            p.panel,
+            p.x,
+            p.fused_ops
+        );
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,49 @@ pub fn time_dag(mode: FusionMode, dag: &HopDag, bindings: &Bindings, reps: usize
     times[times.len() / 2]
 }
 
+/// One timed run of a DAG under a mode, with the engine's fused-kernel
+/// classification counters for a single execution (see
+/// [`fusedml_runtime::ExecStats::mono_snapshot`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TimedStats {
+    /// Median wall-clock seconds over the timed repetitions.
+    pub secs: f64,
+    /// Fused operators executed in one run.
+    pub fused_ops: usize,
+    /// Fused operators that ran as a specialized (monomorphized or
+    /// closure-specialized) static kernel.
+    pub mono_ops: usize,
+    /// Fused operators that fell back to the generic tile interpreter.
+    pub interp_fused_ops: usize,
+}
+
+/// Like [`time_dag`], but also reports how the fused operators executed:
+/// the per-run `fused`/`mono`/`interpreted` counters from the engine's
+/// [`fusedml_runtime::ExecStats`].
+pub fn time_dag_stats(
+    mode: FusionMode,
+    dag: &HopDag,
+    bindings: &Bindings,
+    reps: usize,
+) -> TimedStats {
+    let engine = Engine::new(mode);
+    let script = engine.compile(dag);
+    let _ = script.execute(bindings); // warm-up: fills pool + kernel caches
+    engine.stats().reset();
+    let _ = script.execute(bindings);
+    let (fused_ops, _, _) = engine.stats().snapshot();
+    let (mono_ops, interp_fused_ops) = engine.stats().mono_snapshot();
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = script.execute(bindings);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    TimedStats { secs: times[times.len() / 2], fused_ops, mono_ops, interp_fused_ops }
+}
+
 /// Times a closure once.
 pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t0 = Instant::now();

@@ -123,7 +123,7 @@ fn dispatch_overhead_flops(compute_bw: f64) -> f64 {
         vreg_lens: vec![],
     };
     let bp = block::lower(&prog);
-    let width = block::tile_width();
+    let width = block::DEFAULT_TILE_WIDTH;
     let mut ev = BlockEval::new(&bp, width);
     ev.set_invariants(&bp, &|_, _| 0.0, &[]);
 

@@ -15,7 +15,8 @@
 use crate::codegen::{generate, CodegenOptions, GeneratedOperator};
 use crate::cplan::CPlan;
 use crate::spoof::block::{
-    compile_kernel, compile_row_kernel, program_hash, row_kernel_hash, BlockKernel, RowKernel,
+    compile_kernel, compile_row_kernel, program_hash, row_kernel_hash, BlockKernel, CellBackend,
+    RowKernel,
 };
 use crate::spoof::{FusedSpec, Program, RowSpec};
 use crate::util::FifoMap;
@@ -273,14 +274,30 @@ impl std::ops::Deref for RowKernelCache {
 }
 
 /// The lowered-kernel caches of one engine: the block kernels the
-/// Cell/MAgg/Outer skeletons dispatch and the band-lowered Row kernels.
+/// Cell/MAgg/Outer skeletons dispatch and the band-lowered Row kernels,
+/// plus the engine's per-instance execution knobs (tile width, cell
+/// backend) that the skeletons read alongside the kernels.
 /// Shared (via `Arc`) between the engine's [`PlanCache`] — which warms them
 /// at compile time — and its runtime skeletons, which look kernels up at
 /// execution time. There is deliberately no process-wide instance.
-#[derive(Default)]
 pub struct KernelCaches {
     pub block: BlockProgramCache,
     pub row: RowKernelCache,
+    /// Tile width (elements per tile register) the skeletons evaluate with.
+    pub tile_width: usize,
+    /// Backend the Cell/MAgg/Outer skeletons execute through.
+    pub backend: CellBackend,
+}
+
+impl Default for KernelCaches {
+    fn default() -> Self {
+        KernelCaches {
+            block: BlockProgramCache::default(),
+            row: RowKernelCache::default(),
+            tile_width: crate::spoof::block::DEFAULT_TILE_WIDTH,
+            backend: CellBackend::default(),
+        }
+    }
 }
 
 impl KernelCaches {
@@ -293,9 +310,22 @@ impl KernelCaches {
     /// builder passes its plan-cache capacity, so the compiled-state bound
     /// covers operators *and* their kernels).
     pub fn with_capacity(capacity: usize) -> Arc<KernelCaches> {
+        Self::with_config(capacity, crate::spoof::block::DEFAULT_TILE_WIDTH, CellBackend::default())
+    }
+
+    /// Kernel caches with per-engine execution knobs: `capacity` bounds each
+    /// cache, `tile_width` is clamped to the supported range, and `backend`
+    /// selects the Cell/MAgg/Outer execution path.
+    pub fn with_config(
+        capacity: usize,
+        tile_width: usize,
+        backend: CellBackend,
+    ) -> Arc<KernelCaches> {
         Arc::new(KernelCaches {
             block: BlockProgramCache { cache: KernelCache::with_capacity(capacity) },
             row: RowKernelCache { cache: KernelCache::with_capacity(capacity) },
+            tile_width: crate::spoof::block::clamp_tile_width(tile_width),
+            backend,
         })
     }
 }

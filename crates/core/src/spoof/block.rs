@@ -5,9 +5,9 @@
 //! instruction-dispatch `match` per *cell*, which the paper's janino-compiled
 //! Java never does. This module amortizes that dispatch over fixed-width
 //! tiles: a scalar [`Program`] is lowered once into a [`BlockProgram`] whose
-//! registers are tiles of [`tile_width`] doubles, so each instruction becomes
-//! one tight, auto-vectorizable loop per tile instead of one `match` per
-//! cell.
+//! registers are tiles of [`DEFAULT_TILE_WIDTH`] doubles (per-engine
+//! configurable), so each instruction becomes one tight, auto-vectorizable
+//! loop per tile instead of one `match` per cell.
 //!
 //! Lowering classifies every scalar register by *variance*:
 //!
@@ -27,7 +27,7 @@
 use super::{Instr, Program, Reg, SideAccess};
 use fusedml_linalg::ops::{AggOp, BinaryOp, TernaryOp, UnaryOp};
 use fusedml_linalg::primitives as prim;
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use fusedml_linalg::simd;
 
 /// Tile register index.
 pub type TReg = u16;
@@ -36,52 +36,34 @@ pub type TReg = u16;
 /// register: a handful of live registers stay comfortably inside L1.
 pub const DEFAULT_TILE_WIDTH: usize = 256;
 
-static TILE_WIDTH: AtomicUsize = AtomicUsize::new(DEFAULT_TILE_WIDTH);
-
-/// The current tile width used by block evaluators.
-pub fn tile_width() -> usize {
-    TILE_WIDTH.load(Ordering::Relaxed)
-}
-
-/// Overrides the tile width (clamped to `8..=8192`); used by the
-/// `tile_sweep` benchmark to locate the dispatch/locality sweet spot.
-pub fn set_tile_width(w: usize) {
-    TILE_WIDTH.store(w.clamp(8, 8192), Ordering::Relaxed);
+/// Clamps a tile width to the supported range (`8..=8192`). Engine
+/// configuration and the `tile_sweep` benchmark funnel through this so an
+/// out-of-range knob can never produce a degenerate evaluator.
+pub fn clamp_tile_width(w: usize) -> usize {
+    w.clamp(8, 8192)
 }
 
 /// Which execution backend the Cell/MAgg/Outer skeletons use.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Selected per engine via `EngineBuilder::cell_backend` (the former
+/// process-global setter is gone; PR 5's no-global-state contract now
+/// covers the spoof knobs too).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum CellBackend {
     /// The per-cell scalar interpreter (retained as the differential-test
     /// oracle and for the compressed-input skeleton).
     Scalar,
     /// The generic tile evaluator.
     Block,
-    /// Tile evaluator plus closure-specialized fast kernels (default; the
-    /// analogue of the paper's janino-compiled operators).
+    /// Tile evaluator plus closure-specialized fast kernels (the analogue
+    /// of the paper's janino-compiled operators).
     BlockFast,
-}
-
-static BACKEND: AtomicU8 = AtomicU8::new(2);
-
-/// The globally selected Cell/MAgg/Outer backend.
-pub fn cell_backend() -> CellBackend {
-    match BACKEND.load(Ordering::Relaxed) {
-        0 => CellBackend::Scalar,
-        1 => CellBackend::Block,
-        _ => CellBackend::BlockFast,
-    }
-}
-
-/// Selects the Cell/MAgg/Outer backend (benchmarks and A/B tests only;
-/// library tests pass an explicit backend to the skeletons instead).
-pub fn set_cell_backend(b: CellBackend) {
-    let v = match b {
-        CellBackend::Scalar => 0,
-        CellBackend::Block => 1,
-        CellBackend::BlockFast => 2,
-    };
-    BACKEND.store(v, Ordering::Relaxed);
+    /// BlockFast plus whole-program monomorphized kernels (default): tile
+    /// programs that classify into a [`super::mono`] shape template run as
+    /// static Rust loop instances over the SIMD primitive layer, bypassing
+    /// per-instruction dispatch entirely.
+    #[default]
+    Mono,
 }
 
 // ===========================================================================
@@ -339,7 +321,7 @@ pub enum OpRef<'a> {
 
 impl<'a> OpRef<'a> {
     #[inline(always)]
-    fn get(self, i: usize) -> f64 {
+    pub(crate) fn get(self, i: usize) -> f64 {
         match self {
             OpRef::S(s) => s[i],
             OpRef::C(c) => c,
@@ -474,6 +456,13 @@ impl BlockEval {
     pub fn opnd<'a>(&'a self, o: Opnd, ctx: &TileCtx<'a>, n: usize) -> OpRef<'a> {
         resolve(o, &self.tiles, self.width, n, ctx, &self.u)
     }
+
+    /// The current value of uniform register `i` (after the invariant and
+    /// row prologues). Monomorphized kernels read their scalar leaves here.
+    #[inline]
+    pub fn uniform(&self, i: u16) -> f64 {
+        self.u[i as usize]
+    }
 }
 
 #[inline(always)]
@@ -542,7 +531,11 @@ macro_rules! with_unop {
     };
 }
 
-fn un_loop(op: UnaryOp, a: OpRef<'_>, dst: &mut [f64]) {
+// The monomorphizer (`super::mono`) expands the same per-op dispatch tables
+// when instantiating its shape templates.
+pub(crate) use {with_binop, with_unop};
+
+pub(crate) fn un_loop(op: UnaryOp, a: OpRef<'_>, dst: &mut [f64]) {
     let n = dst.len();
     match a {
         OpRef::S(a) => {
@@ -560,7 +553,7 @@ fn un_loop(op: UnaryOp, a: OpRef<'_>, dst: &mut [f64]) {
     }
 }
 
-fn bin_loop(op: BinaryOp, a: OpRef<'_>, b: OpRef<'_>, dst: &mut [f64]) {
+pub(crate) fn bin_loop(op: BinaryOp, a: OpRef<'_>, b: OpRef<'_>, dst: &mut [f64]) {
     let n = dst.len();
     match (a, b) {
         (OpRef::S(a), OpRef::S(b)) => {
@@ -600,7 +593,7 @@ fn bin_loop(op: BinaryOp, a: OpRef<'_>, b: OpRef<'_>, dst: &mut [f64]) {
     }
 }
 
-fn ter_loop(op: TernaryOp, a: OpRef<'_>, b: OpRef<'_>, c: OpRef<'_>, dst: &mut [f64]) {
+pub(crate) fn ter_loop(op: TernaryOp, a: OpRef<'_>, b: OpRef<'_>, c: OpRef<'_>, dst: &mut [f64]) {
     // Ternaries are rare; the per-element operand resolution is a
     // predictable two-way branch.
     match op {
@@ -759,7 +752,8 @@ impl<'a> Factors<'a> {
         Some(f)
     }
 
-    /// `Σ_i k · Π_j s_j[i]` over `n` elements — the fused sum loop.
+    /// `Σ_i k · Π_j s_j[i]` over `n` elements — the fused sum loop, each
+    /// arity dispatched to the matching SIMD reduction.
     pub fn sum(&self, n: usize) -> f64 {
         let k = self.k;
         match self.len {
@@ -773,31 +767,14 @@ impl<'a> Factors<'a> {
                     k * d
                 }
             }
-            3 => {
-                let (a, b, c) = (&self.s[0][..n], &self.s[1][..n], &self.s[2][..n]);
-                let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
-                let chunks = n / 4;
-                for i in 0..chunks {
-                    let p = i * 4;
-                    a0 += a[p] * b[p] * c[p];
-                    a1 += a[p + 1] * b[p + 1] * c[p + 1];
-                    a2 += a[p + 2] * b[p + 2] * c[p + 2];
-                    a3 += a[p + 3] * b[p + 3] * c[p + 3];
-                }
-                let mut acc = a0 + a1 + a2 + a3;
-                for i in chunks * 4..n {
-                    acc += a[i] * b[i] * c[i];
-                }
-                k * acc
-            }
+            3 => k * simd::dot3_sum(&self.s[0][..n], &self.s[1][..n], &self.s[2][..n]),
             _ => {
-                let (a, b, c, d) =
-                    (&self.s[0][..n], &self.s[1][..n], &self.s[2][..n], &self.s[3][..n]);
-                let mut acc = 0.0;
-                for i in 0..n {
-                    acc += a[i] * b[i] * c[i] * d[i];
-                }
-                k * acc
+                k * simd::dot4_sum(
+                    &self.s[0][..n],
+                    &self.s[1][..n],
+                    &self.s[2][..n],
+                    &self.s[3][..n],
+                )
             }
         }
     }
@@ -814,11 +791,15 @@ impl<'a> Factors<'a> {
                     dst[i] = k * a[i];
                 }
             }
+            2 if k == 1.0 => simd::mul2_into(dst, &self.s[0][..n], &self.s[1][..n]),
             2 => {
                 let (a, b) = (&self.s[0][..n], &self.s[1][..n]);
                 for i in 0..n {
                     dst[i] = k * a[i] * b[i];
                 }
+            }
+            3 if k == 1.0 => {
+                simd::mul3_into(dst, &self.s[0][..n], &self.s[1][..n], &self.s[2][..n])
             }
             3 => {
                 let (a, b, c) = (&self.s[0][..n], &self.s[1][..n], &self.s[2][..n]);
@@ -849,6 +830,9 @@ pub struct BlockKernel {
     pub block: BlockProgram,
     /// Fast kernel per scalar register (indexed by `Reg`), where one exists.
     pub fast: Vec<Option<FastKernel>>,
+    /// Monomorphized whole-program kernel per scalar register, where the
+    /// body classifies into a [`super::mono`] shape template.
+    pub mono: Vec<Option<super::mono::MonoKernel>>,
 }
 
 impl BlockKernel {
@@ -857,19 +841,47 @@ impl BlockKernel {
     pub fn fast_for(&self, r: Reg) -> Option<&FastKernel> {
         self.fast.get(r as usize).and_then(|f| f.as_ref())
     }
+
+    /// The monomorphized kernel for a result register, if classified.
+    #[inline]
+    pub fn mono_for(&self, r: Reg) -> Option<&super::mono::MonoKernel> {
+        self.mono.get(r as usize).and_then(|m| m.as_ref())
+    }
+
+    /// The shape class a result register executes under (for stats and the
+    /// plan verifier's re-audit).
+    pub fn shape_class(&self, r: Reg) -> super::mono::ShapeClass {
+        if let Some(f) = self.fast_for(r) {
+            return match f {
+                FastKernel::ProductChain { .. } => super::mono::ShapeClass::ProductChain,
+            };
+        }
+        if let Some(m) = self.mono_for(r) {
+            return m.class();
+        }
+        super::mono::ShapeClass::Interpreted
+    }
 }
 
 /// Lowers and specializes a scalar program into a [`BlockKernel`].
 pub fn compile_kernel(prog: &Program) -> BlockKernel {
     let block = lower(prog);
-    let fast = (0..prog.n_regs)
+    let fast: Vec<Option<FastKernel>> = (0..prog.n_regs)
         .map(|r| match block.src_of(r) {
             // Only varying results benefit from a fused loop.
             ValSrc::Varying(_) => specialize(prog, &block, r),
             ValSrc::Uniform(_) => None,
         })
         .collect();
-    BlockKernel { block, fast }
+    let mono = (0..prog.n_regs)
+        .map(|r| match (block.src_of(r), &fast[r as usize]) {
+            // Product chains already run as fused closures; monomorphize
+            // everything else that classifies.
+            (ValSrc::Varying(_), None) => super::mono::classify(&block, r),
+            _ => None,
+        })
+        .collect();
+    BlockKernel { block, fast, mono }
 }
 
 /// Structural hash of a scalar program (block-kernel cache key).
@@ -930,6 +942,18 @@ pub enum RowFastKernel {
         scalar_tail: Vec<Instr>,
         /// Register holding the final multiplier (the output's `scalar`).
         scalar_src: Reg,
+    },
+    /// `acc += x_row ⊗ (x_rowᵀ·S)` — the `t(X) %*% (X %*% V)` PCA/DDC shape
+    /// (fig 8g): one `VecMatMult` of the main row against a side matrix,
+    /// consumed by an `OuterColAgg` with the main row on the left. Executes
+    /// as one sparse-aware side-row accumulation plus one outer axpy per
+    /// row, no per-instruction dispatch.
+    MatVecOuter {
+        /// Side-input index multiplied from the right.
+        side: usize,
+        /// Vector register receiving the mat-vec product (the output's
+        /// `right` operand).
+        t: VReg,
     },
 }
 
@@ -1064,6 +1088,27 @@ fn specialize_row(
     v_inv: &[bool],
     out: &RowOut,
 ) -> Option<RowFastKernel> {
+    if let RowOut::OuterColAgg { left, right } = *out {
+        // x_row ⊗ (x_rowᵀ·S): the body must be exactly the main-row load(s)
+        // plus one VecMatMult of the main row producing the right operand.
+        if !mains.contains(&left) || mains.contains(&right) {
+            return None;
+        }
+        let mut vmm: Option<usize> = None;
+        for ins in per_row {
+            match *ins {
+                Instr::LoadMainRow { .. } => {}
+                Instr::VecMatMult { out, a, side } if out == right && mains.contains(&a) => {
+                    if vmm.is_some() {
+                        return None;
+                    }
+                    vmm = Some(side);
+                }
+                _ => return None,
+            }
+        }
+        return Some(RowFastKernel::MatVecOuter { side: vmm?, t: right });
+    }
     let RowOut::ColAggMultAdd { vec, scalar } = *out else { return None };
     if !mains.contains(&vec) {
         return None;
@@ -1250,7 +1295,9 @@ mod tests {
 
     #[test]
     fn does_not_specialize_non_products() {
-        // r = log(uv + eps) * a — the fig8h shape: has Add + Log + UVDot.
+        // r = log(uv + eps) * a — the fig8h shape: has Add + Log + UVDot,
+        // so the product-chain closure bails; the monomorphizer picks the
+        // shape up instead (covered in `super::super::mono::tests`).
         let prog = Program {
             instrs: vec![
                 Instr::LoadMain { out: 0 },
@@ -1265,6 +1312,7 @@ mod tests {
         };
         let k = compile_kernel(&prog);
         assert!(k.fast_for(5).is_none());
+        assert!(k.mono_for(5).is_some());
     }
 
     #[test]
@@ -1289,14 +1337,11 @@ mod tests {
     }
 
     #[test]
-    fn tile_width_and_backend_globals() {
-        let w0 = tile_width();
-        set_tile_width(64);
-        assert_eq!(tile_width(), 64);
-        set_tile_width(1); // clamps
-        assert_eq!(tile_width(), 8);
-        set_tile_width(w0);
-        assert_eq!(cell_backend(), CellBackend::BlockFast);
+    fn tile_width_clamps_and_backend_defaults() {
+        assert_eq!(clamp_tile_width(1), 8);
+        assert_eq!(clamp_tile_width(64), 64);
+        assert_eq!(clamp_tile_width(1 << 20), 8192);
+        assert_eq!(CellBackend::default(), CellBackend::Mono);
     }
 
     use crate::spoof::{RowExecMode, RowOut, RowSpec};

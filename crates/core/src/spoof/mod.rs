@@ -17,6 +17,7 @@
 use fusedml_linalg::ops::{AggOp, BinaryOp, TernaryOp, UnaryOp};
 
 pub mod block;
+pub mod mono;
 
 /// Scalar register index.
 pub type Reg = u16;

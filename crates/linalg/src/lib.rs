@@ -41,6 +41,7 @@ pub mod par;
 pub mod pool;
 pub mod primitives;
 pub mod scoped;
+pub mod simd;
 pub mod sparse;
 pub mod spill;
 

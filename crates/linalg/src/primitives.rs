@@ -12,28 +12,11 @@
 //! checks; the hot kernels use 4-fold manual unrolling like the originals'
 //! 8-fold unrolling (sized for typical row lengths in the benchmarks).
 
-/// `sum(a[ai..ai+len] * b[bi..bi+len])`.
+/// `sum(a[ai..ai+len] * b[bi..bi+len])` — dispatches to the AVX2+FMA path
+/// when available (see [`crate::simd`]).
 #[inline]
 pub fn dot_product(a: &[f64], b: &[f64], ai: usize, bi: usize, len: usize) -> f64 {
-    let a = &a[ai..ai + len];
-    let b = &b[bi..bi + len];
-    let mut acc0 = 0.0;
-    let mut acc1 = 0.0;
-    let mut acc2 = 0.0;
-    let mut acc3 = 0.0;
-    let chunks = len / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        acc0 += a[base] * b[base];
-        acc1 += a[base + 1] * b[base + 1];
-        acc2 += a[base + 2] * b[base + 2];
-        acc3 += a[base + 3] * b[base + 3];
-    }
-    let mut acc = acc0 + acc1 + acc2 + acc3;
-    for i in chunks * 4..len {
-        acc += a[i] * b[i];
-    }
-    acc
+    crate::simd::dot(&a[ai..ai + len], &b[bi..bi + len])
 }
 
 /// Sparse dot product: `sum(avals * b[bi + aix])` over the non-zeros of `a`.
@@ -46,14 +29,10 @@ pub fn dot_product_sparse(avals: &[f64], aix: &[usize], b: &[f64], bi: usize) ->
     acc
 }
 
-/// `c[ci..ci+len] += a[ai..ai+len] * bval`.
+/// `c[ci..ci+len] += a[ai..ai+len] * bval` — SIMD axpy (see [`crate::simd`]).
 #[inline]
 pub fn vect_mult_add(a: &[f64], bval: f64, c: &mut [f64], ai: usize, ci: usize, len: usize) {
-    let a = &a[ai..ai + len];
-    let c = &mut c[ci..ci + len];
-    for i in 0..len {
-        c[i] += a[i] * bval;
-    }
+    crate::simd::axpy(&a[ai..ai + len], bval, &mut c[ci..ci + len]);
 }
 
 /// Sparse variant: `c[ci + aix[k]] += avals[k] * bval`.
@@ -123,38 +102,16 @@ pub fn vect_div_write(a: &[f64], b: &[f64], ai: usize, bi: usize, len: usize) ->
     out
 }
 
-/// `sum(a[ai..ai+len])` with 4-fold unrolling.
+/// `sum(a[ai..ai+len])` — SIMD horizontal reduction (see [`crate::simd`]).
 #[inline]
 pub fn vect_sum(a: &[f64], ai: usize, len: usize) -> f64 {
-    let a = &a[ai..ai + len];
-    let mut acc0 = 0.0;
-    let mut acc1 = 0.0;
-    let mut acc2 = 0.0;
-    let mut acc3 = 0.0;
-    let chunks = len / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        acc0 += a[base];
-        acc1 += a[base + 1];
-        acc2 += a[base + 2];
-        acc3 += a[base + 3];
-    }
-    let mut acc = acc0 + acc1 + acc2 + acc3;
-    for &v in &a[chunks * 4..] {
-        acc += v;
-    }
-    acc
+    crate::simd::sum(&a[ai..ai + len])
 }
 
-/// `sum(a^2)`.
+/// `sum(a^2)` — SIMD horizontal reduction (see [`crate::simd`]).
 #[inline]
 pub fn vect_sum_sq(a: &[f64], ai: usize, len: usize) -> f64 {
-    let a = &a[ai..ai + len];
-    let mut acc = 0.0;
-    for &v in a {
-        acc += v * v;
-    }
-    acc
+    crate::simd::sum_sq(&a[ai..ai + len])
 }
 
 /// `max(a)`.

@@ -1,0 +1,739 @@
+//! Explicit SIMD tile primitives for the fused block engine (DESIGN.md
+//! substitution X10).
+//!
+//! The default x86-64 target only assumes SSE2, so the portable primitives
+//! in [`crate::primitives`] autovectorize to 128-bit code at best. The
+//! kernels here carry explicit `std::arch` AVX2+FMA paths behind runtime
+//! feature detection: 256-bit lanes, fused multiply-add chains for the
+//! reduction accumulators, and masked tail loads instead of scalar
+//! remainder loops. Every kernel has a portable scalar twin and the public
+//! entry points dispatch per call, so non-AVX2 hosts (and the
+//! `FUSEDML_FORCE_SCALAR` CI leg) run identical semantics through the
+//! fallback.
+//!
+//! **Rounding policy** (pinned; see DESIGN.md §4 X10): elementwise *map*
+//! kernels (`mul2_into`, `mul3_into`, `gather_into`) perform exactly the
+//! operations of their scalar twins in the same order — no FMA contraction,
+//! bitwise-identical output on every backend. *Reductions* (`dot*`, `sum`,
+//! `sum_sq`, `axpy` accumulation order per element is preserved but lane
+//! association differs and FMA is permitted), so reduction results are
+//! backend-defined within ~1e-12 relative error; differential tests pin
+//! that bound against the scalar oracle. `min`/`max` folds are deliberately
+//! *not* implemented here: `_mm256_min_pd` does not match Rust's
+//! `f64::min` on NaN and ±0.0, and the portable fold in `primitives` is
+//! already cheap.
+//!
+//! Feature detection runs once (`std::arch::is_x86_feature_detected!`) and
+//! is cached; [`force_scalar`] flips a process-wide override so
+//! differential tests exercise the scalar twins in the same process, and
+//! the `FUSEDML_FORCE_SCALAR` environment variable does the same for whole
+//! test-suite runs (the CI scalar-fallback leg).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Instruction-set level the dispatchers select.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar twins (also the non-x86 and forced-fallback path).
+    Scalar,
+    /// 256-bit AVX2 + FMA kernels.
+    Avx2,
+}
+
+/// Cached detection state: 0 = undetected, 1 = scalar, 2 = avx2.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+/// Runtime override: 0 = off, 1 = force scalar (differential tests).
+static FORCE_SCALAR: AtomicU8 = AtomicU8::new(0);
+
+#[cold]
+fn detect() -> u8 {
+    let lvl = if std::env::var_os("FUSEDML_FORCE_SCALAR").is_some_and(|v| v != "0" && !v.is_empty())
+    {
+        1
+    } else {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                2
+            } else {
+                1
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            1
+        }
+    };
+    LEVEL.store(lvl, Ordering::Relaxed);
+    lvl
+}
+
+/// The SIMD level the dispatchers currently select (detection cached after
+/// the first call; [`force_scalar`] overrides it at any time).
+#[inline]
+pub fn level() -> SimdLevel {
+    if FORCE_SCALAR.load(Ordering::Relaxed) != 0 {
+        return SimdLevel::Scalar;
+    }
+    let l = LEVEL.load(Ordering::Relaxed);
+    let l = if l == 0 { detect() } else { l };
+    if l == 2 {
+        SimdLevel::Avx2
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+/// Forces every dispatcher onto the portable scalar twins (`true`) or
+/// restores runtime detection (`false`). Process-wide; used by the
+/// differential property tests to compare both paths in one process.
+pub fn force_scalar(on: bool) {
+    FORCE_SCALAR.store(u8::from(on), Ordering::Relaxed);
+}
+
+/// Whether the scalar override is currently active (env var or
+/// [`force_scalar`]).
+pub fn forced_scalar() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed) != 0 || level() == SimdLevel::Scalar
+}
+
+// ===========================================================================
+// Portable scalar twins
+// ===========================================================================
+// 4-fold unrolled like the seed primitives: one accumulator per lane of a
+// 256-bit register, so scalar and AVX2 paths share the same association
+// shape (4 partial sums combined at the end) and stay within the pinned
+// 1e-12 differential bound.
+
+fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f64; 4];
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let k = i * 4;
+        acc[0] += a[k] * b[k];
+        acc[1] += a[k + 1] * b[k + 1];
+        acc[2] += a[k + 2] * b[k + 2];
+        acc[3] += a[k + 3] * b[k + 3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in chunks * 4..n {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+fn dot3_scalar(a: &[f64], b: &[f64], c: &[f64]) -> f64 {
+    let n = a.len().min(b.len()).min(c.len());
+    let mut acc = [0.0f64; 4];
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let k = i * 4;
+        acc[0] += a[k] * b[k] * c[k];
+        acc[1] += a[k + 1] * b[k + 1] * c[k + 1];
+        acc[2] += a[k + 2] * b[k + 2] * c[k + 2];
+        acc[3] += a[k + 3] * b[k + 3] * c[k + 3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in chunks * 4..n {
+        s += a[i] * b[i] * c[i];
+    }
+    s
+}
+
+fn dot4_scalar(a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> f64 {
+    let n = a.len().min(b.len()).min(c.len()).min(d.len());
+    let mut acc = [0.0f64; 4];
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let k = i * 4;
+        acc[0] += a[k] * b[k] * c[k] * d[k];
+        acc[1] += a[k + 1] * b[k + 1] * c[k + 1] * d[k + 1];
+        acc[2] += a[k + 2] * b[k + 2] * c[k + 2] * d[k + 2];
+        acc[3] += a[k + 3] * b[k + 3] * c[k + 3] * d[k + 3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in chunks * 4..n {
+        s += a[i] * b[i] * c[i] * d[i];
+    }
+    s
+}
+
+fn sum_scalar(a: &[f64]) -> f64 {
+    let n = a.len();
+    let mut acc = [0.0f64; 4];
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let k = i * 4;
+        acc[0] += a[k];
+        acc[1] += a[k + 1];
+        acc[2] += a[k + 2];
+        acc[3] += a[k + 3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for &v in &a[chunks * 4..] {
+        s += v;
+    }
+    s
+}
+
+fn sum_sq_scalar(a: &[f64]) -> f64 {
+    let n = a.len();
+    let mut acc = [0.0f64; 4];
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let k = i * 4;
+        acc[0] += a[k] * a[k];
+        acc[1] += a[k + 1] * a[k + 1];
+        acc[2] += a[k + 2] * a[k + 2];
+        acc[3] += a[k + 3] * a[k + 3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for &v in &a[chunks * 4..] {
+        s += v * v;
+    }
+    s
+}
+
+fn axpy_scalar(a: &[f64], alpha: f64, c: &mut [f64]) {
+    let n = a.len().min(c.len());
+    for i in 0..n {
+        c[i] += a[i] * alpha;
+    }
+}
+
+fn mul2_scalar(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    for (i, d) in dst.iter_mut().enumerate() {
+        *d = a[i] * b[i];
+    }
+}
+
+fn mul3_scalar(dst: &mut [f64], a: &[f64], b: &[f64], c: &[f64]) {
+    for (i, d) in dst.iter_mut().enumerate() {
+        *d = a[i] * b[i] * c[i];
+    }
+}
+
+fn gather_scalar(dst: &mut [f64], src: &[f64], idx: &[usize]) {
+    for (d, &i) in dst.iter_mut().zip(idx.iter()) {
+        *d = src[i];
+    }
+}
+
+// ===========================================================================
+// AVX2 + FMA kernels
+// ===========================================================================
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Lane masks for ragged tails: entry `r` activates the first `r` lanes
+    /// of a 256-bit masked load (high bit of each 64-bit lane selects).
+    const TAIL_MASKS: [[i64; 4]; 4] =
+        [[0, 0, 0, 0], [-1, 0, 0, 0], [-1, -1, 0, 0], [-1, -1, -1, 0]];
+
+    /// Masked load of the `r`-element tail at `p` (`r < 4`): inactive lanes
+    /// read as +0.0, which is the identity for the add/mul-add reductions
+    /// these tails feed.
+    ///
+    /// # Safety
+    /// Caller guarantees `p` points at `r` readable `f64`s and the CPU
+    /// supports AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn tail_load(p: *const f64, r: usize) -> __m256d {
+        debug_assert!(r < 4);
+        // SAFETY: TAIL_MASKS[r] is 32 aligned-enough bytes (loadu); the
+        // masked load touches only the first `r` lanes of `p`, which the
+        // caller guarantees are readable.
+        unsafe {
+            let m = _mm256_loadu_si256(TAIL_MASKS[r].as_ptr().cast());
+            _mm256_maskload_pd(p, m)
+        }
+    }
+
+    #[inline]
+    fn hsum(v: __m256d) -> f64 {
+        // (lane0+lane2) + (lane1+lane3), matching the scalar twin's
+        // pairwise combination of its four accumulators.
+        let mut lanes = [0.0f64; 4];
+        // SAFETY: `lanes` is 4 f64s; storeu has no alignment requirement.
+        unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), v) };
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 and FMA.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let chunks = n / 4;
+        let r = n % 4;
+        let mut acc = _mm256_setzero_pd();
+        for i in 0..chunks {
+            // SAFETY: i*4 + 4 <= n bounds both loads.
+            unsafe {
+                let va = _mm256_loadu_pd(a.as_ptr().add(i * 4));
+                let vb = _mm256_loadu_pd(b.as_ptr().add(i * 4));
+                acc = _mm256_fmadd_pd(va, vb, acc);
+            }
+        }
+        if r != 0 {
+            // SAFETY: the masked tail reads exactly the last `r` elements.
+            unsafe {
+                let va = tail_load(a.as_ptr().add(chunks * 4), r);
+                let vb = tail_load(b.as_ptr().add(chunks * 4), r);
+                acc = _mm256_fmadd_pd(va, vb, acc);
+            }
+        }
+        hsum(acc)
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 and FMA.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot3(a: &[f64], b: &[f64], c: &[f64]) -> f64 {
+        let n = a.len().min(b.len()).min(c.len());
+        let chunks = n / 4;
+        let r = n % 4;
+        let mut acc = _mm256_setzero_pd();
+        for i in 0..chunks {
+            // SAFETY: i*4 + 4 <= n bounds all three loads.
+            unsafe {
+                let va = _mm256_loadu_pd(a.as_ptr().add(i * 4));
+                let vb = _mm256_loadu_pd(b.as_ptr().add(i * 4));
+                let vc = _mm256_loadu_pd(c.as_ptr().add(i * 4));
+                acc = _mm256_fmadd_pd(_mm256_mul_pd(va, vb), vc, acc);
+            }
+        }
+        if r != 0 {
+            // SAFETY: masked tails read exactly the last `r` elements.
+            unsafe {
+                let va = tail_load(a.as_ptr().add(chunks * 4), r);
+                let vb = tail_load(b.as_ptr().add(chunks * 4), r);
+                let vc = tail_load(c.as_ptr().add(chunks * 4), r);
+                acc = _mm256_fmadd_pd(_mm256_mul_pd(va, vb), vc, acc);
+            }
+        }
+        hsum(acc)
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 and FMA.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot4(a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> f64 {
+        let n = a.len().min(b.len()).min(c.len()).min(d.len());
+        let chunks = n / 4;
+        let r = n % 4;
+        let mut acc = _mm256_setzero_pd();
+        for i in 0..chunks {
+            // SAFETY: i*4 + 4 <= n bounds all four loads.
+            unsafe {
+                let va = _mm256_loadu_pd(a.as_ptr().add(i * 4));
+                let vb = _mm256_loadu_pd(b.as_ptr().add(i * 4));
+                let vc = _mm256_loadu_pd(c.as_ptr().add(i * 4));
+                let vd = _mm256_loadu_pd(d.as_ptr().add(i * 4));
+                acc = _mm256_fmadd_pd(_mm256_mul_pd(_mm256_mul_pd(va, vb), vc), vd, acc);
+            }
+        }
+        if r != 0 {
+            // SAFETY: masked tails read exactly the last `r` elements.
+            unsafe {
+                let va = tail_load(a.as_ptr().add(chunks * 4), r);
+                let vb = tail_load(b.as_ptr().add(chunks * 4), r);
+                let vc = tail_load(c.as_ptr().add(chunks * 4), r);
+                let vd = tail_load(d.as_ptr().add(chunks * 4), r);
+                acc = _mm256_fmadd_pd(_mm256_mul_pd(_mm256_mul_pd(va, vb), vc), vd, acc);
+            }
+        }
+        hsum(acc)
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 and FMA.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sum(a: &[f64]) -> f64 {
+        let n = a.len();
+        let chunks = n / 4;
+        let r = n % 4;
+        let mut acc = _mm256_setzero_pd();
+        for i in 0..chunks {
+            // SAFETY: i*4 + 4 <= n bounds the load.
+            unsafe { acc = _mm256_add_pd(acc, _mm256_loadu_pd(a.as_ptr().add(i * 4))) };
+        }
+        if r != 0 {
+            // SAFETY: masked tail reads exactly the last `r` elements.
+            unsafe { acc = _mm256_add_pd(acc, tail_load(a.as_ptr().add(chunks * 4), r)) };
+        }
+        hsum(acc)
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 and FMA.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sum_sq(a: &[f64]) -> f64 {
+        let n = a.len();
+        let chunks = n / 4;
+        let r = n % 4;
+        let mut acc = _mm256_setzero_pd();
+        for i in 0..chunks {
+            // SAFETY: i*4 + 4 <= n bounds the load.
+            unsafe {
+                let v = _mm256_loadu_pd(a.as_ptr().add(i * 4));
+                acc = _mm256_fmadd_pd(v, v, acc);
+            }
+        }
+        if r != 0 {
+            // SAFETY: masked tail reads exactly the last `r` elements.
+            unsafe {
+                let v = tail_load(a.as_ptr().add(chunks * 4), r);
+                acc = _mm256_fmadd_pd(v, v, acc);
+            }
+        }
+        hsum(acc)
+    }
+
+    /// `c += alpha * a`. The vector body uses FMA; the stored values match
+    /// the scalar twin within one rounding (reduction-class kernel: `c` is
+    /// an accumulator, not a map output).
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 and FMA.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy(a: &[f64], alpha: f64, c: &mut [f64]) {
+        let n = a.len().min(c.len());
+        let chunks = n / 4;
+        let va = _mm256_set1_pd(alpha);
+        for i in 0..chunks {
+            // SAFETY: i*4 + 4 <= n bounds the loads and the store.
+            unsafe {
+                let x = _mm256_loadu_pd(a.as_ptr().add(i * 4));
+                let y = _mm256_loadu_pd(c.as_ptr().add(i * 4));
+                _mm256_storeu_pd(c.as_mut_ptr().add(i * 4), _mm256_fmadd_pd(x, va, y));
+            }
+        }
+        for i in chunks * 4..n {
+            c[i] = a[i].mul_add(alpha, c[i]);
+        }
+    }
+
+    /// Elementwise `dst = a * b` — map-class kernel: plain multiply, no
+    /// contraction, bitwise equal to the scalar twin.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul2_into(dst: &mut [f64], a: &[f64], b: &[f64]) {
+        let n = dst.len();
+        debug_assert!(a.len() >= n && b.len() >= n);
+        let chunks = n / 4;
+        for i in 0..chunks {
+            // SAFETY: i*4 + 4 <= n ≤ len of every slice.
+            unsafe {
+                let va = _mm256_loadu_pd(a.as_ptr().add(i * 4));
+                let vb = _mm256_loadu_pd(b.as_ptr().add(i * 4));
+                _mm256_storeu_pd(dst.as_mut_ptr().add(i * 4), _mm256_mul_pd(va, vb));
+            }
+        }
+        for i in chunks * 4..n {
+            dst[i] = a[i] * b[i];
+        }
+    }
+
+    /// Elementwise `dst = a * b * c` — map-class kernel (no contraction).
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul3_into(dst: &mut [f64], a: &[f64], b: &[f64], c: &[f64]) {
+        let n = dst.len();
+        debug_assert!(a.len() >= n && b.len() >= n && c.len() >= n);
+        let chunks = n / 4;
+        for i in 0..chunks {
+            // SAFETY: i*4 + 4 <= n ≤ len of every slice.
+            unsafe {
+                let va = _mm256_loadu_pd(a.as_ptr().add(i * 4));
+                let vb = _mm256_loadu_pd(b.as_ptr().add(i * 4));
+                let vc = _mm256_loadu_pd(c.as_ptr().add(i * 4));
+                _mm256_storeu_pd(
+                    dst.as_mut_ptr().add(i * 4),
+                    _mm256_mul_pd(_mm256_mul_pd(va, vb), vc),
+                );
+            }
+        }
+        for i in chunks * 4..n {
+            dst[i] = a[i] * b[i] * c[i];
+        }
+    }
+
+    /// CSR-band gather: `dst[k] = src[idx[k]]` via `vgatherqpd`.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 and every `idx[k] <
+    /// src.len()` (checked by the dispatcher's debug assertion and by the
+    /// lowering invariants of gather operands).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_into(dst: &mut [f64], src: &[f64], idx: &[usize]) {
+        let n = dst.len().min(idx.len());
+        let chunks = n / 4;
+        for i in 0..chunks {
+            // SAFETY: idx holds usize == u64 on x86-64; loadu reads 4 of
+            // them, and every index is in bounds for `src` per the caller
+            // contract, so the gather touches only valid elements.
+            unsafe {
+                let vi = _mm256_loadu_si256(idx.as_ptr().add(i * 4).cast());
+                let v = _mm256_i64gather_pd::<8>(src.as_ptr(), vi);
+                _mm256_storeu_pd(dst.as_mut_ptr().add(i * 4), v);
+            }
+        }
+        for k in chunks * 4..n {
+            dst[k] = src[idx[k]];
+        }
+    }
+}
+
+// ===========================================================================
+// Dispatchers
+// ===========================================================================
+
+/// `Σ a[i]·b[i]` (reduction class: lane association backend-defined).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        // SAFETY: level() == Avx2 implies runtime AVX2+FMA support.
+        return unsafe { avx2::dot(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+/// `Σ a[i]·b[i]·c[i]` — the 3-factor product-chain sum (fig 8a).
+#[inline]
+pub fn dot3_sum(a: &[f64], b: &[f64], c: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        // SAFETY: level() == Avx2 implies runtime AVX2+FMA support.
+        return unsafe { avx2::dot3(a, b, c) };
+    }
+    dot3_scalar(a, b, c)
+}
+
+/// `Σ a[i]·b[i]·c[i]·d[i]` — the 4-factor product-chain sum.
+#[inline]
+pub fn dot4_sum(a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        // SAFETY: level() == Avx2 implies runtime AVX2+FMA support.
+        return unsafe { avx2::dot4(a, b, c, d) };
+    }
+    dot4_scalar(a, b, c, d)
+}
+
+/// `Σ a[i]` (reduction class).
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        // SAFETY: level() == Avx2 implies runtime AVX2+FMA support.
+        return unsafe { avx2::sum(a) };
+    }
+    sum_scalar(a)
+}
+
+/// `Σ a[i]²` (reduction class).
+#[inline]
+pub fn sum_sq(a: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        // SAFETY: level() == Avx2 implies runtime AVX2+FMA support.
+        return unsafe { avx2::sum_sq(a) };
+    }
+    sum_sq_scalar(a)
+}
+
+/// `c[i] += alpha·a[i]` over `min(a.len, c.len)` (reduction class: `c`
+/// accumulates).
+#[inline]
+pub fn axpy(a: &[f64], alpha: f64, c: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        // SAFETY: level() == Avx2 implies runtime AVX2+FMA support.
+        unsafe { avx2::axpy(a, alpha, c) };
+        return;
+    }
+    axpy_scalar(a, alpha, c)
+}
+
+/// `dst[i] = a[i]·b[i]` over `dst.len()` (map class: bitwise identical on
+/// every backend). `a` and `b` must be at least as long as `dst`.
+#[inline]
+pub fn mul2_into(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    assert!(a.len() >= dst.len() && b.len() >= dst.len());
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        // SAFETY: level() == Avx2 implies runtime AVX2 support; lengths
+        // checked above.
+        unsafe { avx2::mul2_into(dst, a, b) };
+        return;
+    }
+    mul2_scalar(dst, a, b)
+}
+
+/// `dst[i] = a[i]·b[i]·c[i]` over `dst.len()` (map class).
+#[inline]
+pub fn mul3_into(dst: &mut [f64], a: &[f64], b: &[f64], c: &[f64]) {
+    assert!(a.len() >= dst.len() && b.len() >= dst.len() && c.len() >= dst.len());
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        // SAFETY: level() == Avx2 implies runtime AVX2 support; lengths
+        // checked above.
+        unsafe { avx2::mul3_into(dst, a, b, c) };
+        return;
+    }
+    mul3_scalar(dst, a, b, c)
+}
+
+/// Sparse gather over a CSR band: `dst[k] = src[idx[k]]` for
+/// `min(dst.len, idx.len)` elements (map class).
+#[inline]
+pub fn gather_into(dst: &mut [f64], src: &[f64], idx: &[usize]) {
+    let n = dst.len().min(idx.len());
+    debug_assert!(idx[..n].iter().all(|&i| i < src.len()));
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        assert!(idx[..n].iter().all(|&i| i < src.len()), "gather index out of bounds");
+        // SAFETY: level() == Avx2 implies runtime AVX2 support; every index
+        // was just checked in bounds for `src`.
+        unsafe { avx2::gather_into(dst, src, idx) };
+        return;
+    }
+    gather_scalar(dst, src, idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    fn data(n: usize, seed: u64) -> Vec<f64> {
+        // Deterministic pseudo-random values in [-1, 1].
+        (0..n)
+            .map(|i| {
+                let x =
+                    (seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64 * 2654435761))
+                        >> 11;
+                (x % 20001) as f64 / 10000.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Every ragged length 0..40 (covers n % 4 ∈ {0..3} many times over)
+    /// through both dispatch paths.
+    #[test]
+    fn reductions_match_naive_across_ragged_lengths() {
+        for force in [false, true] {
+            force_scalar(force);
+            for n in 0..40usize {
+                let a = data(n, 1);
+                let b = data(n, 2);
+                let c = data(n, 3);
+                let d = data(n, 4);
+                assert!(close(dot(&a, &b), naive_dot(&a, &b)), "dot n={n} force={force}");
+                let e3: f64 = (0..n).map(|i| a[i] * b[i] * c[i]).sum();
+                assert!(close(dot3_sum(&a, &b, &c), e3), "dot3 n={n} force={force}");
+                let e4: f64 = (0..n).map(|i| a[i] * b[i] * c[i] * d[i]).sum();
+                assert!(close(dot4_sum(&a, &b, &c, &d), e4), "dot4 n={n} force={force}");
+                assert!(close(sum(&a), a.iter().sum()), "sum n={n} force={force}");
+                let esq: f64 = a.iter().map(|v| v * v).sum();
+                assert!(close(sum_sq(&a), esq), "sum_sq n={n} force={force}");
+            }
+        }
+        force_scalar(false);
+    }
+
+    #[test]
+    fn axpy_matches_scalar_within_rounding() {
+        for force in [false, true] {
+            force_scalar(force);
+            for n in [0usize, 1, 3, 4, 7, 33] {
+                let a = data(n, 5);
+                let mut c = data(n, 6);
+                let mut expect = c.clone();
+                for i in 0..n {
+                    expect[i] = a[i].mul_add(0.75, expect[i]);
+                }
+                axpy(&a, 0.75, &mut c);
+                for i in 0..n {
+                    assert!(close(c[i], expect[i]), "axpy n={n} i={i} force={force}");
+                }
+            }
+        }
+        force_scalar(false);
+    }
+
+    /// Map-class kernels are pinned *bitwise* across both dispatch paths.
+    #[test]
+    fn map_kernels_bitwise_identical_across_paths() {
+        for n in [0usize, 1, 5, 8, 13, 31] {
+            let a = data(n, 7);
+            let b = data(n, 8);
+            let c = data(n, 9);
+            let mut d1 = vec![0.0; n];
+            let mut d2 = vec![0.0; n];
+            force_scalar(false);
+            mul2_into(&mut d1, &a, &b);
+            force_scalar(true);
+            mul2_into(&mut d2, &a, &b);
+            assert_eq!(d1, d2, "mul2 n={n}");
+            force_scalar(false);
+            mul3_into(&mut d1, &a, &b, &c);
+            force_scalar(true);
+            mul3_into(&mut d2, &a, &b, &c);
+            assert_eq!(d1, d2, "mul3 n={n}");
+        }
+        force_scalar(false);
+    }
+
+    #[test]
+    fn gather_matches_indexing() {
+        let src = data(50, 10);
+        let idx: Vec<usize> = vec![0, 7, 49, 3, 3, 21, 48, 9, 11];
+        for force in [false, true] {
+            force_scalar(force);
+            let mut dst = vec![0.0; idx.len()];
+            gather_into(&mut dst, &src, &idx);
+            for (k, &i) in idx.iter().enumerate() {
+                assert_eq!(dst[k], src[i], "force={force}");
+            }
+        }
+        force_scalar(false);
+    }
+
+    /// NaN and signed zeros flow through unchanged: map kernels propagate
+    /// them bitwise; reductions poison the sum like the scalar twin.
+    #[test]
+    fn nan_and_signed_zero_semantics() {
+        let a = [1.0, f64::NAN, -0.0, 0.0, 2.0];
+        let b = [2.0, 1.0, 5.0, -3.0, 0.5];
+        for force in [false, true] {
+            force_scalar(force);
+            let mut d = [0.0; 5];
+            mul2_into(&mut d, &a, &b);
+            assert!(d[1].is_nan());
+            assert!(d[2] == 0.0 && d[2].is_sign_negative());
+            assert!(dot(&a, &b).is_nan());
+            assert!(sum(&a).is_nan());
+        }
+        force_scalar(false);
+    }
+}

@@ -54,6 +54,7 @@ use fusedml_core::codegen::CodegenOptions;
 use fusedml_core::opt::{CostModel, EnumConfig};
 use fusedml_core::optimizer::{dag_structural_hash, FusionPlan, Optimizer};
 use fusedml_core::plancache::{KernelCaches, PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
+use fusedml_core::spoof::block::CellBackend;
 use fusedml_core::util::FifoMap;
 use fusedml_core::FusionMode;
 use fusedml_hop::interp::{self, Bindings};
@@ -92,6 +93,8 @@ pub struct EngineBuilder {
     prefetch_depth: usize,
     faults: Option<Arc<FaultPlan>>,
     verify_plans: bool,
+    tile_width: usize,
+    cell_backend: CellBackend,
 }
 
 impl EngineBuilder {
@@ -113,6 +116,8 @@ impl EngineBuilder {
             prefetch_depth: schedule::DEFAULT_PREFETCH_DEPTH,
             faults: None,
             verify_plans: cfg!(debug_assertions),
+            tile_width: fusedml_core::spoof::block::DEFAULT_TILE_WIDTH,
+            cell_backend: CellBackend::default(),
         }
     }
 
@@ -198,6 +203,22 @@ impl EngineBuilder {
         self
     }
 
+    /// Tile width of the block-vectorized cell backends (clamped to
+    /// 8..=8192). Per-engine configuration — formerly a process global.
+    pub fn tile_width(mut self, w: usize) -> Self {
+        self.tile_width = fusedml_core::spoof::block::clamp_tile_width(w);
+        self
+    }
+
+    /// Selects the cell-program execution backend for this engine's fused
+    /// operators: `Scalar` (interpreter oracle), `Block` (generic tiles),
+    /// `BlockFast` (closure-specialized product chains), or `Mono` (default:
+    /// closure specialization plus whole-program monomorphized kernels).
+    pub fn cell_backend(mut self, b: CellBackend) -> Self {
+        self.cell_backend = b;
+        self
+    }
+
     /// Overrides the optimizer's cost model.
     pub fn cost_model(mut self, model: CostModel) -> Self {
         self.model = Some(model);
@@ -219,7 +240,8 @@ impl EngineBuilder {
     /// Builds the engine: allocates its buffer pool, kernel caches, plan
     /// cache, optimizer, and statistics.
     pub fn build(self) -> Engine {
-        let kernels = KernelCaches::with_capacity(self.plan_cache_capacity);
+        let kernels =
+            KernelCaches::with_config(self.plan_cache_capacity, self.tile_width, self.cell_backend);
         let plan_cache =
             Arc::new(PlanCache::with_kernels(Arc::clone(&kernels), self.plan_cache_capacity));
         let mut optimizer = Optimizer::with_plan_cache(self.mode, plan_cache);

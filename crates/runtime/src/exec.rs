@@ -32,6 +32,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub struct ExecStats {
     /// Generated fused operators executed.
     pub(crate) fused_ops: AtomicUsize,
+    /// Fused operators whose inner loops ran as a specialized static kernel
+    /// (closure-specialized fast kernel or monomorphized shape kernel).
+    pub(crate) mono_ops: AtomicUsize,
+    /// Fused operators that fell back to the generic tile/band interpreter.
+    pub(crate) interp_fused_ops: AtomicUsize,
     /// Hand-coded fused operators executed.
     pub(crate) handcoded_ops: AtomicUsize,
     /// Basic operators executed.
@@ -154,6 +159,34 @@ impl ExecStats {
         )
     }
 
+    /// `(mono, interpreted)` fused-operator counts: how many fused operators
+    /// executed under a specialized static kernel versus the generic tile
+    /// interpreter. `mono + interpreted == fused` from [`Self::snapshot`].
+    pub fn mono_snapshot(&self) -> (usize, usize) {
+        (self.mono_ops.load(Ordering::Relaxed), self.interp_fused_ops.load(Ordering::Relaxed))
+    }
+
+    /// Fraction of fused operators that executed under a specialized static
+    /// kernel (0.0 when no fused operator has run).
+    pub fn mono_hit_rate(&self) -> f64 {
+        let (mono, interp) = self.mono_snapshot();
+        let total = mono + interp;
+        if total == 0 {
+            0.0
+        } else {
+            mono as f64 / total as f64
+        }
+    }
+
+    /// Records one fused-operator execution under the given shape class.
+    pub(crate) fn record_fused_class(&self, class: fusedml_core::spoof::mono::ShapeClass) {
+        if class.is_specialized() {
+            self.mono_ops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.interp_fused_ops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Scheduler-event counters (see [`SchedSnapshot`]).
     pub fn scheduler_snapshot(&self) -> SchedSnapshot {
         SchedSnapshot {
@@ -210,6 +243,8 @@ impl ExecStats {
 
     pub fn reset(&self) {
         self.fused_ops.store(0, Ordering::Relaxed);
+        self.mono_ops.store(0, Ordering::Relaxed);
+        self.interp_fused_ops.store(0, Ordering::Relaxed);
         self.handcoded_ops.store(0, Ordering::Relaxed);
         self.basic_ops.store(0, Ordering::Relaxed);
         self.sched_parallel_ops.store(0, Ordering::Relaxed);
@@ -280,7 +315,7 @@ fn materialize(
         for &s in &f.cplan.scalars {
             materialize(dag, plan, op_roots, bindings, stats, vals, s);
         }
-        let outs = run_operator(f, vals);
+        let outs = run_operator(f, vals, stats);
         stats.fused_ops.fetch_add(1, Ordering::Relaxed);
         for (slot, &r) in f.roots.iter().enumerate() {
             let m = &outs[slot];
@@ -306,7 +341,11 @@ fn materialize(
 }
 
 /// Runs one fused operator with bound inputs.
-fn run_operator(f: &FusedOperator, vals: &[Option<Value>]) -> Vec<fusedml_linalg::Matrix> {
+fn run_operator(
+    f: &FusedOperator,
+    vals: &[Option<Value>],
+    stats: &ExecStats,
+) -> Vec<fusedml_linalg::Matrix> {
     let get_matrix = |h: HopId| -> fusedml_linalg::Matrix {
         vals[h.index()].as_ref().expect("operator input computed").as_matrix()
     };
@@ -319,6 +358,8 @@ fn run_operator(f: &FusedOperator, vals: &[Option<Value>]) -> Vec<fusedml_linalg
         .iter()
         .map(|&h| vals[h.index()].as_ref().expect("scalar computed").as_scalar())
         .collect();
+    let side_dims: Vec<(usize, usize)> = sides.iter().map(|s| (s.rows(), s.cols())).collect();
+    stats.record_fused_class(spoof::kernel_class(&f.op.spec, &side_dims));
     spoof::execute(
         &f.op.spec,
         main_val.as_ref(),

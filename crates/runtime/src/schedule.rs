@@ -1170,6 +1170,9 @@ fn run_task(
             let sides: Vec<SideInput> = side_mats.iter().map(SideInput::bind).collect();
             let scalars: Vec<f64> =
                 ins[n_main + n_sides..].iter().map(|s| s.val.as_scalar()).collect();
+            let side_dims: Vec<(usize, usize)> =
+                sides.iter().map(|s| (s.rows(), s.cols())).collect();
+            stats.record_fused_class(spoof::kernel_class(&f.op.spec, &side_dims));
             let outs = spoof::execute(
                 &f.op.spec,
                 main_val.as_ref(),

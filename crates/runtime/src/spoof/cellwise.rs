@@ -13,13 +13,15 @@
 use crate::side::SideInput;
 use crate::spoof::tiles::{self, MainReader, TileRunner};
 use fusedml_core::spoof::block::{
-    self, fold_result, write_result, BlockProgram, CellBackend, FastKernel, OpRef, TileSrc,
+    fold_result, write_result, BlockProgram, CellBackend, FastKernel, OpRef, TileSrc,
 };
+use fusedml_core::spoof::mono::MonoKernel;
 use fusedml_core::spoof::{eval_scalar_program, CellAgg, CellSpec, Reg, SideAccess};
 use fusedml_linalg::ops::AggOp;
 use fusedml_linalg::{par, pool, DenseMatrix, Matrix, SparseMatrix};
 
-/// Executes a Cell operator under the globally selected backend.
+/// Executes a Cell operator under the owning engine's configured backend
+/// (the innermost kernel scope; see the private `super::kernels` helper).
 pub fn execute(
     spec: &CellSpec,
     main: Option<&Matrix>,
@@ -28,7 +30,7 @@ pub fn execute(
     iter_rows: usize,
     iter_cols: usize,
 ) -> Matrix {
-    execute_with(spec, main, sides, scalars, iter_rows, iter_cols, block::cell_backend())
+    execute_with(spec, main, sides, scalars, iter_rows, iter_cols, super::kernels().backend)
 }
 
 /// Executes a Cell operator under an explicit backend (differential tests
@@ -43,16 +45,17 @@ pub fn execute_with(
     backend: CellBackend,
 ) -> Matrix {
     if backend != CellBackend::Scalar {
-        let kernel = super::kernels().block.get_or_lower(&spec.prog);
+        let caches = super::kernels();
+        let kernel = caches.block.get_or_lower(&spec.prog);
         if tiles::supported(&kernel) {
-            let fast_ok = backend == CellBackend::BlockFast;
+            let sel = Select::new(backend, caches.tile_width);
             return match (main, spec.sparse_safe) {
                 (Some(Matrix::Sparse(s)), true) => {
-                    block_sparse_exec(spec, &kernel, fast_ok, s, sides, scalars)
+                    block_sparse_exec(spec, &kernel, sel, s, sides, scalars)
                 }
-                (m, _) => block_dense_exec(
-                    spec, &kernel, fast_ok, m, sides, scalars, iter_rows, iter_cols,
-                ),
+                (m, _) => {
+                    block_dense_exec(spec, &kernel, sel, m, sides, scalars, iter_rows, iter_cols)
+                }
             };
         }
     }
@@ -76,12 +79,58 @@ fn finalize(op: AggOp, acc: f64, count: usize) -> f64 {
 // Block backend
 // ===========================================================================
 
-/// Shared per-tile fold logic: fast product chain where available, generic
-/// body evaluation otherwise.
+/// Per-engine backend selection the block paths thread through: which
+/// specializations may run and the configured tile width.
+#[derive(Clone, Copy)]
+struct Select {
+    fast_ok: bool,
+    mono_ok: bool,
+    width: usize,
+}
+
+impl Select {
+    fn new(backend: CellBackend, width: usize) -> Select {
+        Select {
+            fast_ok: matches!(backend, CellBackend::BlockFast | CellBackend::Mono),
+            mono_ok: backend == CellBackend::Mono,
+            width,
+        }
+    }
+
+    /// The closure-specialized fast kernel for `r`, if enabled + available.
+    fn fast<'k>(
+        &self,
+        kernel: &'k fusedml_core::spoof::block::BlockKernel,
+        r: Reg,
+    ) -> Option<&'k FastKernel> {
+        if self.fast_ok {
+            kernel.fast_for(r)
+        } else {
+            None
+        }
+    }
+
+    /// The monomorphized kernel for `r`, if enabled + available.
+    fn mono<'k>(
+        &self,
+        kernel: &'k fusedml_core::spoof::block::BlockKernel,
+        r: Reg,
+    ) -> Option<&'k MonoKernel> {
+        if self.mono_ok {
+            kernel.mono_for(r)
+        } else {
+            None
+        }
+    }
+}
+
+/// Shared per-tile fold logic: fast product chain where available, then the
+/// monomorphized whole-program kernel, generic body evaluation otherwise.
 struct CellFold<'k> {
     bp: &'k BlockProgram,
     result: Reg,
     fast: Option<&'k FastKernel>,
+    mono: Option<&'k MonoKernel>,
     op: AggOp,
 }
 
@@ -98,17 +147,20 @@ impl<'k> CellFold<'k> {
         ptile: &mut [f64],
     ) -> f64 {
         let zero = TileSrc::Const(0.0);
-        match self.fast {
-            Some(fk) if matches!(self.op, AggOp::Sum | AggOp::Mean) => {
+        match (self.fast, self.mono) {
+            (Some(fk), _) if matches!(self.op, AggOp::Sum | AggOp::Mean) => {
                 tr.dense_tile(m, zero, r, c0, n, false, |ev, ctx, n| {
                     acc + tiles::factors(ev, fk, ctx, n).sum(n)
                 })
             }
-            Some(fk) => tr.dense_tile(m, zero, r, c0, n, false, |ev, ctx, n| {
+            (Some(fk), _) => tr.dense_tile(m, zero, r, c0, n, false, |ev, ctx, n| {
                 tiles::factors(ev, fk, ctx, n).product_into(&mut ptile[..n]);
                 fold_result(self.op, acc, OpRef::S(&ptile[..n]), n)
             }),
-            None => tr.dense_tile(m, zero, r, c0, n, true, |ev, ctx, n| {
+            (None, Some(mk)) => tr.dense_tile(m, zero, r, c0, n, false, |ev, ctx, n| {
+                mk.fold(self.op, acc, ev, ctx, n)
+            }),
+            (None, None) => tr.dense_tile(m, zero, r, c0, n, true, |ev, ctx, n| {
                 fold_result(self.op, acc, ev.value_of(self.bp, self.result, ctx, n), n)
             }),
         }
@@ -124,17 +176,20 @@ impl<'k> CellFold<'k> {
         ptile: &mut [f64],
     ) -> f64 {
         let (m, zero) = (TileSrc::Slice(vals), TileSrc::Const(0.0));
-        match self.fast {
-            Some(fk) if matches!(self.op, AggOp::Sum | AggOp::Mean) => {
+        match (self.fast, self.mono) {
+            (Some(fk), _) if matches!(self.op, AggOp::Sum | AggOp::Mean) => {
                 tr.sparse_tile(m, zero, r, cols, false, |ev, ctx, n| {
                     acc + tiles::factors(ev, fk, ctx, n).sum(n)
                 })
             }
-            Some(fk) => tr.sparse_tile(m, zero, r, cols, false, |ev, ctx, n| {
+            (Some(fk), _) => tr.sparse_tile(m, zero, r, cols, false, |ev, ctx, n| {
                 tiles::factors(ev, fk, ctx, n).product_into(&mut ptile[..n]);
                 fold_result(self.op, acc, OpRef::S(&ptile[..n]), n)
             }),
-            None => tr.sparse_tile(m, zero, r, cols, true, |ev, ctx, n| {
+            (None, Some(mk)) => tr.sparse_tile(m, zero, r, cols, false, |ev, ctx, n| {
+                mk.fold(self.op, acc, ev, ctx, n)
+            }),
+            (None, None) => tr.sparse_tile(m, zero, r, cols, true, |ev, ctx, n| {
                 fold_result(self.op, acc, ev.value_of(self.bp, self.result, ctx, n), n)
             }),
         }
@@ -148,31 +203,42 @@ fn eval_tile_into(
     bp: &BlockProgram,
     result: Reg,
     fast: Option<&FastKernel>,
+    mono: Option<&MonoKernel>,
     m: TileSrc<'_>,
     r: usize,
     pos: TilePos<'_>,
     dst: &mut [f64],
 ) {
     let zero = TileSrc::Const(0.0);
-    match (fast, pos) {
-        (Some(fk), TilePos::Dense(c0)) => {
+    match (fast, mono, pos) {
+        (Some(fk), _, TilePos::Dense(c0)) => {
             tr.dense_tile(m, zero, r, c0, dst.len(), false, |ev, ctx, n| {
                 tiles::factors(ev, fk, ctx, n).product_into(dst)
             })
         }
-        (None, TilePos::Dense(c0)) => {
+        (None, Some(mk), TilePos::Dense(c0)) => {
+            tr.dense_tile(m, zero, r, c0, dst.len(), false, |ev, ctx, n| {
+                mk.map_into(ev, ctx, n, dst)
+            })
+        }
+        (None, None, TilePos::Dense(c0)) => {
             tr.dense_tile(m, zero, r, c0, dst.len(), true, |ev, ctx, n| {
                 write_result(ev.value_of(bp, result, ctx, n), dst)
             })
         }
-        (Some(fk), TilePos::Sparse(cols)) => {
+        (Some(fk), _, TilePos::Sparse(cols)) => {
             tr.sparse_tile(m, zero, r, cols, false, |ev, ctx, n| {
                 tiles::factors(ev, fk, ctx, n).product_into(dst)
             })
         }
-        (None, TilePos::Sparse(cols)) => tr.sparse_tile(m, zero, r, cols, true, |ev, ctx, n| {
-            write_result(ev.value_of(bp, result, ctx, n), dst)
-        }),
+        (None, Some(mk), TilePos::Sparse(cols)) => {
+            tr.sparse_tile(m, zero, r, cols, false, |ev, ctx, n| mk.map_into(ev, ctx, n, dst))
+        }
+        (None, None, TilePos::Sparse(cols)) => {
+            tr.sparse_tile(m, zero, r, cols, true, |ev, ctx, n| {
+                write_result(ev.value_of(bp, result, ctx, n), dst)
+            })
+        }
     }
 }
 
@@ -187,15 +253,16 @@ enum TilePos<'a> {
 fn block_dense_exec(
     spec: &CellSpec,
     kernel: &fusedml_core::spoof::block::BlockKernel,
-    fast_ok: bool,
+    sel: Select,
     main: Option<&Matrix>,
     sides: &[SideInput],
     scalars: &[f64],
     rows: usize,
     cols: usize,
 ) -> Matrix {
-    let width = block::tile_width();
-    let fast = if fast_ok { kernel.fast_for(spec.result) } else { None };
+    let width = sel.width;
+    let fast = sel.fast(kernel, spec.result);
+    let mono = sel.mono(kernel, spec.result);
     let bp = &kernel.block;
     match spec.agg {
         CellAgg::NoAgg => {
@@ -217,6 +284,7 @@ fn block_dense_exec(
                             bp,
                             spec.result,
                             fast,
+                            mono,
                             m,
                             r,
                             TilePos::Dense(c0),
@@ -229,7 +297,7 @@ fn block_dense_exec(
             Matrix::dense(DenseMatrix::new(rows, cols, out))
         }
         CellAgg::RowAgg(op) => {
-            let fold = CellFold { bp, result: spec.result, fast, op };
+            let fold = CellFold { bp, result: spec.result, fast, mono, op };
             let mut out = pool::take_zeroed(rows);
             par::par_row_bands_mut(&mut out, rows, 1, cols.max(1) * 4, |r0, band| {
                 let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
@@ -274,6 +342,7 @@ fn block_dense_exec(
                                 bp,
                                 spec.result,
                                 fast,
+                                mono,
                                 m,
                                 r,
                                 TilePos::Dense(c0),
@@ -298,7 +367,7 @@ fn block_dense_exec(
             Matrix::dense(DenseMatrix::new(1, cols, acc))
         }
         CellAgg::FullAgg(op) => {
-            let fold = CellFold { bp, result: spec.result, fast, op };
+            let fold = CellFold { bp, result: spec.result, fast, mono, op };
             let acc = par::par_map_reduce(
                 rows,
                 cols.max(1) * 4,
@@ -331,14 +400,15 @@ fn block_dense_exec(
 fn block_sparse_exec(
     spec: &CellSpec,
     kernel: &fusedml_core::spoof::block::BlockKernel,
-    fast_ok: bool,
+    sel: Select,
     main: &SparseMatrix,
     sides: &[SideInput],
     scalars: &[f64],
 ) -> Matrix {
     let (rows, cols) = (main.rows(), main.cols());
-    let width = block::tile_width();
-    let fast = if fast_ok { kernel.fast_for(spec.result) } else { None };
+    let width = sel.width;
+    let fast = sel.fast(kernel, spec.result);
+    let mono = sel.mono(kernel, spec.result);
     let bp = &kernel.block;
     let work = (main.nnz() / rows.max(1)).max(1) * 4;
     match spec.agg {
@@ -362,6 +432,7 @@ fn block_sparse_exec(
                                 bp,
                                 spec.result,
                                 fast,
+                                mono,
                                 TileSrc::Slice(vchunk),
                                 r,
                                 TilePos::Sparse(cchunk),
@@ -384,7 +455,7 @@ fn block_sparse_exec(
             Matrix::sparse(SparseMatrix::from_triples(rows, cols, triples))
         }
         CellAgg::RowAgg(op) => {
-            let fold = CellFold { bp, result: spec.result, fast, op };
+            let fold = CellFold { bp, result: spec.result, fast, mono, op };
             let mut out = pool::take_zeroed(rows);
             par::par_row_bands_mut(&mut out, rows, 1, work, |r0, band| {
                 let mut tr = TileRunner::new(kernel, sides, scalars, cols, width);
@@ -427,6 +498,7 @@ fn block_sparse_exec(
                                 bp,
                                 spec.result,
                                 fast,
+                                mono,
                                 TileSrc::Slice(vchunk),
                                 r,
                                 TilePos::Sparse(cchunk),
@@ -459,7 +531,7 @@ fn block_sparse_exec(
             Matrix::dense(DenseMatrix::new(1, cols, acc))
         }
         CellAgg::FullAgg(op) => {
-            let fold = CellFold { bp, result: spec.result, fast, op };
+            let fold = CellFold { bp, result: spec.result, fast, mono, op };
             let acc = par::par_map_reduce(
                 rows,
                 work,

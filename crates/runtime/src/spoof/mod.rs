@@ -20,7 +20,9 @@ pub mod tiles;
 
 use crate::side::SideInput;
 use fusedml_core::plancache::KernelCaches;
-use fusedml_core::spoof::FusedSpec;
+use fusedml_core::spoof::block::{CellBackend, RowFastKernel};
+use fusedml_core::spoof::mono::ShapeClass;
+use fusedml_core::spoof::{FusedSpec, Program, Reg, RowExecMode, RowOut};
 use fusedml_linalg::{scoped, Matrix};
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -49,6 +51,81 @@ pub fn enter_kernels(caches: &Arc<KernelCaches>) -> KernelScope {
 /// installed scope, or a fresh empty set when executing outside any engine.
 pub(crate) fn kernels() -> Arc<KernelCaches> {
     scoped::top(&CURRENT_KERNELS).unwrap_or_else(|| Arc::new(KernelCaches::default()))
+}
+
+/// Classifies the kernel family a fused operator executes under with the
+/// currently scoped kernel caches: a [`ShapeClass`] whose
+/// [`is_specialized`](ShapeClass::is_specialized) is true means a static
+/// (closure-specialized or monomorphized) kernel carries the inner loops;
+/// `Interpreted` means the generic tile/band interpreter replays the
+/// register program per tile. `side_dims` follows the operator's side
+/// binding order (the Row kernel cache is keyed on side geometry).
+pub fn kernel_class(spec: &FusedSpec, side_dims: &[(usize, usize)]) -> ShapeClass {
+    let caches = kernels();
+    let backend = caches.backend;
+    match spec {
+        FusedSpec::Cell(c) => {
+            block_class(&caches, backend, &c.prog, std::slice::from_ref(&c.result))
+        }
+        FusedSpec::MAgg(m) => {
+            let regs: Vec<Reg> = m.results.iter().map(|&(r, _)| r).collect();
+            block_class(&caches, backend, &m.prog, &regs)
+        }
+        FusedSpec::Outer(o) => {
+            block_class(&caches, backend, &o.prog, std::slice::from_ref(&o.result))
+        }
+        FusedSpec::Row(r) => {
+            if r.exec_mode != RowExecMode::Vectorized {
+                return ShapeClass::Interpreted;
+            }
+            let kernel = caches.row.get_or_lower(r, side_dims);
+            match (&kernel.fast, &r.out) {
+                (Some(RowFastKernel::MvChain { .. }), RowOut::ColAggMultAdd { .. }) => {
+                    ShapeClass::MvChain
+                }
+                (Some(RowFastKernel::MatVecOuter { .. }), RowOut::OuterColAgg { .. }) => {
+                    ShapeClass::MatVecOuter
+                }
+                _ => ShapeClass::Interpreted,
+            }
+        }
+    }
+}
+
+/// The block-template shape class: specialized only when *every* result
+/// register resolves to a fast or monomorphized kernel under `backend`
+/// (otherwise the generic tile body still runs and the operator counts as
+/// interpreted). Multi-result operators report the first register's class.
+fn block_class(
+    caches: &KernelCaches,
+    backend: CellBackend,
+    prog: &Program,
+    regs: &[Reg],
+) -> ShapeClass {
+    if backend == CellBackend::Scalar || regs.is_empty() {
+        return ShapeClass::Interpreted;
+    }
+    let kernel = caches.block.get_or_lower(prog);
+    if !tiles::supported(&kernel) {
+        return ShapeClass::Interpreted;
+    }
+    let fast_ok = matches!(backend, CellBackend::BlockFast | CellBackend::Mono);
+    let mono_ok = backend == CellBackend::Mono;
+    let mut first: Option<ShapeClass> = None;
+    for &r in regs {
+        let class = if fast_ok && kernel.fast_for(r).is_some() {
+            kernel.shape_class(r)
+        } else if mono_ok {
+            kernel.mono_for(r).map_or(ShapeClass::Interpreted, |m| m.class())
+        } else {
+            ShapeClass::Interpreted
+        };
+        if !class.is_specialized() {
+            return ShapeClass::Interpreted;
+        }
+        first.get_or_insert(class);
+    }
+    first.unwrap_or(ShapeClass::Interpreted)
 }
 
 /// Executes a compiled fused operator over bound inputs.

@@ -11,6 +11,7 @@
 use crate::side::SideInput;
 use crate::spoof::tiles::{self, MainReader, TileRunner};
 use fusedml_core::spoof::block::{self, fold_result, CellBackend, FastKernel, OpRef, TileSrc};
+use fusedml_core::spoof::mono::MonoKernel;
 use fusedml_core::spoof::{eval_scalar_program, MAggSpec, SideAccess};
 use fusedml_linalg::ops::AggOp;
 use fusedml_linalg::{par, DenseMatrix, Matrix};
@@ -24,7 +25,7 @@ pub fn execute(
     iter_rows: usize,
     iter_cols: usize,
 ) -> Vec<Matrix> {
-    execute_with(spec, main, sides, scalars, iter_rows, iter_cols, block::cell_backend())
+    execute_with(spec, main, sides, scalars, iter_rows, iter_cols, super::kernels().backend)
 }
 
 /// Executes under an explicit backend (differential tests pin `Scalar`).
@@ -38,12 +39,14 @@ pub fn execute_with(
     backend: CellBackend,
 ) -> Vec<Matrix> {
     let accs = if backend != CellBackend::Scalar {
-        let kernel = super::kernels().block.get_or_lower(&spec.prog);
+        let caches = super::kernels();
+        let kernel = caches.block.get_or_lower(&spec.prog);
         if tiles::supported(&kernel) {
             block_fold(
                 spec,
                 &kernel,
-                backend == CellBackend::BlockFast,
+                backend,
+                caches.tile_width,
                 main,
                 sides,
                 scalars,
@@ -79,14 +82,16 @@ pub fn execute_with(
 fn block_fold(
     spec: &MAggSpec,
     kernel: &fusedml_core::spoof::block::BlockKernel,
-    fast_ok: bool,
+    backend: CellBackend,
+    width: usize,
     main: Option<&Matrix>,
     sides: &[SideInput],
     scalars: &[f64],
     rows: usize,
     cols: usize,
 ) -> Vec<f64> {
-    let width = block::tile_width();
+    let fast_ok = matches!(backend, CellBackend::BlockFast | CellBackend::Mono);
+    let mono_ok = backend == CellBackend::Mono;
     let bp = &kernel.block;
     let k = spec.results.len();
     let identities: Vec<f64> = spec.results.iter().map(|&(_, op)| op.identity()).collect();
@@ -95,9 +100,23 @@ fn block_fold(
         .iter()
         .map(|&(reg, _)| if fast_ok { kernel.fast_for(reg) } else { None })
         .collect();
+    let monos: Vec<Option<&MonoKernel>> = spec
+        .results
+        .iter()
+        .zip(&fasts)
+        .map(
+            |(&(reg, _), fast)| {
+                if mono_ok && fast.is_none() {
+                    kernel.mono_for(reg)
+                } else {
+                    None
+                }
+            },
+        )
+        .collect();
     // The generic body only needs to run when some aggregate lacks a fused
-    // fast kernel.
-    let need_body = fasts.iter().any(|f| f.is_none());
+    // fast kernel or a monomorphized kernel.
+    let need_body = fasts.iter().zip(&monos).any(|(f, m)| f.is_none() && m.is_none());
     let sparse_main = match main {
         Some(Matrix::Sparse(s)) if spec.sparse_safe => Some(s),
         _ => None,
@@ -123,16 +142,21 @@ fn block_fold(
                             n: usize,
                             accs: &mut [f64],
                             ptile: &mut [f64]| {
-                    for (j, (&(reg, op), fast)) in spec.results.iter().zip(&fasts).enumerate() {
-                        accs[j] = match fast {
-                            Some(fk) if matches!(op, AggOp::Sum | AggOp::Mean) => {
+                    for (j, (&(reg, op), (fast, mono))) in
+                        spec.results.iter().zip(fasts.iter().zip(&monos)).enumerate()
+                    {
+                        accs[j] = match (fast, mono) {
+                            (Some(fk), _) if matches!(op, AggOp::Sum | AggOp::Mean) => {
                                 accs[j] + tiles::factors(ev, fk, ctx, n).sum(n)
                             }
-                            Some(fk) => {
+                            (Some(fk), _) => {
                                 tiles::factors(ev, fk, ctx, n).product_into(&mut ptile[..n]);
                                 fold_result(op, accs[j], OpRef::S(&ptile[..n]), n)
                             }
-                            None => fold_result(op, accs[j], ev.value_of(bp, reg, ctx, n), n),
+                            (None, Some(mk)) => mk.fold(op, accs[j], ev, ctx, n),
+                            (None, None) => {
+                                fold_result(op, accs[j], ev.value_of(bp, reg, ctx, n), n)
+                            }
                         };
                     }
                 };

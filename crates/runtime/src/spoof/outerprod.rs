@@ -6,7 +6,8 @@
 
 use crate::side::SideInput;
 use crate::spoof::tiles::{self, MainReader, TileRunner};
-use fusedml_core::spoof::block::{self, fold_result, write_result, CellBackend, OpRef, TileSrc};
+use fusedml_core::spoof::block::{fold_result, write_result, CellBackend, OpRef, TileSrc};
+use fusedml_core::spoof::mono::MonoKernel;
 use fusedml_core::spoof::{eval_scalar_program, OuterOut, OuterSpec, SideAccess};
 use fusedml_linalg::ops::AggOp;
 use fusedml_linalg::{par, pool, primitives as prim, DenseMatrix, Matrix, SparseMatrix};
@@ -20,7 +21,7 @@ pub fn execute(
     iter_rows: usize,
     iter_cols: usize,
 ) -> Matrix {
-    execute_with(spec, main, sides, scalars, iter_rows, iter_cols, block::cell_backend())
+    execute_with(spec, main, sides, scalars, iter_rows, iter_cols, super::kernels().backend)
 }
 
 /// Executes under an explicit backend (differential tests pin `Scalar`).
@@ -43,10 +44,10 @@ pub fn execute_with(
         if tiles::supported(&kernel) {
             return match main {
                 Some(Matrix::Sparse(s)) if spec.sparse_safe => {
-                    block_sparse_exec(spec, &kernel, s, &u, &v, r, sides, scalars)
+                    block_sparse_exec(spec, &kernel, s, &u, &v, r, sides, scalars, backend)
                 }
                 _ => block_dense_exec(
-                    spec, &kernel, main, &u, &v, r, sides, scalars, iter_rows, iter_cols,
+                    spec, &kernel, main, &u, &v, r, sides, scalars, iter_rows, iter_cols, backend,
                 ),
             };
         }
@@ -114,10 +115,14 @@ fn block_sparse_exec(
     rank: usize,
     sides: &[SideInput],
     scalars: &[f64],
+    backend: CellBackend,
 ) -> Matrix {
     let n = x.rows();
     let m = x.cols();
-    let width = block::tile_width();
+    let width = super::kernels().tile_width;
+    let mono: Option<&MonoKernel> =
+        if backend == CellBackend::Mono { kernel.mono_for(spec.result) } else { None };
+    let run_body = mono.is_none();
     let bp = &kernel.block;
     let work = (x.nnz() / n.max(1)).max(1) * rank;
     match spec.out {
@@ -142,14 +147,15 @@ fn block_sparse_exec(
                                 TileSrc::Slice(&uvbuf[..nt]),
                                 i,
                                 cchunk,
-                                true,
-                                |ev, ctx, nt| {
-                                    fold_result(
+                                run_body,
+                                |ev, ctx, nt| match mono {
+                                    Some(mk) => mk.fold(AggOp::Sum, acc, ev, ctx, nt),
+                                    None => fold_result(
                                         AggOp::Sum,
                                         acc,
                                         ev.value_of(bp, spec.result, ctx, nt),
                                         nt,
-                                    )
+                                    ),
                                 },
                             );
                         }
@@ -168,6 +174,7 @@ fn block_sparse_exec(
             par::par_row_bands_mut(&mut out, n, k, work, |r0, band| {
                 let mut tr = TileRunner::new(kernel, sides, scalars, m, width);
                 let mut uvbuf = vec![0.0f64; width];
+                let mut wtile = vec![0.0f64; width];
                 for (bi, orow) in band.chunks_exact_mut(k).enumerate() {
                     let i = r0 + bi;
                     tr.begin_row_sparse(i);
@@ -181,9 +188,15 @@ fn block_sparse_exec(
                             TileSrc::Slice(&uvbuf[..nt]),
                             i,
                             cchunk,
-                            true,
+                            run_body,
                             |ev, ctx, nt| {
-                                let w = ev.value_of(bp, spec.result, ctx, nt);
+                                let w = match mono {
+                                    Some(mk) => {
+                                        mk.map_into(ev, ctx, nt, &mut wtile[..nt]);
+                                        OpRef::S(&wtile[..nt])
+                                    }
+                                    None => ev.value_of(bp, spec.result, ctx, nt),
+                                };
                                 scatter_mult_add(w, nt, &s, k, |t| cchunk[t], orow);
                             },
                         );
@@ -203,6 +216,7 @@ fn block_sparse_exec(
                 |lo, hi| {
                     let mut tr = TileRunner::new(kernel, sides, scalars, m, width);
                     let mut uvbuf = vec![0.0f64; width];
+                    let mut wtile = vec![0.0f64; width];
                     let mut acc = pool::take_zeroed(m * k);
                     for i in lo..hi {
                         tr.begin_row_sparse(i);
@@ -216,9 +230,15 @@ fn block_sparse_exec(
                                 TileSrc::Slice(&uvbuf[..nt]),
                                 i,
                                 cchunk,
-                                true,
+                                run_body,
                                 |ev, ctx, nt| {
-                                    let w = ev.value_of(bp, spec.result, ctx, nt);
+                                    let w = match mono {
+                                        Some(mk) => {
+                                            mk.map_into(ev, ctx, nt, &mut wtile[..nt]);
+                                            OpRef::S(&wtile[..nt])
+                                        }
+                                        None => ev.value_of(bp, spec.result, ctx, nt),
+                                    };
                                     for t in 0..nt {
                                         let wv = match w {
                                             OpRef::S(ws) => ws[t],
@@ -274,12 +294,13 @@ fn block_sparse_exec(
                                 TileSrc::Slice(&uvbuf[..nt]),
                                 i,
                                 cchunk,
-                                true,
-                                |ev, ctx, nt| {
-                                    write_result(
+                                run_body,
+                                |ev, ctx, nt| match mono {
+                                    Some(mk) => mk.map_into(ev, ctx, nt, &mut wtile[..nt]),
+                                    None => write_result(
                                         ev.value_of(bp, spec.result, ctx, nt),
                                         &mut wtile[..nt],
-                                    )
+                                    ),
                                 },
                             );
                             for (t, &j) in cchunk.iter().enumerate() {
@@ -313,8 +334,12 @@ fn block_dense_exec(
     scalars: &[f64],
     n: usize,
     m: usize,
+    backend: CellBackend,
 ) -> Matrix {
-    let width = block::tile_width();
+    let width = super::kernels().tile_width;
+    let mono: Option<&MonoKernel> =
+        if backend == CellBackend::Mono { kernel.mono_for(spec.result) } else { None };
+    let run_body = mono.is_none();
     let bp = &kernel.block;
     match spec.out {
         OuterOut::FullAgg => {
@@ -341,14 +366,15 @@ fn block_dense_exec(
                                 i,
                                 c0,
                                 nt,
-                                true,
-                                |ev, ctx, nt| {
-                                    fold_result(
+                                run_body,
+                                |ev, ctx, nt| match mono {
+                                    Some(mk) => mk.fold(AggOp::Sum, acc, ev, ctx, nt),
+                                    None => fold_result(
                                         AggOp::Sum,
                                         acc,
                                         ev.value_of(bp, spec.result, ctx, nt),
                                         nt,
-                                    )
+                                    ),
                                 },
                             );
                             c0 += nt;
@@ -368,6 +394,7 @@ fn block_dense_exec(
                 let mut tr = TileRunner::new(kernel, sides, scalars, m, width);
                 let mut mr = MainReader::new(main, m);
                 let mut uvbuf = vec![0.0f64; width];
+                let mut wtile = vec![0.0f64; width];
                 for (bi, orow) in band.chunks_exact_mut(k).enumerate() {
                     let i = r0 + bi;
                     tr.begin_row_dense(i);
@@ -383,9 +410,15 @@ fn block_dense_exec(
                             i,
                             c0,
                             nt,
-                            true,
+                            run_body,
                             |ev, ctx, nt| {
-                                let w = ev.value_of(bp, spec.result, ctx, nt);
+                                let w = match mono {
+                                    Some(mk) => {
+                                        mk.map_into(ev, ctx, nt, &mut wtile[..nt]);
+                                        OpRef::S(&wtile[..nt])
+                                    }
+                                    None => ev.value_of(bp, spec.result, ctx, nt),
+                                };
                                 scatter_mult_add(w, nt, &s, k, |t| c0 + t, orow);
                             },
                         );
@@ -406,6 +439,7 @@ fn block_dense_exec(
                     let mut tr = TileRunner::new(kernel, sides, scalars, m, width);
                     let mut mr = MainReader::new(main, m);
                     let mut uvbuf = vec![0.0f64; width];
+                    let mut wtile = vec![0.0f64; width];
                     let mut acc = pool::take_zeroed(m * k);
                     for i in lo..hi {
                         tr.begin_row_dense(i);
@@ -421,9 +455,15 @@ fn block_dense_exec(
                                 i,
                                 c0,
                                 nt,
-                                true,
+                                run_body,
                                 |ev, ctx, nt| {
-                                    let w = ev.value_of(bp, spec.result, ctx, nt);
+                                    let w = match mono {
+                                        Some(mk) => {
+                                            mk.map_into(ev, ctx, nt, &mut wtile[..nt]);
+                                            OpRef::S(&wtile[..nt])
+                                        }
+                                        None => ev.value_of(bp, spec.result, ctx, nt),
+                                    };
                                     for t in 0..nt {
                                         let wv = match w {
                                             OpRef::S(ws) => ws[t],
@@ -480,8 +520,11 @@ fn block_dense_exec(
                             i,
                             c0,
                             nt,
-                            true,
-                            |ev, ctx, nt| write_result(ev.value_of(bp, spec.result, ctx, nt), dst),
+                            run_body,
+                            |ev, ctx, nt| match mono {
+                                Some(mk) => mk.map_into(ev, ctx, nt, dst),
+                                None => write_result(ev.value_of(bp, spec.result, ctx, nt), dst),
+                            },
                         );
                         c0 += nt;
                     }
@@ -891,7 +934,7 @@ mod tests {
             for main in [&sx, &dx] {
                 let oracle =
                     execute_with(&spec, Some(main), &sides, &[], n, m, CellBackend::Scalar);
-                for backend in [CellBackend::Block, CellBackend::BlockFast] {
+                for backend in [CellBackend::Block, CellBackend::BlockFast, CellBackend::Mono] {
                     let got = execute_with(&spec, Some(main), &sides, &[], n, m, backend);
                     assert!(
                         got.approx_eq(&oracle, 1e-11),

@@ -572,18 +572,55 @@ fn block_exec(spec: &RowSpec, main: &Matrix, sides: &[SideInput], scalars: &[f64
         }
         RowOut::OuterColAgg { left, right } => {
             let (orows, ocols) = (spec.out_rows, spec.out_cols);
+            // Closure-specialized `t(X) %*% (X %*% S)` chain: compute the
+            // per-row mat-vec product directly and scatter the outer update,
+            // skipping the per-row instruction dispatch entirely. Like the
+            // mv-chain path, this only stands in for the vectorized mode.
+            let fast = match (&kernel.fast, spec.exec_mode) {
+                (Some(f @ RowFastKernel::MatVecOuter { .. }), RowExecMode::Vectorized) => Some(f),
+                _ => None,
+            };
             let acc = par::par_map_reduce(
                 n,
                 work,
                 pool::take_zeroed(orows * ocols),
                 |lo, hi| {
-                    let mut ctx = BandCtx::new(&kernel, spec, sides, scalars);
                     let mut rr = RowReader::new(main, kernel.sparse_main_ok);
                     let mut acc = pool::take_zeroed(orows * ocols);
-                    for r in lo..hi {
-                        let view = rr.view(r);
-                        ctx.run_row(r, view);
-                        ctx.outer_add(*left, *right, view, &mut acc, orows, ocols);
+                    if let Some(RowFastKernel::MatVecOuter { side, .. }) = fast {
+                        let s = &sides[*side];
+                        let mut t = vec![0.0f64; ocols];
+                        for r in lo..hi {
+                            match rr.view(r) {
+                                RowView::Dense(x) => {
+                                    t.fill(0.0);
+                                    for (c, &v) in x.iter().enumerate() {
+                                        if v != 0.0 {
+                                            side_row_axpy(s, c, v, &mut t);
+                                        }
+                                    }
+                                    prim::vect_outer_mult_add(
+                                        x, &t, &mut acc, 0, 0, 0, orows, ocols,
+                                    );
+                                }
+                                RowView::Sparse { cols, vals } => {
+                                    t.fill(0.0);
+                                    for (&c, &v) in cols.iter().zip(vals) {
+                                        side_row_axpy(s, c, v, &mut t);
+                                    }
+                                    for (&c, &v) in cols.iter().zip(vals) {
+                                        prim::vect_mult_add(&t, v, &mut acc, 0, c * ocols, ocols);
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        let mut ctx = BandCtx::new(&kernel, spec, sides, scalars);
+                        for r in lo..hi {
+                            let view = rr.view(r);
+                            ctx.run_row(r, view);
+                            ctx.outer_add(*left, *right, view, &mut acc, orows, ocols);
+                        }
                     }
                     acc
                 },

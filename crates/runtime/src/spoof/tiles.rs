@@ -9,6 +9,7 @@
 
 use crate::side::SideInput;
 use fusedml_linalg::pool;
+use fusedml_linalg::simd;
 
 use fusedml_core::spoof::block::{
     BlockEval, BlockKernel, Factors, FastKernel, OpRef, Opnd, TileCtx, TileSrc,
@@ -202,16 +203,10 @@ impl<'k, 's> TileRunner<'k, 's> {
             let buf = &mut self.scatter_bufs[slot];
             match (&self.sides[side], access) {
                 (SideInput::Dense(d), SideAccess::Cell) => {
-                    let row = d.row(r);
-                    for (b, &c) in buf[..n].iter_mut().zip(cols) {
-                        *b = row[c];
-                    }
+                    simd::gather_into(&mut buf[..n], d.row(r), cols);
                 }
                 (SideInput::Dense(d), SideAccess::Row) => {
-                    let row = d.row(0);
-                    for (b, &c) in buf[..n].iter_mut().zip(cols) {
-                        *b = row[c];
-                    }
+                    simd::gather_into(&mut buf[..n], d.row(0), cols);
                 }
                 (SideInput::Sparse(s), SideAccess::Cell) => {
                     for (b, &c) in buf[..n].iter_mut().zip(cols) {

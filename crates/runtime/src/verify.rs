@@ -44,7 +44,10 @@
 use crate::schedule::{TaskGraph, TaskKind};
 use fusedml_core::cplan::{CNode, CPlan, CellAggKind, NodeId, OutputSpec, RowOutKind};
 use fusedml_core::optimizer::{FusedOperator, FusionPlan};
-use fusedml_core::spoof::block::{compile_row_kernel, whole_vector_load, RowKernel};
+use fusedml_core::spoof::block::{
+    compile_kernel, compile_row_kernel, whole_vector_load, RowKernel,
+};
+use fusedml_core::spoof::mono;
 use fusedml_core::spoof::{eval_scalar_program, FusedSpec, Instr, Program, RowOut, SideAccess};
 use fusedml_core::templates::TemplateType;
 use fusedml_hop::liveness::{self, Liveness};
@@ -91,6 +94,11 @@ pub enum VerifyError {
     RefcountMismatch { hop: u32, expected: u32, stored: u32 },
     /// A task's output-byte estimate disagrees with the size estimator.
     TaskBytesMismatch { task: usize, expected: usize, stored: usize },
+    /// A compiled block kernel's monomorphized shape classification does not
+    /// survive re-derivation from the register program, or violates the
+    /// backend's dispatch invariants (a fast kernel and a mono kernel on the
+    /// same result register, or a non-specialized mono class).
+    MonoShapeMismatch { op_ix: usize, detail: String },
     /// A spill-eligibility flag is unsound: a leaf or sub-threshold value
     /// marked eligible, or an eligible intermediate marked not.
     SpillEligibility { hop: u32, detail: String },
@@ -142,6 +150,9 @@ impl fmt::Display for VerifyError {
                 f,
                 "hop {hop} read-refcount is {stored} but recomputation gives {expected}"
             ),
+            VerifyError::MonoShapeMismatch { op_ix, detail } => {
+                write!(f, "operator #{op_ix}: mono shape audit failed: {detail}")
+            }
             VerifyError::TaskBytesMismatch { task, expected, stored } => write!(
                 f,
                 "task {task} output estimate is {stored} bytes but the size estimator gives {expected}"
@@ -939,6 +950,7 @@ fn check_spec(op_ix: usize, cp: &CPlan, spec: &FusedSpec) -> Result<(), VerifyEr
         FusedSpec::Cell(c) => {
             result_s(c.result, "cell result")?;
             check_sparse_claim(op_ix, cp, prog, &[c.result], c.sparse_safe)?;
+            check_mono_shapes(op_ix, prog, &[c.result])?;
         }
         FusedSpec::MAgg(m) => {
             if m.results.is_empty() {
@@ -949,6 +961,7 @@ fn check_spec(op_ix: usize, cp: &CPlan, spec: &FusedSpec) -> Result<(), VerifyEr
             }
             let regs: Vec<u16> = m.results.iter().map(|&(r, _)| r).collect();
             check_sparse_claim(op_ix, cp, prog, &regs, m.sparse_safe)?;
+            check_mono_shapes(op_ix, prog, &regs)?;
         }
         FusedSpec::Outer(o) => {
             result_s(o.result, "outer result")?;
@@ -964,6 +977,7 @@ fn check_spec(op_ix: usize, cp: &CPlan, spec: &FusedSpec) -> Result<(), VerifyEr
                 None => return Err(ill("Outer spec without a plan UV binding".into())),
             }
             check_sparse_claim(op_ix, cp, prog, &[o.result], o.sparse_safe)?;
+            check_mono_shapes(op_ix, prog, &[o.result])?;
         }
         FusedSpec::Row(r) => {
             if (r.out_rows, r.out_cols) != (cp.out_rows, cp.out_cols) {
@@ -994,6 +1008,46 @@ fn check_spec(op_ix: usize, cp: &CPlan, spec: &FusedSpec) -> Result<(), VerifyEr
             // the hoisting + sparse-row classification.
             let kernel = compile_row_kernel(r, &cp.side_dims);
             check_row_kernel(op_ix, r, &cp.side_dims, &kernel)?;
+        }
+    }
+    Ok(())
+}
+
+/// Re-audits the monomorphizer's shape classification for a block-template
+/// program (DESIGN.md substitution X10): the kernel is re-lowered from the
+/// register program and, for every result register, the stored mono kernel
+/// must equal an independent re-derivation via [`mono::classify`], must
+/// never coexist with a closure-specialized fast kernel on the same
+/// register (dispatch priority would silently shadow it), and must carry a
+/// specialized shape class.
+pub fn check_mono_shapes(op_ix: usize, prog: &Program, results: &[u16]) -> Result<(), VerifyError> {
+    let err = |detail: String| VerifyError::MonoShapeMismatch { op_ix, detail };
+    let kernel = compile_kernel(prog);
+    for &r in results {
+        let stored = kernel.mono_for(r);
+        if kernel.fast_for(r).is_some() {
+            if stored.is_some() {
+                return Err(err(format!(
+                    "register {r} holds both a fast kernel and a mono kernel"
+                )));
+            }
+            continue;
+        }
+        let rederived = mono::classify(&kernel.block, r);
+        if stored != rederived.as_ref() {
+            return Err(err(format!(
+                "register {r}: stored mono kernel {:?} != re-derived {:?}",
+                stored.map(|m| m.class()),
+                rederived.as_ref().map(|m| m.class())
+            )));
+        }
+        if let Some(m) = stored {
+            if !m.class().is_specialized() {
+                return Err(err(format!(
+                    "register {r}: mono kernel classified as {:?}",
+                    m.class()
+                )));
+            }
         }
     }
     Ok(())

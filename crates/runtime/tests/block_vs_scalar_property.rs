@@ -177,7 +177,7 @@ fn cell_block_backends_match_scalar_oracle_on_random_programs() {
                 inputs.cols,
                 CellBackend::Scalar,
             );
-            for backend in [CellBackend::Block, CellBackend::BlockFast] {
+            for backend in [CellBackend::Block, CellBackend::BlockFast, CellBackend::Mono] {
                 let got = cellwise::execute_with(
                     &spec,
                     Some(main),
@@ -223,7 +223,7 @@ fn multiagg_block_backends_match_scalar_oracle_on_random_programs() {
                 inputs.cols,
                 CellBackend::Scalar,
             );
-            for backend in [CellBackend::Block, CellBackend::BlockFast] {
+            for backend in [CellBackend::Block, CellBackend::BlockFast, CellBackend::Mono] {
                 let got = multiagg::execute_with(
                     &spec,
                     Some(main),
@@ -249,11 +249,12 @@ fn multiagg_block_backends_match_scalar_oracle_on_random_programs() {
 }
 
 /// Sweeping the tile width (including widths far from the default and ones
-/// that never divide the column counts) must not change results.
+/// that never divide the column counts) must not change results. Widths are
+/// per-engine configuration now: each sweep point installs a fresh
+/// [`KernelCaches`] scope instead of mutating process globals.
 #[test]
 fn tile_width_sweep_preserves_results() {
-    use fusedml_core::spoof::block;
-    let default_width = block::tile_width();
+    use fusedml_core::plancache::KernelCaches;
     let mut rng = StdRng::seed_from_u64(9000);
     let prog = random_program(&mut rng);
     let inputs = random_inputs(&mut rng, 9000);
@@ -274,17 +275,19 @@ fn tile_width_sweep_preserves_results() {
         CellBackend::Scalar,
     );
     for width in [8, 33, 100, 256, 1024] {
-        block::set_tile_width(width);
-        let got = cellwise::execute_with(
-            &spec,
-            Some(&inputs.dense_main),
-            &sides,
-            &inputs.scalars,
-            inputs.rows,
-            inputs.cols,
-            CellBackend::BlockFast,
-        );
-        assert!(got.approx_eq(&oracle, 1e-11), "width {width}");
+        for backend in [CellBackend::BlockFast, CellBackend::Mono] {
+            let caches = KernelCaches::with_config(16, width, backend);
+            let _scope = fusedml_runtime::spoof::enter_kernels(&caches);
+            let got = cellwise::execute_with(
+                &spec,
+                Some(&inputs.dense_main),
+                &sides,
+                &inputs.scalars,
+                inputs.rows,
+                inputs.cols,
+                backend,
+            );
+            assert!(got.approx_eq(&oracle, 1e-11), "width {width} backend {backend:?}");
+        }
     }
-    block::set_tile_width(default_width);
 }
