@@ -6,9 +6,10 @@ use crate::report::Table;
 use crate::MODES;
 use fusedml_algos::{alscg, autoencoder, glm, kmeans, l2svm, mlogreg};
 use fusedml_hop::interp::Bindings;
-use fusedml_linalg::{generate, Matrix};
+use fusedml_linalg::{generate, par, Matrix};
 use fusedml_runtime::dist::{execute_dist, SimCluster};
-use fusedml_runtime::{Engine, FusionMode};
+use fusedml_runtime::{shard, Engine, FusionMode};
+use std::time::Instant;
 
 /// Table 3: end-to-end compilation overhead per algorithm (Mnist60k-like
 /// input; plan caching across iterations disabled to expose per-DAG
@@ -311,6 +312,160 @@ pub fn table6(scale: Scale) {
     bindings.insert("X".into(), xk);
     bindings.insert("C".into(), generate::rand_dense(5, m, 0.0, 1.0, 33));
     push_dist_row(&mut t, "KMeans", &dag, &bindings, &run_iters);
+    t.print();
+    table6_sharded(scale);
+}
+
+/// Builds the mlogreg CG inner-iteration DAG `t(X) %*% (w ⊙ (X %*% v))` —
+/// the paper's canonical Row-template fusion — at the given geometry.
+fn mlogreg_iteration_dag(n: usize, m: usize) -> fusedml_hop::HopDag {
+    let mut b = fusedml_hop::DagBuilder::new();
+    let x = b.read("X", n, m, 1.0);
+    let w = b.read("w", n, 1, 1.0);
+    let v = b.read("v", m, 1, 1.0);
+    let xv = b.mm(x, v);
+    let wxv = b.mult(w, xv);
+    let xt = b.t(x);
+    let g = b.mm(xt, wxv);
+    b.build(vec![g])
+}
+
+/// Builds the kmeans distance-iteration DAG (`min` over `-2·XC^T + ‖C‖²`,
+/// summed to the WCSS scalar) with `k` centroids.
+fn kmeans_iteration_dag(n: usize, m: usize, k: usize) -> fusedml_hop::HopDag {
+    let mut b = fusedml_hop::DagBuilder::new();
+    let xx = b.read("X", n, m, 1.0);
+    let c = b.read("C", k, m, 1.0);
+    let ct = b.t(c);
+    let xc = b.mm(xx, ct);
+    let neg2 = b.lit(-2.0);
+    let xc2 = b.mult(xc, neg2);
+    let csq = b.sq(c);
+    let cn = b.agg(fusedml_linalg::ops::AggOp::Sum, fusedml_linalg::ops::AggDir::Row, csq);
+    let cnt = b.t(cn);
+    let d = b.add(xc2, cnt);
+    let dmin = b.agg(fusedml_linalg::ops::AggOp::Min, fusedml_linalg::ops::AggDir::Row, d);
+    let wcss = b.sum(dmin);
+    b.build(vec![wcss])
+}
+
+/// Table 6b: the same per-iteration DAGs on the **real** sharded runtime
+/// ([`fusedml_runtime::shard`], DESIGN.md substitution X11), with the cost
+/// model's per-plan estimate and the measured wall time side by side —
+/// modeled and measured share one estimator
+/// ([`shard::estimate_plan`]), so the table is the drift detector for the
+/// distributed cost model that `dist::simulate` also prices plans with.
+///
+/// The local baseline runs kernels at one thread (a single shard's compute),
+/// so "speedup" is shards-vs-one-shard on identical kernels. A
+/// modeled-vs-measured ratio beyond 3x in either direction is flagged in the
+/// last column. Under `--smoke` on a machine with >= 4 cores this gates CI:
+/// the sharded iteration must beat the single-shard baseline by >= 1.5x and
+/// must actually shard at least one operator.
+fn table6_sharded(scale: Scale) {
+    let shards = 4usize;
+    let (n, m) = scale.pick((200_000, 100), (1_000_000, 100));
+    let iters = 5usize;
+    let mut t = Table::new(
+        &format!(
+            "Table 6b: real sharded runtime (X {n}x{m}, {shards} shards x 1 thread vs 1-thread local, {iters} iterations)"
+        ),
+        &[
+            "algorithm",
+            "modeled local [s]",
+            "modeled sharded [s]",
+            "measured local [s]",
+            "measured sharded [s]",
+            "speedup",
+            "sharded ops (plan/run)",
+            "model vs measured",
+        ],
+    );
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let mut cases: Vec<(&str, fusedml_hop::HopDag, Bindings)> = Vec::new();
+    {
+        let dag = mlogreg_iteration_dag(n, m);
+        let mut bindings = Bindings::new();
+        bindings.insert("X".into(), generate::rand_dense(n, m, -1.0, 1.0, 41));
+        bindings.insert("w".into(), generate::rand_dense(n, 1, 0.0, 1.0, 42));
+        bindings.insert("v".into(), generate::rand_dense(m, 1, -1.0, 1.0, 43));
+        cases.push(("MLogreg", dag, bindings));
+    }
+    {
+        let k = 20;
+        let dag = kmeans_iteration_dag(n, m, k);
+        let mut bindings = Bindings::new();
+        bindings.insert("X".into(), kmeans::synthetic_data(n, m, 1.0, 44));
+        bindings.insert("C".into(), generate::rand_dense(k, m, 0.0, 1.0, 45));
+        cases.push(("KMeans", dag, bindings));
+    }
+    for (name, dag, bindings) in &cases {
+        let local = Engine::builder(FusionMode::Gen).build();
+        let plan = local.plan_for(dag);
+        let est = shard::estimate_plan(dag, &plan, shards, &local.optimizer().model);
+        let script = local.compile(dag);
+        // One kernel thread: the honest single-shard baseline (the sharded
+        // engine runs `shards` workers of one kernel thread each).
+        par::set_num_threads(1);
+        let _warmup = script.execute(bindings);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let _ = script.execute(bindings);
+        }
+        let local_secs = t0.elapsed().as_secs_f64() / iters as f64;
+        par::set_num_threads(0);
+
+        let sharded_engine =
+            Engine::builder(FusionMode::Gen).shards(shards).shard_threads(1).build();
+        let script = sharded_engine.compile(dag);
+        let _warmup = script.execute(bindings);
+        let t0 = Instant::now();
+        let mut sharded_ops = 0usize;
+        for _ in 0..iters {
+            sharded_ops = script.execute(bindings).sched().sharded_ops;
+        }
+        let sharded_secs = t0.elapsed().as_secs_f64() / iters as f64;
+
+        let speedup = local_secs / sharded_secs.max(1e-12);
+        let ratio = |modeled: f64, measured: f64| {
+            let (a, b) = (modeled.max(1e-12), measured.max(1e-12));
+            (a / b).max(b / a)
+        };
+        let drift =
+            ratio(est.chosen_seconds, sharded_secs).max(ratio(est.local_seconds, local_secs));
+        let flag = if drift > 3.0 {
+            format!("DIVERGES {drift:.1}x (>3x)")
+        } else {
+            format!("ok ({drift:.1}x)")
+        };
+        t.row(vec![
+            name.to_string(),
+            Table::secs(est.local_seconds),
+            Table::secs(est.chosen_seconds),
+            Table::secs(local_secs),
+            Table::secs(sharded_secs),
+            format!("{speedup:.2}x"),
+            format!("{}/{}", est.sharded_ops, sharded_ops),
+            flag,
+        ]);
+        if scale == Scale::Smoke {
+            if cores >= 4 {
+                assert!(
+                    sharded_ops > 0,
+                    "{name}: the planner sharded no operator at {shards} shards on {n}x{m}"
+                );
+                assert!(
+                    speedup >= 1.5,
+                    "{name}: sharded iteration is only {speedup:.2}x over the single-shard \
+                     baseline (gate: >= 1.5x at {shards} shards)"
+                );
+            } else {
+                println!(
+                    "SKIP: {name} sharded speedup gate needs >= 4 cores, this machine has {cores}"
+                );
+            }
+        }
+    }
     t.print();
 }
 

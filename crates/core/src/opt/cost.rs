@@ -95,10 +95,65 @@ impl Default for CostModel {
     }
 }
 
+/// Fixed per-operator dispatch overhead of sharded execution in seconds:
+/// channel sends, reply collection, and merge bookkeeping across the shard
+/// pool. The local-vs-sharded break-even point this implies (~a few MB of
+/// input at 4 shards) is what the plan-choice tests pin.
+pub const SHARD_DISPATCH_S: f64 = 40e-6;
+
 impl CostModel {
     /// A model with the distributed backend enabled.
     pub fn with_distributed(dist: DistConfig) -> Self {
         CostModel { dist: Some(dist), ..CostModel::default() }
+    }
+
+    /// Estimated wall time of one operator executed locally (paper Eq. 4:
+    /// write + max(read, compute), all single-node bandwidths).
+    pub fn local_op_seconds(&self, in_bytes: f64, out_bytes: f64, flops: f64) -> f64 {
+        out_bytes / self.write_bw + (in_bytes / self.read_bw).max(flops / self.compute_bw)
+    }
+
+    /// Estimated wall time of the same operator executed across `shards`
+    /// worker shards (Boehm 2017-style): partitioned inputs scan at the
+    /// aggregate executor bandwidth, broadcast sides pay the interconnect
+    /// once per shard, compute divides across shards, and the driver pays a
+    /// fixed dispatch overhead plus the partial-output merge.
+    pub fn shard_op_seconds(
+        &self,
+        dist: &DistConfig,
+        part_bytes: f64,
+        bcast_bytes: f64,
+        out_bytes: f64,
+        flops: f64,
+        shards: usize,
+    ) -> f64 {
+        let k = shards.max(1) as f64;
+        let scan = part_bytes / dist.exec_read_bw;
+        let bcast = bcast_bytes * k / dist.net_bw;
+        let compute = flops / (self.compute_bw * k);
+        // Partial outputs flow back over the same interconnect and merge at
+        // driver write bandwidth (the merge reads k partials, writes one).
+        let merge = out_bytes * k / dist.net_bw + out_bytes / self.write_bw;
+        SHARD_DISPATCH_S + bcast + scan.max(compute) + merge
+    }
+}
+
+impl DistConfig {
+    /// Cost constants for the in-process shard runtime (`runtime::shard`):
+    /// shards are threads in one address space, so "network" transfers are
+    /// memcpy-class (an `Arc` clone for broadcasts, buffer copies for
+    /// partition slices and partial merges) and executor scan bandwidth is
+    /// the shared memory bus. Used both by the planner's local-vs-sharded
+    /// choice and by `table6`'s modeled column, so modeled and measured
+    /// execution share one estimator.
+    pub fn in_process(shards: usize) -> Self {
+        DistConfig {
+            executors: shards.max(1),
+            exec_read_bw: 32e9,
+            net_bw: 8e9,
+            local_budget: fusedml_hop::memory::DEFAULT_LOCAL_BUDGET,
+            block_cols: usize::MAX,
+        }
     }
 }
 

@@ -19,7 +19,7 @@ use crate::spoof::block::{
     RowKernel,
 };
 use crate::spoof::{FusedSpec, Program, RowSpec};
-use crate::util::FifoMap;
+use crate::util::LruMap;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -29,9 +29,10 @@ use std::time::Instant;
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 1024;
 
 /// A concurrent, capacity-bounded plan cache for generated operators
-/// (FIFO eviction via [`FifoMap`]).
+/// (LRU eviction via [`LruMap`]: hits touch entries, so hot operators
+/// survive churn of cold ones).
 pub struct PlanCache {
-    state: Mutex<FifoMap<Arc<GeneratedOperator>>>,
+    state: Mutex<LruMap<Arc<GeneratedOperator>>>,
     /// The kernel caches warmed on compilation (shared with the runtime
     /// skeletons of the owning engine).
     kernels: Arc<KernelCaches>,
@@ -62,7 +63,7 @@ impl PlanCache {
     /// at most `capacity` compiled operators.
     pub fn with_kernels(kernels: Arc<KernelCaches>, capacity: usize) -> Self {
         let pc = PlanCache {
-            state: Mutex::new(FifoMap::new(capacity)),
+            state: Mutex::new(LruMap::new(capacity)),
             kernels,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
@@ -163,10 +164,10 @@ pub const DEFAULT_KERNEL_CACHE_CAPACITY: usize = 1024;
 /// statistics. The concrete caches ([`BlockProgramCache`],
 /// [`RowKernelCache`]) wrap this with their key derivation and lowering
 /// function, and expose the statistics API through `Deref`. Eviction is
-/// FIFO, like [`PlanCache`]; in-flight `Arc`s keep evicted kernels alive
+/// LRU, like [`PlanCache`]; in-flight `Arc`s keep evicted kernels alive
 /// until their executions finish.
 pub struct KernelCache<V> {
-    state: Mutex<FifoMap<Arc<V>>>,
+    state: Mutex<LruMap<Arc<V>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -181,7 +182,7 @@ impl<V> KernelCache<V> {
     /// A cache retaining at most `capacity` lowered kernels.
     pub fn with_capacity(capacity: usize) -> Self {
         KernelCache {
-            state: Mutex::new(FifoMap::new(capacity)),
+            state: Mutex::new(LruMap::new(capacity)),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
@@ -475,16 +476,33 @@ mod tests {
     }
 
     #[test]
-    fn kernel_cache_capacity_evicts_fifo() {
+    fn kernel_cache_capacity_evicts_lru() {
         let c: KernelCache<u32> = KernelCache::with_capacity(2);
         let _ = c.get_or_insert_with(1, || 1);
         let _ = c.get_or_insert_with(2, || 2);
-        let _ = c.get_or_insert_with(3, || 3); // evicts key 1
+        let _ = c.get_or_insert_with(3, || 3); // evicts key 1 (least recent)
         assert_eq!(c.len(), 2);
         let _ = c.get_or_insert_with(2, || 22); // still cached
         assert_eq!(c.stats().0, 1);
         let _ = c.get_or_insert_with(1, || 11); // evicted: lowers again
         assert_eq!(c.stats().1, 4);
+    }
+
+    #[test]
+    fn hot_operator_survives_cache_churn() {
+        // LRU (touch-on-hit): a plan that is looked up between every insert
+        // must never be evicted, no matter how many cold plans churn through.
+        let cache = PlanCache::with_kernels(KernelCaches::shared(), 2);
+        let opts = CodegenOptions::default();
+        let hot = cache.get_or_compile(&tiny_cplan(0.5), &opts);
+        for i in 1..16 {
+            let again = cache.get_or_compile(&tiny_cplan(0.5), &opts);
+            assert!(Arc::ptr_eq(&hot, &again), "hot plan cached at round {i}");
+            let _ = cache.get_or_compile(&tiny_cplan(i as f64), &opts); // cold churn
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 15, "every hot lookup hits");
+        assert_eq!(misses, 16, "only the cold plans (and the first hot) compile");
     }
 
     #[test]

@@ -64,38 +64,48 @@ pub fn fx_hash<T: std::hash::Hash>(value: &T) -> u64 {
     h.finish()
 }
 
-/// A hash-keyed map bounded by FIFO eviction — the one retention policy
+/// A hash-keyed map bounded by LRU eviction — the one retention policy
 /// shared by every compiled-state cache (generated operators, lowered
-/// kernels, fusion plans, compiled scripts). When the capacity is exceeded
-/// the oldest-inserted entry is dropped; values held elsewhere behind `Arc`
-/// stay alive until their users finish.
-pub struct FifoMap<V> {
-    map: FxHashMap<u64, V>,
-    order: std::collections::VecDeque<u64>,
+/// kernels, fusion plans, compiled scripts, geometry variants). Each entry
+/// carries a logical access stamp; `get` bumps it (touch-on-hit), and when
+/// the capacity is exceeded the least-recently-stamped entry is dropped, so
+/// a hot entry survives arbitrary churn of cold ones. Values held elsewhere
+/// behind `Arc` stay alive until their users finish.
+///
+/// The stamp scan on eviction is O(len), but eviction only happens when an
+/// insert overflows a full cache — hits (the hot path under serving load)
+/// stay O(1).
+pub struct LruMap<V> {
+    map: FxHashMap<u64, (V, u64)>,
+    tick: u64,
     capacity: usize,
 }
 
-impl<V> FifoMap<V> {
+impl<V> LruMap<V> {
     /// A map retaining at most `capacity` entries (minimum 1).
     pub fn new(capacity: usize) -> Self {
-        FifoMap {
-            map: FxHashMap::default(),
-            order: std::collections::VecDeque::new(),
-            capacity: capacity.max(1),
-        }
+        LruMap { map: FxHashMap::default(), tick: 0, capacity: capacity.max(1) }
     }
 
-    pub fn get(&self, key: u64) -> Option<&V> {
-        self.map.get(&key)
+    /// Looks up an entry and marks it most-recently-used.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|(v, stamp)| {
+            *stamp = tick;
+            &*v
+        })
     }
 
-    /// Inserts (or replaces) an entry, evicting the oldest-inserted entries
-    /// beyond the capacity.
+    /// Inserts (or replaces) an entry as most-recently-used, evicting the
+    /// least-recently-used entries beyond the capacity.
     pub fn insert(&mut self, key: u64, value: V) {
-        if self.map.insert(key, value).is_none() {
-            self.order.push_back(key);
+        self.tick += 1;
+        if self.map.insert(key, (value, self.tick)).is_none() {
             while self.map.len() > self.capacity {
-                if let Some(old) = self.order.pop_front() {
+                if let Some(&old) =
+                    self.map.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k)
+                {
                     self.map.remove(&old);
                 }
             }
@@ -112,7 +122,6 @@ impl<V> FifoMap<V> {
 
     pub fn clear(&mut self) {
         self.map.clear();
-        self.order.clear();
     }
 }
 
@@ -134,5 +143,43 @@ mod tests {
         assert_eq!(fx_hash(&(1u32, 2u32)), fx_hash(&(1u32, 2u32)));
         assert_ne!(fx_hash(&(1u32, 2u32)), fx_hash(&(2u32, 1u32)));
         assert_ne!(fx_hash(&"abc"), fx_hash(&"abd"));
+    }
+
+    #[test]
+    fn lru_hot_entry_survives_churn() {
+        let mut m: LruMap<u64> = LruMap::new(4);
+        m.insert(0, 100); // the hot entry
+                          // Churn many cold keys through the cache, touching the hot entry
+                          // between each insert. FIFO would evict key 0 after 4 inserts; LRU
+                          // must keep it because every round marks it most-recently-used.
+        for k in 1..64u64 {
+            assert_eq!(m.get(0), Some(&100), "hot entry present at round {k}");
+            m.insert(k, k);
+            assert!(m.len() <= 4);
+        }
+        assert_eq!(m.get(0), Some(&100), "hot entry survives churn");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut m: LruMap<u64> = LruMap::new(2);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.get(1), Some(&10)); // 2 is now the LRU entry
+        m.insert(3, 30);
+        assert_eq!(m.get(2), None, "LRU entry evicted");
+        assert_eq!(m.get(1), Some(&10));
+        assert_eq!(m.get(3), Some(&30));
+    }
+
+    #[test]
+    fn lru_replace_does_not_evict() {
+        let mut m: LruMap<u64> = LruMap::new(2);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        m.insert(1, 11); // replacement, not growth
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(1), Some(&11));
+        assert_eq!(m.get(2), Some(&20));
     }
 }

@@ -18,7 +18,10 @@
 //!   (surfaced as a typed budget-exhaustion error),
 //! * [`FaultSite::TaskExec`] — a task reports failure without running,
 //! * [`FaultSite::TaskPanic`] — a task panics mid-execution, exercising the
-//!   scheduler's panic-isolation path end to end.
+//!   scheduler's panic-isolation path end to end,
+//! * [`FaultSite::ShardExec`] — one shard of a sharded fused operator panics
+//!   mid-kernel, exercising cross-shard cancellation and the rule that a
+//!   shard failure fails only its own request.
 //!
 //! A plan can be *disarmed* at runtime ([`FaultPlan::disarm`]): the chaos
 //! property tests inject faults, observe a clean typed error, disarm, and
@@ -40,15 +43,20 @@ pub enum FaultSite {
     TaskExec,
     /// Task execution (panics mid-kernel, exercising panic isolation).
     TaskPanic,
+    /// A shard request's kernel execution panics mid-run (one worker shard of
+    /// a sharded fused operator), exercising first-failure-wins cancellation
+    /// across sibling shards.
+    ShardExec,
 }
 
 /// All injectable sites, in counter order.
-pub const FAULT_SITES: [FaultSite; 5] = [
+pub const FAULT_SITES: [FaultSite; 6] = [
     FaultSite::SpillWrite,
     FaultSite::SpillRead,
     FaultSite::Alloc,
     FaultSite::TaskExec,
     FaultSite::TaskPanic,
+    FaultSite::ShardExec,
 ];
 
 impl FaultSite {
@@ -59,6 +67,7 @@ impl FaultSite {
             FaultSite::Alloc => 2,
             FaultSite::TaskExec => 3,
             FaultSite::TaskPanic => 4,
+            FaultSite::ShardExec => 5,
         }
     }
 }

@@ -194,6 +194,70 @@ impl Matrix {
         }
     }
 
+    /// Extracts rows `[r0, r1)` as a new matrix, preserving the storage
+    /// format. Dense slices copy the row band; CSR slices rebase the row
+    /// pointers and copy the covered triples. This is the shard partitioner:
+    /// a row-partitioned plan slices the main (and any row-aligned sides)
+    /// with it, so per-shard execution sees ordinary matrices.
+    pub fn row_slice(&self, r0: usize, r1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows(), "row slice out of range");
+        match self {
+            Matrix::Dense(m) => {
+                let c = m.cols();
+                Matrix::dense(DenseMatrix::new(r1 - r0, c, m.values()[r0 * c..r1 * c].to_vec()))
+            }
+            Matrix::Sparse(m) => {
+                let lo = m.row_ptr()[r0];
+                let hi = m.row_ptr()[r1];
+                let row_ptr: Vec<usize> = m.row_ptr()[r0..=r1].iter().map(|&p| p - lo).collect();
+                Matrix::sparse(SparseMatrix::from_csr(
+                    r1 - r0,
+                    m.cols(),
+                    row_ptr,
+                    m.col_indices()[lo..hi].to_vec(),
+                    m.values()[lo..hi].to_vec(),
+                ))
+            }
+        }
+    }
+
+    /// Vertically concatenates row-partition results back into one matrix —
+    /// the inverse of [`Matrix::row_slice`] over a full partitioning. Format
+    /// is preserved exactly: all-sparse parts concatenate in CSR (the triples
+    /// are copied verbatim, so a sliced-then-merged sparse value is bitwise
+    /// identical to the unsliced one), any dense part densifies the result.
+    pub fn concat_rows(parts: &[Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat of zero parts");
+        let cols = parts[0].cols();
+        assert!(parts.iter().all(|p| p.cols() == cols), "column mismatch in row concat");
+        let rows: usize = parts.iter().map(|p| p.rows()).sum();
+        if parts.iter().all(|p| p.is_sparse()) {
+            let nnz: usize = parts.iter().map(|p| p.nnz()).sum();
+            let mut row_ptr = Vec::with_capacity(rows + 1);
+            let mut col_idx = Vec::with_capacity(nnz);
+            let mut values = Vec::with_capacity(nnz);
+            row_ptr.push(0usize);
+            let mut base = 0usize;
+            for p in parts {
+                let s = p.as_sparse();
+                row_ptr.extend(s.row_ptr()[1..].iter().map(|&p| p + base));
+                col_idx.extend_from_slice(s.col_indices());
+                values.extend_from_slice(s.values());
+                base += s.nnz();
+            }
+            Matrix::sparse(SparseMatrix::from_csr(rows, cols, row_ptr, col_idx, values))
+        } else {
+            let mut values = Vec::with_capacity(rows * cols);
+            for p in parts {
+                match p {
+                    Matrix::Dense(m) => values.extend_from_slice(m.values()),
+                    Matrix::Sparse(_) => values.extend_from_slice(p.to_dense().values()),
+                }
+            }
+            Matrix::dense(DenseMatrix::new(rows, cols, values))
+        }
+    }
+
     /// Structural + numeric equality within tolerance, independent of format.
     pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
         if self.rows() != other.rows() || self.cols() != other.cols() {
@@ -352,6 +416,49 @@ mod tests {
         let hits_before = pool.stats().hits;
         let _again = SparseMatrix::from_dense(&d);
         assert!(pool.stats().hits > hits_before, "rebuild reuses recycled CSR buffers");
+    }
+
+    #[test]
+    fn row_slice_then_concat_is_identity_dense() {
+        let d = DenseMatrix::new(7, 3, (0..21).map(|i| i as f64).collect());
+        let m = Matrix::dense(d);
+        let parts = [m.row_slice(0, 3), m.row_slice(3, 5), m.row_slice(5, 7)];
+        let back = Matrix::concat_rows(&parts);
+        assert!(!back.is_sparse());
+        for r in 0..7 {
+            for c in 0..3 {
+                assert_eq!(back.get(r, c), m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn row_slice_then_concat_is_identity_sparse() {
+        let mut d = DenseMatrix::zeros(9, 5);
+        for i in 0..9 {
+            d.set(i, (i * 2) % 5, 1.0 + i as f64);
+        }
+        let m = Matrix::sparse(SparseMatrix::from_dense(&d));
+        let parts = [m.row_slice(0, 2), m.row_slice(2, 2), m.row_slice(2, 9)];
+        let back = Matrix::concat_rows(&parts);
+        assert!(back.is_sparse(), "all-sparse parts stay CSR");
+        assert_eq!(back.nnz(), m.nnz());
+        for r in 0..9 {
+            for c in 0..5 {
+                assert_eq!(back.get(r, c), m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn concat_mixed_formats_densifies() {
+        let d = Matrix::dense(DenseMatrix::filled(2, 2, 1.0));
+        let s = Matrix::sparse(SparseMatrix::from_dense(&DenseMatrix::filled(3, 2, 2.0)));
+        let back = Matrix::concat_rows(&[d, s]);
+        assert!(!back.is_sparse());
+        assert_eq!((back.rows(), back.cols()), (5, 2));
+        assert_eq!(back.get(0, 0), 1.0);
+        assert_eq!(back.get(4, 1), 2.0);
     }
 
     #[test]

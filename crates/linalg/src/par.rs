@@ -15,14 +15,47 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// Returns the configured degree of parallelism (defaults to the number of
-/// available hardware threads).
+thread_local! {
+    /// Per-thread override of the parallelism degree (0 = defer to the
+    /// global setting). Shard workers cap their internal band parallelism
+    /// with this so `shards × shard_threads` threads never oversubscribe
+    /// the machine, without perturbing the process-wide configuration.
+    static THREAD_NUM_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Returns the configured degree of parallelism: the calling thread's
+/// [`limit_current_thread`] override if set, else the global
+/// [`set_num_threads`] value, else the number of hardware threads.
 pub fn num_threads() -> usize {
+    let t = THREAD_NUM_THREADS.with(|c| c.get());
+    if t != 0 {
+        return t;
+    }
     let n = NUM_THREADS.load(Ordering::Relaxed);
     if n != 0 {
         return n;
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Restores the previous per-thread parallelism limit on drop.
+pub struct ThreadLimitGuard {
+    prev: usize,
+}
+
+impl Drop for ThreadLimitGuard {
+    fn drop(&mut self) {
+        THREAD_NUM_THREADS.with(|c| c.set(self.prev));
+    }
+}
+
+/// Caps the parallelism seen by kernels on the *calling thread only* until
+/// the returned guard drops (0 removes the cap). Band threads spawned by the
+/// helpers below do not inherit the cap — they only run leaf work and never
+/// re-split — so the cap bounds fan-out where it matters: at the split point.
+pub fn limit_current_thread(n: usize) -> ThreadLimitGuard {
+    let prev = THREAD_NUM_THREADS.with(|c| c.replace(n));
+    ThreadLimitGuard { prev }
 }
 
 /// Overrides the degree of parallelism used by all parallel kernels
@@ -239,5 +272,26 @@ mod tests {
         assert_eq!(num_threads(), 2);
         set_num_threads(0);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_limit_overrides_and_restores() {
+        let base = num_threads();
+        {
+            let _g = limit_current_thread(1);
+            assert_eq!(num_threads(), 1);
+            {
+                let _inner = limit_current_thread(3);
+                assert_eq!(num_threads(), 3);
+            }
+            assert_eq!(num_threads(), 1, "inner guard restores outer cap");
+        }
+        assert_eq!(num_threads(), base, "guard restores prior state");
+        // The cap is thread-local: a fresh thread sees the global default.
+        let seen = std::thread::scope(|s| {
+            let _g = limit_current_thread(1);
+            s.spawn(num_threads).join().expect("thread ok")
+        });
+        assert_eq!(seen, base);
     }
 }

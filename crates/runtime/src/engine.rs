@@ -55,7 +55,7 @@ use fusedml_core::opt::{CostModel, EnumConfig};
 use fusedml_core::optimizer::{dag_structural_hash, FusionPlan, Optimizer};
 use fusedml_core::plancache::{KernelCaches, PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 use fusedml_core::spoof::block::CellBackend;
-use fusedml_core::util::FifoMap;
+use fusedml_core::util::LruMap;
 use fusedml_core::FusionMode;
 use fusedml_hop::interp::{self, Bindings};
 use fusedml_hop::liveness::{self, Liveness};
@@ -95,6 +95,9 @@ pub struct EngineBuilder {
     verify_plans: bool,
     tile_width: usize,
     cell_backend: CellBackend,
+    shards: usize,
+    shard_threads: usize,
+    force_shard: bool,
 }
 
 impl EngineBuilder {
@@ -118,7 +121,39 @@ impl EngineBuilder {
             verify_plans: cfg!(debug_assertions),
             tile_width: fusedml_core::spoof::block::DEFAULT_TILE_WIDTH,
             cell_backend: CellBackend::default(),
+            shards: 1,
+            shard_threads: 0,
+            force_shard: false,
         }
+    }
+
+    /// Number of persistent worker shards for sharded fused-operator
+    /// execution (DESIGN.md substitution X11). `1` (the default) disables
+    /// sharding entirely; `>= 2` spawns that many NUMA-pinned shard workers
+    /// at build time, and the planner then chooses local vs sharded per
+    /// fused operator with the same cost model `dist::simulate` uses. Small
+    /// operators keep running locally regardless of this knob.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Intra-shard kernel threads (row-band parallelism *inside* each worker
+    /// shard). `0` (the default) auto-sizes to `available_parallelism /
+    /// shards`, floored at 1, so shards split the machine instead of
+    /// oversubscribing it.
+    pub fn shard_threads(mut self, n: usize) -> Self {
+        self.shard_threads = n;
+        self
+    }
+
+    /// Shards every legally-shardable fused operator regardless of the cost
+    /// model's local-vs-sharded verdict. For differential tests that must
+    /// exercise the sharded data path on matrices far too small for sharding
+    /// to ever win on cost; production callers should leave this off.
+    pub fn force_shard(mut self, on: bool) -> Self {
+        self.force_shard = on;
+        self
     }
 
     /// Enables or disables static plan verification inside
@@ -264,6 +299,22 @@ impl EngineBuilder {
         if let Some(f) = &self.faults {
             store = store.with_faults(Arc::clone(f));
         }
+        let shard_pool = if self.shards >= 2 {
+            let threads = if self.shard_threads == 0 {
+                let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+                (avail / self.shards).max(1)
+            } else {
+                self.shard_threads
+            };
+            Some(crate::shard::ShardPool::new(
+                self.shards,
+                threads,
+                Arc::clone(&pool),
+                Arc::clone(&kernels),
+            ))
+        } else {
+            None
+        };
         Engine {
             inner: Arc::new(EngineInner {
                 mode: self.mode,
@@ -276,10 +327,12 @@ impl EngineBuilder {
                 prefetch_depth: self.prefetch_depth,
                 faults: self.faults,
                 verify_plans: self.verify_plans,
+                shard_pool,
+                force_shard: self.force_shard,
                 cache_plans: AtomicBool::new(self.cache_plans),
                 compile_lock: Mutex::new(()),
-                plans: Mutex::new(FifoMap::new(self.plan_cache_capacity)),
-                scripts: Mutex::new(FifoMap::new(self.plan_cache_capacity)),
+                plans: Mutex::new(LruMap::new(self.plan_cache_capacity)),
+                scripts: Mutex::new(LruMap::new(self.plan_cache_capacity)),
             }),
         }
     }
@@ -310,6 +363,14 @@ struct EngineInner {
     /// Run the static plan verifier on every cold compile (and geometry
     /// recompile). Compile-path-only cost; see `EngineBuilder::verify_plans`.
     verify_plans: bool,
+    /// Persistent sharded execution workers (`EngineBuilder::shards >= 2`),
+    /// or `None` when sharding is disabled. Shard workers live as long as
+    /// the engine; per-operator local-vs-sharded choices are planned at
+    /// compile time against this pool's size.
+    shard_pool: Option<crate::shard::ShardPool>,
+    /// Shard every legally-shardable operator, skipping the cost comparison
+    /// (`EngineBuilder::force_shard`; differential-test hook).
+    force_shard: bool,
     cache_plans: AtomicBool,
     /// Serializes cold script compilation so N threads racing on the same
     /// uncached DAG run the optimizer once (the "exactly once" contract
@@ -318,11 +379,11 @@ struct EngineInner {
     /// Fusion plans per structural DAG hash (SystemML's runtime-program
     /// cache across dynamic recompilations) — per engine, not per process,
     /// and bounded by the plan-cache capacity.
-    plans: Mutex<FifoMap<Arc<FusionPlan>>>,
+    plans: Mutex<LruMap<Arc<FusionPlan>>>,
     /// Compiled scripts per structural DAG hash (bounded likewise), so the
     /// convenience [`Engine::execute`] also amortizes task-graph
     /// construction.
-    scripts: Mutex<FifoMap<Arc<ScriptInner>>>,
+    scripts: Mutex<LruMap<Arc<ScriptInner>>>,
 }
 
 /// A thread-safe, cheaply clonable handle to an execution engine.
@@ -408,6 +469,12 @@ impl Engine {
     /// The configured inter-operator worker cap.
     pub fn workers(&self) -> usize {
         self.inner.workers
+    }
+
+    /// The number of live worker shards (1 when sharding is disabled; see
+    /// [`EngineBuilder::shards`]).
+    pub fn shards(&self) -> usize {
+        self.inner.shard_count()
     }
 
     /// The installed fault-injection plan, if any.
@@ -585,7 +652,13 @@ impl EngineInner {
             kernels: &self.kernels,
             prefetch_depth: self.prefetch_depth,
             faults: self.faults.as_ref(),
+            shards: self.shard_pool.as_ref(),
         }
+    }
+
+    /// The engine's shard pool size (1 when sharding is disabled).
+    fn shard_count(&self) -> usize {
+        self.shard_pool.as_ref().map_or(1, crate::shard::ShardPool::len)
     }
 
     fn plan_for(&self, dag: &HopDag) -> Arc<FusionPlan> {
@@ -624,7 +697,17 @@ impl EngineInner {
             FusionMode::Fused => (None, Some(handcoded::match_patterns(&dag))),
             _ => (Some(self.plan_for(&dag)), None),
         };
-        let graph = schedule::prepare(&dag, plan.as_deref(), patterns.as_ref());
+        let mut graph = schedule::prepare(&dag, plan.as_deref(), patterns.as_ref());
+        if let (Some(pool), Some(plan)) = (&self.shard_pool, plan.as_deref()) {
+            // Per-operator local-vs-sharded choice, planned once at compile
+            // time with the same estimator `dist::simulate` uses.
+            let specs = if self.force_shard {
+                crate::shard::force_shards(plan, pool.len())
+            } else {
+                crate::shard::plan_shards(&dag, plan, pool.len(), &self.optimizer.model)
+            };
+            graph.set_shard_specs(&specs);
+        }
         let shapes = dag.input_shapes();
         let liveness = liveness::analyze(&dag);
         if self.verify_plans {

@@ -81,6 +81,18 @@ pub enum ExecError {
         /// The task it fired on.
         op: String,
     },
+    /// One worker shard of a sharded fused operator panicked. The panic was
+    /// caught on the shard, sibling shards were cancelled
+    /// (first-failure-wins), only the owning request fails, and the shard
+    /// pool keeps serving.
+    ShardFailure {
+        /// Identity of the sharded operator.
+        op: String,
+        /// Index of the first shard that failed.
+        shard: usize,
+        /// The shard's panic payload, stringified.
+        message: String,
+    },
     /// Static plan verification rejected a compiled artifact before it could
     /// execute (see [`crate::verify`]). Only reachable when
     /// `EngineBuilder::verify_plans` is on.
@@ -107,6 +119,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::Injected { site, op } => {
                 write!(f, "injected {site:?} fault at {op}")
+            }
+            ExecError::ShardFailure { op, shard, message } => {
+                write!(f, "shard {shard} failed executing {op}: {message}")
             }
             ExecError::Verify(e) => write!(f, "plan verification failed: {e}"),
         }

@@ -81,6 +81,19 @@ pub struct ExecStats {
     /// Runs that degraded to resident-only execution after exhausting spill
     /// write retries.
     pub(crate) sched_degraded_runs: AtomicUsize,
+    /// Fused operators the planner executed across the shard pool.
+    pub(crate) sched_sharded_ops: AtomicUsize,
+    /// High-water shard count used by any single sharded operator.
+    pub(crate) sched_shards_used: AtomicUsize,
+    /// Bytes of side inputs broadcast to shards (counted per receiver).
+    pub(crate) sched_shard_broadcast_bytes: AtomicUsize,
+    /// Bytes of per-shard partial outputs merged on the driver.
+    pub(crate) sched_shard_partial_bytes: AtomicUsize,
+    /// Microseconds the driver spent merging shard partials.
+    pub(crate) sched_shard_merge_us: AtomicUsize,
+    /// High-water shard skew (slowest/mean shard time, ×1000) of any
+    /// sharded operator.
+    pub(crate) sched_shard_skew_milli: AtomicUsize,
 }
 
 /// Plain-data snapshot of the scheduler counters in [`ExecStats`] — also the
@@ -114,6 +127,19 @@ pub struct SchedSnapshot {
     /// 1 if this run degraded to resident-only execution after exhausting
     /// spill write retries, else 0.
     pub degraded: usize,
+    /// Fused operators executed across the shard pool.
+    pub sharded_ops: usize,
+    /// High-water shard count used by any single sharded operator.
+    pub shards_used: usize,
+    /// Bytes of side inputs broadcast to shards (counted per receiver).
+    pub shard_broadcast_bytes: usize,
+    /// Bytes of per-shard partial outputs merged on the driver.
+    pub shard_partial_bytes: usize,
+    /// Microseconds the driver spent merging shard partials.
+    pub shard_merge_us: usize,
+    /// High-water shard skew of any sharded operator: slowest shard time
+    /// over mean shard time, ×1000 (1000 = perfectly balanced).
+    pub shard_skew_milli: usize,
 }
 
 impl SchedSnapshot {
@@ -205,6 +231,12 @@ impl ExecStats {
             spill_retries: self.sched_spill_retries.load(Ordering::Relaxed),
             injected_faults: self.sched_injected_faults.load(Ordering::Relaxed),
             degraded: self.sched_degraded_runs.load(Ordering::Relaxed),
+            sharded_ops: self.sched_sharded_ops.load(Ordering::Relaxed),
+            shards_used: self.sched_shards_used.load(Ordering::Relaxed),
+            shard_broadcast_bytes: self.sched_shard_broadcast_bytes.load(Ordering::Relaxed),
+            shard_partial_bytes: self.sched_shard_partial_bytes.load(Ordering::Relaxed),
+            shard_merge_us: self.sched_shard_merge_us.load(Ordering::Relaxed),
+            shard_skew_milli: self.sched_shard_skew_milli.load(Ordering::Relaxed),
         }
     }
 
@@ -239,6 +271,12 @@ impl ExecStats {
         self.sched_spill_retries.fetch_add(s.spill_retries, Ordering::Relaxed);
         self.sched_injected_faults.fetch_add(s.injected_faults, Ordering::Relaxed);
         self.sched_degraded_runs.fetch_add(s.degraded, Ordering::Relaxed);
+        self.sched_sharded_ops.fetch_add(s.sharded_ops, Ordering::Relaxed);
+        self.sched_shards_used.fetch_max(s.shards_used, Ordering::Relaxed);
+        self.sched_shard_broadcast_bytes.fetch_add(s.shard_broadcast_bytes, Ordering::Relaxed);
+        self.sched_shard_partial_bytes.fetch_add(s.shard_partial_bytes, Ordering::Relaxed);
+        self.sched_shard_merge_us.fetch_add(s.shard_merge_us, Ordering::Relaxed);
+        self.sched_shard_skew_milli.fetch_max(s.shard_skew_milli, Ordering::Relaxed);
     }
 
     pub fn reset(&self) {
@@ -264,6 +302,12 @@ impl ExecStats {
         self.sched_spill_retries.store(0, Ordering::Relaxed);
         self.sched_injected_faults.store(0, Ordering::Relaxed);
         self.sched_degraded_runs.store(0, Ordering::Relaxed);
+        self.sched_sharded_ops.store(0, Ordering::Relaxed);
+        self.sched_shards_used.store(0, Ordering::Relaxed);
+        self.sched_shard_broadcast_bytes.store(0, Ordering::Relaxed);
+        self.sched_shard_partial_bytes.store(0, Ordering::Relaxed);
+        self.sched_shard_merge_us.store(0, Ordering::Relaxed);
+        self.sched_shard_skew_milli.store(0, Ordering::Relaxed);
     }
 }
 

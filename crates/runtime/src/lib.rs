@@ -28,6 +28,11 @@
 //!   prefetch of spilled inputs),
 //! * [`dist`] — the simulated distributed (Spark-like) backend with
 //!   broadcast/shuffle time accounting (DESIGN.md substitution X2),
+//! * [`shard`] — the *real* sharded multi-worker runtime (DESIGN.md
+//!   substitution X11): persistent NUMA-pinned worker shards, row-partitioned
+//!   mains, broadcast side inputs, per-shard partial aggregation with
+//!   driver-side merge, and a cost-model-driven local-vs-sharded choice
+//!   behind `EngineBuilder::shards`,
 //! * [`verify`] — the static plan verifier (DESIGN.md substitution X9): an
 //!   IR-invariant checker across the hop, fusion-plan, register-program, and
 //!   task-graph layers, plus the residency state-machine spec the debug
@@ -40,6 +45,7 @@ pub mod error;
 pub mod exec;
 pub mod handcoded;
 pub mod schedule;
+pub mod shard;
 pub mod side;
 pub mod spoof;
 pub mod verify;
@@ -49,4 +55,5 @@ pub use error::ExecError;
 pub use exec::{ExecStats, SchedSnapshot};
 pub use fusedml_core::FusionMode;
 pub use fusedml_linalg::fault::{FaultPlan, FaultSite};
+pub use shard::{MergeOp, MergePlan, ShardPool, ShardSpec, SideDisp};
 pub use verify::VerifyError;

@@ -137,9 +137,14 @@ pub struct ExecCtx<'a> {
     pub kernels: &'a Arc<KernelCaches>,
     pub prefetch_depth: usize,
     /// Engine-level fault-injection plan (chaos testing); `None` in
-    /// production. The scheduler draws its `Alloc`/`TaskExec`/`TaskPanic`
-    /// decisions here; the store draws the spill-I/O sites itself.
+    /// production. The scheduler draws its `Alloc`/`TaskExec`/`TaskPanic`/
+    /// `ShardExec` decisions here; the store draws the spill-I/O sites
+    /// itself.
     pub faults: Option<&'a Arc<FaultPlan>>,
+    /// The engine's shard pool; `None` runs every operator locally. Fused
+    /// tasks whose graph entry carries a [`crate::shard::ShardSpec`] execute
+    /// across it.
+    pub shards: Option<&'a crate::shard::ShardPool>,
 }
 
 /// What one task executes.
@@ -192,6 +197,10 @@ pub struct TaskGraph {
     /// size) at eviction time; this flag is the static precondition the
     /// verifier re-derives.
     pub(crate) spill_ok: Vec<bool>,
+    /// Per task: the planner's sharding decision (`None` = run locally).
+    /// Only ever `Some` for fused tasks; the verifier re-derives each spec
+    /// from the operator to reject a corrupted plan.
+    pub(crate) shard: Vec<Option<crate::shard::ShardSpec>>,
 }
 
 impl TaskGraph {
@@ -212,6 +221,22 @@ impl TaskGraph {
     #[doc(hidden)]
     pub fn spill_ok_mut(&mut self) -> &mut Vec<bool> {
         &mut self.spill_ok
+    }
+
+    /// Installs the planner's sharding decisions, index-aligned with the
+    /// plan's operator list (see [`crate::shard::plan_shards`]); fused tasks
+    /// pick up their operator's spec, everything else stays local.
+    pub fn set_shard_specs(&mut self, per_op: &[Option<crate::shard::ShardSpec>]) {
+        for (t, task) in self.tasks.iter().enumerate() {
+            if let TaskKind::Fused { op_ix } = task.kind {
+                self.shard[t] = per_op.get(op_ix).cloned().flatten();
+            }
+        }
+    }
+
+    /// The per-task sharding decisions (`None` = local execution).
+    pub fn shard_specs(&self) -> &[Option<crate::shard::ShardSpec>] {
+        &self.shard
     }
 }
 
@@ -372,6 +397,7 @@ pub fn prepare(
         .iter()
         .map(|h| !h.kind.is_leaf() && h.size.bytes().max(0.0) as usize >= MIN_SPILL_BYTES)
         .collect();
+    let shard = vec![None; n];
     TaskGraph {
         tasks,
         leaves,
@@ -381,6 +407,7 @@ pub fn prepare(
         consumers_of,
         task_out_bytes,
         spill_ok,
+        shard,
     }
 }
 
@@ -454,6 +481,18 @@ struct EngineState {
     spill_retries: usize,
     /// Faults the engine's `FaultPlan` injected into this run.
     injected_faults: usize,
+    /// Fused operators executed across the shard pool this run.
+    sharded_ops: usize,
+    /// High-water shards used by any single sharded operator this run.
+    shards_used: usize,
+    /// Bytes of side inputs broadcast to shards this run.
+    shard_broadcast_bytes: usize,
+    /// Bytes of per-shard partial outputs merged this run.
+    shard_partial_bytes: usize,
+    /// Microseconds spent merging shard partials this run.
+    shard_merge_us: usize,
+    /// High-water shard skew (slowest/mean ×1000) this run.
+    shard_skew_milli: usize,
     /// Debug-build residency event trace: every slot transition, recorded
     /// under the scheduler lock (totally ordered), replayed against the
     /// state-machine spec ([`crate::verify::check_residency_trace`]) after
@@ -549,6 +588,12 @@ pub fn run(
         streamed_leaf_bytes: 0,
         spill_retries: 0,
         injected_faults: 0,
+        sharded_ops: 0,
+        shards_used: 0,
+        shard_broadcast_bytes: 0,
+        shard_partial_bytes: 0,
+        shard_merge_us: 0,
+        shard_skew_milli: 0,
         trace: cfg!(debug_assertions).then(Vec::new),
     };
     // Materialize demanded leaves inline (cheap: Arc clones of bindings).
@@ -687,6 +732,12 @@ pub fn run(
         spill_retries: st.spill_retries,
         injected_faults: st.injected_faults,
         degraded: usize::from(st.spill_disabled),
+        sharded_ops: st.sharded_ops,
+        shards_used: st.shards_used,
+        shard_broadcast_bytes: st.shard_broadcast_bytes,
+        shard_partial_bytes: st.shard_partial_bytes,
+        shard_merge_us: st.shard_merge_us,
+        shard_skew_milli: st.shard_skew_milli,
     };
     cx.stats.record_sched(&snapshot);
     match st.failure.take() {
@@ -813,20 +864,31 @@ fn worker_loop(cx: &Ctx<'_>) {
             };
             ins.push(SlotIn { val, owned: dying });
         }
+        // The planner's sharding decision for this task (fused tasks only,
+        // and only when the engine actually owns a shard pool).
+        let shard_ctx = match &task.kind {
+            TaskKind::Fused { .. } => {
+                cx.exec.shards.and_then(|pool| cx.graph.shard[t].as_ref().map(|spec| (spec, pool)))
+            }
+            _ => None,
+        };
         // Fault sites: task execution. Decisions are drawn under the lock
         // (atomic with the per-site draw counters), the effects happen in
         // the execution below. `TaskPanic` exercises the full
-        // panic-isolation path; `TaskExec` is the non-panicking variant.
-        let (inject_exec, inject_panic) = match cx.exec.faults {
+        // panic-isolation path; `TaskExec` is the non-panicking variant;
+        // `ShardExec` (drawn only for sharded tasks) panics one worker shard
+        // mid-kernel, exercising cross-shard cancellation.
+        let (inject_exec, inject_panic, inject_shard) = match cx.exec.faults {
             Some(f) if !aborted => {
                 let p = f.should_inject(FaultSite::TaskPanic);
                 let x = !p && f.should_inject(FaultSite::TaskExec);
-                if p || x {
+                let s = shard_ctx.is_some() && !p && !x && f.should_inject(FaultSite::ShardExec);
+                if p || x || s {
                     st.injected_faults += 1;
                 }
-                (x, p)
+                (x, p, s)
             }
-            _ => (false, false),
+            _ => (false, false, false),
         };
         if aborted || inject_exec {
             st.resident_bytes = st.resident_bytes.saturating_sub(dying_bytes);
@@ -843,16 +905,34 @@ fn worker_loop(cx: &Ctx<'_>) {
         }
         drop(st);
 
+        let mut shard_stats: Option<crate::shard::ShardRunStats> = None;
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if inject_panic {
                 panic!("injected task panic");
             }
-            run_task(task, ins, cx.dag, cx.plan, cx.bindings, cx.exec.stats)
+            run_task(
+                task,
+                ins,
+                cx.dag,
+                cx.plan,
+                cx.bindings,
+                cx.exec.stats,
+                shard_ctx.map(|(spec, pool)| ShardCtx { spec, pool, inject: inject_shard }),
+                &mut shard_stats,
+            )
         }));
 
         st = lock(cx.shared);
         match result {
-            Ok(outs) => {
+            Ok(Ok(outs)) => {
+                if let Some(ss) = shard_stats {
+                    st.sharded_ops += 1;
+                    st.shards_used = st.shards_used.max(ss.shards_used);
+                    st.shard_broadcast_bytes += ss.broadcast_bytes;
+                    st.shard_partial_bytes += ss.partial_bytes;
+                    st.shard_merge_us += (ss.merge_nanos / 1000) as usize;
+                    st.shard_skew_milli = st.shard_skew_milli.max(ss.skew_milli as usize);
+                }
                 if st.failure.is_some() {
                     // The run failed while this task was executing: its
                     // outputs have no consumers anymore — recycle them.
@@ -909,6 +989,15 @@ fn worker_loop(cx: &Ctx<'_>) {
                 st.running -= 1;
                 st.remaining -= 1;
                 cx.cvar.notify_all();
+            }
+            Ok(Err(err)) => {
+                // A typed task failure (a sharded operator's first-failing
+                // shard): inputs were already recycled inside `run_task`,
+                // siblings were cancelled, and the run fails with the typed
+                // error instead of a stringly panic.
+                st.running -= 1;
+                st.resident_bytes = st.resident_bytes.saturating_sub(dying_bytes);
+                fail(cx, &mut st, err);
             }
             Err(payload) => {
                 // Contain the panic on this worker: it becomes a typed task
@@ -1130,7 +1219,18 @@ fn pick_victim(cx: &Ctx<'_>, st: &EngineState, keep: &[HopId]) -> Option<usize> 
     best.map(|(_, _, h)| h)
 }
 
-/// Runs one task over its gathered inputs; returns `(hop, value)` stores.
+/// The planner's sharding decision for one fused task, resolved against the
+/// engine's live shard pool by the worker loop.
+struct ShardCtx<'a> {
+    spec: &'a crate::shard::ShardSpec,
+    pool: &'a crate::shard::ShardPool,
+    /// `ShardExec` fault-injection flag: panic one worker shard mid-kernel.
+    inject: bool,
+}
+
+/// Runs one task over its gathered inputs; returns `(hop, value)` stores, or
+/// a typed error when a sharded operator's worker shard fails.
+#[allow(clippy::too_many_arguments)]
 fn run_task(
     task: &Task,
     ins: Vec<SlotIn>,
@@ -1138,12 +1238,14 @@ fn run_task(
     plan: Option<&FusionPlan>,
     bindings: &Bindings,
     stats: &ExecStats,
-) -> Vec<(HopId, Value)> {
+    shard_ctx: Option<ShardCtx<'_>>,
+    shard_stats: &mut Option<crate::shard::ShardRunStats>,
+) -> Result<Vec<(HopId, Value)>, ExecError> {
     match &task.kind {
         TaskKind::Basic(h) => {
             stats.basic_ops.fetch_add(1, Ordering::Relaxed);
             let v = eval_basic(dag, *h, ins, bindings);
-            vec![(*h, v)]
+            Ok(vec![(*h, v)])
         }
         TaskKind::Handcoded(hc) => {
             stats.handcoded_ops.fetch_add(1, Ordering::Relaxed);
@@ -1153,7 +1255,7 @@ fn run_task(
             // held and recycling silently degrades to a plain drop.
             drop(vals);
             recycle_all(ins);
-            vec![(hc.root, v)]
+            Ok(vec![(hc.root, v)])
         }
         TaskKind::Fused { op_ix } => {
             stats.fused_ops.fetch_add(1, Ordering::Relaxed);
@@ -1167,25 +1269,60 @@ fn run_task(
             let main_val = ins.first().filter(|_| n_main == 1).map(|s| s.val.as_matrix());
             let side_mats: Vec<Matrix> =
                 ins[n_main..n_main + n_sides].iter().map(|s| s.val.as_matrix()).collect();
-            let sides: Vec<SideInput> = side_mats.iter().map(SideInput::bind).collect();
             let scalars: Vec<f64> =
                 ins[n_main + n_sides..].iter().map(|s| s.val.as_scalar()).collect();
             let side_dims: Vec<(usize, usize)> =
-                sides.iter().map(|s| (s.rows(), s.cols())).collect();
+                side_mats.iter().map(|m| (m.rows(), m.cols())).collect();
             stats.record_fused_class(spoof::kernel_class(&f.op.spec, &side_dims));
-            let outs = spoof::execute(
-                &f.op.spec,
-                main_val.as_ref(),
-                &sides,
-                &scalars,
-                f.cplan.iter_rows,
-                f.cplan.iter_cols,
-            );
-            drop(sides);
+            let outs = match (shard_ctx, &main_val) {
+                (Some(sc), Some(main)) => {
+                    // The planner chose sharded execution: row-partition the
+                    // main, ship sides per the spec's dispositions, merge
+                    // per-shard partials on this (driver) thread.
+                    let res = sc.pool.execute(
+                        &f.op,
+                        sc.spec,
+                        main,
+                        &side_mats,
+                        &scalars,
+                        f.cplan.iter_cols,
+                        sc.inject,
+                    );
+                    match res {
+                        Ok((outs, ss)) => {
+                            *shard_stats = Some(ss);
+                            outs
+                        }
+                        Err(e) => {
+                            drop(side_mats);
+                            drop(main_val);
+                            recycle_all(ins);
+                            return Err(ExecError::ShardFailure {
+                                op: format!("fused operator #{op_ix}"),
+                                shard: e.shard,
+                                message: e.message,
+                            });
+                        }
+                    }
+                }
+                _ => {
+                    let sides: Vec<SideInput> = side_mats.iter().map(SideInput::bind).collect();
+                    let outs = spoof::execute(
+                        &f.op.spec,
+                        main_val.as_ref(),
+                        &sides,
+                        &scalars,
+                        f.cplan.iter_rows,
+                        f.cplan.iter_cols,
+                    );
+                    drop(sides);
+                    outs
+                }
+            };
             drop(side_mats);
             drop(main_val);
             recycle_all(ins);
-            f.roots
+            Ok(f.roots
                 .iter()
                 .enumerate()
                 .map(|(slot, &r)| {
@@ -1197,7 +1334,7 @@ fn run_task(
                     };
                     (r, v)
                 })
-                .collect()
+                .collect())
         }
     }
 }

@@ -105,6 +105,12 @@ pub enum VerifyError {
     /// The task graph is structurally inconsistent (field lengths, producer
     /// counts, levels, or an operator index with no plan behind it).
     TaskGraphMalformed { detail: String },
+    /// A task's shard plan is unsound: a non-fused task carries one, the
+    /// partitioning is illegal for the operator (no main, too few rows, a
+    /// partitioned side that does not row-align), or the merge plan
+    /// disagrees with the template's aggregation semantics. Checked by
+    /// re-deriving the spec from the operator and comparing.
+    ShardPlan { task: usize, detail: String },
     /// A recorded slot transition the residency state machine forbids (or a
     /// trace that ends with a non-empty slot).
     ResidencyViolation { slot: usize, from: SlotState, to: SlotState, step: usize },
@@ -163,6 +169,9 @@ impl fmt::Display for VerifyError {
             VerifyError::TaskGraphMalformed { detail } => {
                 write!(f, "malformed task graph: {detail}")
             }
+            VerifyError::ShardPlan { task, detail } => {
+                write!(f, "unsound shard plan on task {task}: {detail}")
+            }
             VerifyError::ResidencyViolation { slot, from, to, step } => write!(
                 f,
                 "slot {slot}: illegal residency transition {from:?} -> {to:?} at trace step {step}"
@@ -186,7 +195,52 @@ pub fn verify_compiled(
     if let Some(p) = plan {
         check_plan(dag, p)?;
     }
-    check_task_graph(dag, plan, graph, facts)
+    check_task_graph(dag, plan, graph, facts)?;
+    check_shard_plan(plan, graph)
+}
+
+/// Shard-plan soundness: every task carrying a [`crate::shard::ShardSpec`]
+/// must be a fused task whose spec is exactly what
+/// [`crate::shard::derive_spec`] re-derives from the operator — which
+/// re-checks partitioning legality (a present main, `iter_rows >= shards`,
+/// partitioned sides row-aligned with the iteration space, no cross-shard
+/// main reads by construction) and merge-op/agg-kind agreement (e.g. `Min`
+/// partials merged with `Min`, `Mean` never merged element-wise).
+pub fn check_shard_plan(plan: Option<&FusionPlan>, graph: &TaskGraph) -> Result<(), VerifyError> {
+    let specs = graph.shard_specs();
+    if specs.len() != graph.tasks.len() {
+        return Err(VerifyError::TaskGraphMalformed {
+            detail: format!("shard has {} entries for {} tasks", specs.len(), graph.tasks.len()),
+        });
+    }
+    for (t, spec) in specs.iter().enumerate() {
+        let Some(spec) = spec else { continue };
+        let err = |detail: String| VerifyError::ShardPlan { task: t, detail };
+        let TaskKind::Fused { op_ix } = graph.tasks[t].kind else {
+            return Err(err("non-fused task carries a shard spec".into()));
+        };
+        let Some(f) = plan.and_then(|p| p.operators.get(op_ix)) else {
+            return Err(err(format!("fused operator #{op_ix} has no plan behind it")));
+        };
+        if spec.shards < 2 {
+            return Err(err(format!("{}-shard plan (sharding needs >= 2)", spec.shards)));
+        }
+        match crate::shard::derive_spec(&f.op.spec, &f.cplan, spec.shards) {
+            Some(ref derived) if derived == spec => {}
+            Some(derived) => {
+                return Err(err(format!(
+                    "stored spec {spec:?} disagrees with re-derivation {derived:?}"
+                )))
+            }
+            None => {
+                return Err(err(format!(
+                    "operator #{op_ix} is not legally shardable at {} shards",
+                    spec.shards
+                )))
+            }
+        }
+    }
+    Ok(())
 }
 
 // ===========================================================================

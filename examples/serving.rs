@@ -153,4 +153,42 @@ fn main() {
         100.0 * sched.prefetch_hit_rate()
     );
     assert_eq!(sched.spilled_bytes, 0, "a scorer this small must serve entirely in memory");
+
+    // --- Sharded scoring (DESIGN.md substitution X11): the same pattern at
+    // bulk scale. A nightly batch of 200k rows scores p = sigmoid(X v); the
+    // cost model decides this operator is worth sharding, so the engine
+    // row-partitions X across 4 persistent worker shards, broadcasts v, and
+    // concatenates the per-shard score blocks — no code change in the
+    // serving loop, just `EngineBuilder::shards(4)`.
+    let (n, m) = (200_000, 128);
+    let mut b = DagBuilder::new();
+    let x = b.read("X", n, m, 1.0);
+    let v = b.read("v", m, 1, 1.0);
+    let xv = b.mm(x, v);
+    let p = b.sigmoid(xv);
+    let bulk = b.build(vec![p]);
+    let sharded = EngineBuilder::new(FusionMode::Gen).shards(4).shard_threads(1).build();
+    let bulk_script = sharded.compile(&bulk);
+    let batch_x = generate::rand_dense(n, m, -1.0, 1.0, 7);
+    let model_v = generate::rand_dense(m, 1, -0.5, 0.5, 8);
+    let t1 = std::time::Instant::now();
+    let out = bulk_script.execute(&bind(&[("X", batch_x), ("v", model_v)]));
+    let bulk_elapsed = t1.elapsed();
+    let scores = out.matrix(0);
+    assert_eq!((scores.rows(), scores.cols()), (n, 1));
+    let snap = out.sched();
+    println!(
+        "sharded scorer: {n} rows in {bulk_elapsed:?} across {} shard(s); {} sharded op(s), \
+         broadcast {:.1} KB, partials {:.2} MB, merge {} us, skew {:.2}x",
+        sharded.shards(),
+        snap.sharded_ops,
+        snap.shard_broadcast_bytes as f64 / 1e3,
+        snap.shard_partial_bytes as f64 / 1e6,
+        snap.shard_merge_us,
+        snap.shard_skew_milli as f64 / 1e3,
+    );
+    assert_eq!(sharded.shards(), 4, "the builder knob spawns the requested pool");
+    assert!(snap.sharded_ops > 0, "the planner must shard a 200kx128 scorer");
+    assert_eq!(snap.shards_used, 4, "the bulk batch must use every shard");
+    assert!(snap.shard_partial_bytes > 0, "per-shard score blocks flow back to the driver");
 }
